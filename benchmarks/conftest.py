@@ -1,0 +1,48 @@
+"""Benchmark fixtures: artifact saving and the shared paper-scale dataset.
+
+Every benchmark regenerates one of the paper's tables or figures at full
+scale, times it with pytest-benchmark, renders the paper-style output into
+``benchmarks/results/<name>.txt``, and asserts the qualitative claims the
+paper makes about it (who wins, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_artifact(artifact_dir):
+    """Write a rendered experiment output next to the benchmarks."""
+
+    def _save(name: str, text: str) -> None:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        # Also echo to stdout so `pytest -s` shows the tables inline.
+        print(f"\n[artifact: {path}]")
+        print(text)
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def paper_dataset():
+    """The full 194+5-board synthetic VT-like dataset (cached per session)."""
+    from repro.datasets.vtlike import default_vt_dataset
+
+    return default_vt_dataset()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a heavy experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,32 @@
+"""A4 — attack ablation: the equal-selected-count constraint's security.
+
+Paper (Sec. III.D): equal counts exist "for security concern because the
+one that uses fewer inverters will most likely be faster, making it easier
+for an attacker to guess the bit value".  We attack the stored
+configurations: equal-count schemes leak nothing; the unconstrained
+variant hands the attacker the bit.  The CRP modeling attack on the
+Maiti-Schaumont (challenge-configurable) PUF demonstrates the related-work
+vulnerability [16] our fixed-configuration scheme avoids.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import (
+    format_leakage_study,
+    run_leakage_study,
+)
+
+
+def test_bench_ablation_attacks(benchmark, paper_dataset, save_artifact):
+    study = run_once(benchmark, run_leakage_study, dataset=paper_dataset)
+    save_artifact("ablation_attacks", format_leakage_study(study))
+
+    by_scheme = {result.scheme: result for result in study.results}
+    # Equal-count schemes: at most marginal advantage over chance.
+    assert by_scheme["case1"].advantage < 0.1
+    assert by_scheme["case2"].advantage < 0.1
+    # Unconstrained selection: the configuration IS the bit.
+    assert by_scheme["unconstrained"].accuracy > 0.98
+    # Reconfigurable-style CRP interface: fully modelable.
+    assert study.model_attack.accuracy > 0.9
+    assert study.model_attack.chance < 0.7

@@ -1,0 +1,29 @@
+"""A2 — ablation: achieved margins per selection scheme on identical silicon.
+
+Expected ordering of mean |margin|: case2 >= case1 > maiti-schaumont and
+traditional; and the bit-sign identity between the three paper schemes.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import (
+    format_selector_ablation,
+    run_selector_ablation,
+)
+
+
+def test_bench_ablation_selectors(benchmark, paper_dataset, save_artifact):
+    result = run_once(
+        benchmark, run_selector_ablation, dataset=paper_dataset, max_boards=80
+    )
+    save_artifact("ablation_selectors", format_selector_ablation(result))
+
+    margins = result.mean_abs_margin
+    assert margins["case2"] >= margins["case1"]
+    assert margins["case1"] > margins["traditional"] * 1.3
+    assert margins["case1"] > margins["maiti_schaumont"]
+    # Worst-case margin: the configurable schemes lift the floor that the
+    # traditional scheme leaves at (essentially) zero.
+    assert result.min_abs_margin["case1"] > result.min_abs_margin["traditional"]
+    # Bit-sign identity between case1/case2/traditional.
+    assert result.bit_disagreements == 0

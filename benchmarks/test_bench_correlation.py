@@ -1,0 +1,29 @@
+"""A9 — correlated mismatch defeats the distiller.
+
+The regression distiller removes smooth spatial trends; short-range
+correlation in the mismatch itself survives it and correlates
+neighbouring PUF bits.  Independent mismatch -> distilled battery passes;
+correlation length 0.15 of the die -> runs/serial/entropy collapse.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import (
+    format_correlation_study,
+    run_correlation_study,
+)
+
+
+def test_bench_correlation(benchmark, save_artifact):
+    study = run_once(benchmark, run_correlation_study)
+    save_artifact("correlation_study", format_correlation_study(study))
+
+    by_length = {p.correlation_length: p for p in study.points}
+    assert by_length[0.0].passed
+    assert not by_length[0.15].passed
+    assert not by_length[0.4].passed
+    # Degradation is monotone in correlation length.
+    proportions = [p.worst_proportion for p in study.points]
+    assert proportions == sorted(proportions, reverse=True)
+    # The correlation-sensitive tests are exactly the ones that fail.
+    assert "Runs" in by_length[0.4].failing_tests

@@ -1,0 +1,33 @@
+"""A7 — the cost of ECC (Sec. III.C's 'eliminate the ECC circuitry' claim).
+
+Sizes the smallest BCH code each scheme would need to hit a 1e-6 key-block
+failure target given its measured bit-error rate across all (V, T)
+corners.  The traditional PUF requires a heavyweight code; the Case-2
+configurable PUF requires none.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import (
+    format_ecc_cost_study,
+    run_ecc_cost_study,
+)
+
+
+def test_bench_ecc_cost(benchmark, paper_dataset, save_artifact):
+    study = run_once(benchmark, run_ecc_cost_study, dataset=paper_dataset)
+    save_artifact("ecc_cost", format_ecc_cost_study(study))
+
+    by_scheme = {r.scheme: r for r in study.requirements}
+    # The paper's claim: the configurable PUF can skip ECC entirely.
+    assert not by_scheme["case2"].needs_ecc
+    # The traditional PUF pays a serious code for the same guarantee.
+    assert by_scheme["traditional"].t >= 5
+    assert (
+        by_scheme["traditional"].overhead_bits_per_key_bit
+        > by_scheme["case1"].overhead_bits_per_key_bit
+    )
+    assert (
+        by_scheme["case1"].overhead_bits_per_key_bit
+        >= by_scheme["case2"].overhead_bits_per_key_bit
+    )

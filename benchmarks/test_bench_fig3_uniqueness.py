@@ -1,0 +1,23 @@
+"""E3 — Fig. 3: inter-chip HD histograms (paper: mean 46.88/46.79 bits)."""
+
+from conftest import run_once
+
+from repro.experiments.fig3_uniqueness import (
+    format_result,
+    run_uniqueness_experiment,
+)
+
+
+def test_bench_fig3_uniqueness(benchmark, paper_dataset, save_artifact):
+    result = run_once(benchmark, run_uniqueness_experiment, dataset=paper_dataset)
+    save_artifact("fig3_uniqueness", format_result(result))
+
+    for report, paper_mean in ((result.case1, 46.88), (result.case2, 46.79)):
+        assert report.stream_count == 97
+        assert report.bit_count == 96
+        # Bell centred near half the bits, the paper's headline numbers
+        # within a few bits, and no collisions.
+        assert abs(report.mean_distance - paper_mean) < 4.0
+        assert 3.0 < report.std_distance < 7.0
+        assert not report.has_collision
+        assert report.min_distance >= 20

@@ -1,0 +1,30 @@
+"""E6b — Fig. 4 companion: Case-2's extra freedom buys extra reliability.
+
+Paper (Sec. IV.D): "Similar observations hold for Case-2 ... The only
+noticeable difference is that because of this flexibility, the Case-2
+configurable PUF becomes more reliable."
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig4_reliability import (
+    format_result,
+    run_voltage_reliability,
+)
+
+
+def test_bench_fig4_case2(benchmark, paper_dataset, save_artifact):
+    case2 = run_once(
+        benchmark, run_voltage_reliability, dataset=paper_dataset, method="case2"
+    )
+    save_artifact("fig4_voltage_reliability_case2", format_result(case2))
+
+    case1 = run_voltage_reliability(paper_dataset, method="case1")
+    for n in (3, 5, 7, 9):
+        assert (
+            case2.mean_configurable_flips(n)
+            <= case1.mean_configurable_flips(n) + 1e-9
+        ), n
+    # Case-2 still collapses to 0% from n = 7.
+    assert case2.mean_configurable_flips(7) == 0.0
+    assert case2.mean_configurable_flips(9) == 0.0

@@ -1,0 +1,49 @@
+"""E6 — Fig. 4: bit flips under supply-voltage variation.
+
+Paper observations reproduced as assertions:
+1. the traditional bar is the tallest (most unreliable);
+2. configurable flips shrink as n grows and reach 0% at n = 7 and 9;
+3. the 1-out-of-8 bar is zero everywhere;
+4. mid-voltage enrollment is at least as good as the extremes.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.fig4_reliability import (
+    FIG4_STAGE_COUNTS,
+    format_result,
+    run_voltage_reliability,
+)
+
+
+def test_bench_fig4_voltage_reliability(benchmark, paper_dataset, save_artifact):
+    result = run_once(benchmark, run_voltage_reliability, dataset=paper_dataset)
+    save_artifact("fig4_voltage_reliability", format_result(result))
+
+    assert len(result.subplots) == 5 * len(FIG4_STAGE_COUNTS)
+
+    # (1) configurable beats traditional at every ring length, on average.
+    for n in FIG4_STAGE_COUNTS:
+        assert result.mean_configurable_flips(n) < result.mean_traditional_flips(n)
+
+    # (2) flips shrink with n; 0% at n = 7 and n = 9 on every board.
+    assert result.mean_configurable_flips(3) >= result.mean_configurable_flips(7)
+    for subplot in result.subplots:
+        if subplot.stage_count >= 7:
+            assert np.all(subplot.configurable_flip_percent == 0.0), subplot
+
+    # (3) 1-out-of-8 is flawless.
+    assert result.max_one_of_8_flips() == 0.0
+
+    # (4) mid-voltage enrollment (index 1..3) no worse than the extremes.
+    middle = []
+    extreme = []
+    for subplot in result.subplots:
+        bars = subplot.configurable_flip_percent
+        middle.append(np.mean(bars[1:4]))
+        extreme.append(np.mean(bars[[0, 4]]))
+    assert np.mean(middle) <= np.mean(extreme) + 1e-9
+
+    # Traditional PUF actually flips somewhere (the baseline is not trivial).
+    assert result.mean_traditional_flips(3) > 1.0

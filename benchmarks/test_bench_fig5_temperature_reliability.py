@@ -1,0 +1,27 @@
+"""E7 — Sec. IV.D temperature sweep: only the traditional PUF flips."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.fig4_reliability import (
+    format_result,
+    run_temperature_reliability,
+)
+
+
+def test_bench_fig5_temperature_reliability(
+    benchmark, paper_dataset, save_artifact
+):
+    result = run_once(
+        benchmark, run_temperature_reliability, dataset=paper_dataset
+    )
+    save_artifact("fig5_temperature_reliability", format_result(result))
+
+    # Paper: "Only the traditional RO PUF has bit flips" under temperature.
+    for subplot in result.subplots:
+        assert np.all(subplot.configurable_flip_percent == 0.0), subplot
+        assert subplot.one_of_8_flip_percent == 0.0
+    total_traditional = sum(
+        s.traditional_flip_percent for s in result.subplots
+    )
+    assert total_traditional > 0.0

@@ -1,0 +1,33 @@
+"""A8 — margin scaling: configurable ~ n, traditional ~ sqrt(n).
+
+The quantitative law behind Fig. 4's "reliability increases with n":
+the configurable margin sums ~n/2 positive |delta| terms (linear growth),
+the traditional margin is a zero-mean random walk (sqrt growth), so the
+configurable advantage opens as sqrt(n).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.extensions import (
+    format_margin_scaling,
+    run_margin_scaling_study,
+)
+
+
+def test_bench_margin_scaling(benchmark, save_artifact):
+    study = run_once(benchmark, run_margin_scaling_study)
+    save_artifact("margin_scaling", format_margin_scaling(study))
+
+    n = np.array(study.stage_counts, dtype=float)
+
+    # Fit growth exponents on log-log axes.
+    config_slope = np.polyfit(np.log(n), np.log(study.configurable), 1)[0]
+    traditional_slope = np.polyfit(np.log(n), np.log(study.traditional), 1)[0]
+    assert 0.85 < config_slope < 1.15  # ~linear
+    assert 0.35 < traditional_slope < 0.65  # ~sqrt
+
+    # The ratio keeps opening with n.
+    ratios = study.ratio
+    assert ratios[-1] > 2.0 * ratios[0]
+    assert np.all(np.diff(ratios) > -0.1)  # monotone up to sampling noise

@@ -1,0 +1,30 @@
+"""A10 — multi-corner enrollment removes the enrollment-corner lottery.
+
+Fig. 4's observation 4: the best single enrollment corner is mid-range —
+but you only know which corner was best after testing them all.
+Multi-corner enrollment (maximise the worst-corner margin) matches the
+best single corner without the hunt.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import (
+    format_multicorner_study,
+    run_multicorner_study,
+)
+
+
+def test_bench_multicorner(benchmark, paper_dataset, save_artifact):
+    study = run_once(benchmark, run_multicorner_study, dataset=paper_dataset)
+    save_artifact("multicorner_enrollment", format_multicorner_study(study))
+
+    # Single-corner enrollment at the wrong corner visibly flips at n = 3.
+    assert study.single_corner_worst_percent > 1.0
+    # Multi-corner enrollment is at least as good as the best single corner
+    # (small slack: the greedy is not exactly optimal).
+    assert (
+        study.multicorner_percent
+        <= study.single_corner_best_percent + 0.5
+    )
+    # And far better than the worst corner.
+    assert study.multicorner_percent < study.single_corner_worst_percent / 2

@@ -1,0 +1,33 @@
+"""A6 — scheme zoo: yield vs stability of five schemes on equal hardware.
+
+Extends Table V / Fig. 4 with the cooperative (ordering) PUF of the
+paper's ref [2] and the offset-aware selector:
+
+* utilisation: cooperative (1 bit/ring) > configurable/traditional
+  (0.5) > 1-out-of-8 (0.125);
+* stability: 1-out-of-8 = configurable (0%) < traditional < cooperative;
+* the offset-aware Case-2 variant recovers extra margin the paper's
+  formulation leaves on the table.
+"""
+
+from conftest import run_once
+
+from repro.experiments.extensions import format_scheme_zoo, run_scheme_zoo
+
+
+def test_bench_scheme_zoo(benchmark, paper_dataset, save_artifact):
+    zoo = run_once(benchmark, run_scheme_zoo, dataset=paper_dataset)
+    save_artifact("scheme_zoo", format_scheme_zoo(zoo))
+
+    per_ring = {row.scheme: row.bits_per_ring for row in zoo.rows}
+    flips = {row.scheme: row.flip_percent for row in zoo.rows}
+
+    assert per_ring["cooperative"] == 1.0
+    assert per_ring["case1"] == per_ring["case2"] == 0.5
+    assert per_ring["1-out-of-8"] == 0.125
+
+    assert flips["case2"] <= flips["case1"] <= flips["traditional"]
+    assert flips["1-out-of-8"] == 0.0
+    assert flips["cooperative"] > flips["traditional"]
+
+    assert zoo.offset_margin_gain_percent >= 0.0

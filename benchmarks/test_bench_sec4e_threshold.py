@@ -1,0 +1,35 @@
+"""E9 — Sec. IV.E: reliable bits vs R_th on the in-house boards.
+
+Paper: 9 Virtex-5 boards, 64 ROs x up to 13 inverters -> 32 bits;
+traditional drops 32 -> 13 as R_th goes 0 -> 3 while the configurable PUF
+still delivers (essentially) all 32.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.sec4e_threshold import (
+    format_result,
+    run_threshold_study,
+)
+
+
+def test_bench_sec4e_threshold(benchmark, save_artifact):
+    result = run_once(benchmark, run_threshold_study)
+    save_artifact("sec4e_threshold", format_result(result))
+
+    assert result.total_bits == 32
+    assert result.board_count == 9
+
+    grid = result.thresholds_units
+    at = lambda t: int(np.argmin(np.abs(grid - t)))  # noqa: E731
+
+    # R_th = 0: both schemes deliver all 32 bits.
+    assert result.traditional[at(0.0)] == 32.0
+    assert result.configurable[at(0.0)] == 32.0
+    # R_th = 3: traditional drops to about 13, configurable keeps ~32.
+    assert abs(result.traditional[at(3.0)] - 13.0) < 3.0
+    assert result.configurable[at(3.0)] > 29.0
+    # Monotone decay for both.
+    assert np.all(np.diff(result.traditional) <= 1e-9)
+    assert np.all(np.diff(result.configurable) <= 1e-9)

@@ -1,0 +1,36 @@
+"""E10 — Sec. III.D conjecture: optimal configurations select about n/2.
+
+The paper argues that once systematic variation is filtered, the optimal
+configuration includes roughly half the available inverters ("7 is about
+one half of 15").
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.config_tables import run_config_study
+
+
+def test_bench_selected_fraction(benchmark, paper_dataset, save_artifact):
+    result = run_once(
+        benchmark,
+        run_config_study,
+        dataset=paper_dataset,
+        method="case1",
+        stage_count=15,
+    )
+    counts = result.selected_counts
+    histogram = np.bincount(counts, minlength=16)
+    lines = ["selected-count distribution over 3104 Case-1 pairs (n=15):"]
+    for k, c in enumerate(histogram):
+        if c:
+            lines.append(f"  {k:2d} selected: {c:5d} ({100.0 * c / len(counts):.1f}%)")
+    lines.append(f"mean fraction selected: {result.mean_selected_fraction:.3f}")
+    save_artifact("selected_fraction", "\n".join(lines))
+
+    # Conjecture: about n/2 — mean within [0.4, 0.7] of the units, and the
+    # mode at 7 or 9 of 15 (odd counts only, free-running constraint).
+    assert 0.4 < result.mean_selected_fraction < 0.7
+    assert int(np.argmax(histogram)) in (7, 9)
+    # require_odd means every count is odd.
+    assert np.all(counts % 2 == 1)

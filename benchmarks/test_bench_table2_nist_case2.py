@@ -1,0 +1,21 @@
+"""E2 — Table II: NIST battery over Case-2 PUF outputs (97 x 96 bits)."""
+
+from conftest import run_once
+
+from repro.experiments.nist_tables import format_result, run_nist_experiment
+
+
+def test_bench_table2_nist_case2(benchmark, paper_dataset, save_artifact):
+    result = run_once(
+        benchmark,
+        run_nist_experiment,
+        dataset=paper_dataset,
+        method="case2",
+        distilled=True,
+    )
+    save_artifact("table2_nist_case2", format_result(result))
+
+    assert result.streams.shape == (97, 96)
+    assert result.passed, [row.label for row in result.report.failed_rows]
+    for row in result.report.rows:
+        assert row.passing >= 93

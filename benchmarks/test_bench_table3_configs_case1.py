@@ -1,0 +1,38 @@
+"""E4 — Table III: HD distribution of Case-1 best configurations.
+
+Paper reference (3104 15-bit vectors): HD 6 and 8 carry the majority
+(32.8% + 38.3%), every pairwise HD is even, and duplicates are absent
+(< 0.01% of pairs in our reproduction — displays as ~0 in the paper's
+convention).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.config_tables import format_result, run_config_study
+
+PAPER_PERCENT = {0: 0.0, 2: 0.822, 4: 9.80, 6: 32.8, 8: 38.3, 10: 16.1, 12: 2.15, 14: 0.061}
+
+
+def test_bench_table3_configs_case1(benchmark, paper_dataset, save_artifact):
+    result = run_once(
+        benchmark, run_config_study, dataset=paper_dataset, method="case1"
+    )
+    save_artifact("table3_configs_case1", format_result(result))
+
+    assert result.vectors.shape == (3104, 15)
+    assert result.odd_hd_pairs == 0  # all-even HDs, as in the paper's table
+    percentages = result.hd_percentages
+    # The distribution shape must track the paper's within a few points.
+    for distance, paper_value in PAPER_PERCENT.items():
+        assert abs(percentages[distance] - paper_value) < 5.0, (
+            distance,
+            percentages[distance],
+            paper_value,
+        )
+    # Mode at HD 6 or 8, as in the paper.
+    assert int(np.argmax(percentages)) in (6, 8)
+    # Duplicates essentially absent.
+    assert percentages[0] < 0.05
+    # n/2 conjecture: about half the units selected.
+    assert 0.35 < result.mean_selected_fraction < 0.7

@@ -1,0 +1,33 @@
+"""E5 — Table IV: HD distribution of Case-2 best configurations.
+
+Paper reference (3104 30-bit vectors): mass concentrated on HD 12-18
+(17.2 / 26.3 / 25.4 / 15.3 percent at 12/14/16/18), all HDs even, no
+duplicates at HD 0 or 30.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.config_tables import format_result, run_config_study
+
+PAPER_PERCENT = {8: 1.64, 10: 6.87, 12: 17.2, 14: 26.3, 16: 25.4, 18: 15.3, 20: 5.68}
+
+
+def test_bench_table4_configs_case2(benchmark, paper_dataset, save_artifact):
+    result = run_once(
+        benchmark, run_config_study, dataset=paper_dataset, method="case2"
+    )
+    save_artifact("table4_configs_case2", format_result(result))
+
+    assert result.vectors.shape == (3104, 30)
+    assert result.odd_hd_pairs == 0
+    percentages = result.hd_percentages
+    for distance, paper_value in PAPER_PERCENT.items():
+        assert abs(percentages[distance] - paper_value) < 6.0, (
+            distance,
+            percentages[distance],
+            paper_value,
+        )
+    assert int(np.argmax(percentages)) in (14, 16)
+    assert percentages[0] == 0.0  # no duplicate pair configurations
+    assert percentages[30] == 0.0  # no complementary pairs either

@@ -1,0 +1,24 @@
+"""E8 — Table V: bits per board; the 4x hardware-efficiency claim."""
+
+from conftest import run_once
+
+from repro.experiments.table5_bits import (
+    PAPER_TABLE5,
+    format_result,
+    run_table5,
+)
+
+
+def test_bench_table5_bit_counts(benchmark, save_artifact):
+    rows = run_once(benchmark, run_table5)
+    save_artifact("table5_bit_counts", format_result(rows))
+
+    for row in rows:
+        expected = PAPER_TABLE5[row.stage_count]
+        assert (
+            row.configurable_bits,
+            row.traditional_bits,
+            row.one_of_8_bits,
+        ) == expected
+        # Abstract: "4X more hardware efficient than ... 1-out-of-8".
+        assert row.hardware_advantage == 4.0

@@ -1,0 +1,58 @@
+"""Lifetime study: does the PUF secret survive years of silicon aging?
+
+Extension beyond the paper's (V, T) reliability analysis: NBTI-style
+wear-out slows devices by different amounts, so delay orderings drift over
+the years and marginal bits flip.  The margin the configurable PUF banks at
+enrollment is exactly the budget that absorbs this drift.
+
+Run:  python examples/aging_study.py [years ...]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ChipROPUF, FabricationProcess
+from repro.core.pairing import allocate_rings
+from repro.silicon.aging import AgingModel, age_chip
+from repro.variation import NOMINAL_OPERATING_POINT
+
+
+def main() -> None:
+    years = [float(arg) for arg in sys.argv[1:]] or [1.0, 5.0, 10.0, 20.0]
+    fab = FabricationProcess()
+    chip = fab.fabricate(280, np.random.default_rng(8), name="field-unit")
+    model = AgingModel()
+    print(
+        f"chip {chip.name!r}: {chip.unit_count} units; aging model "
+        f"{model.mean_severity * 100:.0f}% +/- {model.severity_sigma * 100:.1f}% "
+        f"slowdown at {model.reference_years:g} years"
+    )
+
+    # Interleaved pair layout: the two rings of a pair sit side by side on
+    # the die, so each pair's margins come from random mismatch alone.
+    allocation = allocate_rings(
+        chip.unit_count, 7, multiple=2, layout="interleaved"
+    )
+    header = f"{'scheme':>12} " + " ".join(f"{y:>6g}y" for y in years)
+    print(header)
+    for method in ("case2", "case1", "traditional"):
+        puf = ChipROPUF(chip=chip, allocation=allocation, method=method)
+        enrollment = puf.enroll()
+        cells = []
+        for year in years:
+            aged = age_chip(chip, year, np.random.default_rng(13), model)
+            aged_puf = ChipROPUF(
+                chip=aged,
+                allocation=puf.allocation,
+                method=method,
+                measurer=puf.measurer,
+            )
+            response = aged_puf.response(NOMINAL_OPERATING_POINT, enrollment)
+            flips = int(np.sum(response != enrollment.bits))
+            cells.append(f"{100.0 * flips / puf.bit_count:6.1f}%")
+        print(f"{method:>12} " + " ".join(cells))
+
+
+if __name__ == "__main__":
+    main()

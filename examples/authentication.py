@@ -1,0 +1,73 @@
+"""Fleet authentication: enroll many chips, verify genuine vs counterfeit.
+
+PUF-based chip authentication (a headline application in the paper's
+introduction): the verifier stores each device's reference response at test
+time; in the field a device is accepted when its regenerated response stays
+within a Hamming-distance threshold.  Fig. 3's ~50% inter-chip distances
+versus the configurable PUF's near-zero intra-chip noise make the decision
+trivially separable.
+
+The demo enrolls a fleet from the synthetic dataset, then authenticates
+
+* every genuine device at a harsh corner (0.98 V), and
+* every device's response claimed under every *other* device's identity
+  (the counterfeit case).
+
+Run:  python examples/authentication.py
+"""
+
+import numpy as np
+
+from repro import Authenticator, allocate_rings
+from repro.core.puf import BoardROPUF
+from repro.datasets import generate_vt_like, VTLikeConfig
+from repro.variation import OperatingPoint
+
+
+def main() -> None:
+    dataset = generate_vt_like(
+        VTLikeConfig(nominal_boards=0, swept_boards=8, seed=5)
+    )
+    harsh = OperatingPoint(0.98, 25.0)
+    verifier = Authenticator(threshold_fraction=0.15)
+
+    fleet = {}
+    for board in dataset.swept_boards:
+        puf = BoardROPUF(
+            delay_provider=board.delay_provider(),
+            allocation=allocate_rings(board.ro_count, 5),
+            method="case1",
+            require_odd=True,
+        )
+        enrollment = puf.enroll(dataset.nominal)
+        verifier.enroll(board.name, enrollment.bits)
+        fleet[board.name] = (puf, enrollment)
+    print(f"enrolled devices: {', '.join(verifier.enrolled_devices)}")
+
+    genuine_ok = 0
+    impostor_rejected = 0
+    impostor_total = 0
+    for name, (puf, enrollment) in fleet.items():
+        response = puf.response(harsh, enrollment)
+        result = verifier.authenticate(name, response)
+        status = "ACCEPT" if result.accepted else "REJECT"
+        print(
+            f"genuine {name} at {harsh.label()}: HD={result.distance:2d} "
+            f"(threshold {result.threshold}) -> {status}"
+        )
+        genuine_ok += int(result.accepted)
+        for other in fleet:
+            if other == name:
+                continue
+            impostor_total += 1
+            impostor = verifier.authenticate(other, response)
+            impostor_rejected += int(not impostor.accepted)
+
+    print(
+        f"\ngenuine accepted: {genuine_ok}/{len(fleet)}; "
+        f"counterfeits rejected: {impostor_rejected}/{impostor_total}"
+    )
+
+
+if __name__ == "__main__":
+    main()

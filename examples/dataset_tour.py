@@ -1,0 +1,65 @@
+"""Tour of the synthetic dataset: spatial structure and the distiller.
+
+Shows what the paper's Sec. IV.A is about, visually:
+
+1. a board's raw RO delays as a die heatmap — the smooth systematic
+   gradient is obvious;
+2. the same board after the regression distiller — salt-and-pepper
+   randomness, which is what the PUF should mine;
+3. the population statistics the experiments rely on.
+
+Run:  python examples/dataset_tour.py
+"""
+
+import numpy as np
+
+from repro import PolynomialDistiller
+from repro.analysis.heatmap import board_heatmap
+from repro.datasets import generate_vt_like, VTLikeConfig
+
+
+def main() -> None:
+    dataset = generate_vt_like(
+        VTLikeConfig(
+            nominal_boards=24,
+            swept_boards=0,
+            ro_count=256,
+            grid_columns=16,
+            grid_rows=16,
+            seed=31,
+        )
+    )
+    board = dataset.nominal_boards[0]
+    delays = board.delays_at(dataset.nominal)
+    print(
+        f"dataset {dataset.name!r}: {dataset.board_count} boards x "
+        f"{dataset.ro_count} ROs"
+    )
+    print(
+        f"\nboard {board.name!r} raw delays "
+        f"(mean {np.mean(delays) * 1e12:.1f} ps, "
+        f"spread {np.std(delays) / np.mean(delays) * 100:.1f}%):"
+    )
+    print(board_heatmap(delays, board.coords))
+
+    distiller = PolynomialDistiller(degree=2)
+    distilled = distiller(delays, board.coords)
+    print(
+        f"\nafter the degree-2 regression distiller "
+        f"(spread {np.std(distilled) / np.mean(distilled) * 100:.1f}%):"
+    )
+    print(board_heatmap(distilled, board.coords))
+
+    matrix = dataset.nominal_delay_matrix()
+    board_means = matrix.mean(axis=1)
+    print(
+        f"\npopulation: board-mean spread "
+        f"{np.std(board_means) / np.mean(board_means) * 100:.2f}% "
+        f"(process model: ~1%); within-board spread "
+        f"{np.mean(matrix.std(axis=1) / matrix.mean(axis=1)) * 100:.2f}% "
+        f"(systematic + random: ~2.5%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

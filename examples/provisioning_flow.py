@@ -1,0 +1,91 @@
+"""End-to-end factory flow: fabricate, enroll, persist, deploy, verify.
+
+The life cycle a real product built on this PUF would follow:
+
+1. FACTORY — fabricate a lot, enroll every chip (measure, select
+   configurations), derive a key with the fuzzy extractor, and write the
+   device's non-volatile data (configurations + helper) to disk;
+2. reboot — all Python state is discarded; only the JSON files survive;
+3. FIELD — each device loads its NVM, regenerates its key at a harsh
+   corner, and answers verifier challenges through the CRP interface.
+
+Run:  python examples/provisioning_flow.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import BCHCode, ChipROPUF, FabricationProcess, FuzzyExtractor
+from repro.core.serialization import (
+    helper_data_from_dict,
+    helper_data_to_dict,
+    load_enrollment,
+    save_enrollment,
+)
+from repro.crypto.crp import ChallengeResponseInterface
+from repro.variation import OperatingPoint
+
+
+def factory(chips, nvm_dir: Path) -> dict[str, bytes]:
+    """Enroll every chip and persist its non-volatile data."""
+    extractor = FuzzyExtractor(code=BCHCode(m=4, t=2), key_bytes=16)
+    rng = np.random.default_rng(100)
+    keys = {}
+    for chip in chips:
+        puf = ChipROPUF.deploy(chip, stage_count=4, method="case2")
+        enrollment = puf.enroll()
+        response = enrollment.bits[: extractor.response_bits]
+        key, helper = extractor.generate(response, rng)
+        keys[chip.name] = key
+        save_enrollment(enrollment, nvm_dir / f"{chip.name}.enrollment.json")
+        (nvm_dir / f"{chip.name}.helper.json").write_text(
+            json.dumps(helper_data_to_dict(helper))
+        )
+        print(f"[factory] {chip.name}: {puf.bit_count} bits, key {key.hex()[:16]}...")
+    return keys
+
+
+def field(chips, nvm_dir: Path, factory_keys: dict[str, bytes]) -> None:
+    """Regenerate keys at a harsh corner from the persisted NVM."""
+    extractor = FuzzyExtractor(code=BCHCode(m=4, t=2), key_bytes=16)
+    harsh = OperatingPoint(0.98, 65.0)
+    crp_rng = np.random.default_rng(7)
+    all_ok = True
+    for chip in chips:
+        enrollment = load_enrollment(nvm_dir / f"{chip.name}.enrollment.json")
+        helper = helper_data_from_dict(
+            json.loads((nvm_dir / f"{chip.name}.helper.json").read_text())
+        )
+        puf = ChipROPUF.deploy(chip, stage_count=4, method="case2")
+        response = puf.response(harsh, enrollment)
+        key = extractor.reproduce(response[: extractor.response_bits], helper)
+        match = key == factory_keys[chip.name]
+        all_ok &= match
+        # CRP round between verifier (reference bits) and device (fresh):
+        verifier_side = ChallengeResponseInterface(enrollment.bits)
+        device_side = ChallengeResponseInterface(response)
+        challenge = verifier_side.generate_challenge(crp_rng, width=8, fold=2)
+        accepted = verifier_side.verify(challenge, device_side.respond(challenge))
+        print(
+            f"[field]   {chip.name} at {harsh.label()}: key "
+            f"{'MATCH' if match else 'MISMATCH'}, CRP "
+            f"{'ACCEPT' if accepted else 'REJECT'}"
+        )
+    print(f"\nfleet result: {'all devices verified' if all_ok else 'FAILURES'}")
+
+
+def main() -> None:
+    fab = FabricationProcess()
+    chips = fab.fabricate_lot(4, 128, np.random.default_rng(42), name_prefix="unit")
+    with tempfile.TemporaryDirectory() as nvm:
+        nvm_dir = Path(nvm)
+        keys = factory(chips, nvm_dir)
+        print(f"\n-- reboot: only {len(list(nvm_dir.iterdir()))} NVM files survive --\n")
+        field(chips, nvm_dir, keys)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: fabricate a chip, deploy a configurable RO PUF, read a secret.
+
+This walks the paper's full life cycle on simulated silicon:
+
+1. fabricate a chip of delay units (inverter + bypass MUX per unit);
+2. deploy configurable ROs in pairs (Fig. 1) and measure each unit's
+   ``ddiff`` with the leave-one-out scheme (Sec. III.B);
+3. select the inverters that maximise each pair's delay difference
+   (Sec. III.D, Case-2) and record the reference bits;
+4. regenerate the response at harsh corners and count bit flips;
+5. compare against the traditional RO PUF on the same silicon.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ChipROPUF, FabricationProcess, OperatingPoint
+
+CORNERS = [
+    OperatingPoint(0.98, 25.0),
+    OperatingPoint(1.44, 25.0),
+    OperatingPoint(1.20, 65.0),
+    OperatingPoint(0.98, 65.0),
+]
+
+
+def main() -> None:
+    rng = np.random.default_rng(2014)
+    chip = FabricationProcess().fabricate(128, rng, name="demo-chip")
+    print(f"fabricated {chip.name!r} with {chip.unit_count} delay units")
+
+    for method in ("case2", "traditional"):
+        puf = ChipROPUF.deploy(chip, stage_count=4, method=method)
+        enrollment = puf.enroll()  # 1.20 V / 25 C test corner
+        bits = "".join("1" if b else "0" for b in enrollment.bits)
+        print(f"\n[{method}] enrolled {puf.bit_count} bits: {bits}")
+        print(
+            f"[{method}] mean |margin| "
+            f"{np.mean(np.abs(enrollment.margins)) * 1e12:.1f} ps"
+        )
+        for corner in CORNERS:
+            response = puf.response(corner, enrollment)
+            flips = int(np.sum(response != enrollment.bits))
+            print(
+                f"[{method}] response at {corner.label():>12}: "
+                f"{flips} bit flip(s) of {puf.bit_count}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""A compact Fig. 4: reliability of every scheme across the V/T envelope.
+
+Sweeps ring length n and compares bit-flip rates of the configurable PUF
+(Case-1 and Case-2), the traditional RO PUF, the 1-out-of-8 scheme, and
+Maiti-Schaumont's two-inverters-per-stage configurable RO — all carved from
+the same synthetic board, so the comparison is hardware-for-hardware.
+
+Run:  python examples/reliability_study.py [stage_counts ...]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import OneOutOfEightPUF, allocate_rings
+from repro.baselines import MaitiSchaumontPUF
+from repro.core.puf import BoardROPUF
+from repro.datasets import generate_vt_like, VTLikeConfig
+from repro.metrics import bit_flip_report
+from repro.variation import full_grid
+
+
+def flip_percent(enroll_bits, observations) -> float:
+    return bit_flip_report(enroll_bits, np.stack(observations)).flip_percent
+
+
+def main() -> None:
+    stage_counts = [int(arg) for arg in sys.argv[1:]] or [3, 5, 7]
+    dataset = generate_vt_like(
+        VTLikeConfig(nominal_boards=0, swept_boards=1, seed=77)
+    )
+    board = dataset.swept_boards[0]
+    corners = [op for op in full_grid() if op != dataset.nominal]
+
+    header = f"{'scheme':>16} " + " ".join(f"n={n:>2}" for n in stage_counts)
+    print(f"bit-flip percentage across all {len(corners)} corners")
+    print(header)
+
+    rows: dict[str, list[str]] = {}
+    for n in stage_counts:
+        allocation = allocate_rings(board.ro_count, n)
+        for method in ("case1", "case2", "traditional"):
+            puf = BoardROPUF(
+                delay_provider=board.delay_provider(),
+                allocation=allocation,
+                method=method,
+                require_odd=method != "traditional",
+            )
+            enrollment = puf.enroll(dataset.nominal)
+            observations = [puf.response(op, enrollment) for op in corners]
+            rows.setdefault(method, []).append(
+                f"{flip_percent(enrollment.bits, observations):4.1f}"
+            )
+
+        one_of_8 = OneOutOfEightPUF(
+            delay_provider=board.delay_provider(), allocation=allocation
+        )
+        group = one_of_8.enroll(dataset.nominal)
+        observations = [one_of_8.response(op, group) for op in corners]
+        rows.setdefault("1-out-of-8", []).append(
+            f"{flip_percent(group.bits, observations):4.1f}"
+        )
+
+        def ms_provider(op, n=n):
+            return MaitiSchaumontPUF.tensor_from_units(
+                board.delays_at(op), stage_count=n
+            )
+
+        ms = MaitiSchaumontPUF(stage_delay_provider=ms_provider)
+        ms_enrollment = ms.enroll(dataset.nominal)
+        observations = [ms.response(op, ms_enrollment) for op in corners]
+        rows.setdefault("maiti-schaumont", []).append(
+            f"{flip_percent(ms_enrollment.bits, observations):4.1f}"
+        )
+
+    for scheme, cells in rows.items():
+        print(f"{scheme:>16} " + " ".join(cells))
+
+
+if __name__ == "__main__":
+    main()

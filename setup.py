@@ -1,0 +1,6 @@
+"""Setup shim so `python setup.py develop` works on machines without the
+`wheel` package (offline environments); `pip install -e .` is preferred."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,119 @@
+"""ECC-cost analysis: what error correction would each scheme need?
+
+Sec. III.C's third advantage: because the configurable PUF can refuse
+low-margin pairs, "this can eliminate the cost of ECC circuitry".  This
+module prices that claim.  Given a scheme's measured per-bit error rate,
+it sizes the smallest BCH code that brings a key block's failure rate
+under a target, and reports the implied storage/parity overhead.  The
+traditional PUF's percent-level error rates demand a real code; the
+configurable PUF's near-zero rates need none (or a trivial one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy.stats import binom
+
+from ..crypto.ecc import BCHCode
+
+__all__ = ["EccRequirement", "block_failure_probability", "required_bch_strength"]
+
+
+def block_failure_probability(
+    bit_error_rate: float, code_length: int, correctable: int
+) -> float:
+    """P(more than ``correctable`` of ``code_length`` bits flip)."""
+    if not 0.0 <= bit_error_rate <= 1.0:
+        raise ValueError("bit_error_rate must be in [0, 1]")
+    if code_length < 1 or correctable < 0:
+        raise ValueError("invalid code parameters")
+    return float(1.0 - binom.cdf(correctable, code_length, bit_error_rate))
+
+
+@dataclass(frozen=True)
+class EccRequirement:
+    """The smallest BCH code meeting a failure target.
+
+    Attributes:
+        scheme: label of the PUF scheme analysed.
+        bit_error_rate: measured per-bit flip probability.
+        m: BCH field degree (code length ``2^m - 1``).
+        t: required correction capability (0 = no ECC needed).
+        code_length / message_bits: resulting code dimensions.
+        failure_probability: residual block failure probability.
+        overhead_bits_per_key_bit: (parity + helper) bits stored per
+            extracted key bit; 0 when no ECC is needed.
+    """
+
+    scheme: str
+    bit_error_rate: float
+    m: int
+    t: int
+    code_length: int
+    message_bits: int
+    failure_probability: float
+    overhead_bits_per_key_bit: float
+
+    @property
+    def needs_ecc(self) -> bool:
+        return self.t > 0
+
+
+def required_bch_strength(
+    scheme: str,
+    bit_error_rate: float,
+    target_failure: float = 1e-6,
+    m: int = 7,
+) -> EccRequirement:
+    """Size the smallest BCH(2^m - 1, k, t) meeting the failure target.
+
+    Args:
+        scheme: label for reports.
+        bit_error_rate: per-bit flip probability of the PUF.
+        target_failure: acceptable probability that a codeword decodes
+            wrongly (per block).
+        m: BCH field degree to search within.
+
+    Raises:
+        ValueError: when even the strongest code of this length falls
+            short of the target.
+    """
+    if not 0.0 < target_failure < 1.0:
+        raise ValueError("target_failure must be in (0, 1)")
+    code_length = 2**m - 1
+    for t in range(0, code_length // 2):
+        failure = block_failure_probability(bit_error_rate, code_length, t)
+        if failure > target_failure:
+            continue
+        if t == 0:
+            return EccRequirement(
+                scheme=scheme,
+                bit_error_rate=bit_error_rate,
+                m=m,
+                t=0,
+                code_length=code_length,
+                message_bits=code_length,
+                failure_probability=failure,
+                overhead_bits_per_key_bit=0.0,
+            )
+        try:
+            code = BCHCode(m=m, t=t)
+        except ValueError:
+            break  # generator swallowed every message bit: no such code
+        # Helper data stores the n-bit code offset; parity is implicit in
+        # it, so total stored bits per key bit = n / k.
+        return EccRequirement(
+            scheme=scheme,
+            bit_error_rate=bit_error_rate,
+            m=m,
+            t=code.t,
+            code_length=code.n,
+            message_bits=code.k,
+            failure_probability=failure,
+            overhead_bits_per_key_bit=code.n / code.k,
+        )
+    raise ValueError(
+        f"no BCH code of length {code_length} reaches failure "
+        f"{target_failure} at bit error rate {bit_error_rate}"
+    )

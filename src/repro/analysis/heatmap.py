@@ -1,0 +1,74 @@
+"""ASCII die heatmaps: visualise spatial delay structure in a terminal.
+
+Used by the dataset-tour example and handy when debugging the distiller:
+the systematic field shows up as a smooth gradient across the die, and a
+well-distilled board looks like salt-and-pepper noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_heatmap", "board_heatmap"]
+
+#: Shading ramp from low to high.
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(values: np.ndarray, width: int | None = None) -> str:
+    """Render a 2-D array as shaded ASCII (row 0 on top).
+
+    Args:
+        values: 2-D numeric array.
+        width: optional horizontal repetition factor per cell (default 2,
+            which roughly squares the character aspect ratio).
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2 or values.size == 0:
+        raise ValueError(f"expected a non-empty 2-D array, got {values.shape}")
+    repeat = 2 if width is None else width
+    if repeat < 1:
+        raise ValueError("width must be >= 1")
+    low = float(np.min(values))
+    high = float(np.max(values))
+    span = high - low
+    if span == 0.0:
+        normalised = np.zeros_like(values)
+    else:
+        normalised = (values - low) / span
+    indices = np.minimum(
+        (normalised * len(_RAMP)).astype(int), len(_RAMP) - 1
+    )
+    lines = []
+    for row in indices:
+        lines.append("".join(_RAMP[i] * repeat for i in row))
+    return "\n".join(lines)
+
+
+def board_heatmap(
+    delays: np.ndarray, coords: np.ndarray, columns: int | None = None
+) -> str:
+    """Heatmap of per-device delays placed by their die coordinates.
+
+    Devices are assumed to lie on a regular grid (as all datasets here do);
+    the grid shape is inferred from the distinct coordinate values.
+    """
+    delays = np.asarray(delays, dtype=float)
+    coords = np.asarray(coords, dtype=float)
+    if coords.shape != (len(delays), 2):
+        raise ValueError(
+            f"coords shape {coords.shape} does not match {len(delays)} delays"
+        )
+    xs = np.unique(coords[:, 0])
+    ys = np.unique(coords[:, 1])
+    if columns is not None and len(xs) != columns:
+        raise ValueError(
+            f"inferred {len(xs)} columns but caller expected {columns}"
+        )
+    grid = np.full((len(ys), len(xs)), np.nan)
+    x_index = {x: i for i, x in enumerate(xs)}
+    y_index = {y: i for i, y in enumerate(ys)}
+    for value, (x, y) in zip(delays, coords):
+        grid[y_index[y], x_index[x]] = value
+    filled = np.where(np.isnan(grid), np.nanmean(grid), grid)
+    return ascii_heatmap(filled)

@@ -1,0 +1,48 @@
+"""Text histograms for terminal-friendly figures (Fig. 3, Fig. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bar_chart", "histogram_lines"]
+
+
+def bar_chart(
+    labels: list[str],
+    values: np.ndarray,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart: one labelled bar per value."""
+    values = np.asarray(values, dtype=float)
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    peak = float(np.max(values)) if len(values) and np.max(values) > 0 else 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def histogram_lines(
+    bin_centers: np.ndarray,
+    counts: np.ndarray,
+    width: int = 50,
+    skip_empty_tails: bool = True,
+) -> str:
+    """Text rendering of a pre-binned histogram."""
+    bin_centers = np.asarray(bin_centers)
+    counts = np.asarray(counts, dtype=float)
+    if bin_centers.shape != counts.shape:
+        raise ValueError("bin_centers and counts must align")
+    if skip_empty_tails and np.any(counts > 0):
+        nonzero = np.nonzero(counts)[0]
+        lo, hi = int(nonzero[0]), int(nonzero[-1]) + 1
+        bin_centers = bin_centers[lo:hi]
+        counts = counts[lo:hi]
+    labels = [f"{c:g}" for c in bin_centers]
+    return bar_chart(labels, counts, width=width)

@@ -1,0 +1,70 @@
+"""ASCII table rendering for experiment reports.
+
+Every experiment prints tables shaped like the paper's, so results can be
+eyeballed against the original side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "format_percent"]
+
+
+def format_percent(value: float, decimals: int = 2) -> str:
+    """Render a percentage like the paper's tables (``"38.3"``, ``"~0"``).
+
+    Values below 0.001% that are not exactly zero render as ``"~0"``,
+    matching Table IV's convention.
+    """
+    if value == 0.0:
+        return "0"
+    if value < 0.001:
+        return "~0"
+    return f"{value:.{decimals}g}" if value < 10 else f"{value:.3g}"
+
+
+@dataclass
+class Table:
+    """A simple column-aligned ASCII table.
+
+    Attributes:
+        headers: column titles.
+        rows: cell values (converted with ``str``).
+        title: optional caption printed above the table.
+    """
+
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, *cells) -> None:
+        """Append one row; must match the header count."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """Render the table with aligned columns."""
+        cells = [[str(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(self.headers[i]), *(len(row[i]) for row in cells))
+            if cells
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

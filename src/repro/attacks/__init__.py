@@ -1,0 +1,23 @@
+"""Attack analyses backing the paper's security arguments.
+
+* :mod:`~repro.attacks.config_leakage` — quantifies the equal-selected-
+  count constraint of Sec. III.D (unequal counts leak the bit);
+* :mod:`~repro.attacks.model_attack` — demonstrates the modeling attack on
+  challenge-configurable (reconfigurable) RO PUFs the paper's related-work
+  section warns about;
+* :mod:`~repro.attacks.logistic` — the self-contained learner both use.
+"""
+
+from .config_leakage import LeakageResult, config_features, evaluate_config_leakage
+from .logistic import LogisticRegression
+from .model_attack import ModelAttackResult, evaluate_model_attack, ms_response
+
+__all__ = [
+    "LeakageResult",
+    "config_features",
+    "evaluate_config_leakage",
+    "LogisticRegression",
+    "ModelAttackResult",
+    "evaluate_model_attack",
+    "ms_response",
+]

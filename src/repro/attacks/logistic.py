@@ -1,0 +1,82 @@
+"""A minimal logistic-regression learner (no external ML dependencies).
+
+Used by the attack analyses to measure how much information about a PUF
+bit leaks through observable side data (configuration vectors, challenge
+words).  Plain batch gradient descent with L2 regularisation is entirely
+adequate at these scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LogisticRegression"]
+
+
+@dataclass
+class LogisticRegression:
+    """Binary logistic regression trained by batch gradient descent.
+
+    Attributes:
+        learning_rate: gradient step size.
+        epochs: number of full-batch passes.
+        l2: L2 regularisation strength on the weights (not the bias).
+    """
+
+    learning_rate: float = 0.5
+    epochs: int = 300
+    l2: float = 1e-3
+    weights: np.ndarray = field(init=False, default=None)
+    bias: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0.0:
+            raise ValueError("learning_rate must be positive")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.l2 < 0.0:
+            raise ValueError("l2 must be non-negative")
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -30.0, 30.0)))
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        """Train on a (samples, features) matrix and boolean labels."""
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels).astype(float).ravel()
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        if len(labels) != features.shape[0]:
+            raise ValueError(
+                f"{features.shape[0]} samples but {len(labels)} labels"
+            )
+        samples, width = features.shape
+        self.weights = np.zeros(width)
+        self.bias = 0.0
+        for _ in range(self.epochs):
+            predictions = self._sigmoid(features @ self.weights + self.bias)
+            error = predictions - labels
+            gradient_w = features.T @ error / samples + self.l2 * self.weights
+            gradient_b = float(np.mean(error))
+            self.weights -= self.learning_rate * gradient_w
+            self.bias -= self.learning_rate * gradient_b
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """P(label = 1) for each sample."""
+        if self.weights is None:
+            raise RuntimeError("model is not fitted")
+        features = np.asarray(features, dtype=float)
+        return self._sigmoid(features @ self.weights + self.bias)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Hard 0/1 predictions."""
+        return self.predict_proba(features) >= 0.5
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Fraction of correct predictions."""
+        labels = np.asarray(labels).astype(bool).ravel()
+        return float(np.mean(self.predict(features) == labels))

@@ -1,0 +1,107 @@
+"""Modeling attack on challenge-configurable RO PUFs (the paper's [16]
+argument).
+
+The paper distinguishes its *fixed-after-configuration* PUF from
+reconfigurable PUFs whose configuration doubles as a challenge, noting the
+latter "are vulnerable to attacks such as modeling and machine learning".
+This module demonstrates the vulnerability concretely on the
+Maiti-Schaumont configurable RO pair: the response bit is the sign of a
+function *linear* in the per-stage choice bits, so logistic regression
+learns it from a handful of challenge-response pairs.
+
+Our paper's PUF exposes no challenge interface (one fixed configuration is
+burned in at test time), so this attack surface simply does not exist for
+it — which is the point the comparison makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .logistic import LogisticRegression
+
+__all__ = ["ModelAttackResult", "ms_response", "evaluate_model_attack"]
+
+
+def ms_response(
+    top_stage_delays: np.ndarray,
+    bottom_stage_delays: np.ndarray,
+    word: np.ndarray,
+) -> bool:
+    """Maiti-Schaumont response to a challenge word (one bit).
+
+    The word picks one of the two candidate inverters at every stage, in
+    *both* rings; the bit is the sign of the resulting delay difference.
+    """
+    top = np.asarray(top_stage_delays, dtype=float)
+    bottom = np.asarray(bottom_stage_delays, dtype=float)
+    word = np.asarray(word, dtype=int)
+    if top.shape != bottom.shape or top.ndim != 2 or top.shape[1] != 2:
+        raise ValueError("stage delays must both be (stages, 2)")
+    if word.shape != (top.shape[0],):
+        raise ValueError(
+            f"word length {word.shape} does not match {top.shape[0]} stages"
+        )
+    idx = np.arange(top.shape[0])
+    margin = float(np.sum(top[idx, word]) - np.sum(bottom[idx, word]))
+    return margin > 0.0
+
+
+@dataclass
+class ModelAttackResult:
+    """Outcome of the CRP modeling attack.
+
+    Attributes:
+        train_crps: challenge-response pairs given to the attacker.
+        accuracy: prediction accuracy on unseen challenges.
+        chance: majority-class baseline on the test challenges.
+    """
+
+    train_crps: int
+    accuracy: float
+    chance: float
+
+    @property
+    def advantage(self) -> float:
+        return self.accuracy - self.chance
+
+
+def evaluate_model_attack(
+    stage_count: int = 12,
+    train_crps: int = 200,
+    test_crps: int = 500,
+    seed: int = 0,
+) -> ModelAttackResult:
+    """Train a model of a random Maiti-Schaumont pair from observed CRPs."""
+    if stage_count < 2:
+        raise ValueError("stage_count must be >= 2")
+    if train_crps < 8 or test_crps < 8:
+        raise ValueError("need at least 8 train and test CRPs")
+    rng = np.random.default_rng(seed)
+    top = rng.normal(1.0, 0.03, (stage_count, 2))
+    bottom = rng.normal(1.0, 0.03, (stage_count, 2))
+    # Match the pair's mean delays (as a real deployment would, by placing
+    # identical ring pairs side by side): otherwise one ring dominates for
+    # every challenge word and the response carries no challenge-dependent
+    # information to model in the first place.
+    bottom = bottom - (np.mean(bottom) - np.mean(top))
+
+    def sample_crps(count: int) -> tuple[np.ndarray, np.ndarray]:
+        words = rng.integers(0, 2, size=(count, stage_count))
+        responses = np.array(
+            [ms_response(top, bottom, word) for word in words]
+        )
+        return words.astype(float), responses
+
+    train_x, train_y = sample_crps(train_crps)
+    test_x, test_y = sample_crps(test_crps)
+    model = LogisticRegression(epochs=2000, learning_rate=1.0).fit(
+        train_x, train_y
+    )
+    accuracy = model.accuracy(test_x, test_y)
+    chance = float(max(np.mean(test_y), 1.0 - np.mean(test_y)))
+    return ModelAttackResult(
+        train_crps=train_crps, accuracy=accuracy, chance=chance
+    )

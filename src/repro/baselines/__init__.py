@@ -1,0 +1,56 @@
+"""Baseline RO PUF schemes the paper compares against.
+
+* traditional RO PUF (all inverters in the ring);
+* 1-out-of-8 of Suh & Devadas [1];
+* R_th reliability-threshold masking (Sec. IV.E);
+* Maiti & Schaumont's two-inverters-per-stage configurable RO PUF [14].
+"""
+
+from .cooperative import (
+    CooperativeEnrollment,
+    CooperativeROPUF,
+    bits_per_group,
+    lehmer_decode,
+    lehmer_encode,
+    permutation_to_bits,
+)
+from .maiti_schaumont import (
+    MaitiSchaumontPUF,
+    MSEnrollment,
+    MSPairSelection,
+    select_best_word,
+    select_best_word_exhaustive,
+)
+from .one_out_of_eight import GroupEnrollment, OneOutOfEightPUF
+from .threshold import ThresholdSweep, reliable_bit_count, yield_vs_threshold
+from .traditional import traditional_puf
+from .xin_kaps_gaj import (
+    XinKapsGajPUF,
+    XKGEnrollment,
+    XKGPairSelection,
+    select_best_variant_word,
+)
+
+__all__ = [
+    "CooperativeEnrollment",
+    "CooperativeROPUF",
+    "bits_per_group",
+    "lehmer_decode",
+    "lehmer_encode",
+    "permutation_to_bits",
+    "MaitiSchaumontPUF",
+    "MSEnrollment",
+    "MSPairSelection",
+    "select_best_word",
+    "select_best_word_exhaustive",
+    "GroupEnrollment",
+    "OneOutOfEightPUF",
+    "ThresholdSweep",
+    "reliable_bit_count",
+    "yield_vs_threshold",
+    "traditional_puf",
+    "XinKapsGajPUF",
+    "XKGEnrollment",
+    "XKGPairSelection",
+    "select_best_variant_word",
+]

@@ -1,0 +1,205 @@
+"""The configurable RO PUF of Maiti & Schaumont (FPL 2009) — ref [14].
+
+Related work the paper positions itself against: every RO stage contains a
+MUX choosing one of *two* inverters, so a 3-stage ring offers 8
+configurations.  Enrollment applies the same configuration word to both
+rings of a pair and keeps the word with the largest frequency difference.
+Unlike the paper's scheme, the configuration space grows as ``2**n`` (not
+"include/bypass" per stage), every stage always contributes one inverter,
+and the ring consumes two inverters of area per stage.
+
+Because the objective separates per stage — each stage independently adds
+``a_i[c_i] - b_i[c_i]`` to the pair difference — the best word for each sign
+direction can be found stage-wise in O(n); an exhaustive search over the
+``2**n`` words is provided for verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+from ..variation.noise import MeasurementNoise, NoiselessMeasurement
+
+__all__ = [
+    "select_best_word",
+    "select_best_word_exhaustive",
+    "MSPairSelection",
+    "MaitiSchaumontPUF",
+    "MSEnrollment",
+]
+
+
+@dataclass(frozen=True)
+class MSPairSelection:
+    """Chosen configuration word and margin for one Maiti-Schaumont pair.
+
+    Attributes:
+        word: per-stage inverter choices (0 or 1), applied to both rings.
+        margin: signed delay difference (top minus bottom) under the word.
+    """
+
+    word: tuple[int, ...]
+    margin: float
+
+    @property
+    def bit(self) -> bool:
+        return self.margin > 0.0
+
+
+def _validate_stage_delays(stage_delays: np.ndarray) -> np.ndarray:
+    stage_delays = np.asarray(stage_delays, dtype=float)
+    if stage_delays.ndim != 2 or stage_delays.shape[1] != 2:
+        raise ValueError(
+            f"stage delays must have shape (stages, 2), got {stage_delays.shape}"
+        )
+    if stage_delays.shape[0] == 0:
+        raise ValueError("a ring needs at least one stage")
+    return stage_delays
+
+
+def select_best_word(
+    top_stage_delays: np.ndarray, bottom_stage_delays: np.ndarray
+) -> MSPairSelection:
+    """Stage-wise optimal configuration word for one RO pair.
+
+    Args:
+        top_stage_delays: ``(stages, 2)`` inverter delays of the top ring.
+        bottom_stage_delays: same for the bottom ring.
+    """
+    top = _validate_stage_delays(top_stage_delays)
+    bottom = _validate_stage_delays(bottom_stage_delays)
+    if top.shape != bottom.shape:
+        raise ValueError(
+            f"ring shapes differ: {top.shape} vs {bottom.shape}"
+        )
+    per_choice = top - bottom  # (stages, 2): margin contribution per choice
+    word_positive = np.argmax(per_choice, axis=1)
+    margin_positive = float(np.sum(np.max(per_choice, axis=1)))
+    word_negative = np.argmin(per_choice, axis=1)
+    margin_negative = float(np.sum(np.min(per_choice, axis=1)))
+    if abs(margin_positive) >= abs(margin_negative):
+        return MSPairSelection(tuple(int(c) for c in word_positive), margin_positive)
+    return MSPairSelection(tuple(int(c) for c in word_negative), margin_negative)
+
+
+def select_best_word_exhaustive(
+    top_stage_delays: np.ndarray, bottom_stage_delays: np.ndarray
+) -> MSPairSelection:
+    """Brute force over all ``2**stages`` words (verification reference)."""
+    top = _validate_stage_delays(top_stage_delays)
+    bottom = _validate_stage_delays(bottom_stage_delays)
+    stages = top.shape[0]
+    if stages > 16:
+        raise ValueError(f"exhaustive search supports up to 16 stages, got {stages}")
+    best: MSPairSelection | None = None
+    for code in range(2**stages):
+        word = tuple((code >> i) & 1 for i in range(stages))
+        choices = np.array(word)
+        margin = float(
+            np.sum(top[np.arange(stages), choices])
+            - np.sum(bottom[np.arange(stages), choices])
+        )
+        if best is None or abs(margin) > abs(best.margin):
+            best = MSPairSelection(word, margin)
+    assert best is not None
+    return best
+
+
+@dataclass
+class MSEnrollment:
+    """Enrollment record of a Maiti-Schaumont PUF."""
+
+    operating_point: OperatingPoint
+    selections: list[MSPairSelection]
+    bits: np.ndarray
+    margins: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.bits = np.asarray(self.bits, dtype=bool)
+        self.margins = np.asarray(self.margins, dtype=float)
+
+    @property
+    def bit_count(self) -> int:
+        return len(self.bits)
+
+
+@dataclass
+class MaitiSchaumontPUF:
+    """Maiti-Schaumont configurable RO PUF over stage-delay tensors.
+
+    Attributes:
+        stage_delay_provider: operating point -> ``(pairs, 2, stages, 2)``
+            tensor: axis 1 is top/bottom ring, axis 3 the two candidate
+            inverters per stage.
+        response_noise: noise on ring-delay sums at response time.
+        rng: generator driving the response noise.
+    """
+
+    stage_delay_provider: Callable[[OperatingPoint], np.ndarray]
+    response_noise: MeasurementNoise = field(default_factory=NoiselessMeasurement)
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def _delays(self, op: OperatingPoint) -> np.ndarray:
+        tensor = np.asarray(self.stage_delay_provider(op), dtype=float)
+        if tensor.ndim != 4 or tensor.shape[1] != 2 or tensor.shape[3] != 2:
+            raise ValueError(
+                "stage delays must have shape (pairs, 2, stages, 2), got "
+                f"{tensor.shape}"
+            )
+        return tensor
+
+    def enroll(self, op: OperatingPoint = NOMINAL_OPERATING_POINT) -> MSEnrollment:
+        """Choose the best configuration word for every pair."""
+        tensor = self._delays(op)
+        selections = [
+            select_best_word(tensor[pair, 0], tensor[pair, 1])
+            for pair in range(tensor.shape[0])
+        ]
+        return MSEnrollment(
+            operating_point=op,
+            selections=selections,
+            bits=np.array([s.bit for s in selections]),
+            margins=np.array([s.margin for s in selections]),
+        )
+
+    def response(self, op: OperatingPoint, enrollment: MSEnrollment) -> np.ndarray:
+        """Re-compare the enrolled words at another operating point."""
+        tensor = self._delays(op)
+        stages = tensor.shape[2]
+        top_delays = np.empty(len(enrollment.selections))
+        bottom_delays = np.empty(len(enrollment.selections))
+        for pair, selection in enumerate(enrollment.selections):
+            choices = np.array(selection.word)
+            idx = np.arange(stages)
+            top_delays[pair] = np.sum(tensor[pair, 0, idx, choices])
+            bottom_delays[pair] = np.sum(tensor[pair, 1, idx, choices])
+        top_observed = self.response_noise.observe(top_delays, self.rng)
+        bottom_observed = self.response_noise.observe(bottom_delays, self.rng)
+        return top_observed > bottom_observed
+
+    @staticmethod
+    def tensor_from_units(unit_delays: np.ndarray, stage_count: int) -> np.ndarray:
+        """Carve a flat unit-delay vector into the (pairs, 2, stages, 2) tensor.
+
+        Each ring consumes ``2 * stage_count`` consecutive units (two
+        candidate inverters per stage); rings are paired consecutively.
+        """
+        unit_delays = np.asarray(unit_delays, dtype=float)
+        if unit_delays.ndim != 1:
+            raise ValueError("unit_delays must be 1-D")
+        if stage_count < 1:
+            raise ValueError("stage_count must be >= 1")
+        units_per_ring = 2 * stage_count
+        ring_count = len(unit_delays) // units_per_ring
+        pair_count = ring_count // 2
+        if pair_count == 0:
+            raise ValueError(
+                f"{len(unit_delays)} units cannot host a pair of "
+                f"{stage_count}-stage Maiti-Schaumont rings"
+            )
+        used = unit_delays[: pair_count * 2 * units_per_ring]
+        return used.reshape(pair_count, 2, stage_count, 2)

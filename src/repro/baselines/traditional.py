@@ -1,0 +1,38 @@
+"""The traditional (non-configurable) RO PUF baseline.
+
+Every inverter participates in the ring; the bit is the sign of the pair's
+total delay difference.  This is :class:`~repro.core.puf.BoardROPUF` with
+``method="traditional"``; the factory here exists so baseline construction
+reads explicitly in experiment code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.pairing import RingAllocation
+from ..core.puf import BoardROPUF
+from ..variation.environment import OperatingPoint
+from ..variation.noise import MeasurementNoise, NoiselessMeasurement
+
+__all__ = ["traditional_puf"]
+
+
+def traditional_puf(
+    delay_provider: Callable[[OperatingPoint], np.ndarray],
+    allocation: RingAllocation,
+    response_noise: MeasurementNoise | None = None,
+    rng: np.random.Generator | None = None,
+) -> BoardROPUF:
+    """Build the traditional RO PUF baseline over a board's delays."""
+    return BoardROPUF(
+        delay_provider=delay_provider,
+        allocation=allocation,
+        method="traditional",
+        response_noise=response_noise
+        if response_noise is not None
+        else NoiselessMeasurement(),
+        rng=rng if rng is not None else np.random.default_rng(),
+    )

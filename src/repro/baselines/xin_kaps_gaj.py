@@ -1,0 +1,177 @@
+"""The Xin-Kaps-Gaj configurable RO PUF (DSD 2011) — the paper's ref [15].
+
+An improvement over Maiti-Schaumont [14]: by exploiting unused LUT inputs,
+each 3-stage RO offers 256 configurations instead of 8 while occupying the
+same single CLB.  We model it as a generalised per-stage-variant ring:
+every stage holds ``variants_per_stage`` candidate delay elements, and the
+configuration word picks one per stage (Maiti-Schaumont is the
+``variants_per_stage = 2`` special case).
+
+As with [14], enrollment applies the same word to both rings of a pair and
+keeps the word with the largest delay difference — stage-wise separable,
+so the optimum is found in O(stages * variants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+from ..variation.noise import MeasurementNoise, NoiselessMeasurement
+
+__all__ = ["XKGPairSelection", "XKGEnrollment", "XinKapsGajPUF", "select_best_variant_word"]
+
+
+@dataclass(frozen=True)
+class XKGPairSelection:
+    """Chosen variant word and margin for one pair.
+
+    Attributes:
+        word: per-stage variant indices, applied to both rings.
+        margin: signed delay difference (top minus bottom) under the word.
+        configurations: size of the explored configuration space.
+    """
+
+    word: tuple[int, ...]
+    margin: float
+    configurations: int
+
+    @property
+    def bit(self) -> bool:
+        return self.margin > 0.0
+
+
+def _validate_stage_variants(stage_delays: np.ndarray) -> np.ndarray:
+    stage_delays = np.asarray(stage_delays, dtype=float)
+    if stage_delays.ndim != 2 or stage_delays.shape[1] < 2:
+        raise ValueError(
+            "stage delays must be (stages, variants>=2), got "
+            f"{stage_delays.shape}"
+        )
+    if stage_delays.shape[0] == 0:
+        raise ValueError("a ring needs at least one stage")
+    return stage_delays
+
+
+def select_best_variant_word(
+    top_stage_delays: np.ndarray, bottom_stage_delays: np.ndarray
+) -> XKGPairSelection:
+    """Stage-wise optimal variant word (both sign directions considered)."""
+    top = _validate_stage_variants(top_stage_delays)
+    bottom = _validate_stage_variants(bottom_stage_delays)
+    if top.shape != bottom.shape:
+        raise ValueError(f"ring shapes differ: {top.shape} vs {bottom.shape}")
+    per_choice = top - bottom
+    word_positive = np.argmax(per_choice, axis=1)
+    margin_positive = float(np.sum(np.max(per_choice, axis=1)))
+    word_negative = np.argmin(per_choice, axis=1)
+    margin_negative = float(np.sum(np.min(per_choice, axis=1)))
+    configurations = int(top.shape[1]) ** int(top.shape[0])
+    if abs(margin_positive) >= abs(margin_negative):
+        word, margin = word_positive, margin_positive
+    else:
+        word, margin = word_negative, margin_negative
+    return XKGPairSelection(
+        word=tuple(int(c) for c in word),
+        margin=margin,
+        configurations=configurations,
+    )
+
+
+@dataclass
+class XKGEnrollment:
+    """Enrollment record of a Xin-Kaps-Gaj PUF."""
+
+    operating_point: OperatingPoint
+    selections: list[XKGPairSelection]
+    bits: np.ndarray
+    margins: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.bits = np.asarray(self.bits, dtype=bool)
+        self.margins = np.asarray(self.margins, dtype=float)
+
+    @property
+    def bit_count(self) -> int:
+        return len(self.bits)
+
+
+@dataclass
+class XinKapsGajPUF:
+    """Per-stage-variant configurable RO PUF over stage-delay tensors.
+
+    Attributes:
+        stage_delay_provider: operating point ->
+            ``(pairs, 2, stages, variants)`` tensor (axis 1 is top/bottom).
+        response_noise: noise on ring-delay sums at response time.
+        rng: generator for the response noise.
+    """
+
+    stage_delay_provider: Callable[[OperatingPoint], np.ndarray]
+    response_noise: MeasurementNoise = field(default_factory=NoiselessMeasurement)
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def _delays(self, op: OperatingPoint) -> np.ndarray:
+        tensor = np.asarray(self.stage_delay_provider(op), dtype=float)
+        if tensor.ndim != 4 or tensor.shape[1] != 2 or tensor.shape[3] < 2:
+            raise ValueError(
+                "stage delays must have shape (pairs, 2, stages, variants>=2),"
+                f" got {tensor.shape}"
+            )
+        return tensor
+
+    def enroll(self, op: OperatingPoint = NOMINAL_OPERATING_POINT) -> XKGEnrollment:
+        """Choose the best variant word for every pair."""
+        tensor = self._delays(op)
+        selections = [
+            select_best_variant_word(tensor[pair, 0], tensor[pair, 1])
+            for pair in range(tensor.shape[0])
+        ]
+        return XKGEnrollment(
+            operating_point=op,
+            selections=selections,
+            bits=np.array([s.bit for s in selections]),
+            margins=np.array([s.margin for s in selections]),
+        )
+
+    def response(self, op: OperatingPoint, enrollment: XKGEnrollment) -> np.ndarray:
+        """Re-compare the enrolled words at another operating point."""
+        tensor = self._delays(op)
+        stages = tensor.shape[2]
+        top_delays = np.empty(len(enrollment.selections))
+        bottom_delays = np.empty(len(enrollment.selections))
+        idx = np.arange(stages)
+        for pair, selection in enumerate(enrollment.selections):
+            choices = np.array(selection.word)
+            top_delays[pair] = np.sum(tensor[pair, 0, idx, choices])
+            bottom_delays[pair] = np.sum(tensor[pair, 1, idx, choices])
+        top_observed = self.response_noise.observe(top_delays, self.rng)
+        bottom_observed = self.response_noise.observe(bottom_delays, self.rng)
+        return top_observed > bottom_observed
+
+    @staticmethod
+    def tensor_from_units(
+        unit_delays: np.ndarray, stage_count: int, variants_per_stage: int = 4
+    ) -> np.ndarray:
+        """Carve a flat unit-delay vector into the XKG tensor.
+
+        Each ring consumes ``stage_count * variants_per_stage`` consecutive
+        units; rings pair consecutively.
+        """
+        unit_delays = np.asarray(unit_delays, dtype=float)
+        if unit_delays.ndim != 1:
+            raise ValueError("unit_delays must be 1-D")
+        if stage_count < 1 or variants_per_stage < 2:
+            raise ValueError("need stage_count >= 1 and variants >= 2")
+        units_per_ring = stage_count * variants_per_stage
+        pair_count = len(unit_delays) // (2 * units_per_ring)
+        if pair_count == 0:
+            raise ValueError(
+                f"{len(unit_delays)} units cannot host an XKG ring pair of "
+                f"{stage_count} stages x {variants_per_stage} variants"
+            )
+        used = unit_delays[: pair_count * 2 * units_per_ring]
+        return used.reshape(pair_count, 2, stage_count, variants_per_stage)

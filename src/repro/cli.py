@@ -1,0 +1,234 @@
+"""Command-line entry points: regenerate every paper table and figure.
+
+Usage (installed as the ``ropuf`` script, or ``python -m repro``)::
+
+    ropuf table1           # NIST battery, Case-1 (Table I)
+    ropuf table2           # NIST battery, Case-2 (Table II)
+    ropuf fig3             # uniqueness histograms (Fig. 3)
+    ropuf table3           # Case-1 configuration HDs (Table III)
+    ropuf table4           # Case-2 configuration HDs (Table IV)
+    ropuf fig4             # voltage-reliability sweep (Fig. 4)
+    ropuf temperature      # temperature-reliability sweep (Sec. IV.D)
+    ropuf table5           # bits per board (Table V)
+    ropuf threshold        # R_th sweep (Sec. IV.E)
+    ropuf ablations        # A1-A3 ablation studies
+    ropuf all              # everything above
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_dataset(args):
+    """The dataset an experiment should run on: real files or synthetic."""
+    data_dir = getattr(args, "data", None)
+    if data_dir is None:
+        return None  # experiments fall back to the cached synthetic dataset
+    from .datasets.vtlike import load_vt_directory
+
+    return load_vt_directory(data_dir)
+
+
+def _cmd_table1(args) -> str:
+    from .experiments.nist_tables import format_result, run_nist_experiment
+
+    return format_result(
+        run_nist_experiment(
+            _load_dataset(args), method="case1", distilled=not args.raw
+        )
+    )
+
+
+def _cmd_table2(args) -> str:
+    from .experiments.nist_tables import format_result, run_nist_experiment
+
+    return format_result(
+        run_nist_experiment(
+            _load_dataset(args), method="case2", distilled=not args.raw
+        )
+    )
+
+
+def _cmd_fig3(args) -> str:
+    from .experiments.fig3_uniqueness import format_result, run_uniqueness_experiment
+
+    return format_result(
+        run_uniqueness_experiment(_load_dataset(args), distilled=not args.raw)
+    )
+
+
+def _cmd_table3(args) -> str:
+    from .experiments.config_tables import format_result, run_config_study
+
+    return format_result(run_config_study(_load_dataset(args), method="case1"))
+
+
+def _cmd_table4(args) -> str:
+    from .experiments.config_tables import format_result, run_config_study
+
+    return format_result(run_config_study(_load_dataset(args), method="case2"))
+
+
+def _cmd_fig4(args) -> str:
+    from .experiments.fig4_reliability import format_result, run_voltage_reliability
+
+    return format_result(
+        run_voltage_reliability(_load_dataset(args), method=args.method)
+    )
+
+
+def _cmd_temperature(args) -> str:
+    from .experiments.fig4_reliability import (
+        format_result,
+        run_temperature_reliability,
+    )
+
+    return format_result(
+        run_temperature_reliability(_load_dataset(args), method=args.method)
+    )
+
+
+def _cmd_table5(args) -> str:
+    from .experiments.table5_bits import format_result, run_table5
+
+    return format_result(run_table5())
+
+
+def _cmd_threshold(args) -> str:
+    from .experiments.sec4e_threshold import format_result, run_threshold_study
+
+    return format_result(run_threshold_study())
+
+
+def _cmd_ablations(args) -> str:
+    from .experiments.ablations import (
+        format_distiller_ablation,
+        format_noise_ablation,
+        format_selector_ablation,
+        run_distiller_ablation,
+        run_measurement_noise_ablation,
+        run_selector_ablation,
+    )
+
+    sections = [
+        format_distiller_ablation(run_distiller_ablation()),
+        format_selector_ablation(run_selector_ablation()),
+        format_noise_ablation(run_measurement_noise_ablation()),
+    ]
+    return "\n\n".join(sections)
+
+
+def _cmd_extensions(args) -> str:
+    from .experiments.extensions import (
+        format_aging_study,
+        format_ecc_cost_study,
+        format_leakage_study,
+        format_margin_scaling,
+        format_multicorner_study,
+        format_scheme_zoo,
+        run_aging_study,
+        run_ecc_cost_study,
+        run_leakage_study,
+        run_margin_scaling_study,
+        run_multicorner_study,
+        run_scheme_zoo,
+    )
+
+    dataset = _load_dataset(args)
+    sections = [
+        format_leakage_study(run_leakage_study(dataset)),
+        format_aging_study(run_aging_study()),
+        format_scheme_zoo(run_scheme_zoo(dataset)),
+        format_ecc_cost_study(run_ecc_cost_study(dataset)),
+        format_margin_scaling(run_margin_scaling_study()),
+        format_multicorner_study(run_multicorner_study(dataset)),
+    ]
+    return "\n\n".join(sections)
+
+
+def _cmd_report(args) -> str:
+    from .analysis.report import build_report
+
+    report = build_report()
+    output = getattr(args, "output", None) or "reproduction_report.md"
+    path = report.save(output)
+    verdict = "ALL CLAIMS HOLD" if report.all_claims_hold else "SOME CLAIMS FAIL"
+    failing = [c.claim for c in report.claims if not c.holds]
+    lines = [f"report written to {path}", verdict]
+    lines.extend(f"  failing: {claim}" for claim in failing)
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "fig3": _cmd_fig3,
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+    "fig4": _cmd_fig4,
+    "temperature": _cmd_temperature,
+    "table5": _cmd_table5,
+    "threshold": _cmd_threshold,
+    "ablations": _cmd_ablations,
+    "extensions": _cmd_extensions,
+    "report": _cmd_report,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="ropuf",
+        description=(
+            "Reproduce the evaluation of 'A Highly Flexible Ring Oscillator "
+            "PUF' (DAC 2014) on synthetic silicon."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name in list(_COMMANDS) + ["all"]:
+        sub = subparsers.add_parser(name, help=f"run the {name} experiment")
+        sub.add_argument(
+            "--raw",
+            action="store_true",
+            help="skip the systematic-variation distiller",
+        )
+        sub.add_argument(
+            "--data",
+            default=None,
+            help="directory of real measurement files (default: synthetic)",
+        )
+        sub.add_argument(
+            "--output",
+            default=None,
+            help="output path (report command)",
+        )
+        sub.add_argument(
+            "--method",
+            choices=("case1", "case2"),
+            default="case1",
+            help="configurable selection method (reliability sweeps)",
+        )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "all":
+        for name, command in _COMMANDS.items():
+            if name == "report":
+                continue  # the report re-runs everything; invoke explicitly
+            print(f"==== {name} " + "=" * max(0, 66 - len(name)))
+            print(command(args))
+            print()
+    else:
+        print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

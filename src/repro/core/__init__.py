@@ -1,0 +1,78 @@
+"""The paper's primary contribution: inverter-level configurable RO PUFs.
+
+Public surface:
+
+* :class:`ConfigVector`, :class:`DelayUnit`, :class:`ConfigurableRO` — the
+  Fig. 1 / Fig. 2 hardware structures;
+* measurement — the Sec. III.B chain-delay schemes that recover per-unit
+  ``ddiff`` values;
+* selection — the Sec. III.D Case-1 / Case-2 optimisers plus an exhaustive
+  reference;
+* :class:`RingAllocation` — Table V's carve-up of a board into rings;
+* :class:`BoardROPUF` / :class:`ChipROPUF` — enrollment and response
+  generation.
+"""
+
+from .config_vector import ConfigVector
+from .delay_unit import DelayUnit
+from .multicorner import (
+    select_case1_multicorner,
+    select_multicorner_exhaustive,
+    worst_case_margin,
+)
+from .measurement import (
+    DdiffEstimate,
+    DelayMeasurer,
+    leave_one_out_vectors,
+    measure_ddiffs_least_squares,
+    measure_ddiffs_leave_one_out,
+    random_config_set,
+    three_stage_ddiffs,
+)
+from .pairing import RING_COUNT_MULTIPLE, RingAllocation, allocate_rings, rings_per_board
+from .puf import SELECTION_METHODS, BoardROPUF, ChipROPUF, Enrollment
+from .ring import ConfigurableRO
+from .selection import (
+    PairSelection,
+    select_case1,
+    select_case2,
+    select_exhaustive,
+    select_traditional,
+)
+from .selection_ext import (
+    select_case1_offset,
+    select_case2_offset,
+    select_unconstrained,
+)
+
+__all__ = [
+    "ConfigVector",
+    "DelayUnit",
+    "ConfigurableRO",
+    "DdiffEstimate",
+    "DelayMeasurer",
+    "leave_one_out_vectors",
+    "measure_ddiffs_least_squares",
+    "measure_ddiffs_leave_one_out",
+    "random_config_set",
+    "three_stage_ddiffs",
+    "RING_COUNT_MULTIPLE",
+    "RingAllocation",
+    "allocate_rings",
+    "rings_per_board",
+    "SELECTION_METHODS",
+    "BoardROPUF",
+    "ChipROPUF",
+    "Enrollment",
+    "PairSelection",
+    "select_case1",
+    "select_case2",
+    "select_exhaustive",
+    "select_traditional",
+    "select_case1_offset",
+    "select_case2_offset",
+    "select_unconstrained",
+    "select_case1_multicorner",
+    "select_multicorner_exhaustive",
+    "worst_case_margin",
+]

@@ -1,0 +1,118 @@
+"""Configuration vectors: which delay units participate in a ring.
+
+The paper (Sec. III.A) calls the collection of all MUX selection bits of a
+configurable RO its *configuration vector*: bit ``i`` is 1 when the i-th
+inverter is included in the ring and 0 when the signal bypasses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ConfigVector"]
+
+
+@dataclass(frozen=True)
+class ConfigVector:
+    """An immutable configuration vector of a configurable RO.
+
+    Attributes:
+        bits: tuple of booleans; ``bits[i]`` selects inverter ``i``.
+    """
+
+    bits: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.bits) == 0:
+            raise ValueError("configuration vector cannot be empty")
+        object.__setattr__(self, "bits", tuple(bool(b) for b in self.bits))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_string(cls, text: str) -> "ConfigVector":
+        """Parse a vector from a bit string such as ``"110"`` (Sec. III.B)."""
+        if not text or any(c not in "01" for c in text):
+            raise ValueError(f"not a bit string: {text!r}")
+        return cls(tuple(c == "1" for c in text))
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "ConfigVector":
+        """Build a vector from any boolean/0-1 array-like."""
+        array = np.asarray(array)
+        return cls(tuple(bool(b) for b in array))
+
+    @classmethod
+    def all_selected(cls, length: int) -> "ConfigVector":
+        """The traditional-RO configuration: every inverter included."""
+        return cls((True,) * length)
+
+    @classmethod
+    def none_selected(cls, length: int) -> "ConfigVector":
+        """All-bypass configuration (measurable as a chain, cannot oscillate)."""
+        return cls((False,) * length)
+
+    @classmethod
+    def leave_one_out(cls, length: int, skipped: int) -> "ConfigVector":
+        """All inverters selected except ``skipped`` (measurement scheme)."""
+        if not 0 <= skipped < length:
+            raise ValueError(f"skipped index {skipped} out of range [0, {length})")
+        return cls(tuple(i != skipped for i in range(length)))
+
+    @classmethod
+    def single(cls, length: int, selected: int) -> "ConfigVector":
+        """Only inverter ``selected`` included."""
+        if not 0 <= selected < length:
+            raise ValueError(f"selected index {selected} out of range [0, {length})")
+        return cls(tuple(i == selected for i in range(length)))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def __iter__(self):
+        return iter(self.bits)
+
+    def __getitem__(self, index: int) -> bool:
+        return self.bits[index]
+
+    def as_array(self) -> np.ndarray:
+        """Boolean numpy view of the vector."""
+        return np.array(self.bits, dtype=bool)
+
+    def to_string(self) -> str:
+        """Render as a bit string, MSB-style left-to-right: ``"110"``."""
+        return "".join("1" if b else "0" for b in self.bits)
+
+    @property
+    def selected_count(self) -> int:
+        """Number of inverters included in the ring."""
+        return sum(self.bits)
+
+    @property
+    def selected_indices(self) -> tuple[int, ...]:
+        """Indices of the included inverters."""
+        return tuple(i for i, b in enumerate(self.bits) if b)
+
+    @property
+    def can_oscillate(self) -> bool:
+        """True when the configured ring has an odd number of inverters."""
+        return self.selected_count % 2 == 1
+
+    def hamming_distance(self, other: "ConfigVector") -> int:
+        """Number of differing selection bits between two vectors."""
+        if len(other) != len(self):
+            raise ValueError(
+                f"length mismatch: {len(self)} vs {len(other)}"
+            )
+        return sum(a != b for a, b in zip(self.bits, other.bits))
+
+    def __str__(self) -> str:
+        return self.to_string()

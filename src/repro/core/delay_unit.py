@@ -1,0 +1,66 @@
+"""Object view of a single delay unit (Fig. 2 of the paper).
+
+A delay unit is one inverter plus the 2-to-1 MUX after it.  Its contribution
+to the chain delay is ``d + d1`` when selected and ``d0`` when bypassed, so
+the quantity that selecting the unit *adds* to the chain is::
+
+    ddiff = d + d1 - d0
+
+which is exactly what the paper measures and what the selection algorithms
+consume.  This class is a convenience view over one index of a
+:class:`~repro.silicon.chip.Chip`; bulk code uses the chip's vectorised
+methods directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..silicon.chip import Chip
+from ..variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+
+__all__ = ["DelayUnit"]
+
+
+@dataclass(frozen=True)
+class DelayUnit:
+    """One inverter + MUX stage of a configurable RO.
+
+    Attributes:
+        chip: the chip this unit lives on.
+        index: the unit's index on the chip.
+    """
+
+    chip: Chip
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.chip.unit_count:
+            raise ValueError(
+                f"unit index {self.index} out of range "
+                f"[0, {self.chip.unit_count})"
+            )
+
+    def inverter_delay(self, op: OperatingPoint = NOMINAL_OPERATING_POINT) -> float:
+        """The inverter delay ``d`` in seconds."""
+        return float(self.chip.inverter_delays(op)[self.index])
+
+    def mux_selected_delay(self, op: OperatingPoint = NOMINAL_OPERATING_POINT) -> float:
+        """The MUX "1"-path delay ``d1`` in seconds."""
+        return float(self.chip.mux_selected_delays(op)[self.index])
+
+    def mux_bypass_delay(self, op: OperatingPoint = NOMINAL_OPERATING_POINT) -> float:
+        """The MUX "0"-path delay ``d0`` in seconds."""
+        return float(self.chip.mux_bypass_delays(op)[self.index])
+
+    def delay(
+        self, selected: bool, op: OperatingPoint = NOMINAL_OPERATING_POINT
+    ) -> float:
+        """Contribution to the chain delay given the selection bit."""
+        if selected:
+            return self.inverter_delay(op) + self.mux_selected_delay(op)
+        return self.mux_bypass_delay(op)
+
+    def ddiff(self, op: OperatingPoint = NOMINAL_OPERATING_POINT) -> float:
+        """The paper's ``ddiff = d + d1 - d0`` for this unit."""
+        return self.delay(True, op) - self.delay(False, op)

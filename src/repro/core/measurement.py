@@ -1,0 +1,246 @@
+"""Post-silicon delay measurement (Sec. III.B of the paper).
+
+Measuring one delay unit directly "may introduce large error", so the paper
+measures the whole configured chain for several configuration vectors and
+*computes* the per-unit delay differences.  The chain delay is affine in the
+configuration vector::
+
+    D(c) = sum_i d0_i  +  sum_i c_i * ddiff_i  =  B + c . ddiff
+
+so the per-unit ``ddiff_i`` values are exactly the linear coefficients of a
+regression of measured chain delays on configuration vectors.  This module
+provides
+
+* the leave-one-out scheme (all-ones plus n leave-one-out vectors), whose
+  closed form is ``ddiff_j = D(ones) - D(ones with j skipped)``;
+* the paper's 3-stage worked example with configurations "110", "101",
+  "011" and the formulas ``ddiff_1 = (X+Y-Z)/2`` etc. — exact when the
+  bypass delays are negligible, and reproduced here for fidelity;
+* a general least-squares estimator for arbitrary configuration sets, which
+  averages out measurement noise when more than ``n+1`` vectors are used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+from ..variation.noise import GaussianNoise, MeasurementNoise
+from .config_vector import ConfigVector
+from .ring import ConfigurableRO
+
+__all__ = [
+    "DelayMeasurer",
+    "DdiffEstimate",
+    "measure_ddiffs_leave_one_out",
+    "measure_ddiffs_least_squares",
+    "three_stage_ddiffs",
+    "leave_one_out_vectors",
+    "random_config_set",
+]
+
+
+@dataclass
+class DelayMeasurer:
+    """Measures chain delays of configured rings with noise and averaging.
+
+    Attributes:
+        noise: measurement-noise model applied to every raw observation.
+        repeats: independent observations averaged per measurement.
+        rng: random generator driving the noise.
+    """
+
+    noise: MeasurementNoise = field(default_factory=GaussianNoise)
+    repeats: int = 5
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+
+    def chain_delay(
+        self,
+        ring: ConfigurableRO,
+        config: ConfigVector,
+        op: OperatingPoint = NOMINAL_OPERATING_POINT,
+    ) -> float:
+        """One averaged, noisy chain-delay measurement in seconds."""
+        true_delay = np.array([ring.chain_delay(config, op)])
+        observed = self.noise.observe_averaged(true_delay, self.rng, self.repeats)
+        return float(observed[0])
+
+    def chain_delays(
+        self,
+        ring: ConfigurableRO,
+        configs: list[ConfigVector],
+        op: OperatingPoint = NOMINAL_OPERATING_POINT,
+    ) -> np.ndarray:
+        """Averaged, noisy measurements for a list of configurations."""
+        return np.array([self.chain_delay(ring, c, op) for c in configs])
+
+
+@dataclass
+class DdiffEstimate:
+    """Result of a per-unit delay-difference extraction.
+
+    Attributes:
+        ddiffs: estimated per-unit ``ddiff`` values, ring order, seconds.
+        intercept: estimated all-bypass chain delay ``B = sum d0`` (only the
+            least-squares scheme identifies it; NaN otherwise).
+        residual_rms: RMS of the regression residuals (0 for exact schemes).
+        configs: configuration vectors that were measured.
+        measurements: the measured chain delays, aligned with ``configs``.
+    """
+
+    ddiffs: np.ndarray
+    intercept: float
+    residual_rms: float
+    configs: list[ConfigVector]
+    measurements: np.ndarray
+
+
+def leave_one_out_vectors(stage_count: int) -> list[ConfigVector]:
+    """The all-ones vector followed by the ``n`` leave-one-out vectors."""
+    if stage_count < 1:
+        raise ValueError("stage_count must be >= 1")
+    vectors = [ConfigVector.all_selected(stage_count)]
+    vectors.extend(
+        ConfigVector.leave_one_out(stage_count, j) for j in range(stage_count)
+    )
+    return vectors
+
+
+def measure_ddiffs_leave_one_out(
+    measurer: DelayMeasurer,
+    ring: ConfigurableRO,
+    op: OperatingPoint = NOMINAL_OPERATING_POINT,
+) -> DdiffEstimate:
+    """Extract per-unit ddiffs with the leave-one-out scheme (n+1 configs).
+
+    ``ddiff_j = D(all ones) - D(leave-one-out j)`` because skipping unit j
+    replaces its ``d + d1`` contribution by ``d0``.
+    """
+    configs = leave_one_out_vectors(ring.stage_count)
+    measurements = measurer.chain_delays(ring, configs, op)
+    full = measurements[0]
+    ddiffs = full - measurements[1:]
+    return DdiffEstimate(
+        ddiffs=ddiffs,
+        intercept=float("nan"),
+        residual_rms=0.0,
+        configs=configs,
+        measurements=measurements,
+    )
+
+
+def measure_ddiffs_least_squares(
+    measurer: DelayMeasurer,
+    ring: ConfigurableRO,
+    configs: list[ConfigVector],
+    op: OperatingPoint = NOMINAL_OPERATING_POINT,
+) -> DdiffEstimate:
+    """Extract per-unit ddiffs by regressing chain delays on configurations.
+
+    Args:
+        configs: at least ``n + 1`` configuration vectors whose 0/1 matrix,
+            augmented with an intercept column, has full column rank.
+
+    Raises:
+        ValueError: if the configuration set cannot identify all units.
+    """
+    n = ring.stage_count
+    if len(configs) < n + 1:
+        raise ValueError(
+            f"need at least {n + 1} configurations to identify {n} units "
+            f"plus the intercept, got {len(configs)}"
+        )
+    matrix = np.stack([c.as_array().astype(float) for c in configs])
+    design = np.column_stack([np.ones(len(configs)), matrix])
+    if np.linalg.matrix_rank(design) < n + 1:
+        raise ValueError(
+            "configuration set is rank-deficient; some units cannot be "
+            "distinguished (add more diverse configurations)"
+        )
+    measurements = measurer.chain_delays(ring, configs, op)
+    solution, _, _, _ = np.linalg.lstsq(design, measurements, rcond=None)
+    residuals = measurements - design @ solution
+    return DdiffEstimate(
+        ddiffs=solution[1:],
+        intercept=float(solution[0]),
+        residual_rms=float(np.sqrt(np.mean(residuals**2))),
+        configs=list(configs),
+        measurements=measurements,
+    )
+
+
+def three_stage_ddiffs(x: float, y: float, z: float) -> tuple[float, float, float]:
+    """The paper's closed form for a 3-stage ring (Sec. III.B).
+
+    With ``X = D("110")``, ``Y = D("101")``, ``Z = D("011")``::
+
+        ddiff_1 = (X + Y - Z) / 2
+        ddiff_2 = (X + Z - Y) / 2
+        ddiff_3 = (Y + Z - X) / 2
+
+    These recover the per-unit selected-path delays exactly when the bypass
+    delays ``d0`` are negligible (the paper's idealisation); with non-zero
+    bypass delays each value is offset by ``(d0_j + B') / 2`` terms, which
+    cancel in pairwise *comparisons* between matched rings.
+    """
+    ddiff_1 = (x + y - z) / 2.0
+    ddiff_2 = (x + z - y) / 2.0
+    ddiff_3 = (y + z - x) / 2.0
+    return ddiff_1, ddiff_2, ddiff_3
+
+
+def random_config_set(
+    stage_count: int,
+    count: int,
+    rng: np.random.Generator,
+    max_attempts: int = 1000,
+) -> list[ConfigVector]:
+    """A random full-rank configuration set for the least-squares estimator.
+
+    Draws uniform random vectors (rejecting duplicates) until the augmented
+    design matrix reaches full column rank, then fills up to ``count``.
+    """
+    if count < stage_count + 1:
+        raise ValueError(
+            f"count must be >= stage_count + 1 = {stage_count + 1}, got {count}"
+        )
+    if stage_count < 64 and count > 2**stage_count:
+        raise ValueError(
+            f"only {2**stage_count} distinct configurations exist for "
+            f"{stage_count} stages; cannot build {count}"
+        )
+    full_rank = stage_count + 1
+    seen: set[tuple[bool, ...]] = set()
+    vectors: list[ConfigVector] = []
+    rows: list[np.ndarray] = []
+    rank = 0
+    for _ in range(max_attempts):
+        if len(vectors) == count:
+            break
+        bits = tuple(bool(b) for b in rng.integers(0, 2, size=stage_count))
+        if bits in seen:
+            continue
+        row = np.concatenate([[1.0], np.array(bits, dtype=float)])
+        must_raise_rank = count - len(vectors) <= full_rank - rank
+        if must_raise_rank and rank < full_rank:
+            new_rank = np.linalg.matrix_rank(np.stack(rows + [row]))
+            if new_rank == rank:
+                continue
+            rank = new_rank
+        else:
+            rank = np.linalg.matrix_rank(np.stack(rows + [row]))
+        seen.add(bits)
+        vectors.append(ConfigVector(bits))
+        rows.append(row)
+    if len(vectors) == count and rank == full_rank:
+        return vectors
+    raise RuntimeError(
+        f"could not build a full-rank set of {count} configurations for "
+        f"{stage_count} stages within {max_attempts} attempts"
+    )

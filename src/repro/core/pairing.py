@@ -1,0 +1,165 @@
+"""Allocating a board's delay units into rings, pairs, and 1-out-of-8 groups.
+
+The paper's Table V reports, per board of 512 ROs, how many PUF bits each
+scheme yields when each ring is built from ``n`` units:
+
+====== ===== ===== ===== =====
+scheme n=3   n=5   n=7   n=9
+====== ===== ===== ===== =====
+configurable / traditional 80 48 32 24
+1-out-of-8                 20 12  8  6
+====== ===== ===== ===== =====
+
+Those numbers follow from carving the largest multiple of 16 rings out of
+``units // n`` — a multiple of 16 keeps the ring count divisible by 2 (for
+pairs) and by 8 (for 1-out-of-8 groups) simultaneously, so all three schemes
+compare on identical hardware.  ``rings = 160, 96, 64, 48`` for
+``n = 3, 5, 7, 9`` reproduces the table exactly (see DESIGN.md Sec. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "RingAllocation",
+    "rings_per_board",
+    "allocate_rings",
+]
+
+#: Ring counts are rounded down to a multiple of this so the same rings can
+#: be grouped into pairs (2) and 1-out-of-8 groups (8).
+RING_COUNT_MULTIPLE = 16
+
+
+def rings_per_board(
+    unit_count: int, stage_count: int, multiple: int = RING_COUNT_MULTIPLE
+) -> int:
+    """Number of ``stage_count``-unit rings carved from ``unit_count`` units.
+
+    Rounds down to a multiple of ``multiple`` (16 by default, per Table V).
+    """
+    if unit_count < 0:
+        raise ValueError(f"unit_count must be non-negative, got {unit_count}")
+    if stage_count < 1:
+        raise ValueError(f"stage_count must be >= 1, got {stage_count}")
+    if multiple < 1:
+        raise ValueError(f"multiple must be >= 1, got {multiple}")
+    raw = unit_count // stage_count
+    return (raw // multiple) * multiple
+
+
+@dataclass(frozen=True)
+class RingAllocation:
+    """A fixed assignment of a board's delay units to rings.
+
+    Two layouts are supported:
+
+    * ``"consecutive"`` — ring ``r`` uses units
+      ``[r * stage_count, (r + 1) * stage_count)``.  This matches how the
+      paper consumes the VT dataset (a flat list of RO frequencies).
+    * ``"interleaved"`` — each ring *pair* occupies a window of
+      ``2 * stage_count`` units with the top ring on even offsets and the
+      bottom ring on odd offsets.  This models the physically-sensible
+      FPGA floorplan where the two ROs of a pair sit side by side, so the
+      systematic spatial variation cancels in their delay difference.
+
+    In both layouts pair ``p`` consists of rings ``2p`` (top) and ``2p + 1``
+    (bottom), and 1-out-of-8 group ``g`` of rings ``[8g, 8(g+1))``.
+
+    Attributes:
+        stage_count: units per ring (the paper's ``n``).
+        ring_count: total rings allocated.
+        layout: ``"consecutive"`` or ``"interleaved"``.
+    """
+
+    stage_count: int
+    ring_count: int
+    layout: str = "consecutive"
+
+    def __post_init__(self) -> None:
+        if self.stage_count < 1:
+            raise ValueError("stage_count must be >= 1")
+        if self.ring_count < 0:
+            raise ValueError("ring_count must be non-negative")
+        if self.layout not in ("consecutive", "interleaved"):
+            raise ValueError(
+                f"layout must be 'consecutive' or 'interleaved', "
+                f"got {self.layout!r}"
+            )
+        if self.layout == "interleaved" and self.ring_count % 2 != 0:
+            raise ValueError("interleaved layout needs an even ring count")
+
+    @property
+    def unit_count(self) -> int:
+        """Delay units consumed by the allocation."""
+        return self.stage_count * self.ring_count
+
+    @property
+    def pair_count(self) -> int:
+        """PUF bits available to the configurable and traditional schemes."""
+        return self.ring_count // 2
+
+    @property
+    def group_of_8_count(self) -> int:
+        """PUF bits available to the 1-out-of-8 scheme."""
+        return self.ring_count // 8
+
+    def ring_units(self, ring: int) -> np.ndarray:
+        """Unit indices of one ring."""
+        if not 0 <= ring < self.ring_count:
+            raise ValueError(f"ring {ring} out of range [0, {self.ring_count})")
+        if self.layout == "consecutive":
+            start = ring * self.stage_count
+            return np.arange(start, start + self.stage_count)
+        pair, offset = divmod(ring, 2)
+        window_start = pair * 2 * self.stage_count
+        return window_start + offset + 2 * np.arange(self.stage_count)
+
+    def pair_rings(self, pair: int) -> tuple[int, int]:
+        """(top ring, bottom ring) indices of one pair."""
+        if not 0 <= pair < self.pair_count:
+            raise ValueError(f"pair {pair} out of range [0, {self.pair_count})")
+        return 2 * pair, 2 * pair + 1
+
+    def group_rings(self, group: int) -> np.ndarray:
+        """Ring indices of one 1-out-of-8 group."""
+        if not 0 <= group < self.group_of_8_count:
+            raise ValueError(
+                f"group {group} out of range [0, {self.group_of_8_count})"
+            )
+        return np.arange(8 * group, 8 * (group + 1))
+
+    def ring_delay_matrix(self, unit_delays: np.ndarray) -> np.ndarray:
+        """Reshape a board's per-unit delays into ``(ring_count, stage_count)``.
+
+        Accepts extra trailing units (spares beyond the allocation).
+        """
+        unit_delays = np.asarray(unit_delays, dtype=float)
+        if unit_delays.ndim != 1 or len(unit_delays) < self.unit_count:
+            raise ValueError(
+                f"need at least {self.unit_count} unit delays, "
+                f"got shape {unit_delays.shape}"
+            )
+        used = unit_delays[: self.unit_count]
+        if self.layout == "consecutive":
+            return used.reshape(self.ring_count, self.stage_count)
+        indices = np.stack(
+            [self.ring_units(ring) for ring in range(self.ring_count)]
+        )
+        return used[indices]
+
+
+def allocate_rings(
+    unit_count: int,
+    stage_count: int,
+    multiple: int = RING_COUNT_MULTIPLE,
+    layout: str = "consecutive",
+) -> RingAllocation:
+    """Allocate Table V-style rings over a board's delay units."""
+    ring_count = rings_per_board(unit_count, stage_count, multiple)
+    return RingAllocation(
+        stage_count=stage_count, ring_count=ring_count, layout=layout
+    )

@@ -1,0 +1,374 @@
+"""The configurable RO PUF (Sec. III.C): enrollment and response generation.
+
+Two PUF front-ends share one life cycle:
+
+* :class:`BoardROPUF` works on a *delay vector per operating point* — the
+  abstraction used with the Virginia Tech-style dataset, where each dataset
+  RO plays the role of one inverter (Sec. IV: "We treat each RO as an
+  inverter in our experimentation").  A configured ring's delay is the sum
+  of its selected units' delays.
+
+* :class:`ChipROPUF` works on a simulated :class:`~repro.silicon.chip.Chip`
+  at full fidelity: enrollment measures noisy chain delays with the
+  leave-one-out scheme of Sec. III.B, extracts per-unit ddiffs, selects
+  configurations, and stores the reference bits from actual chain-delay
+  comparisons; responses re-compare the configured chains (with fresh
+  measurement noise) at whatever operating point the chip is in.
+
+Life cycle::
+
+    puf = BoardROPUF(...)            # deploy rings in pairs
+    enrollment = puf.enroll(op_ref)  # test phase: measure, configure
+    bits = puf.response(op_other)    # field phase: regenerate the secret
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..silicon.chip import Chip
+from ..variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+from ..variation.noise import MeasurementNoise, NoiselessMeasurement
+from .config_vector import ConfigVector
+from .measurement import (
+    DelayMeasurer,
+    leave_one_out_vectors,
+    measure_ddiffs_least_squares,
+    measure_ddiffs_leave_one_out,
+)
+from .pairing import RingAllocation, allocate_rings
+from .ring import ConfigurableRO
+from .selection import (
+    PairSelection,
+    select_case1,
+    select_case2,
+    select_traditional,
+)
+from .selection_ext import select_case1_offset, select_case2_offset
+
+__all__ = [
+    "Enrollment",
+    "BoardROPUF",
+    "ChipROPUF",
+    "SELECTION_METHODS",
+]
+
+
+def _traditional_selector(
+    alpha: np.ndarray, beta: np.ndarray, require_odd: bool = False
+) -> PairSelection:
+    return select_traditional(alpha, beta)
+
+
+#: Registry of selection methods accepted by the PUF classes.
+SELECTION_METHODS: dict[str, Callable[..., PairSelection]] = {
+    "case1": select_case1,
+    "case2": select_case2,
+    "traditional": _traditional_selector,
+}
+
+
+@dataclass
+class Enrollment:
+    """The outcome of configuring a PUF during the chip-testing phase.
+
+    Attributes:
+        operating_point: environment at which the PUF was enrolled.
+        selections: one :class:`PairSelection` per RO pair.
+        bits: the reference response bits.
+        margins: per-bit signed delay margins (top minus bottom), in the
+            delay unit of the source data.
+    """
+
+    operating_point: OperatingPoint
+    selections: list[PairSelection]
+    bits: np.ndarray
+    margins: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.bits = np.asarray(self.bits, dtype=bool)
+        self.margins = np.asarray(self.margins, dtype=float)
+        if len(self.bits) != len(self.selections) or len(self.margins) != len(
+            self.selections
+        ):
+            raise ValueError("bits, margins and selections must align")
+
+    @property
+    def bit_count(self) -> int:
+        return len(self.bits)
+
+    def reliable_mask(self, threshold: float) -> np.ndarray:
+        """Bits whose |margin| meets a reliability threshold (Sec. IV.E)."""
+        if threshold < 0.0:
+            raise ValueError("threshold must be non-negative")
+        return np.abs(self.margins) >= threshold
+
+
+@dataclass
+class BoardROPUF:
+    """Configurable RO PUF over a board's per-unit delay vectors.
+
+    Attributes:
+        delay_provider: maps an operating point to the board's per-unit
+            delays (1-D array, at least ``allocation.unit_count`` long).
+            For dataset boards this is typically RO periods.
+        allocation: how units are carved into rings and pairs.
+        method: ``"case1"``, ``"case2"`` or ``"traditional"``.
+        require_odd: force odd selected counts (free-running rings).
+        response_noise: noise applied to each ring-delay sum when generating
+            responses; defaults to noiseless.
+        rng: generator driving the response noise.
+    """
+
+    delay_provider: Callable[[OperatingPoint], np.ndarray]
+    allocation: RingAllocation
+    method: str = "case1"
+    require_odd: bool = False
+    response_noise: MeasurementNoise = field(default_factory=NoiselessMeasurement)
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def __post_init__(self) -> None:
+        if self.method not in SELECTION_METHODS:
+            raise ValueError(
+                f"unknown method {self.method!r}; "
+                f"choose from {sorted(SELECTION_METHODS)}"
+            )
+
+    @property
+    def bit_count(self) -> int:
+        """Bits this PUF generates (one per ring pair)."""
+        return self.allocation.pair_count
+
+    def _ring_delays(self, op: OperatingPoint) -> np.ndarray:
+        """(ring_count, stage_count) per-unit delays at an operating point."""
+        unit_delays = np.asarray(self.delay_provider(op), dtype=float)
+        return self.allocation.ring_delay_matrix(unit_delays)
+
+    def enroll(
+        self, op: OperatingPoint = NOMINAL_OPERATING_POINT
+    ) -> Enrollment:
+        """Measure the board at ``op`` and configure every RO pair."""
+        rings = self._ring_delays(op)
+        selector = SELECTION_METHODS[self.method]
+        selections = []
+        for pair in range(self.allocation.pair_count):
+            top, bottom = self.allocation.pair_rings(pair)
+            selections.append(
+                selector(rings[top], rings[bottom], require_odd=self.require_odd)
+            )
+        margins = np.array([s.margin for s in selections])
+        bits = np.array([s.bit for s in selections])
+        return Enrollment(
+            operating_point=op, selections=selections, bits=bits, margins=margins
+        )
+
+    def response(
+        self,
+        op: OperatingPoint,
+        enrollment: Enrollment,
+    ) -> np.ndarray:
+        """Regenerate the response bits at operating point ``op``."""
+        rings = self._ring_delays(op)
+        top_delays = np.empty(len(enrollment.selections))
+        bottom_delays = np.empty(len(enrollment.selections))
+        for pair, selection in enumerate(enrollment.selections):
+            top, bottom = self.allocation.pair_rings(pair)
+            top_delays[pair] = np.sum(
+                rings[top][selection.top_config.as_array()]
+            )
+            bottom_delays[pair] = np.sum(
+                rings[bottom][selection.bottom_config.as_array()]
+            )
+        top_observed = self.response_noise.observe(top_delays, self.rng)
+        bottom_observed = self.response_noise.observe(bottom_delays, self.rng)
+        return top_observed > bottom_observed
+
+    def response_voted(
+        self,
+        op: OperatingPoint,
+        enrollment: Enrollment,
+        votes: int = 9,
+    ) -> np.ndarray:
+        """Majority vote over repeated noisy response evaluations.
+
+        Temporal majority voting is the cheapest classical PUF stabiliser:
+        with measurement noise sigma and margin m, a single evaluation
+        flips with probability ~Q(m/sigma) while a ``votes``-of-n majority
+        needs more than half the evaluations to flip.  It cannot fix a bit
+        whose margin truly inverted with the environment — which is the
+        paper's argument for maximising margins instead.
+
+        Args:
+            votes: odd number of evaluations per bit.
+        """
+        if votes < 1 or votes % 2 == 0:
+            raise ValueError(f"votes must be odd and positive, got {votes}")
+        totals = np.zeros(enrollment.bit_count, dtype=int)
+        for _ in range(votes):
+            totals += self.response(op, enrollment).astype(int)
+        return totals * 2 > votes
+
+
+@dataclass
+class ChipROPUF:
+    """Full-fidelity configurable RO PUF on a simulated chip.
+
+    Enrollment follows the paper's post-silicon flow: measure chain delays
+    under the leave-one-out configurations (noisy, averaged), compute the
+    per-unit ddiffs, run the selection algorithm, then record the reference
+    bits by comparing the configured chains.
+
+    Attributes:
+        chip: the fabricated chip.
+        allocation: carve-up of the chip's units into rings and pairs.
+        method: selection method name.
+        measurer: noisy chain-delay measurement used for enrollment and
+            responses.
+        require_odd: force odd selected counts.
+        offset_aware: additionally measure each ring's all-bypass chain
+            delay (one extra configuration per ring) and select with the
+            offset-aware algorithms of :mod:`repro.core.selection_ext`,
+            maximising the full physical margin
+            ``|sum(ddiff selected) + (B_top - B_bottom)|`` instead of the
+            paper's offset-blind objective.  Incompatible with
+            ``require_odd`` (the offset-aware selectors do not implement
+            parity repair) and ignored for ``method="traditional"``.
+    """
+
+    chip: Chip
+    allocation: RingAllocation
+    method: str = "case1"
+    measurer: DelayMeasurer = field(default_factory=DelayMeasurer)
+    require_odd: bool = False
+    offset_aware: bool = False
+
+    def __post_init__(self) -> None:
+        if self.method not in SELECTION_METHODS:
+            raise ValueError(
+                f"unknown method {self.method!r}; "
+                f"choose from {sorted(SELECTION_METHODS)}"
+            )
+        if self.allocation.unit_count > self.chip.unit_count:
+            raise ValueError(
+                f"allocation needs {self.allocation.unit_count} units but chip "
+                f"{self.chip.name!r} has {self.chip.unit_count}"
+            )
+        if self.offset_aware and self.require_odd:
+            raise ValueError(
+                "offset_aware selection does not support require_odd"
+            )
+        if self.offset_aware and self.method == "traditional":
+            raise ValueError(
+                "offset_aware has no effect on the traditional method"
+            )
+
+    @classmethod
+    def deploy(
+        cls,
+        chip: Chip,
+        stage_count: int,
+        method: str = "case1",
+        measurer: DelayMeasurer | None = None,
+        require_odd: bool = False,
+    ) -> "ChipROPUF":
+        """Deploy rings of ``stage_count`` units across the whole chip."""
+        allocation = allocate_rings(chip.unit_count, stage_count)
+        if allocation.pair_count == 0:
+            raise ValueError(
+                f"chip {chip.name!r} with {chip.unit_count} units cannot host "
+                f"any ring pair of {stage_count} stages"
+            )
+        return cls(
+            chip=chip,
+            allocation=allocation,
+            method=method,
+            measurer=measurer if measurer is not None else DelayMeasurer(),
+            require_odd=require_odd,
+        )
+
+    @property
+    def bit_count(self) -> int:
+        return self.allocation.pair_count
+
+    def ring(self, index: int) -> ConfigurableRO:
+        """The configurable RO at a ring index."""
+        return ConfigurableRO(
+            chip=self.chip,
+            unit_indices=self.allocation.ring_units(index),
+            name=f"{self.chip.name}/ring{index}",
+        )
+
+    def _select_pair(
+        self,
+        top_ring: ConfigurableRO,
+        bottom_ring: ConfigurableRO,
+        op: OperatingPoint,
+    ) -> PairSelection:
+        """Measure one pair and run the configured selection algorithm."""
+        if not self.offset_aware:
+            top_est = measure_ddiffs_leave_one_out(self.measurer, top_ring, op)
+            bottom_est = measure_ddiffs_leave_one_out(
+                self.measurer, bottom_ring, op
+            )
+            selector = SELECTION_METHODS[self.method]
+            return selector(
+                top_est.ddiffs, bottom_est.ddiffs, require_odd=self.require_odd
+            )
+        # Offset-aware: one extra all-bypass measurement per ring identifies
+        # the intercepts B = sum(d0) via least squares.
+        configs = leave_one_out_vectors(top_ring.stage_count)
+        configs.append(ConfigVector.none_selected(top_ring.stage_count))
+        top_est = measure_ddiffs_least_squares(self.measurer, top_ring, configs, op)
+        bottom_est = measure_ddiffs_least_squares(
+            self.measurer, bottom_ring, configs, op
+        )
+        offset = top_est.intercept - bottom_est.intercept
+        offset_selector = (
+            select_case1_offset if self.method == "case1" else select_case2_offset
+        )
+        return offset_selector(top_est.ddiffs, bottom_est.ddiffs, offset)
+
+    def enroll(
+        self, op: OperatingPoint = NOMINAL_OPERATING_POINT
+    ) -> Enrollment:
+        """Measure, select, and record reference bits at ``op``."""
+        selections = []
+        margins = []
+        bits = []
+        for pair in range(self.allocation.pair_count):
+            top_idx, bottom_idx = self.allocation.pair_rings(pair)
+            top_ring = self.ring(top_idx)
+            bottom_ring = self.ring(bottom_idx)
+            selection = self._select_pair(top_ring, bottom_ring, op)
+            selections.append(selection)
+            margins.append(selection.margin)
+            # The reference bit comes from comparing the *configured chains*,
+            # which includes the bypass-path offsets the ddiff margin omits.
+            top_delay = self.measurer.chain_delay(top_ring, selection.top_config, op)
+            bottom_delay = self.measurer.chain_delay(
+                bottom_ring, selection.bottom_config, op
+            )
+            bits.append(top_delay > bottom_delay)
+        return Enrollment(
+            operating_point=op,
+            selections=selections,
+            bits=np.array(bits),
+            margins=np.array(margins),
+        )
+
+    def response(self, op: OperatingPoint, enrollment: Enrollment) -> np.ndarray:
+        """Regenerate the response bits at ``op`` with fresh noise."""
+        bits = np.empty(len(enrollment.selections), dtype=bool)
+        for pair, selection in enumerate(enrollment.selections):
+            top_idx, bottom_idx = self.allocation.pair_rings(pair)
+            top_delay = self.measurer.chain_delay(
+                self.ring(top_idx), selection.top_config, op
+            )
+            bottom_delay = self.measurer.chain_delay(
+                self.ring(bottom_idx), selection.bottom_config, op
+            )
+            bits[pair] = top_delay > bottom_delay
+        return bits

@@ -1,0 +1,110 @@
+"""The configurable ring oscillator (Fig. 1 of the paper).
+
+A configurable RO is a closed loop of delay units.  Its *chain delay* under
+a configuration vector is the sum of per-unit contributions (``d + d1`` for
+selected units, ``d0`` for bypassed ones); when the selected inverter count
+is odd the ring free-runs at ``f = 1 / (2 * chain_delay)``.
+
+Chain delays are well defined for any configuration (this is how the
+measurement scheme of Sec. III.B characterises the units), while a frequency
+only exists for odd selected counts — asking for one otherwise raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..silicon.chip import Chip
+from ..variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+from .config_vector import ConfigVector
+from .delay_unit import DelayUnit
+
+__all__ = ["ConfigurableRO"]
+
+
+@dataclass
+class ConfigurableRO:
+    """A configurable ring oscillator built from a chip's delay units.
+
+    Attributes:
+        chip: the chip hosting the units.
+        unit_indices: chip indices of this ring's delay units, in ring order.
+        name: identifier for reports.
+    """
+
+    chip: Chip
+    unit_indices: np.ndarray
+    name: str = "ro"
+
+    def __post_init__(self) -> None:
+        self.unit_indices = np.asarray(self.unit_indices, dtype=int)
+        if self.unit_indices.ndim != 1 or len(self.unit_indices) == 0:
+            raise ValueError("unit_indices must be a non-empty 1-D index array")
+        if np.any(self.unit_indices < 0) or np.any(
+            self.unit_indices >= self.chip.unit_count
+        ):
+            raise ValueError("unit index out of range for chip")
+        if len(np.unique(self.unit_indices)) != len(self.unit_indices):
+            raise ValueError("a ring cannot use the same delay unit twice")
+
+    @property
+    def stage_count(self) -> int:
+        """Number of delay units in the ring (the paper's ``n``)."""
+        return len(self.unit_indices)
+
+    def __len__(self) -> int:
+        return self.stage_count
+
+    def unit(self, position: int) -> DelayUnit:
+        """The delay unit at a ring position."""
+        return DelayUnit(self.chip, int(self.unit_indices[position]))
+
+    # ------------------------------------------------------------------
+    # Delay / frequency evaluation
+    # ------------------------------------------------------------------
+
+    def _check_config(self, config: ConfigVector) -> np.ndarray:
+        if len(config) != self.stage_count:
+            raise ValueError(
+                f"configuration length {len(config)} != ring stages "
+                f"{self.stage_count}"
+            )
+        return config.as_array()
+
+    def selected_path_delays(
+        self, op: OperatingPoint = NOMINAL_OPERATING_POINT
+    ) -> np.ndarray:
+        """Per-stage ``d + d1`` delays, in ring order."""
+        return self.chip.selected_path_delays(op)[self.unit_indices]
+
+    def bypass_delays(self, op: OperatingPoint = NOMINAL_OPERATING_POINT) -> np.ndarray:
+        """Per-stage ``d0`` delays, in ring order."""
+        return self.chip.mux_bypass_delays(op)[self.unit_indices]
+
+    def ddiffs(self, op: OperatingPoint = NOMINAL_OPERATING_POINT) -> np.ndarray:
+        """Per-stage ``ddiff = d + d1 - d0``, in ring order."""
+        return self.chip.ddiffs(op)[self.unit_indices]
+
+    def chain_delay(
+        self, config: ConfigVector, op: OperatingPoint = NOMINAL_OPERATING_POINT
+    ) -> float:
+        """One-way propagation delay of the configured chain, seconds."""
+        selected = self._check_config(config)
+        stage = np.where(
+            selected, self.selected_path_delays(op), self.bypass_delays(op)
+        )
+        return float(np.sum(stage))
+
+    def frequency(
+        self, config: ConfigVector, op: OperatingPoint = NOMINAL_OPERATING_POINT
+    ) -> float:
+        """Free-running frequency in hertz; requires an odd inverter count."""
+        self._check_config(config)
+        if not config.can_oscillate:
+            raise ValueError(
+                f"configuration {config} selects {config.selected_count} "
+                "inverters (even): the ring latches instead of oscillating"
+            )
+        return 1.0 / (2.0 * self.chain_delay(config, op))

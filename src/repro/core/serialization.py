@@ -1,0 +1,152 @@
+"""Persistence of enrollment artifacts (the device's non-volatile data).
+
+A deployed configurable RO PUF stores, per pair, the two configuration
+vectors chosen at test time — that is the entirety of the paper's helper
+data (plus, for key applications, the fuzzy-extractor helper).  This module
+serialises enrollments, selections, and helper data to plain JSON so a
+"device" can be provisioned once and field-tested across process restarts,
+and so enrollments can be shipped between tools.
+
+The response *bits* and margins are also stored: they are needed verifier-
+side (reference responses) and for R_th-style dark-bit masks.  Deployments
+that must not persist the secret can strip them with ``include_secrets=False``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..crypto.fuzzy_extractor import HelperData
+from ..variation.environment import OperatingPoint
+from .config_vector import ConfigVector
+from .puf import Enrollment
+from .selection import PairSelection
+
+__all__ = [
+    "enrollment_to_dict",
+    "enrollment_from_dict",
+    "save_enrollment",
+    "load_enrollment",
+    "helper_data_to_dict",
+    "helper_data_from_dict",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _selection_to_dict(selection: PairSelection, include_secrets: bool) -> dict:
+    record = {
+        "top": selection.top_config.to_string(),
+        "bottom": selection.bottom_config.to_string(),
+        "method": selection.method,
+    }
+    if include_secrets:
+        record["margin"] = selection.margin
+    return record
+
+
+def _selection_from_dict(record: dict) -> PairSelection:
+    return PairSelection(
+        top_config=ConfigVector.from_string(record["top"]),
+        bottom_config=ConfigVector.from_string(record["bottom"]),
+        margin=float(record.get("margin", 0.0)),
+        method=record.get("method", "unknown"),
+    )
+
+
+def enrollment_to_dict(
+    enrollment: Enrollment, include_secrets: bool = True
+) -> dict:
+    """Serialise an enrollment to plain JSON-compatible data.
+
+    Args:
+        include_secrets: when False, the reference bits and margins are
+            omitted (configuration vectors alone do not reveal the bits for
+            the equal-count schemes; see ``repro.attacks``).
+    """
+    record = {
+        "format_version": _FORMAT_VERSION,
+        "operating_point": {
+            "voltage": enrollment.operating_point.voltage,
+            "temperature": enrollment.operating_point.temperature,
+        },
+        "selections": [
+            _selection_to_dict(selection, include_secrets)
+            for selection in enrollment.selections
+        ],
+    }
+    if include_secrets:
+        record["bits"] = [int(b) for b in enrollment.bits]
+        record["margins"] = [float(m) for m in enrollment.margins]
+    return record
+
+
+def enrollment_from_dict(record: dict) -> Enrollment:
+    """Rebuild an enrollment from its serialised form.
+
+    Enrollments stored without secrets load with zeroed bits/margins (the
+    margin signs are then unavailable; responses must be regenerated from
+    silicon).
+    """
+    version = record.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported enrollment format version: {version!r}"
+        )
+    op = record["operating_point"]
+    selections = [_selection_from_dict(s) for s in record["selections"]]
+    count = len(selections)
+    bits = np.array(record.get("bits", [0] * count), dtype=bool)
+    margins = np.array(
+        record.get("margins", [s.margin for s in selections]), dtype=float
+    )
+    return Enrollment(
+        operating_point=OperatingPoint(
+            voltage=float(op["voltage"]), temperature=float(op["temperature"])
+        ),
+        selections=selections,
+        bits=bits,
+        margins=margins,
+    )
+
+
+def save_enrollment(
+    enrollment: Enrollment,
+    path: str | Path,
+    include_secrets: bool = True,
+) -> None:
+    """Write an enrollment to a JSON file."""
+    path = Path(path)
+    record = enrollment_to_dict(enrollment, include_secrets)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True))
+
+
+def load_enrollment(path: str | Path) -> Enrollment:
+    """Read an enrollment from a JSON file."""
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(f"no enrollment file at {path}")
+    return enrollment_from_dict(json.loads(path.read_text()))
+
+
+def helper_data_to_dict(helper: HelperData) -> dict:
+    """Serialise fuzzy-extractor helper data (public by construction)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "offset": [int(b) for b in helper.offset],
+        "salt": helper.salt.hex(),
+    }
+
+
+def helper_data_from_dict(record: dict) -> HelperData:
+    """Rebuild helper data from its serialised form."""
+    version = record.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported helper format version: {version!r}")
+    return HelperData(
+        offset=np.array(record["offset"], dtype=bool),
+        salt=bytes.fromhex(record["salt"]),
+    )

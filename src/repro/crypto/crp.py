@@ -1,0 +1,145 @@
+"""A challenge-response interface over the (weak-PUF) response bits.
+
+The configurable RO PUF is a *weak* PUF: it exposes a fixed set of
+response bits, one per configured pair.  Authentication protocols often
+want a challenge-response shape instead, so the standard construction is
+layered on top: a challenge selects (and optionally XOR-folds) a random
+subset of the response bits, and the verifier — who knows the full
+reference response — predicts the answer.
+
+Because the underlying secret is finite, every disclosed CRP leaks;
+:class:`ChallengeResponseInterface` therefore tracks disclosure and
+reports the remaining entropy margin, refusing to operate past a
+configurable exposure budget (a guardrail real deployments need).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Challenge", "ChallengeResponseInterface"]
+
+
+@dataclass(frozen=True)
+class Challenge:
+    """One challenge: which response bits to fold together.
+
+    Attributes:
+        indices: positions of the response bits the challenge touches.
+        fold: XOR-fold group size; 1 returns the bits themselves.
+    """
+
+    indices: tuple[int, ...]
+    fold: int = 1
+
+    def __post_init__(self) -> None:
+        if len(self.indices) == 0:
+            raise ValueError("a challenge must touch at least one bit")
+        if self.fold < 1 or len(self.indices) % self.fold != 0:
+            raise ValueError(
+                f"fold {self.fold} must divide the {len(self.indices)} "
+                "challenge indices"
+            )
+
+    @property
+    def response_bits(self) -> int:
+        return len(self.indices) // self.fold
+
+
+@dataclass
+class ChallengeResponseInterface:
+    """CRP layer over a device's response bits with exposure accounting.
+
+    Attributes:
+        response: the device's full response (reference or regenerated).
+        exposure_budget: maximum fraction of the response bits that may be
+            involved in disclosed CRPs before the interface locks.
+    """
+
+    response: np.ndarray
+    exposure_budget: float = 0.5
+    _exposed: set[int] = field(default_factory=set)
+    _locked: bool = field(default=False)
+
+    def __post_init__(self) -> None:
+        self.response = np.asarray(self.response).astype(bool).ravel()
+        if len(self.response) == 0:
+            raise ValueError("response cannot be empty")
+        if not 0.0 < self.exposure_budget <= 1.0:
+            raise ValueError("exposure_budget must be in (0, 1]")
+
+    @property
+    def bit_count(self) -> int:
+        return len(self.response)
+
+    @property
+    def exposed_fraction(self) -> float:
+        """Fraction of response bits already involved in answered CRPs."""
+        return len(self._exposed) / self.bit_count
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def generate_challenge(
+        self,
+        rng: np.random.Generator,
+        width: int = 8,
+        fold: int = 1,
+    ) -> Challenge:
+        """Draw a random challenge over ``width`` distinct bit positions."""
+        if width < 1 or width > self.bit_count:
+            raise ValueError(
+                f"width must be in 1..{self.bit_count}, got {width}"
+            )
+        indices = rng.choice(self.bit_count, size=width, replace=False)
+        return Challenge(indices=tuple(int(i) for i in np.sort(indices)), fold=fold)
+
+    def respond(self, challenge: Challenge) -> np.ndarray:
+        """Answer a challenge; raises once the exposure budget is spent.
+
+        Raises:
+            RuntimeError: when the interface has locked.
+            ValueError: when the challenge addresses unknown bits.
+        """
+        if self._locked:
+            raise RuntimeError(
+                "CRP interface locked: exposure budget "
+                f"{self.exposure_budget:.0%} spent "
+                f"({len(self._exposed)}/{self.bit_count} bits disclosed)"
+            )
+        indices = np.array(challenge.indices)
+        if np.any(indices < 0) or np.any(indices >= self.bit_count):
+            raise ValueError("challenge addresses bits outside the response")
+        selected = self.response[indices]
+        if challenge.fold > 1:
+            selected = (
+                selected.reshape(-1, challenge.fold).sum(axis=1) % 2
+            ).astype(bool)
+        self._exposed.update(challenge.indices)
+        if self.exposed_fraction > self.exposure_budget:
+            self._locked = True
+        return selected
+
+    def verify(self, challenge: Challenge, answer: np.ndarray) -> bool:
+        """Verifier side: check an answer against the reference response.
+
+        Verification does not consume exposure budget (the verifier already
+        knows the full response).
+        """
+        indices = np.array(challenge.indices)
+        if np.any(indices < 0) or np.any(indices >= self.bit_count):
+            raise ValueError("challenge addresses bits outside the response")
+        expected = self.response[indices]
+        if challenge.fold > 1:
+            expected = (
+                expected.reshape(-1, challenge.fold).sum(axis=1) % 2
+            ).astype(bool)
+        answer = np.asarray(answer).astype(bool).ravel()
+        if len(answer) != len(expected):
+            raise ValueError(
+                f"answer has {len(answer)} bits, expected {len(expected)}"
+            )
+        return bool(np.array_equal(answer, expected))

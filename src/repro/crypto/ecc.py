@@ -1,0 +1,258 @@
+"""Binary error-correcting codes: repetition and BCH.
+
+These are the conventional PUF-stabilisation tools the paper's related work
+surveys ([10-12]); benches A-series compare their overhead against the
+configurable PUF's margin-based reliability.
+
+Both codes implement one interface: ``encode`` maps k message bits to n
+code bits, ``decode`` maps n (possibly corrupted) bits back to k message
+bits, correcting up to ``t`` errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .gf2m import GF2m
+
+__all__ = ["RepetitionCode", "BCHCode", "BlockCode"]
+
+
+class BlockCode:
+    """Interface of a binary block code."""
+
+    #: code length (bits per codeword)
+    n: int
+    #: message length (bits per message)
+    k: int
+    #: guaranteed error-correction capability
+    t: int
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def decode(self, received: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def rate(self) -> float:
+        """Code rate k/n."""
+        return self.k / self.n
+
+    def _check_length(self, bits: np.ndarray, expected: int) -> np.ndarray:
+        bits = np.asarray(bits)
+        if bits.ndim != 1 or len(bits) != expected:
+            raise ValueError(
+                f"expected {expected} bits, got shape {bits.shape}"
+            )
+        return bits.astype(bool)
+
+
+@dataclass
+class RepetitionCode(BlockCode):
+    """An ``(r, 1)`` repetition code decoded by majority vote.
+
+    Attributes:
+        repetitions: odd number of copies per message bit.
+    """
+
+    repetitions: int = 5
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1 or self.repetitions % 2 == 0:
+            raise ValueError(
+                f"repetitions must be odd and positive, got {self.repetitions}"
+            )
+        self.n = self.repetitions
+        self.k = 1
+        self.t = (self.repetitions - 1) // 2
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        message = self._check_length(message, 1)
+        return np.repeat(message, self.repetitions)
+
+    def decode(self, received: np.ndarray) -> np.ndarray:
+        received = self._check_length(received, self.n)
+        return np.array([np.sum(received) * 2 > self.n])
+
+    def encode_block(self, message: np.ndarray) -> np.ndarray:
+        """Encode a multi-bit message bit-by-bit (convenience)."""
+        message = np.asarray(message).astype(bool)
+        return np.repeat(message, self.repetitions)
+
+    def decode_block(self, received: np.ndarray) -> np.ndarray:
+        """Decode a concatenation of repetition codewords."""
+        received = np.asarray(received).astype(bool)
+        if len(received) % self.repetitions != 0:
+            raise ValueError(
+                f"length {len(received)} is not a multiple of "
+                f"{self.repetitions}"
+            )
+        blocks = received.reshape(-1, self.repetitions)
+        return blocks.sum(axis=1) * 2 > self.repetitions
+
+
+@dataclass
+class BCHCode(BlockCode):
+    """A binary primitive BCH code of length ``2^m - 1``.
+
+    Encoding is systematic (message bits occupy the high-order positions).
+    Decoding computes syndromes, finds the error-locator polynomial with
+    Berlekamp-Massey over GF(2^m), and locates errors by Chien search.
+
+    Attributes:
+        m: field degree; code length is ``2^m - 1``.
+        t: designed error-correction capability.
+    """
+
+    m: int = 5
+    t: int = 3
+    field_: GF2m = field(init=False, repr=False)
+    generator: list[int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.t < 1:
+            raise ValueError(f"t must be >= 1, got {self.t}")
+        self.field_ = GF2m(self.m)
+        self.n = self.field_.order
+        self.generator = self._build_generator()
+        self.k = self.n - (len(self.generator) - 1)
+        if self.k <= 0:
+            raise ValueError(
+                f"BCH(m={self.m}, t={self.t}) has no message bits; "
+                "reduce t or increase m"
+            )
+
+    def _build_generator(self) -> list[int]:
+        """LCM of the minimal polynomials of alpha^1 .. alpha^2t."""
+        gf = self.field_
+        factors: list[tuple[int, ...]] = []
+        generator = [1]
+        covered: set[int] = set()
+        for power in range(1, 2 * self.t + 1):
+            element = gf.alpha_power(power)
+            if element in covered:
+                continue
+            # Mark the whole conjugacy class as covered.
+            current = element
+            while current not in covered:
+                covered.add(current)
+                current = gf.multiply(current, current)
+            minimal = gf.minimal_polynomial(element)
+            factors.append(tuple(minimal))
+            generator = _poly_multiply_gf2(generator, minimal)
+        del factors
+        return generator
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        """Systematic encoding: codeword = [parity | message]."""
+        message = self._check_length(message, self.k)
+        degree = self.n - self.k
+        # polynomial division of message * x^degree by the generator
+        dividend = np.zeros(self.n, dtype=np.uint8)
+        dividend[degree:] = message.astype(np.uint8)
+        remainder = _poly_mod_gf2(dividend, np.array(self.generator, dtype=np.uint8))
+        codeword = dividend.copy()
+        codeword[:degree] ^= remainder[:degree]
+        return codeword.astype(bool)
+
+    def decode(self, received: np.ndarray) -> np.ndarray:
+        """Decode up to ``t`` errors; raises if decoding fails.
+
+        Raises:
+            ValueError: when more than ``t`` errors are detected.
+        """
+        received = self._check_length(received, self.n).astype(np.uint8)
+        syndromes = self._syndromes(received)
+        if all(s == 0 for s in syndromes):
+            return received[self.n - self.k :].astype(bool)
+        locator = self._berlekamp_massey(syndromes)
+        error_positions = self._chien_search(locator)
+        if len(error_positions) != len(locator) - 1:
+            raise ValueError(
+                "uncorrectable word: error locator degree "
+                f"{len(locator) - 1} but {len(error_positions)} roots found"
+            )
+        corrected = received.copy()
+        corrected[error_positions] ^= 1
+        if any(self._syndromes(corrected)):
+            raise ValueError("uncorrectable word: syndromes persist")
+        return corrected[self.n - self.k :].astype(bool)
+
+    def _syndromes(self, received: np.ndarray) -> list[int]:
+        gf = self.field_
+        positions = np.nonzero(received)[0]
+        syndromes = []
+        for power in range(1, 2 * self.t + 1):
+            value = 0
+            for position in positions:
+                value ^= gf.alpha_power(power * int(position))
+            syndromes.append(value)
+        return syndromes
+
+    def _berlekamp_massey(self, syndromes: list[int]) -> list[int]:
+        """Error-locator polynomial over GF(2^m), lowest degree first."""
+        gf = self.field_
+        locator = [1]
+        previous = [1]
+        shift = 1
+        previous_discrepancy = 1
+        for index, syndrome in enumerate(syndromes):
+            discrepancy = syndrome
+            for j in range(1, len(locator)):
+                if j <= index:
+                    discrepancy ^= gf.multiply(locator[j], syndromes[index - j])
+            if discrepancy == 0:
+                shift += 1
+                continue
+            scale = gf.divide(discrepancy, previous_discrepancy)
+            candidate = locator.copy()
+            shifted = [0] * shift + [gf.multiply(scale, c) for c in previous]
+            length = max(len(candidate), len(shifted))
+            candidate += [0] * (length - len(candidate))
+            shifted += [0] * (length - len(shifted))
+            updated = [a ^ b for a, b in zip(candidate, shifted)]
+            if 2 * (len(locator) - 1) <= index:
+                previous = locator
+                previous_discrepancy = discrepancy
+                shift = 1
+                locator = updated
+            else:
+                locator = updated
+                shift += 1
+        while len(locator) > 1 and locator[-1] == 0:
+            locator.pop()
+        return locator
+
+    def _chien_search(self, locator: list[int]) -> np.ndarray:
+        """Error positions: i where alpha^{-i} is a root of the locator."""
+        gf = self.field_
+        positions = []
+        for i in range(self.n):
+            x = gf.alpha_power(-i)
+            if gf.poly_eval(locator, x) == 0:
+                positions.append(i)
+        return np.array(positions, dtype=int)
+
+
+def _poly_multiply_gf2(a: list[int], b: list[int]) -> list[int]:
+    """Product of binary polynomials (coefficient lists, low degree first)."""
+    result = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca:
+            for j, cb in enumerate(b):
+                result[i + j] ^= ca & cb
+    return result
+
+
+def _poly_mod_gf2(dividend: np.ndarray, divisor: np.ndarray) -> np.ndarray:
+    """Remainder of binary polynomial division (arrays, low degree first)."""
+    remainder = dividend.copy()
+    divisor_degree = len(divisor) - 1
+    for degree in range(len(remainder) - 1, divisor_degree - 1, -1):
+        if remainder[degree]:
+            start = degree - divisor_degree
+            remainder[start : degree + 1] ^= divisor
+    return remainder

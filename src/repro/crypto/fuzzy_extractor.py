@@ -1,0 +1,109 @@
+"""Code-offset fuzzy extractor (Dodis et al. [11] in the paper's survey).
+
+``generate`` turns a noisy PUF response into a stable key plus public
+helper data; ``reproduce`` recovers the same key from any later response
+within the code's error-correction radius.  The construction is the
+standard code-offset secure sketch (helper = response XOR codeword) with a
+hash-based strong extractor.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .ecc import BCHCode, BlockCode
+
+__all__ = ["FuzzyExtractor", "HelperData"]
+
+
+@dataclass(frozen=True)
+class HelperData:
+    """Public helper data of one extraction.
+
+    Attributes:
+        offset: response XOR codeword (reveals nothing about the key given
+            the code's randomness).
+        salt: extractor salt mixed into the key-derivation hash.
+    """
+
+    offset: np.ndarray
+    salt: bytes
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "offset", np.asarray(self.offset).astype(bool)
+        )
+
+
+def _bits_to_bytes(bits: np.ndarray) -> bytes:
+    return np.packbits(np.asarray(bits).astype(np.uint8)).tobytes()
+
+
+@dataclass
+class FuzzyExtractor:
+    """Key extraction from noisy PUF responses via the code-offset sketch.
+
+    Attributes:
+        code: the underlying block code; its length must equal the PUF
+            response length and its ``t`` bounds the tolerated bit flips.
+        key_bytes: derived key length in bytes.
+    """
+
+    code: BlockCode = field(default_factory=lambda: BCHCode(m=5, t=3))
+    key_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.key_bytes < 1:
+            raise ValueError("key_bytes must be >= 1")
+
+    @property
+    def response_bits(self) -> int:
+        """Required PUF response length."""
+        return self.code.n
+
+    def generate(
+        self, response: np.ndarray, rng: np.random.Generator
+    ) -> tuple[bytes, HelperData]:
+        """Enroll: derive (key, helper) from a reference response."""
+        response = self._check_response(response)
+        message = rng.integers(0, 2, size=self.code.k).astype(bool)
+        codeword = self.code.encode(message)
+        offset = response ^ codeword
+        salt = rng.bytes(16)
+        key = self._derive_key(message, salt)
+        return key, HelperData(offset=offset, salt=salt)
+
+    def reproduce(self, response: np.ndarray, helper: HelperData) -> bytes:
+        """Recover the key from a later (noisy) response.
+
+        Raises:
+            ValueError: when the response differs from the enrolled one by
+                more than the code's correction capability.
+        """
+        response = self._check_response(response)
+        if len(helper.offset) != self.code.n:
+            raise ValueError(
+                f"helper offset has {len(helper.offset)} bits, "
+                f"expected {self.code.n}"
+            )
+        noisy_codeword = response ^ helper.offset
+        message = self.code.decode(noisy_codeword)
+        return self._derive_key(message, helper.salt)
+
+    def _check_response(self, response: np.ndarray) -> np.ndarray:
+        response = np.asarray(response).astype(bool)
+        if response.ndim != 1 or len(response) != self.code.n:
+            raise ValueError(
+                f"response must be {self.code.n} bits, got shape "
+                f"{response.shape}"
+            )
+        return response
+
+    def _derive_key(self, message: np.ndarray, salt: bytes) -> bytes:
+        digest = hashlib.sha256(salt + _bits_to_bytes(message)).digest()
+        while len(digest) < self.key_bytes:
+            digest += hashlib.sha256(digest).digest()
+        return digest[: self.key_bytes]

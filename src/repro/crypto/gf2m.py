@@ -1,0 +1,196 @@
+"""Arithmetic over GF(2^m), the substrate of the BCH error-correcting code.
+
+The paper cites error-correction coding [10-12] as the conventional (and
+hardware-expensive) way to stabilise PUF bits; the configurable RO PUF's
+pitch is that maximised margins make ECC unnecessary.  To let the benches
+quantify that claim we implement the conventional stack too: a binary BCH
+code needs polynomial arithmetic over GF(2^m), provided here with
+exp/log-table multiplication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["GF2m", "PRIMITIVE_POLYNOMIALS"]
+
+#: Primitive polynomials for GF(2^m), m = 2..12, as integer bit masks
+#: (x^4 + x + 1 == 0b10011 == 19).
+PRIMITIVE_POLYNOMIALS = {
+    2: 0b111,
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,
+    11: 0b100000000101,
+    12: 0b1000001010011,
+}
+
+
+@dataclass
+class GF2m:
+    """The finite field GF(2^m) with table-based arithmetic.
+
+    Elements are integers in ``[0, 2^m)`` interpreted as polynomials over
+    GF(2); ``alpha = 2`` (the polynomial x) is a primitive element.
+
+    Attributes:
+        m: field extension degree.
+        primitive_polynomial: reducing polynomial as a bit mask; defaults
+            to a standard primitive polynomial for the given m.
+    """
+
+    m: int
+    primitive_polynomial: int = 0
+    _exp: np.ndarray = field(init=False, repr=False)
+    _log: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.m < 2 or self.m > 16:
+            raise ValueError(f"m must be in 2..16, got {self.m}")
+        if self.primitive_polynomial == 0:
+            if self.m not in PRIMITIVE_POLYNOMIALS:
+                raise ValueError(
+                    f"no default primitive polynomial for m={self.m}; "
+                    "pass one explicitly"
+                )
+            self.primitive_polynomial = PRIMITIVE_POLYNOMIALS[self.m]
+        if self.primitive_polynomial >> self.m != 1:
+            raise ValueError(
+                f"primitive polynomial must have degree exactly {self.m}"
+            )
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        size = self.order
+        self._exp = np.zeros(2 * size, dtype=np.int64)
+        self._log = np.zeros(size + 1, dtype=np.int64)
+        value = 1
+        for power in range(size):
+            self._exp[power] = value
+            self._log[value] = power
+            value <<= 1
+            if value & (1 << self.m):
+                value ^= self.primitive_polynomial
+        if value != 1:
+            raise ValueError(
+                f"polynomial 0b{self.primitive_polynomial:b} is not "
+                f"primitive over GF(2^{self.m})"
+            )
+        # Duplicate the exp table so products of logs need no modulo.
+        self._exp[size : 2 * size] = self._exp[:size]
+
+    @property
+    def order(self) -> int:
+        """Number of non-zero elements, ``2^m - 1``."""
+        return (1 << self.m) - 1
+
+    @property
+    def size(self) -> int:
+        """Number of field elements, ``2^m``."""
+        return 1 << self.m
+
+    def _check(self, value: int) -> int:
+        if not 0 <= value < self.size:
+            raise ValueError(
+                f"{value} is not an element of GF(2^{self.m})"
+            )
+        return value
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (XOR of polynomial coefficients)."""
+        return self._check(a) ^ self._check(b)
+
+    def multiply(self, a: int, b: int) -> int:
+        """Field multiplication via exp/log tables."""
+        self._check(a)
+        self._check(b)
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[self._log[a] + self._log[b]])
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse; raises on zero."""
+        self._check(a)
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(2^m)")
+        return int(self._exp[self.order - self._log[a]])
+
+    def divide(self, a: int, b: int) -> int:
+        """Field division ``a / b``."""
+        return self.multiply(a, self.inverse(b))
+
+    def power(self, a: int, exponent: int) -> int:
+        """``a ** exponent`` with negative exponents allowed for a != 0."""
+        self._check(a)
+        if a == 0:
+            if exponent <= 0:
+                raise ZeroDivisionError("0 ** non-positive is undefined")
+            return 0
+        reduced = (self._log[a] * exponent) % self.order
+        return int(self._exp[reduced])
+
+    def alpha_power(self, exponent: int) -> int:
+        """``alpha ** exponent`` for the primitive element alpha."""
+        return int(self._exp[exponent % self.order])
+
+    def log(self, a: int) -> int:
+        """Discrete log base alpha; raises on zero."""
+        self._check(a)
+        if a == 0:
+            raise ValueError("zero has no discrete logarithm")
+        return int(self._log[a])
+
+    # ------------------------------------------------------------------
+    # Polynomial helpers (coefficient lists, lowest degree first)
+    # ------------------------------------------------------------------
+
+    def poly_eval(self, coefficients: list[int], x: int) -> int:
+        """Evaluate a polynomial with GF(2^m) coefficients at ``x``."""
+        result = 0
+        for coefficient in reversed(coefficients):
+            result = self.add(self.multiply(result, x), coefficient)
+        return result
+
+    def poly_multiply(self, a: list[int], b: list[int]) -> list[int]:
+        """Product of two polynomials over the field."""
+        if not a or not b:
+            return [0]
+        result = [0] * (len(a) + len(b) - 1)
+        for i, ca in enumerate(a):
+            if ca == 0:
+                continue
+            for j, cb in enumerate(b):
+                if cb == 0:
+                    continue
+                result[i + j] ^= self.multiply(ca, cb)
+        return result
+
+    def minimal_polynomial(self, element: int) -> list[int]:
+        """Minimal polynomial of a field element over GF(2).
+
+        Returned as 0/1 coefficients, lowest degree first.
+        """
+        self._check(element)
+        if element == 0:
+            return [0, 1]  # x
+        # The conjugacy class {e, e^2, e^4, ...}.
+        conjugates = []
+        current = element
+        while current not in conjugates:
+            conjugates.append(current)
+            current = self.multiply(current, current)
+        poly = [1]
+        for conjugate in conjugates:
+            poly = self.poly_multiply(poly, [conjugate, 1])
+        if any(c not in (0, 1) for c in poly):
+            raise AssertionError(
+                "minimal polynomial must have binary coefficients"
+            )
+        return poly

@@ -1,0 +1,51 @@
+"""Datasets: synthetic equivalents of the paper's measurement data.
+
+* :mod:`~repro.datasets.vtlike` — the Virginia Tech dataset's shape
+  (194 + 5 boards, 512 ROs, the full (V, T) corner grid);
+* :mod:`~repro.datasets.inhouse` — 9 inverter-level Virtex-5-style chips.
+"""
+
+from .base import BoardRecord, RODataset
+from .export import export_vt_directory
+from .inhouse import (
+    INHOUSE_BOARD_COUNT,
+    INHOUSE_MAX_STAGES,
+    INHOUSE_RING_COUNT,
+    INHOUSE_UNIT_COUNT,
+    InHouseConfig,
+    default_inhouse_boards,
+    generate_inhouse_boards,
+)
+from .vtlike import (
+    VT_GRID_COLUMNS,
+    VT_GRID_ROWS,
+    VT_NOMINAL_BOARDS,
+    VT_RO_COUNT,
+    VT_SWEPT_BOARDS,
+    VTLikeConfig,
+    default_vt_dataset,
+    generate_vt_like,
+    load_vt_directory,
+)
+
+__all__ = [
+    "BoardRecord",
+    "RODataset",
+    "export_vt_directory",
+    "INHOUSE_BOARD_COUNT",
+    "INHOUSE_MAX_STAGES",
+    "INHOUSE_RING_COUNT",
+    "INHOUSE_UNIT_COUNT",
+    "InHouseConfig",
+    "default_inhouse_boards",
+    "generate_inhouse_boards",
+    "VT_GRID_COLUMNS",
+    "VT_GRID_ROWS",
+    "VT_NOMINAL_BOARDS",
+    "VT_RO_COUNT",
+    "VT_SWEPT_BOARDS",
+    "VTLikeConfig",
+    "default_vt_dataset",
+    "generate_vt_like",
+    "load_vt_directory",
+]

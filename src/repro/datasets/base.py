@@ -1,0 +1,144 @@
+"""Dataset abstractions: boards of RO delay measurements at corners.
+
+Every evaluation in the paper consumes data through this shape: a *board*
+holds per-RO (or per-unit) delays measured at one or more operating points;
+a *dataset* is a collection of boards, most measured only at the nominal
+corner plus a few swept across the full (V, T) grid — exactly the structure
+of the Virginia Tech dataset the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+
+__all__ = ["BoardRecord", "RODataset"]
+
+
+@dataclass
+class BoardRecord:
+    """Delay measurements of one board.
+
+    Attributes:
+        name: board identifier.
+        coords: ``(ro_count, 2)`` normalised die coordinates of the ROs.
+        delays: operating point -> per-RO delays (seconds).  Every array
+            shares the board's RO count and ordering.
+    """
+
+    name: str
+    coords: np.ndarray
+    delays: dict[OperatingPoint, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.coords = np.asarray(self.coords, dtype=float)
+        if self.coords.ndim != 2 or self.coords.shape[1] != 2:
+            raise ValueError(f"coords must be (k, 2), got {self.coords.shape}")
+        for op, values in list(self.delays.items()):
+            values = np.asarray(values, dtype=float)
+            if values.shape != (self.ro_count,):
+                raise ValueError(
+                    f"board {self.name!r}: delays at {op.label()} have shape "
+                    f"{values.shape}, expected ({self.ro_count},)"
+                )
+            self.delays[op] = values
+
+    @property
+    def ro_count(self) -> int:
+        return self.coords.shape[0]
+
+    @property
+    def corners(self) -> list[OperatingPoint]:
+        """Operating points this board was measured at (sorted)."""
+        return sorted(self.delays.keys())
+
+    @property
+    def is_swept(self) -> bool:
+        """True when the board was measured at more than one corner."""
+        return len(self.delays) > 1
+
+    def delays_at(self, op: OperatingPoint) -> np.ndarray:
+        """Per-RO delays at a measured corner.
+
+        Raises:
+            KeyError: if the board was not measured at ``op``.
+        """
+        if op not in self.delays:
+            measured = ", ".join(c.label() for c in self.corners)
+            raise KeyError(
+                f"board {self.name!r} has no measurement at {op.label()} "
+                f"(measured: {measured})"
+            )
+        return self.delays[op]
+
+    def delay_provider(self) -> Callable[[OperatingPoint], np.ndarray]:
+        """The ``op -> delays`` callable the PUF classes consume."""
+        return self.delays_at
+
+    def frequencies_at(self, op: OperatingPoint) -> np.ndarray:
+        """Per-RO frequencies (Hz), treating each delay as a half-period."""
+        return 1.0 / (2.0 * self.delays_at(op))
+
+
+@dataclass
+class RODataset:
+    """A collection of measured boards (the VT dataset's structure).
+
+    Attributes:
+        name: dataset identifier.
+        boards: all boards.
+        nominal: the enrollment corner shared by every board.
+        metadata: free-form provenance information.
+    """
+
+    name: str
+    boards: list[BoardRecord]
+    nominal: OperatingPoint = NOMINAL_OPERATING_POINT
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.boards:
+            raise ValueError("a dataset needs at least one board")
+        for board in self.boards:
+            if self.nominal not in board.delays:
+                raise ValueError(
+                    f"board {board.name!r} lacks the nominal corner "
+                    f"{self.nominal.label()}"
+                )
+
+    @property
+    def board_count(self) -> int:
+        return len(self.boards)
+
+    @property
+    def ro_count(self) -> int:
+        """RO count shared by the boards (raises if inhomogeneous)."""
+        counts = {board.ro_count for board in self.boards}
+        if len(counts) != 1:
+            raise ValueError(f"boards have differing RO counts: {sorted(counts)}")
+        return counts.pop()
+
+    @property
+    def nominal_boards(self) -> list[BoardRecord]:
+        """Boards measured only at the nominal corner (the 194 of Sec. IV)."""
+        return [board for board in self.boards if not board.is_swept]
+
+    @property
+    def swept_boards(self) -> list[BoardRecord]:
+        """Environment-swept boards (the 5 of Sec. IV.D)."""
+        return [board for board in self.boards if board.is_swept]
+
+    def board(self, name: str) -> BoardRecord:
+        """Look a board up by name."""
+        for candidate in self.boards:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no board named {name!r} in dataset {self.name!r}")
+
+    def nominal_delay_matrix(self) -> np.ndarray:
+        """(board_count, ro_count) delays at the nominal corner."""
+        return np.stack([board.delays_at(self.nominal) for board in self.boards])

@@ -1,0 +1,71 @@
+"""Export datasets to the on-disk measurement-file layout.
+
+The counterpart of :func:`repro.datasets.vtlike.load_vt_directory`: writes
+one frequency file per (board, corner) so synthetic datasets can be shared
+with tools that expect raw measurement files, and so the loader has a
+round-trip test partner.  Frequencies are stored in MHz, matching the
+public dataset's convention.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..variation.environment import OperatingPoint
+from .base import RODataset
+
+__all__ = ["export_vt_directory", "LAYOUT_FILENAME"]
+
+#: Sidecar file recording each board's die coordinates, so a reloaded
+#: dataset distills against the true geometry instead of a guessed grid.
+LAYOUT_FILENAME = "_layout.json"
+
+
+def _corner_suffix(op: OperatingPoint, nominal: OperatingPoint) -> str:
+    if op == nominal:
+        return ""
+    return f"_V{op.voltage:.2f}_T{op.temperature:g}"
+
+
+def export_vt_directory(
+    dataset: RODataset,
+    directory: str | Path,
+    overwrite: bool = False,
+) -> list[Path]:
+    """Write a dataset as per-(board, corner) frequency files.
+
+    Args:
+        dataset: the dataset to export.
+        directory: target directory (created if missing).
+        overwrite: allow replacing existing files.
+
+    Returns:
+        The written file paths, sorted.
+
+    Raises:
+        FileExistsError: when a target file exists and ``overwrite`` is
+            False.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    layout: dict[str, list[list[float]]] = {}
+    for board in dataset.boards:
+        layout[board.name] = board.coords.tolist()
+        for op in board.corners:
+            suffix = _corner_suffix(op, dataset.nominal)
+            path = directory / f"{board.name}{suffix}.txt"
+            if path.exists() and not overwrite:
+                raise FileExistsError(f"refusing to overwrite {path}")
+            frequencies_mhz = board.frequencies_at(op) / 1e6
+            np.savetxt(path, frequencies_mhz, fmt="%.9f")
+            written.append(path)
+    layout_path = directory / LAYOUT_FILENAME
+    if layout_path.exists() and not overwrite:
+        raise FileExistsError(f"refusing to overwrite {layout_path}")
+    layout_path.write_text(json.dumps(layout))
+    written.append(layout_path)
+    return sorted(written)

@@ -1,0 +1,66 @@
+"""Synthetic stand-in for the paper's in-house Virtex-5 measurements.
+
+Sec. IV.E measures inverter-level delays on 9 Xilinx Virtex-5 LX ML501
+boards, 1024 inverters each, from which 64 ROs of up to 13 inverters are
+constructed.  We fabricate 9 chips with the full delay-unit model (inverter
++ MUX paths) so the complete post-silicon pipeline — leave-one-out
+measurement, ddiff extraction, selection — runs exactly as described in
+Sec. III.B/III.C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from ..silicon.fabrication import FabricationProcess
+from ..silicon.chip import Chip
+
+__all__ = ["InHouseConfig", "generate_inhouse_boards", "default_inhouse_boards"]
+
+#: The paper's in-house testbed shape (Sec. IV.E).
+INHOUSE_BOARD_COUNT = 9
+INHOUSE_UNIT_COUNT = 1024
+INHOUSE_RING_COUNT = 64
+INHOUSE_MAX_STAGES = 13
+
+
+@dataclass
+class InHouseConfig:
+    """Parameters of the synthetic in-house boards.
+
+    Attributes:
+        board_count: number of boards (paper: 9).
+        unit_count: delay units per board (paper: 1024 inverters).
+        fabrication: the foundry model producing the chips.
+        seed: master seed for reproducibility.
+    """
+
+    board_count: int = INHOUSE_BOARD_COUNT
+    unit_count: int = INHOUSE_UNIT_COUNT
+    fabrication: FabricationProcess = field(default_factory=FabricationProcess)
+    seed: int = 20140602
+
+    def __post_init__(self) -> None:
+        if self.board_count < 1:
+            raise ValueError("board_count must be >= 1")
+        if self.unit_count < 1:
+            raise ValueError("unit_count must be >= 1")
+
+
+def generate_inhouse_boards(config: InHouseConfig | None = None) -> list[Chip]:
+    """Fabricate the synthetic in-house boards."""
+    if config is None:
+        config = InHouseConfig()
+    rng = np.random.default_rng(config.seed)
+    return config.fabrication.fabricate_lot(
+        config.board_count, config.unit_count, rng, name_prefix="virtex5-"
+    )
+
+
+@lru_cache(maxsize=2)
+def default_inhouse_boards(seed: int = 20140602) -> tuple[Chip, ...]:
+    """The default synthetic in-house boards, cached per seed."""
+    return tuple(generate_inhouse_boards(InHouseConfig(seed=seed)))

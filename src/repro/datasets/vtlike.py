@@ -1,0 +1,237 @@
+"""A synthetic dataset shaped like the Virginia Tech RO PUF dataset [16].
+
+The real dataset holds RO frequency measurements from 198 Spartan-3E
+(XC3S500E) boards with 512 ROs each: 194 boards at the fixed corner
+(1.20 V, 25 degC) plus 5 boards swept over supply voltages
+{0.98, 1.08, 1.20, 1.32, 1.44} V and temperatures {25, 35, 45, 55, 65} degC.
+The paper treats each dataset RO as one *inverter* of a configurable RO
+because no public inverter-level data exists (Sec. IV).
+
+This module generates a statistically-equivalent dataset from the
+process-variation and environment models (see DESIGN.md Sec. 2 for the
+substitution argument), and provides a loader for real measurement files if
+a user has them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from ..silicon.geometry import grid_coordinates
+from ..variation.corners import full_grid
+from ..variation.environment import (
+    NOMINAL_OPERATING_POINT,
+    EnvironmentModel,
+    OperatingPoint,
+)
+from ..variation.noise import GaussianNoise, MeasurementNoise
+from ..variation.process import ProcessVariationModel
+from .base import BoardRecord, RODataset
+
+__all__ = [
+    "VTLikeConfig",
+    "generate_vt_like",
+    "default_vt_dataset",
+    "load_vt_directory",
+]
+
+#: Board counts of the real dataset: 194 fixed-corner + 5 swept (199 usable).
+VT_NOMINAL_BOARDS = 194
+VT_SWEPT_BOARDS = 5
+VT_RO_COUNT = 512
+VT_GRID_COLUMNS = 16
+VT_GRID_ROWS = 32
+
+
+@dataclass
+class VTLikeConfig:
+    """Parameters of the synthetic VT-shaped dataset.
+
+    Attributes:
+        nominal_boards: boards measured only at the nominal corner.
+        swept_boards: boards measured across the full (V, T) grid.
+        ro_count: ROs per board.
+        grid_columns / grid_rows: die placement grid.
+        process: fabrication-variation model.
+        environment: delay-vs-environment model.
+        measurement_noise: noise baked into each stored measurement (the
+            real dataset stores averaged counter readings; jitter survives).
+        seed: master seed; the same seed reproduces the same dataset.
+    """
+
+    nominal_boards: int = VT_NOMINAL_BOARDS
+    swept_boards: int = VT_SWEPT_BOARDS
+    ro_count: int = VT_RO_COUNT
+    grid_columns: int = VT_GRID_COLUMNS
+    grid_rows: int = VT_GRID_ROWS
+    process: ProcessVariationModel = field(default_factory=ProcessVariationModel)
+    environment: EnvironmentModel = field(default_factory=EnvironmentModel)
+    measurement_noise: MeasurementNoise = field(
+        default_factory=lambda: GaussianNoise(relative_sigma=2e-4)
+    )
+    seed: int = 20140601
+
+    def __post_init__(self) -> None:
+        if self.nominal_boards < 0 or self.swept_boards < 0:
+            raise ValueError("board counts must be non-negative")
+        if self.nominal_boards + self.swept_boards == 0:
+            raise ValueError("the dataset needs at least one board")
+        if self.ro_count < 1:
+            raise ValueError("ro_count must be >= 1")
+        if self.grid_columns * self.grid_rows < self.ro_count:
+            raise ValueError(
+                f"{self.grid_columns}x{self.grid_rows} grid cannot place "
+                f"{self.ro_count} ROs"
+            )
+
+
+def generate_vt_like(config: VTLikeConfig | None = None) -> RODataset:
+    """Generate the synthetic VT-shaped dataset.
+
+    Swept boards come first (named ``sweptNN``), then nominal-only boards
+    (named ``boardNNN``), mirroring how the paper partitions the data.
+    """
+    if config is None:
+        config = VTLikeConfig()
+    rng = np.random.default_rng(config.seed)
+    coords = grid_coordinates(config.grid_columns, config.grid_rows)[
+        : config.ro_count
+    ]
+    corners = full_grid()
+
+    boards: list[BoardRecord] = []
+    for index in range(config.swept_boards):
+        boards.append(
+            _generate_board(
+                f"swept{index:02d}", coords, corners, config, rng
+            )
+        )
+    for index in range(config.nominal_boards):
+        boards.append(
+            _generate_board(
+                f"board{index:03d}", coords, [NOMINAL_OPERATING_POINT], config, rng
+            )
+        )
+    return RODataset(
+        name="vt-like-synthetic",
+        boards=boards,
+        nominal=NOMINAL_OPERATING_POINT,
+        metadata={
+            "source": "synthetic (repro.datasets.vtlike)",
+            "models": "ProcessVariationModel + EnvironmentModel",
+            "seed": config.seed,
+            "paper_dataset": "Virginia Tech RO PUF dataset [16]",
+        },
+    )
+
+
+def _generate_board(
+    name: str,
+    coords: np.ndarray,
+    corners: list[OperatingPoint],
+    config: VTLikeConfig,
+    rng: np.random.Generator,
+) -> BoardRecord:
+    """Fabricate one board and measure it at the requested corners."""
+    fld = config.process.sample_field(rng)
+    offset = config.process.sample_board_offset(rng)
+    base_delays = config.process.sample_delays(coords, fld, offset, rng)
+    sensitivities = config.environment.sample_sensitivities(len(coords), rng)
+
+    delays: dict[OperatingPoint, np.ndarray] = {}
+    for op in corners:
+        true_delays = config.environment.delays_at(base_delays, sensitivities, op)
+        delays[op] = config.measurement_noise.observe(true_delays, rng)
+    return BoardRecord(name=name, coords=coords.copy(), delays=delays)
+
+
+@lru_cache(maxsize=4)
+def default_vt_dataset(seed: int = 20140601) -> RODataset:
+    """The default synthetic dataset, cached per seed for reuse."""
+    return generate_vt_like(VTLikeConfig(seed=seed))
+
+
+def load_vt_directory(
+    directory: str | Path,
+    nominal: OperatingPoint = NOMINAL_OPERATING_POINT,
+    frequencies_in_mhz: bool = True,
+) -> RODataset:
+    """Load real measurement files from a directory (best-effort adapter).
+
+    Expected layout: one whitespace/newline-separated file of per-RO
+    frequencies per (board, corner):
+
+    * ``<board>.txt`` — measured at the nominal corner;
+    * ``<board>_V<volts>_T<celsius>.txt`` — measured at a swept corner,
+      e.g. ``boardA_V0.98_T25.txt``.
+
+    Frequencies are converted to delays via ``d = 1 / (2 f)``.  RO die
+    coordinates are reconstructed on a 16x32 grid (the public dataset does
+    not ship coordinates; a row-major placement matches its RO ordering
+    closely enough for distillation).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"not a directory: {directory}")
+    files = sorted(directory.glob("*.txt"))
+    if not files:
+        raise FileNotFoundError(f"no .txt measurement files under {directory}")
+
+    measurements: dict[str, dict[OperatingPoint, np.ndarray]] = {}
+    for path in files:
+        board, op = _parse_vt_filename(path.stem, nominal)
+        values = np.loadtxt(path, dtype=float).ravel()
+        if frequencies_in_mhz:
+            values = values * 1e6
+        if np.any(values <= 0.0):
+            raise ValueError(f"{path}: frequencies must be positive")
+        delays = 1.0 / (2.0 * values)
+        measurements.setdefault(board, {})[op] = delays
+
+    # A `_layout.json` sidecar (written by repro.datasets.export) records
+    # each board's true die coordinates; without it a 16-column row-major
+    # grid is assumed, which matches the public dataset's RO ordering.
+    layout_path = directory / "_layout.json"
+    layout: dict[str, list] = {}
+    if layout_path.is_file():
+        import json
+
+        layout = json.loads(layout_path.read_text())
+
+    boards = []
+    for name in sorted(measurements):
+        delays = measurements[name]
+        ro_count = len(next(iter(delays.values())))
+        if name in layout:
+            coords = np.asarray(layout[name], dtype=float)
+        else:
+            columns = VT_GRID_COLUMNS
+            rows = max(1, int(np.ceil(ro_count / columns)))
+            coords = grid_coordinates(columns, rows)[:ro_count]
+        boards.append(BoardRecord(name=name, coords=coords, delays=delays))
+    return RODataset(
+        name=f"vt-loaded:{directory.name}",
+        boards=boards,
+        nominal=nominal,
+        metadata={"source": str(directory)},
+    )
+
+
+def _parse_vt_filename(
+    stem: str, nominal: OperatingPoint
+) -> tuple[str, OperatingPoint]:
+    """Split ``board_V1.08_T45`` into board name and operating point."""
+    parts = stem.split("_")
+    if len(parts) >= 3 and parts[-2].startswith("V") and parts[-1].startswith("T"):
+        try:
+            voltage = float(parts[-2][1:])
+            temperature = float(parts[-1][1:])
+        except ValueError as error:
+            raise ValueError(f"cannot parse corner from filename {stem!r}") from error
+        board = "_".join(parts[:-2])
+        return board, OperatingPoint(voltage=voltage, temperature=temperature)
+    return stem, nominal

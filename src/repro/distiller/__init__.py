@@ -1,0 +1,5 @@
+"""Systematic-variation distillers (the paper's ref [18] substitute)."""
+
+from .regression import DistillerResult, MeanDistiller, PolynomialDistiller
+
+__all__ = ["DistillerResult", "MeanDistiller", "PolynomialDistiller"]

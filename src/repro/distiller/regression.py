@@ -1,0 +1,109 @@
+"""Regression-based distiller (Yin & Qu, DAC 2013 — the paper's ref [18]).
+
+Raw RO delays carry a smooth *systematic* spatial component shared by
+neighbouring devices; PUF bits derived from raw delays are therefore
+correlated and fail the NIST randomness tests (the paper reproduces this in
+Sec. IV.A).  The distiller fits a low-order polynomial regression of each
+board's delays over die coordinates and keeps only the residuals — the
+random variation that actually identifies the chip.
+
+The distilled values are *relative* residuals re-centred on the board mean,
+so downstream code can keep treating them as delays (all PUF decisions are
+comparisons, which the common offset never affects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..variation.process import polynomial_design_matrix
+
+__all__ = ["PolynomialDistiller", "MeanDistiller", "DistillerResult"]
+
+
+@dataclass
+class DistillerResult:
+    """Outcome of distilling one board.
+
+    Attributes:
+        distilled: residual delays (same shape/unit as the input).
+        fitted: the removed systematic component (trend + mean).
+        coefficients: regression coefficients, intercept first.
+    """
+
+    distilled: np.ndarray
+    fitted: np.ndarray
+    coefficients: np.ndarray
+
+
+@dataclass
+class PolynomialDistiller:
+    """Removes a polynomial spatial trend from per-device delays.
+
+    Attributes:
+        degree: total degree of the fitted 2-D polynomial (the paper's
+            source technique uses low orders; 2 matches our process model's
+            dominant term).
+        keep_mean: when True, the board-mean delay is added back to the
+            residuals so the output remains a physically-scaled delay.
+    """
+
+    degree: int = 2
+    keep_mean: bool = True
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise ValueError(f"degree must be >= 1, got {self.degree}")
+
+    def distill(self, delays: np.ndarray, coords: np.ndarray) -> DistillerResult:
+        """Fit and remove the spatial trend of one board.
+
+        Args:
+            delays: per-device delays (1-D).
+            coords: ``(k, 2)`` normalised die coordinates of the devices.
+        """
+        delays = np.asarray(delays, dtype=float)
+        coords = np.asarray(coords, dtype=float)
+        if delays.ndim != 1:
+            raise ValueError("delays must be 1-D")
+        if coords.shape != (len(delays), 2):
+            raise ValueError(
+                f"coords shape {coords.shape} does not match "
+                f"{len(delays)} delays"
+            )
+        monomials = polynomial_design_matrix(coords, self.degree)
+        design = np.column_stack([np.ones(len(delays)), monomials])
+        coefficients, _, _, _ = np.linalg.lstsq(design, delays, rcond=None)
+        fitted = design @ coefficients
+        residuals = delays - fitted
+        if self.keep_mean:
+            residuals = residuals + float(np.mean(delays))
+        return DistillerResult(
+            distilled=residuals, fitted=fitted, coefficients=coefficients
+        )
+
+    def __call__(self, delays: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        """Convenience: return only the distilled delays."""
+        return self.distill(delays, coords).distilled
+
+
+@dataclass
+class MeanDistiller:
+    """Removes only the board-mean offset (a degenerate distiller baseline)."""
+
+    def distill(self, delays: np.ndarray, coords: np.ndarray) -> DistillerResult:
+        delays = np.asarray(delays, dtype=float)
+        if delays.ndim != 1:
+            raise ValueError("delays must be 1-D")
+        mean = float(np.mean(delays))
+        fitted = np.full_like(delays, mean)
+        return DistillerResult(
+            distilled=delays - fitted,
+            fitted=fitted,
+            coefficients=np.array([mean]),
+        )
+
+    def __call__(self, delays: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        return self.distill(delays, coords).distilled

@@ -1,0 +1,49 @@
+"""The paper's evaluation, one module per table/figure (DESIGN.md Sec. 4).
+
+* E1/E2 — :mod:`~repro.experiments.nist_tables` (Tables I-II)
+* E3 — :mod:`~repro.experiments.fig3_uniqueness` (Fig. 3)
+* E4/E5/E10 — :mod:`~repro.experiments.config_tables` (Tables III-IV)
+* E6/E7 — :mod:`~repro.experiments.fig4_reliability` (Fig. 4 + temperature)
+* E8 — :mod:`~repro.experiments.table5_bits` (Table V)
+* E9 — :mod:`~repro.experiments.sec4e_threshold` (Sec. IV.E)
+"""
+
+from . import (
+    ablations,
+    config_tables,
+    extensions,
+    fig3_uniqueness,
+    fig4_reliability,
+    nist_tables,
+    sec4e_threshold,
+    table5_bits,
+)
+from .common import (
+    CONFIG_STUDY_STAGE_COUNT,
+    RANDOMNESS_STAGE_COUNT,
+    PipelineConfig,
+    board_enrollment,
+    board_puf,
+    combine_streams,
+    dataset_or_default,
+    response_matrix,
+)
+
+__all__ = [
+    "ablations",
+    "config_tables",
+    "extensions",
+    "fig3_uniqueness",
+    "fig4_reliability",
+    "nist_tables",
+    "sec4e_threshold",
+    "table5_bits",
+    "CONFIG_STUDY_STAGE_COUNT",
+    "RANDOMNESS_STAGE_COUNT",
+    "PipelineConfig",
+    "board_enrollment",
+    "board_puf",
+    "combine_streams",
+    "dataset_or_default",
+    "response_matrix",
+]

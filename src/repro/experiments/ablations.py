@@ -1,0 +1,301 @@
+"""Ablation studies of the design choices DESIGN.md calls out.
+
+* A1 — distiller on/off: raw PUF bits fail NIST (systematic variation),
+  distilled bits pass (the paper's Sec. IV.A narrative).
+* A2 — selector comparison: achieved margins of Case-1 / Case-2 /
+  traditional / Maiti-Schaumont on identical hardware, plus the bit-sign
+  identity between the three paper schemes.
+* A3 — measurement-noise sweep: how jitter and repeat-averaging affect
+  ddiff extraction accuracy and the selected margins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.tables import Table
+from ..baselines.maiti_schaumont import select_best_word
+from ..core.measurement import DelayMeasurer, measure_ddiffs_leave_one_out
+from ..core.pairing import RingAllocation
+from ..core.puf import ChipROPUF
+from ..core.selection import select_case1, select_case2, select_traditional
+from ..datasets.base import RODataset
+from ..silicon.fabrication import FabricationProcess
+from ..variation.noise import GaussianNoise, NoiselessMeasurement
+from .common import PipelineConfig, dataset_or_default
+from .nist_tables import run_nist_experiment
+
+__all__ = [
+    "DistillerAblation",
+    "run_distiller_ablation",
+    "SelectorAblation",
+    "run_selector_ablation",
+    "NoiseAblation",
+    "run_measurement_noise_ablation",
+]
+
+
+# ----------------------------------------------------------------------
+# A1 — distiller on/off
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DistillerAblation:
+    """NIST outcome with and without the distiller.
+
+    Attributes:
+        raw_passed / distilled_passed: overall battery verdicts.
+        raw_failed_tests / distilled_failed_tests: failing row labels.
+        raw_min_proportion: worst passing proportion of the raw run.
+    """
+
+    raw_passed: bool
+    distilled_passed: bool
+    raw_failed_tests: list[str]
+    distilled_failed_tests: list[str]
+    raw_min_proportion: float
+
+
+def run_distiller_ablation(
+    dataset: RODataset | None = None, method: str = "case1"
+) -> DistillerAblation:
+    """Reproduce the paper's raw-fails / distilled-passes observation."""
+    raw = run_nist_experiment(dataset, method=method, distilled=False)
+    distilled = run_nist_experiment(dataset, method=method, distilled=True)
+    return DistillerAblation(
+        raw_passed=raw.passed,
+        distilled_passed=distilled.passed,
+        raw_failed_tests=[row.label for row in raw.report.failed_rows],
+        distilled_failed_tests=[row.label for row in distilled.report.failed_rows],
+        raw_min_proportion=min(
+            (row.proportion for row in raw.report.rows), default=1.0
+        ),
+    )
+
+
+def format_distiller_ablation(result: DistillerAblation) -> str:
+    lines = [
+        "A1 distiller ablation (paper: raw fails NIST, distilled passes)",
+        f"  raw:       {'PASS' if result.raw_passed else 'FAIL'}"
+        f" (failing: {', '.join(result.raw_failed_tests) or 'none'};"
+        f" worst proportion {result.raw_min_proportion:.2f})",
+        f"  distilled: {'PASS' if result.distilled_passed else 'FAIL'}"
+        f" (failing: {', '.join(result.distilled_failed_tests) or 'none'})",
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# A2 — selector margins
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SelectorAblation:
+    """Margin statistics of the selection schemes on identical pairs.
+
+    Attributes:
+        mean_abs_margin: scheme name -> mean |margin| (seconds).
+        min_abs_margin: scheme name -> minimum |margin|.
+        bit_disagreements: pairs where Case-1/Case-2/traditional bits
+            differ (expected 0 outside exact ties; see DESIGN.md).
+        pair_count: pairs evaluated.
+    """
+
+    mean_abs_margin: dict[str, float]
+    min_abs_margin: dict[str, float]
+    bit_disagreements: int
+    pair_count: int
+
+
+def run_selector_ablation(
+    dataset: RODataset | None = None,
+    stage_count: int = 5,
+    max_boards: int = 40,
+) -> SelectorAblation:
+    """Compare selector margins over dataset ring pairs.
+
+    The Maiti-Schaumont scheme is evaluated on the same units regrouped
+    two-per-stage, so every scheme sees identical silicon per pair (MS
+    consumes twice the area per ring stage).
+    """
+    dataset = dataset_or_default(dataset)
+    config = PipelineConfig(stage_count=stage_count, method="case1", distill=True)
+    margins: dict[str, list[float]] = {
+        "case1": [],
+        "case2": [],
+        "traditional": [],
+        "maiti_schaumont": [],
+    }
+    disagreements = 0
+    pair_count = 0
+    distiller = config.distiller()
+    for board in dataset.nominal_boards[:max_boards]:
+        delays = board.delays_at(dataset.nominal)
+        if distiller is not None:
+            delays = distiller(delays, board.coords)
+        window = 2 * stage_count
+        pairs = len(delays) // window
+        for pair in range(pairs):
+            chunk = delays[pair * window : (pair + 1) * window]
+            alpha = chunk[:stage_count]
+            beta = chunk[stage_count:]
+            s1 = select_case1(alpha, beta)
+            s2 = select_case2(alpha, beta)
+            st = select_traditional(alpha, beta)
+            margins["case1"].append(s1.abs_margin)
+            margins["case2"].append(s2.abs_margin)
+            margins["traditional"].append(st.abs_margin)
+            # Maiti-Schaumont on the same 2n units: n/2-stage rings with two
+            # candidate inverters per stage (integer stage count required).
+            ms_stages = max(1, stage_count // 2)
+            ms_units = chunk[: 4 * ms_stages]
+            tensor = ms_units.reshape(1, 2, ms_stages, 2)
+            ms = select_best_word(tensor[0, 0], tensor[0, 1])
+            margins["maiti_schaumont"].append(abs(ms.margin))
+            bits = {s1.bit, s2.bit, st.bit}
+            if len(bits) > 1:
+                disagreements += 1
+            pair_count += 1
+    return SelectorAblation(
+        mean_abs_margin={k: float(np.mean(v)) for k, v in margins.items()},
+        min_abs_margin={k: float(np.min(v)) for k, v in margins.items()},
+        bit_disagreements=disagreements,
+        pair_count=pair_count,
+    )
+
+
+def format_selector_ablation(result: SelectorAblation) -> str:
+    table = Table(
+        headers=["scheme", "mean |margin| (ps)", "min |margin| (ps)"],
+        title=f"A2 selector margins over {result.pair_count} pairs",
+    )
+    for scheme in ("traditional", "case1", "case2", "maiti_schaumont"):
+        table.add_row(
+            scheme,
+            f"{result.mean_abs_margin[scheme] * 1e12:.1f}",
+            f"{result.min_abs_margin[scheme] * 1e12:.2f}",
+        )
+    return (
+        table.render()
+        + f"\nbit disagreements between case1/case2/traditional: "
+        f"{result.bit_disagreements} (identity predicts 0 outside ties)"
+    )
+
+
+# ----------------------------------------------------------------------
+# A3 — measurement-noise sweep
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class NoiseAblation:
+    """Effect of measurement jitter on ddiff extraction and selection.
+
+    Attributes:
+        noise_sigmas: relative jitter levels swept.
+        repeats: averaging repeats swept.
+        ddiff_rms_error: (sigma, repeats) -> RMS ddiff error in seconds.
+        margin_loss_percent: (sigma, repeats) -> mean % of margin lost by
+            selecting on noisy instead of true ddiffs.
+    """
+
+    noise_sigmas: tuple[float, ...]
+    repeats: tuple[int, ...]
+    ddiff_rms_error: dict[tuple[float, int], float]
+    margin_loss_percent: dict[tuple[float, int], float]
+
+
+def run_measurement_noise_ablation(
+    noise_sigmas: tuple[float, ...] = (1e-4, 5e-4, 2e-3, 8e-3),
+    repeats: tuple[int, ...] = (1, 5, 25),
+    stage_count: int = 7,
+    pair_count: int = 24,
+    seed: int = 7,
+) -> NoiseAblation:
+    """Sweep jitter and averaging on a freshly fabricated chip."""
+    fab = FabricationProcess()
+    chip = fab.fabricate(
+        2 * stage_count * pair_count, np.random.default_rng(seed), name="noise-ablation"
+    )
+    allocation = RingAllocation(
+        stage_count=stage_count, ring_count=2 * pair_count, layout="interleaved"
+    )
+    true_ddiffs = chip.ddiffs()
+
+    ddiff_errors: dict[tuple[float, int], float] = {}
+    margin_losses: dict[tuple[float, int], float] = {}
+    for sigma in noise_sigmas:
+        for repeat in repeats:
+            measurer = DelayMeasurer(
+                noise=GaussianNoise(relative_sigma=sigma),
+                repeats=repeat,
+                rng=np.random.default_rng(seed + 1),
+            )
+            errors = []
+            losses = []
+            for pair in range(allocation.pair_count):
+                top_idx, bottom_idx = allocation.pair_rings(pair)
+                puf = ChipROPUF(
+                    chip=chip, allocation=allocation, method="case1",
+                    measurer=measurer,
+                )
+                top_ring = puf.ring(top_idx)
+                bottom_ring = puf.ring(bottom_idx)
+                top_est = measure_ddiffs_leave_one_out(measurer, top_ring)
+                bottom_est = measure_ddiffs_leave_one_out(measurer, bottom_ring)
+                top_true = true_ddiffs[top_ring.unit_indices]
+                bottom_true = true_ddiffs[bottom_ring.unit_indices]
+                errors.append(
+                    np.sqrt(
+                        np.mean(
+                            np.concatenate(
+                                [
+                                    top_est.ddiffs - top_true,
+                                    bottom_est.ddiffs - bottom_true,
+                                ]
+                            )
+                            ** 2
+                        )
+                    )
+                )
+                noisy_selection = select_case1(top_est.ddiffs, bottom_est.ddiffs)
+                true_selection = select_case1(top_true, bottom_true)
+                achieved = abs(
+                    float(
+                        np.sum(top_true[noisy_selection.top_config.as_array()])
+                        - np.sum(
+                            bottom_true[noisy_selection.bottom_config.as_array()]
+                        )
+                    )
+                )
+                optimal = true_selection.abs_margin
+                if optimal > 0:
+                    losses.append(100.0 * max(optimal - achieved, 0.0) / optimal)
+            ddiff_errors[(sigma, repeat)] = float(np.mean(errors))
+            margin_losses[(sigma, repeat)] = float(np.mean(losses))
+    return NoiseAblation(
+        noise_sigmas=noise_sigmas,
+        repeats=repeats,
+        ddiff_rms_error=ddiff_errors,
+        margin_loss_percent=margin_losses,
+    )
+
+
+def format_noise_ablation(result: NoiseAblation) -> str:
+    table = Table(
+        headers=["jitter sigma", "repeats", "ddiff RMS error (ps)", "margin loss (%)"],
+        title="A3 measurement-noise ablation",
+    )
+    for sigma in result.noise_sigmas:
+        for repeat in result.repeats:
+            table.add_row(
+                f"{sigma:g}",
+                repeat,
+                f"{result.ddiff_rms_error[(sigma, repeat)] * 1e12:.2f}",
+                f"{result.margin_loss_percent[(sigma, repeat)]:.2f}",
+            )
+    return table.render()

@@ -1,0 +1,144 @@
+"""Shared plumbing of the experiment modules.
+
+The paper's evaluation (Sec. IV) repeatedly runs one pipeline: take a
+board's RO delays (each dataset RO standing in for one inverter), optionally
+distil away the systematic variation, carve the units into ring pairs, run a
+selection method, and read out bits.  This module owns that pipeline so each
+experiment file only describes what is specific to its table or figure.
+
+Experiments enforce odd selected counts (``require_odd=True``): a deployed
+ring must free-run to be measured, and this constraint is also what makes
+the configuration-vector Hamming distances all-even, as observed in the
+paper's Tables III and IV (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.pairing import allocate_rings
+from ..core.puf import BoardROPUF, Enrollment
+from ..datasets.base import BoardRecord, RODataset
+from ..datasets.vtlike import default_vt_dataset
+from ..distiller.regression import PolynomialDistiller
+from ..variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+
+__all__ = [
+    "PipelineConfig",
+    "board_puf",
+    "board_enrollment",
+    "response_matrix",
+    "combine_streams",
+    "dataset_or_default",
+]
+
+#: The paper's main configuration: n = 5 inverters per RO for randomness and
+#: uniqueness experiments (Sec. IV.A), n = 15 for configuration studies.
+RANDOMNESS_STAGE_COUNT = 5
+CONFIG_STUDY_STAGE_COUNT = 15
+
+
+@dataclass
+class PipelineConfig:
+    """How to turn one board into PUF bits.
+
+    Attributes:
+        stage_count: inverters per ring (the paper's ``n``).
+        method: ``"case1"``, ``"case2"`` or ``"traditional"``.
+        distill: remove systematic variation before selection (the paper
+            applies the [18] distiller for the randomness experiments).
+        distiller_degree: polynomial degree of the distiller.
+        require_odd: enforce odd selected counts (free-running rings).
+    """
+
+    stage_count: int = RANDOMNESS_STAGE_COUNT
+    method: str = "case1"
+    distill: bool = True
+    distiller_degree: int = 2
+    require_odd: bool = True
+
+    def distiller(self) -> PolynomialDistiller | None:
+        if not self.distill:
+            return None
+        return PolynomialDistiller(degree=self.distiller_degree)
+
+
+def _make_provider(
+    board: BoardRecord, config: PipelineConfig
+) -> Callable[[OperatingPoint], np.ndarray]:
+    """A delay provider that distils lazily, caching per corner."""
+    distiller = config.distiller()
+    cache: dict[OperatingPoint, np.ndarray] = {}
+
+    def provider(op: OperatingPoint) -> np.ndarray:
+        if op not in cache:
+            delays = board.delays_at(op)
+            if distiller is not None:
+                delays = distiller(delays, board.coords)
+            cache[op] = delays
+        return cache[op]
+
+    return provider
+
+
+def board_puf(board: BoardRecord, config: PipelineConfig) -> BoardROPUF:
+    """Build the configured PUF over one board."""
+    allocation = allocate_rings(board.ro_count, config.stage_count)
+    if allocation.pair_count == 0:
+        raise ValueError(
+            f"board {board.name!r} ({board.ro_count} ROs) yields no "
+            f"{config.stage_count}-stage ring pair"
+        )
+    return BoardROPUF(
+        delay_provider=_make_provider(board, config),
+        allocation=allocation,
+        method=config.method,
+        require_odd=config.require_odd,
+    )
+
+
+def board_enrollment(
+    board: BoardRecord,
+    config: PipelineConfig,
+    op: OperatingPoint = NOMINAL_OPERATING_POINT,
+) -> Enrollment:
+    """Enroll one board at an operating point."""
+    return board_puf(board, config).enroll(op)
+
+
+def response_matrix(
+    boards: list[BoardRecord],
+    config: PipelineConfig,
+    op: OperatingPoint = NOMINAL_OPERATING_POINT,
+) -> np.ndarray:
+    """(board, bit) response matrix across a board population."""
+    if not boards:
+        raise ValueError("no boards supplied")
+    rows = [board_enrollment(board, config, op).bits for board in boards]
+    return np.stack(rows)
+
+
+def combine_streams(bits: np.ndarray, boards_per_stream: int = 2) -> np.ndarray:
+    """Concatenate consecutive boards' responses into longer streams.
+
+    The paper merges two 48-bit board outputs into each 96-bit NIST input,
+    turning 194 boards into 97 sequences.  Leftover boards are dropped.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 2:
+        raise ValueError(f"expected 2-D bits, got shape {bits.shape}")
+    if boards_per_stream < 1:
+        raise ValueError("boards_per_stream must be >= 1")
+    stream_count = bits.shape[0] // boards_per_stream
+    used = bits[: stream_count * boards_per_stream]
+    return used.reshape(stream_count, boards_per_stream * bits.shape[1])
+
+
+def dataset_or_default(dataset: RODataset | None) -> RODataset:
+    """The supplied dataset, or the cached default synthetic VT dataset."""
+    if dataset is not None:
+        return dataset
+    return default_vt_dataset()

@@ -1,0 +1,135 @@
+"""Tables III / IV and the n/2 conjecture: configuration-vector diversity.
+
+Sec. IV.C builds, on each of the 194 boards, 16 RO pairs with n = 15 units
+per ring, and studies the chosen configuration vectors: Case-1 yields 3104
+15-bit vectors, Case-2 3104 30-bit vectors (top and bottom concatenated).
+The paper tabulates the percentage of vector pairs at each Hamming distance
+(all even — a consequence of the odd-selected-count constraint) and finds
+no duplicates; it also conjectures the optimum selects about n/2 units
+(Sec. III.D), verified here by the selected-count distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.tables import Table, format_percent
+from ..datasets.base import RODataset
+from ..metrics.hamming import hamming_distance_histogram
+from .common import (
+    CONFIG_STUDY_STAGE_COUNT,
+    PipelineConfig,
+    board_enrollment,
+    dataset_or_default,
+)
+
+__all__ = ["ConfigStudyResult", "run_config_study"]
+
+
+@dataclass
+class ConfigStudyResult:
+    """Configuration-vector statistics for one selection method.
+
+    Attributes:
+        method: selection method studied.
+        vectors: the configuration bit matrix (3104 x 15 for Case-1,
+            3104 x 30 for Case-2 at paper scale).
+        hd_distances / hd_counts: pairwise-HD histogram.
+        selected_counts: per-pair number of selected units (per ring).
+        stage_count: the ring length n.
+    """
+
+    method: str
+    vectors: np.ndarray
+    hd_distances: np.ndarray
+    hd_counts: np.ndarray
+    selected_counts: np.ndarray
+    stage_count: int
+
+    @property
+    def vector_count(self) -> int:
+        return self.vectors.shape[0]
+
+    @property
+    def duplicate_pairs(self) -> int:
+        """Vector pairs at Hamming distance zero."""
+        return int(self.hd_counts[0])
+
+    @property
+    def hd_percentages(self) -> np.ndarray:
+        total = self.hd_counts.sum()
+        return 100.0 * self.hd_counts / total if total else self.hd_counts * 0.0
+
+    @property
+    def mean_selected_fraction(self) -> float:
+        """Average fraction of units selected (conjecture: about 1/2)."""
+        return float(np.mean(self.selected_counts)) / self.stage_count
+
+    @property
+    def odd_hd_pairs(self) -> int:
+        """Vector pairs at odd HD (zero when odd counts are enforced)."""
+        return int(self.hd_counts[1::2].sum())
+
+
+def run_config_study(
+    dataset: RODataset | None = None,
+    method: str = "case1",
+    stage_count: int = CONFIG_STUDY_STAGE_COUNT,
+    distilled: bool = True,
+) -> ConfigStudyResult:
+    """Reproduce Table III (``"case1"``) or Table IV (``"case2"``)."""
+    dataset = dataset_or_default(dataset)
+    config = PipelineConfig(
+        stage_count=stage_count, method=method, distill=distilled
+    )
+    vectors = []
+    selected_counts = []
+    for board in dataset.nominal_boards:
+        enrollment = board_enrollment(board, config, dataset.nominal)
+        for selection in enrollment.selections:
+            top = selection.top_config.as_array()
+            if method == "case2":
+                bottom = selection.bottom_config.as_array()
+                vectors.append(np.concatenate([top, bottom]))
+            else:
+                vectors.append(top)
+            selected_counts.append(selection.selected_count)
+    matrix = np.stack(vectors)
+    distances, counts = hamming_distance_histogram(matrix)
+    return ConfigStudyResult(
+        method=method,
+        vectors=matrix,
+        hd_distances=distances,
+        hd_counts=counts,
+        selected_counts=np.asarray(selected_counts),
+        stage_count=stage_count,
+    )
+
+
+def format_result(result: ConfigStudyResult) -> str:
+    """Paper-style HD-percentage table plus the conjecture check."""
+    table_name = "Table III" if result.method == "case1" else "Table IV"
+    table = Table(
+        headers=["HD", "%"],
+        title=(
+            f"{table_name}-style HD distribution of best configurations "
+            f"({result.method}, {result.vector_count} vectors of "
+            f"{result.vectors.shape[1]} bits)"
+        ),
+    )
+    percentages = result.hd_percentages
+    for distance in range(0, result.vectors.shape[1] + 1, 2):
+        table.add_row(distance, format_percent(percentages[distance]))
+    lines = [table.render()]
+    lines.append(
+        f"duplicate pairs (HD=0): {result.duplicate_pairs} "
+        f"({format_percent(percentages[0])}%)  |  odd-HD pairs: "
+        f"{result.odd_hd_pairs}"
+    )
+    lines.append(
+        f"mean selected fraction: {result.mean_selected_fraction:.3f} "
+        f"(conjecture: about 0.5; n={result.stage_count})"
+    )
+    return "\n".join(lines)

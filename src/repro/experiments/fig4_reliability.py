@@ -1,0 +1,258 @@
+"""Fig. 4 and the temperature companion: bit flips across environments.
+
+For each of the five environment-swept boards and each ring length
+n in {3, 5, 7, 9}, the paper plots seven bars of bit-flip percentages under
+supply-voltage variation:
+
+* bars 1-5 — the configurable PUF enrolled (best configuration found) at
+  each of the five voltages, then tested at the other four;
+* bar 6 — the traditional PUF (enrolled at the 1.20 V / 25 C baseline);
+* bar 7 — the 1-out-of-8 PUF (same baseline), which never flips.
+
+Key observations reproduced: the traditional bar is the tallest; the
+configurable bars shrink as n grows (0% from n = 7); mid-voltage enrollment
+is the sweet spot; under temperature variation only the traditional PUF
+flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.tables import Table
+from ..baselines.one_out_of_eight import OneOutOfEightPUF
+from ..core.pairing import allocate_rings
+from ..datasets.base import BoardRecord, RODataset
+from ..metrics.reliability import bit_flip_report
+from ..variation.corners import temperature_corners, voltage_corners
+from ..variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+from .common import PipelineConfig, board_puf, dataset_or_default
+
+__all__ = [
+    "BoardReliability",
+    "ReliabilityExperimentResult",
+    "run_voltage_reliability",
+    "run_temperature_reliability",
+]
+
+#: Ring lengths swept in Fig. 4.
+FIG4_STAGE_COUNTS = (3, 5, 7, 9)
+
+
+@dataclass
+class BoardReliability:
+    """One subplot of Fig. 4: one board at one ring length.
+
+    Attributes:
+        board: board name.
+        stage_count: the ring length n.
+        configurable_flip_percent: flip % per enrollment corner (5 values,
+            ordered like the swept corners).
+        traditional_flip_percent: flip % of the traditional PUF.
+        one_of_8_flip_percent: flip % of the 1-out-of-8 PUF.
+        bit_count: configurable/traditional bits (Table V row).
+        one_of_8_bit_count: 1-out-of-8 bits.
+    """
+
+    board: str
+    stage_count: int
+    configurable_flip_percent: np.ndarray
+    traditional_flip_percent: float
+    one_of_8_flip_percent: float
+    bit_count: int
+    one_of_8_bit_count: int
+
+
+@dataclass
+class ReliabilityExperimentResult:
+    """All subplots of a Fig. 4-style sweep.
+
+    Attributes:
+        axis_label: ``"voltage"`` or ``"temperature"``.
+        corners: the swept operating points.
+        subplots: one entry per (board, n).
+        method: configurable selection method used.
+    """
+
+    axis_label: str
+    corners: list[OperatingPoint]
+    subplots: list[BoardReliability] = field(default_factory=list)
+    method: str = "case1"
+
+    def subplot(self, board: str, stage_count: int) -> BoardReliability:
+        for candidate in self.subplots:
+            if candidate.board == board and candidate.stage_count == stage_count:
+                return candidate
+        raise KeyError(f"no subplot for board={board!r}, n={stage_count}")
+
+    def mean_configurable_flips(self, stage_count: int) -> float:
+        """Average configurable flip % over boards and enrollment corners."""
+        values = [
+            float(np.mean(s.configurable_flip_percent))
+            for s in self.subplots
+            if s.stage_count == stage_count
+        ]
+        return float(np.mean(values))
+
+    def mean_traditional_flips(self, stage_count: int) -> float:
+        values = [
+            s.traditional_flip_percent
+            for s in self.subplots
+            if s.stage_count == stage_count
+        ]
+        return float(np.mean(values))
+
+    def max_one_of_8_flips(self) -> float:
+        return max((s.one_of_8_flip_percent for s in self.subplots), default=0.0)
+
+
+def _configurable_flips(
+    board: BoardRecord,
+    config: PipelineConfig,
+    enroll_op: OperatingPoint,
+    test_ops: list[OperatingPoint],
+) -> float:
+    """The paper's flip metric for one enrollment corner."""
+    puf = board_puf(board, config)
+    enrollment = puf.enroll(enroll_op)
+    observations = np.stack(
+        [puf.response(op, enrollment) for op in test_ops if op != enroll_op]
+    )
+    return bit_flip_report(enrollment.bits, observations).flip_percent
+
+
+def _baseline_flips(
+    board: BoardRecord,
+    stage_count: int,
+    baseline_op: OperatingPoint,
+    test_ops: list[OperatingPoint],
+) -> tuple[float, float, int, int]:
+    """Traditional and 1-out-of-8 flip percentages from the same rings."""
+    traditional_config = PipelineConfig(
+        stage_count=stage_count, method="traditional", distill=False
+    )
+    puf = board_puf(board, traditional_config)
+    enrollment = puf.enroll(baseline_op)
+    observations = np.stack(
+        [puf.response(op, enrollment) for op in test_ops if op != baseline_op]
+    )
+    traditional = bit_flip_report(enrollment.bits, observations).flip_percent
+
+    allocation = allocate_rings(board.ro_count, stage_count)
+    one_of_8 = OneOutOfEightPUF(
+        delay_provider=board.delay_provider(), allocation=allocation
+    )
+    group_enrollment = one_of_8.enroll(baseline_op)
+    group_observations = np.stack(
+        [
+            one_of_8.response(op, group_enrollment)
+            for op in test_ops
+            if op != baseline_op
+        ]
+    )
+    one_of_8_flips = bit_flip_report(
+        group_enrollment.bits, group_observations
+    ).flip_percent
+    return traditional, one_of_8_flips, puf.bit_count, one_of_8.bit_count
+
+
+def _run_reliability(
+    dataset: RODataset | None,
+    corners: list[OperatingPoint],
+    axis_label: str,
+    method: str,
+    stage_counts: tuple[int, ...],
+) -> ReliabilityExperimentResult:
+    dataset = dataset_or_default(dataset)
+    result = ReliabilityExperimentResult(
+        axis_label=axis_label, corners=corners, method=method
+    )
+    for board in dataset.swept_boards:
+        for stage_count in stage_counts:
+            config = PipelineConfig(
+                stage_count=stage_count, method=method, distill=False
+            )
+            configurable = np.array(
+                [
+                    _configurable_flips(board, config, enroll_op, corners)
+                    for enroll_op in corners
+                ]
+            )
+            traditional, one_of_8, bits, one_of_8_bits = _baseline_flips(
+                board, stage_count, NOMINAL_OPERATING_POINT, corners
+            )
+            result.subplots.append(
+                BoardReliability(
+                    board=board.name,
+                    stage_count=stage_count,
+                    configurable_flip_percent=configurable,
+                    traditional_flip_percent=traditional,
+                    one_of_8_flip_percent=one_of_8,
+                    bit_count=bits,
+                    one_of_8_bit_count=one_of_8_bits,
+                )
+            )
+    return result
+
+
+def run_voltage_reliability(
+    dataset: RODataset | None = None,
+    method: str = "case1",
+    stage_counts: tuple[int, ...] = FIG4_STAGE_COUNTS,
+) -> ReliabilityExperimentResult:
+    """Reproduce Fig. 4: flips under supply-voltage variation at 25 degC."""
+    return _run_reliability(
+        dataset, voltage_corners(temperature=25.0), "voltage", method, stage_counts
+    )
+
+
+def run_temperature_reliability(
+    dataset: RODataset | None = None,
+    method: str = "case1",
+    stage_counts: tuple[int, ...] = FIG4_STAGE_COUNTS,
+) -> ReliabilityExperimentResult:
+    """The Sec. IV.D temperature sweep (only the traditional PUF flips)."""
+    return _run_reliability(
+        dataset,
+        temperature_corners(voltage=1.20),
+        "temperature",
+        method,
+        stage_counts,
+    )
+
+
+def format_result(result: ReliabilityExperimentResult) -> str:
+    """One table row per (board, n) with the seven Fig. 4 bars."""
+    corner_labels = [
+        f"cfg@{op.voltage:.2f}V" if result.axis_label == "voltage" else f"cfg@{op.temperature:g}C"
+        for op in result.corners
+    ]
+    table = Table(
+        headers=["board", "n", "bits"] + corner_labels + ["traditional", "1-of-8"],
+        title=(
+            f"Fig. 4-style bit-flip percentages under {result.axis_label} "
+            f"variation (method={result.method})"
+        ),
+    )
+    for subplot in result.subplots:
+        table.add_row(
+            subplot.board,
+            subplot.stage_count,
+            subplot.bit_count,
+            *[f"{v:.1f}" for v in subplot.configurable_flip_percent],
+            f"{subplot.traditional_flip_percent:.1f}",
+            f"{subplot.one_of_8_flip_percent:.1f}",
+        )
+    summary = [
+        table.render(),
+        "mean flips by n (configurable vs traditional): "
+        + ", ".join(
+            f"n={n}: {result.mean_configurable_flips(n):.2f}% vs "
+            f"{result.mean_traditional_flips(n):.2f}%"
+            for n in sorted({s.stage_count for s in result.subplots})
+        ),
+        f"max 1-out-of-8 flips anywhere: {result.max_one_of_8_flips():.2f}%",
+    ]
+    return "\n".join(summary)

@@ -1,0 +1,93 @@
+"""Tables I and II: NIST randomness of the configurable PUF outputs.
+
+Pipeline (Sec. IV.A): 194 fixed-corner boards, rings of n = 5 units, one
+bit per ring pair (48 bits/board with the Table V carve-up), two boards
+concatenated per sequence -> 97 sequences of 96 bits, evaluated by the
+NIST battery.  Raw (undistilled) data is expected to *fail* — the paper
+attributes this to systematic variation and fixes it with the distiller of
+[18]; the ablation entry point reproduces both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.base import RODataset
+from ..nist.suite import SuiteConfig, SuiteReport, evaluate_sequences
+from .common import (
+    RANDOMNESS_STAGE_COUNT,
+    PipelineConfig,
+    combine_streams,
+    dataset_or_default,
+    response_matrix,
+)
+
+__all__ = ["NistExperimentResult", "run_nist_experiment", "nist_streams"]
+
+
+@dataclass
+class NistExperimentResult:
+    """Outcome of one Table I/II style run.
+
+    Attributes:
+        method: selection method evaluated.
+        distilled: whether the distiller was applied.
+        report: the NIST final-analysis report (render like the paper).
+        streams: the evaluated bit matrix (sequences x bits).
+    """
+
+    method: str
+    distilled: bool
+    report: SuiteReport
+    streams: np.ndarray
+
+    @property
+    def passed(self) -> bool:
+        return self.report.all_passed
+
+
+def nist_streams(
+    dataset: RODataset | None = None,
+    method: str = "case1",
+    distilled: bool = True,
+    stage_count: int = RANDOMNESS_STAGE_COUNT,
+    boards_per_stream: int = 2,
+) -> np.ndarray:
+    """The 97x96 bit matrix of Sec. IV.A (sizes scale with the dataset)."""
+    dataset = dataset_or_default(dataset)
+    config = PipelineConfig(
+        stage_count=stage_count, method=method, distill=distilled
+    )
+    bits = response_matrix(dataset.nominal_boards, config, dataset.nominal)
+    return combine_streams(bits, boards_per_stream)
+
+
+def run_nist_experiment(
+    dataset: RODataset | None = None,
+    method: str = "case1",
+    distilled: bool = True,
+    stage_count: int = RANDOMNESS_STAGE_COUNT,
+    suite_config: SuiteConfig | None = None,
+) -> NistExperimentResult:
+    """Reproduce Table I (``method="case1"``) or Table II (``"case2"``)."""
+    streams = nist_streams(
+        dataset, method=method, distilled=distilled, stage_count=stage_count
+    )
+    report = evaluate_sequences(streams, suite_config)
+    return NistExperimentResult(
+        method=method, distilled=distilled, report=report, streams=streams
+    )
+
+
+def format_result(result: NistExperimentResult) -> str:
+    """Paper-style rendering with a caption."""
+    table_name = "Table I" if result.method == "case1" else "Table II"
+    caption = (
+        f"{table_name}-style NIST results - method={result.method}, "
+        f"{'distilled' if result.distilled else 'RAW (no distiller)'}, "
+        f"{result.streams.shape[0]} sequences x {result.streams.shape[1]} bits"
+    )
+    verdict = "PASS (all tests)" if result.passed else "FAIL (some tests)"
+    return f"{caption}\n{result.report.render()}\nOverall: {verdict}"

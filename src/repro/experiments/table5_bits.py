@@ -1,0 +1,101 @@
+"""Table V: total number of PUF bits per board for every scheme.
+
+With 512 ROs per board and rings of n units (largest multiple of 16 rings),
+the configurable and traditional schemes yield one bit per ring pair and
+1-out-of-8 one bit per 8 rings:
+
+    n:            3   5   7   9
+    configurable 80  48  32  24
+    traditional  80  48  32  24
+    1-out-of-8   20  12   8   6
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import Table
+from ..core.pairing import allocate_rings
+
+__all__ = ["BitBudgetRow", "run_table5", "PAPER_TABLE5"]
+
+#: The paper's Table V values: n -> (configurable, traditional, 1-of-8).
+PAPER_TABLE5 = {
+    3: (80, 80, 20),
+    5: (48, 48, 12),
+    7: (32, 32, 8),
+    9: (24, 24, 6),
+}
+
+
+@dataclass(frozen=True)
+class BitBudgetRow:
+    """Bit yield of all three schemes at one ring length.
+
+    Attributes:
+        stage_count: the ring length n.
+        configurable_bits / traditional_bits / one_of_8_bits: bits per board.
+        ring_count: rings carved from the board.
+    """
+
+    stage_count: int
+    configurable_bits: int
+    traditional_bits: int
+    one_of_8_bits: int
+    ring_count: int
+
+    @property
+    def hardware_advantage(self) -> float:
+        """Configurable bits per 1-out-of-8 bit (the paper's 4x claim)."""
+        if self.one_of_8_bits == 0:
+            return float("inf")
+        return self.configurable_bits / self.one_of_8_bits
+
+    def matches_paper(self) -> bool:
+        expected = PAPER_TABLE5.get(self.stage_count)
+        if expected is None:
+            return True
+        return (
+            self.configurable_bits,
+            self.traditional_bits,
+            self.one_of_8_bits,
+        ) == expected
+
+
+def run_table5(
+    ro_count: int = 512, stage_counts: tuple[int, ...] = (3, 5, 7, 9)
+) -> list[BitBudgetRow]:
+    """Reproduce Table V from the ring-allocation rule."""
+    rows = []
+    for stage_count in stage_counts:
+        allocation = allocate_rings(ro_count, stage_count)
+        rows.append(
+            BitBudgetRow(
+                stage_count=stage_count,
+                configurable_bits=allocation.pair_count,
+                traditional_bits=allocation.pair_count,
+                one_of_8_bits=allocation.group_of_8_count,
+                ring_count=allocation.ring_count,
+            )
+        )
+    return rows
+
+
+def format_result(rows: list[BitBudgetRow]) -> str:
+    """Table V layout plus the hardware-efficiency ratio."""
+    table = Table(
+        headers=["scheme"] + [f"n={row.stage_count}" for row in rows],
+        title="Table V-style total number of bits per board (512 ROs)",
+    )
+    table.add_row("Configurable PUFs", *[row.configurable_bits for row in rows])
+    table.add_row("Traditional PUFs", *[row.traditional_bits for row in rows])
+    table.add_row("1-out-of-8 PUFs", *[row.one_of_8_bits for row in rows])
+    ratios = ", ".join(
+        f"n={row.stage_count}: {row.hardware_advantage:.0f}x" for row in rows
+    )
+    match = all(row.matches_paper() for row in rows)
+    return (
+        table.render()
+        + f"\nhardware advantage over 1-out-of-8: {ratios}"
+        + f"\nmatches paper exactly: {'yes' if match else 'NO'}"
+    )

@@ -1,0 +1,46 @@
+"""PUF quality metrics: uniqueness, reliability, uniformity, entropy."""
+
+from .autocorrelation import (
+    AutocorrelationReport,
+    autocorrelation_report,
+    bit_autocorrelation,
+)
+from .entropy import (
+    min_entropy_per_bit,
+    response_entropy_report,
+    shannon_entropy_per_bit,
+)
+from .hamming import (
+    hamming_distance,
+    hamming_distance_histogram,
+    pairwise_hamming_distances,
+)
+from .reliability import ReliabilityReport, bit_flip_report, flip_positions
+from .uniformity import (
+    UniformityReport,
+    bit_aliasing,
+    uniformity,
+    uniformity_report,
+)
+from .uniqueness import UniquenessReport, uniqueness_report
+
+__all__ = [
+    "AutocorrelationReport",
+    "autocorrelation_report",
+    "bit_autocorrelation",
+    "min_entropy_per_bit",
+    "response_entropy_report",
+    "shannon_entropy_per_bit",
+    "hamming_distance",
+    "hamming_distance_histogram",
+    "pairwise_hamming_distances",
+    "ReliabilityReport",
+    "bit_flip_report",
+    "flip_positions",
+    "UniformityReport",
+    "bit_aliasing",
+    "uniformity",
+    "uniformity_report",
+    "UniquenessReport",
+    "uniqueness_report",
+]

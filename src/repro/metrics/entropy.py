@@ -1,0 +1,47 @@
+"""Entropy estimates of PUF response populations.
+
+Used by the extended analyses (DESIGN.md ablations) to quantify how much
+secret material the responses actually carry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["shannon_entropy_per_bit", "min_entropy_per_bit", "response_entropy_report"]
+
+
+def _position_probabilities(bits: np.ndarray) -> np.ndarray:
+    bits = np.asarray(bits).astype(bool)
+    if bits.ndim != 2 or bits.shape[0] == 0 or bits.shape[1] == 0:
+        raise ValueError(f"expected a non-empty 2-D bit matrix, got {bits.shape}")
+    return bits.mean(axis=0)
+
+
+def shannon_entropy_per_bit(bits: np.ndarray) -> np.ndarray:
+    """Per-position Shannon entropy (bits) across the chip population."""
+    p = _position_probabilities(bits)
+    entropy = np.zeros_like(p)
+    interior = (p > 0.0) & (p < 1.0)
+    q = p[interior]
+    entropy[interior] = -q * np.log2(q) - (1.0 - q) * np.log2(1.0 - q)
+    return entropy
+
+
+def min_entropy_per_bit(bits: np.ndarray) -> np.ndarray:
+    """Per-position min-entropy ``-log2(max(p, 1-p))`` across chips."""
+    p = _position_probabilities(bits)
+    return -np.log2(np.maximum(p, 1.0 - p))
+
+
+def response_entropy_report(bits: np.ndarray) -> dict[str, float]:
+    """Aggregate entropy summary of a (chips x bits) response matrix."""
+    shannon = shannon_entropy_per_bit(bits)
+    minimum = min_entropy_per_bit(bits)
+    return {
+        "mean_shannon_entropy": float(np.mean(shannon)),
+        "min_shannon_entropy": float(np.min(shannon)),
+        "mean_min_entropy": float(np.mean(minimum)),
+        "min_min_entropy": float(np.min(minimum)),
+        "total_shannon_entropy": float(np.sum(shannon)),
+    }

@@ -1,0 +1,84 @@
+"""Reliability metrics: bit flips across operating environments (Fig. 4).
+
+The paper counts, for each PUF, the number of *bit positions* that change at
+least once when the response is regenerated under different environments
+("The number of bit positions that have one or multiple changes is
+considered as the total number of bit flips", Sec. IV.D).  We provide both
+that position-wise measure and the conventional average intra-chip HD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ReliabilityReport", "bit_flip_report", "flip_positions"]
+
+
+@dataclass
+class ReliabilityReport:
+    """Bit-flip statistics of one PUF across environments.
+
+    Attributes:
+        bit_count: response length.
+        observation_count: number of regenerated responses compared against
+            the reference.
+        flipped_positions: indices of bits that differed at least once.
+        flip_percent: the paper's metric — ``100 * flipped / bit_count``.
+        mean_intra_hd_percent: average per-observation HD to the reference,
+            as a percentage of the bit count.
+    """
+
+    bit_count: int
+    observation_count: int
+    flipped_positions: np.ndarray
+    flip_percent: float
+    mean_intra_hd_percent: float
+
+    @property
+    def flip_count(self) -> int:
+        return len(self.flipped_positions)
+
+    @property
+    def is_perfectly_stable(self) -> bool:
+        return self.flip_count == 0
+
+
+def flip_positions(reference: np.ndarray, observations: np.ndarray) -> np.ndarray:
+    """Bit positions that differ from the reference in any observation."""
+    reference = np.asarray(reference).astype(bool).ravel()
+    observations = np.atleast_2d(np.asarray(observations)).astype(bool)
+    if observations.shape[1] != len(reference):
+        raise ValueError(
+            f"observations have {observations.shape[1]} bits but the "
+            f"reference has {len(reference)}"
+        )
+    differs = observations != reference[None, :]
+    return np.nonzero(np.any(differs, axis=0))[0]
+
+
+def bit_flip_report(
+    reference: np.ndarray, observations: np.ndarray
+) -> ReliabilityReport:
+    """The paper's bit-flip metric for one reference and many observations.
+
+    Args:
+        reference: enrollment response bits (1-D).
+        observations: regenerated responses, one row per environment.
+    """
+    reference = np.asarray(reference).astype(bool).ravel()
+    observations = np.atleast_2d(np.asarray(observations)).astype(bool)
+    if len(reference) == 0:
+        raise ValueError("reference response is empty")
+    positions = flip_positions(reference, observations)
+    differs = observations != reference[None, :]
+    per_observation_hd = differs.sum(axis=1)
+    return ReliabilityReport(
+        bit_count=len(reference),
+        observation_count=observations.shape[0],
+        flipped_positions=positions,
+        flip_percent=100.0 * len(positions) / len(reference),
+        mean_intra_hd_percent=100.0 * float(np.mean(per_observation_hd))
+        / len(reference),
+    )

@@ -1,0 +1,71 @@
+"""Uniformity and bit-aliasing metrics.
+
+Standard PUF quality measures complementing the paper's NIST analysis:
+
+* **uniformity** — fraction of 1s within one chip's response (ideal 50%);
+* **bit-aliasing** — fraction of 1s at one bit position across chips
+  (ideal 50%; values near 0 or 1 mean the position leaks no entropy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "uniformity",
+    "bit_aliasing",
+    "UniformityReport",
+    "uniformity_report",
+]
+
+
+def uniformity(bits: np.ndarray) -> np.ndarray:
+    """Per-chip fraction of 1 bits. Accepts a vector or a chip-row matrix."""
+    bits = np.asarray(bits).astype(bool)
+    if bits.ndim == 1:
+        if len(bits) == 0:
+            raise ValueError("empty response")
+        return np.array([float(np.mean(bits))])
+    if bits.ndim != 2 or bits.shape[1] == 0:
+        raise ValueError(f"expected 1-D or 2-D bits, got shape {bits.shape}")
+    return bits.mean(axis=1)
+
+
+def bit_aliasing(bits: np.ndarray) -> np.ndarray:
+    """Per-position fraction of 1 bits across chips (rows)."""
+    bits = np.asarray(bits).astype(bool)
+    if bits.ndim != 2 or bits.shape[0] == 0:
+        raise ValueError(f"expected a non-empty 2-D bit matrix, got {bits.shape}")
+    return bits.mean(axis=0)
+
+
+@dataclass
+class UniformityReport:
+    """Aggregate uniformity / bit-aliasing statistics over a chip population.
+
+    Attributes:
+        mean_uniformity_percent: average per-chip percentage of 1s.
+        std_uniformity_percent: spread of per-chip uniformity.
+        mean_aliasing_percent: average per-position percentage of 1s.
+        worst_aliasing_percent: the aliasing value farthest from 50%.
+    """
+
+    mean_uniformity_percent: float
+    std_uniformity_percent: float
+    mean_aliasing_percent: float
+    worst_aliasing_percent: float
+
+
+def uniformity_report(bits: np.ndarray) -> UniformityReport:
+    """Uniformity/aliasing summary for a (chips x bits) response matrix."""
+    per_chip = uniformity(bits) * 100.0
+    per_position = bit_aliasing(bits) * 100.0
+    worst_index = int(np.argmax(np.abs(per_position - 50.0)))
+    return UniformityReport(
+        mean_uniformity_percent=float(np.mean(per_chip)),
+        std_uniformity_percent=float(np.std(per_chip)),
+        mean_aliasing_percent=float(np.mean(per_position)),
+        worst_aliasing_percent=float(per_position[worst_index]),
+    )

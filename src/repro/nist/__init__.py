@@ -1,0 +1,68 @@
+"""A from-scratch implementation of the NIST SP 800-22 statistical test
+suite (Rev 1a), used by the paper to certify PUF-output randomness
+(Tables I and II).
+
+All fifteen tests are implemented; the suite runner skips tests whose
+minimum input length exceeds the sequence (on the paper's 96-bit streams
+roughly half the battery applies, as with the reference tool).
+"""
+
+from .basic_tests import (
+    block_frequency_test,
+    cumulative_sums_test,
+    frequency_test,
+    longest_run_test,
+    runs_test,
+)
+from .common import ALPHA, InsufficientDataError, TestOutcome, as_bits, igamc
+from .complexity import berlekamp_massey, linear_complexity_test
+from .entropy_tests import approximate_entropy_test, pattern_counts, serial_test
+from .excursions import random_excursions_test, random_excursions_variant_test
+from .spectral import binary_matrix_rank, dft_test, rank_test
+from .suite import (
+    SuiteConfig,
+    SuiteReport,
+    TestRow,
+    evaluate_sequences,
+    minimum_pass_proportion,
+    run_battery,
+)
+from .templates import (
+    aperiodic_templates,
+    non_overlapping_template_test,
+    overlapping_template_test,
+)
+from .universal import universal_test
+
+__all__ = [
+    "block_frequency_test",
+    "cumulative_sums_test",
+    "frequency_test",
+    "longest_run_test",
+    "runs_test",
+    "ALPHA",
+    "InsufficientDataError",
+    "TestOutcome",
+    "as_bits",
+    "igamc",
+    "berlekamp_massey",
+    "linear_complexity_test",
+    "approximate_entropy_test",
+    "pattern_counts",
+    "serial_test",
+    "random_excursions_test",
+    "random_excursions_variant_test",
+    "binary_matrix_rank",
+    "dft_test",
+    "rank_test",
+    "SuiteConfig",
+    "SuiteReport",
+    "TestRow",
+    "evaluate_sequences",
+    "minimum_pass_proportion",
+    "run_battery",
+    "aperiodic_templates",
+    "non_overlapping_template_test",
+    "overlapping_template_test",
+    "universal_test",
+]

@@ -1,0 +1,229 @@
+"""The frequency-family NIST tests: monobit, block frequency, runs,
+longest run of ones, and cumulative sums.
+
+Formulas follow NIST SP 800-22 Rev 1a, sections 2.1-2.4 and 2.13.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import erfc
+from scipy.stats import norm
+
+from .common import (
+    TestOutcome,
+    as_bits,
+    igamc,
+    normalized_erfc,
+    require_length,
+)
+
+__all__ = [
+    "frequency_test",
+    "block_frequency_test",
+    "runs_test",
+    "longest_run_test",
+    "cumulative_sums_test",
+]
+
+
+def frequency_test(sequence) -> TestOutcome:
+    """Monobit frequency test (SP 800-22 Sec. 2.1).
+
+    Example from the specification: ``"1011010101"`` gives p = 0.527089.
+    """
+    bits = as_bits(sequence)
+    require_length(bits, 2, "Frequency")
+    n = len(bits)
+    s = int(np.sum(bits)) * 2 - n
+    s_obs = abs(s) / np.sqrt(n)
+    return TestOutcome(
+        test="Frequency",
+        p_value=normalized_erfc(s_obs),
+        statistic=float(s_obs),
+        details={"S_n": s, "n": n},
+    )
+
+
+def block_frequency_test(sequence, block_size: int = 8) -> TestOutcome:
+    """Frequency test within a block (Sec. 2.2).
+
+    Example: ``"0110011010"`` with ``block_size=3`` gives p = 0.801252.
+    """
+    bits = as_bits(sequence)
+    if block_size < 2:
+        raise ValueError(f"block_size must be >= 2, got {block_size}")
+    require_length(bits, block_size, "BlockFrequency")
+    n = len(bits)
+    block_count = n // block_size
+    blocks = bits[: block_count * block_size].reshape(block_count, block_size)
+    proportions = blocks.mean(axis=1)
+    chi_square = 4.0 * block_size * float(np.sum((proportions - 0.5) ** 2))
+    return TestOutcome(
+        test="BlockFrequency",
+        p_value=igamc(block_count / 2.0, chi_square / 2.0),
+        statistic=chi_square,
+        details={"block_size": block_size, "block_count": block_count},
+    )
+
+
+def runs_test(sequence) -> TestOutcome:
+    """Runs test (Sec. 2.3).
+
+    Example: ``"1001101011"`` gives p = 0.147232.  When the prerequisite
+    frequency check fails (|pi - 1/2| >= 2/sqrt(n)) the p-value is 0.
+    """
+    bits = as_bits(sequence)
+    require_length(bits, 2, "Runs")
+    n = len(bits)
+    pi = float(np.mean(bits))
+    tau = 2.0 / np.sqrt(n)
+    if abs(pi - 0.5) >= tau:
+        return TestOutcome(
+            test="Runs",
+            p_value=0.0,
+            statistic=float("inf"),
+            details={"pi": pi, "prerequisite_failed": True},
+        )
+    v_obs = 1 + int(np.sum(bits[1:] != bits[:-1]))
+    numerator = abs(v_obs - 2.0 * n * pi * (1.0 - pi))
+    denominator = 2.0 * np.sqrt(2.0 * n) * pi * (1.0 - pi)
+    # NB: unlike most tests, the runs statistic maps to a p-value via plain
+    # erfc (no 1/sqrt(2)); the specification's worked example pins this.
+    return TestOutcome(
+        test="Runs",
+        p_value=float(np.clip(erfc(numerator / denominator), 0.0, 1.0)),
+        statistic=float(v_obs),
+        details={"pi": pi, "V_obs": v_obs},
+    )
+
+
+# (minimum n, block size M, category edges, category probabilities)
+_LONGEST_RUN_TABLES = (
+    (
+        128,
+        8,
+        (1, 2, 3, 4),  # v <= 1, v == 2, v == 3, v >= 4
+        (0.2148, 0.3672, 0.2305, 0.1875),
+    ),
+    (
+        6272,
+        128,
+        (4, 5, 6, 7, 8, 9),
+        (0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124),
+    ),
+    (
+        750000,
+        10**4,
+        (10, 11, 12, 13, 14, 15, 16),
+        (0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727),
+    ),
+)
+
+
+def _longest_run_in(block: np.ndarray) -> int:
+    """Length of the longest run of ones inside one block."""
+    longest = 0
+    current = 0
+    for bit in block:
+        if bit:
+            current += 1
+            if current > longest:
+                longest = current
+        else:
+            current = 0
+    return longest
+
+
+def longest_run_test(sequence) -> TestOutcome:
+    """Longest-run-of-ones test (Sec. 2.4); needs at least 128 bits."""
+    bits = as_bits(sequence)
+    require_length(bits, 128, "LongestRun")
+    n = len(bits)
+    minimum, block_size, edges, probabilities = next(
+        table for table in reversed(_LONGEST_RUN_TABLES) if n >= table[0]
+    )
+    del minimum
+    block_count = n // block_size
+    blocks = bits[: block_count * block_size].reshape(block_count, block_size)
+    longest = np.array([_longest_run_in(block) for block in blocks])
+
+    k = len(edges) - 1
+    counts = np.zeros(len(edges), dtype=int)
+    counts[0] = int(np.sum(longest <= edges[0]))
+    for i in range(1, k):
+        counts[i] = int(np.sum(longest == edges[i]))
+    counts[k] = int(np.sum(longest >= edges[k]))
+
+    expected = block_count * np.asarray(probabilities)
+    chi_square = float(np.sum((counts - expected) ** 2 / expected))
+    return TestOutcome(
+        test="LongestRun",
+        p_value=igamc(k / 2.0, chi_square / 2.0),
+        statistic=chi_square,
+        details={
+            "block_size": block_size,
+            "block_count": block_count,
+            "counts": counts.tolist(),
+        },
+    )
+
+
+def _cusum_p_value(z: int, n: int) -> float:
+    """The cumulative-sums p-value formula of Sec. 2.13.
+
+    Summation bounds follow the reference C implementation, which computes
+    them with integer division truncating toward zero (this is what the
+    specification's worked example value 0.4116588 corresponds to).
+    """
+    sqrt_n = np.sqrt(n)
+    n_over_z = n // z
+    total = 1.0
+    k_values = np.arange(
+        int((-n_over_z + 1) / 4.0), int((n_over_z - 1) / 4.0) + 1
+    )
+    total -= float(
+        np.sum(
+            norm.cdf((4 * k_values + 1) * z / sqrt_n)
+            - norm.cdf((4 * k_values - 1) * z / sqrt_n)
+        )
+    )
+    k_values = np.arange(
+        int((-n_over_z - 3) / 4.0), int((n_over_z - 1) / 4.0) + 1
+    )
+    total += float(
+        np.sum(
+            norm.cdf((4 * k_values + 3) * z / sqrt_n)
+            - norm.cdf((4 * k_values + 1) * z / sqrt_n)
+        )
+    )
+    return float(np.clip(total, 0.0, 1.0))
+
+
+def cumulative_sums_test(sequence) -> list[TestOutcome]:
+    """Cumulative sums test, forward and backward modes (Sec. 2.13).
+
+    Example: ``"1011010111"`` forward gives p = 0.4116588.
+    """
+    bits = as_bits(sequence)
+    require_length(bits, 2, "CumulativeSums")
+    n = len(bits)
+    steps = bits.astype(int) * 2 - 1
+    outcomes = []
+    for variant, ordered in (("forward", steps), ("backward", steps[::-1])):
+        partial = np.cumsum(ordered)
+        z = int(np.max(np.abs(partial)))
+        if z == 0:
+            p_value = 0.0  # all-zero partial sums are impossible for n >= 1
+        else:
+            p_value = _cusum_p_value(z, n)
+        outcomes.append(
+            TestOutcome(
+                test="CumulativeSums",
+                p_value=p_value,
+                statistic=float(z),
+                variant=variant,
+                details={"z": z},
+            )
+        )
+    return outcomes

@@ -1,0 +1,115 @@
+"""Shared infrastructure of the NIST SP 800-22 test implementations.
+
+Every statistical test consumes a boolean bit array and produces one or more
+:class:`TestOutcome` values (some tests — serial, cumulative sums, random
+excursions — are defined with multiple p-values).  A test whose input is too
+short raises :class:`InsufficientDataError`, which the suite treats as "not
+applicable" rather than failure; this matches how the reference NIST tool
+restricts its battery by sequence length (the paper runs the battery on
+96-bit streams, where only a subset of tests applies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.special import erfc, gammaincc
+
+__all__ = [
+    "ALPHA",
+    "TestOutcome",
+    "InsufficientDataError",
+    "igamc",
+    "normalized_erfc",
+    "as_bits",
+    "require_length",
+]
+
+#: The SP 800-22 significance level: p-values below this fail.
+ALPHA = 0.01
+
+
+class InsufficientDataError(ValueError):
+    """The sequence is too short for this test to be applicable."""
+
+
+@dataclass(frozen=True)
+class TestOutcome:
+    """Result of one statistical test on one bit sequence.
+
+    Attributes:
+        test: canonical test name, e.g. ``"Frequency"``.
+        p_value: the test's p-value in [0, 1].
+        statistic: the underlying test statistic (chi-square, z, ...).
+        variant: distinguishes multiple p-values of one test, e.g.
+            ``"forward"`` for cumulative sums or ``"x=+1"`` for excursions.
+        details: free-form numeric context for reports and debugging.
+    """
+
+    test: str
+    p_value: float
+    statistic: float
+    variant: str | None = None
+    details: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.p_value) or not -1e-9 <= self.p_value <= 1.0 + 1e-9:
+            raise ValueError(
+                f"{self.test}: p-value {self.p_value} outside [0, 1]"
+            )
+        object.__setattr__(
+            self, "p_value", float(min(max(self.p_value, 0.0), 1.0))
+        )
+
+    @property
+    def passed(self) -> bool:
+        """True when the sequence is consistent with randomness."""
+        return self.p_value >= ALPHA
+
+    @property
+    def label(self) -> str:
+        """Test name plus variant, e.g. ``"CumulativeSums (forward)"``."""
+        if self.variant is None:
+            return self.test
+        return f"{self.test} ({self.variant})"
+
+
+def igamc(a: float, x: float) -> float:
+    """The complemented incomplete gamma function Q(a, x) of SP 800-22."""
+    if a <= 0.0:
+        raise ValueError(f"igamc requires a > 0, got {a}")
+    if x < 0.0:
+        raise ValueError(f"igamc requires x >= 0, got {x}")
+    return float(gammaincc(a, x))
+
+
+def normalized_erfc(value: float) -> float:
+    """``erfc(value / sqrt(2))`` — the z-to-p mapping SP 800-22 uses."""
+    return float(erfc(value / np.sqrt(2.0)))
+
+
+def as_bits(sequence) -> np.ndarray:
+    """Coerce a sequence (bools, 0/1 ints, or '0'/'1' string) to a bit array."""
+    if isinstance(sequence, str):
+        cleaned = sequence.replace(" ", "").replace("\n", "")
+        if not cleaned or any(c not in "01" for c in cleaned):
+            raise ValueError("bit strings may contain only 0, 1 and whitespace")
+        return np.array([c == "1" for c in cleaned], dtype=bool)
+    bits = np.asarray(sequence)
+    if bits.ndim != 1:
+        raise ValueError(f"expected a 1-D bit sequence, got shape {bits.shape}")
+    if bits.dtype != bool:
+        unique = np.unique(bits)
+        if not np.all(np.isin(unique, (0, 1))):
+            raise ValueError("bit sequences must contain only 0s and 1s")
+        bits = bits.astype(bool)
+    return bits
+
+
+def require_length(bits: np.ndarray, minimum: int, test: str) -> None:
+    """Raise :class:`InsufficientDataError` when a sequence is too short."""
+    if len(bits) < minimum:
+        raise InsufficientDataError(
+            f"{test} needs at least {minimum} bits, got {len(bits)}"
+        )

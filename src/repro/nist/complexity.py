@@ -1,0 +1,103 @@
+"""Linear complexity test (SP 800-22 Sec. 2.10) and Berlekamp-Massey."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import TestOutcome, as_bits, igamc, require_length
+
+__all__ = ["berlekamp_massey", "linear_complexity_test"]
+
+
+def berlekamp_massey(bits: np.ndarray) -> int:
+    """Linear complexity of a binary sequence (Berlekamp-Massey over GF(2)).
+
+    Returns the length of the shortest LFSR generating the sequence.
+    """
+    bits = as_bits(bits).astype(np.uint8)
+    n = len(bits)
+    if n == 0:
+        raise ValueError("empty sequence")
+    c = np.zeros(n, dtype=np.uint8)
+    b = np.zeros(n, dtype=np.uint8)
+    c[0] = 1
+    b[0] = 1
+    complexity = 0
+    m = -1
+    for position in range(n):
+        discrepancy = bits[position]
+        if complexity > 0:
+            discrepancy ^= (
+                int(c[1 : complexity + 1] @ bits[position - complexity : position][::-1])
+                & 1
+            )
+        if discrepancy == 1:
+            temporary = c.copy()
+            shift = position - m
+            c[shift : shift + n - shift] ^= b[: n - shift]
+            if complexity <= position // 2:
+                complexity = position + 1 - complexity
+                m = position
+                b = temporary
+    return complexity
+
+
+# Category probabilities of the T statistic (SP 800-22 Sec. 3.10).
+_COMPLEXITY_PI = (
+    0.010417,
+    0.03125,
+    0.125,
+    0.5,
+    0.25,
+    0.0625,
+    0.020833,
+)
+
+
+def linear_complexity_test(sequence, block_size: int = 500) -> TestOutcome:
+    """Linear complexity test; the specification recommends n >= 10^6.
+
+    Args:
+        block_size: the block length M (500 <= M <= 5000 recommended).
+    """
+    bits = as_bits(sequence)
+    if block_size < 4:
+        raise ValueError(f"block_size must be >= 4, got {block_size}")
+    # The chi-square approximation needs enough blocks that every category's
+    # expected count is healthy (smallest pi is ~0.0104, so 200 blocks give
+    # expected counts >= 2); the specification recommends n >= 10^6.
+    require_length(bits, 200 * block_size, "LinearComplexity")
+    n = len(bits)
+    block_count = n // block_size
+    mean = (
+        block_size / 2.0
+        + (9.0 + (-1.0) ** (block_size + 1)) / 36.0
+        - (block_size / 3.0 + 2.0 / 9.0) / 2.0**block_size
+    )
+    counts = np.zeros(7, dtype=int)
+    for j in range(block_count):
+        block = bits[j * block_size : (j + 1) * block_size]
+        complexity = berlekamp_massey(block)
+        t = (-1.0) ** block_size * (complexity - mean) + 2.0 / 9.0
+        if t <= -2.5:
+            counts[0] += 1
+        elif t <= -1.5:
+            counts[1] += 1
+        elif t <= -0.5:
+            counts[2] += 1
+        elif t <= 0.5:
+            counts[3] += 1
+        elif t <= 1.5:
+            counts[4] += 1
+        elif t <= 2.5:
+            counts[5] += 1
+        else:
+            counts[6] += 1
+    expected = block_count * np.asarray(_COMPLEXITY_PI)
+    chi_square = float(np.sum((counts - expected) ** 2 / expected))
+    return TestOutcome(
+        test="LinearComplexity",
+        p_value=igamc(6.0 / 2.0, chi_square / 2.0),
+        statistic=chi_square,
+        details={"block_count": block_count, "counts": counts.tolist()},
+    )

@@ -1,0 +1,101 @@
+"""Serial and approximate-entropy tests (SP 800-22 Secs. 2.11-2.12).
+
+Both scan overlapping m-bit patterns over the cyclically-extended sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import TestOutcome, as_bits, igamc, require_length
+
+__all__ = ["serial_test", "approximate_entropy_test", "pattern_counts"]
+
+
+def pattern_counts(bits: np.ndarray, m: int) -> np.ndarray:
+    """Counts of all ``2**m`` overlapping m-bit patterns with wrap-around.
+
+    Pattern index is the big-endian integer value of the window.
+    """
+    if m < 1:
+        raise ValueError(f"pattern length must be >= 1, got {m}")
+    n = len(bits)
+    if n == 0:
+        raise ValueError("empty sequence")
+    extended = np.concatenate([bits, bits[: m - 1]]) if m > 1 else bits
+    weights = 1 << np.arange(m - 1, -1, -1)
+    windows = np.lib.stride_tricks.sliding_window_view(
+        extended.astype(np.int64), m
+    )
+    indices = windows @ weights
+    return np.bincount(indices, minlength=2**m)
+
+
+def _psi_squared(bits: np.ndarray, m: int) -> float:
+    """The serial test's psi^2_m statistic; psi^2_0 = 0 by definition."""
+    if m == 0:
+        return 0.0
+    n = len(bits)
+    counts = pattern_counts(bits, m)
+    return float((2**m / n) * np.sum(counts.astype(float) ** 2) - n)
+
+
+def serial_test(sequence, m: int = 3) -> list[TestOutcome]:
+    """Serial test (Sec. 2.11), producing two p-values.
+
+    Example: ``"0011011101"`` with m = 3 gives p1 = 0.808792 and
+    p2 = 0.670320.
+    """
+    bits = as_bits(sequence)
+    if m < 2:
+        raise ValueError(f"serial test needs m >= 2, got {m}")
+    require_length(bits, 2**m, "Serial")
+    psi_m = _psi_squared(bits, m)
+    psi_m1 = _psi_squared(bits, m - 1)
+    psi_m2 = _psi_squared(bits, m - 2)
+    # The psi^2 statistics are non-negative by theory; tiny negative values
+    # can appear through floating-point cancellation, so clamp.
+    delta1 = max(psi_m - psi_m1, 0.0)
+    delta2 = max(psi_m - 2.0 * psi_m1 + psi_m2, 0.0)
+    return [
+        TestOutcome(
+            test="Serial",
+            p_value=igamc(2.0 ** (m - 2), delta1 / 2.0),
+            statistic=delta1,
+            variant="delta",
+            details={"m": m, "psi2_m": psi_m},
+        ),
+        TestOutcome(
+            test="Serial",
+            p_value=igamc(2.0 ** (m - 3), delta2 / 2.0),
+            statistic=delta2,
+            variant="delta2",
+            details={"m": m},
+        ),
+    ]
+
+
+def approximate_entropy_test(sequence, m: int = 2) -> TestOutcome:
+    """Approximate entropy test (Sec. 2.12).
+
+    Example: ``"0100110101"`` with m = 3 gives p = 0.261961.
+    """
+    bits = as_bits(sequence)
+    if m < 1:
+        raise ValueError(f"approximate entropy needs m >= 1, got {m}")
+    require_length(bits, max(2**m, m + 2), "ApproximateEntropy")
+    n = len(bits)
+
+    def phi(block_length: int) -> float:
+        counts = pattern_counts(bits, block_length)
+        probabilities = counts[counts > 0] / n
+        return float(np.sum(probabilities * np.log(probabilities)))
+
+    ap_en = phi(m) - phi(m + 1)
+    chi_square = 2.0 * n * (np.log(2.0) - ap_en)
+    return TestOutcome(
+        test="ApproximateEntropy",
+        p_value=igamc(2 ** (m - 1), chi_square / 2.0),
+        statistic=float(chi_square),
+        details={"m": m, "ApEn": ap_en},
+    )

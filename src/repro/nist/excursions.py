@@ -1,0 +1,120 @@
+"""Random excursions and random excursions variant tests
+(SP 800-22 Secs. 2.14-2.15)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import erfc
+
+from .common import (
+    InsufficientDataError,
+    TestOutcome,
+    as_bits,
+    igamc,
+    require_length,
+)
+
+__all__ = ["random_excursions_test", "random_excursions_variant_test"]
+
+_EXCURSION_STATES = (-4, -3, -2, -1, 1, 2, 3, 4)
+_VARIANT_STATES = tuple(x for x in range(-9, 10) if x != 0)
+_MIN_CYCLES = 500
+
+
+def _random_walk(bits: np.ndarray) -> np.ndarray:
+    """The walk S' = (0, S_1, ..., S_n, 0) used by both excursion tests."""
+    steps = bits.astype(int) * 2 - 1
+    partial = np.cumsum(steps)
+    return np.concatenate([[0], partial, [0]])
+
+
+def _cycles(walk: np.ndarray) -> list[np.ndarray]:
+    """Split the walk into zero-to-zero cycles."""
+    zero_positions = np.nonzero(walk == 0)[0]
+    return [
+        walk[zero_positions[i] : zero_positions[i + 1] + 1]
+        for i in range(len(zero_positions) - 1)
+    ]
+
+
+def _state_pi(x: int, k: int) -> float:
+    """Pr{exactly k visits to state x in one cycle} (Sec. 3.14)."""
+    ax = abs(x)
+    if k == 0:
+        return 1.0 - 1.0 / (2.0 * ax)
+    if 1 <= k <= 4:
+        return (1.0 / (4.0 * ax * ax)) * (1.0 - 1.0 / (2.0 * ax)) ** (k - 1)
+    return (1.0 / (2.0 * ax)) * (1.0 - 1.0 / (2.0 * ax)) ** 4
+
+
+def random_excursions_test(
+    sequence, min_cycles: int = _MIN_CYCLES
+) -> list[TestOutcome]:
+    """Random excursions test: 8 p-values, one per state -4..-1, 1..4.
+
+    Raises:
+        InsufficientDataError: when the walk has fewer than ``min_cycles``
+            zero-to-zero cycles (the specification's applicability bound).
+    """
+    bits = as_bits(sequence)
+    require_length(bits, 128, "RandomExcursions")
+    walk = _random_walk(bits)
+    cycles = _cycles(walk)
+    cycle_count = len(cycles)
+    if cycle_count < min_cycles:
+        raise InsufficientDataError(
+            f"RandomExcursions needs >= {min_cycles} cycles, got {cycle_count}"
+        )
+
+    outcomes = []
+    for x in _EXCURSION_STATES:
+        visit_histogram = np.zeros(6, dtype=int)
+        for cycle in cycles:
+            visits = int(np.sum(cycle == x))
+            visit_histogram[min(visits, 5)] += 1
+        expected = cycle_count * np.array([_state_pi(x, k) for k in range(6)])
+        chi_square = float(np.sum((visit_histogram - expected) ** 2 / expected))
+        outcomes.append(
+            TestOutcome(
+                test="RandomExcursions",
+                p_value=igamc(5.0 / 2.0, chi_square / 2.0),
+                statistic=chi_square,
+                variant=f"x={x:+d}",
+                details={"cycles": cycle_count, "histogram": visit_histogram.tolist()},
+            )
+        )
+    return outcomes
+
+
+def random_excursions_variant_test(
+    sequence, min_cycles: int = _MIN_CYCLES
+) -> list[TestOutcome]:
+    """Random excursions variant test: 18 p-values for states -9..-1, 1..9."""
+    bits = as_bits(sequence)
+    require_length(bits, 128, "RandomExcursionsVariant")
+    walk = _random_walk(bits)
+    cycle_count = int(np.sum(walk[1:] == 0))
+    if cycle_count < min_cycles:
+        raise InsufficientDataError(
+            f"RandomExcursionsVariant needs >= {min_cycles} cycles, "
+            f"got {cycle_count}"
+        )
+
+    outcomes = []
+    interior = walk[1:-1]
+    for x in _VARIANT_STATES:
+        # Endpoints of the walk are zero, so the interior slice captures
+        # every visit to a non-zero state.
+        visits = int(np.sum(interior == x))
+        denominator = np.sqrt(2.0 * cycle_count * (4.0 * abs(x) - 2.0))
+        p_value = float(erfc(abs(visits - cycle_count) / denominator))
+        outcomes.append(
+            TestOutcome(
+                test="RandomExcursionsVariant",
+                p_value=p_value,
+                statistic=float(visits),
+                variant=f"x={x:+d}",
+                details={"cycles": cycle_count, "visits": visits},
+            )
+        )
+    return outcomes

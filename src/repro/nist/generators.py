@@ -1,0 +1,128 @@
+"""Reference bit-stream generators for exercising the NIST suite.
+
+A statistical test suite is only trustworthy if it *fails* the right
+inputs.  These generators provide known-good and known-bad streams:
+
+* :func:`lfsr_stream` — maximal-length LFSR output: passes frequency/runs,
+  demolished by the linear-complexity test;
+* :func:`lcg_stream` — low-bit output of a small linear congruential
+  generator: visibly periodic;
+* :func:`biased_stream` — Bernoulli(p != 1/2): fails frequency;
+* :func:`markov_stream` — correlated bits with tunable persistence: fails
+  runs/serial while keeping the frequency balanced;
+* :func:`counter_stream` — incrementing counter bits: structured in every
+  way.
+
+The test suite uses them as canaries; they are also handy for demos.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "lfsr_stream",
+    "lcg_stream",
+    "biased_stream",
+    "markov_stream",
+    "counter_stream",
+]
+
+#: Feedback tap masks of maximal-length LFSRs (x^deg + ... + 1).
+_LFSR_TAPS = {
+    4: (4, 3),
+    5: (5, 3),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    16: (16, 15, 13, 4),
+    23: (23, 18),
+}
+
+
+def lfsr_stream(length: int, degree: int = 16, seed: int = 1) -> np.ndarray:
+    """Output bits of a maximal-length Fibonacci LFSR.
+
+    Args:
+        length: bits to produce.
+        degree: register length; one of 4, 5, 7, 8, 16, 23.
+        seed: non-zero initial register state.
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    if degree not in _LFSR_TAPS:
+        raise ValueError(
+            f"degree must be one of {sorted(_LFSR_TAPS)}, got {degree}"
+        )
+    state = seed & ((1 << degree) - 1)
+    if state == 0:
+        raise ValueError("seed must be non-zero modulo 2**degree")
+    taps = _LFSR_TAPS[degree]
+    # Right-shift Fibonacci form: tap k of the polynomial corresponds to
+    # register position (degree - k) counted from the output end.
+    shifts = [degree - tap for tap in taps]
+    bits = np.empty(length, dtype=bool)
+    for i in range(length):
+        bits[i] = state & 1
+        feedback = 0
+        for shift in shifts:
+            feedback ^= (state >> shift) & 1
+        state = (state >> 1) | (feedback << (degree - 1))
+    return bits
+
+
+def lcg_stream(length: int, seed: int = 1) -> np.ndarray:
+    """Least-significant bit of a textbook (bad) LCG: period-2 structure."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    modulus = 2**31
+    multiplier = 1103515245
+    increment = 12345
+    state = seed % modulus
+    bits = np.empty(length, dtype=bool)
+    for i in range(length):
+        state = (multiplier * state + increment) % modulus
+        bits[i] = state & 1
+    return bits
+
+
+def biased_stream(
+    length: int, ones_probability: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Independent bits with P(1) = ``ones_probability``."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    if not 0.0 <= ones_probability <= 1.0:
+        raise ValueError("ones_probability must be in [0, 1]")
+    return rng.random(length) < ones_probability
+
+
+def markov_stream(
+    length: int, persistence: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Two-state Markov bits: each bit repeats with ``persistence``.
+
+    ``persistence = 0.5`` is i.i.d.; larger values produce long runs (the
+    signature of undistilled systematic variation in PUF outputs).
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    if not 0.0 < persistence < 1.0:
+        raise ValueError("persistence must be in (0, 1)")
+    bits = np.empty(length, dtype=bool)
+    bits[0] = rng.random() < 0.5
+    repeats = rng.random(length - 1) < persistence
+    for i in range(1, length):
+        bits[i] = bits[i - 1] if repeats[i - 1] else not bits[i - 1]
+    return bits
+
+
+def counter_stream(length: int, width: int = 8) -> np.ndarray:
+    """Concatenated fixed-width binary counter values: fully structured."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    values = np.arange((length + width - 1) // width, dtype=np.int64)
+    shifts = np.arange(width - 1, -1, -1)
+    bits = ((values[:, None] >> shifts[None, :]) & 1).astype(bool)
+    return bits.ravel()[:length]

@@ -1,0 +1,69 @@
+"""Exact category probabilities for the overlapping-template test.
+
+SP 800-22 hardcodes the six category probabilities of the overlapping
+test for its reference parameterisation (m = 9, M = 1032).  This module
+computes them *exactly* for any (m, M) by dynamic programming over the
+number of overlapping all-ones-template occurrences in a uniform random
+block, enabling arbitrary parameterisations — and serving as an
+independent check of the specification's constants (see
+``tests/test_nist_overlapping_pi.py``).
+
+The DP state is (position, length of the current trailing run of ones
+capped at m, occurrences so far capped at K+1): appending a 1 to a
+trailing run of length >= m-1 produces one new overlapping occurrence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["overlapping_occurrence_probabilities"]
+
+
+def overlapping_occurrence_probabilities(
+    template_length: int, block_length: int, max_category: int = 5
+) -> np.ndarray:
+    """P(exactly u overlapping all-ones occurrences), u = 0..max_category.
+
+    The final entry aggregates ``>= max_category`` occurrences, matching
+    the test's category layout.
+
+    Args:
+        template_length: m, the run of ones searched for.
+        block_length: M, the block size scanned.
+        max_category: K, the index of the aggregated last category.
+
+    Returns:
+        Array of ``max_category + 1`` probabilities summing to 1.
+    """
+    if template_length < 1:
+        raise ValueError("template_length must be >= 1")
+    if block_length < 1:
+        raise ValueError("block_length must be >= 1")
+    if max_category < 1:
+        raise ValueError("max_category must be >= 1")
+
+    m = template_length
+    categories = max_category + 1
+    # state[run, occurrences]: probability mass; run in 0..m-1 is the
+    # length of the trailing ones-run (m-1 means "one more 1 scores");
+    # occurrences are capped at max_category (the aggregate bucket).
+    state = np.zeros((m, categories))
+    state[0, 0] = 1.0
+    for _ in range(block_length):
+        next_state = np.zeros_like(state)
+        # Appending a 0 resets the run.
+        next_state[0, :] += 0.5 * state.sum(axis=0)
+        # Appending a 1 extends the run...
+        for run in range(m - 1):
+            next_state[run + 1, :] += 0.5 * state[run, :]
+        # ...and a run already at m-1 stays at m-1 (overlap!) and scores.
+        scored = 0.5 * state[m - 1, :]
+        next_state[m - 1, 1:] += scored[:-1]
+        next_state[m - 1, -1] += scored[-1]  # aggregate bucket absorbs
+        state = next_state
+    probabilities = state.sum(axis=0)
+    total = probabilities.sum()
+    if not np.isclose(total, 1.0, atol=1e-9):
+        raise AssertionError(f"probabilities sum to {total}, expected 1")
+    return probabilities / total

@@ -1,0 +1,113 @@
+"""Spectral (DFT) and binary matrix rank tests (SP 800-22 Secs. 2.5-2.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import (
+    TestOutcome,
+    as_bits,
+    normalized_erfc,
+    require_length,
+)
+
+__all__ = ["dft_test", "rank_test", "binary_matrix_rank"]
+
+
+def dft_test(sequence) -> TestOutcome:
+    """Discrete Fourier transform (spectral) test (Sec. 2.5).
+
+    Example from the specification: the 100-bit sequence
+    ``"11001001000011111101101010100010001000010110100011"
+    "00001000110100110001001100011001100010100010111000"`` gives
+    p = 0.168669.
+    """
+    bits = as_bits(sequence)
+    # SP 800-22 recommends n >= 1000; far below that the peak-count N1 takes
+    # so few distinct values that the p-value distribution degenerates.
+    require_length(bits, 1000, "DFT")
+    n = len(bits)
+    x = bits.astype(float) * 2.0 - 1.0
+    spectrum = np.abs(np.fft.fft(x))[: n // 2]
+    threshold = np.sqrt(np.log(1.0 / 0.05) * n)
+    expected_below = 0.95 * n / 2.0
+    observed_below = float(np.sum(spectrum < threshold))
+    d = (observed_below - expected_below) / np.sqrt(n * 0.95 * 0.05 / 4.0)
+    return TestOutcome(
+        test="DFT",
+        p_value=normalized_erfc(abs(d)),
+        statistic=float(d),
+        details={
+            "threshold": float(threshold),
+            "observed_below": observed_below,
+            "expected_below": expected_below,
+        },
+    )
+
+
+def binary_matrix_rank(matrix: np.ndarray) -> int:
+    """Rank of a binary matrix over GF(2) by Gaussian elimination."""
+    work = np.asarray(matrix, dtype=np.uint8).copy() & 1
+    if work.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {work.shape}")
+    rows, columns = work.shape
+    rank = 0
+    for column in range(columns):
+        pivot_rows = np.nonzero(work[rank:, column])[0]
+        if len(pivot_rows) == 0:
+            continue
+        pivot = rank + int(pivot_rows[0])
+        if pivot != rank:
+            work[[rank, pivot]] = work[[pivot, rank]]
+        eliminate = np.nonzero(work[:, column])[0]
+        eliminate = eliminate[eliminate != rank]
+        work[eliminate] ^= work[rank]
+        rank += 1
+        if rank == rows:
+            break
+    return rank
+
+
+# Asymptotic probabilities that a random 32x32 GF(2) matrix has full rank,
+# rank 31, or lower (SP 800-22 Sec. 2.5 / 3.5).
+_P_FULL = 0.2888
+_P_MINUS_1 = 0.5776
+_P_REST = 0.1336
+
+_RANK_MATRIX_SIDE = 32
+_RANK_BITS_PER_MATRIX = _RANK_MATRIX_SIDE * _RANK_MATRIX_SIDE
+
+
+def rank_test(sequence) -> TestOutcome:
+    """Binary matrix rank test (Sec. 2.5); needs 38 912 bits (38 matrices)."""
+    bits = as_bits(sequence)
+    require_length(bits, 38 * _RANK_BITS_PER_MATRIX, "Rank")
+    n = len(bits)
+    matrix_count = n // _RANK_BITS_PER_MATRIX
+    used = bits[: matrix_count * _RANK_BITS_PER_MATRIX]
+    matrices = used.reshape(matrix_count, _RANK_MATRIX_SIDE, _RANK_MATRIX_SIDE)
+    ranks = np.array([binary_matrix_rank(matrix) for matrix in matrices])
+
+    full = int(np.sum(ranks == _RANK_MATRIX_SIDE))
+    minus_one = int(np.sum(ranks == _RANK_MATRIX_SIDE - 1))
+    rest = matrix_count - full - minus_one
+
+    chi_square = (
+        (full - _P_FULL * matrix_count) ** 2 / (_P_FULL * matrix_count)
+        + (minus_one - _P_MINUS_1 * matrix_count) ** 2
+        / (_P_MINUS_1 * matrix_count)
+        + (rest - _P_REST * matrix_count) ** 2 / (_P_REST * matrix_count)
+    )
+    # Two degrees of freedom: igamc(1, x/2) == exp(-x/2).
+    p_value = float(np.exp(-chi_square / 2.0))
+    return TestOutcome(
+        test="Rank",
+        p_value=p_value,
+        statistic=float(chi_square),
+        details={
+            "matrices": matrix_count,
+            "full_rank": full,
+            "rank_minus_one": minus_one,
+            "lower": rest,
+        },
+    )

@@ -1,0 +1,331 @@
+"""Battery runner and multi-sequence reporting (the paper's Tables I-II).
+
+The NIST tool's final analysis report summarises, per statistical test, the
+distribution of p-values over all tested sequences (ten decile counts
+C1..C10), a uniformity P-VALUE (chi-square of the ten bins), and the
+PROPORTION of sequences passing at alpha = 0.01.  The paper quotes exactly
+this format: "The minimum pass rate for each statistical test is
+approximately = 93 for a sample size = 97 binary sequences."
+
+Tests inapplicable at the given length (for 96-bit streams: longest run,
+rank, overlapping templates, universal, linear complexity, excursions) are
+reported as skipped, mirroring how the reference tool restricts its battery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .basic_tests import (
+    block_frequency_test,
+    cumulative_sums_test,
+    frequency_test,
+    longest_run_test,
+    runs_test,
+)
+from .common import ALPHA, InsufficientDataError, TestOutcome, igamc
+from .complexity import linear_complexity_test
+from .entropy_tests import approximate_entropy_test, serial_test
+from .excursions import random_excursions_test, random_excursions_variant_test
+from .spectral import dft_test, rank_test
+from .templates import (
+    aperiodic_templates,
+    non_overlapping_template_test,
+    overlapping_template_test,
+)
+from .universal import universal_test
+
+__all__ = [
+    "SuiteConfig",
+    "run_battery",
+    "TestRow",
+    "SuiteReport",
+    "evaluate_sequences",
+    "minimum_pass_proportion",
+]
+
+
+@dataclass
+class SuiteConfig:
+    """Parameters of one battery run.
+
+    The defaults auto-scale to the sequence length so that the battery is
+    meaningful both on the paper's 96-bit streams and on megabit streams.
+
+    Attributes:
+        block_frequency_block_size: M for the block-frequency test; 0 picks
+            automatically (128 for long sequences, n // 12 bounded to >= 8
+            for short ones).
+        serial_m: pattern length of the serial test.
+        approximate_entropy_m: pattern length of the approximate entropy
+            test.
+        template_length: non-overlapping template length; 0 picks 9 for
+            long sequences and 3 for short ones.
+        max_templates: cap on the number of non-overlapping templates run
+            per sequence (the full m=9 set has 148).
+        include_excursions: run the excursion tests when applicable.
+    """
+
+    block_frequency_block_size: int = 0
+    serial_m: int = 3
+    approximate_entropy_m: int = 2
+    template_length: int = 0
+    max_templates: int = 4
+    include_excursions: bool = True
+
+    def resolved_block_size(self, n: int) -> int:
+        if self.block_frequency_block_size > 0:
+            return self.block_frequency_block_size
+        if n >= 12800:
+            return 128
+        return max(8, n // 12)
+
+    def resolved_template_length(self, n: int) -> int:
+        if self.template_length > 0:
+            return self.template_length
+        return 9 if n >= 8 * 9 * 4 else 3
+
+
+def run_battery(
+    sequence, config: SuiteConfig | None = None
+) -> tuple[list[TestOutcome], list[str]]:
+    """Run every applicable test on one sequence.
+
+    Returns:
+        (outcomes, skipped): the flattened test outcomes plus the names of
+        tests skipped for insufficient length.
+    """
+    if config is None:
+        config = SuiteConfig()
+    bits = np.asarray(sequence)
+    n = len(bits)
+    outcomes: list[TestOutcome] = []
+    skipped: list[str] = []
+
+    def run(callable_, *args, **kwargs):
+        try:
+            result = callable_(bits, *args, **kwargs)
+        except InsufficientDataError as error:
+            skipped.append(str(error).split(" needs")[0])
+            return
+        if isinstance(result, list):
+            outcomes.extend(result)
+        else:
+            outcomes.append(result)
+
+    run(frequency_test)
+    run(block_frequency_test, block_size=config.resolved_block_size(n))
+    run(cumulative_sums_test)
+    run(runs_test)
+    run(longest_run_test)
+    run(rank_test)
+    run(dft_test)
+
+    template_length = config.resolved_template_length(n)
+    if n >= 20 * 2**template_length:
+        # Shorter sequences make the per-block occurrence counts so small
+        # that the chi-square approximation (and the p-value uniformity
+        # check over many sequences) breaks down; the reference tool never
+        # runs template tests on such inputs either.
+        templates = aperiodic_templates(template_length)[: config.max_templates]
+        for template in templates:
+            run(non_overlapping_template_test, template=template)
+    else:
+        skipped.append("NonOverlappingTemplate")
+    run(overlapping_template_test)
+    run(universal_test)
+    run(approximate_entropy_test, m=config.approximate_entropy_m)
+    run(serial_test, m=config.serial_m)
+    run(linear_complexity_test)
+    if config.include_excursions:
+        run(random_excursions_test)
+        run(random_excursions_variant_test)
+    return outcomes, sorted(set(skipped))
+
+
+def minimum_pass_proportion(sample_size: int, alpha: float = ALPHA) -> float:
+    """The NIST minimum pass rate: ``(1-a) - 3 sqrt(a(1-a)/s)``.
+
+    For 97 sequences this is 0.9596... , i.e. "approximately 93 of 97",
+    matching the paper's quotation.
+    """
+    if sample_size < 1:
+        raise ValueError("sample_size must be >= 1")
+    p_hat = 1.0 - alpha
+    return p_hat - 3.0 * np.sqrt(p_hat * alpha / sample_size)
+
+
+#: Uniformity threshold of the NIST final analysis report.
+UNIFORMITY_ALPHA = 1e-4
+
+
+@dataclass
+class TestRow:
+    """One row of the final analysis report (one test variant).
+
+    Attributes:
+        label: test name (plus variant where applicable).
+        histogram: ten decile counts C1..C10 of the p-values.
+        uniformity_p: chi-square uniformity P-VALUE of the p-values.
+        passing: sequences passing at alpha.
+        sample_size: sequences that produced this p-value.
+        distinct_p_values: number of distinct p-values observed.  The
+            uniformity chi-square assumes continuously-distributed p-values;
+            on short sequences many tests have a small discrete support
+            (e.g. the monobit statistic of a 96-bit stream takes 49 values,
+            leaving some deciles structurally empty), so uniformity is not
+            assessable — even ideal random data would "fail" it.
+    """
+
+    label: str
+    histogram: np.ndarray
+    uniformity_p: float
+    passing: int
+    sample_size: int
+    distinct_p_values: int = 10**9
+
+    @property
+    def proportion(self) -> float:
+        return self.passing / self.sample_size
+
+    @property
+    def minimum_proportion(self) -> float:
+        return minimum_pass_proportion(self.sample_size)
+
+    @property
+    def proportion_ok(self) -> bool:
+        return self.proportion >= self.minimum_proportion
+
+    @property
+    def uniformity_assessable(self) -> bool:
+        """True when the p-value sample supports the uniformity chi-square.
+
+        NIST requires at least 55 sequences for the uniformity check; we
+        additionally require the observed p-values to behave continuously
+        (at least half as many distinct values as samples).
+        """
+        return (
+            self.sample_size >= 55
+            and self.distinct_p_values * 2 >= self.sample_size
+        )
+
+    @property
+    def uniformity_ok(self) -> bool:
+        return self.uniformity_p >= UNIFORMITY_ALPHA
+
+    @property
+    def passed(self) -> bool:
+        if not self.proportion_ok:
+            return False
+        if self.uniformity_assessable and not self.uniformity_ok:
+            return False
+        return True
+
+
+@dataclass
+class SuiteReport:
+    """Final analysis report over many sequences (the paper's Tables I-II).
+
+    Attributes:
+        rows: one per test variant, in battery order.
+        sequence_count: number of sequences evaluated.
+        bit_count: bits per sequence.
+        skipped_tests: tests inapplicable at this length.
+    """
+
+    rows: list[TestRow]
+    sequence_count: int
+    bit_count: int
+    skipped_tests: list[str] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(row.passed for row in self.rows)
+
+    @property
+    def failed_rows(self) -> list[TestRow]:
+        return [row for row in self.rows if not row.passed]
+
+    def render(self) -> str:
+        """ASCII table in the NIST final-analysis-report layout."""
+        lines = []
+        lines.append("-" * 98)
+        lines.append(
+            " ".join(f"C{i}".rjust(4) for i in range(1, 11))
+            + "  P-VALUE  PROPORTION  STATISTICAL TEST"
+        )
+        lines.append("-" * 98)
+        for row in self.rows:
+            histogram = " ".join(str(int(c)).rjust(4) for c in row.histogram)
+            proportion = f"{row.passing}/{row.sample_size}"
+            marker = "" if row.passed else " *"
+            uniformity = f"{row.uniformity_p:.6f}"
+            if not row.uniformity_assessable:
+                uniformity += "~"  # discrete p-value support; see TestRow
+            lines.append(
+                f"{histogram}  {uniformity}  {proportion:>10}  "
+                f"{row.label}{marker}"
+            )
+        lines.append("-" * 98)
+        lines.append(
+            f"The minimum pass rate for each statistical test is approximately "
+            f"= {int(np.floor(minimum_pass_proportion(self.sequence_count) * self.sequence_count))} "
+            f"for a sample size = {self.sequence_count} binary sequences."
+        )
+        if self.skipped_tests:
+            lines.append(
+                "Skipped (sequence too short): " + ", ".join(self.skipped_tests)
+            )
+        return "\n".join(lines)
+
+
+def evaluate_sequences(
+    sequences: np.ndarray, config: SuiteConfig | None = None
+) -> SuiteReport:
+    """Run the battery on every row of a bit matrix and aggregate.
+
+    Args:
+        sequences: boolean matrix, one sequence per row.
+    """
+    sequences = np.asarray(sequences)
+    if sequences.ndim != 2 or sequences.shape[0] < 1:
+        raise ValueError(
+            f"expected a non-empty 2-D bit matrix, got shape {sequences.shape}"
+        )
+    per_label: dict[str, list[float]] = {}
+    order: list[str] = []
+    skipped: list[str] = []
+    for row in sequences:
+        outcomes, row_skipped = run_battery(row, config)
+        skipped.extend(row_skipped)
+        for outcome in outcomes:
+            if outcome.label not in per_label:
+                per_label[outcome.label] = []
+                order.append(outcome.label)
+            per_label[outcome.label].append(outcome.p_value)
+
+    rows = []
+    for label in order:
+        p_values = np.asarray(per_label[label])
+        histogram, _ = np.histogram(p_values, bins=10, range=(0.0, 1.0))
+        expected = len(p_values) / 10.0
+        chi_square = float(np.sum((histogram - expected) ** 2 / expected))
+        uniformity = igamc(9.0 / 2.0, chi_square / 2.0)
+        rows.append(
+            TestRow(
+                label=label,
+                histogram=histogram,
+                uniformity_p=uniformity,
+                passing=int(np.sum(p_values >= ALPHA)),
+                sample_size=len(p_values),
+                distinct_p_values=len(np.unique(np.round(p_values, 12))),
+            )
+        )
+    return SuiteReport(
+        rows=rows,
+        sequence_count=sequences.shape[0],
+        bit_count=sequences.shape[1],
+        skipped_tests=sorted(set(skipped)),
+    )

@@ -1,0 +1,99 @@
+"""Maurer's universal statistical test (SP 800-22 Sec. 2.9)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import TestOutcome, as_bits, normalized_erfc, require_length
+
+__all__ = ["universal_test"]
+
+# (L, expectedValue, variance) per SP 800-22 Sec. 2.9; Q = 10 * 2**L.
+_UNIVERSAL_CONSTANTS = {
+    6: (5.2177052, 2.954),
+    7: (6.1962507, 3.125),
+    8: (7.1836656, 3.238),
+    9: (8.1764248, 3.311),
+    10: (9.1723243, 3.356),
+    11: (10.170032, 3.384),
+    12: (11.168765, 3.401),
+    13: (12.168070, 3.410),
+    14: (13.167693, 3.416),
+    15: (14.167488, 3.419),
+    16: (15.167379, 3.421),
+}
+
+# Smallest n for each block length L, per the specification's table.
+_LENGTH_THRESHOLDS = (
+    (1059061760, 16),
+    (496435200, 15),
+    (231669760, 14),
+    (107560960, 13),
+    (49643520, 12),
+    (22753280, 11),
+    (10342400, 10),
+    (4654080, 9),
+    (2068480, 8),
+    (904960, 7),
+    (387840, 6),
+)
+
+
+def universal_test(sequence, block_length: int | None = None) -> TestOutcome:
+    """Maurer's universal test; needs at least 387 840 bits.
+
+    Args:
+        block_length: override the automatic choice of L (6..16).
+    """
+    bits = as_bits(sequence)
+    require_length(bits, 387840, "Universal")
+    n = len(bits)
+    if block_length is None:
+        block_length = next(L for threshold, L in _LENGTH_THRESHOLDS if n >= threshold)
+    if block_length not in _UNIVERSAL_CONSTANTS:
+        raise ValueError(
+            f"block_length must be in 6..16, got {block_length}"
+        )
+    expected, variance = _UNIVERSAL_CONSTANTS[block_length]
+
+    q = 10 * 2**block_length
+    total_blocks = n // block_length
+    k = total_blocks - q
+    if k < 1:
+        raise ValueError(
+            f"sequence supplies only {total_blocks} blocks of {block_length} "
+            f"bits; the initialisation segment alone needs {q}"
+        )
+
+    weights = 1 << np.arange(block_length - 1, -1, -1)
+    values = (
+        bits[: total_blocks * block_length]
+        .reshape(total_blocks, block_length)
+        .astype(np.int64)
+        @ weights
+    )
+
+    last_seen = np.zeros(2**block_length, dtype=np.int64)
+    for position in range(q):
+        last_seen[values[position]] = position + 1
+
+    total = 0.0
+    for position in range(q, total_blocks):
+        value = values[position]
+        total += np.log2(position + 1 - last_seen[value])
+        last_seen[value] = position + 1
+    fn = total / k
+
+    # Finite-size correction of the reference implementation.
+    c = 0.7 - 0.8 / block_length + (4.0 + 32.0 / block_length) * k ** (
+        -3.0 / block_length
+    ) / 15.0
+    sigma = c * np.sqrt(variance / k)
+    statistic = abs(fn - expected) / (np.sqrt(2.0) * sigma)
+    p_value = normalized_erfc(abs(fn - expected) / sigma)
+    return TestOutcome(
+        test="Universal",
+        p_value=p_value,
+        statistic=float(statistic),
+        details={"L": block_length, "Q": q, "K": k, "fn": fn},
+    )

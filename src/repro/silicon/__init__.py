@@ -1,0 +1,22 @@
+"""Simulated silicon: chips of delay units sampled from the variation model.
+
+Replaces the paper's physical FPGA boards (9 Virtex-5 boards for the
+inverter-level experiments).  See DESIGN.md Sec. 2.
+"""
+
+from .aging import AgingModel, age_chip
+from .chip import Chip
+from .fabrication import FabricationProcess
+from .geometry import GridPlacement, grid_coordinates
+from .oscillator import RingOscillatorSimulator, simulate_configured_ring
+
+__all__ = [
+    "AgingModel",
+    "age_chip",
+    "Chip",
+    "FabricationProcess",
+    "GridPlacement",
+    "grid_coordinates",
+    "RingOscillatorSimulator",
+    "simulate_configured_ring",
+]

@@ -1,0 +1,98 @@
+"""Device aging: NBTI/HCI-style delay drift over operating lifetime.
+
+PUF responses must stay stable not only across (V, T) corners but across
+*years* of silicon wear-out — a standard extension of the paper's
+reliability question.  We model the dominant effect (threshold-voltage
+shift from bias-temperature instability) as a power-law relative slowdown
+with a per-device random severity::
+
+    delay(t) = delay(0) * (1 + severity_i * (t / t0) ** exponent)
+
+Because the severities differ per device, delay *orderings* drift with
+age, and marginal PUF bits eventually flip.  :func:`age_chip` returns an
+aged copy of a chip so any enrollment can be replayed against it; the
+aging bench compares the configurable and traditional schemes' wear-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .chip import Chip
+
+__all__ = ["AgingModel", "age_chip"]
+
+
+@dataclass(frozen=True)
+class AgingModel:
+    """Power-law aging with per-device severity spread.
+
+    Attributes:
+        mean_severity: mean relative slowdown at ``reference_years``.
+        severity_sigma: per-device spread of the slowdown (this is what
+            reorders delays and flips marginal bits).
+        exponent: power-law time exponent (NBTI is classically ~0.16-0.25).
+        reference_years: time at which ``mean_severity`` applies.
+    """
+
+    mean_severity: float = 0.04
+    severity_sigma: float = 0.008
+    exponent: float = 0.2
+    reference_years: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.mean_severity < 0.0 or self.severity_sigma < 0.0:
+            raise ValueError("severities must be non-negative")
+        if self.exponent <= 0.0:
+            raise ValueError("exponent must be positive")
+        if self.reference_years <= 0.0:
+            raise ValueError("reference_years must be positive")
+
+    def sample_severities(
+        self, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-device severities, clipped at zero (aging never speeds up)."""
+        severities = rng.normal(self.mean_severity, self.severity_sigma, count)
+        return np.clip(severities, 0.0, None)
+
+    def slowdown(self, severities: np.ndarray, years: float) -> np.ndarray:
+        """Multiplicative delay factors after ``years`` of stress."""
+        if years < 0.0:
+            raise ValueError("years must be non-negative")
+        if years == 0.0:
+            return np.ones_like(np.asarray(severities, dtype=float))
+        scale = (years / self.reference_years) ** self.exponent
+        return 1.0 + np.asarray(severities, dtype=float) * scale
+
+
+def age_chip(
+    chip: Chip,
+    years: float,
+    rng: np.random.Generator,
+    model: AgingModel | None = None,
+) -> Chip:
+    """Return an aged copy of a chip (the original is untouched).
+
+    All three device populations (inverters and both MUX paths) age with
+    independent severities drawn from the same model.
+    """
+    if model is None:
+        model = AgingModel()
+    inverter_factors = model.slowdown(
+        model.sample_severities(chip.unit_count, rng), years
+    )
+    selected_factors = model.slowdown(
+        model.sample_severities(chip.unit_count, rng), years
+    )
+    bypass_factors = model.slowdown(
+        model.sample_severities(chip.unit_count, rng), years
+    )
+    return replace(
+        chip,
+        name=f"{chip.name}@{years:g}y",
+        inverter_base=chip.inverter_base * inverter_factors,
+        mux_selected_base=chip.mux_selected_base * selected_factors,
+        mux_bypass_base=chip.mux_bypass_base * bypass_factors,
+    )

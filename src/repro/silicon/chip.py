@@ -1,0 +1,145 @@
+"""A fabricated chip: an array of delay units with individual delays.
+
+One *delay unit* is the paper's Fig. 2 structure — an inverter followed by a
+2-to-1 MUX.  When the MUX selection bit is 1 the signal passes through the
+inverter and the MUX's "1" path (delay ``d + d1``); when it is 0 the signal
+bypasses the inverter through the MUX's "0" path (delay ``d0``).  All three
+delays vary with fabrication and environment, so a chip carries base delays
+*and* environmental sensitivities for every inverter and both MUX paths.
+
+The chip is a structure of arrays for speed; `repro.core` provides the
+object-per-unit view on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..variation.environment import (
+    NOMINAL_OPERATING_POINT,
+    DeviceSensitivities,
+    EnvironmentModel,
+    OperatingPoint,
+)
+
+__all__ = ["Chip"]
+
+
+@dataclass
+class Chip:
+    """A die populated with configurable-RO delay units.
+
+    Attributes:
+        name: identifier used in reports (e.g. ``"board03"``).
+        coords: ``(k, 2)`` normalised die coordinates of the units.
+        inverter_base: reference-corner inverter delays, seconds.
+        mux_selected_base: reference-corner delays of the MUX "1" paths (d1).
+        mux_bypass_base: reference-corner delays of the MUX "0" paths (d0).
+        inverter_sensitivities: environmental sensitivities of the inverters.
+        mux_selected_sensitivities: sensitivities of the MUX "1" paths.
+        mux_bypass_sensitivities: sensitivities of the MUX "0" paths.
+        environment: the delay-vs-environment model shared by all devices.
+    """
+
+    name: str
+    coords: np.ndarray
+    inverter_base: np.ndarray
+    mux_selected_base: np.ndarray
+    mux_bypass_base: np.ndarray
+    inverter_sensitivities: DeviceSensitivities
+    mux_selected_sensitivities: DeviceSensitivities
+    mux_bypass_sensitivities: DeviceSensitivities
+    environment: EnvironmentModel = field(default_factory=EnvironmentModel)
+
+    def __post_init__(self) -> None:
+        self.coords = np.asarray(self.coords, dtype=float)
+        self.inverter_base = np.asarray(self.inverter_base, dtype=float)
+        self.mux_selected_base = np.asarray(self.mux_selected_base, dtype=float)
+        self.mux_bypass_base = np.asarray(self.mux_bypass_base, dtype=float)
+        k = len(self.inverter_base)
+        if self.coords.shape != (k, 2):
+            raise ValueError(
+                f"coords shape {self.coords.shape} inconsistent with {k} units"
+            )
+        for name in ("mux_selected_base", "mux_bypass_base"):
+            if getattr(self, name).shape != (k,):
+                raise ValueError(f"{name} must have shape ({k},)")
+        for name in (
+            "inverter_sensitivities",
+            "mux_selected_sensitivities",
+            "mux_bypass_sensitivities",
+        ):
+            if getattr(self, name).shape != (k,):
+                raise ValueError(f"{name} must describe {k} devices")
+        if np.any(self.inverter_base <= 0.0):
+            raise ValueError("inverter delays must be positive")
+        if np.any(self.mux_selected_base <= 0.0) or np.any(self.mux_bypass_base <= 0.0):
+            raise ValueError("MUX path delays must be positive")
+
+    @property
+    def unit_count(self) -> int:
+        """Number of delay units on the chip."""
+        return len(self.inverter_base)
+
+    def __len__(self) -> int:
+        return self.unit_count
+
+    # ------------------------------------------------------------------
+    # Delay queries (all vectorised over units)
+    # ------------------------------------------------------------------
+
+    def inverter_delays(self, op: OperatingPoint = NOMINAL_OPERATING_POINT) -> np.ndarray:
+        """Per-unit inverter delays ``d`` at an operating point."""
+        return self.environment.delays_at(
+            self.inverter_base, self.inverter_sensitivities, op
+        )
+
+    def mux_selected_delays(
+        self, op: OperatingPoint = NOMINAL_OPERATING_POINT
+    ) -> np.ndarray:
+        """Per-unit MUX "1"-path delays ``d1`` at an operating point."""
+        return self.environment.delays_at(
+            self.mux_selected_base, self.mux_selected_sensitivities, op
+        )
+
+    def mux_bypass_delays(
+        self, op: OperatingPoint = NOMINAL_OPERATING_POINT
+    ) -> np.ndarray:
+        """Per-unit MUX "0"-path delays ``d0`` at an operating point."""
+        return self.environment.delays_at(
+            self.mux_bypass_base, self.mux_bypass_sensitivities, op
+        )
+
+    def selected_path_delays(
+        self, op: OperatingPoint = NOMINAL_OPERATING_POINT
+    ) -> np.ndarray:
+        """Per-unit delays when selected: ``d + d1``."""
+        return self.inverter_delays(op) + self.mux_selected_delays(op)
+
+    def ddiffs(self, op: OperatingPoint = NOMINAL_OPERATING_POINT) -> np.ndarray:
+        """The paper's per-unit delay differences ``ddiff = d + d1 - d0``."""
+        return self.selected_path_delays(op) - self.mux_bypass_delays(op)
+
+    # ------------------------------------------------------------------
+    # Subsetting
+    # ------------------------------------------------------------------
+
+    def subset(self, indices: np.ndarray, name: str | None = None) -> "Chip":
+        """A new Chip view containing only the units at ``indices``.
+
+        Used to carve a long column of delay units into individual ROs.
+        """
+        indices = np.asarray(indices)
+        return Chip(
+            name=name if name is not None else f"{self.name}[{len(indices)} units]",
+            coords=self.coords[indices],
+            inverter_base=self.inverter_base[indices],
+            mux_selected_base=self.mux_selected_base[indices],
+            mux_bypass_base=self.mux_bypass_base[indices],
+            inverter_sensitivities=self.inverter_sensitivities.take(indices),
+            mux_selected_sensitivities=self.mux_selected_sensitivities.take(indices),
+            mux_bypass_sensitivities=self.mux_bypass_sensitivities.take(indices),
+            environment=self.environment,
+        )

@@ -1,0 +1,137 @@
+"""Fabrication: sampling chips from the process-variation model.
+
+`FabricationProcess` plays the role of the foundry.  Each call to
+:meth:`FabricationProcess.fabricate` produces one :class:`~repro.silicon.chip.Chip`
+with a fresh board offset, a fresh systematic field, and fresh per-device
+random variation and environmental sensitivities — the same chip design,
+never the same chip, which is the whole premise of a PUF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..variation.environment import EnvironmentModel
+from ..variation.process import ProcessVariationModel
+from .chip import Chip
+from .geometry import GridPlacement
+
+__all__ = ["FabricationProcess"]
+
+
+@dataclass
+class FabricationProcess:
+    """A foundry that fabricates chips of configurable-RO delay units.
+
+    Attributes:
+        process: fabrication-variation model (board offset, systematic
+            field, random mismatch, nominal inverter delay).
+        environment: delay-vs-(V, T) model; supplies per-device sensitivities.
+        mux_delay_ratio: nominal MUX path delay as a fraction of the nominal
+            inverter delay.  Applied to both the "1" and "0" paths, whose
+            actual delays then vary independently.
+        mux_variation_scale: relative strength of random variation on MUX
+            paths compared to inverters (MUX paths are shorter structures,
+            so their absolute mismatch is smaller).
+    """
+
+    process: ProcessVariationModel = field(default_factory=ProcessVariationModel)
+    environment: EnvironmentModel = field(default_factory=EnvironmentModel)
+    mux_delay_ratio: float = 0.4
+    mux_variation_scale: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.mux_delay_ratio <= 0.0:
+            raise ValueError("mux_delay_ratio must be positive")
+        if self.mux_variation_scale < 0.0:
+            raise ValueError("mux_variation_scale must be non-negative")
+
+    def fabricate(
+        self,
+        unit_count: int,
+        rng: np.random.Generator,
+        name: str = "chip",
+        placement: GridPlacement | None = None,
+    ) -> Chip:
+        """Fabricate one chip with ``unit_count`` delay units.
+
+        Args:
+            unit_count: number of delay units to place.
+            rng: random generator; a fixed seed reproduces the same "wafer".
+            name: chip identifier for reports.
+            placement: die grid; defaults to a near-square grid that fits.
+        """
+        if unit_count < 1:
+            raise ValueError(f"unit_count must be >= 1, got {unit_count}")
+        if placement is None:
+            placement = _default_placement(unit_count)
+        coords = placement.coordinates(unit_count)
+
+        fld = self.process.sample_field(rng)
+        offset = self.process.sample_board_offset(rng)
+        inverter_base = self.process.sample_delays(coords, fld, offset, rng)
+
+        mux_nominal = self.process.parameters.nominal_delay * self.mux_delay_ratio
+        mux_selected_base = self._sample_mux_delays(
+            mux_nominal, coords, fld, offset, rng
+        )
+        mux_bypass_base = self._sample_mux_delays(
+            mux_nominal, coords, fld, offset, rng
+        )
+
+        return Chip(
+            name=name,
+            coords=coords,
+            inverter_base=inverter_base,
+            mux_selected_base=mux_selected_base,
+            mux_bypass_base=mux_bypass_base,
+            inverter_sensitivities=self.environment.sample_sensitivities(
+                unit_count, rng
+            ),
+            mux_selected_sensitivities=self.environment.sample_sensitivities(
+                unit_count, rng
+            ),
+            mux_bypass_sensitivities=self.environment.sample_sensitivities(
+                unit_count, rng
+            ),
+            environment=self.environment,
+        )
+
+    def fabricate_lot(
+        self,
+        chip_count: int,
+        unit_count: int,
+        rng: np.random.Generator,
+        name_prefix: str = "board",
+    ) -> list[Chip]:
+        """Fabricate a lot of chips sharing the design but not the silicon."""
+        if chip_count < 0:
+            raise ValueError(f"chip_count must be non-negative, got {chip_count}")
+        width = max(2, len(str(max(chip_count - 1, 0))))
+        return [
+            self.fabricate(unit_count, rng, name=f"{name_prefix}{i:0{width}d}")
+            for i in range(chip_count)
+        ]
+
+    def _sample_mux_delays(
+        self,
+        mux_nominal: float,
+        coords: np.ndarray,
+        fld,
+        offset: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """MUX path delays: same systematic trend, scaled random mismatch."""
+        systematic = fld.evaluate(coords)
+        sigma = self.process.parameters.sigma_random * self.mux_variation_scale
+        random_part = rng.normal(0.0, sigma, size=len(coords))
+        return mux_nominal * (1.0 + offset + systematic + random_part)
+
+
+def _default_placement(unit_count: int) -> GridPlacement:
+    """A near-square grid wide enough for ``unit_count`` devices."""
+    columns = int(np.ceil(np.sqrt(unit_count)))
+    rows = int(np.ceil(unit_count / columns))
+    return GridPlacement(columns=columns, rows=rows)

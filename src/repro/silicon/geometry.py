@@ -1,0 +1,73 @@
+"""Die geometry: placing devices on a normalised grid.
+
+Systematic process variation is spatial, so every device needs a die
+coordinate.  We place devices on a regular ``columns x rows`` grid (like CLB
+columns/rows on an FPGA) and normalise coordinates to ``[-1, 1]`` so the
+polynomial variation field and the polynomial distiller share one domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GridPlacement", "grid_coordinates"]
+
+
+@dataclass(frozen=True)
+class GridPlacement:
+    """A rectangular device grid on the die.
+
+    Attributes:
+        columns: number of grid columns (x direction).
+        rows: number of grid rows (y direction).
+    """
+
+    columns: int
+    rows: int
+
+    def __post_init__(self) -> None:
+        if self.columns < 1 or self.rows < 1:
+            raise ValueError(
+                f"grid must be at least 1x1, got {self.columns}x{self.rows}"
+            )
+
+    @property
+    def capacity(self) -> int:
+        """Total number of grid sites."""
+        return self.columns * self.rows
+
+    def coordinates(self, count: int | None = None) -> np.ndarray:
+        """Normalised ``(count, 2)`` coordinates in row-major placement order.
+
+        Args:
+            count: number of devices to place; defaults to the full grid.
+
+        Raises:
+            ValueError: if ``count`` exceeds the grid capacity.
+        """
+        if count is None:
+            count = self.capacity
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count > self.capacity:
+            raise ValueError(
+                f"cannot place {count} devices on a "
+                f"{self.columns}x{self.rows} grid ({self.capacity} sites)"
+            )
+        return grid_coordinates(self.columns, self.rows)[:count]
+
+
+def grid_coordinates(columns: int, rows: int) -> np.ndarray:
+    """Row-major normalised coordinates of a ``columns x rows`` grid.
+
+    Column index ``c`` maps to ``x`` in ``[-1, 1]`` and row index ``r`` to
+    ``y`` in ``[-1, 1]``; a single row or column maps to 0.
+    """
+    if columns < 1 or rows < 1:
+        raise ValueError("grid dimensions must be positive")
+    xs = np.linspace(-1.0, 1.0, columns) if columns > 1 else np.zeros(1)
+    ys = np.linspace(-1.0, 1.0, rows) if rows > 1 else np.zeros(1)
+    grid_y, grid_x = np.meshgrid(ys, xs, indexing="ij")
+    return np.stack([grid_x.ravel(), grid_y.ravel()], axis=1)

@@ -1,0 +1,56 @@
+"""Fabrication-variation, environment, and measurement-noise models.
+
+This subpackage is the physical substrate of the reproduction: it stands in
+for the silicon the paper measured.  See DESIGN.md Sec. 2 for the
+substitution rationale.
+"""
+
+from .corners import (
+    NOMINAL_OPERATING_POINT,
+    TEMPERATURES,
+    VOLTAGES,
+    full_grid,
+    temperature_corners,
+    voltage_corners,
+)
+from .environment import (
+    DeviceSensitivities,
+    EnvironmentModel,
+    EnvironmentParameters,
+    OperatingPoint,
+)
+from .noise import (
+    GaussianNoise,
+    MeasurementNoise,
+    NoiselessMeasurement,
+    QuantizedGaussianNoise,
+)
+from .process import (
+    ProcessParameters,
+    ProcessVariationModel,
+    SpatialField,
+    monomial_exponents,
+    polynomial_design_matrix,
+)
+
+__all__ = [
+    "NOMINAL_OPERATING_POINT",
+    "TEMPERATURES",
+    "VOLTAGES",
+    "full_grid",
+    "temperature_corners",
+    "voltage_corners",
+    "DeviceSensitivities",
+    "EnvironmentModel",
+    "EnvironmentParameters",
+    "OperatingPoint",
+    "GaussianNoise",
+    "MeasurementNoise",
+    "NoiselessMeasurement",
+    "QuantizedGaussianNoise",
+    "ProcessParameters",
+    "ProcessVariationModel",
+    "SpatialField",
+    "monomial_exponents",
+    "polynomial_design_matrix",
+]

@@ -1,0 +1,44 @@
+"""The operating corners used in the paper's evaluation (Sec. IV).
+
+Five supply voltages and five temperatures; the enrollment corner is
+(1.20 V, 25 degC).  The five environment-swept boards of the Virginia Tech
+dataset were measured on this grid.
+"""
+
+from __future__ import annotations
+
+from .environment import NOMINAL_OPERATING_POINT, OperatingPoint
+
+__all__ = [
+    "VOLTAGES",
+    "TEMPERATURES",
+    "NOMINAL_OPERATING_POINT",
+    "voltage_corners",
+    "temperature_corners",
+    "full_grid",
+]
+
+#: Supply voltages of the VT dataset sweep (Sec. IV): 1.20 V nominal +/- steps.
+VOLTAGES: tuple[float, ...] = (0.98, 1.08, 1.20, 1.32, 1.44)
+
+#: Temperatures of the VT dataset sweep: 25 degC nominal plus four elevated.
+TEMPERATURES: tuple[float, ...] = (25.0, 35.0, 45.0, 55.0, 65.0)
+
+
+def voltage_corners(temperature: float = 25.0) -> list[OperatingPoint]:
+    """The five voltage corners at a fixed temperature (default 25 degC)."""
+    return [OperatingPoint(voltage=v, temperature=temperature) for v in VOLTAGES]
+
+
+def temperature_corners(voltage: float = 1.20) -> list[OperatingPoint]:
+    """The five temperature corners at a fixed voltage (default 1.20 V)."""
+    return [OperatingPoint(voltage=voltage, temperature=t) for t in TEMPERATURES]
+
+
+def full_grid() -> list[OperatingPoint]:
+    """All 25 (voltage, temperature) corners, voltage-major order."""
+    return [
+        OperatingPoint(voltage=v, temperature=t)
+        for v in VOLTAGES
+        for t in TEMPERATURES
+    ]

@@ -1,0 +1,106 @@
+"""Measurement-noise models for delay and frequency measurements.
+
+On the FPGA, RO frequencies are measured by counting edges over a fixed
+window; chain delays by timing a launched transition.  Both are subject to
+jitter, supply ripple, and counter quantisation.  The paper's measurement
+scheme (Sec. III.B) explicitly tolerates this: it only needs *relative*
+speeds, and it measures multi-inverter chains (then solves for the per-unit
+values) precisely because single-unit measurements "may introduce large
+error".  These models let the reproduction inject that error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "MeasurementNoise",
+    "GaussianNoise",
+    "QuantizedGaussianNoise",
+    "NoiselessMeasurement",
+]
+
+
+class MeasurementNoise:
+    """Interface of a measurement-noise model."""
+
+    def observe(self, true_values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return one noisy observation of each true value."""
+        raise NotImplementedError
+
+    def observe_averaged(
+        self,
+        true_values: np.ndarray,
+        rng: np.random.Generator,
+        repeats: int = 1,
+    ) -> np.ndarray:
+        """Average ``repeats`` independent observations of each value."""
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        true_values = np.asarray(true_values, dtype=float)
+        total = np.zeros_like(true_values)
+        for _ in range(repeats):
+            total += self.observe(true_values, rng)
+        return total / repeats
+
+
+@dataclass
+class NoiselessMeasurement(MeasurementNoise):
+    """Ideal measurement; useful as a control in tests and ablations."""
+
+    def observe(self, true_values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return np.asarray(true_values, dtype=float).copy()
+
+
+@dataclass
+class GaussianNoise(MeasurementNoise):
+    """Additive Gaussian jitter, relative to each measured value.
+
+    Attributes:
+        relative_sigma: standard deviation as a fraction of the true value
+            (0.0005 = 0.05%, a typical counter-window repeatability).
+    """
+
+    relative_sigma: float = 5e-4
+
+    def __post_init__(self) -> None:
+        if self.relative_sigma < 0.0:
+            raise ValueError("relative_sigma must be non-negative")
+
+    def observe(self, true_values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        true_values = np.asarray(true_values, dtype=float)
+        jitter = rng.normal(0.0, self.relative_sigma, size=true_values.shape)
+        return true_values * (1.0 + jitter)
+
+
+@dataclass
+class QuantizedGaussianNoise(MeasurementNoise):
+    """Gaussian jitter followed by counter quantisation.
+
+    Models a frequency counter whose readout resolves ``resolution`` units
+    (e.g. one count of a 20-bit counter over a 1 ms window).
+
+    Attributes:
+        relative_sigma: relative jitter applied before quantisation.
+        resolution: quantisation step in the measured unit (seconds for
+            delays, hertz for frequencies).  Zero disables quantisation.
+    """
+
+    relative_sigma: float = 5e-4
+    resolution: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.relative_sigma < 0.0:
+            raise ValueError("relative_sigma must be non-negative")
+        if self.resolution < 0.0:
+            raise ValueError("resolution must be non-negative")
+
+    def observe(self, true_values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        true_values = np.asarray(true_values, dtype=float)
+        jitter = rng.normal(0.0, self.relative_sigma, size=true_values.shape)
+        observed = true_values * (1.0 + jitter)
+        if self.resolution > 0.0:
+            observed = np.round(observed / self.resolution) * self.resolution
+        return observed

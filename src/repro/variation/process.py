@@ -1,0 +1,261 @@
+"""Process-variation model: systematic spatial trends plus random mismatch.
+
+Fabrication variation on an FPGA die decomposes into
+
+* a **board/die offset** — the whole die is a little fast or slow,
+* a **systematic spatial component** — a smooth trend across the die
+  (lithography, thermal gradients during fab), modelled as a random
+  low-order polynomial over normalised die coordinates plus a small
+  sinusoidal ripple that a polynomial distiller cannot fully remove,
+* a **random component** — independent per-device mismatch; this is the
+  entropy source every delay PUF mines.
+
+The paper's Sec. IV.A notes that PUF bits derived from *raw* delays fail the
+NIST randomness tests because of the systematic component and only pass after
+the regression-based distiller of Yin & Qu [18] removes it.  Keeping the
+systematic term explicit in the model lets us reproduce both the failure and
+the fix (ablation A1 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "SpatialField",
+    "ProcessParameters",
+    "ProcessVariationModel",
+]
+
+
+@dataclass
+class SpatialField:
+    """A smooth systematic-variation field over normalised die coordinates.
+
+    The field value at a point ``(x, y)`` (both in ``[-1, 1]``) is::
+
+        sum_k  poly_coefficients[k] * basis_k(x, y)
+        + ripple_amplitude * sin(2*pi*(fx*x + fy*y) + phase)
+
+    where ``basis`` enumerates the monomials of total degree 1..degree
+    (the constant term is carried by the board offset, not the field).
+
+    Attributes:
+        degree: maximum total degree of the polynomial part.
+        poly_coefficients: one coefficient per non-constant monomial, ordered
+            by :func:`monomial_exponents`.
+        ripple_amplitude: amplitude of the sinusoidal residual component.
+        ripple_frequency: ``(fx, fy)`` spatial frequency of the ripple.
+        ripple_phase: phase offset of the ripple in radians.
+    """
+
+    degree: int
+    poly_coefficients: np.ndarray
+    ripple_amplitude: float = 0.0
+    ripple_frequency: tuple[float, float] = (1.0, 1.0)
+    ripple_phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.poly_coefficients = np.asarray(self.poly_coefficients, dtype=float)
+        expected = len(monomial_exponents(self.degree))
+        if self.poly_coefficients.shape != (expected,):
+            raise ValueError(
+                f"degree {self.degree} needs {expected} coefficients, "
+                f"got shape {self.poly_coefficients.shape}"
+            )
+
+    def evaluate(self, coords: np.ndarray) -> np.ndarray:
+        """Evaluate the field at an ``(k, 2)`` array of coordinates."""
+        coords = np.asarray(coords, dtype=float)
+        if coords.ndim != 2 or coords.shape[1] != 2:
+            raise ValueError(f"coords must have shape (k, 2), got {coords.shape}")
+        design = polynomial_design_matrix(coords, self.degree)
+        values = design @ self.poly_coefficients
+        if self.ripple_amplitude != 0.0:
+            fx, fy = self.ripple_frequency
+            phase = 2.0 * np.pi * (fx * coords[:, 0] + fy * coords[:, 1])
+            values = values + self.ripple_amplitude * np.sin(phase + self.ripple_phase)
+        return values
+
+
+def monomial_exponents(degree: int) -> list[tuple[int, int]]:
+    """Exponent pairs of all 2-D monomials with total degree 1..degree.
+
+    The constant monomial ``(0, 0)`` is intentionally excluded: board-level
+    mean shifts are modelled separately so that distillers can treat them
+    independently.
+    """
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    exponents = []
+    for total in range(1, degree + 1):
+        for px in range(total, -1, -1):
+            exponents.append((px, total - px))
+    return exponents
+
+
+def polynomial_design_matrix(coords: np.ndarray, degree: int) -> np.ndarray:
+    """Design matrix of the non-constant monomials at each coordinate."""
+    coords = np.asarray(coords, dtype=float)
+    columns = [
+        coords[:, 0] ** px * coords[:, 1] ** py
+        for px, py in monomial_exponents(degree)
+    ]
+    return np.stack(columns, axis=1)
+
+
+@dataclass(frozen=True)
+class ProcessParameters:
+    """Population parameters of the fabrication-variation model.
+
+    All sigmas are *relative* to the nominal delay (dimensionless).
+
+    Attributes:
+        nominal_delay: mean device delay at the reference corner (seconds).
+        sigma_board: standard deviation of the per-board mean offset.
+        sigma_systematic: standard deviation of the polynomial spatial field
+            (evaluated over the die).
+        sigma_random: standard deviation of independent per-device mismatch.
+        ripple_sigma: standard deviation of the ripple amplitude (the part of
+            systematic variation a low-order polynomial distiller misses).
+        field_degree: polynomial degree of the systematic field.
+        correlation_length: spatial correlation length of the "random"
+            mismatch, in normalised die units ([-1, 1] axes).  Zero (the
+            default) gives independent mismatch; positive values smooth it
+            with a Gaussian kernel of this length — short-range
+            correlation that neither a board offset nor a low-order
+            polynomial distiller can remove (ablation A9).
+    """
+
+    nominal_delay: float = 500e-12
+    sigma_board: float = 0.010
+    sigma_systematic: float = 0.020
+    sigma_random: float = 0.015
+    ripple_sigma: float = 0.002
+    field_degree: int = 2
+    correlation_length: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nominal_delay <= 0.0:
+            raise ValueError("nominal_delay must be positive")
+        for name in ("sigma_board", "sigma_systematic", "sigma_random", "ripple_sigma"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.field_degree < 1:
+            raise ValueError("field_degree must be >= 1")
+        if self.correlation_length < 0.0:
+            raise ValueError("correlation_length must be non-negative")
+
+
+@dataclass
+class ProcessVariationModel:
+    """Samples fabrication outcomes: board offsets, fields, device delays.
+
+    Usage::
+
+        model = ProcessVariationModel()
+        rng = np.random.default_rng(0)
+        field = model.sample_field(rng)
+        offset = model.sample_board_offset(rng)
+        delays = model.sample_delays(coords, field, offset, rng)
+    """
+
+    parameters: ProcessParameters = field(default_factory=ProcessParameters)
+
+    def sample_board_offset(self, rng: np.random.Generator) -> float:
+        """Relative mean-delay offset of one board (e.g. +0.01 = 1% slow)."""
+        return float(rng.normal(0.0, self.parameters.sigma_board))
+
+    def sample_field(self, rng: np.random.Generator) -> SpatialField:
+        """Draw one board's systematic spatial field.
+
+        Polynomial coefficients are scaled so the field's standard deviation
+        over a uniformly-sampled die is approximately ``sigma_systematic``.
+        """
+        p = self.parameters
+        exponents = monomial_exponents(p.field_degree)
+        raw = rng.normal(0.0, 1.0, size=len(exponents))
+        # Variance of x**px * y**py over x,y ~ U[-1, 1]:
+        # E[x**(2p)] = 1/(2p+1), E[x**p] = 0 for odd p, 1/(p+1) for even p.
+        variances = np.array(
+            [_monomial_variance(px, py) for px, py in exponents]
+        )
+        # Independent coefficients: total field variance = sum c_k^2 var_k
+        # (cross terms vanish for distinct monomial pairs except even/even
+        # overlaps, which we neglect for calibration purposes).
+        unit_scale = np.sqrt(np.sum(variances))
+        coefficients = raw * (p.sigma_systematic / max(unit_scale, 1e-12))
+        return SpatialField(
+            degree=p.field_degree,
+            poly_coefficients=coefficients,
+            ripple_amplitude=float(rng.normal(0.0, p.ripple_sigma)),
+            ripple_frequency=(float(rng.uniform(0.5, 2.0)), float(rng.uniform(0.5, 2.0))),
+            ripple_phase=float(rng.uniform(0.0, 2.0 * np.pi)),
+        )
+
+    def sample_relative_delays(
+        self,
+        coords: np.ndarray,
+        fld: SpatialField,
+        board_offset: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Relative delays (multiples of nominal) for devices at ``coords``."""
+        coords = np.asarray(coords, dtype=float)
+        systematic = fld.evaluate(coords)
+        random_part = rng.normal(0.0, self.parameters.sigma_random, size=len(coords))
+        if self.parameters.correlation_length > 0.0:
+            random_part = _correlate_spatially(
+                random_part,
+                coords,
+                self.parameters.correlation_length,
+                self.parameters.sigma_random,
+            )
+        return 1.0 + board_offset + systematic + random_part
+
+    def sample_delays(
+        self,
+        coords: np.ndarray,
+        fld: SpatialField,
+        board_offset: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Absolute device delays in seconds at the reference corner."""
+        relative = self.sample_relative_delays(coords, fld, board_offset, rng)
+        return self.parameters.nominal_delay * relative
+
+
+def _correlate_spatially(
+    values: np.ndarray,
+    coords: np.ndarray,
+    correlation_length: float,
+    target_sigma: float,
+) -> np.ndarray:
+    """Smooth i.i.d. values with a Gaussian spatial kernel, preserving sigma.
+
+    O(k^2) pairwise weights — fine for board-sized device counts (<= a few
+    thousand).
+    """
+    differences = coords[:, None, :] - coords[None, :, :]
+    squared = np.sum(differences**2, axis=2)
+    weights = np.exp(-squared / (2.0 * correlation_length**2))
+    smoothed = weights @ values / weights.sum(axis=1)
+    spread = float(np.std(smoothed))
+    if spread == 0.0:
+        return np.zeros_like(smoothed)
+    return smoothed * (target_sigma / spread)
+
+
+def _monomial_variance(px: int, py: int) -> float:
+    """Variance of x**px * y**py with x, y independent uniform on [-1, 1]."""
+
+    def moment(p: int) -> float:
+        if p % 2 == 1:
+            return 0.0
+        return 1.0 / (p + 1)
+
+    second = moment(2 * px) * moment(2 * py)
+    first = moment(px) * moment(py)
+    return second - first * first

@@ -1,0 +1,47 @@
+"""Shared fixtures: small synthetic datasets and chips for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.datasets.vtlike import VTLikeConfig, generate_vt_like
+from repro.silicon.fabrication import FabricationProcess
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small VT-shaped dataset: 8 nominal + 2 swept boards, 128 ROs."""
+    return generate_vt_like(
+        VTLikeConfig(
+            nominal_boards=8,
+            swept_boards=2,
+            ro_count=128,
+            grid_columns=8,
+            grid_rows=16,
+            seed=1234,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def chip():
+    """One fabricated chip of 64 delay units."""
+    return FabricationProcess().fabricate(
+        64, np.random.default_rng(99), name="testchip"
+    )
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(0)

@@ -1,0 +1,95 @@
+"""Tests of the device-aging model and its PUF-level consequences."""
+
+import numpy as np
+import pytest
+
+from repro.core.puf import ChipROPUF
+from repro.silicon.aging import AgingModel, age_chip
+from repro.silicon.fabrication import FabricationProcess
+from repro.variation.environment import NOMINAL_OPERATING_POINT
+
+
+class TestAgingModel:
+    def test_zero_years_no_change(self, rng):
+        model = AgingModel()
+        severities = model.sample_severities(10, rng)
+        assert np.allclose(model.slowdown(severities, 0.0), 1.0)
+
+    def test_reference_point_slowdown(self, rng):
+        model = AgingModel(mean_severity=0.05, severity_sigma=0.0)
+        severities = model.sample_severities(100, rng)
+        factors = model.slowdown(severities, model.reference_years)
+        assert np.allclose(factors, 1.05)
+
+    def test_monotone_in_time(self, rng):
+        model = AgingModel()
+        severities = model.sample_severities(20, rng)
+        early = model.slowdown(severities, 1.0)
+        late = model.slowdown(severities, 20.0)
+        assert np.all(late >= early)
+
+    def test_sublinear_power_law(self, rng):
+        model = AgingModel(mean_severity=0.05, severity_sigma=0.0)
+        severities = model.sample_severities(1, rng)
+        one_year = model.slowdown(severities, 1.0)[0] - 1.0
+        four_years = model.slowdown(severities, 4.0)[0] - 1.0
+        # exponent 0.2: 4x the time gives ~1.32x the drift, far below 4x.
+        assert four_years < 2.0 * one_year
+
+    def test_severities_clipped_non_negative(self, rng):
+        model = AgingModel(mean_severity=0.0, severity_sigma=0.05)
+        severities = model.sample_severities(1000, rng)
+        assert np.all(severities >= 0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AgingModel(mean_severity=-0.1)
+        with pytest.raises(ValueError):
+            AgingModel(exponent=0.0)
+        with pytest.raises(ValueError):
+            AgingModel(reference_years=0.0)
+
+    def test_negative_years_rejected(self, rng):
+        model = AgingModel()
+        with pytest.raises(ValueError):
+            model.slowdown(model.sample_severities(2, rng), -1.0)
+
+
+class TestAgeChip:
+    def test_aged_chip_is_slower(self, chip, rng):
+        aged = age_chip(chip, 10.0, rng)
+        assert np.all(aged.inverter_base >= chip.inverter_base)
+        assert np.all(aged.mux_bypass_base >= chip.mux_bypass_base)
+
+    def test_original_untouched(self, chip, rng):
+        before = chip.inverter_base.copy()
+        age_chip(chip, 10.0, rng)
+        assert np.array_equal(chip.inverter_base, before)
+
+    def test_name_annotated(self, chip, rng):
+        aged = age_chip(chip, 5.0, rng)
+        assert "@5y" in aged.name
+
+    def test_zero_years_identity_delays(self, chip, rng):
+        aged = age_chip(chip, 0.0, rng)
+        assert np.array_equal(aged.inverter_base, chip.inverter_base)
+
+    def test_configurable_outlasts_traditional(self):
+        fab = FabricationProcess()
+        rng = np.random.default_rng(3)
+        flips = {"case2": 0, "traditional": 0}
+        for index in range(4):
+            chip = fab.fabricate(120, rng, name=f"wear{index}")
+            for method in flips:
+                puf = ChipROPUF.deploy(chip, stage_count=5, method=method)
+                enrollment = puf.enroll()
+                aged = age_chip(chip, 15.0, np.random.default_rng(index))
+                aged_puf = ChipROPUF(
+                    chip=aged,
+                    allocation=puf.allocation,
+                    method=method,
+                    measurer=puf.measurer,
+                )
+                response = aged_puf.response(NOMINAL_OPERATING_POINT, enrollment)
+                flips[method] += int(np.sum(response != enrollment.bits))
+        assert flips["case2"] <= flips["traditional"]

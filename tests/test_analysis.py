@@ -1,0 +1,90 @@
+"""Tests of the reporting helpers (tables, histograms)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import bar_chart, histogram_lines
+from repro.analysis.tables import Table, format_percent
+
+
+class TestFormatPercent:
+    def test_zero(self):
+        assert format_percent(0.0) == "0"
+
+    def test_tiny_values_tilde(self):
+        assert format_percent(0.0004) == "~0"
+
+    def test_regular_values(self):
+        assert format_percent(32.8) == "32.8"
+        assert format_percent(0.822) == "0.82"
+
+    def test_paper_table_iv_style(self):
+        # 0.015 and 1.64 should keep their leading digits
+        assert format_percent(1.64).startswith("1.6")
+        assert format_percent(0.015).startswith("0.015")
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(headers=["a", "bb"], title="T")
+        table.add_row(1, 22)
+        table.add_row(333, 4)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_arity_checked(self):
+        table = Table(headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_empty_table_renders(self):
+        table = Table(headers=["only"])
+        assert "only" in table.render()
+
+    def test_str_matches_render(self):
+        table = Table(headers=["x"])
+        table.add_row(5)
+        assert str(table) == table.render()
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        text = bar_chart(["a", "b"], np.array([1.0, 2.0]), width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_label_value_present(self):
+        text = bar_chart(["x"], np.array([3.0]), unit="%")
+        assert "x |" in text and "3%" in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], np.array([1.0, 2.0]))
+
+    def test_all_zero_values(self):
+        text = bar_chart(["a"], np.array([0.0]))
+        assert "#" not in text
+
+
+class TestHistogramLines:
+    def test_trims_empty_tails(self):
+        centers = np.arange(5)
+        counts = np.array([0, 0, 3, 1, 0])
+        text = histogram_lines(centers, counts)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("2")
+
+    def test_keep_tails_option(self):
+        centers = np.arange(3)
+        counts = np.array([0, 1, 0])
+        text = histogram_lines(centers, counts, skip_empty_tails=False)
+        assert len(text.splitlines()) == 3
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            histogram_lines(np.arange(3), np.arange(4))

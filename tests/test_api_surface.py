@@ -1,0 +1,102 @@
+"""API-surface tests: the documented public interface exists and resolves."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.variation",
+    "repro.silicon",
+    "repro.core",
+    "repro.baselines",
+    "repro.distiller",
+    "repro.nist",
+    "repro.metrics",
+    "repro.datasets",
+    "repro.crypto",
+    "repro.attacks",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+class TestPublicApi:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_entries_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        assert hasattr(package, "__all__"), package_name
+        for name in package.__all__:
+            assert hasattr(package, name), f"{package_name}.{name}"
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_module_docstrings_present(self, package_name):
+        package = importlib.import_module(package_name)
+        assert package.__doc__, package_name
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_readme_quickstart_names_exist(self):
+        # The names used in README's quickstart snippet.
+        import repro
+
+        for name in (
+            "FabricationProcess",
+            "ChipROPUF",
+            "OperatingPoint",
+            "BoardROPUF",
+            "Authenticator",
+            "KeyGenerator",
+            "FuzzyExtractor",
+            "BCHCode",
+            "PolynomialDistiller",
+            "evaluate_sequences",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_public_functions_have_docstrings(self):
+        import inspect
+
+        import repro.core as core
+
+        for name in core.__all__:
+            obj = getattr(core, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                assert obj.__doc__, f"repro.core.{name} lacks a docstring"
+
+
+class TestCornersModule:
+    def test_grid_shapes(self):
+        from repro.variation.corners import (
+            TEMPERATURES,
+            VOLTAGES,
+            full_grid,
+            temperature_corners,
+            voltage_corners,
+        )
+
+        assert len(VOLTAGES) == 5 and len(TEMPERATURES) == 5
+        assert len(full_grid()) == 25
+        assert len(voltage_corners()) == 5
+        assert len(temperature_corners()) == 5
+
+    def test_nominal_in_every_sweep(self):
+        from repro.variation.corners import (
+            NOMINAL_OPERATING_POINT,
+            full_grid,
+            temperature_corners,
+            voltage_corners,
+        )
+
+        assert NOMINAL_OPERATING_POINT in voltage_corners()
+        assert NOMINAL_OPERATING_POINT in temperature_corners()
+        assert NOMINAL_OPERATING_POINT in full_grid()
+
+    def test_sweeps_hold_other_axis_fixed(self):
+        from repro.variation.corners import temperature_corners, voltage_corners
+
+        assert len({op.temperature for op in voltage_corners()}) == 1
+        assert len({op.voltage for op in temperature_corners()}) == 1

@@ -1,0 +1,93 @@
+"""Tests of the bit-autocorrelation metric."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.autocorrelation import (
+    autocorrelation_report,
+    bit_autocorrelation,
+)
+
+
+class TestBitAutocorrelation:
+    def test_alternating_stream_is_anticorrelated(self):
+        bits = np.array([0, 1] * 50, dtype=bool)
+        assert bit_autocorrelation(bits, 1) == pytest.approx(-1.0)
+        assert bit_autocorrelation(bits, 2) == pytest.approx(1.0)
+
+    def test_repeated_blocks_positively_correlated(self, rng):
+        base = rng.integers(0, 2, 100)
+        bits = np.repeat(base, 4).astype(bool)
+        assert bit_autocorrelation(bits, 1) > 0.5
+
+    def test_random_stream_near_zero(self, rng):
+        bits = rng.integers(0, 2, 20000).astype(bool)
+        for lag in (1, 3, 7):
+            assert abs(bit_autocorrelation(bits, lag)) < 0.05
+
+    def test_constant_stream_returns_zero(self):
+        bits = np.ones(50, dtype=bool)
+        assert bit_autocorrelation(bits, 1) == 0.0
+
+    def test_validation(self, rng):
+        bits = rng.integers(0, 2, 10).astype(bool)
+        with pytest.raises(ValueError):
+            bit_autocorrelation(bits, 0)
+        with pytest.raises(ValueError):
+            bit_autocorrelation(bits, 9)
+
+
+class TestAutocorrelationReport:
+    def test_random_population_is_clean(self, rng):
+        bits = rng.integers(0, 2, (50, 128)).astype(bool)
+        report = autocorrelation_report(bits)
+        assert report.clean, report.flagged_lags
+
+    def test_correlated_population_is_flagged(self, rng):
+        base = rng.integers(0, 2, (50, 32))
+        bits = np.repeat(base, 4, axis=1).astype(bool)
+        report = autocorrelation_report(bits)
+        assert not report.clean
+        assert 1 in report.flagged_lags
+
+    def test_detects_distillation_failure(self):
+        # The A9 scenario in miniature: correlated mismatch -> correlated
+        # PUF bits even after distillation.
+        from repro.datasets.vtlike import VTLikeConfig, generate_vt_like
+        from repro.experiments.common import PipelineConfig, response_matrix
+        from repro.variation.process import (
+            ProcessParameters,
+            ProcessVariationModel,
+        )
+
+        def bits_for(correlation):
+            config = VTLikeConfig(
+                nominal_boards=12,
+                swept_boards=0,
+                ro_count=256,
+                grid_columns=16,
+                grid_rows=16,
+                process=ProcessVariationModel(
+                    ProcessParameters(correlation_length=correlation)
+                ),
+                seed=77,
+            )
+            dataset = generate_vt_like(config)
+            return response_matrix(
+                dataset.nominal_boards,
+                PipelineConfig(stage_count=3, method="case1"),
+                dataset.nominal,
+            )
+
+        clean = autocorrelation_report(bits_for(0.0), max_lag=4)
+        dirty = autocorrelation_report(bits_for(0.5), max_lag=4)
+        # Smooth mismatch anti-correlates consecutive pair differences
+        # (the shared middle ring flips sign), so compare magnitudes.
+        assert abs(dirty.mean_autocorrelation[0]) > abs(
+            clean.mean_autocorrelation[0]
+        ) + 0.1
+        assert not dirty.clean
+
+    def test_too_short_streams_rejected(self, rng):
+        with pytest.raises(ValueError):
+            autocorrelation_report(rng.integers(0, 2, (5, 8)), max_lag=8)

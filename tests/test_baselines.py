@@ -1,0 +1,194 @@
+"""Unit tests of the baseline PUF schemes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.maiti_schaumont import (
+    MaitiSchaumontPUF,
+    select_best_word,
+    select_best_word_exhaustive,
+)
+from repro.baselines.one_out_of_eight import OneOutOfEightPUF
+from repro.baselines.threshold import (
+    reliable_bit_count,
+    yield_vs_threshold,
+)
+from repro.baselines.traditional import traditional_puf
+from repro.core.pairing import RingAllocation
+from repro.variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+
+
+def static_provider(delays):
+    delays = np.asarray(delays, dtype=float)
+
+    def provider(op):
+        return delays
+
+    return provider
+
+
+class TestOneOutOfEight:
+    def make_puf(self, rng, rings=16, stages=3):
+        delays = rng.normal(1.0, 0.02, rings * stages)
+        allocation = RingAllocation(stage_count=stages, ring_count=rings)
+        return (
+            OneOutOfEightPUF(
+                delay_provider=static_provider(delays), allocation=allocation
+            ),
+            delays,
+            allocation,
+        )
+
+    def test_bit_count_is_one_per_8_rings(self, rng):
+        puf, _, _ = self.make_puf(rng)
+        assert puf.bit_count == 2
+
+    def test_chooses_extreme_pair(self, rng):
+        puf, delays, allocation = self.make_puf(rng)
+        enrollment = puf.enroll()
+        totals = allocation.ring_delay_matrix(delays).sum(axis=1)
+        group = totals[:8]
+        low, high = enrollment.chosen_pairs[0]
+        assert {low, high} == {int(np.argmax(group)), int(np.argmin(group))}
+
+    def test_margin_is_max_minus_min(self, rng):
+        puf, delays, allocation = self.make_puf(rng)
+        enrollment = puf.enroll()
+        totals = allocation.ring_delay_matrix(delays).sum(axis=1)
+        assert enrollment.margins[0] == pytest.approx(
+            totals[:8].max() - totals[:8].min()
+        )
+
+    def test_response_stable_without_noise(self, rng):
+        puf, _, _ = self.make_puf(rng)
+        enrollment = puf.enroll()
+        response = puf.response(NOMINAL_OPERATING_POINT, enrollment)
+        assert np.array_equal(response, enrollment.bits)
+
+    def test_margin_dominates_random_pairing(self, rng):
+        # The 1-of-8 margin must beat the expected |difference| of a fixed
+        # pair (that's the whole point of the scheme).
+        puf, delays, allocation = self.make_puf(rng, rings=64)
+        enrollment = puf.enroll()
+        totals = allocation.ring_delay_matrix(delays).sum(axis=1)
+        fixed_pair_margins = np.abs(totals[0::2] - totals[1::2])
+        assert np.mean(enrollment.margins) > np.mean(fixed_pair_margins)
+
+    def test_enrollment_alignment_enforced(self, rng):
+        puf, _, _ = self.make_puf(rng)
+        enrollment = puf.enroll()
+        from repro.baselines.one_out_of_eight import GroupEnrollment
+
+        with pytest.raises(ValueError, match="align"):
+            GroupEnrollment(
+                operating_point=enrollment.operating_point,
+                chosen_pairs=enrollment.chosen_pairs,
+                bits=enrollment.bits[:-1],
+                margins=enrollment.margins,
+            )
+
+
+class TestThreshold:
+    def test_reliable_bit_count(self):
+        margins = np.array([-5.0, 1.0, 3.0, -2.0])
+        assert reliable_bit_count(margins, 0.0) == 4
+        assert reliable_bit_count(margins, 2.0) == 3
+        assert reliable_bit_count(margins, 10.0) == 0
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            reliable_bit_count(np.ones(3), -1.0)
+
+    def test_yield_curve_monotone(self, rng):
+        margins = rng.normal(0.0, 1.0, 500)
+        sweep = yield_vs_threshold(margins, np.linspace(0, 3, 13))
+        assert np.all(np.diff(sweep.counts) <= 0)
+        assert sweep.counts[0] == 500
+        assert sweep.total_bits == 500
+
+    def test_utilisation_percent(self, rng):
+        margins = rng.normal(0.0, 1.0, 100)
+        sweep = yield_vs_threshold(margins, np.array([0.0]))
+        assert sweep.utilisation_percent()[0] == pytest.approx(100.0)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            yield_vs_threshold(np.ones(3), np.array([]))
+        with pytest.raises(ValueError):
+            yield_vs_threshold(np.ones(3), np.array([-0.5]))
+
+
+class TestMaitiSchaumont:
+    def test_best_word_is_exhaustive_optimum(self, rng):
+        for _ in range(50):
+            stages = int(rng.integers(1, 6))
+            top = rng.normal(1.0, 0.05, (stages, 2))
+            bottom = rng.normal(1.0, 0.05, (stages, 2))
+            fast = select_best_word(top, bottom)
+            brute = select_best_word_exhaustive(top, bottom)
+            assert abs(fast.margin) == pytest.approx(abs(brute.margin))
+
+    def test_word_applies_to_both_rings(self, rng):
+        stages = 3
+        top = rng.normal(1.0, 0.05, (stages, 2))
+        bottom = rng.normal(1.0, 0.05, (stages, 2))
+        selection = select_best_word(top, bottom)
+        idx = np.arange(stages)
+        choices = np.array(selection.word)
+        margin = float(
+            np.sum(top[idx, choices]) - np.sum(bottom[idx, choices])
+        )
+        assert selection.margin == pytest.approx(margin)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            select_best_word(np.ones((3, 3)), np.ones((3, 3)))
+        with pytest.raises(ValueError):
+            select_best_word(np.ones((3, 2)), np.ones((4, 2)))
+        with pytest.raises(ValueError):
+            select_best_word(np.ones((0, 2)), np.ones((0, 2)))
+
+    def test_exhaustive_guard(self):
+        with pytest.raises(ValueError, match="16"):
+            select_best_word_exhaustive(np.ones((17, 2)), np.ones((17, 2)))
+
+    def test_puf_lifecycle(self, rng):
+        tensor = rng.normal(1.0, 0.05, (6, 2, 3, 2))
+
+        def provider(op):
+            return tensor
+
+        puf = MaitiSchaumontPUF(stage_delay_provider=provider)
+        enrollment = puf.enroll()
+        assert enrollment.bit_count == 6
+        response = puf.response(NOMINAL_OPERATING_POINT, enrollment)
+        assert np.array_equal(response, enrollment.bits)
+
+    def test_provider_shape_validation(self):
+        puf = MaitiSchaumontPUF(stage_delay_provider=lambda op: np.ones((2, 3)))
+        with pytest.raises(ValueError, match="shape"):
+            puf.enroll()
+
+    def test_tensor_from_units(self):
+        units = np.arange(24.0)
+        tensor = MaitiSchaumontPUF.tensor_from_units(units, stage_count=3)
+        assert tensor.shape == (2, 2, 3, 2)
+        # first ring of first pair = units 0..5
+        assert tensor[0, 0].ravel().tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_tensor_from_units_validation(self):
+        with pytest.raises(ValueError):
+            MaitiSchaumontPUF.tensor_from_units(np.arange(4.0), stage_count=3)
+        with pytest.raises(ValueError):
+            MaitiSchaumontPUF.tensor_from_units(np.arange(24.0), stage_count=0)
+
+
+class TestTraditionalFactory:
+    def test_builds_traditional_method(self, rng):
+        delays = rng.normal(1.0, 0.02, 30)
+        allocation = RingAllocation(stage_count=3, ring_count=10)
+        puf = traditional_puf(static_provider(delays), allocation)
+        assert puf.method == "traditional"
+        enrollment = puf.enroll()
+        for selection in enrollment.selections:
+            assert selection.selected_count == 3

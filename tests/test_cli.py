@@ -1,0 +1,64 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in (
+            "table1", "table2", "fig3", "table3", "table4", "fig4",
+            "temperature", "table5", "threshold", "ablations", "all",
+        ):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tableX"])
+
+    def test_flags(self):
+        args = build_parser().parse_args(["fig4", "--method", "case2"])
+        assert args.method == "case2"
+        args = build_parser().parse_args(["table1", "--raw"])
+        assert args.raw is True
+
+
+class TestMain:
+    def test_table5_prints_paper_values(self, capsys):
+        assert main(["table5"]) == 0
+        output = capsys.readouterr().out
+        assert "80" in output and "1-out-of-8" in output
+        assert "matches paper exactly: yes" in output
+
+    def test_threshold_runs(self, capsys):
+        assert main(["threshold"]) == 0
+        output = capsys.readouterr().out
+        assert "R_th" in output
+
+    def test_data_flag_loads_measurement_files(self, capsys, tmp_path):
+        from repro.datasets.export import export_vt_directory
+        from repro.datasets.vtlike import VTLikeConfig, generate_vt_like
+
+        # table3 uses n = 15 rings, so boards need the full 512 ROs.
+        dataset = generate_vt_like(
+            VTLikeConfig(
+                nominal_boards=2,
+                swept_boards=0,
+                seed=7,
+            )
+        )
+        export_vt_directory(dataset, tmp_path)
+        assert main(["table3", "--data", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "HD distribution" in output
+
+    def test_data_flag_missing_directory_fails_loudly(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["table3", "--data", str(tmp_path / "nope")])

@@ -1,0 +1,104 @@
+"""Unit tests of configuration vectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config_vector import ConfigVector
+
+
+class TestConstruction:
+    def test_from_string(self):
+        v = ConfigVector.from_string("110")
+        assert v.bits == (True, True, False)
+        assert v.to_string() == "110"
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ConfigVector.from_string("10a")
+        with pytest.raises(ValueError):
+            ConfigVector.from_string("")
+
+    def test_from_array(self):
+        v = ConfigVector.from_array(np.array([1, 0, 1]))
+        assert v.to_string() == "101"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigVector(())
+
+    def test_all_and_none(self):
+        assert ConfigVector.all_selected(4).selected_count == 4
+        assert ConfigVector.none_selected(4).selected_count == 0
+
+    def test_leave_one_out(self):
+        v = ConfigVector.leave_one_out(3, 1)
+        assert v.to_string() == "101"
+
+    def test_leave_one_out_bounds(self):
+        with pytest.raises(ValueError):
+            ConfigVector.leave_one_out(3, 3)
+        with pytest.raises(ValueError):
+            ConfigVector.leave_one_out(3, -1)
+
+    def test_single(self):
+        assert ConfigVector.single(4, 2).to_string() == "0010"
+
+
+class TestViews:
+    def test_len_iter_getitem(self):
+        v = ConfigVector.from_string("101")
+        assert len(v) == 3
+        assert list(v) == [True, False, True]
+        assert v[1] is False
+
+    def test_selected_indices(self):
+        assert ConfigVector.from_string("0110").selected_indices == (1, 2)
+
+    def test_as_array_roundtrip(self):
+        v = ConfigVector.from_string("0101")
+        assert ConfigVector.from_array(v.as_array()) == v
+
+    def test_oscillation_parity(self):
+        assert ConfigVector.from_string("111").can_oscillate
+        assert not ConfigVector.from_string("110").can_oscillate
+        assert not ConfigVector.from_string("000").can_oscillate
+
+    def test_str(self):
+        assert str(ConfigVector.from_string("011")) == "011"
+
+    def test_hashable(self):
+        vectors = {ConfigVector.from_string("01"), ConfigVector.from_string("01")}
+        assert len(vectors) == 1
+
+
+class TestHammingDistance:
+    def test_known_distance(self):
+        a = ConfigVector.from_string("1100")
+        b = ConfigVector.from_string("1010")
+        assert a.hamming_distance(b) == 2
+
+    def test_distance_to_self_zero(self):
+        v = ConfigVector.from_string("10101")
+        assert v.hamming_distance(v) == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigVector.from_string("11").hamming_distance(
+                ConfigVector.from_string("111")
+            )
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=16))
+    def test_symmetry(self, bits):
+        rng = np.random.default_rng(0)
+        a = ConfigVector(tuple(bits))
+        other = tuple(bool(b) for b in rng.integers(0, 2, len(bits)))
+        b = ConfigVector(other)
+        assert a.hamming_distance(b) == b.hamming_distance(a)
+
+    @given(st.integers(1, 12))
+    def test_complement_distance_is_length(self, n):
+        a = ConfigVector.all_selected(n)
+        b = ConfigVector.none_selected(n)
+        assert a.hamming_distance(b) == n

@@ -1,0 +1,140 @@
+"""Tests of the cooperative (ordering-encoded) RO PUF baseline."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.cooperative import (
+    CooperativeROPUF,
+    bits_per_group,
+    lehmer_decode,
+    lehmer_encode,
+    permutation_to_bits,
+)
+from repro.core.pairing import RingAllocation
+from repro.variation.environment import NOMINAL_OPERATING_POINT
+from repro.variation.noise import GaussianNoise
+
+
+class TestLehmerCode:
+    def test_identity_permutation_is_rank_zero(self):
+        assert lehmer_encode(np.arange(5)) == 0
+
+    def test_reverse_permutation_is_max_rank(self):
+        assert lehmer_encode(np.array([3, 2, 1, 0])) == math.factorial(4) - 1
+
+    def test_known_small_case(self):
+        # permutations of (0,1,2) in lexicographic order
+        expected = {
+            (0, 1, 2): 0, (0, 2, 1): 1, (1, 0, 2): 2,
+            (1, 2, 0): 3, (2, 0, 1): 4, (2, 1, 0): 5,
+        }
+        for permutation, rank in expected.items():
+            assert lehmer_encode(np.array(permutation)) == rank
+
+    @given(st.permutations(list(range(6))))
+    def test_encode_decode_round_trip(self, permutation):
+        permutation = np.array(permutation)
+        rank = lehmer_encode(permutation)
+        assert np.array_equal(lehmer_decode(rank, 6), permutation)
+
+    def test_encode_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            lehmer_encode(np.array([0, 0, 1]))
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            lehmer_decode(math.factorial(4), 4)
+        with pytest.raises(ValueError):
+            lehmer_decode(-1, 4)
+
+
+class TestBitsPerGroup:
+    def test_known_values(self):
+        assert bits_per_group(2) == 1  # log2(2) = 1
+        assert bits_per_group(4) == 4  # log2(24) = 4.58
+        assert bits_per_group(5) == 6  # log2(120) = 6.9
+
+    def test_rejects_tiny_groups(self):
+        with pytest.raises(ValueError):
+            bits_per_group(1)
+
+    def test_permutation_to_bits_width(self):
+        bits = permutation_to_bits(np.array([2, 0, 3, 1]))
+        assert len(bits) == 4
+
+    def test_distinct_orderings_mostly_distinct_bits(self):
+        import itertools
+
+        words = {
+            tuple(permutation_to_bits(np.array(p)).tolist())
+            for p in itertools.permutations(range(4))
+        }
+        # 24 orderings folded into 16 codes: at least 16 distinct.
+        assert len(words) == 16
+
+
+class TestCooperativeROPUF:
+    def make_puf(self, data_rng, rings=16, stages=3, **kwargs):
+        delays = data_rng.normal(1.0, 0.02, rings * stages)
+        allocation = RingAllocation(stage_count=stages, ring_count=rings)
+        return CooperativeROPUF(
+            delay_provider=lambda op: delays, allocation=allocation, **kwargs
+        )
+
+    def test_bit_count_doubles_traditional(self, rng):
+        puf = self.make_puf(rng)
+        # 16 rings: traditional pairs -> 8 bits; cooperative g=4 -> 16 bits.
+        assert puf.bit_count == 16
+        assert puf.group_count == 4
+
+    def test_enroll_structure(self, rng):
+        puf = self.make_puf(rng)
+        enrollment = puf.enroll()
+        assert enrollment.bit_count == 16
+        assert len(enrollment.orderings) == 4
+        assert len(enrollment.rank_margins) == 4
+        assert np.all(enrollment.rank_margins > 0)
+
+    def test_orderings_are_slowest_first(self, rng):
+        puf = self.make_puf(rng)
+        enrollment = puf.enroll()
+        delays = puf._ring_totals(NOMINAL_OPERATING_POINT)
+        ordering = enrollment.orderings[0]
+        group = delays[:4]
+        assert np.all(np.diff(group[ordering]) <= 0)
+
+    def test_noiseless_response_matches(self, rng):
+        puf = self.make_puf(rng)
+        enrollment = puf.enroll()
+        response = puf.response(NOMINAL_OPERATING_POINT, enrollment)
+        assert np.array_equal(response, enrollment.bits)
+
+    def test_noise_flips_orderings_more_than_pairs(self):
+        # Cooperative encoding is more fragile: adjacent-rank swaps flip
+        # several bits.  Check that noise produces flips at all.
+        rng = np.random.default_rng(0)
+        puf = self.make_puf(
+            rng,
+            rings=64,
+            response_noise=GaussianNoise(relative_sigma=0.01),
+            rng=np.random.default_rng(1),
+        )
+        enrollment = puf.enroll()
+        flips = 0
+        for _ in range(10):
+            response = puf.response(NOMINAL_OPERATING_POINT, enrollment)
+            flips += int(np.sum(response != enrollment.bits))
+        assert flips > 0
+
+    def test_group_size_validation(self, rng):
+        with pytest.raises(ValueError):
+            self.make_puf(rng, group_size=1)
+
+    def test_utilisation_beats_pairing(self, rng):
+        puf = self.make_puf(rng, rings=32)
+        bits_per_ring = puf.bit_count / 32
+        assert bits_per_ring == 1.0  # vs 0.5 for pairing, 0.125 for 1-of-8

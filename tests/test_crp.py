@@ -1,0 +1,104 @@
+"""Tests of the challenge-response interface."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.crp import Challenge, ChallengeResponseInterface
+
+
+@pytest.fixture()
+def interface(rng):
+    return ChallengeResponseInterface(rng.integers(0, 2, 64).astype(bool))
+
+
+class TestChallenge:
+    def test_response_bits(self):
+        challenge = Challenge(indices=(0, 1, 2, 3), fold=2)
+        assert challenge.response_bits == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Challenge(indices=())
+        with pytest.raises(ValueError):
+            Challenge(indices=(0, 1, 2), fold=2)
+        with pytest.raises(ValueError):
+            Challenge(indices=(0, 1), fold=0)
+
+
+class TestChallengeResponseInterface:
+    def test_respond_unfolded(self, interface):
+        challenge = Challenge(indices=(0, 5, 9))
+        answer = interface.respond(challenge)
+        assert np.array_equal(answer, interface.response[[0, 5, 9]])
+
+    def test_respond_folded_is_xor(self, interface):
+        challenge = Challenge(indices=(0, 1, 2, 3), fold=2)
+        answer = interface.respond(challenge)
+        expected = np.array(
+            [
+                interface.response[0] ^ interface.response[1],
+                interface.response[2] ^ interface.response[3],
+            ]
+        )
+        assert np.array_equal(answer, expected)
+
+    def test_verify_accepts_honest_device(self, interface, rng):
+        challenge = interface.generate_challenge(rng, width=8, fold=2)
+        answer = interface.respond(challenge)
+        assert interface.verify(challenge, answer)
+
+    def test_verify_rejects_wrong_answer(self, interface, rng):
+        challenge = interface.generate_challenge(rng, width=8)
+        answer = interface.respond(challenge)
+        assert not interface.verify(challenge, ~answer)
+
+    def test_verify_rejects_wrong_length(self, interface):
+        challenge = Challenge(indices=(0, 1))
+        with pytest.raises(ValueError, match="bits"):
+            interface.verify(challenge, np.zeros(3, dtype=bool))
+
+    def test_exposure_accounting(self, interface):
+        assert interface.exposed_fraction == 0.0
+        interface.respond(Challenge(indices=tuple(range(16))))
+        assert interface.exposed_fraction == pytest.approx(16 / 64)
+        # repeats of the same bits do not add exposure
+        interface.respond(Challenge(indices=tuple(range(16))))
+        assert interface.exposed_fraction == pytest.approx(16 / 64)
+
+    def test_budget_locks_interface(self, rng):
+        interface = ChallengeResponseInterface(
+            rng.integers(0, 2, 20).astype(bool), exposure_budget=0.4
+        )
+        interface.respond(Challenge(indices=tuple(range(10))))
+        assert interface.locked  # 50% > 40% budget
+        with pytest.raises(RuntimeError, match="locked"):
+            interface.respond(Challenge(indices=(11,)))
+
+    def test_verification_costs_no_budget(self, interface, rng):
+        challenge = interface.generate_challenge(rng, width=8)
+        interface.verify(challenge, np.zeros(8, dtype=bool))
+        assert interface.exposed_fraction == 0.0
+
+    def test_out_of_range_challenge(self, interface):
+        with pytest.raises(ValueError, match="outside"):
+            interface.respond(Challenge(indices=(999,)))
+        with pytest.raises(ValueError, match="outside"):
+            interface.verify(Challenge(indices=(999,)), np.zeros(1, dtype=bool))
+
+    def test_generate_challenge_distinct_indices(self, interface, rng):
+        challenge = interface.generate_challenge(rng, width=32)
+        assert len(set(challenge.indices)) == 32
+
+    def test_generate_challenge_width_validation(self, interface, rng):
+        with pytest.raises(ValueError):
+            interface.generate_challenge(rng, width=0)
+        with pytest.raises(ValueError):
+            interface.generate_challenge(rng, width=65)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ChallengeResponseInterface(np.zeros(0, dtype=bool))
+        with pytest.raises(ValueError):
+            ChallengeResponseInterface(
+                np.zeros(4, dtype=bool), exposure_budget=0.0
+            )

@@ -1,0 +1,144 @@
+"""Unit and property tests of the error-correcting codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.ecc import BCHCode, RepetitionCode
+
+
+class TestRepetitionCode:
+    def test_parameters(self):
+        code = RepetitionCode(5)
+        assert (code.n, code.k, code.t) == (5, 1, 2)
+        assert code.rate == pytest.approx(0.2)
+
+    def test_rejects_even_repetitions(self):
+        with pytest.raises(ValueError):
+            RepetitionCode(4)
+        with pytest.raises(ValueError):
+            RepetitionCode(-3)
+
+    def test_round_trip(self):
+        code = RepetitionCode(3)
+        for bit in (False, True):
+            encoded = code.encode(np.array([bit]))
+            assert code.decode(encoded)[0] == bit
+
+    def test_corrects_up_to_t(self):
+        code = RepetitionCode(5)
+        encoded = code.encode(np.array([True]))
+        encoded[:2] ^= True
+        assert code.decode(encoded)[0] is np.True_
+
+    def test_block_round_trip_with_errors(self, rng):
+        code = RepetitionCode(7)
+        message = rng.integers(0, 2, 16).astype(bool)
+        encoded = code.encode_block(message)
+        # Flip t bits in every block.
+        for block in range(16):
+            positions = rng.choice(7, size=3, replace=False) + block * 7
+            encoded[positions] ^= True
+        assert np.array_equal(code.decode_block(encoded), message)
+
+    def test_block_length_validation(self):
+        code = RepetitionCode(3)
+        with pytest.raises(ValueError):
+            code.decode_block(np.zeros(4, dtype=bool))
+
+    def test_length_validation(self):
+        code = RepetitionCode(3)
+        with pytest.raises(ValueError):
+            code.encode(np.zeros(2, dtype=bool))
+        with pytest.raises(ValueError):
+            code.decode(np.zeros(2, dtype=bool))
+
+
+class TestBCHCode:
+    @pytest.mark.parametrize(
+        "m,t,expected_k",
+        [(4, 1, 11), (4, 2, 7), (4, 3, 5), (5, 3, 16), (6, 5, 36), (7, 9, 71)],
+    )
+    def test_standard_dimensions(self, m, t, expected_k):
+        # Textbook (n, k) pairs of binary primitive BCH codes.
+        code = BCHCode(m=m, t=t)
+        assert code.n == 2**m - 1
+        assert code.k == expected_k
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError):
+            BCHCode(m=4, t=0)
+        with pytest.raises(ValueError):
+            BCHCode(m=4, t=8)  # 2t >= n: the generator swallows every bit
+
+    def test_systematic_encoding(self, rng):
+        code = BCHCode(m=5, t=3)
+        message = rng.integers(0, 2, code.k).astype(bool)
+        codeword = code.encode(message)
+        assert np.array_equal(codeword[code.n - code.k :], message)
+
+    def test_zero_message_zero_codeword(self):
+        code = BCHCode(m=4, t=2)
+        assert not code.encode(np.zeros(code.k, dtype=bool)).any()
+
+    def test_error_free_decode(self, rng):
+        code = BCHCode(m=5, t=3)
+        message = rng.integers(0, 2, code.k).astype(bool)
+        assert np.array_equal(code.decode(code.encode(message)), message)
+
+    @given(st.integers(0, 3), st.integers(0, 2**16 - 1))
+    def test_corrects_any_t_errors(self, error_count, seed):
+        code = BCHCode(m=5, t=3)
+        rng = np.random.default_rng(seed)
+        message = rng.integers(0, 2, code.k).astype(bool)
+        codeword = code.encode(message)
+        positions = rng.choice(code.n, size=error_count, replace=False)
+        corrupted = codeword.copy()
+        corrupted[positions] ^= True
+        assert np.array_equal(code.decode(corrupted), message)
+
+    def test_detects_overload(self, rng):
+        # Far beyond t errors must either raise or decode to some codeword —
+        # but a random 10-error pattern around a t=2 code usually raises.
+        code = BCHCode(m=4, t=2)
+        message = rng.integers(0, 2, code.k).astype(bool)
+        codeword = code.encode(message)
+        raised = 0
+        for trial in range(30):
+            trial_rng = np.random.default_rng(trial)
+            corrupted = codeword.copy()
+            positions = trial_rng.choice(code.n, size=7, replace=False)
+            corrupted[positions] ^= True
+            try:
+                decoded = code.decode(corrupted)
+                # if it decodes, it must be a valid codeword's message
+                assert len(decoded) == code.k
+            except ValueError:
+                raised += 1
+        assert raised > 0
+
+    def test_codewords_satisfy_generator_divisibility(self, rng):
+        code = BCHCode(m=4, t=2)
+        message = rng.integers(0, 2, code.k).astype(bool)
+        codeword = code.encode(message).astype(np.uint8)
+        # Syndromes of a clean codeword are all zero.
+        assert all(s == 0 for s in code._syndromes(codeword))
+
+    def test_length_validation(self):
+        code = BCHCode(m=4, t=1)
+        with pytest.raises(ValueError):
+            code.encode(np.zeros(code.k + 1, dtype=bool))
+        with pytest.raises(ValueError):
+            code.decode(np.zeros(code.n - 1, dtype=bool))
+
+    def test_minimum_distance_at_least_design(self, rng):
+        # Random pairs of codewords differ in >= 2t+1 positions.
+        code = BCHCode(m=4, t=2)
+        for _ in range(50):
+            m1 = rng.integers(0, 2, code.k).astype(bool)
+            m2 = rng.integers(0, 2, code.k).astype(bool)
+            if np.array_equal(m1, m2):
+                continue
+            distance = int(np.sum(code.encode(m1) != code.encode(m2)))
+            assert distance >= 2 * code.t + 1

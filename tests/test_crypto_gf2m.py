@@ -1,0 +1,129 @@
+"""Unit tests of GF(2^m) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.gf2m import GF2m, PRIMITIVE_POLYNOMIALS
+
+
+@pytest.fixture(scope="module")
+def gf16():
+    return GF2m(4)
+
+
+class TestConstruction:
+    def test_default_polynomials_are_primitive(self):
+        for m in PRIMITIVE_POLYNOMIALS:
+            GF2m(m)  # table build verifies primitivity
+
+    def test_rejects_non_primitive_polynomial(self):
+        # x^4 + 1 is not even irreducible.
+        with pytest.raises(ValueError):
+            GF2m(4, primitive_polynomial=0b10001)
+
+    def test_rejects_wrong_degree(self):
+        with pytest.raises(ValueError, match="degree"):
+            GF2m(4, primitive_polynomial=0b1011)
+
+    def test_rejects_out_of_range_m(self):
+        with pytest.raises(ValueError):
+            GF2m(1)
+
+    def test_order_and_size(self, gf16):
+        assert gf16.order == 15
+        assert gf16.size == 16
+
+
+class TestArithmetic:
+    def test_add_is_xor(self, gf16):
+        assert gf16.add(0b1010, 0b0110) == 0b1100
+
+    def test_multiply_by_zero_and_one(self, gf16):
+        assert gf16.multiply(7, 0) == 0
+        assert gf16.multiply(0, 7) == 0
+        assert gf16.multiply(7, 1) == 7
+
+    def test_known_product_gf16(self, gf16):
+        # alpha^4 = alpha + 1 (= 3) with x^4 + x + 1.
+        alpha = 2
+        assert gf16.power(alpha, 4) == 3
+
+    def test_inverse_round_trip(self, gf16):
+        for a in range(1, 16):
+            assert gf16.multiply(a, gf16.inverse(a)) == 1
+
+    def test_zero_inverse_rejected(self, gf16):
+        with pytest.raises(ZeroDivisionError):
+            gf16.inverse(0)
+
+    def test_divide(self, gf16):
+        for a in range(1, 16):
+            for b in range(1, 16):
+                assert gf16.multiply(gf16.divide(a, b), b) == a
+
+    def test_element_range_checked(self, gf16):
+        with pytest.raises(ValueError):
+            gf16.multiply(16, 1)
+        with pytest.raises(ValueError):
+            gf16.add(-1, 0)
+
+    def test_alpha_powers_cycle(self, gf16):
+        assert gf16.alpha_power(0) == 1
+        assert gf16.alpha_power(15) == 1
+        assert gf16.alpha_power(-1) == gf16.alpha_power(14)
+
+    def test_log_exp_inverse(self, gf16):
+        for a in range(1, 16):
+            assert gf16.alpha_power(gf16.log(a)) == a
+
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 15))
+    def test_multiplication_associative(self, a, b, c):
+        gf = GF2m(4)
+        assert gf.multiply(gf.multiply(a, b), c) == gf.multiply(
+            a, gf.multiply(b, c)
+        )
+
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 15))
+    def test_distributive(self, a, b, c):
+        gf = GF2m(4)
+        left = gf.multiply(a, gf.add(b, c))
+        right = gf.add(gf.multiply(a, b), gf.multiply(a, c))
+        assert left == right
+
+
+class TestPolynomials:
+    def test_poly_eval_constant(self, gf16):
+        assert gf16.poly_eval([5], 7) == 5
+
+    def test_poly_eval_linear(self, gf16):
+        # p(x) = 3 + 2x at x = alpha: 3 XOR (2*2 = 4) = 7
+        assert gf16.poly_eval([3, 2], 2) == 7
+
+    def test_poly_multiply_matches_eval(self, gf16):
+        rng = np.random.default_rng(0)
+        a = [int(v) for v in rng.integers(0, 16, 4)]
+        b = [int(v) for v in rng.integers(0, 16, 3)]
+        product = gf16.poly_multiply(a, b)
+        for x in range(16):
+            assert gf16.poly_eval(product, x) == gf16.multiply(
+                gf16.poly_eval(a, x), gf16.poly_eval(b, x)
+            )
+
+    def test_minimal_polynomial_of_alpha(self, gf16):
+        # alpha's minimal polynomial is the field's primitive polynomial.
+        minimal = gf16.minimal_polynomial(2)
+        as_int = sum(c << i for i, c in enumerate(minimal))
+        assert as_int == PRIMITIVE_POLYNOMIALS[4]
+
+    def test_minimal_polynomial_has_element_as_root(self, gf16):
+        for element in range(1, 16):
+            minimal = gf16.minimal_polynomial(element)
+            assert gf16.poly_eval(minimal, element) == 0
+
+    def test_minimal_polynomial_of_one(self, gf16):
+        assert gf16.minimal_polynomial(1) == [1, 1]  # x + 1
+
+    def test_minimal_polynomial_of_zero(self, gf16):
+        assert gf16.minimal_polynomial(0) == [0, 1]  # x

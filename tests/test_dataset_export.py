@@ -1,0 +1,77 @@
+"""Round-trip tests of the dataset exporter and loader."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.export import export_vt_directory
+from repro.datasets.vtlike import (
+    VTLikeConfig,
+    generate_vt_like,
+    load_vt_directory,
+)
+from repro.variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return generate_vt_like(
+        VTLikeConfig(
+            nominal_boards=3,
+            swept_boards=1,
+            ro_count=32,
+            grid_columns=8,
+            grid_rows=4,
+            seed=55,
+        )
+    )
+
+
+class TestExportRoundTrip:
+    def test_file_count(self, tiny_dataset, tmp_path):
+        written = export_vt_directory(tiny_dataset, tmp_path)
+        # 3 nominal-only boards + 1 swept board with 25 corners + layout
+        assert len(written) == 3 + 25 + 1
+
+    def test_round_trip_delays(self, tiny_dataset, tmp_path):
+        export_vt_directory(tiny_dataset, tmp_path)
+        loaded = load_vt_directory(tmp_path)
+        assert loaded.board_count == tiny_dataset.board_count
+        for board in tiny_dataset.boards:
+            original = board.delays_at(NOMINAL_OPERATING_POINT)
+            restored = loaded.board(board.name).delays_at(NOMINAL_OPERATING_POINT)
+            assert np.allclose(restored, original, rtol=1e-6)
+
+    def test_round_trip_swept_corners(self, tiny_dataset, tmp_path):
+        export_vt_directory(tiny_dataset, tmp_path)
+        loaded = load_vt_directory(tmp_path)
+        swept = tiny_dataset.swept_boards[0]
+        restored = loaded.board(swept.name)
+        assert restored.is_swept
+        corner = OperatingPoint(0.98, 65.0)
+        assert np.allclose(
+            restored.delays_at(corner), swept.delays_at(corner), rtol=1e-6
+        )
+
+    def test_overwrite_protection(self, tiny_dataset, tmp_path):
+        export_vt_directory(tiny_dataset, tmp_path)
+        with pytest.raises(FileExistsError):
+            export_vt_directory(tiny_dataset, tmp_path)
+        export_vt_directory(tiny_dataset, tmp_path, overwrite=True)
+
+    def test_experiments_run_on_reloaded_data(self, tiny_dataset, tmp_path):
+        from repro.experiments.common import PipelineConfig, board_enrollment
+
+        export_vt_directory(tiny_dataset, tmp_path)
+        loaded = load_vt_directory(tmp_path)
+        config = PipelineConfig(stage_count=2, method="case1", require_odd=False)
+        for board in tiny_dataset.nominal_boards:
+            original = board_enrollment(board, config, tiny_dataset.nominal)
+            reloaded = board_enrollment(
+                loaded.board(board.name), config, loaded.nominal
+            )
+            # File precision perturbs delays by ~1e-9 relative, which can
+            # legitimately flip near-tie bits; solid-margin bits must agree.
+            solid = np.abs(original.margins) > 1e-13  # 0.1 ps of margin
+            assert np.array_equal(
+                original.bits[solid], reloaded.bits[solid]
+            )

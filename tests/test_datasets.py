@@ -1,0 +1,200 @@
+"""Tests of the dataset abstractions and generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import BoardRecord, RODataset
+from repro.datasets.inhouse import InHouseConfig, generate_inhouse_boards
+from repro.datasets.vtlike import (
+    VTLikeConfig,
+    generate_vt_like,
+    load_vt_directory,
+)
+from repro.variation.corners import full_grid
+from repro.variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+
+
+class TestBoardRecord:
+    def make_board(self, corners=None):
+        corners = corners or [NOMINAL_OPERATING_POINT]
+        rng = np.random.default_rng(0)
+        coords = rng.uniform(-1, 1, (16, 2))
+        delays = {op: rng.normal(5e-10, 1e-11, 16) for op in corners}
+        return BoardRecord(name="b0", coords=coords, delays=delays)
+
+    def test_ro_count(self):
+        assert self.make_board().ro_count == 16
+
+    def test_corners_sorted(self):
+        corners = [OperatingPoint(1.44, 25.0), OperatingPoint(0.98, 25.0)]
+        board = self.make_board(corners)
+        assert board.corners == sorted(corners)
+
+    def test_is_swept(self):
+        assert not self.make_board().is_swept
+        assert self.make_board(
+            [NOMINAL_OPERATING_POINT, OperatingPoint(0.98, 25.0)]
+        ).is_swept
+
+    def test_missing_corner_raises_with_context(self):
+        board = self.make_board()
+        with pytest.raises(KeyError, match="no measurement"):
+            board.delays_at(OperatingPoint(0.98, 65.0))
+
+    def test_frequencies_inverse_of_delays(self):
+        board = self.make_board()
+        delays = board.delays_at(NOMINAL_OPERATING_POINT)
+        freqs = board.frequencies_at(NOMINAL_OPERATING_POINT)
+        assert np.allclose(freqs * 2 * delays, 1.0)
+
+    def test_shape_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="shape"):
+            BoardRecord(
+                name="bad",
+                coords=rng.uniform(-1, 1, (4, 2)),
+                delays={NOMINAL_OPERATING_POINT: np.ones(5)},
+            )
+
+    def test_delay_provider_closure(self):
+        board = self.make_board()
+        provider = board.delay_provider()
+        assert np.array_equal(
+            provider(NOMINAL_OPERATING_POINT),
+            board.delays_at(NOMINAL_OPERATING_POINT),
+        )
+
+
+class TestRODataset:
+    def test_small_dataset_structure(self, small_dataset):
+        assert small_dataset.board_count == 10
+        assert len(small_dataset.nominal_boards) == 8
+        assert len(small_dataset.swept_boards) == 2
+        assert small_dataset.ro_count == 128
+
+    def test_swept_boards_have_full_grid(self, small_dataset):
+        board = small_dataset.swept_boards[0]
+        assert set(board.corners) == set(full_grid())
+
+    def test_board_lookup(self, small_dataset):
+        name = small_dataset.boards[0].name
+        assert small_dataset.board(name).name == name
+        with pytest.raises(KeyError):
+            small_dataset.board("nonexistent")
+
+    def test_nominal_delay_matrix(self, small_dataset):
+        matrix = small_dataset.nominal_delay_matrix()
+        assert matrix.shape == (10, 128)
+        assert np.all(matrix > 0)
+
+    def test_requires_nominal_everywhere(self):
+        rng = np.random.default_rng(0)
+        coords = rng.uniform(-1, 1, (4, 2))
+        board = BoardRecord(
+            name="x",
+            coords=coords,
+            delays={OperatingPoint(0.98, 25.0): np.ones(4)},
+        )
+        with pytest.raises(ValueError, match="nominal"):
+            RODataset(name="d", boards=[board])
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            RODataset(name="d", boards=[])
+
+
+class TestVTLikeGeneration:
+    def test_default_shape_matches_paper(self):
+        config = VTLikeConfig()
+        assert config.nominal_boards == 194
+        assert config.swept_boards == 5
+        assert config.ro_count == 512
+
+    def test_seed_reproducibility(self):
+        config = VTLikeConfig(
+            nominal_boards=2, swept_boards=1, ro_count=32,
+            grid_columns=8, grid_rows=4, seed=5,
+        )
+        a = generate_vt_like(config)
+        b = generate_vt_like(config)
+        assert np.array_equal(
+            a.boards[0].delays_at(NOMINAL_OPERATING_POINT),
+            b.boards[0].delays_at(NOMINAL_OPERATING_POINT),
+        )
+
+    def test_boards_are_distinct(self, small_dataset):
+        a = small_dataset.boards[0].delays_at(NOMINAL_OPERATING_POINT)
+        b = small_dataset.boards[1].delays_at(NOMINAL_OPERATING_POINT)
+        assert np.max(np.abs(a / b - 1.0)) > 1e-3
+
+    def test_low_voltage_slows_board(self, small_dataset):
+        board = small_dataset.swept_boards[0]
+        nominal = board.delays_at(NOMINAL_OPERATING_POINT)
+        slow = board.delays_at(OperatingPoint(0.98, 25.0))
+        assert np.mean(slow / nominal) > 1.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VTLikeConfig(nominal_boards=0, swept_boards=0)
+        with pytest.raises(ValueError):
+            VTLikeConfig(ro_count=0)
+        with pytest.raises(ValueError):
+            VTLikeConfig(ro_count=512, grid_columns=2, grid_rows=2)
+
+    def test_metadata_provenance(self, small_dataset):
+        assert "synthetic" in small_dataset.metadata["source"]
+
+
+class TestInHouseGeneration:
+    def test_board_shape(self):
+        boards = generate_inhouse_boards(
+            InHouseConfig(board_count=2, unit_count=64, seed=1)
+        )
+        assert len(boards) == 2
+        assert boards[0].unit_count == 64
+        assert boards[0].name.startswith("virtex5-")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InHouseConfig(board_count=0)
+        with pytest.raises(ValueError):
+            InHouseConfig(unit_count=0)
+
+
+class TestVTDirectoryLoader:
+    def test_round_trip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        nominal_mhz = rng.uniform(140.0, 160.0, 32)
+        swept_mhz = rng.uniform(120.0, 140.0, 32)
+        np.savetxt(tmp_path / "boardA.txt", nominal_mhz)
+        np.savetxt(tmp_path / "boardA_V0.98_T25.txt", swept_mhz)
+        np.savetxt(tmp_path / "boardB.txt", nominal_mhz * 1.01)
+
+        dataset = load_vt_directory(tmp_path)
+        assert dataset.board_count == 2
+        board = dataset.board("boardA")
+        assert board.is_swept
+        delays = board.delays_at(NOMINAL_OPERATING_POINT)
+        assert np.allclose(delays, 1.0 / (2.0 * nominal_mhz * 1e6))
+        corner = OperatingPoint(0.98, 25.0)
+        assert np.allclose(
+            board.delays_at(corner), 1.0 / (2.0 * swept_mhz * 1e6)
+        )
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_vt_directory(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no .txt"):
+            load_vt_directory(tmp_path)
+
+    def test_rejects_non_positive_frequencies(self, tmp_path):
+        np.savetxt(tmp_path / "bad.txt", np.array([100.0, -5.0]))
+        with pytest.raises(ValueError, match="positive"):
+            load_vt_directory(tmp_path)
+
+    def test_bad_corner_filename(self, tmp_path):
+        np.savetxt(tmp_path / "x_Vabc_T25.txt", np.ones(4) * 100)
+        with pytest.raises(ValueError, match="corner"):
+            load_vt_directory(tmp_path)

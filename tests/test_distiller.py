@@ -1,0 +1,112 @@
+"""Unit tests of the regression-based distiller."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distiller.regression import MeanDistiller, PolynomialDistiller
+from repro.variation.process import polynomial_design_matrix
+
+
+def grid_coords(k=100):
+    rng = np.random.default_rng(0)
+    return rng.uniform(-1.0, 1.0, (k, 2))
+
+
+class TestPolynomialDistiller:
+    def test_removes_injected_polynomial_trend(self):
+        coords = grid_coords(500)
+        rng = np.random.default_rng(1)
+        random_part = rng.normal(0.0, 0.01, len(coords))
+        design = polynomial_design_matrix(coords, 2)
+        trend = design @ np.array([0.1, -0.05, 0.02, 0.03, -0.01])
+        delays = 1.0 + trend + random_part
+        distilled = PolynomialDistiller(degree=2)(delays, coords)
+        # Residuals match the random part up to the random part's own
+        # projection onto the 6-dimensional polynomial basis (~6/500 of
+        # its variance), so correlation must be near 1 and far above the
+        # raw delays' correlation.
+        correlation = np.corrcoef(distilled, random_part)[0, 1]
+        assert correlation > 0.99
+        assert correlation > np.corrcoef(delays, random_part)[0, 1]
+
+    def test_fit_of_pure_trend_is_exact(self):
+        coords = grid_coords()
+        design = polynomial_design_matrix(coords, 2)
+        trend = design @ np.array([0.2, 0.1, -0.3, 0.05, 0.15])
+        delays = 5.0 + trend
+        result = PolynomialDistiller(degree=2).distill(delays, coords)
+        assert np.allclose(result.fitted, delays, atol=1e-9)
+        assert np.allclose(result.distilled, np.mean(delays), atol=1e-9)
+
+    def test_keep_mean_restores_scale(self):
+        coords = grid_coords()
+        delays = np.full(len(coords), 7.0)
+        distilled = PolynomialDistiller(degree=2, keep_mean=True)(delays, coords)
+        assert np.allclose(distilled, 7.0)
+
+    def test_keep_mean_false_centres_output(self):
+        coords = grid_coords()
+        rng = np.random.default_rng(2)
+        delays = 3.0 + rng.normal(0, 0.01, len(coords))
+        distilled = PolynomialDistiller(degree=2, keep_mean=False)(delays, coords)
+        assert abs(np.mean(distilled)) < 1e-10
+
+    def test_higher_degree_removes_more(self):
+        coords = grid_coords(400)
+        rng = np.random.default_rng(3)
+        design = polynomial_design_matrix(coords, 3)
+        trend = design @ rng.normal(0.0, 0.1, design.shape[1])
+        delays = 1.0 + trend + rng.normal(0, 0.001, len(coords))
+        low = PolynomialDistiller(degree=1, keep_mean=False)(delays, coords)
+        high = PolynomialDistiller(degree=3, keep_mean=False)(delays, coords)
+        assert np.std(high) < np.std(low)
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            PolynomialDistiller(degree=0)
+
+    def test_shape_validation(self):
+        distiller = PolynomialDistiller()
+        with pytest.raises(ValueError, match="1-D"):
+            distiller.distill(np.ones((3, 2)), grid_coords(3))
+        with pytest.raises(ValueError, match="coords"):
+            distiller.distill(np.ones(5), grid_coords(4))
+
+    def test_coefficients_include_intercept(self):
+        coords = grid_coords()
+        delays = np.full(len(coords), 2.5)
+        result = PolynomialDistiller(degree=2).distill(delays, coords)
+        assert result.coefficients[0] == pytest.approx(2.5)
+        assert np.allclose(result.coefficients[1:], 0.0, atol=1e-9)
+
+    @given(st.floats(0.5, 2.0), st.floats(-0.2, 0.2))
+    def test_affine_invariance_of_residual_shape(self, scale, offset):
+        coords = grid_coords(50)
+        rng = np.random.default_rng(4)
+        delays = 1.0 + rng.normal(0, 0.02, 50)
+        base = PolynomialDistiller(degree=2, keep_mean=False)(delays, coords)
+        transformed = PolynomialDistiller(degree=2, keep_mean=False)(
+            scale * delays + offset, coords
+        )
+        assert np.allclose(transformed, scale * base, atol=1e-9)
+
+
+class TestMeanDistiller:
+    def test_removes_mean_only(self):
+        coords = grid_coords(10)
+        delays = np.arange(10.0)
+        result = MeanDistiller().distill(delays, coords)
+        assert np.mean(result.distilled) == pytest.approx(0.0)
+        assert np.allclose(result.distilled, delays - np.mean(delays))
+
+    def test_preserves_spatial_trend(self):
+        coords = grid_coords(100)
+        trend = coords[:, 0] * 0.5
+        distilled = MeanDistiller()(1.0 + trend, coords)
+        assert np.corrcoef(distilled, trend)[0, 1] > 0.999
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            MeanDistiller().distill(np.ones((2, 2)), grid_coords(2))

@@ -1,0 +1,69 @@
+"""Tests of the ECC-cost analysis."""
+
+import pytest
+
+from repro.analysis.ecc_cost import (
+    block_failure_probability,
+    required_bch_strength,
+)
+
+
+class TestBlockFailureProbability:
+    def test_zero_error_rate(self):
+        assert block_failure_probability(0.0, 127, 0) == 0.0
+
+    def test_certain_error(self):
+        assert block_failure_probability(1.0, 15, 7) == pytest.approx(1.0)
+
+    def test_monotone_in_t(self):
+        probabilities = [
+            block_failure_probability(0.05, 63, t) for t in range(6)
+        ]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_monotone_in_error_rate(self):
+        low = block_failure_probability(0.01, 63, 3)
+        high = block_failure_probability(0.05, 63, 3)
+        assert high > low
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_failure_probability(-0.1, 63, 3)
+        with pytest.raises(ValueError):
+            block_failure_probability(0.1, 0, 3)
+        with pytest.raises(ValueError):
+            block_failure_probability(0.1, 63, -1)
+
+
+class TestRequiredBchStrength:
+    def test_zero_error_needs_nothing(self):
+        requirement = required_bch_strength("perfect", 0.0)
+        assert requirement.t == 0
+        assert not requirement.needs_ecc
+        assert requirement.overhead_bits_per_key_bit == 0.0
+
+    def test_small_error_needs_small_code(self):
+        requirement = required_bch_strength("good", 1e-5)
+        assert 1 <= requirement.t <= 2
+        assert requirement.failure_probability <= 1e-6
+
+    def test_large_error_needs_large_code(self):
+        small = required_bch_strength("good", 1e-4)
+        large = required_bch_strength("bad", 0.02)
+        assert large.t > small.t
+        assert (
+            large.overhead_bits_per_key_bit > small.overhead_bits_per_key_bit
+        )
+
+    def test_meets_target(self):
+        for rate in (1e-5, 1e-3, 0.01, 0.03):
+            requirement = required_bch_strength("s", rate, target_failure=1e-6)
+            assert requirement.failure_probability <= 1e-6
+
+    def test_hopeless_error_rate_raises(self):
+        with pytest.raises(ValueError, match="no BCH code"):
+            required_bch_strength("broken", 0.4, m=4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_bch_strength("s", 0.01, target_failure=0.0)

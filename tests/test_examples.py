@@ -1,0 +1,71 @@
+"""Regression tests: every shipped example must run cleanly.
+
+Each example is executed as a subprocess (the way a user runs it) with a
+generous timeout; key lines of its output are checked so the examples stay
+truthful as the library evolves.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "fabricated" in output
+        assert "[case2] enrolled 16 bits" in output
+        assert "bit flip(s) of 16" in output
+
+    def test_key_generation(self):
+        output = run_example("key_generation.py")
+        assert "[case2] enrolled key:" in output
+        assert "0 decode failures, 0 wrong keys" in output
+
+    def test_authentication(self):
+        output = run_example("authentication.py")
+        assert "genuine accepted: 8/8" in output
+        assert "counterfeits rejected: 56/56" in output
+
+    def test_reliability_study(self):
+        output = run_example("reliability_study.py", "3")
+        assert "case1" in output and "1-out-of-8" in output
+
+    def test_aging_study(self):
+        output = run_example("aging_study.py", "10")
+        assert "traditional" in output and "case2" in output
+
+    def test_attack_analysis(self):
+        output = run_example("attack_analysis.py")
+        assert "unconstrained" in output
+        assert "equal-count constraint" in output
+
+    def test_dataset_tour(self):
+        output = run_example("dataset_tour.py")
+        assert "raw delays" in output
+        assert "regression distiller" in output
+
+    def test_provisioning_flow(self):
+        output = run_example("provisioning_flow.py")
+        assert "all devices verified" in output
+        assert "key MATCH" in output
+
+    def test_randomness_audit_raw_fails(self):
+        output = run_example("randomness_audit.py", "--raw")
+        assert "FAIL" in output
+        assert "expected to FAIL" in output

@@ -1,0 +1,84 @@
+"""Integration tests of the extension experiments (A4-A6)."""
+
+import numpy as np
+
+from repro.experiments.extensions import (
+    format_aging_study,
+    format_leakage_study,
+    format_scheme_zoo,
+    run_aging_study,
+    run_leakage_study,
+    run_scheme_zoo,
+)
+
+
+class TestLeakageStudy:
+    def test_equal_counts_protect_unconstrained_leaks(self, small_dataset):
+        study = run_leakage_study(small_dataset, stage_count=5, max_boards=8)
+        by_scheme = {r.scheme: r for r in study.results}
+        assert by_scheme["unconstrained"].accuracy > 0.9
+        assert by_scheme["case1"].advantage < 0.2
+        assert by_scheme["case2"].advantage < 0.2
+
+    def test_model_attack_included(self, small_dataset):
+        study = run_leakage_study(small_dataset, stage_count=5, max_boards=8)
+        assert study.model_attack.advantage > 0.2
+
+    def test_format(self, small_dataset):
+        text = format_leakage_study(
+            run_leakage_study(small_dataset, stage_count=5, max_boards=8)
+        )
+        assert "unconstrained" in text and "modeling attack" in text
+
+
+class TestAgingStudy:
+    def test_configurable_outlasts_traditional(self):
+        study = run_aging_study(chip_count=2, unit_count=112, years=(10.0,))
+        assert (
+            study.flip_percent["case2"][0]
+            <= study.flip_percent["traditional"][0]
+        )
+
+    def test_flips_monotone_in_years_for_traditional(self):
+        study = run_aging_study(chip_count=2, unit_count=112, years=(1.0, 20.0))
+        traditional = study.flip_percent["traditional"]
+        assert traditional[1] >= traditional[0] - 1e-9
+
+    def test_format(self):
+        study = run_aging_study(chip_count=2, unit_count=112, years=(5.0,))
+        text = format_aging_study(study)
+        assert "aging" in text and "5y" in text
+
+
+class TestSchemeZoo:
+    def test_utilisation_ordering(self, small_dataset):
+        zoo = run_scheme_zoo(small_dataset)
+        per_ring = {row.scheme: row.bits_per_ring for row in zoo.rows}
+        assert per_ring["cooperative"] > per_ring["case1"]
+        assert per_ring["case1"] == per_ring["traditional"]
+        assert per_ring["1-out-of-8"] < per_ring["case1"]
+
+    def test_reliability_ordering(self, small_dataset):
+        zoo = run_scheme_zoo(small_dataset)
+        flips = {row.scheme: row.flip_percent for row in zoo.rows}
+        assert flips["case2"] <= flips["traditional"]
+        assert flips["1-out-of-8"] == 0.0
+        # ordering encoding is the most fragile scheme
+        assert flips["cooperative"] >= flips["traditional"]
+
+    def test_offset_gain_non_negative(self, small_dataset):
+        zoo = run_scheme_zoo(small_dataset)
+        assert zoo.offset_margin_gain_percent >= 0.0
+
+    def test_format(self, small_dataset):
+        text = format_scheme_zoo(run_scheme_zoo(small_dataset))
+        assert "bits/ring" in text and "offset-aware" in text
+        assert "cooperative" in text
+
+
+class TestCliExtensions:
+    def test_extensions_command_registered(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["extensions"])
+        assert args.command == "extensions"

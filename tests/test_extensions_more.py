@@ -1,0 +1,88 @@
+"""Tests of the later extension experiments (A7-A10) at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.extensions import (
+    format_correlation_study,
+    format_ecc_cost_study,
+    format_margin_scaling,
+    format_multicorner_study,
+    run_correlation_study,
+    run_ecc_cost_study,
+    run_margin_scaling_study,
+    run_multicorner_study,
+)
+
+
+class TestEccCostStudy:
+    def test_orderings(self, small_dataset):
+        study = run_ecc_cost_study(small_dataset)
+        by_scheme = {r.scheme: r for r in study.requirements}
+        assert (
+            by_scheme["traditional"].bit_error_rate
+            >= by_scheme["case1"].bit_error_rate
+        )
+        assert (
+            by_scheme["traditional"].overhead_bits_per_key_bit
+            >= by_scheme["case2"].overhead_bits_per_key_bit
+        )
+
+    def test_format(self, small_dataset):
+        text = format_ecc_cost_study(run_ecc_cost_study(small_dataset))
+        assert "BCH" in text or "none needed" in text
+        assert "bit error rate" in text
+
+
+class TestMarginScaling:
+    def test_growth_exponents(self):
+        study = run_margin_scaling_study(
+            stage_counts=(3, 9, 27), pair_count=200
+        )
+        n = np.array(study.stage_counts, dtype=float)
+        config_slope = np.polyfit(np.log(n), np.log(study.configurable), 1)[0]
+        traditional_slope = np.polyfit(
+            np.log(n), np.log(study.traditional), 1
+        )[0]
+        assert config_slope > traditional_slope + 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_margin_scaling_study(pair_count=5)
+
+    def test_format(self):
+        study = run_margin_scaling_study(stage_counts=(3, 5), pair_count=50)
+        text = format_margin_scaling(study)
+        assert "ratio" in text and "sqrt(n)" in text
+
+
+class TestMultiCornerStudy:
+    def test_multicorner_at_least_matches_best(self, small_dataset):
+        study = run_multicorner_study(small_dataset)
+        assert (
+            study.multicorner_percent
+            <= study.single_corner_worst_percent + 1e-9
+        )
+        assert (
+            study.single_corner_best_percent
+            <= study.single_corner_worst_percent
+        )
+
+    def test_format(self, small_dataset):
+        text = format_multicorner_study(run_multicorner_study(small_dataset))
+        assert "multi-corner" in text and "worst corner" in text
+
+
+class TestCorrelationStudy:
+    def test_single_point_plumbing(self):
+        study = run_correlation_study(correlation_lengths=(0.0,))
+        assert len(study.points) == 1
+        point = study.points[0]
+        assert point.correlation_length == 0.0
+        assert point.passed
+        assert point.worst_proportion > 0.9
+
+    def test_format(self):
+        study = run_correlation_study(correlation_lengths=(0.0,))
+        text = format_correlation_study(study)
+        assert "correlation" in text and "PASS" in text

@@ -1,0 +1,99 @@
+"""Tests of the ASCII heatmap helper and majority-vote responses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import ascii_heatmap, board_heatmap
+from repro.core.pairing import RingAllocation
+from repro.core.puf import BoardROPUF
+from repro.variation.environment import NOMINAL_OPERATING_POINT
+from repro.variation.noise import GaussianNoise
+
+
+class TestAsciiHeatmap:
+    def test_shape(self):
+        text = ascii_heatmap(np.arange(12.0).reshape(3, 4))
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == 8 for line in lines)  # 2 chars per cell
+
+    def test_extremes_use_ramp_ends(self):
+        text = ascii_heatmap(np.array([[0.0, 1.0]]))
+        assert text[0] == " "
+        assert text[-1] == "@"
+
+    def test_constant_array(self):
+        text = ascii_heatmap(np.ones((2, 2)))
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_gradient_is_monotone(self):
+        text = ascii_heatmap(np.linspace(0, 1, 10).reshape(1, 10), width=1)
+        ramp = " .:-=+*#%@"
+        positions = [ramp.index(c) for c in text]
+        assert positions == sorted(positions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.ones(4))
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.ones((2, 2)), width=0)
+
+
+class TestBoardHeatmap:
+    def test_grid_reconstruction(self):
+        from repro.silicon.geometry import grid_coordinates
+
+        coords = grid_coordinates(4, 3)
+        delays = coords[:, 0]  # horizontal gradient
+        text = board_heatmap(delays, coords)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        # each row should brighten left to right
+        for line in lines:
+            assert line[0] == " " and line[-1] == "@"
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            board_heatmap(np.ones(4), np.ones((3, 2)))
+
+
+class TestMajorityVoting:
+    def make_noisy_puf(self, seed=0, sigma=0.02):
+        data_rng = np.random.default_rng(seed)
+        delays = data_rng.normal(1.0, 0.02, 300)
+        allocation = RingAllocation(stage_count=3, ring_count=100)
+        return BoardROPUF(
+            delay_provider=lambda op: delays,
+            allocation=allocation,
+            method="traditional",
+            response_noise=GaussianNoise(relative_sigma=sigma),
+            rng=np.random.default_rng(seed + 1),
+        )
+
+    def test_voting_reduces_flips(self):
+        puf = self.make_noisy_puf()
+        enrollment = puf.enroll()
+        single_flips = 0
+        voted_flips = 0
+        for _ in range(10):
+            single = puf.response(NOMINAL_OPERATING_POINT, enrollment)
+            voted = puf.response_voted(NOMINAL_OPERATING_POINT, enrollment, votes=15)
+            single_flips += int(np.sum(single != enrollment.bits))
+            voted_flips += int(np.sum(voted != enrollment.bits))
+        assert voted_flips < single_flips
+
+    def test_votes_must_be_odd(self):
+        puf = self.make_noisy_puf()
+        enrollment = puf.enroll()
+        with pytest.raises(ValueError):
+            puf.response_voted(NOMINAL_OPERATING_POINT, enrollment, votes=4)
+        with pytest.raises(ValueError):
+            puf.response_voted(NOMINAL_OPERATING_POINT, enrollment, votes=0)
+
+    def test_noiseless_voting_is_exact(self, rng):
+        delays = rng.normal(1.0, 0.02, 30)
+        allocation = RingAllocation(stage_count=3, ring_count=10)
+        puf = BoardROPUF(delay_provider=lambda op: delays, allocation=allocation)
+        enrollment = puf.enroll()
+        voted = puf.response_voted(NOMINAL_OPERATING_POINT, enrollment, votes=3)
+        assert np.array_equal(voted, enrollment.bits)

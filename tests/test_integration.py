@@ -1,0 +1,125 @@
+"""End-to-end integration tests crossing all subsystems.
+
+Each test walks the full production flow the paper envisions: fabricate (or
+load) silicon, measure, configure, deploy, and consume the secret in an
+application — asserting the paper's qualitative claims along the way.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Authenticator,
+    BCHCode,
+    ChipROPUF,
+    FabricationProcess,
+    FuzzyExtractor,
+    KeyGenerator,
+    OperatingPoint,
+    allocate_rings,
+)
+from repro.core.puf import BoardROPUF
+from repro.crypto.keygen import KeyGenerator as KG
+from repro.metrics import bit_flip_report, uniqueness_report
+from repro.nist import run_battery
+from repro.variation import NOMINAL_OPERATING_POINT, full_grid
+
+del KG
+
+
+class TestChipLifecycle:
+    def test_fleet_uniqueness_and_stability(self):
+        fab = FabricationProcess()
+        rng = np.random.default_rng(42)
+        chips = fab.fabricate_lot(12, 96, rng)
+        responses = []
+        flips = 0
+        harsh = OperatingPoint(0.98, 65.0)
+        for chip in chips:
+            puf = ChipROPUF.deploy(chip, stage_count=4, method="case2")
+            enrollment = puf.enroll()
+            responses.append(enrollment.bits)
+            response = puf.response(harsh, enrollment)
+            flips += int(np.sum(response != enrollment.bits))
+        report = uniqueness_report(np.stack(responses))
+        assert 30.0 < report.uniqueness_percent < 70.0
+        assert flips <= len(chips)  # near-perfect stability
+
+    def test_margins_grow_with_ring_length(self):
+        fab = FabricationProcess()
+        chip = fab.fabricate(512, np.random.default_rng(7))
+        means = []
+        for n in (3, 5, 7):
+            puf = ChipROPUF.deploy(chip, stage_count=n, method="case1")
+            means.append(np.mean(np.abs(puf.enroll().margins)))
+        assert means[0] < means[2]
+
+
+class TestDatasetLifecycle:
+    def test_full_board_pipeline(self, small_dataset):
+        board = small_dataset.swept_boards[0]
+        allocation = allocate_rings(board.ro_count, 5)
+        puf = BoardROPUF(
+            delay_provider=board.delay_provider(),
+            allocation=allocation,
+            method="case1",
+            require_odd=True,
+        )
+        enrollment = puf.enroll(small_dataset.nominal)
+        observations = np.stack(
+            [
+                puf.response(op, enrollment)
+                for op in full_grid()
+                if op != small_dataset.nominal
+            ]
+        )
+        report = bit_flip_report(enrollment.bits, observations)
+        assert report.flip_percent <= 15.0
+
+    def test_nist_battery_runs_on_real_pipeline_bits(self, small_dataset):
+        from repro.experiments.nist_tables import nist_streams
+
+        streams = nist_streams(small_dataset)
+        outcomes, skipped = run_battery(streams.ravel())
+        assert outcomes  # battery produced results on the concatenated bits
+        assert "Universal" in skipped
+
+
+class TestKeyAndAuthentication:
+    def test_key_through_harsh_corner(self, small_dataset):
+        board = small_dataset.swept_boards[0]
+        allocation = allocate_rings(board.ro_count, 4)  # 16 bits
+        puf = BoardROPUF(
+            delay_provider=board.delay_provider(),
+            allocation=allocation,
+            method="case2",
+        )
+        generator = KeyGenerator(
+            puf=puf,
+            extractor=FuzzyExtractor(code=BCHCode(m=4, t=2)),  # needs 15 bits
+            rng=np.random.default_rng(0),
+        )
+        material = generator.enroll(small_dataset.nominal)
+        for corner in (OperatingPoint(0.98, 25.0), OperatingPoint(1.44, 65.0)):
+            assert generator.regenerate(material, corner) == material.key
+
+    def test_authentication_separates_chips(self, small_dataset):
+        verifier = Authenticator(threshold_fraction=0.2)
+        enrollments = {}
+        for board in small_dataset.nominal_boards[:4]:
+            allocation = allocate_rings(board.ro_count, 3)
+            puf = BoardROPUF(
+                delay_provider=board.delay_provider(),
+                allocation=allocation,
+                method="case1",
+            )
+            enrollment = puf.enroll(small_dataset.nominal)
+            verifier.enroll(board.name, enrollment.bits)
+            enrollments[board.name] = enrollment.bits
+        names = list(enrollments)
+        for name in names:
+            assert verifier.authenticate(name, enrollments[name]).accepted
+            for other in names:
+                if other != name:
+                    result = verifier.authenticate(other, enrollments[name])
+                    assert not result.accepted

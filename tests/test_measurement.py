@@ -1,0 +1,173 @@
+"""Unit tests of the Sec. III.B delay-measurement schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config_vector import ConfigVector
+from repro.core.measurement import (
+    DelayMeasurer,
+    leave_one_out_vectors,
+    measure_ddiffs_least_squares,
+    measure_ddiffs_leave_one_out,
+    random_config_set,
+    three_stage_ddiffs,
+)
+from repro.core.ring import ConfigurableRO
+from repro.variation.noise import GaussianNoise, NoiselessMeasurement
+
+
+@pytest.fixture()
+def ring(chip):
+    return ConfigurableRO(chip=chip, unit_indices=np.arange(6))
+
+
+def noiseless_measurer() -> DelayMeasurer:
+    return DelayMeasurer(noise=NoiselessMeasurement(), repeats=1)
+
+
+class TestLeaveOneOutVectors:
+    def test_structure(self):
+        vectors = leave_one_out_vectors(3)
+        assert [v.to_string() for v in vectors] == ["111", "011", "101", "110"]
+
+    def test_count(self):
+        assert len(leave_one_out_vectors(7)) == 8
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(ValueError):
+            leave_one_out_vectors(0)
+
+
+class TestLeaveOneOutExtraction:
+    def test_exact_at_zero_noise(self, ring):
+        estimate = measure_ddiffs_leave_one_out(noiseless_measurer(), ring)
+        assert np.allclose(estimate.ddiffs, ring.ddiffs(), rtol=1e-12)
+
+    def test_noise_error_shrinks_with_repeats(self, ring):
+        errors = []
+        for repeats in (1, 64):
+            measurer = DelayMeasurer(
+                noise=GaussianNoise(relative_sigma=1e-3),
+                repeats=repeats,
+                rng=np.random.default_rng(0),
+            )
+            total = 0.0
+            for trial in range(20):
+                estimate = measure_ddiffs_leave_one_out(measurer, ring)
+                total += float(np.mean(np.abs(estimate.ddiffs - ring.ddiffs())))
+            errors.append(total / 20)
+        assert errors[1] < errors[0] / 3.0
+
+    def test_measurement_count(self, ring):
+        estimate = measure_ddiffs_leave_one_out(noiseless_measurer(), ring)
+        assert len(estimate.measurements) == ring.stage_count + 1
+        assert len(estimate.configs) == ring.stage_count + 1
+
+
+class TestLeastSquaresExtraction:
+    def test_exact_with_loo_set(self, ring):
+        configs = leave_one_out_vectors(ring.stage_count)
+        estimate = measure_ddiffs_least_squares(
+            noiseless_measurer(), ring, configs
+        )
+        assert np.allclose(estimate.ddiffs, ring.ddiffs(), rtol=1e-9)
+
+    def test_recovers_intercept(self, ring):
+        configs = leave_one_out_vectors(ring.stage_count)
+        configs.append(ConfigVector.none_selected(ring.stage_count))
+        estimate = measure_ddiffs_least_squares(
+            noiseless_measurer(), ring, configs
+        )
+        expected_intercept = float(np.sum(ring.bypass_delays()))
+        assert estimate.intercept == pytest.approx(expected_intercept, rel=1e-9)
+
+    def test_residuals_zero_at_zero_noise(self, ring):
+        configs = leave_one_out_vectors(ring.stage_count)
+        estimate = measure_ddiffs_least_squares(
+            noiseless_measurer(), ring, configs
+        )
+        assert estimate.residual_rms == pytest.approx(0.0, abs=1e-15)
+
+    def test_rejects_too_few_configs(self, ring):
+        with pytest.raises(ValueError, match="at least"):
+            measure_ddiffs_least_squares(
+                noiseless_measurer(), ring, leave_one_out_vectors(6)[:4]
+            )
+
+    def test_rejects_rank_deficient_set(self, ring):
+        n = ring.stage_count
+        same = [ConfigVector.all_selected(n)] * (n + 1)
+        with pytest.raises(ValueError, match="rank"):
+            measure_ddiffs_least_squares(noiseless_measurer(), ring, same)
+
+    def test_extra_configs_reduce_noise(self, ring):
+        n = ring.stage_count
+        rng = np.random.default_rng(1)
+        few = leave_one_out_vectors(n)
+        many = few + random_config_set(n, 3 * n, np.random.default_rng(2))
+        errors = []
+        for configs in (few, many):
+            measurer = DelayMeasurer(
+                noise=GaussianNoise(relative_sigma=1e-3),
+                repeats=1,
+                rng=np.random.default_rng(3),
+            )
+            total = 0.0
+            for _ in range(30):
+                estimate = measure_ddiffs_least_squares(measurer, ring, configs)
+                total += float(np.mean((estimate.ddiffs - ring.ddiffs()) ** 2))
+            errors.append(total)
+        assert errors[1] < errors[0]
+        del rng
+
+
+class TestThreeStageFormula:
+    def test_paper_formulas(self):
+        x, y, z = 10.0, 11.0, 12.0
+        d1, d2, d3 = three_stage_ddiffs(x, y, z)
+        assert d1 == pytest.approx((x + y - z) / 2)
+        assert d2 == pytest.approx((x + z - y) / 2)
+        assert d3 == pytest.approx((y + z - x) / 2)
+
+    def test_consistency_with_zero_bypass(self):
+        # With negligible bypass delays, D("110") = a1 + a2 etc., and the
+        # formulas recover each a_i exactly.
+        a = np.array([3.0, 4.0, 5.0])
+        x = a[0] + a[1]
+        y = a[0] + a[2]
+        z = a[1] + a[2]
+        assert np.allclose(three_stage_ddiffs(x, y, z), a)
+
+
+class TestRandomConfigSet:
+    @given(st.integers(2, 10))
+    def test_full_rank(self, n):
+        rng = np.random.default_rng(n)
+        configs = random_config_set(n, min(n + 3, 2**n), rng)
+        matrix = np.stack([c.as_array().astype(float) for c in configs])
+        design = np.column_stack([np.ones(len(configs)), matrix])
+        assert np.linalg.matrix_rank(design) == n + 1
+
+    def test_no_duplicates(self):
+        configs = random_config_set(5, 10, np.random.default_rng(0))
+        strings = [c.to_string() for c in configs]
+        assert len(set(strings)) == len(strings)
+
+    def test_rejects_insufficient_count(self):
+        with pytest.raises(ValueError):
+            random_config_set(5, 5, np.random.default_rng(0))
+
+
+class TestDelayMeasurer:
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            DelayMeasurer(repeats=0)
+
+    def test_chain_delay_scalar(self, ring):
+        measurer = noiseless_measurer()
+        config = ConfigVector.all_selected(ring.stage_count)
+        assert measurer.chain_delay(ring, config) == pytest.approx(
+            ring.chain_delay(config)
+        )

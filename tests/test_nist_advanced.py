@@ -1,0 +1,264 @@
+"""NIST tests beyond the frequency family: spectral, rank, templates,
+serial, entropy, complexity, universal, excursions."""
+
+import numpy as np
+import pytest
+
+from repro.nist.common import InsufficientDataError
+from repro.nist.complexity import berlekamp_massey, linear_complexity_test
+from repro.nist.entropy_tests import (
+    approximate_entropy_test,
+    pattern_counts,
+    serial_test,
+)
+from repro.nist.excursions import (
+    random_excursions_test,
+    random_excursions_variant_test,
+)
+from repro.nist.spectral import binary_matrix_rank, dft_test, rank_test
+from repro.nist.templates import (
+    aperiodic_templates,
+    non_overlapping_template_test,
+    overlapping_template_test,
+)
+from repro.nist.universal import universal_test
+
+
+def random_bits(n, seed=0):
+    return np.random.default_rng(seed).integers(0, 2, n).astype(bool)
+
+
+class TestPatternCounts:
+    def test_counts_sum_to_n(self):
+        bits = random_bits(100)
+        for m in (1, 2, 3):
+            assert pattern_counts(bits, m).sum() == 100
+
+    def test_known_counts(self):
+        bits = np.array([0, 0, 1, 1], dtype=bool)
+        counts = pattern_counts(bits, 2)  # wraps: 00,01,11,10
+        assert counts.tolist() == [1, 1, 1, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pattern_counts(np.array([], dtype=bool), 1)
+        with pytest.raises(ValueError):
+            pattern_counts(random_bits(4), 0)
+
+
+class TestSerial:
+    def test_spec_example(self):
+        outcomes = serial_test("0011011101", m=3)
+        assert outcomes[0].p_value == pytest.approx(0.808792, abs=1e-6)
+        assert outcomes[1].p_value == pytest.approx(0.670320, abs=1e-6)
+
+    def test_periodic_sequence_fails(self):
+        outcomes = serial_test("01" * 200, m=3)
+        assert outcomes[0].p_value < 1e-10
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            serial_test("0101", m=1)
+
+    def test_random_passes(self):
+        outcomes = serial_test(random_bits(2048), m=3)
+        assert all(o.p_value > 0.001 for o in outcomes)
+
+
+class TestApproximateEntropy:
+    def test_spec_example(self):
+        outcome = approximate_entropy_test("0100110101", m=3)
+        assert outcome.p_value == pytest.approx(0.261961, abs=1e-6)
+
+    def test_constant_sequence_fails(self):
+        assert approximate_entropy_test("1" * 128, m=2).p_value < 1e-10
+
+    def test_random_passes(self):
+        assert approximate_entropy_test(random_bits(2048), m=2).p_value > 0.001
+
+
+class TestDft:
+    def test_minimum_length(self):
+        with pytest.raises(InsufficientDataError):
+            dft_test(random_bits(500))
+
+    def test_periodic_sequence_fails(self):
+        assert dft_test(np.array([1, 0, 1, 0] * 500, dtype=bool)).p_value < 1e-6
+
+    def test_random_passes_mostly(self):
+        p_values = [dft_test(random_bits(2048, seed=s)).p_value for s in range(20)]
+        assert np.mean(np.array(p_values) >= 0.01) >= 0.9
+
+
+class TestRank:
+    def test_binary_rank_identity(self):
+        assert binary_matrix_rank(np.eye(8, dtype=int)) == 8
+
+    def test_binary_rank_dependent_rows(self):
+        matrix = np.array([[1, 0, 1], [0, 1, 1], [1, 1, 0]])
+        # row3 = row1 XOR row2 over GF(2)
+        assert binary_matrix_rank(matrix) == 2
+
+    def test_binary_rank_zero_matrix(self):
+        assert binary_matrix_rank(np.zeros((4, 4), dtype=int)) == 0
+
+    def test_binary_rank_validation(self):
+        with pytest.raises(ValueError):
+            binary_matrix_rank(np.zeros(4, dtype=int))
+
+    def test_minimum_length(self):
+        with pytest.raises(InsufficientDataError):
+            rank_test(random_bits(1000))
+
+    def test_random_passes(self):
+        assert rank_test(random_bits(40000)).p_value > 0.001
+
+    def test_structured_fails(self):
+        # Rank-1 matrices everywhere: every 1024-bit block repeats one row.
+        row = random_bits(32, seed=3)
+        bits = np.tile(row, 38 * 32)
+        assert rank_test(bits).p_value < 1e-10
+
+
+class TestTemplates:
+    def test_aperiodic_templates_m3(self):
+        templates = aperiodic_templates(3)
+        assert (0, 0, 1) in templates
+        assert (1, 0, 0) in templates
+        assert (0, 1, 0) not in templates  # period-2 self-overlap
+        assert (1, 0, 1) not in templates
+
+    def test_aperiodic_counts_match_reference(self):
+        # Known counts of aperiodic binary templates: m=2 -> 2, m=3 -> 4,
+        # m=4 -> 6, m=5 -> 12 (half starting with 0, half with 1).
+        assert len(aperiodic_templates(2)) == 2
+        assert len(aperiodic_templates(3)) == 4
+        assert len(aperiodic_templates(4)) == 6
+        assert len(aperiodic_templates(5)) == 12
+
+    def test_template_length_validation(self):
+        with pytest.raises(ValueError):
+            aperiodic_templates(1)
+        with pytest.raises(ValueError):
+            aperiodic_templates(17)
+
+    def test_spec_example_non_overlapping(self):
+        outcome = non_overlapping_template_test(
+            "10100100101110010110", template="001", block_count=2
+        )
+        assert outcome.p_value == pytest.approx(0.344154, abs=1e-6)
+        assert sorted(outcome.details["counts"]) == [1, 2]
+
+    def test_non_overlapping_saturated_sequence_fails(self):
+        outcome = non_overlapping_template_test(
+            "001" * 100, template="001", block_count=4
+        )
+        assert outcome.p_value < 1e-6
+
+    def test_non_overlapping_validation(self):
+        with pytest.raises(InsufficientDataError):
+            non_overlapping_template_test("0101", template="001", block_count=4)
+
+    def test_overlapping_minimum_length(self):
+        with pytest.raises(InsufficientDataError):
+            overlapping_template_test(random_bits(1000))
+
+    def test_overlapping_random_passes(self):
+        assert overlapping_template_test(random_bits(8000)).p_value > 0.001
+
+    def test_overlapping_all_ones_fails(self):
+        assert overlapping_template_test(np.ones(8000, dtype=bool)).p_value < 1e-6
+
+
+class TestBerlekampMassey:
+    def test_lfsr_complexity_recovered(self):
+        # x^4 + x + 1 LFSR: complexity 4.
+        state = [1, 0, 0, 1]
+        sequence = []
+        for _ in range(60):
+            sequence.append(state[-1])
+            feedback = state[3] ^ state[0]
+            state = [feedback] + state[:3]
+        assert berlekamp_massey(np.array(sequence, dtype=bool)) == 4
+
+    def test_impulse_complexity(self):
+        # 0...01 has complexity equal to its length.
+        bits = np.array([0] * 9 + [1], dtype=bool)
+        assert berlekamp_massey(bits) == 10
+
+    def test_zero_sequence(self):
+        assert berlekamp_massey(np.zeros(16, dtype=bool)) == 0
+
+    def test_alternating_sequence(self):
+        assert berlekamp_massey(np.array([1, 0] * 16, dtype=bool)) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            berlekamp_massey(np.array([], dtype=bool))
+
+
+class TestLinearComplexity:
+    def test_minimum_length(self):
+        with pytest.raises(InsufficientDataError):
+            linear_complexity_test(random_bits(5000))
+
+    def test_random_passes(self):
+        outcome = linear_complexity_test(random_bits(20000, seed=11), block_size=100)
+        assert outcome.p_value > 0.001
+
+    def test_lfsr_stream_fails(self):
+        state = [1, 0, 0, 1]
+        sequence = []
+        for _ in range(20000):
+            sequence.append(state[-1])
+            feedback = state[3] ^ state[0]
+            state = [feedback] + state[:3]
+        outcome = linear_complexity_test(
+            np.array(sequence, dtype=bool), block_size=100
+        )
+        assert outcome.p_value < 1e-10
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            linear_complexity_test(random_bits(1000), block_size=2)
+
+
+class TestUniversal:
+    def test_minimum_length(self):
+        with pytest.raises(InsufficientDataError):
+            universal_test(random_bits(100000))
+
+    def test_random_passes(self):
+        assert universal_test(random_bits(400000, seed=2)).p_value > 0.001
+
+    def test_repetitive_fails(self):
+        bits = np.tile(random_bits(64, seed=3), 400000 // 64 + 1)[:400000]
+        assert universal_test(bits).p_value < 1e-6
+
+    def test_block_length_validation(self):
+        with pytest.raises(ValueError):
+            universal_test(random_bits(400000), block_length=20)
+
+
+class TestExcursions:
+    def test_insufficient_cycles_raises(self):
+        with pytest.raises(InsufficientDataError):
+            random_excursions_test(np.ones(2000, dtype=bool))
+
+    def test_random_walk_structure(self):
+        bits = random_bits(600000, seed=0)
+        outcomes = random_excursions_test(bits)
+        assert len(outcomes) == 8
+        states = {o.variant for o in outcomes}
+        assert states == {f"x={x:+d}" for x in (-4, -3, -2, -1, 1, 2, 3, 4)}
+        assert np.mean([o.p_value >= 0.01 for o in outcomes]) >= 0.75
+
+    def test_variant_structure(self):
+        bits = random_bits(600000, seed=3)
+        outcomes = random_excursions_variant_test(bits)
+        assert len(outcomes) == 18
+        assert np.mean([o.p_value >= 0.01 for o in outcomes]) >= 0.75
+
+    def test_variant_insufficient_cycles(self):
+        with pytest.raises(InsufficientDataError):
+            random_excursions_variant_test(np.zeros(2000, dtype=bool))

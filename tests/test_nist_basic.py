@@ -1,0 +1,161 @@
+"""NIST frequency-family tests: spec worked examples plus edge behaviour.
+
+Expected values are from the worked examples of NIST SP 800-22 Rev 1a.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nist.basic_tests import (
+    block_frequency_test,
+    cumulative_sums_test,
+    frequency_test,
+    longest_run_test,
+    runs_test,
+)
+from repro.nist.common import InsufficientDataError, as_bits
+
+LONGEST_RUN_EXAMPLE = (
+    "11001100000101010110110001001100111000000000001001"
+    "00110101010001000100111101011010000000110101111100"
+    "1100111001101101100010110010"
+)
+
+
+class TestFrequency:
+    def test_spec_example(self):
+        assert frequency_test("1011010101").p_value == pytest.approx(
+            0.527089, abs=1e-6
+        )
+
+    def test_all_ones_fails(self):
+        outcome = frequency_test("1" * 100)
+        assert outcome.p_value < 1e-10
+        assert not outcome.passed
+
+    def test_balanced_sequence_passes(self):
+        assert frequency_test("10" * 50).p_value == pytest.approx(1.0)
+
+    def test_statistic_recorded(self):
+        outcome = frequency_test("1011010101")
+        assert outcome.details["S_n"] == 2
+        assert outcome.details["n"] == 10
+
+    def test_too_short(self):
+        with pytest.raises(InsufficientDataError):
+            frequency_test("1")
+
+
+class TestBlockFrequency:
+    def test_spec_example(self):
+        outcome = block_frequency_test("0110011010", block_size=3)
+        assert outcome.p_value == pytest.approx(0.801252, abs=1e-6)
+
+    def test_alternating_blocks_fail(self):
+        sequence = "1" * 8 + "0" * 8
+        outcome = block_frequency_test(sequence * 16, block_size=8)
+        assert not outcome.passed
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            block_frequency_test("0101", block_size=1)
+
+    def test_too_short(self):
+        with pytest.raises(InsufficientDataError):
+            block_frequency_test("01", block_size=8)
+
+
+class TestRuns:
+    def test_spec_example(self):
+        assert runs_test("1001101011").p_value == pytest.approx(
+            0.147232, abs=1e-6
+        )
+
+    def test_prerequisite_failure_returns_zero(self):
+        outcome = runs_test("1" * 99 + "0")
+        assert outcome.p_value == 0.0
+        assert outcome.details.get("prerequisite_failed")
+
+    def test_perfect_alternation_fails(self):
+        outcome = runs_test("10" * 500)
+        assert outcome.p_value < 1e-10
+
+    def test_long_runs_fail(self):
+        rng = np.random.default_rng(0)
+        # blocks of 16 identical bits: far too few runs
+        bits = np.repeat(rng.integers(0, 2, 64), 16).astype(bool)
+        assert runs_test(bits).p_value < 1e-6
+
+
+class TestLongestRun:
+    def test_spec_example_128_bits(self):
+        assert len(LONGEST_RUN_EXAMPLE) == 128
+        outcome = longest_run_test(LONGEST_RUN_EXAMPLE)
+        assert outcome.p_value == pytest.approx(0.180609, abs=2e-4)
+
+    def test_minimum_length_enforced(self):
+        with pytest.raises(InsufficientDataError):
+            longest_run_test("01" * 63)
+
+    def test_uses_m128_table_for_long_input(self, rng):
+        bits = rng.integers(0, 2, 7000).astype(bool)
+        outcome = longest_run_test(bits)
+        assert outcome.details["block_size"] == 128
+
+    def test_pathological_sequence_fails(self):
+        # No run of ones longer than 1 anywhere: hugely improbable.
+        outcome = longest_run_test("10" * 256)
+        assert outcome.p_value < 1e-10
+
+    def test_random_passes_mostly(self, rng):
+        p_values = [
+            longest_run_test(rng.integers(0, 2, 512).astype(bool)).p_value
+            for _ in range(30)
+        ]
+        assert np.mean(np.array(p_values) >= 0.01) > 0.8
+
+
+class TestCumulativeSums:
+    def test_spec_example_forward(self):
+        outcomes = cumulative_sums_test("1011010111")
+        forward = outcomes[0]
+        assert forward.variant == "forward"
+        assert forward.p_value == pytest.approx(0.4116588, abs=5e-6)
+        assert forward.details["z"] == 4
+
+    def test_two_modes_returned(self):
+        outcomes = cumulative_sums_test("1011010111")
+        assert [o.variant for o in outcomes] == ["forward", "backward"]
+
+    def test_symmetric_sequence_same_both_ways(self):
+        outcomes = cumulative_sums_test("0110" * 8)
+        assert outcomes[0].details["z"] >= 1
+
+    def test_drifting_sequence_fails(self):
+        outcomes = cumulative_sums_test("1" * 80 + "0" * 20)
+        assert outcomes[0].p_value < 1e-10
+
+    def test_random_passes(self, rng):
+        bits = rng.integers(0, 2, 1000).astype(bool)
+        for outcome in cumulative_sums_test(bits):
+            assert outcome.p_value > 0.001
+
+
+class TestAsBits:
+    def test_string_with_whitespace(self):
+        bits = as_bits("10 01\n10")
+        assert bits.tolist() == [True, False, False, True, True, False]
+
+    def test_rejects_non_binary_values(self):
+        with pytest.raises(ValueError):
+            as_bits(np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            as_bits("012")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            as_bits(np.ones((2, 2)))
+
+    def test_bool_passthrough(self):
+        bits = np.array([True, False])
+        assert np.array_equal(as_bits(bits), bits)

@@ -1,0 +1,108 @@
+"""Monte-Carlo calibration checks of the NIST tests.
+
+A test statistic is only useful if its p-values are honest: on truly
+random input, the rejection rate at level alpha must be close to alpha.
+These checks bound the false-positive rate of every test that runs on
+moderate-length sequences (the ones the PUF experiments rely on).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nist.basic_tests import (
+    block_frequency_test,
+    cumulative_sums_test,
+    frequency_test,
+    longest_run_test,
+    runs_test,
+)
+from repro.nist.entropy_tests import approximate_entropy_test, serial_test
+from repro.nist.spectral import dft_test
+
+TRIALS = 400
+LENGTH = 2048
+
+
+@pytest.fixture(scope="module")
+def random_sequences():
+    rng = np.random.default_rng(2718)
+    return rng.integers(0, 2, size=(TRIALS, LENGTH)).astype(bool)
+
+
+def rejection_rate(p_values, alpha=0.01):
+    return float(np.mean(np.asarray(p_values) < alpha))
+
+
+class TestFalsePositiveRates:
+    """Each test's rejection rate on random data stays near alpha = 1%."""
+
+    def test_frequency(self, random_sequences):
+        rate = rejection_rate(
+            [frequency_test(s).p_value for s in random_sequences]
+        )
+        assert rate < 0.03
+
+    def test_block_frequency(self, random_sequences):
+        rate = rejection_rate(
+            [
+                block_frequency_test(s, block_size=128).p_value
+                for s in random_sequences
+            ]
+        )
+        assert rate < 0.03
+
+    def test_runs(self, random_sequences):
+        rate = rejection_rate([runs_test(s).p_value for s in random_sequences])
+        assert rate < 0.03
+
+    def test_longest_run(self, random_sequences):
+        rate = rejection_rate(
+            [longest_run_test(s).p_value for s in random_sequences]
+        )
+        assert rate < 0.04  # table probabilities are rounded; slight bias
+
+    def test_cumulative_sums(self, random_sequences):
+        rate = rejection_rate(
+            [cumulative_sums_test(s)[0].p_value for s in random_sequences]
+        )
+        assert rate < 0.03
+
+    def test_dft(self, random_sequences):
+        # The DFT test's d statistic is known to be slightly over-dispersed
+        # even in the revised specification; bound it loosely.
+        rate = rejection_rate([dft_test(s).p_value for s in random_sequences])
+        assert rate < 0.06
+
+    def test_serial(self, random_sequences):
+        rate = rejection_rate(
+            [serial_test(s, m=3)[0].p_value for s in random_sequences]
+        )
+        assert rate < 0.03
+
+    def test_approximate_entropy(self, random_sequences):
+        rate = rejection_rate(
+            [
+                approximate_entropy_test(s, m=2).p_value
+                for s in random_sequences
+            ]
+        )
+        assert rate < 0.03
+
+
+class TestPValueUniformity:
+    """On random data the continuous tests' p-values look uniform."""
+
+    @pytest.mark.parametrize(
+        "test_fn",
+        [
+            lambda s: runs_test(s).p_value,
+            lambda s: approximate_entropy_test(s, m=2).p_value,
+            lambda s: serial_test(s, m=3)[0].p_value,
+        ],
+        ids=["runs", "apen", "serial"],
+    )
+    def test_mean_and_spread(self, random_sequences, test_fn):
+        p_values = np.array([test_fn(s) for s in random_sequences])
+        # Uniform(0,1): mean 0.5 +/- ~0.014 at 400 samples, std ~0.289.
+        assert abs(np.mean(p_values) - 0.5) < 0.06
+        assert abs(np.std(p_values) - 0.289) < 0.06

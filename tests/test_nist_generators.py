@@ -1,0 +1,115 @@
+"""Tests of the reference stream generators — and of the suite's teeth."""
+
+import numpy as np
+import pytest
+
+from repro.nist.complexity import berlekamp_massey, linear_complexity_test
+from repro.nist.basic_tests import frequency_test, runs_test
+from repro.nist.generators import (
+    biased_stream,
+    counter_stream,
+    lcg_stream,
+    lfsr_stream,
+    markov_stream,
+)
+
+
+class TestLfsrStream:
+    def test_period_is_maximal(self):
+        bits = lfsr_stream(2 * (2**4 - 1), degree=4)
+        period = 2**4 - 1
+        assert np.array_equal(bits[:period], bits[period : 2 * period])
+
+    def test_linear_complexity_equals_degree(self):
+        bits = lfsr_stream(200, degree=8, seed=77)
+        assert berlekamp_massey(bits) == 8
+
+    def test_balanced_ones(self):
+        bits = lfsr_stream(2**16 - 1, degree=16)
+        assert abs(np.mean(bits) - 0.5) < 0.01
+
+    def test_fails_linear_complexity_test(self):
+        bits = lfsr_stream(20000, degree=16)
+        outcome = linear_complexity_test(bits, block_size=100)
+        assert outcome.p_value < 1e-10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lfsr_stream(0)
+        with pytest.raises(ValueError):
+            lfsr_stream(10, degree=6)
+        with pytest.raises(ValueError):
+            lfsr_stream(10, degree=4, seed=16)  # == 0 mod 2**4
+
+
+class TestLcgStream:
+    def test_low_bit_alternates(self):
+        # LCG with modulus 2**31 and odd increment: LSB has period 2.
+        bits = lcg_stream(100)
+        assert np.array_equal(bits[0::2], bits[0::2][0] * np.ones(50, dtype=bool))
+
+    def test_fails_runs_test(self):
+        assert runs_test(lcg_stream(1000)).p_value < 1e-10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lcg_stream(0)
+
+
+class TestBiasedStream:
+    def test_bias_level(self, rng):
+        bits = biased_stream(20000, 0.7, rng)
+        assert abs(np.mean(bits) - 0.7) < 0.02
+
+    def test_fails_frequency(self, rng):
+        assert frequency_test(biased_stream(1000, 0.7, rng)).p_value < 1e-6
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            biased_stream(0, 0.5, rng)
+        with pytest.raises(ValueError):
+            biased_stream(10, 1.5, rng)
+
+
+class TestMarkovStream:
+    def test_persistence_creates_runs(self, rng):
+        sticky = markov_stream(5000, 0.9, rng)
+        transitions = np.mean(sticky[1:] != sticky[:-1])
+        assert transitions < 0.2
+
+    def test_balanced_overall(self, rng):
+        bits = markov_stream(20000, 0.8, rng)
+        assert abs(np.mean(bits) - 0.5) < 0.05
+
+    def test_half_persistence_passes_runs(self, rng):
+        bits = markov_stream(2000, 0.5, rng)
+        assert runs_test(bits).p_value > 0.001
+
+    def test_sticky_fails_runs(self, rng):
+        bits = markov_stream(2000, 0.85, rng)
+        assert runs_test(bits).p_value < 1e-10
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            markov_stream(0, 0.5, rng)
+        with pytest.raises(ValueError):
+            markov_stream(10, 1.0, rng)
+
+
+class TestCounterStream:
+    def test_prefix_values(self):
+        bits = counter_stream(24, width=8)
+        # values 0, 1, 2 in 8-bit big-endian
+        assert bits[:8].tolist() == [False] * 8
+        assert bits[8:16].tolist() == [False] * 7 + [True]
+        assert bits[16:24].tolist() == [False] * 6 + [True, False]
+
+    def test_heavily_biased_toward_zero(self):
+        bits = counter_stream(4096, width=16)
+        assert np.mean(bits) < 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            counter_stream(0)
+        with pytest.raises(ValueError):
+            counter_stream(10, width=0)

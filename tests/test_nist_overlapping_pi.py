@@ -1,0 +1,90 @@
+"""Tests of the exact overlapping-occurrence probability DP."""
+
+import numpy as np
+import pytest
+
+from repro.nist.overlapping_pi import overlapping_occurrence_probabilities
+from repro.nist.templates import _OVERLAPPING_PI, overlapping_template_test
+
+
+class TestOverlappingProbabilities:
+    def test_reproduces_spec_constants(self):
+        """The DP must reproduce SP 800-22's printed m=9/M=1032 values."""
+        pi = overlapping_occurrence_probabilities(9, 1032)
+        assert np.allclose(pi, _OVERLAPPING_PI, atol=5e-7)
+
+    def test_probabilities_sum_to_one(self):
+        for m, block in ((2, 10), (3, 64), (5, 200)):
+            pi = overlapping_occurrence_probabilities(m, block)
+            assert pi.sum() == pytest.approx(1.0)
+            assert np.all(pi >= 0.0)
+
+    def test_exact_tiny_case_by_enumeration(self):
+        """m=2, M=4: brute-force all 16 strings and count '11' overlaps."""
+        counts = np.zeros(3)
+        for code in range(16):
+            bits = [(code >> i) & 1 for i in range(4)]
+            occurrences = sum(
+                bits[i] == 1 and bits[i + 1] == 1 for i in range(3)
+            )
+            counts[min(occurrences, 2)] += 1
+        expected = counts / 16.0
+        pi = overlapping_occurrence_probabilities(2, 4, max_category=2)
+        assert np.allclose(pi, expected)
+
+    def test_zero_occurrences_probability_known(self):
+        # m=1, M=3: P(no ones in 3 bits) = 1/8.
+        pi = overlapping_occurrence_probabilities(1, 3, max_category=3)
+        assert pi[0] == pytest.approx(1.0 / 8.0)
+        # exactly three ones: 1/8 as well
+        assert pi[3] == pytest.approx(1.0 / 8.0)
+
+    def test_longer_template_shifts_mass_to_zero(self):
+        short = overlapping_occurrence_probabilities(3, 100)
+        long = overlapping_occurrence_probabilities(8, 100)
+        assert long[0] > short[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            overlapping_occurrence_probabilities(0, 10)
+        with pytest.raises(ValueError):
+            overlapping_occurrence_probabilities(3, 0)
+        with pytest.raises(ValueError):
+            overlapping_occurrence_probabilities(3, 10, max_category=0)
+
+
+class TestParameterizedOverlappingTest:
+    def test_custom_parameters_run(self, rng):
+        # lambda = (M - m + 1) / 2**m = 2, like the spec's m=9/M=1032.
+        bits = rng.integers(0, 2, 4000).astype(bool)
+        outcome = overlapping_template_test(
+            bits, template_length=6, block_length=133
+        )
+        assert 0.0 <= outcome.p_value <= 1.0
+        assert outcome.details["block_count"] == 30
+
+    def test_custom_parameters_pass_on_random(self, rng):
+        failures = 0
+        for _ in range(30):
+            bits = rng.integers(0, 2, 3200).astype(bool)
+            outcome = overlapping_template_test(
+                bits, template_length=6, block_length=133
+            )
+            failures += int(outcome.p_value < 0.01)
+        assert failures <= 3
+
+    def test_custom_parameters_catch_sticky_bits(self, rng):
+        from repro.nist.generators import markov_stream
+
+        bits = markov_stream(4000, 0.8, rng)
+        outcome = overlapping_template_test(
+            bits, template_length=6, block_length=133
+        )
+        assert outcome.p_value < 1e-6
+
+    def test_parameter_validation(self, rng):
+        bits = rng.integers(0, 2, 2000).astype(bool)
+        with pytest.raises(ValueError):
+            overlapping_template_test(bits, template_length=1)
+        with pytest.raises(ValueError):
+            overlapping_template_test(bits, template_length=8, block_length=8)

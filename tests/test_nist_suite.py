@@ -1,0 +1,137 @@
+"""Tests of the battery runner and the multi-sequence final report."""
+
+import numpy as np
+import pytest
+
+from repro.nist.common import ALPHA, TestOutcome
+from repro.nist.suite import (
+    SuiteConfig,
+    evaluate_sequences,
+    minimum_pass_proportion,
+    run_battery,
+)
+
+
+class TestTestOutcome:
+    def test_pass_threshold(self):
+        assert TestOutcome(test="T", p_value=ALPHA, statistic=0.0).passed
+        assert not TestOutcome(test="T", p_value=ALPHA / 2, statistic=0.0).passed
+
+    def test_label_includes_variant(self):
+        outcome = TestOutcome(test="Serial", p_value=0.5, statistic=0.0, variant="d2")
+        assert outcome.label == "Serial (d2)"
+
+    def test_p_value_clamped(self):
+        outcome = TestOutcome(test="T", p_value=1.0 + 1e-12, statistic=0.0)
+        assert outcome.p_value == 1.0
+
+    def test_invalid_p_value_rejected(self):
+        with pytest.raises(ValueError):
+            TestOutcome(test="T", p_value=1.5, statistic=0.0)
+        with pytest.raises(ValueError):
+            TestOutcome(test="T", p_value=float("nan"), statistic=0.0)
+
+
+class TestMinimumPassProportion:
+    def test_paper_quote_97_sequences(self):
+        # "approximately = 93 for a sample size = 97 binary sequences"
+        threshold = minimum_pass_proportion(97)
+        assert int(np.floor(threshold * 97)) == 93
+
+    def test_shrinks_with_sample_size(self):
+        assert minimum_pass_proportion(1000) > minimum_pass_proportion(50)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_pass_proportion(0)
+
+
+class TestRunBattery:
+    def test_short_sequence_battery(self, rng):
+        bits = rng.integers(0, 2, 96).astype(bool)
+        outcomes, skipped = run_battery(bits)
+        labels = {o.test for o in outcomes}
+        assert "Frequency" in labels
+        assert "Runs" in labels
+        assert "Serial" in labels
+        assert "Rank" in skipped
+        assert "Universal" in skipped
+        assert "DFT" in skipped  # gated below 1000 bits
+
+    def test_long_sequence_battery_widens(self, rng):
+        bits = rng.integers(0, 2, 50000).astype(bool)
+        outcomes, skipped = run_battery(bits)
+        labels = {o.test for o in outcomes}
+        assert {"LongestRun", "Rank", "DFT", "NonOverlappingTemplate"} <= labels
+        assert "Universal" in skipped
+
+    def test_config_overrides(self, rng):
+        bits = rng.integers(0, 2, 4096).astype(bool)
+        config = SuiteConfig(
+            block_frequency_block_size=64,
+            serial_m=4,
+            template_length=3,
+            max_templates=2,
+        )
+        outcomes, _ = run_battery(bits, config)
+        block = next(o for o in outcomes if o.test == "BlockFrequency")
+        assert block.details["block_size"] == 64
+        templates = [o for o in outcomes if o.test == "NonOverlappingTemplate"]
+        assert len(templates) == 2
+
+
+class TestEvaluateSequences:
+    def test_report_shape(self, rng):
+        sequences = rng.integers(0, 2, (60, 96)).astype(bool)
+        report = evaluate_sequences(sequences)
+        assert report.sequence_count == 60
+        assert report.bit_count == 96
+        assert all(row.sample_size == 60 for row in report.rows)
+        assert all(row.histogram.sum() == 60 for row in report.rows)
+
+    def test_random_sequences_pass(self, rng):
+        sequences = rng.integers(0, 2, (97, 96)).astype(bool)
+        report = evaluate_sequences(sequences)
+        assert report.all_passed, [r.label for r in report.failed_rows]
+
+    def test_biased_sequences_fail(self, rng):
+        # 80% ones: frequency proportions collapse.
+        sequences = (rng.random((97, 96)) < 0.8)
+        report = evaluate_sequences(sequences)
+        assert not report.all_passed
+        frequency_row = next(r for r in report.rows if r.label == "Frequency")
+        assert not frequency_row.proportion_ok
+
+    def test_correlated_sequences_fail(self, rng):
+        # Runs of 8 identical bits: the runs test must collapse.
+        base = rng.integers(0, 2, (97, 12))
+        sequences = np.repeat(base, 8, axis=1).astype(bool)
+        report = evaluate_sequences(sequences)
+        runs_row = next(r for r in report.rows if r.label == "Runs")
+        assert not runs_row.proportion_ok
+
+    def test_render_contains_paper_phrases(self, rng):
+        sequences = rng.integers(0, 2, (97, 96)).astype(bool)
+        text = evaluate_sequences(sequences).render()
+        assert "P-VALUE" in text and "PROPORTION" in text
+        assert "minimum pass rate" in text
+        assert "sample size = 97" in text
+
+    def test_discrete_support_flagged(self, rng):
+        sequences = rng.integers(0, 2, (97, 96)).astype(bool)
+        report = evaluate_sequences(sequences)
+        frequency_row = next(r for r in report.rows if r.label == "Frequency")
+        # 96-bit monobit p-values have a ~25-atom support: not assessable.
+        assert not frequency_row.uniformity_assessable
+
+    def test_continuous_support_assessed(self, rng):
+        sequences = rng.integers(0, 2, (60, 4096)).astype(bool)
+        report = evaluate_sequences(sequences)
+        runs_row = next(r for r in report.rows if r.label == "Runs")
+        assert runs_row.uniformity_assessable
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_sequences(np.zeros((0, 96), dtype=bool))
+        with pytest.raises(ValueError):
+            evaluate_sequences(np.zeros(96, dtype=bool))

@@ -1,0 +1,110 @@
+"""Tests of the event-driven ring-oscillator simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.config_vector import ConfigVector
+from repro.core.ring import ConfigurableRO
+from repro.silicon.oscillator import (
+    RingOscillatorSimulator,
+    simulate_configured_ring,
+)
+
+
+@pytest.fixture()
+def simulator():
+    return RingOscillatorSimulator(
+        stage_delays=np.array([100e-12, 120e-12, 110e-12])
+    )
+
+
+class TestRingOscillatorSimulator:
+    def test_nominal_frequency_formula(self, simulator):
+        assert simulator.lap_time == pytest.approx(330e-12)
+        assert simulator.nominal_frequency == pytest.approx(1.0 / 660e-12)
+
+    def test_noiseless_counter_matches_analytic(self, simulator, rng):
+        window = 1e-6
+        measured = simulator.measure_frequency(window, rng)
+        quantisation = 1.0 / (2.0 * window)
+        assert abs(measured - simulator.nominal_frequency) <= quantisation
+
+    def test_longer_window_measures_finer(self, simulator, rng):
+        errors = []
+        for window in (1e-7, 1e-5):
+            measured = simulator.measure_frequency(window, rng)
+            errors.append(abs(measured - simulator.nominal_frequency))
+        assert errors[1] < errors[0]
+
+    def test_toggle_times_sorted_within_window(self, simulator, rng):
+        times = simulator.toggle_times(1e-8, rng)
+        assert np.all(np.diff(times) > 0)
+        assert times[-1] <= 1e-8
+
+    def test_jitter_spreads_repeated_measurements(self):
+        jittery = RingOscillatorSimulator(
+            stage_delays=np.full(5, 100e-12), jitter_sigma=2e-12
+        )
+        clean = RingOscillatorSimulator(stage_delays=np.full(5, 100e-12))
+        rng = np.random.default_rng(0)
+        window = 2e-7
+        jittery_counts = [jittery.count_toggles(window, rng) for _ in range(50)]
+        clean_counts = [clean.count_toggles(window, rng) for _ in range(50)]
+        assert np.std(jittery_counts) > np.std(clean_counts)
+
+    def test_jitter_keeps_mean_frequency(self):
+        jittery = RingOscillatorSimulator(
+            stage_delays=np.full(5, 100e-12), jitter_sigma=1e-12
+        )
+        rng = np.random.default_rng(1)
+        measurements = [
+            jittery.measure_frequency(1e-6, rng) for _ in range(40)
+        ]
+        assert np.mean(measurements) == pytest.approx(
+            jittery.nominal_frequency, rel=0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RingOscillatorSimulator(stage_delays=np.array([]))
+        with pytest.raises(ValueError):
+            RingOscillatorSimulator(stage_delays=np.array([1e-12, -1e-12]))
+        with pytest.raises(ValueError):
+            RingOscillatorSimulator(
+                stage_delays=np.array([1e-12]), jitter_sigma=-1.0
+            )
+        with pytest.raises(ValueError):
+            RingOscillatorSimulator(
+                stage_delays=np.array([1e-12])
+            ).toggle_times(0.0, np.random.default_rng(0))
+
+
+class TestSimulateConfiguredRing:
+    def test_matches_analytic_ring_frequency(self, chip, rng):
+        ring = ConfigurableRO(chip=chip, unit_indices=np.arange(5))
+        config = ConfigVector.from_string("11100")
+        simulator = simulate_configured_ring(ring, config)
+        analytic = ring.frequency(config)
+        assert simulator.nominal_frequency == pytest.approx(analytic, rel=1e-12)
+        window = 5e-6
+        measured = simulator.measure_frequency(window, rng)
+        assert abs(measured - analytic) <= 1.0 / (2.0 * window)
+
+    def test_even_configuration_rejected(self, chip):
+        ring = ConfigurableRO(chip=chip, unit_indices=np.arange(4))
+        with pytest.raises(ValueError, match="even"):
+            simulate_configured_ring(ring, ConfigVector.from_string("1100"))
+
+    def test_length_mismatch_rejected(self, chip):
+        ring = ConfigurableRO(chip=chip, unit_indices=np.arange(4))
+        with pytest.raises(ValueError, match="length"):
+            simulate_configured_ring(ring, ConfigVector.from_string("111"))
+
+    def test_bypass_stages_still_contribute_delay(self, chip):
+        ring = ConfigurableRO(chip=chip, unit_indices=np.arange(5))
+        all_on = simulate_configured_ring(ring, ConfigVector.from_string("11111"))
+        one_on = simulate_configured_ring(ring, ConfigVector.from_string("10000"))
+        # Bypassed stages contribute d0 > 0, so the one-inverter ring is
+        # faster but not 5x faster.
+        assert one_on.nominal_frequency > all_on.nominal_frequency
+        assert one_on.nominal_frequency < 5.0 * all_on.nominal_frequency

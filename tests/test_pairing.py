@@ -1,0 +1,114 @@
+"""Unit tests of ring allocation (Table V's carve-up rule)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pairing import RingAllocation, allocate_rings, rings_per_board
+
+
+class TestRingsPerBoard:
+    @pytest.mark.parametrize(
+        "stage_count,expected_rings",
+        [(3, 160), (5, 96), (7, 64), (9, 48)],
+    )
+    def test_paper_table5_ring_counts(self, stage_count, expected_rings):
+        assert rings_per_board(512, stage_count) == expected_rings
+
+    def test_rounds_to_multiple(self):
+        assert rings_per_board(100, 3, multiple=16) == 32
+        assert rings_per_board(100, 3, multiple=2) == 32  # 33 -> 32
+        assert rings_per_board(100, 3, multiple=1) == 33
+
+    def test_zero_when_board_too_small(self):
+        assert rings_per_board(10, 3) == 0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            rings_per_board(-1, 3)
+        with pytest.raises(ValueError):
+            rings_per_board(10, 0)
+        with pytest.raises(ValueError):
+            rings_per_board(10, 3, multiple=0)
+
+    @given(st.integers(0, 4096), st.integers(1, 32))
+    def test_allocation_fits_board(self, units, n):
+        rings = rings_per_board(units, n)
+        assert rings * n <= units
+        assert rings % 16 == 0
+
+
+class TestRingAllocation:
+    def test_counts(self):
+        alloc = RingAllocation(stage_count=5, ring_count=96)
+        assert alloc.unit_count == 480
+        assert alloc.pair_count == 48
+        assert alloc.group_of_8_count == 12
+
+    def test_consecutive_ring_units(self):
+        alloc = RingAllocation(stage_count=3, ring_count=4)
+        assert alloc.ring_units(0).tolist() == [0, 1, 2]
+        assert alloc.ring_units(3).tolist() == [9, 10, 11]
+
+    def test_interleaved_ring_units(self):
+        alloc = RingAllocation(stage_count=3, ring_count=4, layout="interleaved")
+        # pair 0 occupies units 0..5: top even offsets, bottom odd offsets
+        assert alloc.ring_units(0).tolist() == [0, 2, 4]
+        assert alloc.ring_units(1).tolist() == [1, 3, 5]
+        assert alloc.ring_units(2).tolist() == [6, 8, 10]
+        assert alloc.ring_units(3).tolist() == [7, 9, 11]
+
+    def test_layouts_cover_same_units(self):
+        for layout in ("consecutive", "interleaved"):
+            alloc = RingAllocation(stage_count=5, ring_count=8, layout=layout)
+            all_units = np.concatenate(
+                [alloc.ring_units(r) for r in range(alloc.ring_count)]
+            )
+            assert sorted(all_units.tolist()) == list(range(alloc.unit_count))
+
+    def test_pair_rings(self):
+        alloc = RingAllocation(stage_count=3, ring_count=8)
+        assert alloc.pair_rings(0) == (0, 1)
+        assert alloc.pair_rings(3) == (6, 7)
+        with pytest.raises(ValueError):
+            alloc.pair_rings(4)
+
+    def test_group_rings(self):
+        alloc = RingAllocation(stage_count=3, ring_count=16)
+        assert alloc.group_rings(1).tolist() == list(range(8, 16))
+        with pytest.raises(ValueError):
+            alloc.group_rings(2)
+
+    def test_ring_bounds(self):
+        alloc = RingAllocation(stage_count=3, ring_count=2)
+        with pytest.raises(ValueError):
+            alloc.ring_units(2)
+
+    def test_invalid_layout_rejected(self):
+        with pytest.raises(ValueError, match="layout"):
+            RingAllocation(stage_count=3, ring_count=2, layout="diagonal")
+
+    def test_interleaved_needs_even_rings(self):
+        with pytest.raises(ValueError, match="even"):
+            RingAllocation(stage_count=3, ring_count=3, layout="interleaved")
+
+    def test_ring_delay_matrix_consecutive(self):
+        alloc = RingAllocation(stage_count=2, ring_count=2)
+        matrix = alloc.ring_delay_matrix(np.arange(6.0))
+        assert matrix.tolist() == [[0.0, 1.0], [2.0, 3.0]]  # spare unit dropped
+
+    def test_ring_delay_matrix_interleaved(self):
+        alloc = RingAllocation(stage_count=2, ring_count=2, layout="interleaved")
+        matrix = alloc.ring_delay_matrix(np.arange(4.0))
+        assert matrix.tolist() == [[0.0, 2.0], [1.0, 3.0]]
+
+    def test_ring_delay_matrix_too_short(self):
+        alloc = RingAllocation(stage_count=4, ring_count=4)
+        with pytest.raises(ValueError, match="at least"):
+            alloc.ring_delay_matrix(np.arange(10.0))
+
+    def test_allocate_rings_helper(self):
+        alloc = allocate_rings(512, 7, layout="interleaved")
+        assert alloc.ring_count == 64
+        assert alloc.layout == "interleaved"

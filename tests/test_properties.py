@@ -1,0 +1,194 @@
+"""Cross-cutting property tests: invariants that must hold everywhere.
+
+These complement the per-module suites by fuzzing whole pipelines with
+hypothesis-generated inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config_vector import ConfigVector
+from repro.core.pairing import RingAllocation
+from repro.core.puf import BoardROPUF
+from repro.core.selection import select_case1, select_case2, select_traditional
+from repro.core.serialization import enrollment_from_dict, enrollment_to_dict
+from repro.metrics.hamming import pairwise_hamming_distances
+from repro.metrics.reliability import bit_flip_report
+from repro.nist.suite import run_battery
+from repro.variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+
+positive_delays = st.lists(
+    st.floats(0.1, 10.0, allow_nan=False), min_size=2, max_size=10
+)
+
+
+class TestSelectionInvariants:
+    @given(positive_delays, st.integers(0, 2**16))
+    def test_margin_magnitude_ordering(self, alpha_list, seed):
+        """traditional <= case1 <= case2 in |margin| on identical inputs."""
+        alpha = np.array(alpha_list)
+        rng = np.random.default_rng(seed)
+        beta = alpha * rng.uniform(0.9, 1.1, len(alpha))
+        traditional = select_traditional(alpha, beta)
+        case1 = select_case1(alpha, beta)
+        case2 = select_case2(alpha, beta)
+        assert case1.abs_margin >= traditional.abs_margin - 1e-12
+        assert case2.abs_margin >= case1.abs_margin - 1e-12
+
+    @given(positive_delays)
+    def test_selection_invariant_under_pair_swap(self, alpha_list):
+        """Swapping the two rings negates the margin, same |magnitude|."""
+        alpha = np.array(alpha_list)
+        beta = alpha[::-1].copy()
+        forward = select_case2(alpha, beta)
+        backward = select_case2(beta, alpha)
+        assert forward.abs_margin == pytest.approx(backward.abs_margin, rel=1e-9)
+
+    @given(positive_delays, st.floats(0.1, 10.0))
+    def test_case1_scale_equivariance(self, alpha_list, scale):
+        """Scaling all delays scales the margin linearly."""
+        alpha = np.array(alpha_list)
+        beta = alpha * 1.01
+        base = select_case1(alpha, beta)
+        scaled = select_case1(scale * alpha, scale * beta)
+        assert scaled.margin == pytest.approx(scale * base.margin, rel=1e-9)
+        assert scaled.top_config == base.top_config
+
+    @given(positive_delays, st.floats(-1.0, 1.0))
+    def test_case1_shift_invariance_of_config(self, alpha_list, shift):
+        """Adding a constant to both rings' delays changes nothing.
+
+        (The 1.013 scale on beta avoids exact direction ties, where the
+        winner is legitimately arbitrary.)
+        """
+        alpha = np.array(alpha_list)
+        beta = alpha[::-1] * 1.013
+        base = select_case1(alpha, beta)
+        shifted = select_case1(alpha + shift + 2.0, beta + shift + 2.0)
+        assert shifted.top_config == base.top_config
+        assert shifted.margin == pytest.approx(base.margin, rel=1e-9, abs=1e-12)
+
+
+class TestPufInvariants:
+    @settings(max_examples=20)
+    @given(st.integers(0, 2**16), st.integers(2, 5), st.booleans())
+    def test_enrollment_response_fixed_point(self, seed, stage_count, odd):
+        """Responding at the enrollment corner reproduces the bits."""
+        rng = np.random.default_rng(seed)
+        units = stage_count * 8
+        delays = rng.normal(1.0, 0.03, units)
+        allocation = RingAllocation(stage_count=stage_count, ring_count=8)
+        puf = BoardROPUF(
+            delay_provider=lambda op: delays,
+            allocation=allocation,
+            method="case2",
+            require_odd=odd,
+        )
+        enrollment = puf.enroll()
+        response = puf.response(NOMINAL_OPERATING_POINT, enrollment)
+        assert np.array_equal(response, enrollment.bits)
+
+    @settings(max_examples=20)
+    @given(st.integers(0, 2**16))
+    def test_serialization_preserves_response_behaviour(self, seed):
+        rng = np.random.default_rng(seed)
+        delays = rng.normal(1.0, 0.03, 24)
+        allocation = RingAllocation(stage_count=3, ring_count=8)
+        puf = BoardROPUF(
+            delay_provider=lambda op: delays, allocation=allocation
+        )
+        enrollment = puf.enroll()
+        restored = enrollment_from_dict(enrollment_to_dict(enrollment))
+        response = puf.response(NOMINAL_OPERATING_POINT, restored)
+        assert np.array_equal(response, enrollment.bits)
+
+
+class TestMetricsAxioms:
+    @settings(max_examples=25)
+    @given(
+        st.integers(2, 6),
+        st.integers(1, 12),
+        st.integers(0, 2**16),
+    )
+    def test_hamming_triangle_inequality(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, (rows, cols)).astype(bool)
+        # condensed distances satisfy the triangle inequality
+        from itertools import combinations
+
+        pairs = list(combinations(range(rows), 2))
+        distances = dict(zip(pairs, pairwise_hamming_distances(bits)))
+
+        def d(i, j):
+            if i == j:
+                return 0
+            return distances[(min(i, j), max(i, j))]
+
+        for i in range(rows):
+            for j in range(rows):
+                for k in range(rows):
+                    assert d(i, j) <= d(i, k) + d(k, j)
+
+    @settings(max_examples=25)
+    @given(st.integers(1, 32), st.integers(1, 6), st.integers(0, 2**16))
+    def test_flip_percent_bounds(self, bits_count, observations, seed):
+        rng = np.random.default_rng(seed)
+        reference = rng.integers(0, 2, bits_count).astype(bool)
+        observed = rng.integers(0, 2, (observations, bits_count)).astype(bool)
+        report = bit_flip_report(reference, observed)
+        assert 0.0 <= report.flip_percent <= 100.0
+        assert report.mean_intra_hd_percent <= report.flip_percent * observations
+
+
+class TestNistInvariants:
+    @settings(max_examples=15)
+    @given(st.integers(0, 2**16), st.sampled_from([64, 96, 256, 1024]))
+    def test_battery_p_values_in_range(self, seed, length):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, length).astype(bool)
+        outcomes, _ = run_battery(bits)
+        for outcome in outcomes:
+            assert 0.0 <= outcome.p_value <= 1.0
+
+    @settings(max_examples=10)
+    @given(st.integers(0, 2**16))
+    def test_battery_deterministic(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, 96).astype(bool)
+        first, _ = run_battery(bits)
+        second, _ = run_battery(bits)
+        assert [o.p_value for o in first] == [o.p_value for o in second]
+
+
+class TestConfigVectorInvariants:
+    @given(st.lists(st.booleans(), min_size=1, max_size=20))
+    def test_string_round_trip(self, bits):
+        vector = ConfigVector(tuple(bits))
+        assert ConfigVector.from_string(vector.to_string()) == vector
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=20))
+    def test_selected_count_consistency(self, bits):
+        vector = ConfigVector(tuple(bits))
+        assert vector.selected_count == len(vector.selected_indices)
+        assert vector.can_oscillate == (vector.selected_count % 2 == 1)
+
+
+class TestEnvironmentInvariants:
+    @settings(max_examples=25)
+    @given(
+        st.floats(1.0, 1.5),
+        st.floats(1.0, 1.5),
+        st.floats(10.0, 80.0),
+        st.integers(0, 2**16),
+    )
+    def test_voltage_monotone_per_device(self, v1, v2, temperature, seed):
+        from repro.variation.environment import EnvironmentModel
+
+        model = EnvironmentModel()
+        sens = model.sample_sensitivities(5, np.random.default_rng(seed))
+        low, high = sorted((v1, v2))
+        slow = model.scale_factors(sens, OperatingPoint(low, temperature))
+        fast = model.scale_factors(sens, OperatingPoint(high, temperature))
+        assert np.all(slow >= fast - 1e-12)

@@ -1,0 +1,177 @@
+"""Unit and integration tests of the PUF enrollment/response life cycle."""
+
+import numpy as np
+import pytest
+
+from repro.core.pairing import RingAllocation, allocate_rings
+from repro.core.puf import BoardROPUF, ChipROPUF, Enrollment
+from repro.core.selection import select_case1
+from repro.variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+from repro.variation.noise import GaussianNoise, NoiselessMeasurement
+from repro.core.measurement import DelayMeasurer
+
+
+def make_board_puf(data_rng, n_units=60, stage_count=3, method="case1", **kwargs):
+    base = data_rng.normal(1.0, 0.02, n_units)
+    sensitivity = data_rng.normal(0.05, 0.01, n_units)
+
+    def provider(op):
+        # simple linear drift model: slower at low voltage, device-specific
+        return base * (1.0 + sensitivity * (1.20 - op.voltage))
+
+    allocation = RingAllocation(
+        stage_count=stage_count, ring_count=n_units // stage_count // 2 * 2
+    )
+    return BoardROPUF(
+        delay_provider=provider, allocation=allocation, method=method, **kwargs
+    )
+
+
+class TestBoardROPUF:
+    def test_bit_count(self, rng):
+        puf = make_board_puf(rng)
+        assert puf.bit_count == puf.allocation.pair_count
+
+    def test_enroll_shapes(self, rng):
+        puf = make_board_puf(rng)
+        enrollment = puf.enroll()
+        assert enrollment.bit_count == puf.bit_count
+        assert len(enrollment.selections) == puf.bit_count
+        assert enrollment.margins.shape == enrollment.bits.shape
+
+    def test_bits_match_margin_signs(self, rng):
+        puf = make_board_puf(rng)
+        enrollment = puf.enroll()
+        assert np.array_equal(enrollment.bits, enrollment.margins > 0)
+
+    def test_response_at_enrollment_corner_is_reference(self, rng):
+        puf = make_board_puf(rng)
+        enrollment = puf.enroll()
+        response = puf.response(NOMINAL_OPERATING_POINT, enrollment)
+        assert np.array_equal(response, enrollment.bits)
+
+    def test_response_noise_can_flip_marginal_bits(self, rng):
+        noisy = make_board_puf(
+            np.random.default_rng(5),
+            method="traditional",
+            response_noise=GaussianNoise(relative_sigma=0.05),
+            rng=np.random.default_rng(6),
+        )
+        enrollment = noisy.enroll()
+        flips = 0
+        for _ in range(20):
+            response = noisy.response(NOMINAL_OPERATING_POINT, enrollment)
+            flips += int(np.sum(response != enrollment.bits))
+        assert flips > 0  # 5% jitter on ~2% margins must flip something
+
+    def test_unknown_method_rejected(self, rng):
+        with pytest.raises(ValueError, match="unknown method"):
+            make_board_puf(rng, method="quantum")
+
+    def test_configurable_more_stable_than_traditional(self):
+        harsh = OperatingPoint(0.90, 25.0)
+        flips = {}
+        for method in ("case1", "traditional"):
+            puf = make_board_puf(
+                np.random.default_rng(42), n_units=600, stage_count=5,
+                method=method,
+            )
+            enrollment = puf.enroll()
+            response = puf.response(harsh, enrollment)
+            flips[method] = int(np.sum(response != enrollment.bits))
+        assert flips["case1"] <= flips["traditional"]
+
+    def test_require_odd_propagates(self, rng):
+        puf = make_board_puf(rng, method="case1", require_odd=True)
+        enrollment = puf.enroll()
+        for selection in enrollment.selections:
+            assert selection.selected_count % 2 == 1
+
+    def test_reliable_mask(self, rng):
+        puf = make_board_puf(rng)
+        enrollment = puf.enroll()
+        mask = enrollment.reliable_mask(0.0)
+        assert mask.all()
+        huge = enrollment.reliable_mask(1e9)
+        assert not huge.any()
+        with pytest.raises(ValueError):
+            enrollment.reliable_mask(-1.0)
+
+
+class TestEnrollmentValidation:
+    def test_misaligned_arrays_rejected(self):
+        selection = select_case1(np.array([1.0, 2.0]), np.array([2.0, 1.0]))
+        with pytest.raises(ValueError, match="align"):
+            Enrollment(
+                operating_point=NOMINAL_OPERATING_POINT,
+                selections=[selection],
+                bits=np.array([True, False]),
+                margins=np.array([0.1]),
+            )
+
+
+class TestChipROPUF:
+    def test_deploy_uses_whole_chip(self, chip):
+        puf = ChipROPUF.deploy(chip, stage_count=4)
+        assert puf.allocation.unit_count <= chip.unit_count
+        assert puf.bit_count >= 1
+
+    def test_deploy_rejects_oversized_rings(self, chip):
+        with pytest.raises(ValueError, match="cannot host"):
+            ChipROPUF.deploy(chip, stage_count=64)
+
+    def test_allocation_overflow_rejected(self, chip):
+        allocation = RingAllocation(stage_count=16, ring_count=16)
+        with pytest.raises(ValueError, match="units"):
+            ChipROPUF(chip=chip, allocation=allocation)
+
+    def test_unknown_method_rejected(self, chip):
+        with pytest.raises(ValueError, match="unknown method"):
+            ChipROPUF.deploy(chip, stage_count=4, method="magic")
+
+    def test_enroll_and_reproduce_noiseless(self, chip):
+        measurer = DelayMeasurer(noise=NoiselessMeasurement(), repeats=1)
+        puf = ChipROPUF.deploy(chip, stage_count=4, measurer=measurer)
+        enrollment = puf.enroll()
+        response = puf.response(NOMINAL_OPERATING_POINT, enrollment)
+        assert np.array_equal(response, enrollment.bits)
+
+    def test_margins_exceed_traditional(self, chip):
+        measurer = DelayMeasurer(noise=NoiselessMeasurement(), repeats=1)
+        configurable = ChipROPUF.deploy(
+            chip, stage_count=4, method="case1", measurer=measurer
+        )
+        traditional = ChipROPUF.deploy(
+            chip, stage_count=4, method="traditional", measurer=measurer
+        )
+        c_margins = np.abs(configurable.enroll().margins)
+        t_margins = np.abs(traditional.enroll().margins)
+        assert np.mean(c_margins) > np.mean(t_margins)
+
+    def test_voltage_sweep_stability_ordering(self, chip):
+        # Configurable flips at most as many bits as traditional across the
+        # full voltage sweep (margin maximisation is the paper's claim).
+        corners = [OperatingPoint(v, 25.0) for v in (0.98, 1.08, 1.32, 1.44)]
+        flips = {}
+        for method in ("case2", "traditional"):
+            puf = ChipROPUF.deploy(
+                chip,
+                stage_count=4,
+                method=method,
+                measurer=DelayMeasurer(
+                    noise=NoiselessMeasurement(), repeats=1
+                ),
+            )
+            enrollment = puf.enroll()
+            total = 0
+            for corner in corners:
+                response = puf.response(corner, enrollment)
+                total += int(np.sum(response != enrollment.bits))
+            flips[method] = total
+        assert flips["case2"] <= flips["traditional"]
+
+    def test_ring_accessor(self, chip):
+        puf = ChipROPUF.deploy(chip, stage_count=4)
+        ring = puf.ring(0)
+        assert ring.stage_count == 4
+        assert ring.unit_indices.tolist() == [0, 1, 2, 3]

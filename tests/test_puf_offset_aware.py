@@ -1,0 +1,73 @@
+"""Tests of the offset-aware ChipROPUF enrollment path."""
+
+import numpy as np
+import pytest
+
+from repro.core.measurement import DelayMeasurer
+from repro.core.pairing import RingAllocation
+from repro.core.puf import ChipROPUF
+from repro.silicon.fabrication import FabricationProcess
+from repro.variation.environment import NOMINAL_OPERATING_POINT
+from repro.variation.noise import NoiselessMeasurement
+
+
+@pytest.fixture(scope="module")
+def offset_chip():
+    return FabricationProcess().fabricate(
+        168, np.random.default_rng(77), name="offsetchip"
+    )
+
+
+def make_puf(chip, **kwargs):
+    allocation = RingAllocation(
+        stage_count=7, ring_count=24, layout="interleaved"
+    )
+    measurer = DelayMeasurer(noise=NoiselessMeasurement(), repeats=1)
+    return ChipROPUF(
+        chip=chip, allocation=allocation, measurer=measurer, **kwargs
+    )
+
+
+def actual_margins(puf, enrollment):
+    """Physical |chain delay difference| of each configured pair."""
+    values = []
+    for pair, selection in enumerate(enrollment.selections):
+        top_idx, bottom_idx = puf.allocation.pair_rings(pair)
+        top = puf.ring(top_idx).chain_delay(selection.top_config)
+        bottom = puf.ring(bottom_idx).chain_delay(selection.bottom_config)
+        values.append(abs(top - bottom))
+    return np.array(values)
+
+
+class TestOffsetAware:
+    def test_never_worse_than_paper_selector(self, offset_chip):
+        paper = make_puf(offset_chip, method="case2")
+        aware = make_puf(offset_chip, method="case2", offset_aware=True)
+        paper_margins = actual_margins(paper, paper.enroll())
+        aware_margins = actual_margins(aware, aware.enroll())
+        assert np.all(aware_margins >= paper_margins - 1e-15)
+
+    def test_margin_field_matches_physical_margin(self, offset_chip):
+        aware = make_puf(offset_chip, method="case1", offset_aware=True)
+        enrollment = aware.enroll()
+        physical = actual_margins(aware, enrollment)
+        assert np.allclose(np.abs(enrollment.margins), physical, rtol=1e-6)
+
+    def test_bits_match_margin_signs(self, offset_chip):
+        aware = make_puf(offset_chip, method="case2", offset_aware=True)
+        enrollment = aware.enroll()
+        assert np.array_equal(enrollment.bits, enrollment.margins > 0)
+
+    def test_response_reproduces_bits(self, offset_chip):
+        aware = make_puf(offset_chip, method="case2", offset_aware=True)
+        enrollment = aware.enroll()
+        response = aware.response(NOMINAL_OPERATING_POINT, enrollment)
+        assert np.array_equal(response, enrollment.bits)
+
+    def test_incompatible_with_require_odd(self, offset_chip):
+        with pytest.raises(ValueError, match="require_odd"):
+            make_puf(offset_chip, method="case1", offset_aware=True, require_odd=True)
+
+    def test_rejected_for_traditional(self, offset_chip):
+        with pytest.raises(ValueError, match="traditional"):
+            make_puf(offset_chip, method="traditional", offset_aware=True)

@@ -1,0 +1,55 @@
+"""Tests of the reproduction-report builder (on the small dataset)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import ClaimCheck, ReproductionReport, build_report
+
+
+class TestReproductionReport:
+    def test_markdown_structure(self):
+        report = ReproductionReport(
+            sections=[("Sec", "body text")],
+            claims=[
+                ClaimCheck(claim="c1", holds=True, evidence="e1"),
+                ClaimCheck(claim="c2", holds=False, evidence="e2"),
+            ],
+        )
+        text = report.to_markdown()
+        assert "# Reproduction report" in text
+        assert "| PASS | c1 | e1 |" in text
+        assert "| FAIL | c2 | e2 |" in text
+        assert "## Sec" in text and "body text" in text
+
+    def test_all_claims_hold(self):
+        good = ReproductionReport(
+            claims=[ClaimCheck(claim="c", holds=True, evidence="e")]
+        )
+        bad = ReproductionReport(
+            claims=[ClaimCheck(claim="c", holds=False, evidence="e")]
+        )
+        assert good.all_claims_hold
+        assert not bad.all_claims_hold
+
+    def test_save(self, tmp_path):
+        report = ReproductionReport(
+            claims=[ClaimCheck(claim="c", holds=True, evidence="e")]
+        )
+        path = report.save(tmp_path / "report.md")
+        assert path.read_text().startswith("# Reproduction report")
+
+
+@pytest.mark.slow
+class TestBuildReport:
+    def test_builds_on_small_dataset(self, small_dataset):
+        report = build_report(small_dataset)
+        assert len(report.sections) >= 10
+        assert len(report.claims) >= 10
+        text = report.to_markdown()
+        assert "Table V" in text
+        assert "NIST" in text
+        # Table V and the in-house threshold study run at paper scale, so
+        # those claims hold regardless of the small dataset.
+        by_claim = {c.claim: c for c in report.claims}
+        table5 = by_claim["Table V bit counts and the 4x hardware advantage"]
+        assert table5.holds

@@ -1,0 +1,101 @@
+"""Unit tests of delay units and configurable rings."""
+
+import numpy as np
+import pytest
+
+from repro.core.config_vector import ConfigVector
+from repro.core.delay_unit import DelayUnit
+from repro.core.ring import ConfigurableRO
+from repro.variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+
+
+@pytest.fixture()
+def ring(chip):
+    return ConfigurableRO(chip=chip, unit_indices=np.arange(5), name="r0")
+
+
+class TestDelayUnit:
+    def test_delay_by_selection(self, chip):
+        unit = DelayUnit(chip, 0)
+        op = NOMINAL_OPERATING_POINT
+        selected = unit.delay(True, op)
+        bypassed = unit.delay(False, op)
+        assert selected == pytest.approx(
+            unit.inverter_delay(op) + unit.mux_selected_delay(op)
+        )
+        assert bypassed == pytest.approx(unit.mux_bypass_delay(op))
+
+    def test_ddiff_matches_chip(self, chip):
+        unit = DelayUnit(chip, 3)
+        assert unit.ddiff() == pytest.approx(chip.ddiffs()[3])
+
+    def test_index_bounds(self, chip):
+        with pytest.raises(ValueError):
+            DelayUnit(chip, chip.unit_count)
+        with pytest.raises(ValueError):
+            DelayUnit(chip, -1)
+
+
+class TestConfigurableRO:
+    def test_stage_count(self, ring):
+        assert ring.stage_count == 5
+        assert len(ring) == 5
+
+    def test_rejects_duplicate_units(self, chip):
+        with pytest.raises(ValueError, match="twice"):
+            ConfigurableRO(chip=chip, unit_indices=np.array([0, 0, 1]))
+
+    def test_rejects_out_of_range_units(self, chip):
+        with pytest.raises(ValueError, match="out of range"):
+            ConfigurableRO(chip=chip, unit_indices=np.array([0, 1000]))
+
+    def test_rejects_empty(self, chip):
+        with pytest.raises(ValueError):
+            ConfigurableRO(chip=chip, unit_indices=np.array([], dtype=int))
+
+    def test_chain_delay_all_selected(self, ring, chip):
+        config = ConfigVector.all_selected(5)
+        expected = np.sum(chip.selected_path_delays()[:5])
+        assert ring.chain_delay(config) == pytest.approx(expected)
+
+    def test_chain_delay_none_selected(self, ring, chip):
+        config = ConfigVector.none_selected(5)
+        expected = np.sum(chip.mux_bypass_delays()[:5])
+        assert ring.chain_delay(config) == pytest.approx(expected)
+
+    def test_chain_delay_mixed(self, ring, chip):
+        config = ConfigVector.from_string("10110")
+        selected = chip.selected_path_delays()[:5]
+        bypass = chip.mux_bypass_delays()[:5]
+        mask = config.as_array()
+        expected = np.sum(np.where(mask, selected, bypass))
+        assert ring.chain_delay(config) == pytest.approx(expected)
+
+    def test_config_length_mismatch(self, ring):
+        with pytest.raises(ValueError, match="length"):
+            ring.chain_delay(ConfigVector.all_selected(4))
+
+    def test_frequency_requires_odd(self, ring):
+        with pytest.raises(ValueError, match="even"):
+            ring.frequency(ConfigVector.from_string("11000"))
+
+    def test_frequency_value(self, ring):
+        config = ConfigVector.from_string("11100")
+        expected = 1.0 / (2.0 * ring.chain_delay(config))
+        assert ring.frequency(config) == pytest.approx(expected)
+
+    def test_frequency_drops_at_low_voltage(self, ring):
+        config = ConfigVector.all_selected(5)
+        nominal = ring.frequency(config)
+        slow = ring.frequency(config, OperatingPoint(0.98, 25.0))
+        assert slow < nominal
+
+    def test_ddiffs_in_ring_order(self, chip):
+        indices = np.array([7, 2, 9])
+        ring = ConfigurableRO(chip=chip, unit_indices=indices)
+        assert np.allclose(ring.ddiffs(), chip.ddiffs()[indices])
+
+    def test_unit_accessor(self, ring, chip):
+        unit = ring.unit(2)
+        assert unit.index == 2
+        assert unit.chip is chip

@@ -1,0 +1,69 @@
+"""Tests of the JSON experiment runner."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import run_all_experiments, save_results_json
+
+
+@pytest.fixture(scope="module")
+def results(small_dataset):
+    return run_all_experiments(small_dataset)
+
+
+# module-scoped fixture needs the session dataset; re-declare access
+@pytest.fixture(scope="module")
+def small_dataset():
+    from repro.datasets.vtlike import VTLikeConfig, generate_vt_like
+
+    return generate_vt_like(
+        VTLikeConfig(
+            nominal_boards=8,
+            swept_boards=2,
+            ro_count=128,
+            grid_columns=8,
+            grid_rows=16,
+            seed=1234,
+        )
+    )
+
+
+class TestRunner:
+    def test_all_sections_present(self, results):
+        for key in (
+            "table1_nist_case1",
+            "table2_nist_case2",
+            "nist_raw",
+            "fig3_uniqueness",
+            "table3_configs_case1",
+            "table4_configs_case2",
+            "fig4_voltage",
+            "table5_bits",
+            "sec4e_threshold",
+            "ablation_distiller",
+            "ablation_attacks",
+            "ecc_cost",
+        ):
+            assert key in results, key
+
+    def test_table5_always_paper_exact(self, results):
+        for row in results["table5_bits"].values():
+            assert row["matches_paper"]
+
+    def test_qualitative_orderings_hold(self, results):
+        for entry in results["fig4_voltage"].values():
+            if isinstance(entry, dict):
+                assert (
+                    entry["configurable_mean_flip_percent"]
+                    <= entry["traditional_mean_flip_percent"]
+                )
+        attacks = results["ablation_attacks"]
+        assert attacks["unconstrained"]["accuracy"] > 0.9
+        assert attacks["case1"]["accuracy"] < 0.8
+
+    def test_json_round_trip(self, results, small_dataset, tmp_path):
+        path = save_results_json(tmp_path / "results.json", small_dataset)
+        loaded = json.loads(path.read_text())
+        assert loaded["dataset"] == results["dataset"]
+        assert set(loaded) == set(results)

@@ -1,0 +1,137 @@
+"""Tests of the extended selection algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.selection import select_case1, select_case2
+from repro.core.selection_ext import (
+    select_case1_offset,
+    select_case2_offset,
+    select_unconstrained,
+)
+
+delay_vectors = st.integers(1, 8).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.floats(0.5, 1.5), min_size=n, max_size=n),
+        st.lists(st.floats(0.5, 1.5), min_size=n, max_size=n),
+    )
+)
+
+
+class TestUnconstrained:
+    def test_margin_dominates_case2(self, rng):
+        for _ in range(50):
+            n = int(rng.integers(2, 10))
+            alpha = rng.normal(1.0, 0.1, n)
+            beta = rng.normal(1.0, 0.1, n)
+            free = select_unconstrained(alpha, beta)
+            constrained = select_case2(alpha, beta)
+            assert free.abs_margin >= constrained.abs_margin - 1e-12
+
+    def test_counts_are_extreme(self, rng):
+        alpha = rng.normal(1.0, 0.1, 6)
+        beta = rng.normal(1.0, 0.1, 6)
+        selection = select_unconstrained(alpha, beta)
+        counts = {
+            selection.top_config.selected_count,
+            selection.bottom_config.selected_count,
+        }
+        assert counts == {1, 6}
+
+    def test_count_difference_reveals_bit(self, rng):
+        # The leak the paper's constraint prevents: slower ring selects more.
+        for _ in range(100):
+            n = int(rng.integers(2, 10))
+            alpha = rng.normal(1.0, 0.1, n)
+            beta = rng.normal(1.0, 0.1, n)
+            selection = select_unconstrained(alpha, beta)
+            count_difference = (
+                selection.top_config.selected_count
+                - selection.bottom_config.selected_count
+            )
+            assert (count_difference > 0) == selection.bit
+
+    @given(delay_vectors)
+    def test_margin_consistency(self, vectors):
+        alpha, beta = np.array(vectors[0]), np.array(vectors[1])
+        selection = select_unconstrained(alpha, beta)
+        top = selection.top_config.as_array()
+        bottom = selection.bottom_config.as_array()
+        assert selection.margin == pytest.approx(
+            float(np.sum(alpha[top]) - np.sum(beta[bottom])), rel=1e-9
+        )
+
+
+class TestCase1Offset:
+    def test_zero_offset_matches_case1(self, rng):
+        for _ in range(50):
+            n = int(rng.integers(1, 10))
+            alpha = rng.normal(1.0, 0.1, n)
+            beta = rng.normal(1.0, 0.1, n)
+            base = select_case1(alpha, beta)
+            shifted = select_case1_offset(alpha, beta, offset=0.0)
+            assert shifted.abs_margin == pytest.approx(base.abs_margin, rel=1e-9)
+
+    def test_large_offset_dominates_direction(self):
+        alpha = np.array([1.0, 1.0])
+        beta = np.array([0.9, 1.2])  # deltas +0.1, -0.2
+        selection = select_case1_offset(alpha, beta, offset=10.0)
+        # offset >> deltas: choose the direction reinforcing it (+).
+        assert selection.margin == pytest.approx(10.1)
+        assert selection.top_config.to_string() == "10"
+
+    def test_offset_included_in_margin(self, rng):
+        alpha = rng.normal(1.0, 0.1, 5)
+        beta = rng.normal(1.0, 0.1, 5)
+        offset = 0.03
+        selection = select_case1_offset(alpha, beta, offset)
+        mask = selection.top_config.as_array()
+        expected = float(np.sum(alpha[mask]) - np.sum(beta[mask])) + offset
+        assert selection.margin == pytest.approx(expected, rel=1e-9)
+
+    @given(delay_vectors, st.floats(-0.5, 0.5))
+    def test_beats_offset_blind_selection(self, vectors, offset):
+        alpha, beta = np.array(vectors[0]), np.array(vectors[1])
+        blind = select_case1(alpha, beta)
+        blind_actual = abs(blind.margin + offset)
+        aware = select_case1_offset(alpha, beta, offset)
+        assert abs(aware.margin) >= blind_actual - 1e-9
+
+
+class TestCase2Offset:
+    def test_zero_offset_matches_case2(self, rng):
+        for _ in range(50):
+            n = int(rng.integers(1, 10))
+            alpha = rng.normal(1.0, 0.1, n)
+            beta = rng.normal(1.0, 0.1, n)
+            base = select_case2(alpha, beta)
+            shifted = select_case2_offset(alpha, beta, offset=0.0)
+            assert shifted.abs_margin >= base.abs_margin - 1e-9
+
+    def test_equal_counts_preserved(self, rng):
+        alpha = rng.normal(1.0, 0.1, 7)
+        beta = rng.normal(1.0, 0.1, 7)
+        selection = select_case2_offset(alpha, beta, offset=0.02)
+        assert (
+            selection.top_config.selected_count
+            == selection.bottom_config.selected_count
+        )
+
+    @given(delay_vectors, st.floats(-0.5, 0.5))
+    def test_beats_offset_blind_selection(self, vectors, offset):
+        alpha, beta = np.array(vectors[0]), np.array(vectors[1])
+        blind = select_case2(alpha, beta)
+        blind_actual = abs(blind.margin + offset)
+        aware = select_case2_offset(alpha, beta, offset)
+        assert abs(aware.margin) >= blind_actual - 1e-9
+
+    @given(delay_vectors, st.floats(-0.5, 0.5))
+    def test_margin_includes_offset(self, vectors, offset):
+        alpha, beta = np.array(vectors[0]), np.array(vectors[1])
+        selection = select_case2_offset(alpha, beta, offset)
+        top = selection.top_config.as_array()
+        bottom = selection.bottom_config.as_array()
+        expected = float(np.sum(alpha[top]) - np.sum(beta[bottom])) + offset
+        assert selection.margin == pytest.approx(expected, rel=1e-9, abs=1e-12)

@@ -1,0 +1,118 @@
+"""Tests of enrollment / helper-data persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pairing import RingAllocation
+from repro.core.puf import BoardROPUF
+from repro.core.serialization import (
+    enrollment_from_dict,
+    enrollment_to_dict,
+    helper_data_from_dict,
+    helper_data_to_dict,
+    load_enrollment,
+    save_enrollment,
+)
+from repro.crypto.ecc import BCHCode
+from repro.crypto.fuzzy_extractor import FuzzyExtractor
+from repro.variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+
+
+@pytest.fixture()
+def enrollment(rng):
+    delays = rng.normal(1.0, 0.02, 60)
+    allocation = RingAllocation(stage_count=3, ring_count=10)
+    puf = BoardROPUF(
+        delay_provider=lambda op: delays, allocation=allocation, method="case2"
+    )
+    return puf.enroll(OperatingPoint(1.08, 35.0))
+
+
+class TestEnrollmentRoundTrip:
+    def test_dict_round_trip(self, enrollment):
+        record = enrollment_to_dict(enrollment)
+        restored = enrollment_from_dict(record)
+        assert restored.operating_point == enrollment.operating_point
+        assert np.array_equal(restored.bits, enrollment.bits)
+        assert np.allclose(restored.margins, enrollment.margins)
+        for a, b in zip(restored.selections, enrollment.selections):
+            assert a.top_config == b.top_config
+            assert a.bottom_config == b.bottom_config
+            assert a.method == b.method
+
+    def test_file_round_trip(self, enrollment, tmp_path):
+        path = tmp_path / "device.json"
+        save_enrollment(enrollment, path)
+        restored = load_enrollment(path)
+        assert np.array_equal(restored.bits, enrollment.bits)
+
+    def test_json_is_plain(self, enrollment, tmp_path):
+        path = tmp_path / "device.json"
+        save_enrollment(enrollment, path)
+        record = json.loads(path.read_text())
+        assert record["format_version"] == 1
+        assert isinstance(record["selections"][0]["top"], str)
+
+    def test_secretless_serialisation(self, enrollment):
+        record = enrollment_to_dict(enrollment, include_secrets=False)
+        assert "bits" not in record
+        assert "margins" not in record
+        assert "margin" not in record["selections"][0]
+        restored = enrollment_from_dict(record)
+        assert restored.bit_count == enrollment.bit_count
+        assert not restored.bits.any()
+
+    def test_version_check(self, enrollment):
+        record = enrollment_to_dict(enrollment)
+        record["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            enrollment_from_dict(record)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_enrollment(tmp_path / "ghost.json")
+
+    def test_restored_enrollment_drives_responses(self, enrollment, rng, tmp_path):
+        # The whole point: provision once, respond after a "reboot".
+        delays = rng.normal(1.0, 0.02, 60)
+        allocation = RingAllocation(stage_count=3, ring_count=10)
+        puf = BoardROPUF(
+            delay_provider=lambda op: delays, allocation=allocation, method="case2"
+        )
+        original = puf.enroll(NOMINAL_OPERATING_POINT)
+        path = tmp_path / "nvm.json"
+        save_enrollment(original, path)
+        restored = load_enrollment(path)
+        response = puf.response(NOMINAL_OPERATING_POINT, restored)
+        assert np.array_equal(response, original.bits)
+
+
+class TestHelperDataRoundTrip:
+    def test_round_trip(self, rng):
+        extractor = FuzzyExtractor(code=BCHCode(m=4, t=2))
+        response = rng.integers(0, 2, extractor.response_bits).astype(bool)
+        key, helper = extractor.generate(response, rng)
+        record = helper_data_to_dict(helper)
+        restored = helper_data_from_dict(record)
+        assert np.array_equal(restored.offset, helper.offset)
+        assert restored.salt == helper.salt
+        assert extractor.reproduce(response, restored) == key
+
+    def test_json_serialisable(self, rng):
+        extractor = FuzzyExtractor(code=BCHCode(m=4, t=2))
+        response = rng.integers(0, 2, extractor.response_bits).astype(bool)
+        _, helper = extractor.generate(response, rng)
+        text = json.dumps(helper_data_to_dict(helper))
+        restored = helper_data_from_dict(json.loads(text))
+        assert np.array_equal(restored.offset, helper.offset)
+
+    def test_version_check(self, rng):
+        extractor = FuzzyExtractor(code=BCHCode(m=4, t=2))
+        response = rng.integers(0, 2, extractor.response_bits).astype(bool)
+        _, helper = extractor.generate(response, rng)
+        record = helper_data_to_dict(helper)
+        record["format_version"] = 0
+        with pytest.raises(ValueError, match="version"):
+            helper_data_from_dict(record)

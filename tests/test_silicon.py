@@ -1,0 +1,140 @@
+"""Unit tests of the silicon substrate: geometry, chips, fabrication."""
+
+import numpy as np
+import pytest
+
+from repro.silicon.chip import Chip
+from repro.silicon.fabrication import FabricationProcess
+from repro.silicon.geometry import GridPlacement, grid_coordinates
+from repro.variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+
+
+class TestGeometry:
+    def test_coordinates_cover_unit_square(self):
+        coords = grid_coordinates(4, 4)
+        assert coords.min() == -1.0 and coords.max() == 1.0
+        assert coords.shape == (16, 2)
+
+    def test_single_row_centred(self):
+        coords = grid_coordinates(3, 1)
+        assert np.all(coords[:, 1] == 0.0)
+
+    def test_row_major_order(self):
+        coords = grid_coordinates(2, 2)
+        # first two entries share y (first row), x increases
+        assert coords[0, 1] == coords[1, 1]
+        assert coords[0, 0] < coords[1, 0]
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            grid_coordinates(0, 5)
+
+    def test_placement_capacity(self):
+        placement = GridPlacement(columns=4, rows=8)
+        assert placement.capacity == 32
+        assert placement.coordinates(10).shape == (10, 2)
+
+    def test_placement_overflow_rejected(self):
+        with pytest.raises(ValueError, match="cannot place"):
+            GridPlacement(columns=2, rows=2).coordinates(5)
+
+    def test_placement_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            GridPlacement(columns=0, rows=1)
+
+
+class TestFabrication:
+    def test_chip_unit_count(self, chip):
+        assert chip.unit_count == 64
+        assert len(chip) == 64
+
+    def test_chips_differ(self):
+        fab = FabricationProcess()
+        rng = np.random.default_rng(0)
+        a = fab.fabricate(32, rng, name="a")
+        b = fab.fabricate(32, rng, name="b")
+        # Compare relatively; the absolute scale (~5e-10 s) is far below
+        # allclose's default atol.
+        assert np.max(np.abs(a.inverter_base / b.inverter_base - 1.0)) > 1e-3
+
+    def test_same_seed_same_chip(self):
+        fab = FabricationProcess()
+        a = fab.fabricate(32, np.random.default_rng(7))
+        b = fab.fabricate(32, np.random.default_rng(7))
+        assert np.array_equal(a.inverter_base, b.inverter_base)
+        assert np.array_equal(a.mux_bypass_base, b.mux_bypass_base)
+
+    def test_lot_naming(self):
+        fab = FabricationProcess()
+        lot = fab.fabricate_lot(3, 8, np.random.default_rng(1), name_prefix="b")
+        assert [c.name for c in lot] == ["b00", "b01", "b02"]
+
+    def test_mux_delay_ratio_respected(self, chip):
+        ratio = np.mean(chip.mux_bypass_base) / np.mean(chip.inverter_base)
+        assert 0.3 < ratio < 0.5  # default mux_delay_ratio = 0.4
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FabricationProcess(mux_delay_ratio=0.0)
+        with pytest.raises(ValueError):
+            FabricationProcess(mux_variation_scale=-1.0)
+        with pytest.raises(ValueError):
+            FabricationProcess().fabricate(0, np.random.default_rng(0))
+
+
+class TestChip:
+    def test_all_delays_positive(self, chip):
+        for op in (NOMINAL_OPERATING_POINT, OperatingPoint(0.98, 65.0)):
+            assert np.all(chip.inverter_delays(op) > 0)
+            assert np.all(chip.mux_selected_delays(op) > 0)
+            assert np.all(chip.mux_bypass_delays(op) > 0)
+
+    def test_ddiff_definition(self, chip):
+        op = OperatingPoint(1.32, 35.0)
+        expected = (
+            chip.inverter_delays(op)
+            + chip.mux_selected_delays(op)
+            - chip.mux_bypass_delays(op)
+        )
+        assert np.allclose(chip.ddiffs(op), expected)
+
+    def test_low_voltage_slows_chip(self, chip):
+        slow = chip.inverter_delays(OperatingPoint(0.98, 25.0))
+        nominal = chip.inverter_delays(NOMINAL_OPERATING_POINT)
+        assert np.all(slow > nominal)
+
+    def test_subset_preserves_delays(self, chip):
+        indices = np.array([3, 7, 11])
+        sub = chip.subset(indices, name="sub")
+        assert sub.unit_count == 3
+        assert np.array_equal(sub.inverter_base, chip.inverter_base[indices])
+        op = OperatingPoint(1.44, 45.0)
+        assert np.allclose(sub.ddiffs(op), chip.ddiffs(op)[indices])
+
+    def test_validation_rejects_inconsistent_arrays(self, chip):
+        with pytest.raises(ValueError):
+            Chip(
+                name="bad",
+                coords=chip.coords[:10],
+                inverter_base=chip.inverter_base,
+                mux_selected_base=chip.mux_selected_base,
+                mux_bypass_base=chip.mux_bypass_base,
+                inverter_sensitivities=chip.inverter_sensitivities,
+                mux_selected_sensitivities=chip.mux_selected_sensitivities,
+                mux_bypass_sensitivities=chip.mux_bypass_sensitivities,
+            )
+
+    def test_validation_rejects_non_positive_delays(self, chip):
+        bad = chip.inverter_base.copy()
+        bad[0] = 0.0
+        with pytest.raises(ValueError, match="positive"):
+            Chip(
+                name="bad",
+                coords=chip.coords,
+                inverter_base=bad,
+                mux_selected_base=chip.mux_selected_base,
+                mux_bypass_base=chip.mux_bypass_base,
+                inverter_sensitivities=chip.inverter_sensitivities,
+                mux_selected_sensitivities=chip.mux_selected_sensitivities,
+                mux_bypass_sensitivities=chip.mux_bypass_sensitivities,
+            )

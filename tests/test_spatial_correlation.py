@@ -1,0 +1,78 @@
+"""Tests of the spatially-correlated mismatch option."""
+
+import numpy as np
+import pytest
+
+from repro.variation.process import (
+    ProcessParameters,
+    ProcessVariationModel,
+    _correlate_spatially,
+)
+
+
+def grid_coords(k=400):
+    rng = np.random.default_rng(0)
+    return rng.uniform(-1.0, 1.0, (k, 2))
+
+
+class TestCorrelateSpatially:
+    def test_preserves_target_sigma(self, rng):
+        coords = grid_coords()
+        values = rng.normal(0, 0.015, len(coords))
+        smoothed = _correlate_spatially(values, coords, 0.2, 0.015)
+        assert np.std(smoothed) == pytest.approx(0.015, rel=1e-9)
+
+    def test_neighbours_become_correlated(self, rng):
+        coords = grid_coords(800)
+        values = rng.normal(0, 1.0, len(coords))
+        smoothed = _correlate_spatially(values, coords, 0.3, 1.0)
+        # Nearby points (distance < 0.1) should have similar values.
+        diffs = coords[:, None, :] - coords[None, :, :]
+        distances = np.sqrt((diffs**2).sum(axis=2))
+        near = (distances > 0) & (distances < 0.1)
+        pairs = np.argwhere(near)[:2000]
+        products = smoothed[pairs[:, 0]] * smoothed[pairs[:, 1]]
+        correlation = np.mean(products) / np.var(smoothed)
+        assert correlation > 0.5
+
+    def test_long_length_approaches_constant(self, rng):
+        coords = grid_coords(100)
+        values = rng.normal(0, 1.0, 100)
+        smoothed = _correlate_spatially(values, coords, 50.0, 1.0)
+        # Nearly flat before rescaling; after rescaling, the *shape* is
+        # flat: correlation between any two points ~ 1.
+        assert np.corrcoef(smoothed, np.ones_like(smoothed) * smoothed[0])[0, 1] != 0
+
+
+class TestProcessModelCorrelation:
+    def test_zero_length_is_default_path(self, rng):
+        coords = grid_coords(64)
+        model = ProcessVariationModel(ProcessParameters(correlation_length=0.0))
+        field = model.sample_field(rng)
+        delays = model.sample_relative_delays(coords, field, 0.0, rng)
+        assert delays.shape == (64,)
+
+    def test_correlated_delays_smoother(self):
+        coords = grid_coords(400)
+        # order coords by x to measure neighbour similarity along a line
+        order = np.argsort(coords[:, 0] + 1e-3 * coords[:, 1])
+
+        def neighbour_variation(correlation_length, seed=5):
+            model = ProcessVariationModel(
+                ProcessParameters(
+                    sigma_systematic=0.0,
+                    ripple_sigma=0.0,
+                    sigma_board=0.0,
+                    correlation_length=correlation_length,
+                )
+            )
+            rng = np.random.default_rng(seed)
+            field = model.sample_field(rng)
+            delays = model.sample_relative_delays(coords, field, 0.0, rng)
+            return float(np.mean(np.abs(np.diff(delays[order]))))
+
+        assert neighbour_variation(0.3) < neighbour_variation(0.0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessParameters(correlation_length=-0.1)

@@ -1,0 +1,80 @@
+"""Unit tests of the measurement-noise models."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.variation.noise import (
+    GaussianNoise,
+    NoiselessMeasurement,
+    QuantizedGaussianNoise,
+)
+
+
+class TestNoiseless:
+    def test_identity(self, rng):
+        values = np.array([1.0, 2.0, 3.0])
+        observed = NoiselessMeasurement().observe(values, rng)
+        assert np.array_equal(observed, values)
+
+    def test_returns_copy(self, rng):
+        values = np.array([1.0])
+        observed = NoiselessMeasurement().observe(values, rng)
+        observed[0] = 99.0
+        assert values[0] == 1.0
+
+
+class TestGaussianNoise:
+    def test_relative_scale(self, rng):
+        noise = GaussianNoise(relative_sigma=0.01)
+        values = np.full(20000, 100.0)
+        observed = noise.observe(values, rng)
+        assert abs(np.std(observed) - 1.0) < 0.05
+        assert abs(np.mean(observed) - 100.0) < 0.05
+
+    def test_zero_sigma_is_exact(self, rng):
+        observed = GaussianNoise(relative_sigma=0.0).observe(
+            np.array([5.0, 7.0]), rng
+        )
+        assert np.array_equal(observed, [5.0, 7.0])
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(relative_sigma=-0.1)
+
+    def test_averaging_reduces_variance(self, rng):
+        noise = GaussianNoise(relative_sigma=0.01)
+        values = np.full(5000, 100.0)
+        single = noise.observe_averaged(values, rng, repeats=1)
+        averaged = noise.observe_averaged(values, rng, repeats=25)
+        assert np.std(averaged) < np.std(single) / 3.0
+
+    def test_averaging_rejects_zero_repeats(self, rng):
+        with pytest.raises(ValueError):
+            GaussianNoise().observe_averaged(np.ones(2), rng, repeats=0)
+
+    @given(st.integers(1, 9))
+    def test_average_shape_preserved(self, repeats):
+        rng = np.random.default_rng(0)
+        values = np.ones((7,))
+        observed = GaussianNoise().observe_averaged(values, rng, repeats)
+        assert observed.shape == values.shape
+
+
+class TestQuantizedNoise:
+    def test_quantisation_grid(self, rng):
+        noise = QuantizedGaussianNoise(relative_sigma=0.0, resolution=0.5)
+        observed = noise.observe(np.array([1.26, 2.6]), rng)
+        assert observed.tolist() == [1.5, 2.5]
+
+    def test_zero_resolution_disables_quantisation(self, rng):
+        noise = QuantizedGaussianNoise(relative_sigma=0.0, resolution=0.0)
+        observed = noise.observe(np.array([1.234]), rng)
+        assert observed[0] == pytest.approx(1.234)
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            QuantizedGaussianNoise(relative_sigma=-1.0)
+        with pytest.raises(ValueError):
+            QuantizedGaussianNoise(resolution=-1.0)

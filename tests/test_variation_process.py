@@ -1,0 +1,138 @@
+"""Unit tests of the process-variation model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.variation.process import (
+    ProcessParameters,
+    ProcessVariationModel,
+    SpatialField,
+    monomial_exponents,
+    polynomial_design_matrix,
+)
+
+
+class TestMonomialExponents:
+    def test_degree_one(self):
+        assert monomial_exponents(1) == [(1, 0), (0, 1)]
+
+    def test_degree_two_counts(self):
+        exponents = monomial_exponents(2)
+        assert len(exponents) == 5  # x, y, x^2, xy, y^2
+        assert (2, 0) in exponents and (1, 1) in exponents and (0, 2) in exponents
+
+    def test_excludes_constant(self):
+        assert (0, 0) not in monomial_exponents(3)
+
+    def test_rejects_degree_zero(self):
+        with pytest.raises(ValueError):
+            monomial_exponents(0)
+
+    @given(st.integers(1, 6))
+    def test_count_formula(self, degree):
+        # Number of 2-D monomials of total degree 1..d is d(d+3)/2.
+        assert len(monomial_exponents(degree)) == degree * (degree + 3) // 2
+
+
+class TestDesignMatrix:
+    def test_values_at_known_points(self):
+        coords = np.array([[1.0, 2.0]])
+        design = polynomial_design_matrix(coords, 2)
+        # order: x, y, x^2, xy, y^2
+        assert design.tolist() == [[1.0, 2.0, 1.0, 2.0, 4.0]]
+
+    def test_shape(self):
+        coords = np.random.default_rng(0).uniform(-1, 1, (10, 2))
+        assert polynomial_design_matrix(coords, 3).shape == (10, 9)
+
+
+class TestSpatialField:
+    def test_coefficient_count_enforced(self):
+        with pytest.raises(ValueError, match="coefficients"):
+            SpatialField(degree=2, poly_coefficients=np.ones(3))
+
+    def test_pure_linear_field(self):
+        field = SpatialField(degree=1, poly_coefficients=np.array([2.0, -1.0]))
+        coords = np.array([[0.5, 0.5], [-1.0, 1.0]])
+        values = field.evaluate(coords)
+        assert values == pytest.approx([2 * 0.5 - 0.5, -2.0 - 1.0])
+
+    def test_ripple_contributes(self):
+        base = SpatialField(degree=1, poly_coefficients=np.zeros(2))
+        rippled = SpatialField(
+            degree=1,
+            poly_coefficients=np.zeros(2),
+            ripple_amplitude=0.1,
+            ripple_frequency=(1.0, 0.0),
+            ripple_phase=0.0,
+        )
+        coords = np.array([[0.25, 0.0]])
+        assert base.evaluate(coords)[0] == 0.0
+        assert rippled.evaluate(coords)[0] == pytest.approx(0.1 * np.sin(np.pi / 2))
+
+    def test_evaluate_rejects_bad_coords(self):
+        field = SpatialField(degree=1, poly_coefficients=np.zeros(2))
+        with pytest.raises(ValueError, match="shape"):
+            field.evaluate(np.zeros((3, 3)))
+
+
+class TestProcessParameters:
+    def test_rejects_non_positive_nominal(self):
+        with pytest.raises(ValueError):
+            ProcessParameters(nominal_delay=0.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            ProcessParameters(sigma_random=-0.1)
+
+    def test_rejects_degree_below_one(self):
+        with pytest.raises(ValueError):
+            ProcessParameters(field_degree=0)
+
+
+class TestProcessVariationModel:
+    def setup_method(self):
+        self.model = ProcessVariationModel()
+        self.rng = np.random.default_rng(3)
+        self.coords = np.random.default_rng(1).uniform(-1, 1, (4000, 2))
+
+    def test_board_offset_scale(self):
+        offsets = [self.model.sample_board_offset(self.rng) for _ in range(500)]
+        sigma = self.model.parameters.sigma_board
+        assert abs(np.std(offsets) - sigma) < sigma * 0.25
+
+    def test_field_std_matches_sigma_systematic(self):
+        values = []
+        for _ in range(20):
+            field = self.model.sample_field(self.rng)
+            values.append(np.std(field.evaluate(self.coords)))
+        target = self.model.parameters.sigma_systematic
+        assert abs(np.mean(values) - target) < target * 0.5
+
+    def test_delays_positive_and_near_nominal(self):
+        field = self.model.sample_field(self.rng)
+        offset = self.model.sample_board_offset(self.rng)
+        delays = self.model.sample_delays(self.coords, field, offset, self.rng)
+        nominal = self.model.parameters.nominal_delay
+        assert np.all(delays > 0.0)
+        assert abs(np.mean(delays) / nominal - 1.0) < 0.1
+
+    def test_random_component_independent(self):
+        field = self.model.sample_field(self.rng)
+        a = self.model.sample_relative_delays(self.coords, field, 0.0, self.rng)
+        b = self.model.sample_relative_delays(self.coords, field, 0.0, self.rng)
+        residual_a = a - np.mean(a)
+        residual_b = b - np.mean(b)
+        # Shared systematic field correlates samples, but they must differ.
+        assert not np.allclose(residual_a, residual_b)
+
+    def test_zero_random_sigma_gives_pure_field(self):
+        model = ProcessVariationModel(
+            ProcessParameters(sigma_random=0.0, ripple_sigma=0.0)
+        )
+        field = model.sample_field(self.rng)
+        values = model.sample_relative_delays(self.coords, field, 0.1, self.rng)
+        expected = 1.0 + 0.1 + field.evaluate(self.coords)
+        assert np.allclose(values, expected)

@@ -1,0 +1,107 @@
+"""Tests of the Xin-Kaps-Gaj per-stage-variant configurable RO PUF."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.maiti_schaumont import select_best_word
+from repro.baselines.xin_kaps_gaj import (
+    XinKapsGajPUF,
+    select_best_variant_word,
+)
+from repro.variation.environment import NOMINAL_OPERATING_POINT
+
+
+class TestSelectBestVariantWord:
+    def test_reduces_to_maiti_schaumont_with_two_variants(self, rng):
+        for _ in range(30):
+            top = rng.normal(1.0, 0.05, (4, 2))
+            bottom = rng.normal(1.0, 0.05, (4, 2))
+            generalised = select_best_variant_word(top, bottom)
+            special = select_best_word(top, bottom)
+            assert abs(generalised.margin) == pytest.approx(abs(special.margin))
+
+    def test_exhaustive_optimality_small(self, rng):
+        from itertools import product
+
+        top = rng.normal(1.0, 0.05, (3, 4))
+        bottom = rng.normal(1.0, 0.05, (3, 4))
+        fast = select_best_variant_word(top, bottom)
+        best = 0.0
+        idx = np.arange(3)
+        for word in product(range(4), repeat=3):
+            choices = np.array(word)
+            margin = float(
+                np.sum(top[idx, choices]) - np.sum(bottom[idx, choices])
+            )
+            best = max(best, abs(margin))
+        assert abs(fast.margin) == pytest.approx(best)
+
+    def test_configuration_count(self, rng):
+        top = rng.normal(1.0, 0.05, (3, 4))
+        selection = select_best_variant_word(top, top * 1.01)
+        assert selection.configurations == 4**3  # 64; [15]'s 256 is 4 stages
+
+    def test_more_variants_beat_fewer(self, rng):
+        # On the same silicon, exploring 4 variants per stage must achieve
+        # at least the margin of exploring the first 2.
+        for _ in range(30):
+            top = rng.normal(1.0, 0.05, (5, 4))
+            bottom = rng.normal(1.0, 0.05, (5, 4))
+            wide = select_best_variant_word(top, bottom)
+            narrow = select_best_variant_word(top[:, :2], bottom[:, :2])
+            assert abs(wide.margin) >= abs(narrow.margin) - 1e-12
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            select_best_variant_word(np.ones((3, 1)), np.ones((3, 1)))
+        with pytest.raises(ValueError):
+            select_best_variant_word(np.ones((3, 2)), np.ones((4, 2)))
+
+
+class TestXinKapsGajPUF:
+    def test_lifecycle(self, rng):
+        tensor = rng.normal(1.0, 0.05, (5, 2, 3, 4))
+        puf = XinKapsGajPUF(stage_delay_provider=lambda op: tensor)
+        enrollment = puf.enroll()
+        assert enrollment.bit_count == 5
+        response = puf.response(NOMINAL_OPERATING_POINT, enrollment)
+        assert np.array_equal(response, enrollment.bits)
+
+    def test_margins_beat_maiti_schaumont_on_same_units(self, rng):
+        units = rng.normal(1.0, 0.05, 2 * 2 * 3 * 4 * 8)
+        xkg_tensor = XinKapsGajPUF.tensor_from_units(
+            units, stage_count=3, variants_per_stage=4
+        )
+        puf = XinKapsGajPUF(stage_delay_provider=lambda op: xkg_tensor)
+        enrollment = puf.enroll()
+        # Same units regrouped as 6-stage 2-variant (Maiti-Schaumont-like):
+        ms_tensor = XinKapsGajPUF.tensor_from_units(
+            units, stage_count=6, variants_per_stage=2
+        )
+        ms_puf = XinKapsGajPUF(stage_delay_provider=lambda op: ms_tensor)
+        ms_enrollment = ms_puf.enroll()
+        # The wider configuration space yields larger normalised margins
+        # (per selected inverter) on average.
+        xkg_norm = np.mean(np.abs(enrollment.margins)) / 3
+        ms_norm = np.mean(np.abs(ms_enrollment.margins)) / 6
+        assert xkg_norm > ms_norm
+
+    def test_provider_shape_validation(self):
+        puf = XinKapsGajPUF(stage_delay_provider=lambda op: np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            puf.enroll()
+
+    def test_tensor_from_units(self):
+        tensor = XinKapsGajPUF.tensor_from_units(
+            np.arange(48.0), stage_count=3, variants_per_stage=4
+        )
+        assert tensor.shape == (2, 2, 3, 4)
+        assert tensor[0, 0, 0].tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_tensor_validation(self):
+        with pytest.raises(ValueError):
+            XinKapsGajPUF.tensor_from_units(np.arange(5.0), stage_count=3)
+        with pytest.raises(ValueError):
+            XinKapsGajPUF.tensor_from_units(
+                np.arange(48.0), stage_count=3, variants_per_stage=1
+            )
