@@ -59,6 +59,7 @@ from .datasets import (
 from .distiller import PolynomialDistiller
 from .metrics import bit_flip_report, uniqueness_report
 from .nist import evaluate_sequences, run_battery
+from .pipeline import run_pipeline
 from .silicon import Chip, FabricationProcess
 from .variation import (
     NOMINAL_OPERATING_POINT,
@@ -98,6 +99,7 @@ __all__ = [
     "uniqueness_report",
     "evaluate_sequences",
     "run_battery",
+    "run_pipeline",
     "Chip",
     "FabricationProcess",
     "NOMINAL_OPERATING_POINT",

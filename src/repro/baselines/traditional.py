@@ -34,5 +34,5 @@ def traditional_puf(
         response_noise=response_noise
         if response_noise is not None
         else NoiselessMeasurement(),
-        rng=rng if rng is not None else np.random.default_rng(),
+        rng=rng if rng is not None else np.random.default_rng(0),
     )

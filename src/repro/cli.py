@@ -12,7 +12,14 @@ Usage (installed as the ``ropuf`` script, or ``python -m repro``)::
     ropuf table5           # bits per board (Table V)
     ropuf threshold        # R_th sweep (Sec. IV.E)
     ropuf ablations        # A1-A3 ablation studies
-    ropuf all              # everything above
+    ropuf all              # full evaluation as one summary JSON
+
+``ropuf all`` runs the declarative experiment pipeline
+(:mod:`repro.pipeline`) and prints the summary JSON.  It accepts
+``--jobs N`` (parallel worker processes), ``--cache-dir PATH`` (skip tasks
+whose results are already cached for this dataset and repro version),
+``--timings`` (embed per-task wall-time/cache metrics), and ``--tasks a,b``
+(run a subset of the registered tasks).
 """
 
 from __future__ import annotations
@@ -163,6 +170,31 @@ def _cmd_report(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_all(args) -> str:
+    """Run the experiment pipeline; return the summary as pretty JSON."""
+    import json
+
+    from .pipeline import run_pipeline
+
+    tasks = None
+    if getattr(args, "tasks", None):
+        tasks = [name.strip() for name in args.tasks.split(",") if name.strip()]
+    summary = run_pipeline(
+        dataset=_load_dataset(args),
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        tasks=tasks,
+        timings=args.timings,
+    )
+    text = json.dumps(summary, indent=2)
+    output = getattr(args, "output", None)
+    if output:
+        from pathlib import Path
+
+        Path(output).write_text(text)
+    return text
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -176,6 +208,7 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "extensions": _cmd_extensions,
     "report": _cmd_report,
+    "all": _cmd_all,
 }
 
 
@@ -189,7 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
-    for name in list(_COMMANDS) + ["all"]:
+    for name in _COMMANDS:
         sub = subparsers.add_parser(name, help=f"run the {name} experiment")
         sub.add_argument(
             "--raw",
@@ -212,21 +245,34 @@ def build_parser() -> argparse.ArgumentParser:
             default="case1",
             help="configurable selection method (reliability sweeps)",
         )
+        sub.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="parallel worker processes for the pipeline (all command)",
+        )
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            help="directory of the on-disk result cache (all command)",
+        )
+        sub.add_argument(
+            "--timings",
+            action="store_true",
+            help="embed per-task timing/cache metrics in the summary JSON",
+        )
+        sub.add_argument(
+            "--tasks",
+            default=None,
+            help="comma-separated pipeline task subset (all command)",
+        )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "all":
-        for name, command in _COMMANDS.items():
-            if name == "report":
-                continue  # the report re-runs everything; invoke explicitly
-            print(f"==== {name} " + "=" * max(0, 66 - len(name)))
-            print(command(args))
-            print()
-    else:
-        print(_COMMANDS[args.command](args))
+    print(_COMMANDS[args.command](args))
     return 0
 
 

@@ -49,12 +49,18 @@ class DelayMeasurer:
     Attributes:
         noise: measurement-noise model applied to every raw observation.
         repeats: independent observations averaged per measurement.
-        rng: random generator driving the noise.
+        rng: random generator driving the noise.  Seeded by default so
+            default-constructed measurers (and everything built on them,
+            like the Sec. IV.E threshold study) are reproducible run to
+            run and process to process; pass your own generator for an
+            independent noise stream.
     """
 
     noise: MeasurementNoise = field(default_factory=GaussianNoise)
     repeats: int = 5
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
 
     def __post_init__(self) -> None:
         if self.repeats < 1:

@@ -9,6 +9,7 @@ of the Virginia Tech dataset the paper uses.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -83,6 +84,23 @@ class BoardRecord:
         """Per-RO frequencies (Hz), treating each delay as a half-period."""
         return 1.0 / (2.0 * self.delays_at(op))
 
+    def fingerprint(self) -> str:
+        """Content hash of this board's measurements (hex digest).
+
+        Two boards with the same name, coordinates, and per-corner delay
+        values hash identically regardless of how they were constructed —
+        the pipeline's cache keys build on this.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.name.encode())
+        digest.update(np.ascontiguousarray(self.coords, dtype=float).tobytes())
+        for op in self.corners:
+            digest.update(op.label().encode())
+            digest.update(
+                np.ascontiguousarray(self.delays[op], dtype=float).tobytes()
+            )
+        return digest.hexdigest()
+
 
 @dataclass
 class RODataset:
@@ -142,3 +160,19 @@ class RODataset:
     def nominal_delay_matrix(self) -> np.ndarray:
         """(board_count, ro_count) delays at the nominal corner."""
         return np.stack([board.delays_at(self.nominal) for board in self.boards])
+
+    def fingerprint(self) -> str:
+        """Content hash over every board's measurements (hex digest).
+
+        The digest covers the dataset name, the nominal corner, and each
+        board's :meth:`BoardRecord.fingerprint`, so any change to the data
+        — a renamed board, a perturbed delay, a different corner set —
+        yields a different fingerprint.  Used as the dataset component of
+        the pipeline's content-addressed cache keys.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.name.encode())
+        digest.update(self.nominal.label().encode())
+        for board in self.boards:
+            digest.update(board.fingerprint().encode())
+        return digest.hexdigest()

@@ -4,6 +4,12 @@ CI systems and downstream analyses want numbers, not rendered tables.
 :func:`run_all_experiments` executes the full evaluation and returns a
 plain-dict summary (JSON-serialisable) with the key figures of every
 table/figure; :func:`save_results_json` writes it to disk.
+
+Since the pipeline refactor both functions are thin compatibility wrappers
+over :func:`repro.pipeline.run_pipeline` — the declarative task graph that
+also powers ``ropuf all --jobs N --cache-dir PATH``.  Existing callers keep
+working unchanged; new code should call the pipeline directly for parallel
+execution, caching, and timing metrics.
 """
 
 from __future__ import annotations
@@ -11,163 +17,40 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-import numpy as np
-
 from ..datasets.base import RODataset
 
 __all__ = ["run_all_experiments", "save_results_json"]
 
 
-def _nist_summary(result) -> dict:
-    return {
-        "passed": result.passed,
-        "sequences": int(result.streams.shape[0]),
-        "bits_per_sequence": int(result.streams.shape[1]),
-        "rows": [
-            {
-                "test": row.label,
-                "proportion": row.proportion,
-                "uniformity_p": row.uniformity_p,
-                "uniformity_assessable": row.uniformity_assessable,
-                "passed": row.passed,
-            }
-            for row in result.report.rows
-        ],
-    }
+def run_all_experiments(
+    dataset: RODataset | None = None,
+    *,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+) -> dict:
+    """Run the complete evaluation; return a JSON-serialisable summary.
+
+    Args:
+        dataset: measurements to evaluate (default: synthetic VT-shaped).
+        jobs: worker processes (1 = the historical serial behaviour).
+        cache_dir: optional on-disk result cache directory.
+    """
+    from ..pipeline import run_pipeline
+
+    return run_pipeline(dataset=dataset, jobs=jobs, cache_dir=cache_dir)
 
 
-def run_all_experiments(dataset: RODataset | None = None) -> dict:
-    """Run the complete evaluation; return a JSON-serialisable summary."""
-    from . import (
-        ablations,
-        config_tables,
-        extensions,
-        fig3_uniqueness,
-        fig4_reliability,
-        nist_tables,
-        sec4e_threshold,
-        table5_bits,
-    )
-    from .common import dataset_or_default
-
-    dataset = dataset_or_default(dataset)
-    results: dict = {"dataset": dataset.name}
-
-    results["table1_nist_case1"] = _nist_summary(
-        nist_tables.run_nist_experiment(dataset, method="case1")
-    )
-    results["table2_nist_case2"] = _nist_summary(
-        nist_tables.run_nist_experiment(dataset, method="case2")
-    )
-    raw = nist_tables.run_nist_experiment(dataset, method="case1", distilled=False)
-    results["nist_raw"] = _nist_summary(raw)
-
-    uniqueness = fig3_uniqueness.run_uniqueness_experiment(dataset)
-    results["fig3_uniqueness"] = {
-        "case1_mean_hd": uniqueness.case1.mean_distance,
-        "case1_std_hd": uniqueness.case1.std_distance,
-        "case2_mean_hd": uniqueness.case2.mean_distance,
-        "case2_std_hd": uniqueness.case2.std_distance,
-        "collisions": bool(
-            uniqueness.case1.has_collision or uniqueness.case2.has_collision
-        ),
-    }
-
-    stage_count = 15 if dataset.ro_count >= 16 * 2 * 15 else 7
-    for method, key in (("case1", "table3"), ("case2", "table4")):
-        study = config_tables.run_config_study(
-            dataset, method=method, stage_count=stage_count
-        )
-        results[f"{key}_configs_{method}"] = {
-            "vector_count": study.vector_count,
-            "vector_bits": int(study.vectors.shape[1]),
-            "hd_percent": {
-                int(d): float(p)
-                for d, p in zip(study.hd_distances, study.hd_percentages)
-                if p > 0
-            },
-            "duplicate_pairs": study.duplicate_pairs,
-            "odd_hd_pairs": study.odd_hd_pairs,
-            "mean_selected_fraction": study.mean_selected_fraction,
-        }
-
-    from ..core.pairing import rings_per_board
-
-    stage_counts = tuple(
-        n
-        for n in fig4_reliability.FIG4_STAGE_COUNTS
-        if rings_per_board(dataset.ro_count, n) >= 2
-    )
-    voltage = fig4_reliability.run_voltage_reliability(
-        dataset, stage_counts=stage_counts
-    )
-    results["fig4_voltage"] = {
-        f"n={n}": {
-            "configurable_mean_flip_percent": voltage.mean_configurable_flips(n),
-            "traditional_mean_flip_percent": voltage.mean_traditional_flips(n),
-        }
-        for n in stage_counts
-    }
-    results["fig4_voltage"]["one_of_8_max_flip_percent"] = (
-        voltage.max_one_of_8_flips()
-    )
-
-    table5 = table5_bits.run_table5()
-    results["table5_bits"] = {
-        f"n={row.stage_count}": {
-            "configurable": row.configurable_bits,
-            "one_of_8": row.one_of_8_bits,
-            "matches_paper": row.matches_paper(),
-        }
-        for row in table5
-    }
-
-    threshold = sec4e_threshold.run_threshold_study()
-    results["sec4e_threshold"] = {
-        "thresholds": threshold.thresholds_units.tolist(),
-        "traditional": threshold.traditional.tolist(),
-        "configurable": threshold.configurable.tolist(),
-        "unit_picoseconds": threshold.unit_seconds * 1e12,
-    }
-
-    distiller_ablation = ablations.run_distiller_ablation(dataset)
-    results["ablation_distiller"] = {
-        "raw_passed": distiller_ablation.raw_passed,
-        "distilled_passed": distiller_ablation.distilled_passed,
-        "raw_failed_tests": distiller_ablation.raw_failed_tests,
-    }
-
-    leakage = extensions.run_leakage_study(dataset)
-    results["ablation_attacks"] = {
-        result.scheme: {"accuracy": result.accuracy, "chance": result.chance}
-        for result in leakage.results
-    }
-    results["ablation_attacks"]["model_attack_accuracy"] = (
-        leakage.model_attack.accuracy
-    )
-
-    ecc = extensions.run_ecc_cost_study(dataset)
-    results["ecc_cost"] = {
-        requirement.scheme: {
-            "bit_error_rate": requirement.bit_error_rate,
-            "t": requirement.t,
-            "overhead_bits_per_key_bit": requirement.overhead_bits_per_key_bit,
-        }
-        for requirement in ecc.requirements
-    }
-
-    return results
-
-
-def save_results_json(path: str | Path, dataset: RODataset | None = None) -> Path:
+def save_results_json(
+    path: str | Path,
+    dataset: RODataset | None = None,
+    *,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+) -> Path:
     """Run everything and write the summary JSON to ``path``."""
+    from ..pipeline.executor import json_default
+
     path = Path(path)
-    results = run_all_experiments(dataset)
-
-    def encode(value):
-        if isinstance(value, (np.floating, np.integer)):
-            return value.item()
-        raise TypeError(f"not JSON-serialisable: {type(value)}")
-
-    path.write_text(json.dumps(results, indent=2, default=encode))
+    results = run_all_experiments(dataset, jobs=jobs, cache_dir=cache_dir)
+    path.write_text(json.dumps(results, indent=2, default=json_default))
     return path

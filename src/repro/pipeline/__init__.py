@@ -1,0 +1,47 @@
+"""repro.pipeline — declarative, parallel, cached experiment execution.
+
+The package turns the paper's evaluation into a task graph:
+
+* :mod:`~repro.pipeline.registry` — named :class:`TaskSpec` nodes with
+  explicit dataset dependence;
+* :mod:`~repro.pipeline.tasks` — one registered task per paper
+  table/figure (importing it populates the registry);
+* :mod:`~repro.pipeline.cache` — a content-addressed on-disk result cache
+  keyed by (task, dataset fingerprint, repro version);
+* :mod:`~repro.pipeline.timing` — per-task wall-time / process /
+  cache-hit metrics;
+* :mod:`~repro.pipeline.executor` — :func:`run_pipeline`, which fans
+  independent tasks out over worker processes with retry-once and
+  graceful degradation.
+
+See ``docs/pipeline.md`` for the architecture and cache-key scheme.
+"""
+
+from .cache import NO_DATASET_FINGERPRINT, ResultCache
+from .executor import execute_task, run_pipeline
+from .registry import (
+    TaskSpec,
+    all_tasks,
+    get_task,
+    register_task,
+    resolve_tasks,
+    task_names,
+)
+from .timing import PipelineTimings, TaskTiming
+
+from . import tasks as _tasks  # noqa: F401  (register the paper's tasks)
+
+__all__ = [
+    "run_pipeline",
+    "execute_task",
+    "ResultCache",
+    "NO_DATASET_FINGERPRINT",
+    "TaskSpec",
+    "register_task",
+    "get_task",
+    "all_tasks",
+    "task_names",
+    "resolve_tasks",
+    "TaskTiming",
+    "PipelineTimings",
+]

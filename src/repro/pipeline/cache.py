@@ -1,0 +1,87 @@
+"""Content-addressed on-disk result cache for pipeline tasks.
+
+Cache key = sha256 over (scheme tag, task name, dataset fingerprint, repro
+version); the key is both the filename and an integrity check inside the
+file.  A cached entry is trusted only if its embedded metadata matches the
+request exactly — any mismatch, parse error, or I/O failure reads as a
+*miss*, so a corrupted or stale cache can never crash or poison a run; the
+task simply recomputes and overwrites the entry.
+
+Writes are atomic (temp file + ``os.replace``) so parallel runs sharing a
+cache directory never observe half-written entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+__all__ = ["ResultCache", "NO_DATASET_FINGERPRINT"]
+
+#: Fingerprint slot used by tasks that do not consume the dataset.
+NO_DATASET_FINGERPRINT = "no-dataset"
+
+#: Bumped if the cache file layout ever changes incompatibly.
+_SCHEME = "ropuf-cache-v1"
+
+
+def _repro_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+class ResultCache:
+    """A directory of content-addressed task results.
+
+    Args:
+        root: cache directory (created on first store).
+        version: repro version folded into every key; defaults to the
+            installed ``repro.__version__`` and exists as a parameter so
+            tests can simulate version bumps.
+    """
+
+    def __init__(self, root: str | Path, version: str | None = None) -> None:
+        self.root = Path(root)
+        self.version = version if version is not None else _repro_version()
+
+    def key(self, task_name: str, fingerprint: str) -> str:
+        """The content-addressed key (hex digest) for one task result."""
+        material = "\n".join([_SCHEME, task_name, fingerprint, self.version])
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def path(self, task_name: str, fingerprint: str) -> Path:
+        """Where the entry for (task, fingerprint, version) lives on disk."""
+        return self.root / f"{self.key(task_name, fingerprint)}.json"
+
+    def load(self, task_name: str, fingerprint: str):
+        """The cached result, or ``None`` on miss/corruption/mismatch."""
+        path = self.path(task_name, fingerprint)
+        try:
+            payload = json.loads(path.read_text())
+            if (
+                payload["task"] != task_name
+                or payload["fingerprint"] != fingerprint
+                or payload["version"] != self.version
+            ):
+                return None
+            return payload["result"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def store(self, task_name: str, fingerprint: str, result) -> Path:
+        """Atomically persist one task result; returns the entry path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(task_name, fingerprint)
+        payload = {
+            "task": task_name,
+            "fingerprint": fingerprint,
+            "version": self.version,
+            "result": result,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=2))
+        os.replace(tmp, path)
+        return path

@@ -1,0 +1,217 @@
+"""Pipeline executor: run the experiment task graph, in parallel if asked.
+
+The paper's experiments are mutually independent (they share only the
+read-only dataset), so the executor simply fans registered tasks out over a
+``ProcessPoolExecutor`` when ``jobs > 1`` and runs them in-process when
+``jobs == 1``.  Either way each task gets
+
+* **retry-once** semantics — a transient failure is retried before the task
+  is declared failed;
+* **graceful degradation** — a definitively failed task contributes an
+  ``{"error": ...}`` entry to the summary instead of aborting the run;
+* **memoisation** — with a cache directory, results are looked up by
+  content-addressed key (task name + dataset fingerprint + repro version)
+  and recomputed only on a miss.
+
+Results are canonicalised through a JSON round-trip as soon as they are
+computed, so a fresh result, a cache hit, and a result shipped back from a
+worker process are all byte-identical plain-Python structures — the basis
+of the determinism guarantees the test suite locks down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+import numpy as np
+
+from ..datasets.base import RODataset
+from .cache import NO_DATASET_FINGERPRINT, ResultCache
+from .registry import TaskSpec, resolve_tasks
+from .timing import PipelineTimings, TaskTiming
+
+__all__ = ["run_pipeline", "execute_task", "json_default"]
+
+
+def json_default(value):
+    """JSON encoder hook for the numpy types experiments may emit."""
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON-serialisable: {type(value)}")
+
+
+def _canonical(value):
+    """Normalise a task result to plain-Python JSON types."""
+    return json.loads(json.dumps(value, default=json_default))
+
+
+def execute_task(task_name: str, dataset: RODataset | None) -> dict:
+    """Run one task with retry-once; never raises.
+
+    Module-level so worker processes can unpickle it.  Returns a payload
+    with the canonicalised ``result`` (or ``None``), the ``error`` message
+    of the last failed attempt (or ``None``), the attempt count, the
+    worker's PID, and the wall time spent.
+    """
+    import repro.pipeline.tasks  # noqa: F401  (populate the registry in workers)
+
+    from .registry import get_task
+
+    spec = get_task(task_name)
+    started = time.perf_counter()
+    error = None
+    result = None
+    attempts = 0
+    for attempts in (1, 2):
+        try:
+            result = _canonical(spec.run(dataset))
+            error = None
+            break
+        except Exception as exc:  # degrade gracefully, never abort the run
+            error = f"{type(exc).__name__}: {exc}"
+    return {
+        "task": task_name,
+        "result": result,
+        "error": error,
+        "attempts": attempts,
+        "pid": os.getpid(),
+        "wall_seconds": time.perf_counter() - started,
+    }
+
+
+def _task_fingerprint(spec: TaskSpec, dataset_fingerprint: str) -> str:
+    return dataset_fingerprint if spec.uses_dataset else NO_DATASET_FINGERPRINT
+
+
+def run_pipeline(
+    dataset: RODataset | None = None,
+    *,
+    jobs: int = 1,
+    cache_dir=None,
+    tasks=None,
+    timings: bool = False,
+) -> dict:
+    """Run the experiment pipeline; return the JSON-serialisable summary.
+
+    Args:
+        dataset: measurements to evaluate; ``None`` uses the default
+            synthetic VT-shaped dataset (resolved only if a selected task
+            needs it).
+        jobs: worker processes; ``1`` runs everything in-process.
+        cache_dir: directory for the content-addressed result cache, or a
+            :class:`~repro.pipeline.cache.ResultCache`; ``None`` disables
+            caching.
+        tasks: task names to run (default: all registered tasks).
+        timings: include a ``"_pipeline"`` metrics block in the summary.
+
+    Returns:
+        ``{"dataset": <name>, <task>: <result>..., ["_pipeline": ...]}``
+        with tasks in registration order; failed tasks appear as
+        ``{"error": ..., "attempts": ...}`` entries.
+    """
+    from . import tasks as _tasks  # noqa: F401  (populate the registry)
+
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    specs = resolve_tasks(tasks)
+    started = time.perf_counter()
+
+    needs_dataset = any(spec.uses_dataset for spec in specs)
+    if needs_dataset:
+        from ..experiments.common import dataset_or_default
+
+        dataset = dataset_or_default(dataset)
+        dataset_fingerprint = dataset.fingerprint()
+    else:
+        # no selected task reads the dataset: skip default generation and
+        # fingerprinting, but keep an explicitly-passed dataset's identity
+        dataset_fingerprint = NO_DATASET_FINGERPRINT
+
+    if cache_dir is None:
+        cache = None
+    elif isinstance(cache_dir, ResultCache):
+        cache = cache_dir
+    else:
+        cache = ResultCache(cache_dir)
+
+    outcomes: dict[str, TaskTiming] = {}
+    results: dict[str, object] = {}
+    pending: list[TaskSpec] = []
+    for spec in specs:
+        cached = None
+        if cache is not None:
+            cached = cache.load(spec.name, _task_fingerprint(spec, dataset_fingerprint))
+        if cached is not None:
+            results[spec.name] = cached
+            outcomes[spec.name] = TaskTiming(
+                task=spec.name,
+                wall_seconds=0.0,
+                process=os.getpid(),
+                cache_hit=True,
+                attempts=0,
+            )
+        else:
+            pending.append(spec)
+
+    payloads: list[dict] = []
+    if pending and jobs > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(
+                    execute_task,
+                    spec.name,
+                    dataset if spec.uses_dataset else None,
+                ): spec
+                for spec in pending
+            }
+            payloads = [future.result() for future in as_completed(futures)]
+    elif pending:
+        payloads = [
+            execute_task(spec.name, dataset if spec.uses_dataset else None)
+            for spec in pending
+        ]
+
+    by_name = {spec.name: spec for spec in pending}
+    for payload in payloads:
+        name = payload["task"]
+        spec = by_name[name]
+        if payload["error"] is None:
+            results[name] = payload["result"]
+            if cache is not None:
+                cache.store(
+                    name,
+                    _task_fingerprint(spec, dataset_fingerprint),
+                    payload["result"],
+                )
+        else:
+            results[name] = {
+                "error": payload["error"],
+                "attempts": payload["attempts"],
+            }
+        outcomes[name] = TaskTiming(
+            task=name,
+            wall_seconds=payload["wall_seconds"],
+            process=payload["pid"],
+            attempts=payload["attempts"],
+            error=payload["error"],
+        )
+
+    summary: dict = {"dataset": dataset.name if dataset is not None else None}
+    for spec in specs:
+        summary[spec.name] = results[spec.name]
+
+    if timings:
+        metrics = PipelineTimings(
+            jobs=jobs,
+            total_wall_seconds=time.perf_counter() - started,
+            tasks=[outcomes[spec.name] for spec in specs],
+        )
+        summary["_pipeline"] = metrics.as_dict()
+    return summary

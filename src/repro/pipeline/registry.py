@@ -1,0 +1,126 @@
+"""Declarative task registry: the experiment pipeline's task graph.
+
+Each paper experiment registers as a named :class:`TaskSpec` whose runner is
+a plain module-level function (picklable, so the executor can ship it to
+worker processes).  Tasks declare whether they consume the dataset — that
+decides which fingerprint enters their cache key — and registration order is
+preserved so the assembled summary JSON keeps a stable key order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+__all__ = [
+    "TaskSpec",
+    "register_task",
+    "get_task",
+    "all_tasks",
+    "task_names",
+    "resolve_tasks",
+]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One node of the experiment task graph.
+
+    Attributes:
+        name: summary-JSON key and cache-key component, e.g.
+            ``"table1_nist_case1"``.
+        runner: module-level callable computing the task's JSON-serialisable
+            result.  Called with the dataset when ``uses_dataset`` is true,
+            with no arguments otherwise.
+        uses_dataset: whether the result depends on the measurement dataset
+            (false for paper-constant studies like Table V).
+        description: one-line human-readable purpose.
+    """
+
+    name: str
+    runner: Callable
+    uses_dataset: bool = True
+    description: str = ""
+
+    def run(self, dataset):
+        """Execute the task (dataset is ignored by dataset-free tasks)."""
+        if self.uses_dataset:
+            return self.runner(dataset)
+        return self.runner()
+
+
+_REGISTRY: dict[str, TaskSpec] = {}
+
+
+def register_task(
+    name: str,
+    runner: Callable | None = None,
+    *,
+    uses_dataset: bool = True,
+    description: str = "",
+) -> Callable:
+    """Register a task; usable directly or as a decorator.
+
+    Raises:
+        ValueError: if the name is already registered.
+    """
+
+    def _register(fn: Callable) -> Callable:
+        if name in _REGISTRY:
+            raise ValueError(f"task {name!r} is already registered")
+        _REGISTRY[name] = TaskSpec(
+            name=name,
+            runner=fn,
+            uses_dataset=uses_dataset,
+            description=description or (fn.__doc__ or "").strip().split("\n")[0],
+        )
+        return fn
+
+    if runner is not None:
+        return _register(runner)
+    return _register
+
+
+def get_task(name: str) -> TaskSpec:
+    """Look a registered task up by name.
+
+    Raises:
+        KeyError: for unknown names, listing what is available.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pipeline task {name!r}; known tasks: "
+            + ", ".join(sorted(_REGISTRY))
+        ) from None
+
+
+def all_tasks() -> list[TaskSpec]:
+    """Every registered task, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def task_names() -> list[str]:
+    """Registered task names, in registration order."""
+    return list(_REGISTRY)
+
+
+def resolve_tasks(names: Iterable[str] | None = None) -> list[TaskSpec]:
+    """The tasks a pipeline run should execute.
+
+    Args:
+        names: task names to run (any order, duplicates collapsed); ``None``
+            selects every registered task.  Selected tasks always run in
+            registration order so summaries are comparable across runs.
+
+    Raises:
+        KeyError: if any name is unknown.
+    """
+    if names is None:
+        return all_tasks()
+    wanted = set()
+    for name in names:
+        get_task(name)  # validate, raising the helpful KeyError
+        wanted.add(name)
+    return [spec for spec in all_tasks() if spec.name in wanted]

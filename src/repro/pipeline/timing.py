@@ -1,0 +1,76 @@
+"""Timing and metrics layer: what each pipeline task cost.
+
+The executor records one :class:`TaskTiming` per task — wall time, the
+process that ran it, cache-hit status, and attempt count — and aggregates
+them into a :class:`PipelineTimings` block that lands in the summary JSON
+under ``"_pipeline"`` when timings are requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TaskTiming", "PipelineTimings"]
+
+
+@dataclass
+class TaskTiming:
+    """Execution record of one task.
+
+    Attributes:
+        task: task name.
+        wall_seconds: wall-clock time spent computing (≈0 for cache hits).
+        process: PID of the process that produced the result.
+        cache_hit: whether the result came from the on-disk cache.
+        attempts: executions needed (2 means the first attempt failed and
+            the retry succeeded or failed definitively).
+        error: failure message when the task degraded to an error entry.
+    """
+
+    task: str
+    wall_seconds: float
+    process: int
+    cache_hit: bool = False
+    attempts: int = 0
+    error: str | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "wall_seconds": round(self.wall_seconds, 6),
+            "process": self.process,
+            "cache_hit": self.cache_hit,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+
+@dataclass
+class PipelineTimings:
+    """Aggregate metrics of one pipeline run.
+
+    Attributes:
+        jobs: worker processes requested.
+        total_wall_seconds: end-to-end wall time of the run.
+        tasks: per-task records, in summary order.
+    """
+
+    jobs: int
+    total_wall_seconds: float = 0.0
+    tasks: list[TaskTiming] = field(default_factory=list)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for timing in self.tasks if timing.cache_hit)
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for timing in self.tasks if timing.error is not None)
+
+    def as_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "total_wall_seconds": round(self.total_wall_seconds, 6),
+            "cache_hits": self.cache_hits,
+            "failures": self.failures,
+            "tasks": {timing.task: timing.as_dict() for timing in self.tasks},
+        }

@@ -1,5 +1,7 @@
 """Tests of the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -28,6 +30,59 @@ class TestParser:
         assert args.method == "case2"
         args = build_parser().parse_args(["table1", "--raw"])
         assert args.raw is True
+
+    def test_pipeline_flags(self):
+        args = build_parser().parse_args(
+            ["all", "--jobs", "4", "--cache-dir", "/tmp/c", "--timings",
+             "--tasks", "table5_bits,fig3_uniqueness"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.timings is True
+        assert args.tasks == "table5_bits,fig3_uniqueness"
+
+    def test_pipeline_flag_defaults(self):
+        args = build_parser().parse_args(["all"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.timings is False
+        assert args.tasks is None
+
+    def test_jobs_requires_integer(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["all", "--jobs", "many"])
+
+    def test_all_help_text_snapshot(self, capsys):
+        # Snapshot of the option surface of `ropuf all --help`: every flag
+        # with its metavar, independent of argparse's line wrapping.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["all", "--help"])
+        help_text = capsys.readouterr().out
+        options = sorted(
+            {
+                word.rstrip(",]")
+                for word in help_text.replace("[", " ").split()
+                if word.startswith("--")
+            }
+        )
+        assert options == [
+            "--cache-dir",
+            "--data",
+            "--help",
+            "--jobs",
+            "--method",
+            "--output",
+            "--raw",
+            "--tasks",
+            "--timings",
+        ]
+        for phrase in (
+            "parallel worker processes",
+            "on-disk result cache",
+            "timing/cache metrics",
+            "task subset",
+        ):
+            assert phrase in help_text, phrase
 
 
 class TestMain:
@@ -62,3 +117,49 @@ class TestMain:
     def test_data_flag_missing_directory_fails_loudly(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["table3", "--data", str(tmp_path / "nope")])
+
+
+class TestMainAll:
+    """The `all` command drives the pipeline and emits summary JSON.
+
+    Tests stick to dataset-free tasks (table5_bits, sec4e_threshold) so no
+    full synthetic dataset is generated.
+    """
+
+    def test_serial_path_prints_summary_json(self, capsys):
+        assert main(["all", "--tasks", "table5_bits", "--jobs", "1"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["dataset"] is None
+        assert summary["table5_bits"]["n=3"]["configurable"] == 80
+        assert "_pipeline" not in summary
+
+    def test_parallel_path_matches_serial(self, capsys):
+        assert main(["all", "--tasks", "table5_bits", "--jobs", "1"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["all", "--tasks", "table5_bits", "--jobs", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial == parallel
+
+    def test_timings_and_cache_flags(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["all", "--tasks", "table5_bits", "--cache-dir", cache_dir,
+                "--timings"]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["_pipeline"]["cache_hits"] == 0
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["_pipeline"]["cache_hits"] == 1
+        assert warm["table5_bits"] == cold["table5_bits"]
+
+    def test_output_flag_writes_file(self, capsys, tmp_path):
+        out = tmp_path / "summary.json"
+        assert main(
+            ["all", "--tasks", "table5_bits", "--output", str(out)]
+        ) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert json.loads(out.read_text()) == printed
+
+    def test_unknown_task_fails_loudly(self):
+        with pytest.raises(KeyError, match="unknown pipeline task"):
+            main(["all", "--tasks", "not_a_task"])

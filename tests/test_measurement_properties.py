@@ -1,0 +1,145 @@
+"""Hypothesis property tests for the Sec. III.B measurement schemes.
+
+On noiseless measurements the chain delay is *exactly* affine in the
+configuration vector, so every identification scheme must agree: the
+least-squares estimator over any full-rank configuration set recovers the
+same per-unit ddiffs as the leave-one-out closed form, which in turn equals
+the ring's true ddiffs — for random stage counts, random configuration
+sets, and random silicon.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config_vector import ConfigVector
+from repro.core.measurement import (
+    DelayMeasurer,
+    leave_one_out_vectors,
+    measure_ddiffs_least_squares,
+    measure_ddiffs_leave_one_out,
+    random_config_set,
+    three_stage_ddiffs,
+)
+from repro.core.ring import ConfigurableRO
+from repro.silicon.fabrication import FabricationProcess
+from repro.variation.noise import NoiselessMeasurement
+
+#: ddiffs are ~1e-10 s; compare schemes at float64 relative precision.
+RTOL = 1e-9
+
+
+def _ring(stage_count: int, seed: int) -> ConfigurableRO:
+    chip = FabricationProcess().fabricate(
+        stage_count, np.random.default_rng(seed), name=f"prop{seed}"
+    )
+    return ConfigurableRO(chip=chip, unit_indices=np.arange(stage_count))
+
+
+def _noiseless_measurer() -> DelayMeasurer:
+    return DelayMeasurer(noise=NoiselessMeasurement(), repeats=1)
+
+
+class TestNoiselessSchemeAgreement:
+    @given(
+        stage_count=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_leave_one_out_recovers_true_ddiffs(self, stage_count, seed):
+        ring = _ring(stage_count, seed)
+        estimate = measure_ddiffs_leave_one_out(_noiseless_measurer(), ring)
+        np.testing.assert_allclose(estimate.ddiffs, ring.ddiffs(), rtol=RTOL)
+
+    @given(
+        stage_count=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_least_squares_on_loo_vectors_matches_closed_form(
+        self, stage_count, seed
+    ):
+        ring = _ring(stage_count, seed)
+        configs = leave_one_out_vectors(stage_count)
+        loo = measure_ddiffs_leave_one_out(_noiseless_measurer(), ring)
+        ls = measure_ddiffs_least_squares(_noiseless_measurer(), ring, configs)
+        np.testing.assert_allclose(ls.ddiffs, loo.ddiffs, rtol=RTOL)
+        assert ls.residual_rms <= RTOL * float(np.max(ls.measurements))
+
+    @settings(max_examples=25)
+    @given(
+        stage_count=st.integers(min_value=2, max_value=8),
+        extra=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        config_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_least_squares_on_random_config_sets_matches_closed_form(
+        self, stage_count, extra, seed, config_seed
+    ):
+        ring = _ring(stage_count, seed)
+        count = min(stage_count + 1 + extra, 2**stage_count)
+        if count < stage_count + 1:
+            return  # tiny rings cannot host the requested set
+        configs = random_config_set(
+            stage_count, count, np.random.default_rng(config_seed)
+        )
+        loo = measure_ddiffs_leave_one_out(_noiseless_measurer(), ring)
+        ls = measure_ddiffs_least_squares(_noiseless_measurer(), ring, configs)
+        np.testing.assert_allclose(ls.ddiffs, loo.ddiffs, rtol=RTOL)
+
+    @given(
+        stage_count=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_least_squares_intercept_is_bypass_sum(self, stage_count, seed):
+        ring = _ring(stage_count, seed)
+        configs = leave_one_out_vectors(stage_count)
+        ls = measure_ddiffs_least_squares(_noiseless_measurer(), ring, configs)
+        np.testing.assert_allclose(
+            ls.intercept, float(np.sum(ring.bypass_delays())), rtol=RTOL
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_three_stage_closed_form_consistency(self, seed):
+        # The paper's X/Y/Z formulas invert exactly when applied to chain
+        # delays built from the idealisation they assume (no bypass delay):
+        # X = dd1 + dd2, Y = dd1 + dd3, Z = dd2 + dd3.
+        rng = np.random.default_rng(seed)
+        dd = rng.uniform(1e-11, 1e-9, size=3)
+        x, y, z = dd[0] + dd[1], dd[0] + dd[2], dd[1] + dd[2]
+        np.testing.assert_allclose(
+            three_stage_ddiffs(x, y, z), dd, rtol=RTOL
+        )
+
+    @given(
+        stage_count=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_measurement_is_config_order_invariant(self, stage_count, seed):
+        # Chain delay is a sum over stages: permuting which configuration
+        # is measured first cannot change any estimate on noiseless data.
+        ring = _ring(stage_count, seed)
+        configs = leave_one_out_vectors(stage_count)
+        ls = measure_ddiffs_least_squares(_noiseless_measurer(), ring, configs)
+        reversed_ls = measure_ddiffs_least_squares(
+            _noiseless_measurer(), ring, list(reversed(configs))
+        )
+        np.testing.assert_allclose(reversed_ls.ddiffs, ls.ddiffs, rtol=RTOL)
+
+
+class TestMeasurerDeterminism:
+    def test_default_measurer_is_seeded(self):
+        # The determinism guarantee of the pipeline rests on this: two
+        # default-constructed measurers produce identical noisy readings.
+        ring = _ring(5, seed=3)
+        config = ConfigVector.all_selected(5)
+        first = DelayMeasurer().chain_delay(ring, config)
+        second = DelayMeasurer().chain_delay(ring, config)
+        assert first == second
+
+    def test_explicit_rng_gives_independent_stream(self):
+        ring = _ring(5, seed=3)
+        config = ConfigVector.all_selected(5)
+        default = DelayMeasurer().chain_delay(ring, config)
+        other = DelayMeasurer(rng=np.random.default_rng(123)).chain_delay(
+            ring, config
+        )
+        assert default != other

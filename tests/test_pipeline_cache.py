@@ -1,0 +1,143 @@
+"""Cache round-trip tests: hits, fingerprint/version misses, corruption."""
+
+import json
+
+import pytest
+
+from repro.pipeline import NO_DATASET_FINGERPRINT, ResultCache, run_pipeline
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache", version="1.0.0")
+
+
+class TestResultCache:
+    def test_round_trip(self, cache):
+        result = {"value": 1.5, "nested": {"ok": True}}
+        cache.store("mytask", "fp", result)
+        assert cache.load("mytask", "fp") == result
+
+    def test_miss_on_empty_cache(self, cache):
+        assert cache.load("mytask", "fp") is None
+
+    def test_miss_on_different_fingerprint(self, cache):
+        cache.store("mytask", "fp-a", {"v": 1})
+        assert cache.load("mytask", "fp-b") is None
+
+    def test_miss_on_different_task(self, cache):
+        cache.store("task-a", "fp", {"v": 1})
+        assert cache.load("task-b", "fp") is None
+
+    def test_miss_after_version_change(self, cache):
+        cache.store("mytask", "fp", {"v": 1})
+        bumped = ResultCache(cache.root, version="2.0.0")
+        assert bumped.load("mytask", "fp") is None
+        # and the old version still hits
+        assert cache.load("mytask", "fp") == {"v": 1}
+
+    def test_key_is_content_addressed(self, cache):
+        key = cache.key("mytask", "fp")
+        assert len(key) == 64 and int(key, 16) >= 0
+        assert key != cache.key("mytask", "fp2")
+        assert key != ResultCache(cache.root, version="2.0.0").key("mytask", "fp")
+
+    def test_corrupted_file_reads_as_miss(self, cache):
+        path = cache.store("mytask", "fp", {"v": 1})
+        path.write_text("{this is not json")
+        assert cache.load("mytask", "fp") is None
+
+    def test_tampered_metadata_reads_as_miss(self, cache):
+        path = cache.store("mytask", "fp", {"v": 1})
+        payload = json.loads(path.read_text())
+        payload["fingerprint"] = "someone-elses-data"
+        path.write_text(json.dumps(payload))
+        assert cache.load("mytask", "fp") is None
+
+    def test_store_overwrites_atomically(self, cache):
+        cache.store("mytask", "fp", {"v": 1})
+        cache.store("mytask", "fp", {"v": 2})
+        assert cache.load("mytask", "fp") == {"v": 2}
+        # no temp files left behind
+        assert not list(cache.root.glob("*.tmp.*"))
+
+
+class TestPipelineCaching:
+    TASKS = ["table5_bits", "sec4e_threshold"]
+
+    def test_warm_run_hits_every_task(self, tmp_path):
+        cold = run_pipeline(tasks=self.TASKS, cache_dir=tmp_path, timings=True)
+        warm = run_pipeline(tasks=self.TASKS, cache_dir=tmp_path, timings=True)
+        assert cold["_pipeline"]["cache_hits"] == 0
+        assert warm["_pipeline"]["cache_hits"] == len(self.TASKS)
+        for record in warm["_pipeline"]["tasks"].values():
+            assert record["cache_hit"] is True
+        strip = lambda s: {k: v for k, v in s.items() if k != "_pipeline"}
+        assert json.dumps(strip(cold), sort_keys=True) == json.dumps(
+            strip(warm), sort_keys=True
+        )
+
+    def test_dataset_change_misses(self, tmp_path, small_dataset):
+        from repro.datasets.vtlike import VTLikeConfig, generate_vt_like
+
+        other = generate_vt_like(
+            VTLikeConfig(
+                nominal_boards=4,
+                swept_boards=1,
+                ro_count=64,
+                grid_columns=8,
+                grid_rows=8,
+                seed=77,
+            )
+        )
+        run_pipeline(small_dataset, tasks=["fig3_uniqueness"], cache_dir=tmp_path)
+        miss = run_pipeline(
+            other, tasks=["fig3_uniqueness"], cache_dir=tmp_path, timings=True
+        )
+        assert miss["_pipeline"]["cache_hits"] == 0
+        # dataset-free tasks hit regardless of the dataset in use
+        run_pipeline(small_dataset, tasks=["table5_bits"], cache_dir=tmp_path)
+        shared = run_pipeline(
+            other, tasks=["table5_bits"], cache_dir=tmp_path, timings=True
+        )
+        assert shared["_pipeline"]["cache_hits"] == 1
+
+    def test_version_bump_misses_then_recomputes(self, tmp_path):
+        old = ResultCache(tmp_path, version="0.9.0")
+        run_pipeline(tasks=["table5_bits"], cache_dir=old)
+        current = run_pipeline(
+            tasks=["table5_bits"], cache_dir=ResultCache(tmp_path), timings=True
+        )
+        assert current["_pipeline"]["cache_hits"] == 0
+        assert current["table5_bits"]["n=3"]["configurable"] == 80
+
+    def test_corrupted_entry_falls_back_to_recompute(self, tmp_path):
+        first = run_pipeline(tasks=["table5_bits"], cache_dir=tmp_path)
+        cache = ResultCache(tmp_path)
+        path = cache.path("table5_bits", NO_DATASET_FINGERPRINT)
+        assert path.is_file()
+        path.write_text("\x00garbage")
+        second = run_pipeline(
+            tasks=["table5_bits"], cache_dir=tmp_path, timings=True
+        )
+        assert second["_pipeline"]["cache_hits"] == 0
+        assert second["table5_bits"] == first["table5_bits"]
+        # the recompute healed the cache entry
+        third = run_pipeline(
+            tasks=["table5_bits"], cache_dir=tmp_path, timings=True
+        )
+        assert third["_pipeline"]["cache_hits"] == 1
+
+    def test_failed_tasks_are_not_cached(self, tmp_path):
+        from repro.pipeline.registry import _REGISTRY, register_task
+
+        def explode():
+            raise RuntimeError("no")
+
+        register_task("cache_fail_probe", explode, uses_dataset=False)
+        try:
+            run_pipeline(tasks=["cache_fail_probe"], cache_dir=tmp_path)
+            cache = ResultCache(tmp_path)
+            assert cache.load("cache_fail_probe", NO_DATASET_FINGERPRINT) is None
+        finally:
+            _REGISTRY.pop("cache_fail_probe", None)
