@@ -16,7 +16,6 @@ The demo enrolls a fleet from the synthetic dataset, then authenticates
 Run:  python examples/authentication.py
 """
 
-import numpy as np
 
 from repro import Authenticator, allocate_rings
 from repro.core.puf import BoardROPUF

@@ -45,7 +45,7 @@ def main() -> None:
     distiller = PolynomialDistiller(degree=2)
     distilled = distiller(delays, board.coords)
     print(
-        f"\nafter the degree-2 regression distiller "
+        "\nafter the degree-2 regression distiller "
         f"(spread {np.std(distilled) / np.mean(distilled) * 100:.1f}%):"
     )
     print(board_heatmap(distilled, board.coords))
@@ -53,11 +53,11 @@ def main() -> None:
     matrix = dataset.nominal_delay_matrix()
     board_means = matrix.mean(axis=1)
     print(
-        f"\npopulation: board-mean spread "
+        "\npopulation: board-mean spread "
         f"{np.std(board_means) / np.mean(board_means) * 100:.2f}% "
-        f"(process model: ~1%); within-board spread "
+        "(process model: ~1%); within-board spread "
         f"{np.mean(matrix.std(axis=1) / matrix.mean(axis=1)) * 100:.2f}% "
-        f"(systematic + random: ~2.5%)"
+        "(systematic + random: ~2.5%)"
     )
 
 

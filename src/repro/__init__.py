@@ -35,6 +35,7 @@ Quickstart::
 
 from .baselines import OneOutOfEightPUF, traditional_puf
 from .core import (
+    BatchEvaluator,
     BoardROPUF,
     ChipROPUF,
     ConfigVector,
@@ -73,6 +74,7 @@ __version__ = "1.0.0"
 __all__ = [
     "OneOutOfEightPUF",
     "traditional_puf",
+    "BatchEvaluator",
     "BoardROPUF",
     "ChipROPUF",
     "ConfigVector",

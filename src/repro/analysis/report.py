@@ -234,7 +234,7 @@ def build_report(dataset=None) -> ReproductionReport:
             claim="under temperature variation only the traditional PUF flips",
             holds=only_traditional,
             evidence=(
-                f"configurable 0%, traditional mean "
+                "configurable 0%, traditional mean "
                 f"{temperature.mean_traditional_flips(3):.2f}% at n=3"
             ),
         )

@@ -10,9 +10,19 @@ Public surface:
   reference;
 * :class:`RingAllocation` — Table V's carve-up of a board into rings;
 * :class:`BoardROPUF` / :class:`ChipROPUF` — enrollment and response
-  generation.
+  generation;
+* :class:`BatchEvaluator` — the vectorized batch response engine behind
+  ``response``/``response_sweep`` (compiled selection masks, einsum row
+  sums, one noise draw per sweep shape).
 """
 
+from .batch import (
+    SWEEP_DRAW_ORDER,
+    BatchEvaluator,
+    CompiledEnrollment,
+    compile_enrollment,
+    response_loop_reference,
+)
 from .config_vector import ConfigVector
 from .delay_unit import DelayUnit
 from .multicorner import (
@@ -46,6 +56,11 @@ from .selection_ext import (
 )
 
 __all__ = [
+    "SWEEP_DRAW_ORDER",
+    "BatchEvaluator",
+    "CompiledEnrollment",
+    "compile_enrollment",
+    "response_loop_reference",
     "ConfigVector",
     "DelayUnit",
     "ConfigurableRO",

@@ -1,0 +1,299 @@
+"""Vectorized batch response engine: the hot path behind the Fig. 4/5 sweeps.
+
+``BoardROPUF.response`` historically re-walked a per-pair Python loop for
+every operating point — two fancy-indexed ``np.sum`` calls per pair — and the
+reliability experiments (Sec. IV.D) stacked those calls once per test
+corner.  This module compiles an :class:`~repro.core.puf.Enrollment` into
+dense ``(pair_count, stage_count)`` boolean selection-mask matrices *once*,
+then evaluates every response bit as a masked row-sum (``einsum``), so a
+whole operating-point sweep costs a handful of array operations instead of
+``pairs x corners`` Python iterations.
+
+Equivalence and draw-order contract
+-----------------------------------
+
+* :meth:`BatchEvaluator.response` and :meth:`BatchEvaluator.response_voted`
+  make exactly the noise ``observe`` calls of the historical loop path —
+  top delays ``(pair_count,)`` then bottom delays, once per evaluation — so
+  seeded runs remain byte-identical with the pre-batch releases.  The
+  ``BoardROPUF`` per-call API is now a thin wrapper over these methods.
+* The sweep APIs (:meth:`BatchEvaluator.response_sweep`,
+  :meth:`BatchEvaluator.response_voted_sweep`) draw **one noise tensor per
+  sweep shape**: top ``(op_count, pair_count)`` then bottom (with a leading
+  ``votes`` axis for voting).  That is an explicitly versioned draw order —
+  :data:`SWEEP_DRAW_ORDER` — and intentionally differs from looping the
+  single-op API, which would interleave top/bottom draws per corner.
+* With :class:`~repro.variation.noise.NoiselessMeasurement` (the
+  experiments' configuration) no randomness is involved and sweep rows equal
+  the single-op responses exactly.
+
+``response_loop_reference`` preserves the original per-pair loop verbatim;
+the equivalence tests and the ``test_bench_batch_engine`` micro-benchmark
+pin the vectorized engine against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..variation.environment import OperatingPoint
+from ..variation.noise import MeasurementNoise, NoiselessMeasurement
+from .pairing import RingAllocation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .puf import BoardROPUF, Enrollment
+
+__all__ = [
+    "SWEEP_DRAW_ORDER",
+    "CompiledEnrollment",
+    "BatchEvaluator",
+    "compile_enrollment",
+    "response_loop_reference",
+]
+
+#: Version tag of the sweep APIs' noise draw order (see module docstring).
+SWEEP_DRAW_ORDER = "sweep-v1"
+
+
+@dataclass
+class CompiledEnrollment:
+    """An :class:`Enrollment` lowered to dense selection-mask matrices.
+
+    Attributes:
+        stage_count: units per ring (mask row width).
+        top_rings: ring index of each pair's top ring, shape ``(pair_count,)``.
+        bottom_rings: ring index of each pair's bottom ring.
+        top_masks: float 0/1 matrix ``(pair_count, stage_count)``; row ``p``
+            is pair ``p``'s top configuration vector.
+        bottom_masks: same for the bottom configurations.
+        reference_bits: the enrollment's reference response bits.
+    """
+
+    stage_count: int
+    top_rings: np.ndarray
+    bottom_rings: np.ndarray
+    top_masks: np.ndarray
+    bottom_masks: np.ndarray
+    reference_bits: np.ndarray
+
+    @property
+    def pair_count(self) -> int:
+        """Number of RO pairs (= response bits) in the compiled enrollment."""
+        return len(self.top_rings)
+
+
+def compile_enrollment(
+    enrollment: "Enrollment", allocation: RingAllocation
+) -> CompiledEnrollment:
+    """Lower an enrollment's per-pair selections into dense mask matrices.
+
+    Raises:
+        ValueError: when the enrollment does not fit the allocation (pair
+            count or stage count mismatch).
+    """
+    selections = enrollment.selections
+    if len(selections) != allocation.pair_count:
+        raise ValueError(
+            f"enrollment has {len(selections)} pairs but the allocation "
+            f"provides {allocation.pair_count}"
+        )
+    for pair, selection in enumerate(selections):
+        if len(selection.top_config) != allocation.stage_count:
+            raise ValueError(
+                f"pair {pair} configures {len(selection.top_config)} stages "
+                f"but the allocation's rings have {allocation.stage_count}"
+            )
+    ring_pairs = np.array(
+        [allocation.pair_rings(pair) for pair in range(allocation.pair_count)],
+        dtype=int,
+    ).reshape(allocation.pair_count, 2)
+    top_masks = np.stack(
+        [selection.top_config.as_array() for selection in selections]
+    ).astype(float)
+    bottom_masks = np.stack(
+        [selection.bottom_config.as_array() for selection in selections]
+    ).astype(float)
+    return CompiledEnrollment(
+        stage_count=allocation.stage_count,
+        top_rings=ring_pairs[:, 0],
+        bottom_rings=ring_pairs[:, 1],
+        top_masks=top_masks,
+        bottom_masks=bottom_masks,
+        reference_bits=np.asarray(enrollment.bits, dtype=bool).copy(),
+    )
+
+
+@dataclass
+class BatchEvaluator:
+    """Vectorized response generation for one (PUF, enrollment) binding.
+
+    Build one via :meth:`BoardROPUF.batch` (or :meth:`from_puf`), then call
+    the single-op methods for byte-identical drop-in evaluation or the sweep
+    methods to evaluate many operating points (and vote rounds) in one pass.
+
+    Attributes:
+        delay_provider: maps an operating point to per-unit delays.
+        allocation: the PUF's ring carve-up.
+        compiled: dense selection masks (shared, cached on the enrollment).
+        response_noise: noise model applied to ring-delay sums.
+        rng: generator driving the response noise.
+    """
+
+    delay_provider: Callable[[OperatingPoint], np.ndarray]
+    allocation: RingAllocation
+    compiled: CompiledEnrollment
+    response_noise: MeasurementNoise = field(default_factory=NoiselessMeasurement)
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    @classmethod
+    def from_puf(cls, puf: "BoardROPUF", enrollment: "Enrollment") -> "BatchEvaluator":
+        """Bind a board PUF and one of its enrollments (masks cached)."""
+        return cls(
+            delay_provider=puf.delay_provider,
+            allocation=puf.allocation,
+            compiled=enrollment.compiled(puf.allocation),
+            response_noise=puf.response_noise,
+            rng=puf.rng,
+        )
+
+    @property
+    def bit_count(self) -> int:
+        """Response bits per evaluation (one per ring pair)."""
+        return self.compiled.pair_count
+
+    # ------------------------------------------------------------------
+    # Delay evaluation
+    # ------------------------------------------------------------------
+
+    def _ring_delays(self, op: OperatingPoint) -> np.ndarray:
+        unit_delays = np.asarray(self.delay_provider(op), dtype=float)
+        return self.allocation.ring_delay_matrix(unit_delays)
+
+    def pair_delays(self, op: OperatingPoint) -> tuple[np.ndarray, np.ndarray]:
+        """(top, bottom) configured-ring delay sums, each ``(pair_count,)``."""
+        rings = self._ring_delays(op)
+        compiled = self.compiled
+        top = np.einsum("ps,ps->p", rings[compiled.top_rings], compiled.top_masks)
+        bottom = np.einsum(
+            "ps,ps->p", rings[compiled.bottom_rings], compiled.bottom_masks
+        )
+        return top, bottom
+
+    def sweep_delays(
+        self, ops: Sequence[OperatingPoint] | Iterable[OperatingPoint]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(top, bottom) delay sums over a sweep, each ``(op_count, pair_count)``."""
+        ops = list(ops)
+        if not ops:
+            raise ValueError("no operating points supplied")
+        stacked = np.stack([self._ring_delays(op) for op in ops])
+        compiled = self.compiled
+        top = np.einsum(
+            "ops,ps->op", stacked[:, compiled.top_rings, :], compiled.top_masks
+        )
+        bottom = np.einsum(
+            "ops,ps->op", stacked[:, compiled.bottom_rings, :], compiled.bottom_masks
+        )
+        return top, bottom
+
+    # ------------------------------------------------------------------
+    # Response generation
+    # ------------------------------------------------------------------
+
+    def response(
+        self, op: OperatingPoint, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """One response evaluation; draw order matches the historical loop."""
+        rng = self.rng if rng is None else rng
+        top, bottom = self.pair_delays(op)
+        top_observed = self.response_noise.observe(top, rng)
+        bottom_observed = self.response_noise.observe(bottom, rng)
+        return top_observed > bottom_observed
+
+    def response_voted(
+        self,
+        op: OperatingPoint,
+        votes: int = 9,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Majority vote; per-vote interleaved draws match the legacy loop."""
+        _validate_votes(votes)
+        rng = self.rng if rng is None else rng
+        top, bottom = self.pair_delays(op)
+        totals = np.zeros(self.bit_count, dtype=int)
+        for _ in range(votes):
+            top_observed = self.response_noise.observe(top, rng)
+            bottom_observed = self.response_noise.observe(bottom, rng)
+            totals += (top_observed > bottom_observed).astype(int)
+        return totals * 2 > votes
+
+    def response_sweep(
+        self,
+        ops: Sequence[OperatingPoint],
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Responses at many operating points, shape ``(op_count, pair_count)``.
+
+        One noise tensor is drawn per sweep shape (top then bottom; see
+        :data:`SWEEP_DRAW_ORDER`), so the whole sweep costs two ``observe``
+        calls regardless of the corner count.
+        """
+        rng = self.rng if rng is None else rng
+        top, bottom = self.sweep_delays(ops)
+        top_observed = self.response_noise.observe(top, rng)
+        bottom_observed = self.response_noise.observe(bottom, rng)
+        return top_observed > bottom_observed
+
+    def response_voted_sweep(
+        self,
+        ops: Sequence[OperatingPoint],
+        votes: int = 9,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Majority-voted responses over a sweep, shape ``(op_count, pair_count)``.
+
+        All vote rounds for all corners draw from one
+        ``(votes, op_count, pair_count)`` noise tensor (top then bottom).
+        """
+        _validate_votes(votes)
+        rng = self.rng if rng is None else rng
+        top, bottom = self.sweep_delays(ops)
+        shape = (votes,) + top.shape
+        top_observed = self.response_noise.observe(np.broadcast_to(top, shape), rng)
+        bottom_observed = self.response_noise.observe(
+            np.broadcast_to(bottom, shape), rng
+        )
+        totals = (top_observed > bottom_observed).sum(axis=0)
+        return totals * 2 > votes
+
+
+def _validate_votes(votes: int) -> None:
+    if votes < 1 or votes % 2 == 0:
+        raise ValueError(f"votes must be odd and positive, got {votes}")
+
+
+def response_loop_reference(
+    puf: "BoardROPUF", enrollment: "Enrollment", op: OperatingPoint
+) -> np.ndarray:
+    """The pre-batch per-pair Python loop, preserved verbatim.
+
+    Exists so the equivalence tests and the batch-engine micro-benchmark can
+    pin the vectorized path against the historical implementation; not a
+    production code path.
+    """
+    unit_delays = np.asarray(puf.delay_provider(op), dtype=float)
+    rings = puf.allocation.ring_delay_matrix(unit_delays)
+    top_delays = np.empty(len(enrollment.selections))
+    bottom_delays = np.empty(len(enrollment.selections))
+    for pair, selection in enumerate(enrollment.selections):
+        top, bottom = puf.allocation.pair_rings(pair)
+        top_delays[pair] = np.sum(rings[top][selection.top_config.as_array()])
+        bottom_delays[pair] = np.sum(
+            rings[bottom][selection.bottom_config.as_array()]
+        )
+    top_observed = puf.response_noise.observe(top_delays, puf.rng)
+    bottom_observed = puf.response_noise.observe(bottom_delays, puf.rng)
+    return top_observed > bottom_observed

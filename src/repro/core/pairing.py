@@ -86,7 +86,7 @@ class RingAllocation:
             raise ValueError("ring_count must be non-negative")
         if self.layout not in ("consecutive", "interleaved"):
             raise ValueError(
-                f"layout must be 'consecutive' or 'interleaved', "
+                "layout must be 'consecutive' or 'interleaved', "
                 f"got {self.layout!r}"
             )
         if self.layout == "interleaved" and self.ring_count % 2 != 0:

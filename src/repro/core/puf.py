@@ -57,17 +57,13 @@ __all__ = [
 ]
 
 
-def _traditional_selector(
-    alpha: np.ndarray, beta: np.ndarray, require_odd: bool = False
-) -> PairSelection:
-    return select_traditional(alpha, beta)
-
-
-#: Registry of selection methods accepted by the PUF classes.
+#: Registry of selection methods accepted by the PUF classes.  Every entry
+#: honours ``require_odd`` (the traditional selector repairs parity by
+#: dropping one stage from both rings when the stage count is even).
 SELECTION_METHODS: dict[str, Callable[..., PairSelection]] = {
     "case1": select_case1,
     "case2": select_case2,
-    "traditional": _traditional_selector,
+    "traditional": select_traditional,
 }
 
 
@@ -95,10 +91,29 @@ class Enrollment:
             self.selections
         ):
             raise ValueError("bits, margins and selections must align")
+        # Compiled selection-mask matrices, keyed by allocation (see
+        # repro.core.batch).  Not a dataclass field: excluded from eq/repr.
+        self._compiled_cache: dict = {}
 
     @property
     def bit_count(self) -> int:
         return len(self.bits)
+
+    def compiled(self, allocation):
+        """Dense selection masks for ``allocation``, compiled once and cached.
+
+        Returns a :class:`repro.core.batch.CompiledEnrollment`; repeated
+        calls with an equal allocation reuse the same compiled object, so
+        per-call response APIs stay cheap after the first evaluation.
+        """
+        cached = self._compiled_cache.get(allocation)
+        if cached is None:
+            from .batch import compile_enrollment
+
+            cached = self._compiled_cache[allocation] = compile_enrollment(
+                self, allocation
+            )
+        return cached
 
     def reliable_mask(self, threshold: float) -> np.ndarray:
         """Bits whose |margin| meets a reliability threshold (Sec. IV.E)."""
@@ -165,26 +180,41 @@ class BoardROPUF:
             operating_point=op, selections=selections, bits=bits, margins=margins
         )
 
+    def batch(self, enrollment: Enrollment) -> "BatchEvaluator":
+        """A vectorized evaluator bound to this PUF and one enrollment.
+
+        The evaluator shares this PUF's noise model and RNG, so mixing
+        per-call and batch APIs advances one generator consistently.
+        """
+        from .batch import BatchEvaluator
+
+        return BatchEvaluator.from_puf(self, enrollment)
+
     def response(
         self,
         op: OperatingPoint,
         enrollment: Enrollment,
     ) -> np.ndarray:
-        """Regenerate the response bits at operating point ``op``."""
-        rings = self._ring_delays(op)
-        top_delays = np.empty(len(enrollment.selections))
-        bottom_delays = np.empty(len(enrollment.selections))
-        for pair, selection in enumerate(enrollment.selections):
-            top, bottom = self.allocation.pair_rings(pair)
-            top_delays[pair] = np.sum(
-                rings[top][selection.top_config.as_array()]
-            )
-            bottom_delays[pair] = np.sum(
-                rings[bottom][selection.bottom_config.as_array()]
-            )
-        top_observed = self.response_noise.observe(top_delays, self.rng)
-        bottom_observed = self.response_noise.observe(bottom_delays, self.rng)
-        return top_observed > bottom_observed
+        """Regenerate the response bits at operating point ``op``.
+
+        Thin wrapper over the vectorized batch engine; noise draw order (and
+        therefore every seeded run) is identical to the historical per-pair
+        loop, preserved as :func:`repro.core.batch.response_loop_reference`.
+        """
+        return self.batch(enrollment).response(op)
+
+    def response_sweep(
+        self,
+        ops: list[OperatingPoint],
+        enrollment: Enrollment,
+    ) -> np.ndarray:
+        """Responses at many operating points: ``(op_count, bit_count)``.
+
+        One vectorized pass with a single noise draw per sweep shape; see
+        :meth:`repro.core.batch.BatchEvaluator.response_sweep` for the
+        draw-order contract.
+        """
+        return self.batch(enrollment).response_sweep(ops)
 
     def response_voted(
         self,
@@ -204,12 +234,16 @@ class BoardROPUF:
         Args:
             votes: odd number of evaluations per bit.
         """
-        if votes < 1 or votes % 2 == 0:
-            raise ValueError(f"votes must be odd and positive, got {votes}")
-        totals = np.zeros(enrollment.bit_count, dtype=int)
-        for _ in range(votes):
-            totals += self.response(op, enrollment).astype(int)
-        return totals * 2 > votes
+        return self.batch(enrollment).response_voted(op, votes)
+
+    def response_voted_sweep(
+        self,
+        ops: list[OperatingPoint],
+        enrollment: Enrollment,
+        votes: int = 9,
+    ) -> np.ndarray:
+        """Majority-voted responses over a sweep: ``(op_count, bit_count)``."""
+        return self.batch(enrollment).response_voted_sweep(ops, votes)
 
 
 @dataclass

@@ -255,11 +255,31 @@ def _odd_prefix_length(gains: np.ndarray, k: int, n: int) -> int:
     return best
 
 
-def select_traditional(alpha: np.ndarray, beta: np.ndarray) -> PairSelection:
-    """The traditional RO PUF: every inverter included in both rings."""
+def select_traditional(
+    alpha: np.ndarray, beta: np.ndarray, require_odd: bool = False
+) -> PairSelection:
+    """The traditional RO PUF: every inverter included in both rings.
+
+    Args:
+        require_odd: force an odd selected count so the rings can free-run.
+            A traditional ring over an even stage count would select all
+            stages and latch instead of oscillating; parity is repaired by
+            dropping the single stage (from *both* rings, keeping the
+            shared-configuration property) whose removal best preserves the
+            margin magnitude.  Odd stage counts are unaffected.
+    """
     alpha, beta = _validate_pair(alpha, beta)
-    config = ConfigVector.all_selected(len(alpha))
-    margin = float(np.sum(alpha) - np.sum(beta))
+    n = len(alpha)
+    selected = np.ones(n, dtype=bool)
+    if require_odd and n % 2 == 0:
+        delta = alpha - beta
+        total = float(np.sum(delta))
+        # Dropping stage i leaves margin (total - delta[i]); keep the drop
+        # that maximises the remaining magnitude.
+        drop = int(np.argmax(np.abs(total - delta)))
+        selected[drop] = False
+    config = ConfigVector.from_array(selected)
+    margin = float(np.sum(alpha[selected]) - np.sum(beta[selected]))
     return PairSelection(
         top_config=config, bottom_config=config, margin=margin, method="traditional"
     )

@@ -27,6 +27,7 @@ from .common import (
     combine_streams,
     dataset_or_default,
     response_matrix,
+    response_sweep_matrix,
 )
 
 __all__ = [
@@ -46,4 +47,5 @@ __all__ = [
     "combine_streams",
     "dataset_or_default",
     "response_matrix",
+    "response_sweep_matrix",
 ]

@@ -23,7 +23,7 @@ from ..core.puf import ChipROPUF
 from ..core.selection import select_case1, select_case2, select_traditional
 from ..datasets.base import RODataset
 from ..silicon.fabrication import FabricationProcess
-from ..variation.noise import GaussianNoise, NoiselessMeasurement
+from ..variation.noise import GaussianNoise
 from .common import PipelineConfig, dataset_or_default
 from .nist_tables import run_nist_experiment
 
@@ -181,7 +181,7 @@ def format_selector_ablation(result: SelectorAblation) -> str:
         )
     return (
         table.render()
-        + f"\nbit disagreements between case1/case2/traditional: "
+        + "\nbit disagreements between case1/case2/traditional: "
         f"{result.bit_disagreements} (identity predicts 0 outside ties)"
     )
 

@@ -14,7 +14,7 @@ paper's Tables III and IV (see DESIGN.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -31,6 +31,7 @@ __all__ = [
     "board_puf",
     "board_enrollment",
     "response_matrix",
+    "response_sweep_matrix",
     "combine_streams",
     "dataset_or_default",
 ]
@@ -113,12 +114,46 @@ def response_matrix(
     boards: list[BoardRecord],
     config: PipelineConfig,
     op: OperatingPoint = NOMINAL_OPERATING_POINT,
+    enroll_op: OperatingPoint | None = None,
 ) -> np.ndarray:
-    """(board, bit) response matrix across a board population."""
+    """(board, bit) response matrix across a board population.
+
+    By default each board enrolls at ``op`` and contributes its reference
+    bits (the historical behaviour).  With ``enroll_op`` given, each board
+    enrolls there instead and the row is *regenerated* at ``op`` through the
+    vectorized batch engine (:mod:`repro.core.batch`).
+    """
     if not boards:
         raise ValueError("no boards supplied")
-    rows = [board_enrollment(board, config, op).bits for board in boards]
+    if enroll_op is None or enroll_op == op:
+        rows = [board_enrollment(board, config, op).bits for board in boards]
+        return np.stack(rows)
+    rows = []
+    for board in boards:
+        puf = board_puf(board, config)
+        rows.append(puf.response(op, puf.enroll(enroll_op)))
     return np.stack(rows)
+
+
+def response_sweep_matrix(
+    boards: list[BoardRecord],
+    config: PipelineConfig,
+    ops: list[OperatingPoint],
+    enroll_op: OperatingPoint = NOMINAL_OPERATING_POINT,
+) -> np.ndarray:
+    """(board, op, bit) responses regenerated across many corners.
+
+    Each board enrolls once at ``enroll_op``; all test corners are then
+    evaluated in a single vectorized ``response_sweep`` pass per board —
+    the batch-engine fast path the Fig. 4/5 reliability sweeps use.
+    """
+    if not boards:
+        raise ValueError("no boards supplied")
+    layers = []
+    for board in boards:
+        puf = board_puf(board, config)
+        layers.append(puf.response_sweep(ops, puf.enroll(enroll_op)))
+    return np.stack(layers)
 
 
 def combine_streams(bits: np.ndarray, boards_per_stream: int = 2) -> np.ndarray:

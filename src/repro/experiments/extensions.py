@@ -191,7 +191,7 @@ def format_aging_study(study: AgingStudy) -> str:
     table = Table(
         headers=["scheme"] + [f"{y:g}y" for y in study.years],
         title=(
-            f"A5 aging study: % bits flipped after N years "
+            "A5 aging study: % bits flipped after N years "
             f"(mean over {study.chip_count} chips)"
         ),
     )
@@ -535,11 +535,11 @@ def format_multicorner_study(study: MultiCornerStudy) -> str:
     return (
         f"A10 multi-corner enrollment (n={study.stage_count}): flip % "
         "across the voltage sweep\n"
-        f"  single-corner enrollment, worst corner: "
+        "  single-corner enrollment, worst corner: "
         f"{study.single_corner_worst_percent:.2f}%\n"
-        f"  single-corner enrollment, best corner:  "
+        "  single-corner enrollment, best corner:  "
         f"{study.single_corner_best_percent:.2f}%\n"
-        f"  multi-corner (worst-case margin):       "
+        "  multi-corner (worst-case margin):       "
         f"{study.multicorner_percent:.2f}%\n"
         "  (the paper's Fig. 4 observation 4 recommends hunting for the "
         "best single corner; multi-corner enrollment removes the hunt)"
@@ -612,7 +612,7 @@ def format_margin_scaling(study: MarginScalingStudy) -> str:
     table = Table(
         headers=["n", "configurable (ps)", "traditional (ps)", "ratio"],
         title=(
-            f"A8 margin scaling with ring length "
+            "A8 margin scaling with ring length "
             f"({study.pair_count} pairs per point): configurable ~ n, "
             "traditional ~ sqrt(n)"
         ),

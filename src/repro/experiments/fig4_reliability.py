@@ -24,6 +24,7 @@ import numpy as np
 from ..analysis.tables import Table
 from ..baselines.one_out_of_eight import OneOutOfEightPUF
 from ..core.pairing import allocate_rings
+from ..core.puf import BoardROPUF
 from ..datasets.base import BoardRecord, RODataset
 from ..metrics.reliability import bit_flip_report
 from ..variation.corners import temperature_corners, voltage_corners
@@ -109,16 +110,19 @@ class ReliabilityExperimentResult:
 
 
 def _configurable_flips(
-    board: BoardRecord,
-    config: PipelineConfig,
+    puf: BoardROPUF,
     enroll_op: OperatingPoint,
     test_ops: list[OperatingPoint],
 ) -> float:
-    """The paper's flip metric for one enrollment corner."""
-    puf = board_puf(board, config)
+    """The paper's flip metric for one enrollment corner.
+
+    All test corners are evaluated in one vectorized ``response_sweep``
+    pass; the PUF (and its per-corner distilled-delay cache) is shared
+    across enrollment corners by the caller.
+    """
     enrollment = puf.enroll(enroll_op)
-    observations = np.stack(
-        [puf.response(op, enrollment) for op in test_ops if op != enroll_op]
+    observations = puf.response_sweep(
+        [op for op in test_ops if op != enroll_op], enrollment
     )
     return bit_flip_report(enrollment.bits, observations).flip_percent
 
@@ -135,8 +139,8 @@ def _baseline_flips(
     )
     puf = board_puf(board, traditional_config)
     enrollment = puf.enroll(baseline_op)
-    observations = np.stack(
-        [puf.response(op, enrollment) for op in test_ops if op != baseline_op]
+    observations = puf.response_sweep(
+        [op for op in test_ops if op != baseline_op], enrollment
     )
     traditional = bit_flip_report(enrollment.bits, observations).flip_percent
 
@@ -174,9 +178,10 @@ def _run_reliability(
             config = PipelineConfig(
                 stage_count=stage_count, method=method, distill=False
             )
+            puf = board_puf(board, config)
             configurable = np.array(
                 [
-                    _configurable_flips(board, config, enroll_op, corners)
+                    _configurable_flips(puf, enroll_op, corners)
                     for enroll_op in corners
                 ]
             )

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..analysis.tables import Table
-from ..baselines.threshold import ThresholdSweep, yield_vs_threshold
+from ..baselines.threshold import yield_vs_threshold
 from ..core.pairing import RingAllocation
 from ..core.puf import ChipROPUF
 from ..datasets.inhouse import INHOUSE_MAX_STAGES, INHOUSE_RING_COUNT, default_inhouse_boards
@@ -129,7 +129,7 @@ def format_result(result: ThresholdStudyResult) -> str:
     table = Table(
         headers=["R_th (units)", "traditional bits", "configurable bits"],
         title=(
-            f"Sec. IV.E-style reliable-bit yield, mean over "
+            "Sec. IV.E-style reliable-bit yield, mean over "
             f"{result.board_count} boards of {result.total_bits} bits "
             f"(1 unit = {result.unit_seconds * 1e12:.1f} ps)"
         ),

@@ -74,11 +74,17 @@ def bit_flip_report(
     positions = flip_positions(reference, observations)
     differs = observations != reference[None, :]
     per_observation_hd = differs.sum(axis=1)
+    # Zero observations carry no evidence of instability: both the
+    # position-wise metric and the mean intra-chip HD are 0.0 by definition
+    # (rather than a nan from averaging an empty array).
+    if observations.shape[0] == 0:
+        mean_intra_hd = 0.0
+    else:
+        mean_intra_hd = 100.0 * float(np.mean(per_observation_hd)) / len(reference)
     return ReliabilityReport(
         bit_count=len(reference),
         observation_count=observations.shape[0],
         flipped_positions=positions,
         flip_percent=100.0 * len(positions) / len(reference),
-        mean_intra_hd_percent=100.0 * float(np.mean(per_observation_hd))
-        / len(reference),
+        mean_intra_hd_percent=mean_intra_hd,
     )

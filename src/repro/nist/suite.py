@@ -270,7 +270,7 @@ class SuiteReport:
             )
         lines.append("-" * 98)
         lines.append(
-            f"The minimum pass rate for each statistical test is approximately "
+            "The minimum pass rate for each statistical test is approximately "
             f"= {int(np.floor(minimum_pass_proportion(self.sequence_count) * self.sequence_count))} "
             f"for a sample size = {self.sequence_count} binary sequences."
         )

@@ -7,15 +7,19 @@ request exactly — any mismatch, parse error, or I/O failure reads as a
 *miss*, so a corrupted or stale cache can never crash or poison a run; the
 task simply recomputes and overwrites the entry.
 
-Writes are atomic (temp file + ``os.replace``) so parallel runs sharing a
-cache directory never observe half-written entries.
+Writes are atomic (per-call-unique temp file + ``os.replace``) so parallel
+runs sharing a cache directory — across processes *and* across threads of
+one process — never observe half-written entries; stale temp files left by
+crashed runs are swept on store.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import time
 from pathlib import Path
 
 __all__ = ["ResultCache", "NO_DATASET_FINGERPRINT"]
@@ -25,6 +29,14 @@ NO_DATASET_FINGERPRINT = "no-dataset"
 
 #: Bumped if the cache file layout ever changes incompatibly.
 _SCHEME = "ropuf-cache-v1"
+
+#: Per-process sequence folded into temp-file names so concurrent stores
+#: from threads of one process never collide (PID alone is not unique).
+_TMP_COUNTER = itertools.count()
+
+#: Temp files older than this many seconds are orphans from crashed runs
+#: and are swept on the next store.
+STALE_TMP_SECONDS = 3600.0
 
 
 def _repro_version() -> str:
@@ -72,8 +84,15 @@ class ResultCache:
             return None
 
     def store(self, task_name: str, fingerprint: str, result) -> Path:
-        """Atomically persist one task result; returns the entry path."""
+        """Atomically persist one task result; returns the entry path.
+
+        The temp file is uniquified per call (PID + per-process counter), so
+        concurrent stores of the same key — from threads of one process or
+        from separate processes — never write through the same path.  Stale
+        temp files orphaned by crashed runs are swept opportunistically.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
+        self.sweep_stale_tmp()
         path = self.path(task_name, fingerprint)
         payload = {
             "task": task_name,
@@ -81,7 +100,34 @@ class ResultCache:
             "version": self.version,
             "result": result,
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, indent=2))
-        os.replace(tmp, path)
+        tmp = path.with_name(
+            f"{path.name}.tmp.{os.getpid()}.{next(_TMP_COUNTER)}"
+        )
+        try:
+            tmp.write_text(json.dumps(payload, indent=2))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
         return path
+
+    def sweep_stale_tmp(self, max_age_seconds: float = STALE_TMP_SECONDS) -> int:
+        """Delete orphaned ``*.tmp.*`` files older than ``max_age_seconds``.
+
+        Recent temp files are left alone — they may belong to an in-flight
+        store of another process.  Returns the number of files removed;
+        errors (vanished files, permissions) are ignored.
+        """
+        removed = 0
+        now = time.time()
+        for tmp in self.root.glob("*.tmp.*"):
+            try:
+                if now - tmp.stat().st_mtime >= max_age_seconds:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed

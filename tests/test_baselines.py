@@ -15,7 +15,7 @@ from repro.baselines.threshold import (
 )
 from repro.baselines.traditional import traditional_puf
 from repro.core.pairing import RingAllocation
-from repro.variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+from repro.variation.environment import NOMINAL_OPERATING_POINT
 
 
 def static_provider(delays):

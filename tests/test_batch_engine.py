@@ -1,0 +1,247 @@
+"""Equivalence and unit tests of the vectorized batch response engine.
+
+The contract under test (see ``repro/core/batch.py``):
+
+* the per-call ``BoardROPUF.response`` / ``response_voted`` wrappers are
+  byte-identical to the historical per-pair loop (preserved verbatim as
+  ``response_loop_reference``) across operating points and noise modes;
+* the sweep APIs follow the documented ``sweep-v1`` draw order — one noise
+  tensor per sweep shape, top then bottom;
+* compiled selection masks are cached per allocation and validated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    SWEEP_DRAW_ORDER,
+    BatchEvaluator,
+    compile_enrollment,
+    response_loop_reference,
+)
+from repro.core.pairing import RingAllocation, allocate_rings
+from repro.core.puf import BoardROPUF
+from repro.variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+from repro.variation.noise import GaussianNoise, NoiselessMeasurement
+
+#: Four corners spanning the paper's voltage sweep plus the nominal point.
+SWEEP_OPS = [
+    OperatingPoint(0.90, 25.0),
+    OperatingPoint(1.08, 25.0),
+    NOMINAL_OPERATING_POINT,
+    OperatingPoint(1.32, 25.0),
+]
+
+NOISE_MODES = {
+    "noiseless": lambda: NoiselessMeasurement(),
+    "gaussian": lambda: GaussianNoise(relative_sigma=0.01),
+}
+
+
+def make_puf(
+    noise=None,
+    seed=7,
+    n_units=120,
+    stage_count=5,
+    method="case1",
+    require_odd=False,
+    layout="consecutive",
+):
+    data_rng = np.random.default_rng(42)
+    base = data_rng.normal(1.0, 0.02, n_units)
+    sensitivity = data_rng.normal(0.05, 0.01, n_units)
+
+    def provider(op):
+        return base * (1.0 + sensitivity * (1.20 - op.voltage))
+
+    allocation = RingAllocation(
+        stage_count=stage_count,
+        ring_count=n_units // stage_count // 2 * 2,
+        layout=layout,
+    )
+    return BoardROPUF(
+        delay_provider=provider,
+        allocation=allocation,
+        method=method,
+        require_odd=require_odd,
+        response_noise=noise if noise is not None else NoiselessMeasurement(),
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestLoopEquivalence:
+    @pytest.mark.parametrize("noise_mode", sorted(NOISE_MODES))
+    @pytest.mark.parametrize("method", ["case1", "case2", "traditional"])
+    def test_response_matches_loop_across_ops(self, noise_mode, method):
+        """Wrapper output is byte-identical to the loop at >= 3 corners."""
+        make_noise = NOISE_MODES[noise_mode]
+        vectorized = make_puf(noise=make_noise(), method=method)
+        looped = make_puf(noise=make_noise(), method=method)
+        enrollment = vectorized.enroll()
+        for op in SWEEP_OPS:
+            new_bits = vectorized.response(op, enrollment)
+            old_bits = response_loop_reference(looped, enrollment, op)
+            assert new_bits.dtype == bool
+            assert np.array_equal(new_bits, old_bits), (noise_mode, method, op)
+
+    @pytest.mark.parametrize("noise_mode", sorted(NOISE_MODES))
+    def test_response_voted_matches_legacy_loop(self, noise_mode):
+        """Voting draws per-vote interleaved noise, like the legacy loop."""
+        make_noise = NOISE_MODES[noise_mode]
+        vectorized = make_puf(noise=make_noise())
+        looped = make_puf(noise=make_noise())
+        enrollment = vectorized.enroll()
+        op = SWEEP_OPS[0]
+        votes = 5
+        voted = vectorized.response_voted(op, enrollment, votes=votes)
+        totals = np.zeros(enrollment.bit_count, dtype=int)
+        for _ in range(votes):
+            totals += response_loop_reference(looped, enrollment, op).astype(int)
+        assert np.array_equal(voted, totals * 2 > votes)
+
+    def test_interleaved_layout_equivalence(self):
+        vectorized = make_puf(layout="interleaved")
+        looped = make_puf(layout="interleaved")
+        enrollment = vectorized.enroll()
+        for op in SWEEP_OPS:
+            assert np.array_equal(
+                vectorized.response(op, enrollment),
+                response_loop_reference(looped, enrollment, op),
+            )
+
+    def test_response_at_enrollment_corner_is_reference(self):
+        puf = make_puf()
+        enrollment = puf.enroll()
+        assert np.array_equal(
+            puf.response(NOMINAL_OPERATING_POINT, enrollment), enrollment.bits
+        )
+
+
+class TestSweep:
+    def test_noiseless_sweep_equals_stacked_single_ops(self):
+        puf = make_puf()
+        enrollment = puf.enroll()
+        sweep = puf.response_sweep(SWEEP_OPS, enrollment)
+        assert sweep.shape == (len(SWEEP_OPS), puf.bit_count)
+        single = np.stack([puf.response(op, enrollment) for op in SWEEP_OPS])
+        assert np.array_equal(sweep, single)
+
+    def test_sweep_draw_order_is_versioned(self):
+        assert SWEEP_DRAW_ORDER == "sweep-v1"
+
+    def test_noisy_sweep_follows_documented_draw_order(self):
+        """sweep-v1: one (op, pair) top tensor is drawn, then one bottom."""
+        sigma = 0.01
+        puf = make_puf(noise=GaussianNoise(relative_sigma=sigma), seed=11)
+        enrollment = puf.enroll()
+        evaluator = puf.batch(enrollment)
+        top, bottom = evaluator.sweep_delays(SWEEP_OPS)
+
+        replay = np.random.default_rng(11)
+        expected_top = top * (1.0 + replay.normal(0.0, sigma, size=top.shape))
+        expected_bottom = bottom * (
+            1.0 + replay.normal(0.0, sigma, size=bottom.shape)
+        )
+        expected = expected_top > expected_bottom
+
+        fresh = make_puf(noise=GaussianNoise(relative_sigma=sigma), seed=11)
+        assert np.array_equal(
+            fresh.response_sweep(SWEEP_OPS, enrollment), expected
+        )
+
+    def test_voted_sweep_noiseless_equals_sweep(self):
+        puf = make_puf()
+        enrollment = puf.enroll()
+        assert np.array_equal(
+            puf.response_voted_sweep(SWEEP_OPS, enrollment, votes=3),
+            puf.response_sweep(SWEEP_OPS, enrollment),
+        )
+
+    def test_voted_sweep_draws_one_tensor_per_side(self):
+        sigma = 0.02
+        votes = 3
+        puf = make_puf(noise=GaussianNoise(relative_sigma=sigma), seed=23)
+        enrollment = puf.enroll()
+        evaluator = puf.batch(enrollment)
+        top, bottom = evaluator.sweep_delays(SWEEP_OPS)
+        shape = (votes,) + top.shape
+
+        replay = np.random.default_rng(23)
+        observed_top = top * (1.0 + replay.normal(0.0, sigma, size=shape))
+        observed_bottom = bottom * (1.0 + replay.normal(0.0, sigma, size=shape))
+        totals = (observed_top > observed_bottom).sum(axis=0)
+        expected = totals * 2 > votes
+
+        fresh = make_puf(noise=GaussianNoise(relative_sigma=sigma), seed=23)
+        assert np.array_equal(
+            fresh.response_voted_sweep(SWEEP_OPS, enrollment, votes=votes),
+            expected,
+        )
+
+    def test_empty_sweep_rejected(self):
+        puf = make_puf()
+        enrollment = puf.enroll()
+        with pytest.raises(ValueError, match="no operating points"):
+            puf.response_sweep([], enrollment)
+
+    @pytest.mark.parametrize("votes", [0, 2, -1])
+    def test_even_votes_rejected(self, votes):
+        puf = make_puf()
+        enrollment = puf.enroll()
+        with pytest.raises(ValueError, match="odd"):
+            puf.response_voted(SWEEP_OPS[0], enrollment, votes=votes)
+        with pytest.raises(ValueError, match="odd"):
+            puf.response_voted_sweep(SWEEP_OPS, enrollment, votes=votes)
+
+
+class TestCompilation:
+    def test_masks_mirror_selections(self):
+        puf = make_puf(method="case2")
+        enrollment = puf.enroll()
+        compiled = enrollment.compiled(puf.allocation)
+        assert compiled.pair_count == puf.bit_count
+        assert compiled.top_masks.shape == (puf.bit_count, puf.allocation.stage_count)
+        for pair, selection in enumerate(enrollment.selections):
+            assert np.array_equal(
+                compiled.top_masks[pair].astype(bool),
+                selection.top_config.as_array(),
+            )
+            assert np.array_equal(
+                compiled.bottom_masks[pair].astype(bool),
+                selection.bottom_config.as_array(),
+            )
+        assert np.array_equal(compiled.reference_bits, enrollment.bits)
+
+    def test_compiled_masks_cached_per_allocation(self):
+        puf = make_puf()
+        enrollment = puf.enroll()
+        first = enrollment.compiled(puf.allocation)
+        assert enrollment.compiled(puf.allocation) is first
+        evaluator = puf.batch(enrollment)
+        assert evaluator.compiled is first
+
+    def test_mismatched_allocation_rejected(self):
+        puf = make_puf(stage_count=5)
+        enrollment = puf.enroll()
+        wrong_pairs = allocate_rings(60, 5)
+        with pytest.raises(ValueError, match="pairs"):
+            compile_enrollment(enrollment, wrong_pairs)
+        wrong_stages = RingAllocation(
+            stage_count=3, ring_count=puf.allocation.ring_count
+        )
+        with pytest.raises(ValueError, match="stages"):
+            compile_enrollment(enrollment, wrong_stages)
+
+    def test_evaluator_shares_puf_rng(self):
+        """Mixing per-call and batch APIs advances one generator."""
+        sigma = 0.01
+        puf_a = make_puf(noise=GaussianNoise(relative_sigma=sigma), seed=3)
+        puf_b = make_puf(noise=GaussianNoise(relative_sigma=sigma), seed=3)
+        enrollment = puf_a.enroll()
+        first_a = puf_a.response(SWEEP_OPS[0], enrollment)
+        second_a = puf_a.batch(enrollment).response(SWEEP_OPS[1])
+        evaluator_b = BatchEvaluator.from_puf(puf_b, enrollment)
+        first_b = evaluator_b.response(SWEEP_OPS[0])
+        second_b = puf_b.response(SWEEP_OPS[1], enrollment)
+        assert np.array_equal(first_a, first_b)
+        assert np.array_equal(second_a, second_b)

@@ -1,6 +1,5 @@
 """Integration tests of the extension experiments (A4-A6)."""
 
-import numpy as np
 
 from repro.experiments.extensions import (
     format_aging_study,

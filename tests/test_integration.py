@@ -6,7 +6,6 @@ application — asserting the paper's qualitative claims along the way.
 """
 
 import numpy as np
-import pytest
 
 from repro import (
     Authenticator,
@@ -22,7 +21,7 @@ from repro.core.puf import BoardROPUF
 from repro.crypto.keygen import KeyGenerator as KG
 from repro.metrics import bit_flip_report, uniqueness_report
 from repro.nist import run_battery
-from repro.variation import NOMINAL_OPERATING_POINT, full_grid
+from repro.variation import full_grid
 
 del KG
 

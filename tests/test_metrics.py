@@ -139,6 +139,25 @@ class TestReliability:
         with pytest.raises(ValueError):
             bit_flip_report(np.array([], dtype=bool), np.ones((1, 0), dtype=bool))
 
+    def test_zero_observations_mean_zero_flips(self):
+        """No observations carry no evidence of instability: 0%, not nan."""
+        reference = np.array([1, 0, 1, 1], dtype=bool)
+        report = bit_flip_report(reference, np.empty((0, 4), dtype=bool))
+        assert report.observation_count == 0
+        assert report.flip_count == 0
+        assert report.flip_percent == 0.0
+        assert report.mean_intra_hd_percent == 0.0
+        assert report.is_perfectly_stable
+
+    def test_all_flipped_input(self):
+        reference = np.array([1, 0, 1, 0], dtype=bool)
+        observations = np.stack([~reference, ~reference])
+        report = bit_flip_report(reference, observations)
+        assert report.flip_count == 4
+        assert report.flip_percent == pytest.approx(100.0)
+        assert report.mean_intra_hd_percent == pytest.approx(100.0)
+        assert not report.is_perfectly_stable
+
 
 class TestUniformity:
     def test_vector_input(self):

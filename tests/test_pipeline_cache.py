@@ -61,6 +61,58 @@ class TestResultCache:
         # no temp files left behind
         assert not list(cache.root.glob("*.tmp.*"))
 
+    def test_concurrent_stores_of_one_key_never_collide(self, cache):
+        """Threads of one process share a PID; temp paths must still be unique."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        thread_count = 16
+        rounds = 20
+
+        def hammer(worker):
+            for round_index in range(rounds):
+                cache.store("mytask", "fp", {"worker": worker, "round": round_index})
+
+        with ThreadPoolExecutor(max_workers=thread_count) as pool:
+            for future in [pool.submit(hammer, w) for w in range(thread_count)]:
+                future.result()
+
+        # The surviving entry is one of the stored payloads, intact.
+        result = cache.load("mytask", "fp")
+        assert result is not None
+        assert 0 <= result["worker"] < thread_count
+        assert 0 <= result["round"] < rounds
+        # and no temp files leaked
+        assert not list(cache.root.glob("*.tmp.*"))
+
+    def test_store_sweeps_stale_tmp_files(self, cache):
+        import os
+        import time
+
+        cache.store("mytask", "fp", {"v": 1})
+        orphan = cache.root / "deadbeef.json.tmp.12345.0"
+        orphan.write_text("half-written")
+        old = time.time() - 7200
+        os.utime(orphan, (old, old))
+        fresh = cache.root / "cafef00d.json.tmp.12345.1"
+        fresh.write_text("in-flight write from a live process")
+        cache.store("mytask", "fp", {"v": 2})
+        assert not orphan.exists()  # orphan from a crashed run was swept
+        assert fresh.exists()  # recent temp files are left alone
+        assert cache.load("mytask", "fp") == {"v": 2}
+
+    def test_sweep_stale_tmp_returns_removed_count(self, cache):
+        import os
+        import time
+
+        cache.root.mkdir(parents=True, exist_ok=True)
+        for index in range(3):
+            orphan = cache.root / f"orphan{index}.json.tmp.1.{index}"
+            orphan.write_text("x")
+            old = time.time() - 7200
+            os.utime(orphan, (old, old))
+        assert cache.sweep_stale_tmp() == 3
+        assert cache.sweep_stale_tmp() == 0
+
 
 class TestPipelineCaching:
     TASKS = ["table5_bits", "sec4e_threshold"]
@@ -72,7 +124,9 @@ class TestPipelineCaching:
         assert warm["_pipeline"]["cache_hits"] == len(self.TASKS)
         for record in warm["_pipeline"]["tasks"].values():
             assert record["cache_hit"] is True
-        strip = lambda s: {k: v for k, v in s.items() if k != "_pipeline"}
+        def strip(s):
+            return {k: v for k, v in s.items() if k != "_pipeline"}
+
         assert json.dumps(strip(cold), sort_keys=True) == json.dumps(
             strip(warm), sort_keys=True
         )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.pairing import RingAllocation, allocate_rings
+from repro.core.pairing import RingAllocation
 from repro.core.puf import BoardROPUF, ChipROPUF, Enrollment
 from repro.core.selection import select_case1
 from repro.variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
@@ -87,6 +87,23 @@ class TestBoardROPUF:
         for selection in enrollment.selections:
             assert selection.selected_count % 2 == 1
 
+    @pytest.mark.parametrize("stage_count", [4, 6])
+    def test_traditional_require_odd_never_latches(self, rng, stage_count):
+        """Regression: method='traditional' used to drop require_odd, so even
+        stage counts produced all-selected (even) rings that cannot free-run."""
+        puf = make_board_puf(
+            rng,
+            n_units=stage_count * 20,
+            stage_count=stage_count,
+            method="traditional",
+            require_odd=True,
+        )
+        enrollment = puf.enroll()
+        assert len(enrollment.selections) > 0
+        for selection in enrollment.selections:
+            assert selection.selected_count % 2 == 1
+            assert selection.top_config.can_oscillate
+
     def test_reliable_mask(self, rng):
         puf = make_board_puf(rng)
         enrollment = puf.enroll()
@@ -96,6 +113,35 @@ class TestBoardROPUF:
         assert not huge.any()
         with pytest.raises(ValueError):
             enrollment.reliable_mask(-1.0)
+
+
+class TestReliableMaskEdgeCases:
+    """Sec. IV.E semantics: |margin| >= R_th, with R_th = 0 trivially true."""
+
+    def _enrollment(self, margins):
+        selections = [
+            select_case1(np.array([1.0, 2.0]), np.array([2.0, 1.0]))
+            for _ in margins
+        ]
+        return Enrollment(
+            operating_point=NOMINAL_OPERATING_POINT,
+            selections=selections,
+            bits=np.array([m > 0 for m in margins]),
+            margins=np.array(margins),
+        )
+
+    def test_zero_threshold_is_all_true_even_for_zero_margin(self):
+        enrollment = self._enrollment([0.0, -0.5, 2.0])
+        assert enrollment.reliable_mask(0.0).all()
+
+    def test_threshold_compares_magnitude(self):
+        enrollment = self._enrollment([0.4, -0.5, 2.0])
+        assert enrollment.reliable_mask(0.5).tolist() == [False, True, True]
+
+    def test_negative_threshold_rejected(self):
+        enrollment = self._enrollment([1.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            enrollment.reliable_mask(-0.1)
 
 
 class TestEnrollmentValidation:

@@ -1,6 +1,5 @@
 """Tests of the reproduction-report builder (on the small dataset)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.report import ClaimCheck, ReproductionReport, build_report

@@ -189,6 +189,42 @@ class TestTraditional:
             float(np.sum(alpha) - np.sum(beta)), rel=1e-9
         )
 
+    @given(delay_vectors)
+    def test_require_odd_yields_odd_count(self, vectors):
+        """Regression: require_odd used to be silently ignored (latching rings)."""
+        alpha, beta = np.array(vectors[0]), np.array(vectors[1])
+        selection = select_traditional(alpha, beta, require_odd=True)
+        assert selection.selected_count % 2 == 1
+        assert selection.top_config.can_oscillate
+        assert selection.top_config == selection.bottom_config
+
+    def test_require_odd_odd_length_selects_all(self):
+        alpha = np.array([1.0, 2.0, 3.0])
+        beta = np.array([1.5, 1.0, 2.5])
+        selection = select_traditional(alpha, beta, require_odd=True)
+        assert selection.selected_count == 3
+
+    def test_require_odd_even_length_drops_best_stage(self):
+        # deltas: -0.5, +1.0, +0.5, +1.0 -> total +2.0.  Dropping the -0.5
+        # stage leaves the largest magnitude margin (+2.5).
+        alpha = np.array([1.0, 2.0, 3.0, 4.0])
+        beta = np.array([1.5, 1.0, 2.5, 3.0])
+        selection = select_traditional(alpha, beta, require_odd=True)
+        assert selection.selected_count == 3
+        assert selection.top_config.to_string() == "0111"
+        assert selection.margin == pytest.approx(2.5)
+
+    @given(delay_vectors)
+    def test_require_odd_drop_is_optimal(self, vectors):
+        alpha, beta = np.array(vectors[0]), np.array(vectors[1])
+        if len(alpha) % 2 == 1:
+            return
+        selection = select_traditional(alpha, beta, require_odd=True)
+        delta = alpha - beta
+        total = float(np.sum(delta))
+        best_single_drop = float(np.max(np.abs(total - delta)))
+        assert selection.abs_margin == pytest.approx(best_single_drop, rel=1e-9)
+
 
 class TestBitSignIdentity:
     """Case-1, Case-2 and traditional produce the same bit (DESIGN.md).
