@@ -8,6 +8,7 @@ paper makes about it (who wins, by roughly what factor).
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -31,6 +32,24 @@ def save_artifact(artifact_dir):
         # Also echo to stdout so `pytest -s` shows the tables inline.
         print(f"\n[artifact: {path}]")
         print(text)
+
+    return _save
+
+
+@pytest.fixture()
+def save_bench_json(artifact_dir):
+    """Write machine-readable benchmark results as ``BENCH_<name>.json``.
+
+    The engine benchmarks record median wall times, speedups over the
+    preserved loop references, and problem sizes here so the perf
+    trajectory is tracked across PRs (diffable, stable key order).
+    """
+
+    def _save(name: str, payload: dict) -> Path:
+        path = artifact_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\n[bench json: {path}]")
+        return path
 
     return _save
 

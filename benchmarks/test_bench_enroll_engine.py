@@ -1,0 +1,170 @@
+"""E-enroll — loop vs vectorized enrollment-engine speedup.
+
+Two workloads, mirroring the two enrollment halves:
+
+* a 128-pair board (9-stage rings) enrolled through the batch selectors
+  (``BoardROPUF.enroll``) against the preserved per-pair loop
+  (``enroll_loop_reference``);
+* a 64-ring chip enrolled through the batch leave-one-out measurement
+  path (``ChipROPUF.enroll_batch``) against the per-ring legacy loop
+  (``chip_enroll_loop_reference``), noiseless so both paths must agree
+  bit-for-bit.
+
+The equivalence tests pin byte-identity only (cheap; the CI smoke job
+selects them with ``-k equivalence``); the timing test additionally
+requires a 5x speedup on both workloads and records medians, speedups
+and problem sizes in ``results/BENCH_enroll.json``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.batch import chip_enroll_loop_reference, enroll_loop_reference
+from repro.core.measurement import DelayMeasurer
+from repro.core.pairing import RingAllocation
+from repro.core.puf import BoardROPUF, ChipROPUF
+from repro.silicon.fabrication import FabricationProcess
+from repro.variation.environment import NOMINAL_OPERATING_POINT
+from repro.variation.noise import NoiselessMeasurement
+
+PAIR_COUNT = 128
+STAGE_COUNT = 9
+CHIP_RING_COUNT = 64
+REQUIRED_SPEEDUP = 5.0
+
+
+def _make_board_puf():
+    rng = np.random.default_rng(2024)
+    ring_count = 2 * PAIR_COUNT
+    n_units = ring_count * STAGE_COUNT
+    base = rng.normal(1.0, 0.02, n_units)
+    sensitivity = rng.normal(0.05, 0.01, n_units)
+
+    def provider(op):
+        return base * (1.0 + sensitivity * (1.20 - op.voltage))
+
+    allocation = RingAllocation(stage_count=STAGE_COUNT, ring_count=ring_count)
+    return BoardROPUF(
+        delay_provider=provider,
+        allocation=allocation,
+        method="case1",
+        require_odd=True,
+    )
+
+
+def _make_chip_puf():
+    chip = FabricationProcess().fabricate(
+        CHIP_RING_COUNT * STAGE_COUNT + 24,
+        np.random.default_rng(7),
+        name="enroll-bench",
+    )
+    measurer = DelayMeasurer(noise=NoiselessMeasurement(), repeats=1)
+    allocation = RingAllocation(stage_count=STAGE_COUNT, ring_count=CHIP_RING_COUNT)
+    return ChipROPUF(
+        chip=chip,
+        allocation=allocation,
+        method="case1",
+        require_odd=True,
+        measurer=measurer,
+    )
+
+
+def _assert_same_enrollment(vectorized, loop):
+    assert np.array_equal(vectorized.bits, loop.bits)
+    assert np.array_equal(vectorized.margins, loop.margins)
+    assert vectorized.selections == loop.selections
+
+
+def _median_seconds(func, rounds=5):
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+def test_board_enroll_equivalence():
+    """Batch board enrollment == the preserved per-pair loop, bit for bit."""
+    puf = _make_board_puf()
+    _assert_same_enrollment(
+        puf.enroll(), enroll_loop_reference(puf, NOMINAL_OPERATING_POINT)
+    )
+
+
+def test_chip_enroll_equivalence():
+    """Noiseless batch chip enrollment == the legacy per-ring loop."""
+    puf = _make_chip_puf()
+    _assert_same_enrollment(
+        puf.enroll_batch(),
+        chip_enroll_loop_reference(puf, NOMINAL_OPERATING_POINT),
+    )
+
+
+def test_bench_enroll_engine(benchmark, save_artifact, save_bench_json):
+    board = _make_board_puf()
+    chip = _make_chip_puf()
+    op = NOMINAL_OPERATING_POINT
+
+    # Board half: one batch-selector pass vs 128 scalar selector calls.
+    board_loop_seconds = _median_seconds(lambda: enroll_loop_reference(board, op))
+    board_enrollment = benchmark(board.enroll, op)
+    board_vec_seconds = benchmark.stats.stats.median
+    board_speedup = board_loop_seconds / board_vec_seconds
+    _assert_same_enrollment(board_enrollment, enroll_loop_reference(board, op))
+
+    # Chip half: one leave-one-out delay tensor vs per-ring scalar chains.
+    chip_loop_seconds = _median_seconds(lambda: chip_enroll_loop_reference(chip, op))
+    chip_vec_seconds = _median_seconds(lambda: chip.enroll_batch(op))
+    chip_speedup = chip_loop_seconds / chip_vec_seconds
+    _assert_same_enrollment(chip.enroll_batch(op), chip_enroll_loop_reference(chip, op))
+
+    save_artifact(
+        "enroll_engine",
+        "\n".join(
+            [
+                "Batch enrollment engine",
+                f"board ({PAIR_COUNT} pairs, n={STAGE_COUNT}):",
+                f"  per-pair loop:   {board_loop_seconds * 1e3:9.3f} ms",
+                f"  batch selector:  {board_vec_seconds * 1e3:9.3f} ms",
+                f"  speedup:         {board_speedup:9.1f}x",
+                f"chip ({CHIP_RING_COUNT} rings, n={STAGE_COUNT}):",
+                f"  per-ring loop:   {chip_loop_seconds * 1e3:9.3f} ms",
+                f"  batch LOO:       {chip_vec_seconds * 1e3:9.3f} ms",
+                f"  speedup:         {chip_speedup:9.1f}x",
+                f"required:          {REQUIRED_SPEEDUP:9.1f}x on both",
+            ]
+        ),
+    )
+    save_bench_json(
+        "enroll",
+        {
+            "engine": "enroll_batch",
+            "board": {
+                "problem": {
+                    "pair_count": PAIR_COUNT,
+                    "stage_count": STAGE_COUNT,
+                },
+                "reference_median_seconds": board_loop_seconds,
+                "vectorized_median_seconds": board_vec_seconds,
+                "speedup_vs_reference": board_speedup,
+            },
+            "chip": {
+                "problem": {
+                    "ring_count": CHIP_RING_COUNT,
+                    "stage_count": STAGE_COUNT,
+                },
+                "reference_median_seconds": chip_loop_seconds,
+                "vectorized_median_seconds": chip_vec_seconds,
+                "speedup_vs_reference": chip_speedup,
+            },
+            "required_speedup": REQUIRED_SPEEDUP,
+        },
+    )
+    assert board_speedup >= REQUIRED_SPEEDUP, (
+        f"batch board enrollment only {board_speedup:.1f}x faster"
+    )
+    assert chip_speedup >= REQUIRED_SPEEDUP, (
+        f"batch chip enrollment only {chip_speedup:.1f}x faster"
+    )

@@ -13,14 +13,20 @@ Public surface:
   generation;
 * :class:`BatchEvaluator` — the vectorized batch response engine behind
   ``response``/``response_sweep`` (compiled selection masks, einsum row
-  sums, one noise draw per sweep shape).
+  sums, one noise draw per sweep shape);
+* selection_batch / batch measurement — the vectorized enrollment engine:
+  batch selectors over ``(pair, stage)`` matrices (byte-identical to the
+  scalar selectors) and one-tensor leave-one-out measurement under the
+  versioned ``"enroll-v1"`` draw order.
 """
 
 from .batch import (
     SWEEP_DRAW_ORDER,
     BatchEvaluator,
     CompiledEnrollment,
+    chip_enroll_loop_reference,
     compile_enrollment,
+    enroll_loop_reference,
     response_loop_reference,
 )
 from .config_vector import ConfigVector
@@ -31,11 +37,14 @@ from .multicorner import (
     worst_case_margin,
 )
 from .measurement import (
+    ENROLL_DRAW_ORDER,
+    BatchDdiffEstimate,
     DdiffEstimate,
     DelayMeasurer,
     leave_one_out_vectors,
     measure_ddiffs_least_squares,
     measure_ddiffs_leave_one_out,
+    measure_ddiffs_leave_one_out_batch,
     random_config_set,
     three_stage_ddiffs,
 )
@@ -49,6 +58,13 @@ from .selection import (
     select_exhaustive,
     select_traditional,
 )
+from .selection_batch import (
+    BATCH_SELECTION_METHODS,
+    BatchSelection,
+    select_case1_batch,
+    select_case2_batch,
+    select_traditional_batch,
+)
 from .selection_ext import (
     select_case1_offset,
     select_case2_offset,
@@ -57,18 +73,23 @@ from .selection_ext import (
 
 __all__ = [
     "SWEEP_DRAW_ORDER",
+    "ENROLL_DRAW_ORDER",
     "BatchEvaluator",
     "CompiledEnrollment",
     "compile_enrollment",
     "response_loop_reference",
+    "enroll_loop_reference",
+    "chip_enroll_loop_reference",
     "ConfigVector",
     "DelayUnit",
     "ConfigurableRO",
+    "BatchDdiffEstimate",
     "DdiffEstimate",
     "DelayMeasurer",
     "leave_one_out_vectors",
     "measure_ddiffs_least_squares",
     "measure_ddiffs_leave_one_out",
+    "measure_ddiffs_leave_one_out_batch",
     "random_config_set",
     "three_stage_ddiffs",
     "RING_COUNT_MULTIPLE",
@@ -84,6 +105,11 @@ __all__ = [
     "select_case2",
     "select_exhaustive",
     "select_traditional",
+    "BATCH_SELECTION_METHODS",
+    "BatchSelection",
+    "select_case1_batch",
+    "select_case2_batch",
+    "select_traditional_batch",
     "select_case1_offset",
     "select_case2_offset",
     "select_unconstrained",

@@ -44,7 +44,7 @@ from ..variation.noise import MeasurementNoise, NoiselessMeasurement
 from .pairing import RingAllocation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
-    from .puf import BoardROPUF, Enrollment
+    from .puf import BoardROPUF, ChipROPUF, Enrollment
 
 __all__ = [
     "SWEEP_DRAW_ORDER",
@@ -52,6 +52,8 @@ __all__ = [
     "BatchEvaluator",
     "compile_enrollment",
     "response_loop_reference",
+    "enroll_loop_reference",
+    "chip_enroll_loop_reference",
 ]
 
 #: Version tag of the sweep APIs' noise draw order (see module docstring).
@@ -106,10 +108,7 @@ def compile_enrollment(
                 f"pair {pair} configures {len(selection.top_config)} stages "
                 f"but the allocation's rings have {allocation.stage_count}"
             )
-    ring_pairs = np.array(
-        [allocation.pair_rings(pair) for pair in range(allocation.pair_count)],
-        dtype=int,
-    ).reshape(allocation.pair_count, 2)
+    ring_pairs = allocation.pair_ring_matrix()
     top_masks = np.stack(
         [selection.top_config.as_array() for selection in selections]
     ).astype(float)
@@ -291,9 +290,71 @@ def response_loop_reference(
     for pair, selection in enumerate(enrollment.selections):
         top, bottom = puf.allocation.pair_rings(pair)
         top_delays[pair] = np.sum(rings[top][selection.top_config.as_array()])
-        bottom_delays[pair] = np.sum(
-            rings[bottom][selection.bottom_config.as_array()]
-        )
+        bottom_delays[pair] = np.sum(rings[bottom][selection.bottom_config.as_array()])
     top_observed = puf.response_noise.observe(top_delays, puf.rng)
     bottom_observed = puf.response_noise.observe(bottom_delays, puf.rng)
     return top_observed > bottom_observed
+
+
+def enroll_loop_reference(
+    puf: "BoardROPUF", op: OperatingPoint
+) -> "Enrollment":
+    """The pre-batch per-pair board enrollment loop, preserved verbatim.
+
+    One scalar selector call per ring pair — the implementation
+    :meth:`BoardROPUF.enroll` used before the batch selection engine.  The
+    equivalence tests and the enrollment micro-benchmark pin the vectorized
+    path against it (byte-identical Enrollments); not a production code
+    path.
+    """
+    from .puf import SELECTION_METHODS, Enrollment
+
+    rings = puf._ring_delays(op)
+    selector = SELECTION_METHODS[puf.method]
+    selections = []
+    for pair in range(puf.allocation.pair_count):
+        top, bottom = puf.allocation.pair_rings(pair)
+        selections.append(
+            selector(rings[top], rings[bottom], require_odd=puf.require_odd)
+        )
+    margins = np.array([s.margin for s in selections])
+    bits = np.array([s.bit for s in selections])
+    return Enrollment(
+        operating_point=op, selections=selections, bits=bits, margins=margins
+    )
+
+
+def chip_enroll_loop_reference(
+    puf: "ChipROPUF", op: OperatingPoint
+) -> "Enrollment":
+    """The per-pair chip enrollment loop, mirrored for benchmarking.
+
+    Identical to :meth:`ChipROPUF.enroll` (which deliberately *keeps* this
+    loop as its default path — the legacy noise draw order interleaves
+    measurements per pair and cannot be reproduced by one batch tensor).
+    The enrollment micro-benchmark times ``ChipROPUF.enroll_batch`` against
+    it, and the byte-identity tests pin the default path to it.
+    """
+    from .puf import Enrollment
+
+    selections = []
+    margins = []
+    bits = []
+    for pair in range(puf.allocation.pair_count):
+        top_idx, bottom_idx = puf.allocation.pair_rings(pair)
+        top_ring = puf.ring(top_idx)
+        bottom_ring = puf.ring(bottom_idx)
+        selection = puf._select_pair(top_ring, bottom_ring, op)
+        selections.append(selection)
+        margins.append(selection.margin)
+        top_delay = puf.measurer.chain_delay(top_ring, selection.top_config, op)
+        bottom_delay = puf.measurer.chain_delay(
+            bottom_ring, selection.bottom_config, op
+        )
+        bits.append(top_delay > bottom_delay)
+    return Enrollment(
+        operating_point=op,
+        selections=selections,
+        bits=np.array(bits),
+        margins=np.array(margins),
+    )

@@ -34,12 +34,25 @@ from .ring import ConfigurableRO
 __all__ = [
     "DelayMeasurer",
     "DdiffEstimate",
+    "BatchDdiffEstimate",
     "measure_ddiffs_leave_one_out",
+    "measure_ddiffs_leave_one_out_batch",
     "measure_ddiffs_least_squares",
     "three_stage_ddiffs",
     "leave_one_out_vectors",
     "random_config_set",
+    "ENROLL_DRAW_ORDER",
 ]
+
+#: Version tag of the batch enrollment noise-draw order.  Batch enrollment
+#: (:func:`measure_ddiffs_leave_one_out_batch`, ``ChipROPUF.enroll_batch`` /
+#: ``enroll_sweep``) draws one noise tensor per array shape: first the full
+#: ``(ring, config)`` leave-one-out matrix (rings major, repeats drawn
+#: matrix-by-matrix), then the per-pair reference observations.  This
+#: differs from the legacy per-ring interleaving of ``ChipROPUF.enroll``,
+#: which therefore keeps its sequential path; any change to the batch order
+#: must bump this tag.
+ENROLL_DRAW_ORDER = "enroll-v1"
 
 
 @dataclass
@@ -83,7 +96,31 @@ class DelayMeasurer:
         configs: list[ConfigVector],
         op: OperatingPoint = NOMINAL_OPERATING_POINT,
     ) -> np.ndarray:
-        """Averaged, noisy measurements for a list of configurations."""
+        """Averaged, noisy measurements for a list of configurations.
+
+        Draw-order note: the whole batch is observed with *one*
+        ``observe_averaged`` call (noise vectors span the config axis), so
+        the generator advances differently from a loop of
+        :meth:`chain_delay` calls.  With ``repeats == 1`` and Gaussian
+        noise the two are byte-identical (one ``normal(size=n)`` draw
+        equals ``n`` sequential size-1 draws); callers that depend on the
+        per-call order at higher repeats use :meth:`chain_delays_sequential`.
+        """
+        true_delays = ring.chain_delays(configs, op)
+        return self.noise.observe_averaged(true_delays, self.rng, self.repeats)
+
+    def chain_delays_sequential(
+        self,
+        ring: ConfigurableRO,
+        configs: list[ConfigVector],
+        op: OperatingPoint = NOMINAL_OPERATING_POINT,
+    ) -> np.ndarray:
+        """Per-call measurements, preserving the scalar noise draw order.
+
+        One :meth:`chain_delay` call per configuration — the legacy order
+        that the per-ring ddiff extractors (and through them the default
+        ``ChipROPUF.enroll`` path) are pinned to.
+        """
         return np.array([self.chain_delay(ring, c, op) for c in configs])
 
 
@@ -129,7 +166,7 @@ def measure_ddiffs_leave_one_out(
     replaces its ``d + d1`` contribution by ``d0``.
     """
     configs = leave_one_out_vectors(ring.stage_count)
-    measurements = measurer.chain_delays(ring, configs, op)
+    measurements = measurer.chain_delays_sequential(ring, configs, op)
     full = measurements[0]
     ddiffs = full - measurements[1:]
     return DdiffEstimate(
@@ -138,6 +175,86 @@ def measure_ddiffs_leave_one_out(
         residual_rms=0.0,
         configs=configs,
         measurements=measurements,
+    )
+
+
+@dataclass
+class BatchDdiffEstimate:
+    """Leave-one-out extraction for many rings at once.
+
+    Attributes:
+        ddiffs: ``(ring, stage)`` estimated per-unit ``ddiff`` values.
+        configs: the shared leave-one-out configuration list (all-ones
+            first), identical for every ring.
+        measurements: ``(ring, config)`` measured chain delays.
+    """
+
+    ddiffs: np.ndarray
+    configs: list[ConfigVector]
+    measurements: np.ndarray
+
+    @property
+    def ring_count(self) -> int:
+        """Number of rings measured."""
+        return len(self.ddiffs)
+
+    def estimate(self, ring_index: int) -> DdiffEstimate:
+        """The per-ring :class:`DdiffEstimate` view of one row."""
+        return DdiffEstimate(
+            ddiffs=self.ddiffs[ring_index].copy(),
+            intercept=float("nan"),
+            residual_rms=0.0,
+            configs=self.configs,
+            measurements=self.measurements[ring_index].copy(),
+        )
+
+
+def measure_ddiffs_leave_one_out_batch(
+    measurer: DelayMeasurer,
+    rings: list[ConfigurableRO],
+    op: OperatingPoint = NOMINAL_OPERATING_POINT,
+) -> BatchDdiffEstimate:
+    """Leave-one-out ddiff extraction over many rings in one array pass.
+
+    Evaluates the full ``(ring, config)`` true chain-delay matrix straight
+    off the chip's structure-of-arrays delay vectors and observes it with
+    one noise tensor per repeat (the :data:`ENROLL_DRAW_ORDER` contract).
+    Each row's closed form matches :func:`measure_ddiffs_leave_one_out`
+    exactly; only the noise draw order differs (byte-identical under
+    noiseless measurement).
+
+    Args:
+        rings: rings sharing one chip and one stage count.
+    """
+    if not rings:
+        raise ValueError("need at least one ring")
+    chip = rings[0].chip
+    stage_count = rings[0].stage_count
+    for ring in rings[1:]:
+        if ring.chip is not chip:
+            raise ValueError("batch measurement needs rings on one chip")
+        if ring.stage_count != stage_count:
+            raise ValueError(
+                "batch measurement needs a uniform stage count, got "
+                f"{ring.stage_count} != {stage_count}"
+            )
+    configs = leave_one_out_vectors(stage_count)
+    config_masks = np.stack([c.as_array() for c in configs])
+    unit_indices = np.stack([ring.unit_indices for ring in rings])
+    selected = chip.selected_path_delays(op)[unit_indices]
+    bypass = chip.mux_bypass_delays(op)[unit_indices]
+    # (ring, 1, stage) vs (1, config, stage) -> (ring, config) delays; each
+    # row/column entry is the same stage vector summed along the last axis,
+    # hence bit-identical to the per-call ConfigurableRO.chain_delay.
+    true_delays = np.where(
+        config_masks[None, :, :], selected[:, None, :], bypass[:, None, :]
+    ).sum(axis=2)
+    measurements = measurer.noise.observe_averaged(
+        true_delays, measurer.rng, measurer.repeats
+    )
+    ddiffs = measurements[:, 0:1] - measurements[:, 1:]
+    return BatchDdiffEstimate(
+        ddiffs=ddiffs, configs=configs, measurements=measurements
     )
 
 
@@ -169,7 +286,7 @@ def measure_ddiffs_least_squares(
             "configuration set is rank-deficient; some units cannot be "
             "distinguished (add more diverse configurations)"
         )
-    measurements = measurer.chain_delays(ring, configs, op)
+    measurements = measurer.chain_delays_sequential(ring, configs, op)
     solution, _, _, _ = np.linalg.lstsq(design, measurements, rcond=None)
     residuals = measurements - design @ solution
     return DdiffEstimate(
@@ -209,8 +326,14 @@ def random_config_set(
 ) -> list[ConfigVector]:
     """A random full-rank configuration set for the least-squares estimator.
 
-    Draws uniform random vectors (rejecting duplicates) until the augmented
-    design matrix reaches full column rank, then fills up to ``count``.
+    Draws uniform random vectors until the augmented design matrix reaches
+    full column rank, then fills up to ``count``.  Duplicate draws are
+    rejected for free — only draws rejected for *rank* (a fresh vector that
+    would leave too few slots to complete the rank) consume
+    ``max_attempts``, so small stage counts with ``count`` near
+    ``2 ** stage_count`` terminate reliably.  Rank is tracked incrementally
+    by Gram-Schmidt elimination over the accepted rows instead of
+    re-factorising the growing stack per draw.
     """
     if count < stage_count + 1:
         raise ValueError(
@@ -224,27 +347,46 @@ def random_config_set(
     full_rank = stage_count + 1
     seen: set[tuple[bool, ...]] = set()
     vectors: list[ConfigVector] = []
-    rows: list[np.ndarray] = []
-    rank = 0
-    for _ in range(max_attempts):
-        if len(vectors) == count:
+    basis: list[np.ndarray] = []
+
+    def residual_direction(row: np.ndarray) -> np.ndarray | None:
+        """Component of ``row`` outside the accepted span, or None if inside."""
+        residual = row.astype(float)
+        # Two elimination passes keep the basis numerically orthonormal;
+        # rows are small-integer so 1e-9 relative is far below any true
+        # independent component.
+        for _ in range(2):
+            for direction in basis:
+                residual = residual - (residual @ direction) * direction
+        norm = float(np.linalg.norm(residual))
+        if norm <= 1e-9 * float(np.linalg.norm(row)):
+            return None
+        return residual / norm
+
+    attempts = 0
+    # Duplicates are free, so bound them separately to stay finite if the
+    # generator gets stuck repeating itself.
+    duplicate_budget = 1000 * max(count, 1)
+    while len(vectors) < count:
+        if attempts >= max_attempts:
             break
         bits = tuple(bool(b) for b in rng.integers(0, 2, size=stage_count))
         if bits in seen:
+            duplicate_budget -= 1
+            if duplicate_budget <= 0:
+                break
             continue
         row = np.concatenate([[1.0], np.array(bits, dtype=float)])
-        must_raise_rank = count - len(vectors) <= full_rank - rank
-        if must_raise_rank and rank < full_rank:
-            new_rank = np.linalg.matrix_rank(np.stack(rows + [row]))
-            if new_rank == rank:
-                continue
-            rank = new_rank
-        else:
-            rank = np.linalg.matrix_rank(np.stack(rows + [row]))
+        direction = residual_direction(row)
+        must_raise_rank = count - len(vectors) <= full_rank - len(basis)
+        if must_raise_rank and direction is None:
+            attempts += 1
+            continue
+        if direction is not None:
+            basis.append(direction)
         seen.add(bits)
         vectors.append(ConfigVector(bits))
-        rows.append(row)
-    if len(vectors) == count and rank == full_rank:
+    if len(vectors) == count and len(basis) == full_rank:
         return vectors
     raise RuntimeError(
         f"could not build a full-rank set of {count} configurations for "

@@ -124,6 +124,15 @@ class RingAllocation:
             raise ValueError(f"pair {pair} out of range [0, {self.pair_count})")
         return 2 * pair, 2 * pair + 1
 
+    def pair_ring_matrix(self) -> np.ndarray:
+        """All pairs' (top, bottom) ring indices, shape ``(pair_count, 2)``.
+
+        Row ``p`` equals :meth:`pair_rings`\\ ``(p)``; the batch enrollment
+        and response engines use this instead of looping the scalar method.
+        """
+        tops = 2 * np.arange(self.pair_count)
+        return np.stack([tops, tops + 1], axis=1)
+
     def group_rings(self, group: int) -> np.ndarray:
         """Ring indices of one 1-out-of-8 group."""
         if not 0 <= group < self.group_of_8_count:

@@ -38,6 +38,7 @@ from .measurement import (
     leave_one_out_vectors,
     measure_ddiffs_least_squares,
     measure_ddiffs_leave_one_out,
+    measure_ddiffs_leave_one_out_batch,
 )
 from .pairing import RingAllocation, allocate_rings
 from .ring import ConfigurableRO
@@ -47,6 +48,7 @@ from .selection import (
     select_case2,
     select_traditional,
 )
+from .selection_batch import BATCH_SELECTION_METHODS, BatchSelection
 from .selection_ext import select_case1_offset, select_case2_offset
 
 __all__ = [
@@ -162,23 +164,68 @@ class BoardROPUF:
         unit_delays = np.asarray(self.delay_provider(op), dtype=float)
         return self.allocation.ring_delay_matrix(unit_delays)
 
+    def _select_batch(self, rings: np.ndarray) -> BatchSelection:
+        """Run the batch selector over stacked (pair-major) delay matrices."""
+        pairs = self.allocation.pair_ring_matrix()
+        selector = BATCH_SELECTION_METHODS[self.method]
+        return selector(
+            rings[pairs[:, 0]], rings[pairs[:, 1]], require_odd=self.require_odd
+        )
+
     def enroll(
         self, op: OperatingPoint = NOMINAL_OPERATING_POINT
     ) -> Enrollment:
-        """Measure the board at ``op`` and configure every RO pair."""
+        """Measure the board at ``op`` and configure every RO pair.
+
+        All pairs are selected in one vectorized pass
+        (:mod:`repro.core.selection_batch`); the resulting
+        :class:`Enrollment` is byte-identical to the historical per-pair
+        loop, preserved as
+        :func:`repro.core.batch.enroll_loop_reference` and pinned by the
+        equivalence tests.
+        """
         rings = self._ring_delays(op)
-        selector = SELECTION_METHODS[self.method]
-        selections = []
-        for pair in range(self.allocation.pair_count):
-            top, bottom = self.allocation.pair_rings(pair)
-            selections.append(
-                selector(rings[top], rings[bottom], require_odd=self.require_odd)
-            )
-        margins = np.array([s.margin for s in selections])
-        bits = np.array([s.bit for s in selections])
-        return Enrollment(
-            operating_point=op, selections=selections, bits=bits, margins=margins
+        return self._select_batch(rings).to_enrollment(op)
+
+    def enroll_sweep(
+        self, ops: list[OperatingPoint]
+    ) -> list[Enrollment]:
+        """Enroll at many operating points in one selector pass.
+
+        Stacks every corner's ``(pair, stage)`` delay matrices into one
+        pair-major batch and runs the selector once; each returned
+        enrollment equals ``enroll(op)`` exactly (board enrollment is
+        deterministic — no noise draws are involved).
+        """
+        ops = list(ops)
+        if not ops:
+            raise ValueError("no operating points supplied")
+        pair_count = self.allocation.pair_count
+        stacked = np.concatenate([self._ring_delays(op) for op in ops])
+        pairs = self.allocation.pair_ring_matrix()
+        ring_count = self.allocation.ring_count
+        offsets = np.repeat(
+            np.arange(len(ops)) * ring_count, pair_count
+        ).reshape(-1, 1)
+        all_pairs = np.tile(pairs, (len(ops), 1)) + offsets
+        selector = BATCH_SELECTION_METHODS[self.method]
+        batch = selector(
+            stacked[all_pairs[:, 0]],
+            stacked[all_pairs[:, 1]],
+            require_odd=self.require_odd,
         )
+        selections = batch.to_selections()
+        return [
+            Enrollment(
+                operating_point=op,
+                selections=selections[i * pair_count : (i + 1) * pair_count],
+                bits=batch.bits[i * pair_count : (i + 1) * pair_count],
+                margins=batch.margins[
+                    i * pair_count : (i + 1) * pair_count
+                ].astype(float, copy=True),
+            )
+            for i, op in enumerate(ops)
+        ]
 
     def batch(self, enrollment: Enrollment) -> "BatchEvaluator":
         """A vectorized evaluator bound to this PUF and one enrollment.
@@ -368,7 +415,17 @@ class ChipROPUF:
     def enroll(
         self, op: OperatingPoint = NOMINAL_OPERATING_POINT
     ) -> Enrollment:
-        """Measure, select, and record reference bits at ``op``."""
+        """Measure, select, and record reference bits at ``op``.
+
+        This default path deliberately keeps the per-pair loop: its noise
+        draw order interleaves each pair's measurements (top leave-one-out,
+        bottom leave-one-out, top reference, bottom reference) and cannot
+        be reproduced by one batch tensor, and seeded experiments are
+        pinned to it (see :func:`repro.core.batch.chip_enroll_loop_reference`).
+        Use :meth:`enroll_batch` / :meth:`enroll_sweep` for the vectorized
+        engine under the versioned
+        :data:`~repro.core.measurement.ENROLL_DRAW_ORDER` contract.
+        """
         selections = []
         margins = []
         bits = []
@@ -392,6 +449,155 @@ class ChipROPUF:
             bits=np.array(bits),
             margins=np.array(margins),
         )
+
+    def _require_batchable(self) -> None:
+        if self.offset_aware:
+            raise ValueError(
+                "batch enrollment does not support offset_aware selection; "
+                "use the per-pair enroll() path"
+            )
+
+    def _ring_unit_matrix(self) -> np.ndarray:
+        """(ring_count, stage_count) chip unit indices of every ring."""
+        return np.stack(
+            [
+                self.allocation.ring_units(ring)
+                for ring in range(self.allocation.ring_count)
+            ]
+        )
+
+    def _configured_chain_delays(
+        self,
+        unit_indices: np.ndarray,
+        masks: np.ndarray,
+        op: OperatingPoint,
+    ) -> np.ndarray:
+        """True configured-chain delays, one per row of ``unit_indices``.
+
+        Each row is bit-identical to the corresponding
+        :meth:`ConfigurableRO.chain_delay` call (same stage vector, summed
+        along the last axis).
+        """
+        selected = self.chip.selected_path_delays(op)[unit_indices]
+        bypass = self.chip.mux_bypass_delays(op)[unit_indices]
+        return np.where(masks, selected, bypass).sum(axis=1)
+
+    def _batch_enrollment(
+        self,
+        batch: BatchSelection,
+        unit_matrix: np.ndarray,
+        pairs: np.ndarray,
+        op: OperatingPoint,
+    ) -> Enrollment:
+        """Reference-bit observation + packaging for one corner's batch."""
+        true_top = self._configured_chain_delays(
+            unit_matrix[pairs[:, 0]], batch.top_masks, op
+        )
+        true_bottom = self._configured_chain_delays(
+            unit_matrix[pairs[:, 1]], batch.bottom_masks, op
+        )
+        top_observed = self.measurer.noise.observe_averaged(
+            true_top, self.measurer.rng, self.measurer.repeats
+        )
+        bottom_observed = self.measurer.noise.observe_averaged(
+            true_bottom, self.measurer.rng, self.measurer.repeats
+        )
+        return Enrollment(
+            operating_point=op,
+            selections=batch.to_selections(),
+            bits=top_observed > bottom_observed,
+            margins=batch.margins.astype(float, copy=True),
+        )
+
+    def enroll_batch(
+        self, op: OperatingPoint = NOMINAL_OPERATING_POINT
+    ) -> Enrollment:
+        """Vectorized enrollment: one measurement tensor, one selector pass.
+
+        Measures the whole ``(ring, config)`` leave-one-out chain-delay
+        matrix with :func:`~repro.core.measurement.measure_ddiffs_leave_one_out_batch`,
+        selects every pair with the batch selectors, then observes the
+        per-pair reference chains (top vector, then bottom vector) — the
+        :data:`~repro.core.measurement.ENROLL_DRAW_ORDER` contract.  Under
+        noiseless measurement the result is byte-identical to
+        :meth:`enroll`; with noise only the draw order differs.
+
+        Raises:
+            ValueError: if ``offset_aware`` is set (the offset-aware
+                selectors are per-pair only).
+        """
+        self._require_batchable()
+        rings = [self.ring(index) for index in range(self.allocation.ring_count)]
+        estimate = measure_ddiffs_leave_one_out_batch(self.measurer, rings, op)
+        pairs = self.allocation.pair_ring_matrix()
+        selector = BATCH_SELECTION_METHODS[self.method]
+        batch = selector(
+            estimate.ddiffs[pairs[:, 0]],
+            estimate.ddiffs[pairs[:, 1]],
+            require_odd=self.require_odd,
+        )
+        return self._batch_enrollment(batch, self._ring_unit_matrix(), pairs, op)
+
+    def enroll_sweep(
+        self, ops: list[OperatingPoint]
+    ) -> list[Enrollment]:
+        """Enroll at many corners with one noise tensor per array shape.
+
+        Generalises :meth:`enroll_batch` across operating points: the
+        stacked ``(op, ring, config)`` leave-one-out tensor is observed
+        first, then per corner the top and bottom reference vectors —
+        still the :data:`~repro.core.measurement.ENROLL_DRAW_ORDER`
+        contract, with the corner axis leading.  Multi-corner enrollment
+        schemes (multi-voltage selection in the spirit of Mansouri &
+        Dubrova) get every corner's enrollment for the cost of one pass.
+        """
+        self._require_batchable()
+        ops = list(ops)
+        if not ops:
+            raise ValueError("no operating points supplied")
+        stage_count = self.allocation.stage_count
+        configs = leave_one_out_vectors(stage_count)
+        config_masks = np.stack([c.as_array() for c in configs])
+        unit_matrix = self._ring_unit_matrix()
+        true_matrices = np.stack(
+            [
+                np.where(
+                    config_masks[None, :, :],
+                    self.chip.selected_path_delays(op)[unit_matrix][:, None, :],
+                    self.chip.mux_bypass_delays(op)[unit_matrix][:, None, :],
+                ).sum(axis=2)
+                for op in ops
+            ]
+        )
+        measurements = self.measurer.noise.observe_averaged(
+            true_matrices, self.measurer.rng, self.measurer.repeats
+        )
+        ddiffs = measurements[..., 0:1] - measurements[..., 1:]
+        pairs = self.allocation.pair_ring_matrix()
+        selector = BATCH_SELECTION_METHODS[self.method]
+        alpha = ddiffs[:, pairs[:, 0], :].reshape(-1, stage_count)
+        beta = ddiffs[:, pairs[:, 1], :].reshape(-1, stage_count)
+        batch = selector(alpha, beta, require_odd=self.require_odd)
+        pair_count = self.allocation.pair_count
+        enrollments = []
+        for i, op in enumerate(ops):
+            rows = slice(i * pair_count, (i + 1) * pair_count)
+            top_slice = batch.top_masks[rows]
+            bottom_slice = (
+                top_slice
+                if batch.bottom_masks is batch.top_masks
+                else batch.bottom_masks[rows]
+            )
+            corner = BatchSelection(
+                top_masks=top_slice,
+                bottom_masks=bottom_slice,
+                margins=batch.margins[rows],
+                method=batch.method,
+            )
+            enrollments.append(
+                self._batch_enrollment(corner, unit_matrix, pairs, op)
+            )
+        return enrollments
 
     def response(self, op: OperatingPoint, enrollment: Enrollment) -> np.ndarray:
         """Regenerate the response bits at ``op`` with fresh noise."""

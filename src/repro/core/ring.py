@@ -97,6 +97,26 @@ class ConfigurableRO:
         )
         return float(np.sum(stage))
 
+    def chain_delays(
+        self,
+        configs: list[ConfigVector],
+        op: OperatingPoint = NOMINAL_OPERATING_POINT,
+    ) -> np.ndarray:
+        """True chain delays for a batch of configurations, in one array op.
+
+        Each entry is bit-identical to the corresponding
+        :meth:`chain_delay` call: the per-stage selected/bypass vectors are
+        shared across the batch and each row is the same stage vector
+        summed along the last axis.
+        """
+        if not configs:
+            return np.zeros(0)
+        masks = np.stack([self._check_config(c) for c in configs])
+        stage = np.where(
+            masks, self.selected_path_delays(op), self.bypass_delays(op)
+        )
+        return stage.sum(axis=1)
+
     def frequency(
         self, config: ConfigVector, op: OperatingPoint = NOMINAL_OPERATING_POINT
     ) -> float:

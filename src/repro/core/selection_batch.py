@@ -1,0 +1,401 @@
+"""Vectorized batch selectors: the enrollment half of the batch engine.
+
+The scalar selectors of :mod:`repro.core.selection` decide one RO pair per
+call; enrolling a board walks them in a Python loop, which made enrollment
+the hot path of the ablations and threshold studies once responses were
+vectorized (:mod:`repro.core.batch`).  This module re-implements the three
+paper selectors over ``(pair, stage)`` delta *matrices* so a whole board
+enrolls in a handful of array operations:
+
+* :func:`select_case1_batch` — sign-mask reductions: both signed directions
+  are materialised as boolean mask matrices, parity is repaired per row
+  with masked ``argmin``/``argmax`` reductions, and the larger-magnitude
+  direction wins per row.
+* :func:`select_case2_batch` — per-row stable ``argsort`` plus prefix-sum
+  greedy pairing, with the odd-length repair evaluated on prefix masks.
+* :func:`select_traditional_batch` — all stages, with the even-stage-count
+  parity drop evaluated row-wise.
+
+Byte-identity contract
+----------------------
+
+Each batch selector produces, for every row, the exact
+:class:`~repro.core.selection.PairSelection` its scalar counterpart returns
+— same masks, and *bit-for-bit* the same margin floats.  Every decision in
+the scalar selectors is an elementwise comparison, a stable sort, or an
+``argmin``/``argmax``, all of which vectorize exactly; the only rounding-
+sensitive quantities are the ``np.sum`` reductions over selected subsets.
+Those are reproduced bit-for-bit by :func:`masked_row_sums`, which exploits
+the fact that numpy's pairwise summation degenerates to a plain sequential
+loop below 8 elements: rows selecting at most 7 entries are summed as
+left-packed zero-padded rows (trailing zeros are exact no-ops), wider rows
+fall back to a per-row ``np.sum`` over the compressed values.  The
+equivalence is pinned by ``tests/test_selection_batch.py`` (Hypothesis,
+batch ≡ scalar ≡ exhaustive) and ``tests/test_enroll_engine.py``
+(board enrollment vs the preserved loop reference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .config_vector import ConfigVector
+from .selection import PairSelection
+
+__all__ = [
+    "BatchSelection",
+    "select_case1_batch",
+    "select_case2_batch",
+    "select_traditional_batch",
+    "BATCH_SELECTION_METHODS",
+    "masked_row_sums",
+]
+
+#: numpy's pairwise summation reduces sums of fewer than 8 elements with a
+#: plain left-to-right loop, so a left-packed zero-padded row of this width
+#: sums bit-identically to ``np.sum`` of its compressed values.  Pinned by
+#: ``tests/test_selection_batch.py::test_sequential_sum_width_invariant``.
+_SEQUENTIAL_SUM_WIDTH = 7
+
+
+def masked_row_sums(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """``np.sum(values[p, mask[p]])`` for every row ``p``, bit-for-bit.
+
+    Rows selecting at most :data:`_SEQUENTIAL_SUM_WIDTH` entries are summed
+    vectorized, as left-packed zero-padded rows (sequential-summation
+    regime, where trailing zeros are exact no-ops); wider rows fall back to
+    a per-row ``np.sum`` over the compressed values.
+    """
+    values = np.asarray(values, dtype=float)
+    mask = np.asarray(mask, dtype=bool)
+    if values.shape != mask.shape or values.ndim != 2:
+        raise ValueError(
+            f"values and mask must be equal-shape 2-D, got {values.shape} "
+            f"and {mask.shape}"
+        )
+    counts = mask.sum(axis=1)
+    sums = np.zeros(len(values), dtype=float)
+    narrow = counts <= _SEQUENTIAL_SUM_WIDTH
+    if narrow.any():
+        sub_values = values[narrow]
+        sub_mask = mask[narrow]
+        sub_counts = counts[narrow]
+        width = int(sub_counts.max(initial=0))
+        if width:
+            flat = sub_values[sub_mask]
+            rows = np.repeat(np.arange(len(sub_values)), sub_counts)
+            starts = np.cumsum(sub_counts) - sub_counts
+            cols = np.arange(len(flat)) - np.repeat(starts, sub_counts)
+            padded = np.zeros((len(sub_values), width))
+            padded[rows, cols] = flat
+            sums[narrow] = padded.sum(axis=1)
+    if not narrow.all():
+        for row in np.flatnonzero(~narrow):
+            sums[row] = np.sum(values[row, mask[row]])
+    return sums
+
+
+@dataclass(frozen=True, eq=False)
+class BatchSelection:
+    """The outcome of configuring many RO pairs at once.
+
+    The dense-matrix counterpart of a list of
+    :class:`~repro.core.selection.PairSelection`; produced by the batch
+    selectors and consumed directly by :meth:`BoardROPUF.enroll
+    <repro.core.puf.BoardROPUF.enroll>`.
+
+    Attributes:
+        top_masks: boolean ``(pair_count, stage_count)`` matrix; row ``p``
+            is pair ``p``'s top configuration vector.
+        bottom_masks: same for the bottom configurations (the *same array
+            object* for shared-configuration methods).
+        margins: per-pair signed delay margins, bit-identical to the scalar
+            selectors' ``PairSelection.margin`` values.
+        method: ``"case1"``, ``"case2"`` or ``"traditional"``.
+    """
+
+    top_masks: np.ndarray
+    bottom_masks: np.ndarray
+    margins: np.ndarray
+    method: str
+
+    @property
+    def pair_count(self) -> int:
+        """Number of RO pairs selected."""
+        return len(self.margins)
+
+    @property
+    def stage_count(self) -> int:
+        """Units per ring (mask row width)."""
+        return self.top_masks.shape[1]
+
+    @property
+    def bits(self) -> np.ndarray:
+        """The enrolled PUF bits: True where the top ring is slower."""
+        return self.margins > 0.0
+
+    def to_selections(self) -> list[PairSelection]:
+        """Expand into the scalar per-pair :class:`PairSelection` objects.
+
+        Shared-configuration methods reuse one :class:`ConfigVector` per
+        pair for both rings, exactly like the scalar selectors do.
+        """
+        top_configs = [
+            ConfigVector(bits) for bits in map(tuple, self.top_masks.tolist())
+        ]
+        if self.bottom_masks is self.top_masks:
+            bottom_configs = top_configs
+        else:
+            bottom_configs = [
+                ConfigVector(bits)
+                for bits in map(tuple, self.bottom_masks.tolist())
+            ]
+        return [
+            PairSelection(
+                top_config=top,
+                bottom_config=bottom,
+                margin=float(margin),
+                method=self.method,
+            )
+            for top, bottom, margin in zip(top_configs, bottom_configs, self.margins)
+        ]
+
+    def to_enrollment(self, operating_point) -> "object":
+        """Package as an :class:`~repro.core.puf.Enrollment` at one corner."""
+        from .puf import Enrollment
+
+        return Enrollment(
+            operating_point=operating_point,
+            selections=self.to_selections(),
+            bits=self.bits,
+            margins=self.margins.astype(float, copy=True),
+        )
+
+
+def _validate_batch(
+    alpha: np.ndarray, beta: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    alpha = np.asarray(alpha, dtype=float)
+    beta = np.asarray(beta, dtype=float)
+    if alpha.ndim != 2 or beta.ndim != 2:
+        raise ValueError("batch delay matrices must be 2-D (pair, stage)")
+    if alpha.shape != beta.shape:
+        raise ValueError(
+            f"top and bottom matrices differ in shape: {alpha.shape} vs "
+            f"{beta.shape}"
+        )
+    if alpha.shape[1] == 0:
+        raise ValueError("delay vectors cannot be empty")
+    return alpha, beta
+
+
+def select_case1_batch(
+    alpha: np.ndarray,
+    beta: np.ndarray,
+    require_odd: bool = False,
+) -> BatchSelection:
+    """Batch Case-1: one shared configuration per pair (sign-mask optimal).
+
+    Row ``p`` reproduces ``select_case1(alpha[p], beta[p], require_odd)``
+    bit-for-bit (see the module docstring for why).
+
+    Args:
+        alpha: ``(pair, stage)`` per-unit delays (ddiffs) of the top rings.
+        beta: same for the bottom rings.
+        require_odd: force odd selected counts (free-running rings).
+    """
+    alpha, beta = _validate_batch(alpha, beta)
+    delta = alpha - beta
+    positive = _direction_selection_batch(delta, 1.0, require_odd)
+    negative = _direction_selection_batch(delta, -1.0, require_odd)
+    margins_positive = masked_row_sums(delta, positive)
+    margins_negative = masked_row_sums(delta, negative)
+    # The scalar loop evaluates sign +1 first and lets -1 replace it only
+    # on strictly larger magnitude, so ties keep the positive direction.
+    take_negative = np.abs(margins_negative) > np.abs(margins_positive)
+    masks = np.where(take_negative[:, None], negative, positive)
+    margins = np.where(take_negative, margins_negative, margins_positive)
+    return BatchSelection(
+        top_masks=masks, bottom_masks=masks, margins=margins, method="case1"
+    )
+
+
+def _direction_selection_batch(
+    delta: np.ndarray, sign: float, require_odd: bool
+) -> np.ndarray:
+    """Row-wise best selections whose margins point in one sign direction.
+
+    Mirrors ``selection._direction_selection`` decision for decision: strict
+    positive-contribution masks, the single-``argmax`` fallback for rows no
+    unit helps, and the cheapest-repair parity fix (first-index tie-breaks
+    via masked ``argmin``/``argmax``, exactly numpy's scalar behaviour).
+    """
+    contributions = sign * delta
+    selected = contributions > 0.0
+    counts = selected.sum(axis=1)
+    empty_rows = np.flatnonzero(counts == 0)
+    if len(empty_rows):
+        # No unit helps these rows: least-bad single unit (count 1 is odd).
+        fallback = np.argmax(contributions[empty_rows], axis=1)
+        selected[empty_rows, fallback] = True
+        counts[empty_rows] = 1
+    if require_odd:
+        even_rows = np.flatnonzero(counts % 2 == 0)
+        if len(even_rows):
+            sub_contributions = contributions[even_rows]
+            sub_selected = selected[even_rows]
+            drop_cost = np.where(sub_selected, sub_contributions, np.inf).min(axis=1)
+            add_cost = np.where(~sub_selected, -sub_contributions, np.inf).min(axis=1)
+            add_index = np.argmax(
+                np.where(~sub_selected, sub_contributions, -np.inf), axis=1
+            )
+            drop_index = np.argmin(
+                np.where(sub_selected, sub_contributions, np.inf), axis=1
+            )
+            add_wins = add_cost < drop_cost
+            selected[even_rows[add_wins], add_index[add_wins]] = True
+            selected[even_rows[~add_wins], drop_index[~add_wins]] = False
+    return selected
+
+
+def select_case2_batch(
+    alpha: np.ndarray,
+    beta: np.ndarray,
+    require_odd: bool = False,
+) -> BatchSelection:
+    """Batch Case-2: independent equal-count configurations per pair.
+
+    Row ``p`` reproduces ``select_case2(alpha[p], beta[p], require_odd)``
+    bit-for-bit: per-row stable argsorts, greedy positive-gain prefixes
+    (prefix sums reproduced exactly via :func:`masked_row_sums`), the
+    ``sum_pos >= sum_neg`` direction rule, and the odd-length neighbour
+    repair (``k - 1`` wins ties).
+    """
+    alpha, beta = _validate_batch(alpha, beta)
+    pair_count, n = alpha.shape
+    columns = np.arange(n)
+
+    desc_alpha = np.argsort(-alpha, axis=1, kind="stable")
+    desc_beta = np.argsort(-beta, axis=1, kind="stable")
+    alpha_sorted = np.take_along_axis(alpha, desc_alpha, axis=1)
+    beta_sorted = np.take_along_axis(beta, desc_beta, axis=1)
+    gains_positive = alpha_sorted - beta_sorted[:, ::-1]
+    gains_negative = beta_sorted - alpha_sorted[:, ::-1]
+
+    k_positive, sum_positive = _greedy_prefix_batch(gains_positive)
+    k_negative, sum_negative = _greedy_prefix_batch(gains_negative)
+
+    positive_direction = sum_positive >= sum_negative
+    k = np.where(
+        positive_direction,
+        np.maximum(k_positive, 1),
+        np.maximum(k_negative, 1),
+    )
+
+    if require_odd:
+        even_rows = np.flatnonzero(k % 2 == 0)
+        if len(even_rows):
+            gains = np.where(
+                positive_direction[even_rows, None],
+                gains_positive[even_rows],
+                gains_negative[even_rows],
+            )
+            sub_k = k[even_rows]
+            # k is even hence >= 2, so k - 1 is always a valid odd length;
+            # k + 1 exists only below n and must win strictly (the scalar
+            # repair keeps k - 1 on ties).
+            shorter = sub_k - 1
+            longer = sub_k + 1
+            sum_shorter = masked_row_sums(gains, columns < shorter[:, None])
+            sum_longer = masked_row_sums(
+                gains, columns < np.where(longer <= n, longer, 0)[:, None]
+            )
+            take_longer = (longer <= n) & (sum_longer > sum_shorter)
+            k[even_rows] = np.where(take_longer, longer, shorter)
+
+    # rank_desc[p, j] = position of unit j in the descending order; the
+    # ascending order is the reverse, so its rank is n - 1 - rank_desc.
+    rank_alpha = _rank_matrix(desc_alpha)
+    rank_beta = _rank_matrix(desc_beta)
+    k_column = k[:, None]
+    direction_column = positive_direction[:, None]
+    top_masks = np.where(
+        direction_column, rank_alpha < k_column, n - 1 - rank_alpha < k_column
+    )
+    bottom_masks = np.where(
+        direction_column, n - 1 - rank_beta < k_column, rank_beta < k_column
+    )
+    margins = masked_row_sums(alpha, top_masks) - masked_row_sums(beta, bottom_masks)
+    return BatchSelection(
+        top_masks=top_masks,
+        bottom_masks=bottom_masks,
+        margins=margins,
+        method="case2",
+    )
+
+
+def _greedy_prefix_batch(gains: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise longest positive prefixes and their exact sums."""
+    positive = gains > 0.0
+    n = gains.shape[1]
+    # argmin of a boolean row is its first False; all-True rows take n.
+    k = np.where(positive.all(axis=1), n, np.argmin(positive, axis=1))
+    sums = masked_row_sums(gains, np.arange(n) < k[:, None])
+    return k, sums
+
+
+def _rank_matrix(order: np.ndarray) -> np.ndarray:
+    """Invert row-wise permutations: ``rank[p, order[p, i]] = i``."""
+    rank = np.empty_like(order)
+    np.put_along_axis(
+        rank,
+        order,
+        np.broadcast_to(np.arange(order.shape[1]), order.shape),
+        axis=1,
+    )
+    return rank
+
+
+def select_traditional_batch(
+    alpha: np.ndarray,
+    beta: np.ndarray,
+    require_odd: bool = False,
+) -> BatchSelection:
+    """Batch traditional RO PUF: every inverter included in both rings.
+
+    Row ``p`` reproduces ``select_traditional(alpha[p], beta[p],
+    require_odd)`` bit-for-bit, including the even-stage-count parity drop
+    (the stage whose removal best preserves the margin magnitude, dropped
+    from both rings).
+    """
+    alpha, beta = _validate_batch(alpha, beta)
+    pair_count, n = alpha.shape
+    selected = np.ones((pair_count, n), dtype=bool)
+    if require_odd and n % 2 == 0:
+        delta = alpha - beta
+        totals = delta.sum(axis=1)
+        drops = np.argmax(np.abs(totals[:, None] - delta), axis=1)
+        selected[np.arange(pair_count), drops] = False
+        margins = masked_row_sums(alpha, selected) - masked_row_sums(beta, selected)
+    else:
+        # All stages selected: the compressed row is the full row, whose
+        # axis sum is bit-identical to the scalar np.sum.
+        margins = alpha.sum(axis=1) - beta.sum(axis=1)
+    return BatchSelection(
+        top_masks=selected,
+        bottom_masks=selected,
+        margins=margins,
+        method="traditional",
+    )
+
+
+#: Registry of batch selection methods, keyed like
+#: :data:`repro.core.puf.SELECTION_METHODS`.
+BATCH_SELECTION_METHODS: dict[str, Callable[..., BatchSelection]] = {
+    "case1": select_case1_batch,
+    "case2": select_case2_batch,
+    "traditional": select_traditional_batch,
+}

@@ -17,10 +17,14 @@ import numpy as np
 
 from ..analysis.tables import Table
 from ..baselines.maiti_schaumont import select_best_word
-from ..core.measurement import DelayMeasurer, measure_ddiffs_leave_one_out
+from ..core.measurement import DelayMeasurer, measure_ddiffs_leave_one_out_batch
 from ..core.pairing import RingAllocation
-from ..core.puf import ChipROPUF
-from ..core.selection import select_case1, select_case2, select_traditional
+from ..core.ring import ConfigurableRO
+from ..core.selection_batch import (
+    select_case1_batch,
+    select_case2_batch,
+    select_traditional_batch,
+)
 from ..datasets.base import RODataset
 from ..silicon.fabrication import FabricationProcess
 from ..variation.noise import GaussianNoise
@@ -139,16 +143,26 @@ def run_selector_ablation(
             delays = distiller(delays, board.coords)
         window = 2 * stage_count
         pairs = len(delays) // window
+        if pairs == 0:
+            continue
+        # One batch selector call per scheme per board; bit-identical to
+        # the historical per-pair scalar-selector loop.
+        chunks = delays[: pairs * window].reshape(pairs, 2, stage_count)
+        alpha = chunks[:, 0, :]
+        beta = chunks[:, 1, :]
+        batch1 = select_case1_batch(alpha, beta)
+        batch2 = select_case2_batch(alpha, beta)
+        batch_trad = select_traditional_batch(alpha, beta)
+        margins["case1"].extend(np.abs(batch1.margins).tolist())
+        margins["case2"].extend(np.abs(batch2.margins).tolist())
+        margins["traditional"].extend(np.abs(batch_trad.margins).tolist())
+        disagreements += int(
+            np.sum(
+                (batch1.bits != batch2.bits) | (batch1.bits != batch_trad.bits)
+            )
+        )
         for pair in range(pairs):
-            chunk = delays[pair * window : (pair + 1) * window]
-            alpha = chunk[:stage_count]
-            beta = chunk[stage_count:]
-            s1 = select_case1(alpha, beta)
-            s2 = select_case2(alpha, beta)
-            st = select_traditional(alpha, beta)
-            margins["case1"].append(s1.abs_margin)
-            margins["case2"].append(s2.abs_margin)
-            margins["traditional"].append(st.abs_margin)
+            chunk = chunks[pair].reshape(-1)
             # Maiti-Schaumont on the same 2n units: n/2-stage rings with two
             # candidate inverters per stage (integer stage count required).
             ms_stages = max(1, stage_count // 2)
@@ -156,10 +170,7 @@ def run_selector_ablation(
             tensor = ms_units.reshape(1, 2, ms_stages, 2)
             ms = select_best_word(tensor[0, 0], tensor[0, 1])
             margins["maiti_schaumont"].append(abs(ms.margin))
-            bits = {s1.bit, s2.bit, st.bit}
-            if len(bits) > 1:
-                disagreements += 1
-            pair_count += 1
+        pair_count += pairs
     return SelectorAblation(
         mean_abs_margin={k: float(np.mean(v)) for k, v in margins.items()},
         min_abs_margin={k: float(np.min(v)) for k, v in margins.items()},
@@ -224,7 +235,21 @@ def run_measurement_noise_ablation(
     allocation = RingAllocation(
         stage_count=stage_count, ring_count=2 * pair_count, layout="interleaved"
     )
-    true_ddiffs = chip.ddiffs()
+    rings = [
+        ConfigurableRO(
+            chip=chip,
+            unit_indices=allocation.ring_units(ring),
+            name=f"noise-ablation/ring{ring}",
+        )
+        for ring in range(allocation.ring_count)
+    ]
+    pairs = allocation.pair_ring_matrix()
+    unit_matrix = np.stack([ring.unit_indices for ring in rings])
+    true_matrix = chip.ddiffs()[unit_matrix]
+    true_alpha = true_matrix[pairs[:, 0]]
+    true_beta = true_matrix[pairs[:, 1]]
+    true_batch = select_case1_batch(true_alpha, true_beta)
+    optimal = np.abs(true_batch.margins)
 
     ddiff_errors: dict[tuple[float, int], float] = {}
     margin_losses: dict[tuple[float, int], float] = {}
@@ -235,46 +260,26 @@ def run_measurement_noise_ablation(
                 repeats=repeat,
                 rng=np.random.default_rng(seed + 1),
             )
-            errors = []
-            losses = []
-            for pair in range(allocation.pair_count):
-                top_idx, bottom_idx = allocation.pair_rings(pair)
-                puf = ChipROPUF(
-                    chip=chip, allocation=allocation, method="case1",
-                    measurer=measurer,
-                )
-                top_ring = puf.ring(top_idx)
-                bottom_ring = puf.ring(bottom_idx)
-                top_est = measure_ddiffs_leave_one_out(measurer, top_ring)
-                bottom_est = measure_ddiffs_leave_one_out(measurer, bottom_ring)
-                top_true = true_ddiffs[top_ring.unit_indices]
-                bottom_true = true_ddiffs[bottom_ring.unit_indices]
-                errors.append(
-                    np.sqrt(
-                        np.mean(
-                            np.concatenate(
-                                [
-                                    top_est.ddiffs - top_true,
-                                    bottom_est.ddiffs - bottom_true,
-                                ]
-                            )
-                            ** 2
-                        )
-                    )
-                )
-                noisy_selection = select_case1(top_est.ddiffs, bottom_est.ddiffs)
-                true_selection = select_case1(top_true, bottom_true)
-                achieved = abs(
-                    float(
-                        np.sum(top_true[noisy_selection.top_config.as_array()])
-                        - np.sum(
-                            bottom_true[noisy_selection.bottom_config.as_array()]
-                        )
-                    )
-                )
-                optimal = true_selection.abs_margin
-                if optimal > 0:
-                    losses.append(100.0 * max(optimal - achieved, 0.0) / optimal)
+            # One leave-one-out tensor for the whole board ("enroll-v1"
+            # draw order) instead of 2 x pair_count sequential extractions.
+            estimate = measure_ddiffs_leave_one_out_batch(measurer, rings)
+            noisy_alpha = estimate.ddiffs[pairs[:, 0]]
+            noisy_beta = estimate.ddiffs[pairs[:, 1]]
+            residuals = np.concatenate(
+                [noisy_alpha - true_alpha, noisy_beta - true_beta], axis=1
+            )
+            errors = np.sqrt(np.mean(residuals**2, axis=1))
+            noisy_batch = select_case1_batch(noisy_alpha, noisy_beta)
+            achieved = np.abs(
+                (true_alpha * noisy_batch.top_masks).sum(axis=1)
+                - (true_beta * noisy_batch.bottom_masks).sum(axis=1)
+            )
+            valid = optimal > 0
+            losses = (
+                100.0
+                * np.maximum(optimal[valid] - achieved[valid], 0.0)
+                / optimal[valid]
+            )
             ddiff_errors[(sigma, repeat)] = float(np.mean(errors))
             margin_losses[(sigma, repeat)] = float(np.mean(losses))
     return NoiseAblation(

@@ -10,6 +10,13 @@ Experiments enforce odd selected counts (``require_odd=True``): a deployed
 ring must free-run to be measured, and this constraint is also what makes
 the configuration-vector Hamming distances all-even, as observed in the
 paper's Tables III and IV (see DESIGN.md).
+
+Both halves of the board pipeline are vectorized: :func:`board_enrollment`
+goes through ``BoardROPUF.enroll``, which selects every pair in one batch
+pass (:mod:`repro.core.selection_batch`, byte-identical to the historical
+per-pair loop), and the response helpers ride the batch response engine
+(:mod:`repro.core.batch`).  Multi-corner studies use
+``BoardROPUF.enroll_sweep`` to enroll all corners in one selector call.
 """
 
 from __future__ import annotations

@@ -23,6 +23,7 @@ from ..baselines.one_out_of_eight import OneOutOfEightPUF
 from ..core.pairing import RingAllocation, allocate_rings
 from ..core.puf import BoardROPUF, ChipROPUF
 from ..core.selection import select_case1, select_case2
+from ..core.selection_batch import select_case2_batch
 from ..core.selection_ext import select_case2_offset, select_unconstrained
 from ..datasets.base import RODataset
 from ..metrics.reliability import bit_flip_report
@@ -165,7 +166,9 @@ def run_aging_study(
         )
         for method in ("case2", "traditional"):
             puf = ChipROPUF(chip=chip, allocation=allocation, method=method)
-            enrollment = puf.enroll()
+            # Vectorized enrollment ("enroll-v1" draw order); the per-year
+            # response comparisons stay on the per-pair measurement path.
+            enrollment = puf.enroll_batch()
             per_year = []
             for year in years:
                 aged = age_chip(chip, year, np.random.default_rng(seed + index), model)
@@ -257,9 +260,9 @@ def run_scheme_zoo(
             require_odd=method != "traditional",
         )
         enrollment = puf.enroll(dataset.nominal)
-        observations = np.stack(
-            [puf.response(op, enrollment) for op in corners]
-        )
+        # One vectorized sweep over all corners (noiseless, so identical
+        # to stacking per-corner response calls).
+        observations = puf.response_sweep(corners, enrollment)
         report = bit_flip_report(enrollment.bits, observations)
         rows.append(
             SchemeZooRow(
@@ -323,18 +326,29 @@ def _offset_margin_gain(stage_count: int, pair_count: int = 48, seed: int = 5) -
     )
     ddiffs = chip.ddiffs()
     bypass = chip.mux_bypass_delays()
+    unit_matrix = np.stack(
+        [allocation.ring_units(ring) for ring in range(allocation.ring_count)]
+    )
+    pairs = allocation.pair_ring_matrix()
+    alphas = ddiffs[unit_matrix[pairs[:, 0]]]
+    betas = ddiffs[unit_matrix[pairs[:, 1]]]
+    offsets = np.array(
+        [
+            float(np.sum(bypass[unit_matrix[top]]) - np.sum(bypass[unit_matrix[bot]]))
+            for top, bot in pairs
+        ]
+    )
+    # The paper's offset-blind selections for all pairs in one batch call
+    # (margins bit-identical to the scalar selector).
+    paper = select_case2_batch(alphas, betas)
+    paper_actual = np.abs(paper.margins + offsets)
     gains = []
-    for pair in range(allocation.pair_count):
-        top_units = allocation.ring_units(2 * pair)
-        bottom_units = allocation.ring_units(2 * pair + 1)
-        alpha = ddiffs[top_units]
-        beta = ddiffs[bottom_units]
-        offset = float(np.sum(bypass[top_units]) - np.sum(bypass[bottom_units]))
-        paper = select_case2(alpha, beta)
-        paper_actual = abs(paper.margin + offset)
-        aware = select_case2_offset(alpha, beta, offset)
+    for index in range(allocation.pair_count):
+        aware = select_case2_offset(alphas[index], betas[index], offsets[index])
         gains.append(
-            100.0 * (abs(aware.margin) - paper_actual) / max(paper_actual, 1e-30)
+            100.0
+            * (abs(aware.margin) - paper_actual[index])
+            / max(paper_actual[index], 1e-30)
         )
     return float(np.mean(gains))
 
@@ -591,13 +605,14 @@ def run_margin_scaling_study(
     configurable = []
     traditional = []
     for n in stage_counts:
-        margins_c = np.empty(pair_count)
-        margins_t = np.empty(pair_count)
-        for i in range(pair_count):
-            alpha = rng.normal(500e-12, sigma, n)
-            beta = rng.normal(500e-12, sigma, n)
-            margins_c[i] = select_case2(alpha, beta).abs_margin
-            margins_t[i] = abs(float(np.sum(alpha) - np.sum(beta)))
+        # One (pair, 2, n) draw consumes the generator exactly like the
+        # historical alternating per-pair draws, and the batch selector's
+        # margins are bit-identical to the scalar select_case2 loop.
+        samples = rng.normal(500e-12, sigma, (pair_count, 2, n))
+        alpha = samples[:, 0, :]
+        beta = samples[:, 1, :]
+        margins_c = np.abs(select_case2_batch(alpha, beta).margins)
+        margins_t = np.abs(alpha.sum(axis=1) - beta.sum(axis=1))
         configurable.append(float(np.mean(margins_c)))
         traditional.append(float(np.mean(margins_t)))
     return MarginScalingStudy(
@@ -669,10 +684,9 @@ def run_ecc_cost_study(
                 require_odd=method != "traditional",
             )
             enrollment = puf.enroll(dataset.nominal)
-            for op in corners:
-                response = puf.response(op, enrollment)
-                error_bits += int(np.sum(response != enrollment.bits))
-                total_bits += enrollment.bit_count
+            responses = puf.response_sweep(corners, enrollment)
+            error_bits += int(np.sum(responses != enrollment.bits))
+            total_bits += enrollment.bit_count * len(corners)
         bit_error_rate = error_bits / total_bits if total_bits else 0.0
         requirements.append(
             required_bch_strength(method, bit_error_rate, target_failure)

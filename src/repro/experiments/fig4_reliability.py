@@ -24,7 +24,7 @@ import numpy as np
 from ..analysis.tables import Table
 from ..baselines.one_out_of_eight import OneOutOfEightPUF
 from ..core.pairing import allocate_rings
-from ..core.puf import BoardROPUF
+from ..core.puf import BoardROPUF, Enrollment
 from ..datasets.base import BoardRecord, RODataset
 from ..metrics.reliability import bit_flip_report
 from ..variation.corners import temperature_corners, voltage_corners
@@ -111,16 +111,17 @@ class ReliabilityExperimentResult:
 
 def _configurable_flips(
     puf: BoardROPUF,
-    enroll_op: OperatingPoint,
+    enrollment: Enrollment,
     test_ops: list[OperatingPoint],
 ) -> float:
     """The paper's flip metric for one enrollment corner.
 
     All test corners are evaluated in one vectorized ``response_sweep``
-    pass; the PUF (and its per-corner distilled-delay cache) is shared
-    across enrollment corners by the caller.
+    pass; the enrollment comes from the caller's single ``enroll_sweep``
+    over every corner (board enrollment is deterministic, so each one
+    equals a per-corner ``enroll`` call exactly).
     """
-    enrollment = puf.enroll(enroll_op)
+    enroll_op = enrollment.operating_point
     observations = puf.response_sweep(
         [op for op in test_ops if op != enroll_op], enrollment
     )
@@ -179,10 +180,13 @@ def _run_reliability(
                 stage_count=stage_count, method=method, distill=False
             )
             puf = board_puf(board, config)
+            # One batch-selector pass enrolls every corner at once; each
+            # enrollment is identical to a per-corner enroll() call.
+            enrollments = puf.enroll_sweep(corners)
             configurable = np.array(
                 [
-                    _configurable_flips(puf, enroll_op, corners)
-                    for enroll_op in corners
+                    _configurable_flips(puf, enrollment, corners)
+                    for enrollment in enrollments
                 ]
             )
             traditional, one_of_8, bits, one_of_8_bits = _baseline_flips(

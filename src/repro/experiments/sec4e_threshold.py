@@ -62,7 +62,9 @@ def _board_margins(
         layout="interleaved",
     )
     puf = ChipROPUF(chip=chip, allocation=allocation, method=method)
-    enrollment = puf.enroll()
+    # Vectorized enrollment (the "enroll-v1" draw order): one measurement
+    # tensor per board instead of per-pair sequential measurement loops.
+    enrollment = puf.enroll_batch()
     return np.abs(enrollment.margins), puf.bit_count
 
 

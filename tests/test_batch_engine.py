@@ -139,15 +139,11 @@ class TestSweep:
 
         replay = np.random.default_rng(11)
         expected_top = top * (1.0 + replay.normal(0.0, sigma, size=top.shape))
-        expected_bottom = bottom * (
-            1.0 + replay.normal(0.0, sigma, size=bottom.shape)
-        )
+        expected_bottom = bottom * (1.0 + replay.normal(0.0, sigma, size=bottom.shape))
         expected = expected_top > expected_bottom
 
         fresh = make_puf(noise=GaussianNoise(relative_sigma=sigma), seed=11)
-        assert np.array_equal(
-            fresh.response_sweep(SWEEP_OPS, enrollment), expected
-        )
+        assert np.array_equal(fresh.response_sweep(SWEEP_OPS, enrollment), expected)
 
     def test_voted_sweep_noiseless_equals_sweep(self):
         puf = make_puf()

@@ -171,3 +171,142 @@ class TestDelayMeasurer:
         assert measurer.chain_delay(ring, config) == pytest.approx(
             ring.chain_delay(config)
         )
+
+
+class FakeBitsRng:
+    """Replays a fixed sequence of configuration draws, then repeats the last."""
+
+    def __init__(self, rows):
+        self.rows = [np.array(row) for row in rows]
+        self.calls = 0
+
+    def integers(self, low, high, size):
+        index = min(self.calls, len(self.rows) - 1)
+        self.calls += 1
+        return self.rows[index]
+
+
+class TestRandomConfigSetRegressions:
+    def test_exhaustive_count_small_stage_count(self):
+        # stage_count=3, count=8 needs every one of the 2**3 vectors; the
+        # old implementation charged duplicate draws against max_attempts
+        # and raised spuriously long before collecting all eight.
+        configs = random_config_set(3, 8, np.random.default_rng(0), max_attempts=8)
+        strings = {c.to_string() for c in configs}
+        assert len(strings) == 8
+
+    def test_duplicates_do_not_consume_attempts(self):
+        # 5 distinct draws interleaved with duplicates: with max_attempts=1
+        # only rank rejections may be charged, and this sequence has none.
+        rows = [
+            [0, 0, 0],
+            [0, 0, 1],
+            [0, 0, 1],  # duplicate — free
+            [0, 1, 0],
+            [0, 1, 0],  # duplicate — free
+            [1, 0, 0],
+            [1, 1, 1],
+        ]
+        configs = random_config_set(3, 5, FakeBitsRng(rows), max_attempts=1)
+        assert len(configs) == 5
+
+    def test_rank_rejections_are_charged(self):
+        # With count == full_rank every draw must raise the rank.  The row
+        # 011 = 000 + 001 + 010 (augmented with the intercept column it is
+        # dependent on the first three) so it is rejected for rank and
+        # charged; with max_attempts=1 that one rejection is allowed and
+        # the independent 100 draw completes the set.
+        rows = [
+            [0, 0, 0],
+            [0, 0, 1],
+            [0, 1, 0],
+            [0, 1, 1],  # dependent — rejected, charged
+            [1, 0, 0],
+        ]
+        configs = random_config_set(3, 4, FakeBitsRng(rows), max_attempts=2)
+        assert [c.to_string() for c in configs] == ["000", "001", "010", "100"]
+        with pytest.raises(RuntimeError, match="full-rank"):
+            random_config_set(3, 4, FakeBitsRng(rows), max_attempts=1)
+
+    def test_stuck_duplicate_generator_terminates(self):
+        # A generator that repeats one vector forever must raise instead of
+        # spinning (duplicates are free but bounded).
+        with pytest.raises(RuntimeError, match="full-rank"):
+            random_config_set(3, 4, FakeBitsRng([[1, 0, 1]]), max_attempts=10)
+
+    def test_seeded_outputs_unchanged_by_rewrite(self):
+        # The incremental-rank rewrite keeps the draw sequence and the
+        # accept/reject decisions, so previously-succeeding seeds return
+        # the exact same configuration lists.
+        a = random_config_set(6, 10, np.random.default_rng(123))
+        b = random_config_set(6, 10, np.random.default_rng(123))
+        assert a == b
+        design = np.column_stack(
+            [np.ones(10), np.stack([c.as_array().astype(float) for c in a])]
+        )
+        assert np.linalg.matrix_rank(design) == 7
+
+
+class TestVectorizedChainDelays:
+    def test_noiseless_matches_sequential(self, ring):
+        measurer = noiseless_measurer()
+        configs = leave_one_out_vectors(ring.stage_count)
+        batch = measurer.chain_delays(ring, configs)
+        sequential = measurer.chain_delays_sequential(ring, configs)
+        assert np.array_equal(batch, sequential)
+
+    def test_single_repeat_byte_identical_draw_order(self, ring):
+        # One batched normal(size=n) draw equals n sequential size-1 draws,
+        # so with repeats=1 the vectorized path reproduces the per-call
+        # noise stream exactly.
+        configs = leave_one_out_vectors(ring.stage_count)
+        batch = DelayMeasurer(
+            noise=GaussianNoise(relative_sigma=1e-3),
+            repeats=1,
+            rng=np.random.default_rng(5),
+        ).chain_delays(ring, configs)
+        sequential = DelayMeasurer(
+            noise=GaussianNoise(relative_sigma=1e-3),
+            repeats=1,
+            rng=np.random.default_rng(5),
+        ).chain_delays_sequential(ring, configs)
+        assert np.array_equal(batch, sequential)
+
+    def test_higher_repeats_statistically_equivalent(self, ring):
+        # With repeats > 1 the draw order differs by design (documented on
+        # chain_delays); values still agree to noise scale.
+        configs = leave_one_out_vectors(ring.stage_count)
+        batch = DelayMeasurer(
+            noise=GaussianNoise(relative_sigma=1e-4),
+            repeats=5,
+            rng=np.random.default_rng(5),
+        ).chain_delays(ring, configs)
+        true_values = ring.chain_delays(configs)
+        assert np.allclose(batch, true_values, rtol=1e-3)
+
+    def test_empty_config_list(self, ring):
+        assert len(noiseless_measurer().chain_delays(ring, [])) == 0
+
+    def test_ring_chain_delays_bit_identical_to_scalar(self, ring):
+        configs = leave_one_out_vectors(ring.stage_count)
+        batch = ring.chain_delays(configs)
+        for config, value in zip(configs, batch):
+            assert value == ring.chain_delay(config)
+
+    def test_extractors_still_use_sequential_path(self, ring):
+        # The per-ring extractors are pinned to the legacy per-call draw
+        # order (ChipROPUF.enroll byte-identity depends on it).
+        noisy_a = DelayMeasurer(
+            noise=GaussianNoise(relative_sigma=1e-3),
+            repeats=5,
+            rng=np.random.default_rng(8),
+        )
+        est = measure_ddiffs_leave_one_out(noisy_a, ring)
+        replica = DelayMeasurer(
+            noise=GaussianNoise(relative_sigma=1e-3),
+            repeats=5,
+            rng=np.random.default_rng(8),
+        )
+        configs = leave_one_out_vectors(ring.stage_count)
+        expected = replica.chain_delays_sequential(ring, configs)
+        assert np.array_equal(est.measurements, expected)
