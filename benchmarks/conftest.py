@@ -43,9 +43,15 @@ def save_bench_json(artifact_dir):
     The engine benchmarks record median wall times, speedups over the
     preserved loop references, and problem sizes here so the perf
     trajectory is tracked across PRs (diffable, stable key order).
+
+    Every artifact is stamped with the versioned layout tag (``"schema"``)
+    that ``ropuf bench compare`` requires, so saved artifacts feed straight
+    into the CI regression gate against ``benchmarks/baselines/``.
     """
+    from repro.obs import BENCH_SCHEMA
 
     def _save(name: str, payload: dict) -> Path:
+        payload = {"schema": BENCH_SCHEMA, **payload}
         path = artifact_dir / f"BENCH_{name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"\n[bench json: {path}]")

@@ -1,0 +1,142 @@
+"""E-obs — the disabled observability layer must be (near) free.
+
+The instrumented hot paths — scalar selectors, batch engines, the cache —
+call :func:`repro.obs.span` / :func:`repro.obs.counter_add` unconditionally
+and rely on the disabled path being one module-flag check.  This benchmark
+pins that guarantee: enrolling a 128-pair board through the per-pair loop
+(128 scalar selector calls, each hitting a counter) with the real disabled
+obs functions must cost within 2% of the same run with every obs call
+monkeypatched to a bare no-op stub (the "never instrumented" proxy).
+
+The two arms are interleaved and compared min-of-rounds, so slow outliers
+from scheduler noise hurt neither side.
+"""
+
+import time
+
+import numpy as np
+
+import repro.obs
+from repro import obs
+from repro.core.batch import enroll_loop_reference
+from repro.core.pairing import RingAllocation
+from repro.core.puf import BoardROPUF
+from repro.variation.environment import NOMINAL_OPERATING_POINT
+
+PAIR_COUNT = 128
+STAGE_COUNT = 9
+ROUNDS = 9
+MAX_OVERHEAD = 0.02
+
+
+def _make_board_puf():
+    rng = np.random.default_rng(2024)
+    ring_count = 2 * PAIR_COUNT
+    n_units = ring_count * STAGE_COUNT
+    base = rng.normal(1.0, 0.02, n_units)
+    sensitivity = rng.normal(0.05, 0.01, n_units)
+
+    def provider(op):
+        return base * (1.0 + sensitivity * (1.20 - op.voltage))
+
+    allocation = RingAllocation(stage_count=STAGE_COUNT, ring_count=ring_count)
+    return BoardROPUF(
+        delay_provider=provider,
+        allocation=allocation,
+        method="case1",
+        require_odd=True,
+    )
+
+
+class _StubSpan:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def set_attr(self, key, value):
+        pass
+
+
+_STUB_SPAN = _StubSpan()
+
+
+def _stub_obs(monkeypatch_ctx):
+    """Replace every obs entry point the engines call with a bare no-op."""
+    monkeypatch_ctx.setattr(repro.obs, "span", lambda *a, **k: _STUB_SPAN)
+    monkeypatch_ctx.setattr(repro.obs, "counter_add", lambda *a, **k: None)
+    monkeypatch_ctx.setattr(repro.obs, "gauge_set", lambda *a, **k: None)
+    monkeypatch_ctx.setattr(
+        repro.obs, "histogram_observe", lambda *a, **k: None
+    )
+    monkeypatch_ctx.setattr(repro.obs, "metrics_enabled", lambda: False)
+
+
+def _timed(func):
+    start = time.perf_counter()
+    func()
+    return time.perf_counter() - start
+
+
+def test_bench_obs_disabled_overhead(monkeypatch, save_artifact, save_bench_json):
+    assert not obs.tracing_enabled() and not obs.metrics_enabled()
+    puf = _make_board_puf()
+    op = NOMINAL_OPERATING_POINT
+
+    def workload():
+        enroll_loop_reference(puf, op)
+
+    # warm both arms (JIT-free, but caches/allocators settle)
+    workload()
+    with monkeypatch.context() as ctx:
+        _stub_obs(ctx)
+        workload()
+
+    real_disabled = []
+    stubbed = []
+    for _ in range(ROUNDS):
+        real_disabled.append(_timed(workload))
+        with monkeypatch.context() as ctx:
+            _stub_obs(ctx)
+            stubbed.append(_timed(workload))
+
+    real_seconds = min(real_disabled)
+    stub_seconds = min(stubbed)
+    ratio = real_seconds / stub_seconds
+    overhead = ratio - 1.0
+
+    save_artifact(
+        "obs_overhead",
+        "\n".join(
+            [
+                "Disabled-observability overhead (board enroll loop)",
+                f"pairs: {PAIR_COUNT}, stages: {STAGE_COUNT}, "
+                f"rounds: {ROUNDS} (min-of-rounds, interleaved)",
+                f"  no-op stubbed obs:   {stub_seconds * 1e3:9.3f} ms",
+                f"  real disabled obs:   {real_seconds * 1e3:9.3f} ms",
+                f"  overhead:            {overhead:+9.2%}",
+                f"  allowed:             {MAX_OVERHEAD:9.2%}",
+            ]
+        ),
+    )
+    save_bench_json(
+        "obs_overhead",
+        {
+            "engine": "obs_disabled_overhead",
+            "problem": {
+                "pair_count": PAIR_COUNT,
+                "stage_count": STAGE_COUNT,
+                "rounds": ROUNDS,
+            },
+            "stub_min_seconds": stub_seconds,
+            "real_disabled_min_seconds": real_seconds,
+            "overhead_fraction": overhead,
+            "max_overhead_fraction": MAX_OVERHEAD,
+        },
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"disabled obs costs {overhead:+.2%} over no-op stubs "
+        f"(allowed {MAX_OVERHEAD:.0%}) — the disabled path must stay a "
+        "single flag check"
+    )

@@ -18,8 +18,17 @@ Usage (installed as the ``ropuf`` script, or ``python -m repro``)::
 (:mod:`repro.pipeline`) and prints the summary JSON.  It accepts
 ``--jobs N`` (parallel worker processes), ``--cache-dir PATH`` (skip tasks
 whose results are already cached for this dataset and repro version),
-``--timings`` (embed per-task wall-time/cache metrics), and ``--tasks a,b``
-(run a subset of the registered tasks).
+``--timings`` (embed per-task wall-time/cache metrics), ``--tasks a,b``
+(run a subset of the registered tasks), and ``--trace PATH`` (write the
+merged cross-process span trace as JSONL; see docs/observability.md).
+
+Two observability verbs round out the tooling::
+
+    ropuf trace summarize trace.jsonl      # top spans, per-process stats
+    ropuf bench compare old.json new.json  # regression gate for CI
+
+``bench compare`` exits non-zero when any metric regressed past the
+threshold (or when the artifacts are incomparable), so CI can gate on it.
 """
 
 from __future__ import annotations
@@ -185,6 +194,7 @@ def _cmd_all(args) -> str:
         cache_dir=args.cache_dir,
         tasks=tasks,
         timings=args.timings,
+        trace=args.trace,
     )
     text = json.dumps(summary, indent=2)
     output = getattr(args, "output", None)
@@ -193,6 +203,23 @@ def _cmd_all(args) -> str:
 
         Path(output).write_text(text)
     return text
+
+
+def _cmd_trace(args) -> str:
+    """Summarize a trace JSONL file written by ``ropuf all --trace``."""
+    from .obs import format_trace_summary, summarize_trace
+
+    return format_trace_summary(summarize_trace(args.trace_file, top=args.top))
+
+
+def _cmd_bench(args) -> tuple[str, int]:
+    """Compare two benchmark JSON artifacts; non-zero exit on regression."""
+    from .obs import compare_bench, format_bench_compare
+
+    result = compare_bench(
+        args.old, args.new, threshold=args.threshold, metric=args.metric
+    )
+    return format_bench_compare(result), 0 if result["ok"] else 1
 
 
 _COMMANDS = {
@@ -209,6 +236,14 @@ _COMMANDS = {
     "extensions": _cmd_extensions,
     "report": _cmd_report,
     "all": _cmd_all,
+}
+
+#: Tooling verbs with their own positional arguments; they skip the shared
+#: experiment flags that ``build_parser`` attaches to every ``_COMMANDS``
+#: entry.  Handlers may return ``(text, exit_code)`` instead of plain text.
+_TOOL_COMMANDS = {
+    "trace": _cmd_trace,
+    "bench": _cmd_bench,
 }
 
 
@@ -266,14 +301,63 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="comma-separated pipeline task subset (all command)",
         )
+        sub.add_argument(
+            "--trace",
+            default=None,
+            metavar="PATH",
+            help="write the merged span trace as JSONL (all command)",
+        )
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect trace files written by 'all --trace'"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize", help="print top spans, per-process stats, cache ratio"
+    )
+    summarize.add_argument("trace_file", help="trace JSONL path")
+    summarize.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many spans to list by self-time (default: 10)",
+    )
+
+    bench = subparsers.add_parser(
+        "bench", help="compare benchmark JSON artifacts"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    compare = bench_sub.add_parser(
+        "compare", help="flag metric regressions between two BENCH_*.json"
+    )
+    compare.add_argument("old", help="baseline benchmark JSON")
+    compare.add_argument("new", help="candidate benchmark JSON")
+    compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative change that counts as a regression (default: 0.20)",
+    )
+    compare.add_argument(
+        "--metric",
+        choices=("all", "seconds", "speedup"),
+        default="all",
+        help="which metric families to gate on (default: all)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    print(_COMMANDS[args.command](args))
-    return 0
+    handler = {**_COMMANDS, **_TOOL_COMMANDS}[args.command]
+    outcome = handler(args)
+    if isinstance(outcome, tuple):
+        text, code = outcome
+    else:
+        text, code = outcome, 0
+    print(text)
+    return code
 
 
 if __name__ == "__main__":

@@ -34,11 +34,13 @@ pin the vectorized engine against it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..variation.environment import OperatingPoint
 from ..variation.noise import MeasurementNoise, NoiselessMeasurement
 from .pairing import RingAllocation
@@ -210,6 +212,8 @@ class BatchEvaluator:
         top, bottom = self.pair_delays(op)
         top_observed = self.response_noise.observe(top, rng)
         bottom_observed = self.response_noise.observe(bottom, rng)
+        obs.counter_add("noise.elements.legacy", top.size + bottom.size)
+        obs.counter_add("batch.bits_evaluated", top.size)
         return top_observed > bottom_observed
 
     def response_voted(
@@ -227,6 +231,8 @@ class BatchEvaluator:
             top_observed = self.response_noise.observe(top, rng)
             bottom_observed = self.response_noise.observe(bottom, rng)
             totals += (top_observed > bottom_observed).astype(int)
+        obs.counter_add("noise.elements.legacy", votes * (top.size + bottom.size))
+        obs.counter_add("batch.bits_evaluated", top.size)
         return totals * 2 > votes
 
     def response_sweep(
@@ -241,10 +247,19 @@ class BatchEvaluator:
         calls regardless of the corner count.
         """
         rng = self.rng if rng is None else rng
-        top, bottom = self.sweep_delays(ops)
-        top_observed = self.response_noise.observe(top, rng)
-        bottom_observed = self.response_noise.observe(bottom, rng)
-        return top_observed > bottom_observed
+        ops = list(ops)
+        with obs.span("batch.response_sweep", op_count=len(ops)):
+            timed = obs.metrics_enabled()
+            started = time.perf_counter() if timed else 0.0
+            top, bottom = self.sweep_delays(ops)
+            top_observed = self.response_noise.observe(top, rng)
+            bottom_observed = self.response_noise.observe(bottom, rng)
+            bits = top_observed > bottom_observed
+            if timed:
+                self._record_sweep_metrics(
+                    top.size + bottom.size, bits.size, started
+                )
+            return bits
 
     def response_voted_sweep(
         self,
@@ -259,14 +274,35 @@ class BatchEvaluator:
         """
         _validate_votes(votes)
         rng = self.rng if rng is None else rng
-        top, bottom = self.sweep_delays(ops)
-        shape = (votes,) + top.shape
-        top_observed = self.response_noise.observe(np.broadcast_to(top, shape), rng)
-        bottom_observed = self.response_noise.observe(
-            np.broadcast_to(bottom, shape), rng
-        )
-        totals = (top_observed > bottom_observed).sum(axis=0)
-        return totals * 2 > votes
+        ops = list(ops)
+        with obs.span("batch.response_voted_sweep", op_count=len(ops), votes=votes):
+            timed = obs.metrics_enabled()
+            started = time.perf_counter() if timed else 0.0
+            top, bottom = self.sweep_delays(ops)
+            shape = (votes,) + top.shape
+            top_observed = self.response_noise.observe(
+                np.broadcast_to(top, shape), rng
+            )
+            bottom_observed = self.response_noise.observe(
+                np.broadcast_to(bottom, shape), rng
+            )
+            totals = (top_observed > bottom_observed).sum(axis=0)
+            bits = totals * 2 > votes
+            if timed:
+                self._record_sweep_metrics(
+                    2 * votes * top.size, bits.size, started
+                )
+            return bits
+
+    def _record_sweep_metrics(
+        self, noise_elements: int, bits: int, started: float
+    ) -> None:
+        """Fold one sweep's draw volume and throughput into the registry."""
+        elapsed = time.perf_counter() - started
+        obs.counter_add(f"noise.elements.{SWEEP_DRAW_ORDER}", noise_elements)
+        obs.counter_add("batch.bits_evaluated", bits)
+        if elapsed > 0.0:
+            obs.histogram_observe("batch.bits_per_second", bits / elapsed)
 
 
 def _validate_votes(votes: int) -> None:

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
 from ..variation.noise import GaussianNoise, MeasurementNoise
 from .config_vector import ConfigVector
@@ -239,20 +240,29 @@ def measure_ddiffs_leave_one_out_batch(
                 f"{ring.stage_count} != {stage_count}"
             )
     configs = leave_one_out_vectors(stage_count)
-    config_masks = np.stack([c.as_array() for c in configs])
-    unit_indices = np.stack([ring.unit_indices for ring in rings])
-    selected = chip.selected_path_delays(op)[unit_indices]
-    bypass = chip.mux_bypass_delays(op)[unit_indices]
-    # (ring, 1, stage) vs (1, config, stage) -> (ring, config) delays; each
-    # row/column entry is the same stage vector summed along the last axis,
-    # hence bit-identical to the per-call ConfigurableRO.chain_delay.
-    true_delays = np.where(
-        config_masks[None, :, :], selected[:, None, :], bypass[:, None, :]
-    ).sum(axis=2)
-    measurements = measurer.noise.observe_averaged(
-        true_delays, measurer.rng, measurer.repeats
-    )
-    ddiffs = measurements[:, 0:1] - measurements[:, 1:]
+    with obs.span(
+        "measurement.leave_one_out_batch",
+        rings=len(rings),
+        stages=stage_count,
+    ):
+        config_masks = np.stack([c.as_array() for c in configs])
+        unit_indices = np.stack([ring.unit_indices for ring in rings])
+        selected = chip.selected_path_delays(op)[unit_indices]
+        bypass = chip.mux_bypass_delays(op)[unit_indices]
+        # (ring, 1, stage) vs (1, config, stage) -> (ring, config) delays; each
+        # row/column entry is the same stage vector summed along the last axis,
+        # hence bit-identical to the per-call ConfigurableRO.chain_delay.
+        true_delays = np.where(
+            config_masks[None, :, :], selected[:, None, :], bypass[:, None, :]
+        ).sum(axis=2)
+        obs.counter_add(
+            f"noise.elements.{ENROLL_DRAW_ORDER}",
+            true_delays.size * measurer.repeats,
+        )
+        measurements = measurer.noise.observe_averaged(
+            true_delays, measurer.rng, measurer.repeats
+        )
+        ddiffs = measurements[:, 0:1] - measurements[:, 1:]
     return BatchDdiffEstimate(
         ddiffs=ddiffs, configs=configs, measurements=measurements
     )

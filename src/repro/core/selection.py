@@ -34,6 +34,7 @@ from itertools import combinations
 
 import numpy as np
 
+from .. import obs
 from .config_vector import ConfigVector
 
 __all__ = [
@@ -107,6 +108,7 @@ def select_case1(
             (the paper's formulation ignores parity; see DESIGN.md).
     """
     alpha, beta = _validate_pair(alpha, beta)
+    obs.counter_add("selector.case1.scalar_calls")
     delta = alpha - beta
 
     best_selected: np.ndarray | None = None
@@ -183,6 +185,7 @@ def select_case2(
     The two rings may select different units but must select equally many.
     """
     alpha, beta = _validate_pair(alpha, beta)
+    obs.counter_add("selector.case2.scalar_calls")
     n = len(alpha)
 
     # Direction A: make the top ring as slow as possible relative to the
@@ -269,6 +272,7 @@ def select_traditional(
             margin magnitude.  Odd stage counts are unaffected.
     """
     alpha, beta = _validate_pair(alpha, beta)
+    obs.counter_add("selector.traditional.scalar_calls")
     n = len(alpha)
     selected = np.ones(n, dtype=bool)
     if require_odd and n % 2 == 0:

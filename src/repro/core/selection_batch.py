@@ -42,6 +42,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from .config_vector import ConfigVector
 from .selection import PairSelection
 
@@ -175,6 +176,12 @@ class BatchSelection:
         )
 
 
+def _count_selector(method: str, rows: int) -> None:
+    """Record one batch-selector invocation (no-op while obs is off)."""
+    obs.counter_add(f"selector.{method}.calls")
+    obs.counter_add(f"selector.{method}.rows", rows)
+
+
 def _validate_batch(
     alpha: np.ndarray, beta: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -208,6 +215,7 @@ def select_case1_batch(
         require_odd: force odd selected counts (free-running rings).
     """
     alpha, beta = _validate_batch(alpha, beta)
+    _count_selector("case1", len(alpha))
     delta = alpha - beta
     positive = _direction_selection_batch(delta, 1.0, require_odd)
     negative = _direction_selection_batch(delta, -1.0, require_odd)
@@ -275,6 +283,7 @@ def select_case2_batch(
     repair (``k - 1`` wins ties).
     """
     alpha, beta = _validate_batch(alpha, beta)
+    _count_selector("case2", len(alpha))
     pair_count, n = alpha.shape
     columns = np.arange(n)
 
@@ -372,6 +381,7 @@ def select_traditional_batch(
     from both rings).
     """
     alpha, beta = _validate_batch(alpha, beta)
+    _count_selector("traditional", len(alpha))
     pair_count, n = alpha.shape
     selected = np.ones((pair_count, n), dtype=bool)
     if require_odd and n % 2 == 0:

@@ -1,0 +1,83 @@
+"""repro.obs — lightweight, stdlib-only tracing and metrics.
+
+Observability for the pipeline and the batch engines:
+
+* :mod:`~repro.obs.trace` — nested :func:`span` records with per-process
+  buffering, JSONL serialisation, and cross-process merging;
+* :mod:`~repro.obs.metrics` — named counters / gauges / histograms with
+  mergeable snapshots (the ``"_metrics"`` summary block);
+* :mod:`~repro.obs.report` — trace summarisation and BENCH-artifact
+  comparison, surfaced as ``ropuf trace summarize`` and
+  ``ropuf bench compare``.
+
+Both layers are disabled by default and cost one flag check per call when
+off — instrumented hot paths stay hot (<2% overhead, pinned by
+``benchmarks/test_bench_obs_overhead.py``).  ``run_pipeline(trace=...)``
+(CLI ``ropuf all --trace PATH``) turns them on for one run and writes the
+merged multi-process trace next to the summary.
+
+See ``docs/observability.md`` for the span model, metric name catalogue,
+and file formats.
+"""
+
+from .metrics import (
+    METRICS_SCHEMA,
+    counter_add,
+    disable_metrics,
+    enable_metrics,
+    gauge_set,
+    histogram_observe,
+    merge_snapshots,
+    metrics_enabled,
+    reset_metrics,
+    snapshot,
+)
+from .report import (
+    BENCH_SCHEMA,
+    compare_bench,
+    format_bench_compare,
+    format_trace_summary,
+    summarize_trace,
+)
+from .trace import (
+    TRACE_SCHEMA,
+    buffered_spans,
+    disable_tracing,
+    drain_spans,
+    enable_tracing,
+    extend_spans,
+    read_trace,
+    reset_tracing,
+    span,
+    tracing_enabled,
+    write_trace,
+)
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "span",
+    "tracing_enabled",
+    "enable_tracing",
+    "disable_tracing",
+    "reset_tracing",
+    "drain_spans",
+    "extend_spans",
+    "buffered_spans",
+    "write_trace",
+    "read_trace",
+    "METRICS_SCHEMA",
+    "metrics_enabled",
+    "enable_metrics",
+    "disable_metrics",
+    "reset_metrics",
+    "counter_add",
+    "gauge_set",
+    "histogram_observe",
+    "snapshot",
+    "merge_snapshots",
+    "BENCH_SCHEMA",
+    "summarize_trace",
+    "format_trace_summary",
+    "compare_bench",
+    "format_bench_compare",
+]

@@ -1,0 +1,154 @@
+"""Named counters, gauges, and histograms for the hot paths.
+
+A tiny process-local metrics registry in the Prometheus style, recorded by
+the instrumented modules and exported as a plain-JSON *snapshot*:
+
+* **counters** — monotonically accumulated totals (cache hits, noise
+  elements drawn, selector rows processed, retries);
+* **gauges** — last-set values (per-process, merged by max);
+* **histograms** — ``{count, total, min, max}`` aggregates of observed
+  values (bits-per-second of the batch evaluator).
+
+Like tracing (:mod:`repro.obs.trace`), metrics are **disabled by
+default**; every recording call returns after one module-flag check, so
+instrumented hot paths pay effectively nothing when observability is off
+(pinned by ``benchmarks/test_bench_obs_overhead.py``).
+
+Snapshots merge across processes with :func:`merge_snapshots` — the
+pipeline's workers ship their snapshot back inside the task payload and
+the parent folds them into the ``"_metrics"`` block of the summary JSON.
+
+Metric names are dot-separated, lowest-cardinality-first
+(``cache.hits``, ``noise.elements.sweep-v1``, ``selector.case1.rows``);
+the full list lives in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "metrics_enabled",
+    "enable_metrics",
+    "disable_metrics",
+    "reset_metrics",
+    "counter_add",
+    "gauge_set",
+    "histogram_observe",
+    "snapshot",
+    "merge_snapshots",
+]
+
+#: Version of the snapshot layout; bumped on incompatible change.
+METRICS_SCHEMA = 1
+
+_enabled = False
+_counters: dict[str, float] = {}
+_gauges: dict[str, float] = {}
+_histograms: dict[str, dict] = {}
+
+
+def metrics_enabled() -> bool:
+    """Whether metric recordings are currently accumulated."""
+    return _enabled
+
+
+def enable_metrics() -> None:
+    """Start accumulating metrics (existing values are kept)."""
+    global _enabled
+    _enabled = True
+
+
+def disable_metrics() -> None:
+    """Stop accumulating; the registry stays readable via :func:`snapshot`."""
+    global _enabled
+    _enabled = False
+
+
+def reset_metrics() -> None:
+    """Clear every counter, gauge, and histogram."""
+    _counters.clear()
+    _gauges.clear()
+    _histograms.clear()
+
+
+def counter_add(name: str, value: float = 1.0) -> None:
+    """Add ``value`` to the counter ``name`` (no-op while disabled)."""
+    if not _enabled:
+        return
+    _counters[name] = _counters.get(name, 0.0) + value
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set the gauge ``name`` to ``value`` (no-op while disabled)."""
+    if not _enabled:
+        return
+    _gauges[name] = value
+
+
+def histogram_observe(name: str, value: float) -> None:
+    """Fold ``value`` into the histogram ``name`` (no-op while disabled)."""
+    if not _enabled:
+        return
+    histogram = _histograms.get(name)
+    if histogram is None:
+        _histograms[name] = {
+            "count": 1,
+            "total": value,
+            "min": value,
+            "max": value,
+        }
+        return
+    histogram["count"] += 1
+    histogram["total"] += value
+    if value < histogram["min"]:
+        histogram["min"] = value
+    if value > histogram["max"]:
+        histogram["max"] = value
+
+
+def snapshot() -> dict:
+    """The registry as a plain-JSON document (deep-copied, sorted keys)."""
+    return {
+        "schema": METRICS_SCHEMA,
+        "counters": dict(sorted(_counters.items())),
+        "gauges": dict(sorted(_gauges.items())),
+        "histograms": {
+            name: dict(histogram)
+            for name, histogram in sorted(_histograms.items())
+        },
+    }
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Fold per-process snapshots into one: counters sum, gauges take the
+    max, histograms combine their aggregates."""
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for snap in snapshots:
+        if snap.get("schema") != METRICS_SCHEMA:
+            raise ValueError(
+                f"cannot merge metrics snapshot with schema "
+                f"{snap.get('schema')!r} (expected {METRICS_SCHEMA})"
+            )
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = max(gauges[name], value) if name in gauges else value
+        for name, incoming in snap.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = dict(incoming)
+                continue
+            merged["count"] += incoming["count"]
+            merged["total"] += incoming["total"]
+            merged["min"] = min(merged["min"], incoming["min"])
+            merged["max"] = max(merged["max"], incoming["max"])
+    return {
+        "schema": METRICS_SCHEMA,
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {
+            name: histograms[name] for name in sorted(histograms)
+        },
+    }

@@ -1,0 +1,299 @@
+"""Offline analysis of observability artifacts.
+
+Two consumers, both surfaced as CLI verbs:
+
+* :func:`summarize_trace` / :func:`format_trace_summary` — digest a merged
+  JSONL trace (``ropuf all --trace``) into per-span-name totals and
+  *self-times* (time in a span minus time in its children), a per-process
+  breakdown, and the cache hit ratio.  Backs ``ropuf trace summarize``.
+* :func:`compare_bench` / :func:`format_bench_compare` — diff two
+  ``BENCH_<name>.json`` artifacts (:mod:`benchmarks.conftest` writes them
+  with a versioned schema) and flag regressions beyond a threshold.
+  Backs ``ropuf bench compare``, whose nonzero exit makes it a CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .trace import read_trace
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "summarize_trace",
+    "format_trace_summary",
+    "compare_bench",
+    "format_bench_compare",
+]
+
+#: Version of the BENCH_<name>.json artifact layout this reader understands.
+BENCH_SCHEMA = 1
+
+
+# ----------------------------------------------------------------------
+# Trace summarization
+# ----------------------------------------------------------------------
+
+
+def summarize_trace(path: str | Path, top: int = 10) -> dict:
+    """Digest a trace file into a machine-readable summary document.
+
+    Returns::
+
+        {
+          "span_count": ...,
+          "process_count": ...,
+          "by_name": {name: {count, total_seconds, self_seconds}, ...},
+          "top_self_time": [name, ...],           # up to ``top`` entries
+          "processes": {pid: {span_count, root_seconds}, ...},
+          "cache": {"hits": h, "misses": m, "hit_ratio": r} | None,
+          "metrics": <merged snapshot> | None,
+        }
+
+    ``self_seconds`` is a span's duration minus its direct children's
+    durations, aggregated per span name; ``root_seconds`` sums only spans
+    with no parent, so per-process totals are not double-counted.
+    """
+    spans, metrics = read_trace(path)
+    durations: dict[str, float] = {}
+    child_time: dict[str, float] = {}
+    by_name: dict[str, dict] = {}
+    processes: dict[int, dict] = {}
+    for record in spans:
+        if record["t1"] is None:
+            continue  # span never closed (crashed region); skip
+        durations[record["id"]] = record["t1"] - record["t0"]
+    for record in spans:
+        duration = durations.get(record["id"])
+        if duration is None:
+            continue
+        if record["parent"] is not None:
+            child_time[record["parent"]] = (
+                child_time.get(record["parent"], 0.0) + duration
+            )
+        process = processes.setdefault(
+            record["pid"], {"span_count": 0, "root_seconds": 0.0}
+        )
+        process["span_count"] += 1
+        if record["parent"] is None:
+            process["root_seconds"] += duration
+    for record in spans:
+        duration = durations.get(record["id"])
+        if duration is None:
+            continue
+        entry = by_name.setdefault(
+            record["name"],
+            {"count": 0, "total_seconds": 0.0, "self_seconds": 0.0},
+        )
+        entry["count"] += 1
+        entry["total_seconds"] += duration
+        entry["self_seconds"] += duration - child_time.get(record["id"], 0.0)
+    top_self = sorted(
+        by_name, key=lambda name: by_name[name]["self_seconds"], reverse=True
+    )[:top]
+    cache = None
+    if metrics is not None:
+        counters = metrics.get("counters", {})
+        hits = counters.get("cache.hits", 0.0)
+        misses = counters.get("cache.misses", 0.0)
+        if hits or misses:
+            cache = {
+                "hits": hits,
+                "misses": misses,
+                "hit_ratio": hits / (hits + misses),
+            }
+    return {
+        "span_count": len(spans),
+        "process_count": len(processes),
+        "by_name": by_name,
+        "top_self_time": top_self,
+        "processes": {
+            str(pid): processes[pid] for pid in sorted(processes)
+        },
+        "cache": cache,
+        "metrics": metrics,
+    }
+
+
+def format_trace_summary(summary: dict) -> str:
+    """Render a :func:`summarize_trace` document for the terminal."""
+    lines = [
+        f"{summary['span_count']} spans across "
+        f"{summary['process_count']} process(es)",
+        "",
+        "top spans by self-time:",
+    ]
+    by_name = summary["by_name"]
+    width = max((len(name) for name in summary["top_self_time"]), default=4)
+    for name in summary["top_self_time"]:
+        entry = by_name[name]
+        lines.append(
+            f"  {name:<{width}}  self {entry['self_seconds'] * 1e3:10.3f} ms"
+            f"  total {entry['total_seconds'] * 1e3:10.3f} ms"
+            f"  x{entry['count']}"
+        )
+    lines.append("")
+    lines.append("per-process breakdown:")
+    for pid, process in summary["processes"].items():
+        lines.append(
+            f"  pid {pid}: {process['span_count']} spans, "
+            f"{process['root_seconds'] * 1e3:.3f} ms in root spans"
+        )
+    cache = summary["cache"]
+    if cache is not None:
+        lines.append("")
+        lines.append(
+            f"cache: {cache['hits']:.0f} hits / {cache['misses']:.0f} misses "
+            f"(hit ratio {cache['hit_ratio']:.1%})"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Benchmark artifact comparison
+# ----------------------------------------------------------------------
+
+
+def _load_bench(path: str | Path) -> dict:
+    payload = json.loads(Path(path).read_text())
+    schema = payload.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: expected a schema-{BENCH_SCHEMA} BENCH artifact, got "
+            f"schema {schema!r} (re-run the benchmarks to regenerate it)"
+        )
+    return payload
+
+
+def _numeric_leaves(payload, prefix: str = "") -> dict[str, float]:
+    """Flatten nested dicts to dotted-path -> numeric value."""
+    leaves: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            leaves.update(_numeric_leaves(value, f"{prefix}{key}."))
+    elif isinstance(payload, bool):
+        pass  # bools are ints in Python; never a benchmark quantity
+    elif isinstance(payload, (int, float)):
+        leaves[prefix[:-1]] = float(payload)
+    return leaves
+
+
+def _direction(path: str) -> str | None:
+    """Which way is worse for this quantity: 'higher', 'lower', or None."""
+    leaf = path.rsplit(".", 1)[-1]
+    if leaf == "required_speedup" or ".problem." in f".{path}.":
+        return None  # configuration, not a measurement
+    if "seconds" in leaf:
+        return "higher"  # more seconds = slower = regression
+    if "speedup" in leaf:
+        return "lower"  # less speedup = regression
+    return None
+
+
+def compare_bench(
+    old_path: str | Path,
+    new_path: str | Path,
+    threshold: float = 0.20,
+    metric: str = "all",
+) -> dict:
+    """Compare two BENCH artifacts; flag changes beyond ``threshold``.
+
+    Quantities whose dotted path contains ``seconds`` regress when they
+    *increase* by more than ``threshold`` (relative); ``speedup``
+    quantities regress when they *decrease* by more than ``threshold``.
+    ``problem.*`` sizes and ``required_speedup`` are configuration: a
+    mismatch there makes the artifacts incomparable and is reported
+    separately (and also fails the comparison).
+
+    Args:
+        threshold: relative change flagged as a regression (0.20 = 20%).
+        metric: restrict the regression check to the ``"seconds"`` or
+            ``"speedup"`` family, or ``"all"`` (default).  Useful in CI,
+            where wall times vary across runners but speedups are stable.
+
+    Returns a document with ``regressions``, ``improvements``,
+    ``unchanged``, ``incomparable``, and ``ok`` (no regressions and
+    nothing incomparable).
+    """
+    if metric not in ("all", "seconds", "speedup"):
+        raise ValueError(f"metric must be all|seconds|speedup, got {metric!r}")
+    old = _numeric_leaves(_load_bench(old_path))
+    new = _numeric_leaves(_load_bench(new_path))
+    regressions: list[dict] = []
+    improvements: list[dict] = []
+    unchanged: list[dict] = []
+    incomparable: list[str] = []
+    for path in sorted(set(old) | set(new)):
+        if path == "schema":
+            continue
+        if path not in old or path not in new:
+            incomparable.append(path)
+            continue
+        direction = _direction(path)
+        if direction is None:
+            if old[path] != new[path]:
+                incomparable.append(path)
+            continue
+        if metric != "all" and (
+            ("seconds" if direction == "higher" else "speedup") != metric
+        ):
+            continue
+        if old[path] == 0.0:
+            change = 0.0 if new[path] == 0.0 else float("inf")
+        else:
+            change = (new[path] - old[path]) / old[path]
+        worse = change > threshold if direction == "higher" else change < -threshold
+        better = change < -threshold if direction == "higher" else change > threshold
+        entry = {
+            "path": path,
+            "old": old[path],
+            "new": new[path],
+            "change": change,
+        }
+        if worse:
+            regressions.append(entry)
+        elif better:
+            improvements.append(entry)
+        else:
+            unchanged.append(entry)
+    return {
+        "threshold": threshold,
+        "metric": metric,
+        "regressions": regressions,
+        "improvements": improvements,
+        "unchanged": unchanged,
+        "incomparable": incomparable,
+        "ok": not regressions and not incomparable,
+    }
+
+
+def format_bench_compare(result: dict) -> str:
+    """Render a :func:`compare_bench` document for the terminal."""
+
+    def row(entry: dict) -> str:
+        return (
+            f"  {entry['path']}: {entry['old']:.6g} -> {entry['new']:.6g} "
+            f"({entry['change']:+.1%})"
+        )
+
+    lines = [
+        f"bench compare (threshold {result['threshold']:.0%}, "
+        f"metric {result['metric']})"
+    ]
+    if result["regressions"]:
+        lines.append("REGRESSIONS:")
+        lines.extend(row(entry) for entry in result["regressions"])
+    if result["incomparable"]:
+        lines.append("incomparable (missing or configuration mismatch):")
+        lines.extend(f"  {path}" for path in result["incomparable"])
+    if result["improvements"]:
+        lines.append("improvements:")
+        lines.extend(row(entry) for entry in result["improvements"])
+    lines.append(
+        f"{len(result['regressions'])} regression(s), "
+        f"{len(result['improvements'])} improvement(s), "
+        f"{len(result['unchanged'])} within threshold"
+    )
+    lines.append("OK" if result["ok"] else "FAIL")
+    return "\n".join(lines)

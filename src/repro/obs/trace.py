@@ -1,0 +1,241 @@
+"""Nested spans: where a run's wall time went, across processes.
+
+A *span* is one timed region of code, opened with the :func:`span` context
+manager::
+
+    with span("task:fig3_uniqueness", jobs=2):
+        with span("task.attempt", attempt=1):
+            ...
+
+Spans nest: the innermost open span on the current thread becomes the
+parent of any span opened under it, so a finished trace is a forest of
+intervals.  Each record carries monotonic start/stop stamps
+(``time.perf_counter``), a wall-clock anchor, the process id, a
+per-process unique id, its parent's id, and arbitrary JSON-serialisable
+attributes.
+
+Tracing is **disabled by default** and the disabled path is a near-free
+no-op — one module-flag check and the return of a shared null context
+manager, no allocation, no clock read.  The enroll-engine overhead
+benchmark (``benchmarks/test_bench_obs_overhead.py``) pins the disabled
+instrumentation at <2% of the uninstrumented runtime.
+
+Process model
+-------------
+
+Spans are buffered per process.  Worker processes (the pipeline's
+``ProcessPoolExecutor`` fan-out) enable tracing locally, run their task,
+then :func:`drain_spans` and ship the records back to the parent inside
+the ordinary result payload; the parent merges them with
+:func:`extend_spans` and serialises the whole forest with
+:func:`write_trace`.  Span ids are ``"<pid>-<n>"`` so merged traces never
+collide, and parent links only ever point within one process.
+
+Trace file format (``schema`` 1): JSON Lines.  The first record is a
+header, every span is one ``{"type": "span", ...}`` record (appended in
+completion order, so ``t1`` is non-decreasing per process), and an
+optional final ``{"type": "metrics", ...}`` record carries the merged
+:mod:`repro.obs.metrics` snapshot.  See ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "span",
+    "tracing_enabled",
+    "enable_tracing",
+    "disable_tracing",
+    "reset_tracing",
+    "drain_spans",
+    "extend_spans",
+    "buffered_spans",
+    "write_trace",
+    "read_trace",
+]
+
+#: Version of the JSONL trace-file layout; bumped on incompatible change.
+TRACE_SCHEMA = 1
+
+_enabled = False
+_buffer: list[dict] = []
+_ids = itertools.count(1)
+_stack = threading.local()
+
+
+def tracing_enabled() -> bool:
+    """Whether spans are currently being recorded in this process."""
+    return _enabled
+
+
+def enable_tracing() -> None:
+    """Start recording spans (buffer is kept; see :func:`reset_tracing`)."""
+    global _enabled
+    _enabled = True
+
+
+def disable_tracing() -> None:
+    """Stop recording spans; already-buffered spans stay drainable."""
+    global _enabled
+    _enabled = False
+
+
+def reset_tracing() -> None:
+    """Drop all buffered spans and any open-span nesting state."""
+    del _buffer[:]
+    _stack.open = []
+
+
+def buffered_spans() -> list[dict]:
+    """A snapshot (copy) of the per-process span buffer."""
+    return list(_buffer)
+
+
+def drain_spans() -> list[dict]:
+    """Remove and return every buffered span record."""
+    spans = list(_buffer)
+    del _buffer[:]
+    return spans
+
+
+def extend_spans(spans: list[dict]) -> None:
+    """Merge span records from another process into this buffer."""
+    _buffer.extend(spans)
+
+
+class _NullSpan:
+    """The shared disabled-path context manager: does nothing, fast."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set_attr(self, key: str, value) -> None:
+        """Dropped — no record exists while tracing is disabled."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; records itself into the buffer on exit."""
+
+    __slots__ = ("record",)
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        pid = os.getpid()
+        open_spans = getattr(_stack, "open", None)
+        if open_spans is None:
+            open_spans = _stack.open = []
+        self.record = {
+            "type": "span",
+            "id": f"{pid}-{next(_ids)}",
+            "parent": open_spans[-1] if open_spans else None,
+            "name": name,
+            "pid": pid,
+            "t0": time.perf_counter(),
+            "t1": None,
+            "wall0": time.time(),
+            "attrs": attrs,
+        }
+
+    def set_attr(self, key: str, value) -> None:
+        """Attach one attribute to the span while it is open."""
+        self.record["attrs"][key] = value
+
+    def __enter__(self) -> "_Span":
+        _stack.open.append(self.record["id"])
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.record["t1"] = time.perf_counter()
+        open_spans = _stack.open
+        if open_spans and open_spans[-1] == self.record["id"]:
+            open_spans.pop()
+        _buffer.append(self.record)
+        return False
+
+
+def span(name: str, **attrs):
+    """Open a timed span named ``name`` with JSON-serialisable ``attrs``.
+
+    Returns a context manager.  When tracing is disabled this is the
+    shared null span — no record is created.  Both span flavours expose
+    ``set_attr(key, value)`` for attributes only known mid-region (a
+    no-op on the null span), so instrumented code never branches on the
+    tracing state.
+    """
+    if not _enabled:
+        return _NULL_SPAN
+    return _Span(name, attrs)
+
+
+def write_trace(
+    path: str | Path,
+    spans: list[dict] | None = None,
+    metrics: dict | None = None,
+) -> Path:
+    """Serialise a span forest (default: the buffer) to a JSONL file.
+
+    Writes the schema header first, then one line per span in the given
+    order, then — if ``metrics`` is not ``None`` — one trailing metrics
+    record.  Returns the path written.
+    """
+    path = Path(path)
+    if spans is None:
+        spans = buffered_spans()
+    lines = [
+        json.dumps(
+            {
+                "type": "header",
+                "schema": TRACE_SCHEMA,
+                "pid": os.getpid(),
+                "span_count": len(spans),
+            }
+        )
+    ]
+    lines.extend(json.dumps(record) for record in spans)
+    if metrics is not None:
+        lines.append(json.dumps({"type": "metrics", "metrics": metrics}))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_trace(path: str | Path) -> tuple[list[dict], dict | None]:
+    """Parse a trace file back into (span records, metrics snapshot).
+
+    Raises:
+        ValueError: on a missing/incompatible header or malformed line.
+    """
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        raise ValueError(f"empty trace file: {path}")
+    header = json.loads(lines[0])
+    if header.get("type") != "header" or header.get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"not a schema-{TRACE_SCHEMA} trace file: {path} "
+            f"(header: {header!r})"
+        )
+    spans: list[dict] = []
+    metrics: dict | None = None
+    for number, line in enumerate(lines[1:], start=2):
+        record = json.loads(line)
+        kind = record.get("type")
+        if kind == "span":
+            spans.append(record)
+        elif kind == "metrics":
+            metrics = record["metrics"]
+        else:
+            raise ValueError(f"{path}:{number}: unknown record type {kind!r}")
+    return spans, metrics

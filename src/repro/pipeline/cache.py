@@ -11,6 +11,10 @@ Writes are atomic (per-call-unique temp file + ``os.replace``) so parallel
 runs sharing a cache directory — across processes *and* across threads of
 one process — never observe half-written entries; stale temp files left by
 crashed runs are swept on store.
+
+When :mod:`repro.obs` is enabled, loads and stores emit ``cache.load`` /
+``cache.store`` spans and the ``cache.hits`` / ``cache.misses`` /
+``cache.stores`` / ``cache.read_bytes`` / ``cache.write_bytes`` counters.
 """
 
 from __future__ import annotations
@@ -21,6 +25,8 @@ import json
 import os
 import time
 from pathlib import Path
+
+from .. import obs
 
 __all__ = ["ResultCache", "NO_DATASET_FINGERPRINT"]
 
@@ -71,17 +77,25 @@ class ResultCache:
     def load(self, task_name: str, fingerprint: str):
         """The cached result, or ``None`` on miss/corruption/mismatch."""
         path = self.path(task_name, fingerprint)
-        try:
-            payload = json.loads(path.read_text())
-            if (
-                payload["task"] != task_name
-                or payload["fingerprint"] != fingerprint
-                or payload["version"] != self.version
-            ):
+        with obs.span("cache.load", task=task_name) as load_span:
+            try:
+                text = path.read_text()
+                obs.counter_add("cache.read_bytes", len(text))
+                payload = json.loads(text)
+                if (
+                    payload["task"] != task_name
+                    or payload["fingerprint"] != fingerprint
+                    or payload["version"] != self.version
+                ):
+                    raise KeyError("metadata mismatch")
+                result = payload["result"]
+            except (OSError, ValueError, KeyError, TypeError):
+                obs.counter_add("cache.misses")
+                load_span.set_attr("hit", False)
                 return None
-            return payload["result"]
-        except (OSError, ValueError, KeyError, TypeError):
-            return None
+            obs.counter_add("cache.hits")
+            load_span.set_attr("hit", True)
+            return result
 
     def store(self, task_name: str, fingerprint: str, result) -> Path:
         """Atomically persist one task result; returns the entry path.
@@ -103,15 +117,19 @@ class ResultCache:
         tmp = path.with_name(
             f"{path.name}.tmp.{os.getpid()}.{next(_TMP_COUNTER)}"
         )
-        try:
-            tmp.write_text(json.dumps(payload, indent=2))
-            os.replace(tmp, path)
-        except BaseException:
+        with obs.span("cache.store", task=task_name):
             try:
-                tmp.unlink()
-            except OSError:
-                pass
-            raise
+                text = json.dumps(payload, indent=2)
+                tmp.write_text(text)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+                raise
+            obs.counter_add("cache.stores")
+            obs.counter_add("cache.write_bytes", len(text))
         return path
 
     def sweep_stale_tmp(self, max_age_seconds: float = STALE_TMP_SECONDS) -> int:

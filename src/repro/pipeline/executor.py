@@ -17,6 +17,15 @@ Results are canonicalised through a JSON round-trip as soon as they are
 computed, so a fresh result, a cache hit, and a result shipped back from a
 worker process are all byte-identical plain-Python structures — the basis
 of the determinism guarantees the test suite locks down.
+
+Observability (:mod:`repro.obs`): with ``trace=PATH`` the run records
+nested spans — ``pipeline.run`` wrapping per-task ``task:<name>`` /
+``task.attempt`` regions and the cache's load/store spans — in every
+process; workers ship their spans and metric snapshots back inside the
+task payload, and the merged multi-process trace is written to ``PATH``
+as JSONL.  ``timings=True`` (or ``trace``) additionally lands the merged
+metric snapshot under ``"_metrics"`` in the summary.  Both layers are off
+by default and the instrumented paths are no-ops then.
 """
 
 from __future__ import annotations
@@ -25,9 +34,12 @@ import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
+from pathlib import Path
 
 import numpy as np
 
+from .. import obs
 from ..datasets.base import RODataset
 from .cache import NO_DATASET_FINGERPRINT, ResultCache
 from .registry import TaskSpec, resolve_tasks
@@ -52,31 +64,50 @@ def _canonical(value):
     return json.loads(json.dumps(value, default=json_default))
 
 
-def execute_task(task_name: str, dataset: RODataset | None) -> dict:
+def execute_task(
+    task_name: str, dataset: RODataset | None, collect_obs: bool = False
+) -> dict:
     """Run one task with retry-once; never raises.
 
     Module-level so worker processes can unpickle it.  Returns a payload
     with the canonicalised ``result`` (or ``None``), the ``error`` message
     of the last failed attempt (or ``None``), the attempt count, the
     worker's PID, and the wall time spent.
+
+    With ``collect_obs`` (the worker-process path of a traced run) the
+    call enables tracing and metrics locally, then drains its spans and
+    metric snapshot into ``payload["spans"]`` / ``payload["metrics"]`` so
+    the parent can merge them; in-process runs leave the flag off and
+    record straight into the parent's buffers.
     """
     import repro.pipeline.tasks  # noqa: F401  (populate the registry in workers)
 
     from .registry import get_task
+
+    if collect_obs:
+        obs.reset_tracing()
+        obs.enable_tracing()
+        obs.reset_metrics()
+        obs.enable_metrics()
 
     spec = get_task(task_name)
     started = time.perf_counter()
     error = None
     result = None
     attempts = 0
-    for attempts in (1, 2):
-        try:
-            result = _canonical(spec.run(dataset))
-            error = None
-            break
-        except Exception as exc:  # degrade gracefully, never abort the run
-            error = f"{type(exc).__name__}: {exc}"
-    return {
+    with obs.span(f"task:{task_name}") as task_span:
+        for attempts in (1, 2):
+            try:
+                with obs.span("task.attempt", task=task_name, attempt=attempts):
+                    result = _canonical(spec.run(dataset))
+                error = None
+                break
+            except Exception as exc:  # degrade gracefully, never abort the run
+                error = f"{type(exc).__name__}: {exc}"
+                obs.counter_add("pipeline.retries" if attempts == 1 else "pipeline.task_failures")
+        task_span.set_attr("attempts", attempts)
+        task_span.set_attr("error", error)
+    payload = {
         "task": task_name,
         "result": result,
         "error": error,
@@ -84,10 +115,42 @@ def execute_task(task_name: str, dataset: RODataset | None) -> dict:
         "pid": os.getpid(),
         "wall_seconds": time.perf_counter() - started,
     }
+    if collect_obs:
+        obs.disable_tracing()
+        obs.disable_metrics()
+        payload["spans"] = obs.drain_spans()
+        payload["metrics"] = obs.snapshot()
+        obs.reset_metrics()
+    return payload
 
 
 def _task_fingerprint(spec: TaskSpec, dataset_fingerprint: str) -> str:
     return dataset_fingerprint if spec.uses_dataset else NO_DATASET_FINGERPRINT
+
+
+@contextmanager
+def _observability(trace_on: bool, metrics_on: bool):
+    """Enable (and reset) the requested obs layers for one pipeline run.
+
+    Restores the previous enabled/disabled flags on exit; the span buffer
+    and metric registry are reset on entry, so a traced run never mixes
+    with records from earlier runs in the same process.
+    """
+    was_tracing = obs.tracing_enabled()
+    was_metrics = obs.metrics_enabled()
+    if trace_on:
+        obs.reset_tracing()
+        obs.enable_tracing()
+    if metrics_on:
+        obs.reset_metrics()
+        obs.enable_metrics()
+    try:
+        yield
+    finally:
+        if trace_on and not was_tracing:
+            obs.disable_tracing()
+        if metrics_on and not was_metrics:
+            obs.disable_metrics()
 
 
 def run_pipeline(
@@ -97,6 +160,7 @@ def run_pipeline(
     cache_dir=None,
     tasks=None,
     timings: bool = False,
+    trace=None,
 ) -> dict:
     """Run the experiment pipeline; return the JSON-serialisable summary.
 
@@ -109,26 +173,70 @@ def run_pipeline(
             :class:`~repro.pipeline.cache.ResultCache`; ``None`` disables
             caching.
         tasks: task names to run (default: all registered tasks).
-        timings: include a ``"_pipeline"`` metrics block in the summary.
+        timings: include a ``"_pipeline"`` metrics block in the summary
+            (also enables the ``"_metrics"`` counter snapshot).
+        trace: path for the merged multi-process span trace (JSONL);
+            enables tracing and metrics for this run.  ``None`` (default)
+            records nothing.
 
     Returns:
-        ``{"dataset": <name>, <task>: <result>..., ["_pipeline": ...]}``
-        with tasks in registration order; failed tasks appear as
-        ``{"error": ..., "attempts": ...}`` entries.
+        ``{"dataset": <name>, <task>: <result>..., ["_pipeline": ...,
+        "_metrics": ...]}`` with tasks in registration order; failed tasks
+        appear as ``{"error": ..., "attempts": ...}`` entries.
     """
     from . import tasks as _tasks  # noqa: F401  (populate the registry)
 
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    trace_path = None if trace is None else Path(trace)
+    trace_on = trace_path is not None
+    metrics_on = timings or trace_on
     specs = resolve_tasks(tasks)
     started = time.perf_counter()
 
+    with _observability(trace_on, metrics_on):
+        with obs.span(
+            "pipeline.run", jobs=jobs, tasks=[spec.name for spec in specs]
+        ):
+            summary, outcomes, worker_snapshots = _run(
+                dataset, jobs, cache_dir, specs, collect_obs=trace_on or metrics_on
+            )
+
+        if timings:
+            metrics = PipelineTimings(
+                jobs=jobs,
+                total_wall_seconds=time.perf_counter() - started,
+                tasks=[outcomes[spec.name] for spec in specs],
+            )
+            summary["_pipeline"] = metrics.as_dict()
+        merged_metrics = None
+        if metrics_on:
+            merged_metrics = obs.merge_snapshots(
+                [obs.snapshot()] + worker_snapshots
+            )
+            summary["_metrics"] = merged_metrics
+        if trace_on:
+            obs.write_trace(
+                trace_path, spans=obs.drain_spans(), metrics=merged_metrics
+            )
+    return summary
+
+
+def _run(
+    dataset: RODataset | None,
+    jobs: int,
+    cache_dir,
+    specs: list[TaskSpec],
+    collect_obs: bool,
+) -> tuple[dict, dict[str, TaskTiming], list[dict]]:
+    """The pipeline body: cache lookup, fan-out, assembly."""
     needs_dataset = any(spec.uses_dataset for spec in specs)
     if needs_dataset:
         from ..experiments.common import dataset_or_default
 
-        dataset = dataset_or_default(dataset)
-        dataset_fingerprint = dataset.fingerprint()
+        with obs.span("pipeline.dataset"):
+            dataset = dataset_or_default(dataset)
+            dataset_fingerprint = dataset.fingerprint()
     else:
         # no selected task reads the dataset: skip default generation and
         # fingerprinting, but keep an explicitly-passed dataset's identity
@@ -144,44 +252,56 @@ def run_pipeline(
     outcomes: dict[str, TaskTiming] = {}
     results: dict[str, object] = {}
     pending: list[TaskSpec] = []
-    for spec in specs:
-        cached = None
-        if cache is not None:
-            cached = cache.load(spec.name, _task_fingerprint(spec, dataset_fingerprint))
-        if cached is not None:
-            results[spec.name] = cached
-            outcomes[spec.name] = TaskTiming(
-                task=spec.name,
-                wall_seconds=0.0,
-                process=os.getpid(),
-                cache_hit=True,
-                attempts=0,
-            )
-        else:
-            pending.append(spec)
+    with obs.span("pipeline.cache_lookup", tasks=len(specs)):
+        for spec in specs:
+            cached = None
+            if cache is not None:
+                cached = cache.load(
+                    spec.name, _task_fingerprint(spec, dataset_fingerprint)
+                )
+            if cached is not None:
+                results[spec.name] = cached
+                outcomes[spec.name] = TaskTiming(
+                    task=spec.name,
+                    wall_seconds=0.0,
+                    process=os.getpid(),
+                    cache_hit=True,
+                    attempts=0,  # the documented cache-hit sentinel
+                )
+            else:
+                pending.append(spec)
 
     payloads: list[dict] = []
     if pending and jobs > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(
-                    execute_task,
-                    spec.name,
-                    dataset if spec.uses_dataset else None,
-                ): spec
-                for spec in pending
-            }
-            payloads = [future.result() for future in as_completed(futures)]
+        with obs.span("pipeline.fanout", jobs=jobs, pending=len(pending)):
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                futures = {
+                    pool.submit(
+                        execute_task,
+                        spec.name,
+                        dataset if spec.uses_dataset else None,
+                        collect_obs,
+                    ): spec
+                    for spec in pending
+                }
+                payloads = [future.result() for future in as_completed(futures)]
     elif pending:
+        # In-process: obs state is already the parent's; workers-only
+        # collection would drain the parent's own spans, so leave it off.
         payloads = [
             execute_task(spec.name, dataset if spec.uses_dataset else None)
             for spec in pending
         ]
 
+    worker_snapshots: list[dict] = []
     by_name = {spec.name: spec for spec in pending}
     for payload in payloads:
         name = payload["task"]
         spec = by_name[name]
+        if "spans" in payload:
+            obs.extend_spans(payload["spans"])
+        if "metrics" in payload:
+            worker_snapshots.append(payload["metrics"])
         if payload["error"] is None:
             results[name] = payload["result"]
             if cache is not None:
@@ -206,12 +326,4 @@ def run_pipeline(
     summary: dict = {"dataset": dataset.name if dataset is not None else None}
     for spec in specs:
         summary[spec.name] = results[spec.name]
-
-    if timings:
-        metrics = PipelineTimings(
-            jobs=jobs,
-            total_wall_seconds=time.perf_counter() - started,
-            tasks=[outcomes[spec.name] for spec in specs],
-        )
-        summary["_pipeline"] = metrics.as_dict()
-    return summary
+    return summary, outcomes, worker_snapshots

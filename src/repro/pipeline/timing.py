@@ -3,7 +3,8 @@
 The executor records one :class:`TaskTiming` per task — wall time, the
 process that ran it, cache-hit status, and attempt count — and aggregates
 them into a :class:`PipelineTimings` block that lands in the summary JSON
-under ``"_pipeline"`` when timings are requested.
+under ``"_pipeline"`` when timings are requested.  Finer-grained telemetry
+(spans inside a task, cache byte counters) lives in :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -19,11 +20,15 @@ class TaskTiming:
 
     Attributes:
         task: task name.
-        wall_seconds: wall-clock time spent computing (≈0 for cache hits).
+        wall_seconds: wall-clock time spent computing (0.0 for cache hits).
         process: PID of the process that produced the result.
         cache_hit: whether the result came from the on-disk cache.
-        attempts: executions needed (2 means the first attempt failed and
-            the retry succeeded or failed definitively).
+        attempts: executions needed — 1 means the first attempt succeeded,
+            2 means the first attempt failed and the retry succeeded or
+            failed definitively.  ``0`` is the **cache-hit sentinel**: the
+            task never executed because its result was loaded from the
+            cache (``cache_hit`` is then ``True``).  Pinned by
+            ``tests/test_pipeline_cache.py``.
         error: failure message when the task degraded to an error entry.
     """
 
@@ -36,6 +41,7 @@ class TaskTiming:
 
     def as_dict(self) -> dict:
         return {
+            "task": self.task,
             "wall_seconds": round(self.wall_seconds, 6),
             "process": self.process,
             "cache_hit": self.cache_hit,
@@ -67,10 +73,13 @@ class PipelineTimings:
         return sum(1 for timing in self.tasks if timing.error is not None)
 
     def as_dict(self) -> dict:
+        # ``tasks`` is a *list* (summary order), not a name-keyed dict: a
+        # dict would silently drop a record if a task name ever repeated.
+        # Pinned by tests/test_pipeline.py::test_duplicate_task_names_survive.
         return {
             "jobs": self.jobs,
             "total_wall_seconds": round(self.total_wall_seconds, 6),
             "cache_hits": self.cache_hits,
             "failures": self.failures,
-            "tasks": {timing.task: timing.as_dict() for timing in self.tasks},
+            "tasks": [timing.as_dict() for timing in self.tasks],
         }

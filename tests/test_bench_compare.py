@@ -1,0 +1,143 @@
+"""Tests of the benchmark-artifact comparator and its CLI verb."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import BENCH_SCHEMA, compare_bench, format_bench_compare
+
+
+def _artifact(tmp_path, name, **overrides):
+    """A minimal schema-1 BENCH artifact in the engine-benchmark shape."""
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "board": {
+            "problem": {"pairs": 128, "stages": 9},
+            "reference_median_seconds": 1.0,
+            "vectorized_median_seconds": 0.1,
+            "speedup_vs_reference": 10.0,
+            "required_speedup": 3.0,
+        },
+    }
+    payload["board"].update(overrides)
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestCompareBench:
+    def test_identical_artifacts_are_ok(self, tmp_path):
+        old = _artifact(tmp_path, "old.json")
+        new = _artifact(tmp_path, "new.json")
+        result = compare_bench(old, new)
+        assert result["ok"] is True
+        assert result["regressions"] == []
+
+    def test_slower_seconds_and_lower_speedup_regress(self, tmp_path):
+        old = _artifact(tmp_path, "old.json")
+        new = _artifact(
+            tmp_path, "new.json",
+            vectorized_median_seconds=0.3, speedup_vs_reference=3.3,
+        )
+        result = compare_bench(old, new)
+        assert result["ok"] is False
+        paths = {entry["path"] for entry in result["regressions"]}
+        assert paths == {
+            "board.vectorized_median_seconds",
+            "board.speedup_vs_reference",
+        }
+
+    def test_faster_is_an_improvement_not_a_regression(self, tmp_path):
+        old = _artifact(tmp_path, "old.json")
+        new = _artifact(
+            tmp_path, "new.json",
+            vectorized_median_seconds=0.05, speedup_vs_reference=20.0,
+        )
+        result = compare_bench(old, new)
+        assert result["ok"] is True
+        assert len(result["improvements"]) == 2
+
+    def test_metric_filter_restricts_the_gate(self, tmp_path):
+        old = _artifact(tmp_path, "old.json")
+        new = _artifact(tmp_path, "new.json", vectorized_median_seconds=0.5)
+        # the wall-time regression is invisible through the speedup filter
+        assert compare_bench(old, new, metric="speedup")["ok"] is True
+        assert compare_bench(old, new, metric="seconds")["ok"] is False
+
+    def test_problem_size_mismatch_is_incomparable(self, tmp_path):
+        old = _artifact(tmp_path, "old.json")
+        new = _artifact(tmp_path, "new.json", problem={"pairs": 256, "stages": 9})
+        result = compare_bench(old, new)
+        assert result["ok"] is False
+        assert "board.problem.pairs" in result["incomparable"]
+
+    def test_required_speedup_change_is_incomparable(self, tmp_path):
+        old = _artifact(tmp_path, "old.json")
+        new = _artifact(tmp_path, "new.json", required_speedup=5.0)
+        result = compare_bench(old, new)
+        assert result["ok"] is False
+        assert "board.required_speedup" in result["incomparable"]
+
+    def test_unversioned_artifact_rejected(self, tmp_path):
+        old = _artifact(tmp_path, "old.json")
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(json.dumps({"board": {"speedup_vs_reference": 1.0}}))
+        with pytest.raises(ValueError, match="schema"):
+            compare_bench(old, legacy)
+
+    def test_format_ends_with_verdict(self, tmp_path):
+        old = _artifact(tmp_path, "old.json")
+        ok = format_bench_compare(compare_bench(old, old))
+        assert ok.splitlines()[-1] == "OK"
+        bad = _artifact(tmp_path, "bad.json", speedup_vs_reference=1.0)
+        fail = format_bench_compare(compare_bench(old, bad))
+        assert fail.splitlines()[-1] == "FAIL"
+
+
+class TestCliVerb:
+    def test_ok_compare_exits_zero(self, capsys, tmp_path):
+        old = _artifact(tmp_path, "old.json")
+        new = _artifact(tmp_path, "new.json")
+        assert main(["bench", "compare", str(old), str(new)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, capsys, tmp_path):
+        old = _artifact(tmp_path, "old.json")
+        new = _artifact(tmp_path, "new.json", speedup_vs_reference=1.0)
+        assert main(["bench", "compare", str(old), str(new)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSIONS" in out and "FAIL" in out
+
+    def test_threshold_flag_loosens_the_gate(self, capsys, tmp_path):
+        old = _artifact(tmp_path, "old.json")
+        new = _artifact(tmp_path, "new.json", speedup_vs_reference=8.5)
+        assert main(
+            ["bench", "compare", str(old), str(new), "--threshold", "0.5"]
+        ) == 0
+        capsys.readouterr()
+
+    def test_round_trips_saved_engine_artifact_shape(self, capsys, tmp_path):
+        """The benchmarks' save_bench_json artifacts feed straight in."""
+        # mirror benchmarks/conftest.py::save_bench_json output exactly
+        payload = {
+            "schema": BENCH_SCHEMA,
+            "board": {
+                "problem": {"pairs": 128, "stages": 9, "votes": 5},
+                "reference_median_seconds": 2.0,
+                "vectorized_median_seconds": 0.2,
+                "speedup_vs_reference": 10.0,
+                "required_speedup": 3.0,
+            },
+            "chip": {
+                "problem": {"rings": 256, "stages": 9},
+                "reference_median_seconds": 1.0,
+                "vectorized_median_seconds": 0.25,
+                "speedup_vs_reference": 4.0,
+                "required_speedup": 2.0,
+            },
+        }
+        path = tmp_path / "BENCH_enroll.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        assert main(["bench", "compare", str(path), str(path)]) == 0
+        assert capsys.readouterr().out.splitlines()[-1] == "OK"

@@ -47,6 +47,28 @@ class TestParser:
         assert args.cache_dir is None
         assert args.timings is False
         assert args.tasks is None
+        assert args.trace is None
+
+    def test_trace_and_bench_verbs_parse(self):
+        args = build_parser().parse_args(["trace", "summarize", "t.jsonl"])
+        assert args.command == "trace"
+        assert args.trace_command == "summarize"
+        assert args.trace_file == "t.jsonl"
+        assert args.top == 10
+        args = build_parser().parse_args(
+            ["bench", "compare", "a.json", "b.json",
+             "--threshold", "0.5", "--metric", "speedup"]
+        )
+        assert args.command == "bench"
+        assert (args.old, args.new) == ("a.json", "b.json")
+        assert args.threshold == 0.5
+        assert args.metric == "speedup"
+
+    def test_tool_verbs_require_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
 
     def test_jobs_requires_integer(self):
         with pytest.raises(SystemExit):
@@ -75,12 +97,14 @@ class TestParser:
             "--raw",
             "--tasks",
             "--timings",
+            "--trace",
         ]
         for phrase in (
             "parallel worker processes",
             "on-disk result cache",
             "timing/cache metrics",
             "task subset",
+            "span trace",
         ):
             assert phrase in help_text, phrase
 
@@ -163,3 +187,25 @@ class TestMainAll:
     def test_unknown_task_fails_loudly(self):
         with pytest.raises(KeyError, match="unknown pipeline task"):
             main(["all", "--tasks", "not_a_task"])
+
+    def test_trace_flag_writes_jsonl_and_summarize_reads_it(
+        self, capsys, tmp_path
+    ):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(
+            ["all", "--tasks", "table5_bits", "--trace", str(trace_path)]
+        ) == 0
+        capsys.readouterr()  # drop the summary JSON
+        assert trace_path.is_file()
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        report = capsys.readouterr().out
+        assert "top spans by self-time" in report
+        assert "task:table5_bits" in report
+
+    def test_trace_flag_leaves_tracing_disabled_after_run(self, capsys):
+        from repro import obs
+
+        assert main(["all", "--tasks", "table5_bits"]) == 0
+        capsys.readouterr()
+        assert not obs.tracing_enabled()
+        assert not obs.metrics_enabled()

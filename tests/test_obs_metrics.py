@@ -1,0 +1,129 @@
+"""Tests of the metrics registry: recording, snapshots, merging, and the
+counters the instrumented engines emit."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.measurement import (
+    ENROLL_DRAW_ORDER,
+    DelayMeasurer,
+    measure_ddiffs_leave_one_out_batch,
+)
+from repro.core.ring import ConfigurableRO
+from repro.core.selection import select_case1
+from repro.core.selection_batch import select_case1_batch
+from repro.silicon.fabrication import FabricationProcess
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable_metrics()
+    obs.reset_metrics()
+    yield
+    obs.disable_metrics()
+    obs.reset_metrics()
+
+
+class TestRegistry:
+    def test_disabled_records_nothing(self):
+        obs.counter_add("cache.hits")
+        obs.gauge_set("g", 1.0)
+        obs.histogram_observe("h", 1.0)
+        snap = obs.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+    def test_counter_accumulates(self):
+        obs.enable_metrics()
+        obs.counter_add("cache.hits")
+        obs.counter_add("cache.hits", 2.5)
+        assert obs.snapshot()["counters"]["cache.hits"] == 3.5
+
+    def test_gauge_keeps_last_value(self):
+        obs.enable_metrics()
+        obs.gauge_set("g", 1.0)
+        obs.gauge_set("g", 0.25)
+        assert obs.snapshot()["gauges"]["g"] == 0.25
+
+    def test_histogram_aggregates(self):
+        obs.enable_metrics()
+        for value in (4.0, 1.0, 7.0):
+            obs.histogram_observe("h", value)
+        assert obs.snapshot()["histograms"]["h"] == {
+            "count": 3, "total": 12.0, "min": 1.0, "max": 7.0,
+        }
+
+    def test_snapshot_is_schema_tagged_and_detached(self):
+        obs.enable_metrics()
+        obs.counter_add("c")
+        snap = obs.snapshot()
+        assert snap["schema"] == obs.METRICS_SCHEMA
+        snap["counters"]["c"] = 99.0  # mutating a snapshot is safe
+        assert obs.snapshot()["counters"]["c"] == 1.0
+
+    def test_merge_sums_counters_maxes_gauges_combines_histograms(self):
+        a = {
+            "schema": 1,
+            "counters": {"cache.hits": 2.0, "only.a": 1.0},
+            "gauges": {"g": 1.0},
+            "histograms": {"h": {"count": 2, "total": 3.0, "min": 1.0, "max": 2.0}},
+        }
+        b = {
+            "schema": 1,
+            "counters": {"cache.hits": 3.0},
+            "gauges": {"g": 4.0, "only.b": 0.5},
+            "histograms": {"h": {"count": 1, "total": 9.0, "min": 9.0, "max": 9.0}},
+        }
+        merged = obs.merge_snapshots([a, b])
+        assert merged["counters"] == {"cache.hits": 5.0, "only.a": 1.0}
+        assert merged["gauges"] == {"g": 4.0, "only.b": 0.5}
+        assert merged["histograms"]["h"] == {
+            "count": 3, "total": 12.0, "min": 1.0, "max": 9.0,
+        }
+
+    def test_merge_rejects_schema_mismatch(self):
+        with pytest.raises(ValueError, match="schema"):
+            obs.merge_snapshots([{"schema": 99}])
+
+
+class TestEngineCounters:
+    """The instrumented engines emit the documented metric names."""
+
+    def _ring_pair(self):
+        chip = FabricationProcess().fabricate(16, np.random.default_rng(5))
+        top = ConfigurableRO(chip=chip, unit_indices=np.arange(8))
+        bottom = ConfigurableRO(chip=chip, unit_indices=np.arange(8, 16))
+        return top, bottom
+
+    def test_scalar_selector_counter(self):
+        obs.enable_metrics()
+        rng = np.random.default_rng(0)
+        select_case1(rng.normal(size=8), rng.normal(size=8))
+        counters = obs.snapshot()["counters"]
+        assert counters["selector.case1.scalar_calls"] == 1.0
+
+    def test_batch_selector_counters(self):
+        obs.enable_metrics()
+        rng = np.random.default_rng(0)
+        select_case1_batch(rng.normal(size=(6, 8)), rng.normal(size=(6, 8)))
+        counters = obs.snapshot()["counters"]
+        assert counters["selector.case1.calls"] == 1.0
+        assert counters["selector.case1.rows"] == 6.0
+
+    def test_enroll_noise_elements_counter(self):
+        obs.enable_metrics()
+        top, bottom = self._ring_pair()
+        measurer = DelayMeasurer(repeats=3)
+        measure_ddiffs_leave_one_out_batch(measurer, [top, bottom])
+        counters = obs.snapshot()["counters"]
+        # 2 rings x (8 + 1) leave-one-out configs x 3 repeats
+        assert counters[f"noise.elements.{ENROLL_DRAW_ORDER}"] == 2 * 9 * 3
+
+    def test_disabled_engines_emit_nothing(self):
+        top, bottom = self._ring_pair()
+        measure_ddiffs_leave_one_out_batch(DelayMeasurer(), [top, bottom])
+        rng = np.random.default_rng(0)
+        select_case1(rng.normal(size=8), rng.normal(size=8))
+        assert obs.snapshot()["counters"] == {}

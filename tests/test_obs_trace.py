@@ -1,0 +1,238 @@
+"""Tests of the span tracing layer: nesting, buffering, serialization,
+and the merged multi-process trace of a parallel pipeline run."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.pipeline import run_pipeline
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts and ends with observability off and empty."""
+    obs.disable_tracing()
+    obs.reset_tracing()
+    obs.disable_metrics()
+    obs.reset_metrics()
+    yield
+    obs.disable_tracing()
+    obs.reset_tracing()
+    obs.disable_metrics()
+    obs.reset_metrics()
+
+
+def _check_well_formed(spans):
+    """The invariants every span forest must satisfy (see docs)."""
+    by_id = {record["id"]: record for record in spans}
+    assert len(by_id) == len(spans), "span ids must be unique"
+    for record in spans:
+        assert record["type"] == "span"
+        assert record["t1"] is not None
+        assert record["t1"] >= record["t0"]
+        parent_id = record["parent"]
+        if parent_id is not None:
+            assert parent_id in by_id, f"dangling parent {parent_id}"
+            parent = by_id[parent_id]
+            # parent links never cross a process boundary
+            assert parent["pid"] == record["pid"]
+            # the child interval nests inside the parent interval
+            assert parent["t0"] <= record["t0"]
+            assert record["t1"] <= parent["t1"]
+    # spans append on completion, so t1 is non-decreasing per process
+    for pid in {record["pid"] for record in spans}:
+        ends = [r["t1"] for r in spans if r["pid"] == pid]
+        assert ends == sorted(ends)
+
+
+class TestSpanBasics:
+    def test_disabled_span_records_nothing(self):
+        with obs.span("ignored", detail=1) as handle:
+            handle.set_attr("late", True)  # must be a harmless no-op
+        assert obs.buffered_spans() == []
+
+    def test_disabled_span_is_shared_singleton(self):
+        # the disabled path must not allocate per call
+        assert obs.span("a") is obs.span("b")
+
+    def test_enabled_span_records_interval_and_attrs(self):
+        obs.enable_tracing()
+        with obs.span("outer", jobs=2) as handle:
+            handle.set_attr("late", "yes")
+        (record,) = obs.buffered_spans()
+        assert record["name"] == "outer"
+        assert record["attrs"] == {"jobs": 2, "late": "yes"}
+        assert record["parent"] is None
+        assert record["t1"] >= record["t0"]
+
+    def test_nesting_links_parents(self):
+        obs.enable_tracing()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+            with obs.span("sibling"):
+                pass
+        inner, sibling, outer = obs.buffered_spans()  # completion order
+        assert (inner["name"], sibling["name"], outer["name"]) == (
+            "inner", "sibling", "outer"
+        )
+        assert inner["parent"] == outer["id"]
+        assert sibling["parent"] == outer["id"]
+        assert outer["parent"] is None
+
+    def test_span_survives_exception(self):
+        obs.enable_tracing()
+        with pytest.raises(RuntimeError):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    raise RuntimeError("boom")
+        _check_well_formed(obs.buffered_spans())
+        # the nesting stack unwound: a fresh span is a root again
+        with obs.span("after"):
+            pass
+        assert obs.buffered_spans()[-1]["parent"] is None
+
+    def test_drain_empties_buffer(self):
+        obs.enable_tracing()
+        with obs.span("one"):
+            pass
+        drained = obs.drain_spans()
+        assert len(drained) == 1
+        assert obs.buffered_spans() == []
+
+    def test_extend_merges_foreign_spans(self):
+        obs.enable_tracing()
+        foreign = [
+            {
+                "type": "span", "id": "999-1", "parent": None,
+                "name": "remote", "pid": 999, "t0": 0.0, "t1": 1.0,
+                "wall0": 0.0, "attrs": {},
+            }
+        ]
+        obs.extend_spans(foreign)
+        assert obs.buffered_spans() == foreign
+
+
+class TestTraceFile:
+    def test_write_read_round_trip(self, tmp_path):
+        obs.enable_tracing()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        obs.write_trace(path, metrics={"schema": 1, "counters": {"x": 1.0},
+                                       "gauges": {}, "histograms": {}})
+        spans, metrics = obs.read_trace(path)
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        assert metrics["counters"] == {"x": 1.0}
+        # the file is honest JSONL with a schema header
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {
+            "type": "header",
+            "schema": obs.TRACE_SCHEMA,
+            "pid": first["pid"],
+            "span_count": 2,
+        }
+
+    def test_read_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"type": "header", "schema": 99}) + "\n")
+        with pytest.raises(ValueError, match="schema-1"):
+            obs.read_trace(path)
+
+    def test_read_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            obs.read_trace(path)
+
+
+#: Random span trees: each node is a list of children.
+_TREES = st.recursive(
+    st.just([]), lambda children: st.lists(children, max_size=4), max_leaves=12
+)
+
+
+class TestSpanProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(forest=st.lists(_TREES, min_size=1, max_size=4))
+    def test_any_nesting_produces_well_formed_forest(self, forest):
+        obs.disable_tracing()
+        obs.reset_tracing()
+        obs.enable_tracing()
+
+        def run(tree, depth):
+            with obs.span(f"level{depth}", fanout=len(tree)):
+                for child in tree:
+                    run(child, depth + 1)
+
+        for tree in forest:
+            run(tree, 0)
+        spans = obs.drain_spans()
+        obs.disable_tracing()
+
+        def count(tree):
+            return 1 + sum(count(child) for child in tree)
+
+        assert len(spans) == sum(count(tree) for tree in forest)
+        assert sum(1 for s in spans if s["parent"] is None) == len(forest)
+        _check_well_formed(spans)
+
+
+class TestPipelineTrace:
+    def test_two_worker_run_merges_processes_and_reconciles_timings(
+        self, tmp_path
+    ):
+        trace_path = tmp_path / "trace.jsonl"
+        tasks = ["table5_bits", "sec4e_threshold"]
+        summary = run_pipeline(
+            tasks=tasks, jobs=2, timings=True, trace=trace_path
+        )
+        spans, metrics = obs.read_trace(trace_path)
+        _check_well_formed(spans)
+
+        # spans from the parent AND both workers made it into one file
+        pids = {record["pid"] for record in spans}
+        assert len(pids) >= 2
+
+        names = [record["name"] for record in spans]
+        assert "pipeline.run" in names
+        for task in tasks:
+            assert f"task:{task}" in names
+
+        # each task:<name> span reconciles with the _pipeline wall time:
+        # both wrap the same retry loop, so they agree to within a coarse
+        # tolerance (canonicalisation inside, payload assembly outside).
+        by_task = {
+            record["task"]: record for record in summary["_pipeline"]["tasks"]
+        }
+        for record in spans:
+            if not record["name"].startswith("task:"):
+                continue
+            task = record["name"].removeprefix("task:")
+            duration = record["t1"] - record["t0"]
+            wall = by_task[task]["wall_seconds"]
+            assert abs(duration - wall) <= 0.05 + 0.25 * wall
+            assert record["pid"] == by_task[task]["process"]
+
+        # the trailing metrics record matches the summary's merged block
+        assert metrics == summary["_metrics"]
+        # both tasks enroll PUFs through the batch engine, so the counter
+        # shipped back from the worker processes must be nonzero
+        assert metrics["counters"]["noise.elements.enroll-v1"] > 0
+
+    def test_trace_does_not_change_results(self, tmp_path):
+        plain = run_pipeline(tasks=["table5_bits"])
+        traced = run_pipeline(
+            tasks=["table5_bits"], trace=tmp_path / "t.jsonl"
+        )
+        assert plain["table5_bits"] == traced["table5_bits"]
+
+    def test_tracing_restored_after_traced_run(self, tmp_path):
+        assert not obs.tracing_enabled()
+        run_pipeline(tasks=["table5_bits"], trace=tmp_path / "t.jsonl")
+        assert not obs.tracing_enabled()
+        assert not obs.metrics_enabled()

@@ -122,10 +122,19 @@ class TestPipelineCaching:
         warm = run_pipeline(tasks=self.TASKS, cache_dir=tmp_path, timings=True)
         assert cold["_pipeline"]["cache_hits"] == 0
         assert warm["_pipeline"]["cache_hits"] == len(self.TASKS)
-        for record in warm["_pipeline"]["tasks"].values():
+        for record in warm["_pipeline"]["tasks"]:
             assert record["cache_hit"] is True
+            # attempts == 0 is the documented cache-hit sentinel: the task
+            # never executed, so no attempt was made (see TaskTiming).
+            assert record["attempts"] == 0
+            assert record["wall_seconds"] == 0.0
+        for record in cold["_pipeline"]["tasks"]:
+            assert record["attempts"] >= 1  # computed tasks always attempt
+
         def strip(s):
-            return {k: v for k, v in s.items() if k != "_pipeline"}
+            # strip all "_"-prefixed metadata ("_pipeline", "_metrics"):
+            # cache counters legitimately differ cold vs warm.
+            return {k: v for k, v in s.items() if not k.startswith("_")}
 
         assert json.dumps(strip(cold), sort_keys=True) == json.dumps(
             strip(warm), sort_keys=True
