@@ -1,0 +1,163 @@
+"""E-faults — a no-op FaultPlan must be (near) free on the hot paths.
+
+Fault injection wraps the measurement stack at the noise-model seam
+(:class:`repro.faults.plan.FaultInjectingNoise`), and a plan with no
+effective models delegates wholesale to the wrapped noise model without
+touching the fault RNG.  This benchmark pins that guarantee on the two
+batch hot paths: a board response sweep and a chip enrollment sweep, each
+run with a no-op plan attached must cost within 2% of the bare run.
+
+The two arms are interleaved and compared min-of-rounds, so slow outliers
+from scheduler noise hurt neither side.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.pairing import RingAllocation
+from repro.core.puf import BoardROPUF, ChipROPUF
+from repro.faults import FaultPlan
+from repro.silicon.fabrication import FabricationProcess
+from repro.variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
+from repro.variation.noise import GaussianNoise
+
+PAIR_COUNT = 128
+STAGE_COUNT = 9
+CHIP_UNITS = 512
+CHIP_STAGES = 8
+ROUNDS = 9
+MAX_OVERHEAD = 0.02
+SWEEP_OPS = [
+    NOMINAL_OPERATING_POINT,
+    OperatingPoint(voltage=1.08, temperature=45.0),
+    OperatingPoint(voltage=1.32, temperature=5.0),
+]
+
+
+def _make_board_puf():
+    rng = np.random.default_rng(2024)
+    ring_count = 2 * PAIR_COUNT
+    n_units = ring_count * STAGE_COUNT
+    base = rng.normal(1.0, 0.02, n_units)
+    sensitivity = rng.normal(0.05, 0.01, n_units)
+
+    def provider(op):
+        return base * (1.0 + sensitivity * (1.20 - op.voltage))
+
+    allocation = RingAllocation(stage_count=STAGE_COUNT, ring_count=ring_count)
+    return BoardROPUF(
+        delay_provider=provider,
+        allocation=allocation,
+        method="case1",
+        require_odd=True,
+        response_noise=GaussianNoise(relative_sigma=1e-4),
+        rng=np.random.default_rng(7),
+    )
+
+
+def _timed(func):
+    start = time.perf_counter()
+    func()
+    return time.perf_counter() - start
+
+
+def _interleaved_overhead(bare, wrapped):
+    """min-of-rounds overhead fraction of ``wrapped`` over ``bare``."""
+    bare()
+    wrapped()
+    bare_times = []
+    wrapped_times = []
+    for _ in range(ROUNDS):
+        bare_times.append(_timed(bare))
+        wrapped_times.append(_timed(wrapped))
+    bare_seconds = min(bare_times)
+    wrapped_seconds = min(wrapped_times)
+    return bare_seconds, wrapped_seconds, wrapped_seconds / bare_seconds - 1.0
+
+
+def _report(save_artifact, save_bench_json, name, title, problem, numbers):
+    bare_seconds, wrapped_seconds, overhead = numbers
+    save_artifact(
+        name,
+        "\n".join(
+            [
+                title,
+                f"rounds: {ROUNDS} (min-of-rounds, interleaved)",
+                f"  bare (no plan):      {bare_seconds * 1e3:9.3f} ms",
+                f"  no-op FaultPlan:     {wrapped_seconds * 1e3:9.3f} ms",
+                f"  overhead:            {overhead:+9.2%}",
+                f"  allowed:             {MAX_OVERHEAD:9.2%}",
+            ]
+        ),
+    )
+    save_bench_json(
+        name,
+        {
+            "engine": name,
+            "problem": problem,
+            "bare_min_seconds": bare_seconds,
+            "noop_plan_min_seconds": wrapped_seconds,
+            "overhead_fraction": overhead,
+            "max_overhead_fraction": MAX_OVERHEAD,
+        },
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"a no-op FaultPlan costs {overhead:+.2%} over the bare path "
+        f"(allowed {MAX_OVERHEAD:.0%}) — the no-op plan must delegate "
+        "wholesale to the wrapped noise model"
+    )
+
+
+def test_bench_noop_plan_response_sweep(save_artifact, save_bench_json):
+    puf = _make_board_puf()
+    plan = FaultPlan(seed=0, models=[])
+    assert plan.is_noop
+    faulted = plan.attach_to_board(puf)
+    enrollment = puf.enroll(NOMINAL_OPERATING_POINT)
+
+    numbers = _interleaved_overhead(
+        lambda: puf.response_sweep(SWEEP_OPS, enrollment),
+        lambda: faulted.response_sweep(SWEEP_OPS, enrollment),
+    )
+    _report(
+        save_artifact,
+        save_bench_json,
+        "fault_overhead_response",
+        "No-op FaultPlan overhead (board response sweep)",
+        {
+            "pair_count": PAIR_COUNT,
+            "stage_count": STAGE_COUNT,
+            "sweep_ops": len(SWEEP_OPS),
+            "rounds": ROUNDS,
+        },
+        numbers,
+    )
+
+
+def test_bench_noop_plan_enroll_sweep(save_artifact, save_bench_json):
+    chip = FabricationProcess().fabricate(
+        CHIP_UNITS, np.random.default_rng(99), name="benchchip"
+    )
+    puf = ChipROPUF.deploy(chip, stage_count=CHIP_STAGES)
+    plan = FaultPlan(seed=0, models=[])
+    assert plan.is_noop
+    faulted = plan.attach_to_chip(puf)
+
+    numbers = _interleaved_overhead(
+        lambda: puf.enroll_sweep(SWEEP_OPS),
+        lambda: faulted.enroll_sweep(SWEEP_OPS),
+    )
+    _report(
+        save_artifact,
+        save_bench_json,
+        "fault_overhead_enroll",
+        "No-op FaultPlan overhead (chip enrollment sweep)",
+        {
+            "chip_units": CHIP_UNITS,
+            "stage_count": CHIP_STAGES,
+            "sweep_ops": len(SWEEP_OPS),
+            "rounds": ROUNDS,
+        },
+        numbers,
+    )

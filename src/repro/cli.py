@@ -22,6 +22,15 @@ whose results are already cached for this dataset and repro version),
 (run a subset of the registered tasks), and ``--trace PATH`` (write the
 merged cross-process span trace as JSONL; see docs/observability.md).
 
+Hardening flags (see docs/robustness.md): ``--retries N`` (total attempt
+budget per task), ``--backoff SECONDS`` (exponential backoff base with
+deterministic jitter), ``--task-timeout SECONDS`` (per-task wall-clock
+deadline; the hung worker is killed and the task re-dispatched),
+``--resume PATH`` (crash-safe checkpoint journal: completed tasks are
+replayed, fresh ones are durably appended), and ``--chaos SEED``
+(deterministically inject a worker crash, a task hang, and a corrupt
+cache entry to prove the run survives them).
+
 Two observability verbs round out the tooling::
 
     ropuf trace summarize trace.jsonl      # top spans, per-process stats
@@ -183,11 +192,16 @@ def _cmd_all(args) -> str:
     """Run the experiment pipeline; return the summary as pretty JSON."""
     import json
 
-    from .pipeline import run_pipeline
+    from .pipeline import RetryPolicy, run_pipeline
 
     tasks = None
     if getattr(args, "tasks", None):
         tasks = [name.strip() for name in args.tasks.split(",") if name.strip()]
+    policy = RetryPolicy(
+        max_attempts=args.retries,
+        backoff_seconds=args.backoff,
+        timeout_seconds=args.task_timeout,
+    )
     summary = run_pipeline(
         dataset=_load_dataset(args),
         jobs=args.jobs,
@@ -195,6 +209,9 @@ def _cmd_all(args) -> str:
         tasks=tasks,
         timings=args.timings,
         trace=args.trace,
+        policy=policy,
+        journal=args.resume,
+        chaos=args.chaos,
     )
     text = json.dumps(summary, indent=2)
     output = getattr(args, "output", None)
@@ -306,6 +323,43 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="PATH",
             help="write the merged span trace as JSONL (all command)",
+        )
+        sub.add_argument(
+            "--retries",
+            type=int,
+            default=2,
+            metavar="N",
+            help="total attempts per task before degrading it (default: 2)",
+        )
+        sub.add_argument(
+            "--backoff",
+            type=float,
+            default=0.0,
+            metavar="SECONDS",
+            help="exponential backoff base between attempts (default: 0)",
+        )
+        sub.add_argument(
+            "--task-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-task wall-clock timeout; kills and re-dispatches "
+            "(needs --jobs >= 2)",
+        )
+        sub.add_argument(
+            "--resume",
+            default=None,
+            metavar="PATH",
+            help="crash-safe checkpoint journal to replay and append "
+            "(all command)",
+        )
+        sub.add_argument(
+            "--chaos",
+            type=int,
+            default=None,
+            metavar="SEED",
+            help="inject seeded worker-crash/hang/cache-corruption chaos "
+            "(all command)",
         )
 
     trace = subparsers.add_parser(

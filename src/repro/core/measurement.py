@@ -17,11 +17,19 @@ provides
   "011" and the formulas ``ddiff_1 = (X+Y-Z)/2`` etc. — exact when the
   bypass delays are negligible, and reproduced here for fidelity;
 * a general least-squares estimator for arbitrary configuration sets, which
-  averages out measurement noise when more than ``n+1`` vectors are used.
+  averages out measurement noise when more than ``n+1`` vectors are used;
+* **robust** variants for faulty counters (see :mod:`repro.faults`): an
+  overdetermined leave-one-out scheme whose redundant rows let a
+  residual/MAD screen *localize* glitched measurements and re-solve
+  without them (:func:`measure_ddiffs_overdetermined`), and a
+  median-of-k chain-delay estimator with MAD outlier rejection
+  (:meth:`DelayMeasurer.chain_delays_robust`).
 """
 
 from __future__ import annotations
 
+import itertools
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,11 +44,15 @@ __all__ = [
     "DelayMeasurer",
     "DdiffEstimate",
     "BatchDdiffEstimate",
+    "RobustDdiffEstimate",
     "measure_ddiffs_leave_one_out",
     "measure_ddiffs_leave_one_out_batch",
     "measure_ddiffs_least_squares",
+    "measure_ddiffs_overdetermined",
+    "robust_least_squares",
     "three_stage_ddiffs",
     "leave_one_out_vectors",
+    "overdetermined_vectors",
     "random_config_set",
     "ENROLL_DRAW_ORDER",
 ]
@@ -54,6 +66,19 @@ __all__ = [
 #: which therefore keeps its sequential path; any change to the batch order
 #: must bump this tag.
 ENROLL_DRAW_ORDER = "enroll-v1"
+
+#: Consistency factor turning a median absolute deviation into a Gaussian
+#: sigma estimate (1 / Phi^-1(3/4)).
+_MAD_TO_SIGMA = 1.4826
+
+
+def _mad_floor(reference: np.ndarray | float) -> np.ndarray | float:
+    """Numerical floor for MAD scales so noiseless data never divides by 0.
+
+    Relative to the data magnitude: residuals below ~1e-12 of the measured
+    values are floating-point dust, not structure.
+    """
+    return 1e-12 * np.maximum(np.abs(reference), 1e-30)
 
 
 @dataclass
@@ -123,6 +148,63 @@ class DelayMeasurer:
         ``ChipROPUF.enroll`` path) are pinned to.
         """
         return np.array([self.chain_delay(ring, c, op) for c in configs])
+
+    def chain_delays_robust(
+        self,
+        ring: ConfigurableRO,
+        configs: list[ConfigVector],
+        op: OperatingPoint = NOMINAL_OPERATING_POINT,
+        k: int = 5,
+        mad_threshold: float = 3.5,
+    ) -> np.ndarray:
+        """Median-of-``k`` chain delays with MAD outlier rejection.
+
+        The opt-in robust alternative to :meth:`chain_delays` for glitchy
+        counters: ``k`` independent raw observations are taken per
+        configuration, observations deviating from the per-config median
+        by more than ``mad_threshold`` scaled-MADs (and NaN dropouts) are
+        rejected, and the median of the survivors is returned.  A single
+        multiplicative glitch or dropped window among ``k`` captures
+        therefore cannot move the estimate, where the mean of
+        :meth:`chain_delays` would absorb it wholesale.
+
+        Rejected-observation counts are reported through the
+        ``measurement.robust.outliers_rejected`` and
+        ``measurement.robust.dropouts`` metrics (:mod:`repro.obs`).
+
+        Draw order: ``k`` whole-vector ``observe`` calls (no averaging),
+        which differs from :meth:`chain_delays`; this estimator is opt-in
+        and carries no byte-compatibility contract with the mean paths.
+
+        Returns:
+            per-configuration robust delay estimates; a configuration
+            whose ``k`` observations were *all* dropouts yields NaN.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if mad_threshold <= 0.0:
+            raise ValueError(f"mad_threshold must be positive, got {mad_threshold}")
+        true_delays = ring.chain_delays(configs, op)
+        observations = np.stack(
+            [self.noise.observe(true_delays, self.rng) for _ in range(k)]
+        )
+        finite = np.isfinite(observations)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)  # all-NaN slices
+            median = np.nanmedian(observations, axis=0)
+            deviation = np.abs(observations - median)
+            mad = np.nanmedian(deviation, axis=0)
+        scale = np.maximum(_MAD_TO_SIGMA * mad, _mad_floor(median))
+        keep = finite & (deviation <= mad_threshold * scale)
+        dropouts = int((~finite).sum())
+        rejected = int((finite & ~keep).sum())
+        if rejected:
+            obs.counter_add("measurement.robust.outliers_rejected", rejected)
+        if dropouts:
+            obs.counter_add("measurement.robust.dropouts", dropouts)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            return np.nanmedian(np.where(keep, observations, np.nan), axis=0)
 
 
 @dataclass
@@ -305,6 +387,332 @@ def measure_ddiffs_least_squares(
         residual_rms=float(np.sqrt(np.mean(residuals**2))),
         configs=list(configs),
         measurements=measurements,
+    )
+
+
+def overdetermined_vectors(
+    stage_count: int, extra: int | None = None
+) -> list[ConfigVector]:
+    """Leave-one-out vectors plus ``extra`` deterministic redundancy rows.
+
+    The square Sec. III.B system (all-ones + n leave-one-out vectors) has
+    zero redundancy: a single glitched measurement silently corrupts one
+    ``ddiff``.  This scheme appends leave-two-out vectors (then
+    leave-``k``-out for ``k >= 3`` once pairs are exhausted) so the design
+    matrix gains ``extra`` rows beyond full rank and a residual screen can
+    localize faulted rows.
+
+    Pair enumeration is *balanced*, not lexicographic: pairs are emitted
+    round-robin by circular distance — ``(i, i+1 mod n)`` for all ``i``,
+    then ``(i, i+2 mod n)``, and so on — so stage coverage grows evenly.
+    This matters for localization: the parameter direction ``(B + d,
+    ddiff_j - d)`` only shows up in rows whose config drops stage ``j``,
+    so if stage ``j`` were dropped by just *two* rows (as lexicographic
+    order leaves for most stages), a gross fault on either row splits
+    50/50 between them and cannot be attributed.  With ``extra >=
+    stage_count`` every stage is dropped by at least three rows (its
+    leave-one-out row plus two pair rows) and a single faulted row is
+    uniquely the worst residual.
+
+    Args:
+        extra: redundancy rows to add; default ``stage_count`` (a ~2x
+            overdetermined system, the smallest size with unambiguous
+            single-fault localization).
+
+    Raises:
+        ValueError: when fewer than ``extra`` distinct redundancy vectors
+            exist (``2**stage_count - stage_count - 1`` are available).
+    """
+    if extra is None:
+        extra = stage_count
+    if extra < 0:
+        raise ValueError(f"extra must be non-negative, got {extra}")
+    vectors = leave_one_out_vectors(stage_count)
+
+    def _drop(stages: tuple[int, ...]) -> ConfigVector:
+        bits = [True] * stage_count
+        for j in stages:
+            bits[j] = False
+        return ConfigVector(tuple(bits))
+
+    redundancy: list[tuple[int, ...]] = []
+    for distance in range(1, stage_count // 2 + 1):
+        # At distance n/2 each pair would appear twice; emit half the ring.
+        span = stage_count if 2 * distance != stage_count else stage_count // 2
+        for start in range(span):
+            redundancy.append((start, (start + distance) % stage_count))
+    for skip_count in range(3, stage_count + 1):
+        redundancy.extend(itertools.combinations(range(stage_count), skip_count))
+    if len(redundancy) < extra:
+        raise ValueError(
+            f"only {len(redundancy)} distinct redundancy vectors exist for "
+            f"{stage_count} stages; cannot add {extra}"
+        )
+    vectors.extend(_drop(stages) for stages in redundancy[:extra])
+    return vectors
+
+
+def robust_least_squares(
+    design: np.ndarray,
+    measurements: np.ndarray,
+    mad_threshold: float = 3.5,
+    min_rows: int | None = None,
+    subset_draws: int = 100,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """Least squares with residual-based fault localization and re-solve.
+
+    NaN dropout rows are excluded outright.  The survivors are screened in
+    three robust stages, because an ordinary least-squares fit is useless
+    for localization — a gross fault leaks residual into every clean row
+    (masking) and inflates any scale estimated from the contaminated fit:
+
+    1. **Trimmed fits.**  ``subset_draws`` exactly-determined row subsets
+       (plus the plain full fit) are each refined by FAST-LTS
+       concentration steps — re-fitting on the ``h`` best-fitting rows,
+       ``h = (rows + params + 1) // 2`` — and scored by the sum of their
+       ``h`` smallest squared residuals.  Up to ``rows - h`` faulted rows
+       cannot drag the best of these fits off the clean consensus, and
+       the best criterion yields a fault-free (if optimistic) noise scale.
+    2. **Consensus selection.**  Each candidate fit counts the rows whose
+       residuals sit within ``mad_threshold`` of that shared scale; the
+       fit consistent with the *most* rows wins (ties broken by
+       criterion).  This is what disambiguates aliased explanations: a
+       fault on one redundancy row can often be "explained" by shifting a
+       parameter and sacrificing two clean rows instead, but the true
+       explanation keeps strictly more rows consistent.
+    3. **Re-estimation.**  The consensus set is re-fit by ordinary least
+       squares and the screen is iterated to a fixpoint with an honest
+       scale: sigma from PRESS (leave-one-out cross-validated) residuals,
+       which resists the shrinkage of the trimmed fits, and per-row
+       predictive standard errors, so rows outside the fit set are judged
+       against their actual prediction variance.
+
+    Rows outside the final consensus are flagged, subject to two safety
+    rails: at least ``min_rows`` rows (default: one per unknown) are
+    always retained, and a row whose removal would leave the design
+    rank-deficient is never flagged (least-suspicious rows are re-added
+    first when the consensus violates either rail).  The returned
+    solution is the ordinary least-squares re-solve on the retained rows.
+
+    Subset sampling uses a fixed internal seed, so the result is a pure
+    function of its arguments.
+
+    Returns:
+        ``(solution, flagged_rows, residuals, residual_rms)`` where
+        ``flagged_rows`` are the sorted indices of rejected rows,
+        ``residuals`` are the initial full-system least-squares residuals
+        (NaN for dropout rows), and ``residual_rms`` is the RMS over the
+        rows kept by the final solve.
+
+    Raises:
+        ValueError: when fewer than ``min_rows`` finite measurements
+            exist, or they do not span the parameter space.
+    """
+    design = np.asarray(design, dtype=float)
+    measurements = np.asarray(measurements, dtype=float)
+    row_count, param_count = design.shape
+    if min_rows is None:
+        min_rows = param_count
+    min_rows = max(min_rows, param_count)
+    finite = np.isfinite(measurements)
+    kept = np.flatnonzero(finite)
+    if len(kept) < min_rows:
+        raise ValueError(
+            f"only {len(kept)} finite measurements for a system "
+            f"needing {min_rows}"
+        )
+    if np.linalg.matrix_rank(design[kept]) < param_count:
+        raise ValueError(
+            "finite measurement rows do not span the parameter space; "
+            "add redundancy rows (overdetermined_vectors)"
+        )
+    kept_design = design[kept]
+    kept_meas = measurements[kept]
+    kept_count = len(kept)
+
+    full_solution, _, _, _ = np.linalg.lstsq(kept_design, kept_meas, rcond=None)
+    initial_residuals = np.full(row_count, np.nan)
+    initial_residuals[kept] = kept_meas - kept_design @ full_solution
+
+    dropout_rows = [int(r) for r in np.flatnonzero(~finite)]
+    if kept_count == param_count:
+        # Square system: no redundancy, nothing to screen.
+        residual_rms = float(
+            np.sqrt(np.mean(initial_residuals[kept] ** 2))
+        )
+        flagged = np.sort(np.array(dropout_rows, dtype=int))
+        return full_solution, flagged, initial_residuals, residual_rms
+
+    trim_count = (kept_count + param_count + 1) // 2
+    scale_floor = float(_mad_floor(np.max(np.abs(kept_meas))))
+
+    fits: list[tuple[np.ndarray, np.ndarray, float]] = []
+    best_criterion = np.inf
+    sampler = np.random.default_rng(0x0B5C0FFA)
+    subsets = [np.arange(kept_count)] + [
+        sampler.permutation(kept_count)[:param_count]
+        for _ in range(subset_draws)
+    ]
+    for subset in subsets:
+        if np.linalg.matrix_rank(kept_design[subset]) < param_count:
+            continue
+        candidate, _, _, _ = np.linalg.lstsq(
+            kept_design[subset], kept_meas[subset], rcond=None
+        )
+        for _ in range(2):  # FAST-LTS concentration steps
+            absolute = np.abs(kept_meas - kept_design @ candidate)
+            core = np.argsort(absolute, kind="stable")[:trim_count]
+            if np.linalg.matrix_rank(kept_design[core]) < param_count:
+                break
+            candidate, _, _, _ = np.linalg.lstsq(
+                kept_design[core], kept_meas[core], rcond=None
+            )
+        absolute = np.abs(kept_meas - kept_design @ candidate)
+        criterion = float(np.sum(np.sort(absolute**2)[:trim_count]))
+        fits.append((candidate, absolute, criterion))
+        best_criterion = min(best_criterion, criterion)
+
+    # The best trimmed criterion gives a fault-free (if optimistic) scale
+    # shared by every candidate; per-candidate scales would let a
+    # contaminated fit inflate its own inlier threshold.
+    scale = max(
+        np.sqrt(best_criterion / (trim_count - param_count))
+        * (1.0 + 5.0 / (kept_count - param_count)),
+        scale_floor,
+    )
+    best_key: tuple[int, float] | None = None
+    inliers = np.ones(kept_count, dtype=bool)
+    for candidate, absolute, criterion in fits:
+        candidate_inliers = absolute <= mad_threshold * scale
+        key = (int(candidate_inliers.sum()), -criterion)
+        if best_key is None or key > best_key:
+            best_key = key
+            inliers = candidate_inliers
+
+    # Re-estimation to a fixpoint with honest error bars.
+    for _ in range(10):
+        member = np.flatnonzero(inliers)
+        if len(member) <= param_count:
+            break
+        member_design = kept_design[member]
+        if np.linalg.matrix_rank(member_design) < param_count:
+            break
+        refit, _, _, _ = np.linalg.lstsq(
+            member_design, kept_meas[member], rcond=None
+        )
+        gram_inv = np.linalg.pinv(member_design.T @ member_design)
+        member_residuals = kept_meas[member] - member_design @ refit
+        leverage = np.clip(
+            np.sum((member_design @ gram_inv) * member_design, axis=1),
+            0.0,
+            1.0 - 1e-9,
+        )
+        press = member_residuals / (1.0 - leverage)
+        sigma = max(float(np.sqrt(np.mean(press**2))), scale_floor)
+        predictive = np.sum((kept_design @ gram_inv) * kept_design, axis=1)
+        predictive_sigma = sigma * np.sqrt(1.0 + np.clip(predictive, 0.0, None))
+        absolute = np.abs(kept_meas - kept_design @ refit)
+        new_inliers = absolute <= mad_threshold * predictive_sigma
+        if (new_inliers == inliers).all():
+            break
+        inliers = new_inliers
+
+    # Safety rails: keep at least min_rows rows and full column rank,
+    # re-admitting the least-suspicious flagged rows first.
+    final_fit, _, _, _ = (
+        np.linalg.lstsq(
+            kept_design[inliers], kept_meas[inliers], rcond=None
+        )
+        if inliers.sum() >= param_count
+        and np.linalg.matrix_rank(kept_design[inliers]) == param_count
+        else (full_solution, None, None, None)
+    )
+    suspicion = np.abs(kept_meas - kept_design @ final_fit)
+    retained = [int(kept[i]) for i in np.flatnonzero(inliers)]
+    outside = sorted(np.flatnonzero(~inliers), key=lambda i: suspicion[i])
+    readmit = []
+    for i in outside:
+        candidate_rows = sorted(retained + [int(kept[i])])
+        if (
+            len(retained) < min_rows
+            or np.linalg.matrix_rank(design[retained]) < param_count
+        ):
+            retained = candidate_rows
+            readmit.append(i)
+    flagged_rows = dropout_rows + [
+        int(kept[i]) for i in np.flatnonzero(~inliers) if i not in readmit
+    ]
+    solution, _, _, _ = np.linalg.lstsq(
+        design[retained], measurements[retained], rcond=None
+    )
+    final_residuals = measurements[retained] - design[retained] @ solution
+    residual_rms = float(np.sqrt(np.mean(final_residuals**2)))
+    flagged = np.sort(np.array(flagged_rows, dtype=int))
+    return solution, flagged, initial_residuals, residual_rms
+
+
+@dataclass
+class RobustDdiffEstimate(DdiffEstimate):
+    """A :class:`DdiffEstimate` that survived residual-based fault screening.
+
+    Attributes:
+        flagged: sorted indices (into ``configs``) of measurement rows the
+            residual/MAD screen rejected before the final solve.
+        residuals: initial full-system residuals, aligned with ``configs``
+            (NaN for dropout rows).
+    """
+
+    flagged: np.ndarray = field(default_factory=lambda: np.array([], dtype=int))
+    residuals: np.ndarray = field(default_factory=lambda: np.array([]))
+
+    @property
+    def fault_count(self) -> int:
+        """How many measurement rows were rejected as faulted."""
+        return len(self.flagged)
+
+
+def measure_ddiffs_overdetermined(
+    measurer: DelayMeasurer,
+    ring: ConfigurableRO,
+    op: OperatingPoint = NOMINAL_OPERATING_POINT,
+    extra: int | None = None,
+    mad_threshold: float = 3.5,
+) -> RobustDdiffEstimate:
+    """Fault-tolerant ddiff extraction via an overdetermined LOO system.
+
+    Measures the leave-one-out configurations *plus* ``extra`` redundancy
+    rows (:func:`overdetermined_vectors`), solves the overdetermined
+    system by least squares, flags rows whose residuals exceed
+    ``mad_threshold`` scaled-MADs (glitches, stuck readouts, excursions)
+    or that dropped out entirely (NaN), and re-solves without them
+    (:func:`robust_least_squares`).  With redundancy, a single faulted
+    measurement is localized and excised instead of silently corrupting a
+    ``ddiff`` the way it would in the square Sec. III.B system.
+
+    Detected-fault counts land on the ``measurement.faults_detected``
+    metric (:mod:`repro.obs`).
+
+    Raises:
+        ValueError: if rejection leaves too few rows to identify every
+            unit (raise ``extra`` or the threshold).
+    """
+    configs = overdetermined_vectors(ring.stage_count, extra)
+    measurements = measurer.chain_delays_sequential(ring, configs, op)
+    matrix = np.stack([c.as_array().astype(float) for c in configs])
+    design = np.column_stack([np.ones(len(configs)), matrix])
+    solution, flagged, residuals, residual_rms = robust_least_squares(
+        design, measurements, mad_threshold=mad_threshold
+    )
+    if len(flagged):
+        obs.counter_add("measurement.faults_detected", len(flagged))
+    return RobustDdiffEstimate(
+        ddiffs=solution[1:],
+        intercept=float(solution[0]),
+        residual_rms=residual_rms,
+        configs=configs,
+        measurements=measurements,
+        flagged=flagged,
+        residuals=residuals,
     )
 
 

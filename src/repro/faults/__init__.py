@@ -1,0 +1,49 @@
+"""repro.faults — seedable, deterministic fault injection.
+
+The paper's reliability story assumes every chain-delay measurement
+succeeds; real boards glitch, latch, drop windows, drift, and age.  This
+package models those pathologies so every layer of the repro can be
+tested — and hardened — against them:
+
+* :mod:`~repro.faults.models` — measurement-level fault mechanisms
+  (counter glitches, stuck readouts, dropouts, thermal excursions,
+  aging drift);
+* :mod:`~repro.faults.plan` — :class:`FaultPlan`, a seeded composition
+  of models that wraps the measurement stack at the noise-model seam
+  (scalar *and* batch paths) under the versioned ``faults-v1`` draw
+  order; a no-op plan is byte-identical to no plan at all;
+* :mod:`~repro.faults.chaos` — infrastructure chaos for the pipeline
+  executor (worker crashes, task hangs, cache corruption), surfaced as
+  ``ropuf all --chaos SEED``.
+
+See ``docs/robustness.md`` for the fault catalogue and the hardening
+guarantees each fault is pinned against.
+"""
+
+from .chaos import ChaosAssignment, ChaosPlan, chaos_worker_action
+from .models import (
+    AgingDrift,
+    CounterGlitch,
+    Dropout,
+    FaultModel,
+    FaultSession,
+    StuckAt,
+    ThermalExcursion,
+)
+from .plan import FAULT_DRAW_ORDER, FaultInjectingNoise, FaultPlan
+
+__all__ = [
+    "FAULT_DRAW_ORDER",
+    "FaultPlan",
+    "FaultInjectingNoise",
+    "FaultModel",
+    "FaultSession",
+    "CounterGlitch",
+    "StuckAt",
+    "Dropout",
+    "ThermalExcursion",
+    "AgingDrift",
+    "ChaosPlan",
+    "ChaosAssignment",
+    "chaos_worker_action",
+]

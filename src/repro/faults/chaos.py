@@ -1,0 +1,127 @@
+"""Chaos harness for the experiment pipeline: crash, hang, corrupt — on seed.
+
+Measurement-level faults (:mod:`repro.faults.models`) stress the
+*estimators*; this module stresses the *executor*.  A :class:`ChaosPlan`
+deterministically assigns three infrastructure faults to a pipeline run:
+
+* **worker crash** — the worker process handling one task hard-exits
+  (``os._exit``) on its first dispatch, exercising crash detection,
+  worker replacement, and re-dispatch;
+* **task hang** — one task's worker sleeps far past the wall-clock
+  timeout on its first dispatch, exercising the deadline kill +
+  re-dispatch path;
+* **cache corruption** — one task's freshly stored cache entry is
+  truncated mid-file after the run writes it, exercising the quarantine
+  path (``*.corrupt``) on the next run.
+
+Every decision is a pure function of ``(seed, task name, dispatch
+number)``, so a chaos run is exactly reproducible and — because each
+fault fires only on the first dispatch — a pipeline with ``retries >= 3``
+and a timeout always completes with results bit-identical to a clean run
+(the tasks themselves are deterministic).  CI's ``chaos-smoke`` job pins
+that guarantee.
+
+The harness needs worker processes to kill: ``run_pipeline`` rejects a
+chaos plan with ``jobs < 2``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["ChaosPlan", "ChaosAssignment", "chaos_worker_action"]
+
+#: Exit code of a chaos-crashed worker — recognisably deliberate in logs.
+CHAOS_CRASH_EXIT = 86
+
+
+def _pick(seed: int, salt: str, count: int) -> int:
+    """Deterministic index in [0, count) from (seed, salt)."""
+    digest = hashlib.sha256(f"{seed}:{salt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % count
+
+
+@dataclass(frozen=True)
+class ChaosAssignment:
+    """The concrete faults one pipeline run will suffer.
+
+    Plain data (picklable) so the executor can ship it to workers inside
+    task messages.
+
+    Attributes:
+        crash_task: task whose first dispatch hard-exits the worker.
+        hang_task: task whose first dispatch sleeps past the timeout.
+        corrupt_task: task whose cache entry is truncated after store.
+        hang_seconds: how long the hanging worker sleeps (far beyond any
+            sane timeout; the parent kills it long before it wakes).
+    """
+
+    crash_task: str | None
+    hang_task: str | None
+    corrupt_task: str | None
+    hang_seconds: float = 3600.0
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Seeded chaos regime for one pipeline run.
+
+    Attributes:
+        seed: drives every assignment decision.
+        crash: inject the worker-crash fault.
+        hang: inject the task-hang fault.
+        corrupt_cache: inject the cache-corruption fault.
+    """
+
+    seed: int = 0
+    crash: bool = True
+    hang: bool = True
+    corrupt_cache: bool = field(default=True)
+
+    def assign(self, task_names: list[str]) -> ChaosAssignment:
+        """Deterministically pin each enabled fault to a task.
+
+        With two or more tasks the crash and hang land on *different*
+        tasks, so each costs exactly one retry; with a single task they
+        stack on it (dispatch 1 crashes, dispatch 2 hangs) and the run
+        needs ``retries >= 3`` to complete.
+        """
+        if not task_names:
+            raise ValueError("chaos needs at least one task to fault")
+        names = sorted(task_names)
+        crash_task = None
+        hang_task = None
+        if self.crash:
+            crash_task = names[_pick(self.seed, "crash", len(names))]
+        if self.hang:
+            candidates = [n for n in names if n != crash_task] or names
+            hang_task = candidates[_pick(self.seed, "hang", len(candidates))]
+        corrupt_task = None
+        if self.corrupt_cache:
+            corrupt_task = names[_pick(self.seed, "corrupt", len(names))]
+        return ChaosAssignment(
+            crash_task=crash_task,
+            hang_task=hang_task,
+            corrupt_task=corrupt_task,
+        )
+
+
+def chaos_worker_action(
+    assignment: ChaosAssignment | None, task_name: str, dispatch: int
+) -> str | None:
+    """What a worker should do before running ``task_name``.
+
+    Returns ``"crash"``, ``"hang"``, or ``None``.  Faults fire on the
+    first dispatch only — with one exception: when the crash and hang
+    tasks coincide (single-task runs), the hang fires on dispatch 2 so
+    both faults are still exercised.
+    """
+    if assignment is None:
+        return None
+    if task_name == assignment.crash_task and dispatch == 1:
+        return "crash"
+    hang_dispatch = 2 if assignment.hang_task == assignment.crash_task else 1
+    if task_name == assignment.hang_task and dispatch == hang_dispatch:
+        return "hang"
+    return None

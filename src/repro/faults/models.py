@@ -1,0 +1,242 @@
+"""Deterministic fault models for RO-PUF measurements.
+
+Real FPGA RO counters are not the well-behaved Gaussian instruments the
+paper's Sec. III.B idealises: ripple counters glitch (a metastable capture
+multiplies the count), readout latches stick, measurement windows get
+dropped, supply/thermal excursions shift a whole capture, and the fabric
+ages over a session (statistic-based analyses of measured RO-PUF data,
+e.g. Wilde/Hiller/Pehl arXiv:1910.07068, catalogue exactly this pathology;
+Mansouri/Dubrova arXiv:1207.4017 show supply excursions alone reordering
+rings).  This module models those pathologies as composable, *seedable*
+transformations of observed measurement arrays.
+
+Every model implements :meth:`FaultModel.apply`, taking the observed
+values, the **plan's** dedicated fault generator, and the running
+:class:`FaultSession`.  Models never touch the measurement-noise RNG, so a
+plan whose models all fire with probability zero leaves a seeded
+experiment byte-identical — the fault stream is a separate, independently
+seeded universe (see :mod:`repro.faults.plan` for the draw-order
+contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "FaultSession",
+    "FaultModel",
+    "CounterGlitch",
+    "StuckAt",
+    "Dropout",
+    "ThermalExcursion",
+    "AgingDrift",
+]
+
+
+@dataclass
+class FaultSession:
+    """Mutable per-plan measurement-session state.
+
+    Attributes:
+        calls: ``observe`` calls the plan has faulted so far.
+        elements_observed: total measurement elements seen before the
+            current call — the session "clock" that drives aging drift.
+    """
+
+    calls: int = 0
+    elements_observed: int = 0
+
+
+class FaultModel:
+    """Interface of one fault mechanism.
+
+    Subclasses draw *only* from the generator they are handed (the plan's
+    fault RNG) and must consume a deterministic number of draws per call
+    given the observation shape, so a fixed plan seed plus a fixed sequence
+    of observation shapes reproduces the exact same faults.
+    """
+
+    #: Metric/statistics key; defaults to the class name, lowercased.
+    name: str = "fault"
+
+    def apply(
+        self,
+        values: np.ndarray,
+        rng: np.random.Generator,
+        session: FaultSession,
+    ) -> tuple[np.ndarray, int]:
+        """Fault one observed array in place; return (values, injected count)."""
+        raise NotImplementedError
+
+
+def _bernoulli(
+    rng: np.random.Generator, probability: float, shape: tuple[int, ...]
+) -> np.ndarray:
+    """One uniform tensor per observation shape -> boolean fault mask.
+
+    Drawing the uniform tensor even when ``probability`` is 0 keeps the
+    fault stream's draw order independent of the probability value, so
+    tuning a model's rate never reshuffles the *other* models' faults.
+    """
+    return rng.random(size=shape) < probability
+
+
+def _validate_probability(probability: float) -> None:
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+
+
+@dataclass
+class CounterGlitch(FaultModel):
+    """Multiplicative counter spikes: a capture multiplied by a large factor.
+
+    Models a ripple-counter metastability or a double-launch: the affected
+    measurement is scaled by a factor drawn uniformly from
+    ``[min_factor, max_factor]`` — far outside any plausible noise band,
+    which is what makes these detectable by residual/MAD screens.
+
+    Attributes:
+        probability: per-element chance of a glitch.
+        min_factor: smallest spike multiplier.
+        max_factor: largest spike multiplier.
+    """
+
+    probability: float = 0.001
+    min_factor: float = 3.0
+    max_factor: float = 30.0
+    name: str = field(default="counter_glitch", repr=False)
+
+    def __post_init__(self) -> None:
+        _validate_probability(self.probability)
+        if not 0.0 < self.min_factor <= self.max_factor:
+            raise ValueError(
+                "need 0 < min_factor <= max_factor, got "
+                f"{self.min_factor}..{self.max_factor}"
+            )
+
+    def apply(self, values, rng, session):
+        mask = _bernoulli(rng, self.probability, values.shape)
+        factors = rng.uniform(self.min_factor, self.max_factor, size=values.shape)
+        count = int(mask.sum())
+        if count:
+            values[mask] *= factors[mask]
+        return values, count
+
+
+@dataclass
+class StuckAt(FaultModel):
+    """A latched readout: the measurement reports a constant instead.
+
+    Models a stuck counter register or a ring that stopped oscillating
+    (reads as zero, the default) or latched a rail value.
+
+    Attributes:
+        probability: per-element chance of the readout being stuck.
+        value: the constant the stuck readout reports.
+    """
+
+    probability: float = 0.001
+    value: float = 0.0
+    name: str = field(default="stuck_at", repr=False)
+
+    def __post_init__(self) -> None:
+        _validate_probability(self.probability)
+
+    def apply(self, values, rng, session):
+        mask = _bernoulli(rng, self.probability, values.shape)
+        count = int(mask.sum())
+        if count:
+            values[mask] = self.value
+        return values, count
+
+
+@dataclass
+class Dropout(FaultModel):
+    """A lost measurement window: the observation is NaN.
+
+    Models a capture that never completed (timeout, handshake failure).
+    NaN is deliberate — downstream robust estimators must treat missing
+    data as missing, and non-robust paths surface it loudly instead of
+    silently averaging garbage.
+
+    Attributes:
+        probability: per-element chance of the window being dropped.
+    """
+
+    probability: float = 0.001
+    name: str = field(default="dropout", repr=False)
+
+    def __post_init__(self) -> None:
+        _validate_probability(self.probability)
+
+    def apply(self, values, rng, session):
+        mask = _bernoulli(rng, self.probability, values.shape)
+        count = int(mask.sum())
+        if count:
+            values[mask] = np.nan
+        return values, count
+
+
+@dataclass
+class ThermalExcursion(FaultModel):
+    """A transient whole-capture drift: one observe call runs hot (or cold).
+
+    Models a supply/thermal excursion spanning one measurement window: every
+    element of the affected call is scaled by the same ``1 + delta`` factor,
+    ``delta ~ N(0, drift_sigma)``.  Because the drift is *common mode* it
+    mostly cancels in pairwise comparisons — but not in absolute-delay
+    estimates, which is why the overdetermined estimator flags it.
+
+    Attributes:
+        probability: per-call chance of an excursion.
+        drift_sigma: standard deviation of the relative drift.
+    """
+
+    probability: float = 0.01
+    drift_sigma: float = 0.02
+    name: str = field(default="thermal_excursion", repr=False)
+
+    def __post_init__(self) -> None:
+        _validate_probability(self.probability)
+        if self.drift_sigma < 0.0:
+            raise ValueError("drift_sigma must be non-negative")
+
+    def apply(self, values, rng, session):
+        hit = bool(rng.random() < self.probability)
+        delta = float(rng.normal(0.0, self.drift_sigma))
+        if not hit:
+            return values, 0
+        values *= 1.0 + delta
+        return values, int(values.size)
+
+
+@dataclass
+class AgingDrift(FaultModel):
+    """Monotonic mid-session drift: delays grow as the session wears on.
+
+    Models BTI/HCI-style aging over a long measurement session: every
+    observation is scaled by ``1 + rate * elements_observed_so_far``, so
+    early and late measurements of the *same* ring disagree.  Fully
+    deterministic — no random draws — which makes it the cheapest way to
+    break "enrollment equals response" assumptions in tests.
+
+    Attributes:
+        rate: relative drift per observed element (e.g. ``1e-9`` means a
+            billion observations age the fabric by ~100%).
+    """
+
+    rate: float = 0.0
+    name: str = field(default="aging_drift", repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rate < 0.0:
+            raise ValueError("rate must be non-negative")
+
+    def apply(self, values, rng, session):
+        if self.rate == 0.0:
+            return values, 0
+        values *= 1.0 + self.rate * session.elements_observed
+        return values, int(values.size)

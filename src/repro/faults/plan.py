@@ -1,0 +1,183 @@
+"""FaultPlan: a seedable, deterministic composition of fault models.
+
+A :class:`FaultPlan` owns its *own* random generator, seeded at
+construction, and applies its models to every observed measurement array —
+after the measurement-noise model has drawn from the measurer's RNG.  That
+separation is the whole determinism story:
+
+* the measurement-noise stream is untouched, so a plan with **no models**
+  (:meth:`FaultPlan.is_noop`) leaves seeded experiments byte-identical to
+  running without a plan at all (pinned by ``tests/test_faults.py``);
+* the fault stream depends only on the plan seed and the *sequence of
+  observation shapes*, so a fixed seed reproduces the exact same faults
+  run after run — the :data:`FAULT_DRAW_ORDER` contract.
+
+Like the batch engines' ``enroll-v1`` / ``sweep-v1`` tags, the fault draw
+order is versioned per code path shape: scalar paths observe one config at
+a time, batch paths observe whole ``(ring, config)`` or ``(op, pair)``
+tensors, so the same plan seed faults *different elements* under the two
+disciplines.  Within one discipline it is exactly reproducible.
+
+Wiring a plan in
+----------------
+
+Plans wrap the measurement stack at the noise-model seam — the one
+interface every path (scalar, batch, sweep) funnels through::
+
+    plan = FaultPlan(seed=7, models=[CounterGlitch(probability=0.01)])
+    measurer = plan.wrap_measurer(DelayMeasurer())     # chip enrollment
+    puf = plan.attach_to_chip(chip_puf)                # or whole-PUF copies
+    board = plan.attach_to_board(board_puf)            # response paths
+
+All three return *new* objects; the originals keep running fault-free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .. import obs
+from ..variation.noise import MeasurementNoise, NoiselessMeasurement
+from .models import FaultModel, FaultSession
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from ..core.measurement import DelayMeasurer
+    from ..core.puf import BoardROPUF, ChipROPUF
+
+__all__ = ["FAULT_DRAW_ORDER", "FaultPlan", "FaultInjectingNoise"]
+
+#: Version tag of the fault-stream draw order: per ``observe`` call, each
+#: model draws its decision tensors (one per observation shape) from the
+#: plan RNG in model-list order.  Any change to that order must bump this.
+FAULT_DRAW_ORDER = "faults-v1"
+
+
+@dataclass
+class FaultPlan:
+    """A seeded fault regime: which models fire, driven by one generator.
+
+    Attributes:
+        seed: seed of the dedicated fault generator.
+        models: fault models applied in order to every observation.
+        enabled: master switch; a disabled plan is a guaranteed no-op.
+    """
+
+    seed: int = 0
+    models: Sequence[FaultModel] = ()
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        self.models = list(self.models)
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Lifecycle and bookkeeping
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Rewind the plan: fresh generator, session clock, and counters."""
+        self.rng = np.random.default_rng(self.seed)
+        self.session = FaultSession()
+        self.injected: dict[str, int] = {}
+
+    @property
+    def is_noop(self) -> bool:
+        """True when applying the plan can never alter an observation."""
+        return not self.enabled or not self.models
+
+    @property
+    def total_injected(self) -> int:
+        """Faulted elements across all models since the last reset."""
+        return sum(self.injected.values())
+
+    # ------------------------------------------------------------------
+    # The fault transformation
+    # ------------------------------------------------------------------
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        """Fault one observed array; returns a new array (input unchanged).
+
+        No-op plans return the input object untouched without advancing
+        the fault generator — the byte-identity guarantee.
+        """
+        if self.is_noop:
+            return values
+        faulted = np.array(values, dtype=float, copy=True)
+        self.session.calls += 1
+        for model in self.models:
+            faulted, count = model.apply(faulted, self.rng, self.session)
+            if count:
+                self.injected[model.name] = (
+                    self.injected.get(model.name, 0) + count
+                )
+                obs.counter_add(f"faults.injected.{model.name}", count)
+        self.session.elements_observed += faulted.size
+        return faulted
+
+    # ------------------------------------------------------------------
+    # Wiring helpers
+    # ------------------------------------------------------------------
+
+    def wrap_noise(self, noise: MeasurementNoise) -> "FaultInjectingNoise":
+        """A noise model that observes through ``noise``, then faults."""
+        return FaultInjectingNoise(inner=noise, plan=self)
+
+    def wrap_measurer(self, measurer: "DelayMeasurer") -> "DelayMeasurer":
+        """A copy of ``measurer`` whose observations pass through the plan.
+
+        Shares the original's RNG object (the measurement-noise stream is
+        one stream whether or not faults ride on top), so mixing wrapped
+        and unwrapped calls keeps the draw order coherent.
+        """
+        return dataclasses.replace(measurer, noise=self.wrap_noise(measurer.noise))
+
+    def attach_to_board(self, puf: "BoardROPUF") -> "BoardROPUF":
+        """A copy of a board PUF whose response noise is faulted."""
+        return dataclasses.replace(
+            puf, response_noise=self.wrap_noise(puf.response_noise)
+        )
+
+    def attach_to_chip(self, puf: "ChipROPUF") -> "ChipROPUF":
+        """A copy of a chip PUF whose delay measurer is faulted.
+
+        Covers every measurement path — scalar ``enroll``/``response``
+        loops and the batch/sweep structure-of-arrays paths — because all
+        of them observe through ``measurer.noise``.
+        """
+        return dataclasses.replace(puf, measurer=self.wrap_measurer(puf.measurer))
+
+
+@dataclass
+class FaultInjectingNoise(MeasurementNoise):
+    """A measurement-noise model with a fault plan stacked on top.
+
+    ``observe`` first draws the inner model's noise from the *caller's*
+    generator (identical stream to the unwrapped model), then faults the
+    result via the plan's own generator.  Averaged observations fault each
+    raw repeat independently — a glitch hits one capture, not the mean —
+    which is what makes median/MAD estimators able to reject it.
+    """
+
+    inner: MeasurementNoise = field(default_factory=NoiselessMeasurement)
+    plan: FaultPlan = field(default_factory=FaultPlan)
+
+    def observe(
+        self, true_values: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self.plan.apply(self.inner.observe(true_values, rng))
+
+    def observe_averaged(
+        self,
+        true_values: np.ndarray,
+        rng: np.random.Generator,
+        repeats: int = 1,
+    ) -> np.ndarray:
+        if self.plan.is_noop:
+            # Delegate wholesale so models that override observe_averaged
+            # keep their exact draw order (byte-identity guarantee).
+            return self.inner.observe_averaged(true_values, rng, repeats)
+        return super().observe_averaged(true_values, rng, repeats)

@@ -7,18 +7,24 @@ The package turns the paper's evaluation into a task graph:
 * :mod:`~repro.pipeline.tasks` — one registered task per paper
   table/figure (importing it populates the registry);
 * :mod:`~repro.pipeline.cache` — a content-addressed on-disk result cache
-  keyed by (task, dataset fingerprint, repro version);
+  keyed by (task, dataset fingerprint, repro version), with corrupt-entry
+  quarantine;
+* :mod:`~repro.pipeline.journal` — a crash-safe checkpoint journal
+  backing ``ropuf all --resume``;
 * :mod:`~repro.pipeline.timing` — per-task wall-time / process /
-  cache-hit metrics;
+  cache-hit / failure-history metrics;
 * :mod:`~repro.pipeline.executor` — :func:`run_pipeline`, which fans
-  independent tasks out over worker processes with retry-once and
-  graceful degradation.
+  independent tasks out over a crash-surviving worker pool under a
+  configurable :class:`RetryPolicy` (retries, exponential backoff,
+  per-task timeouts) with graceful degradation.
 
-See ``docs/pipeline.md`` for the architecture and cache-key scheme.
+See ``docs/pipeline.md`` for the architecture and cache-key scheme, and
+``docs/robustness.md`` for the hardening guarantees.
 """
 
 from .cache import NO_DATASET_FINGERPRINT, ResultCache
-from .executor import execute_task, run_pipeline
+from .executor import RetryPolicy, execute_task, run_pipeline
+from .journal import RunJournal
 from .registry import (
     TaskSpec,
     all_tasks,
@@ -34,6 +40,8 @@ from . import tasks as _tasks  # noqa: F401  (register the paper's tasks)
 __all__ = [
     "run_pipeline",
     "execute_task",
+    "RetryPolicy",
+    "RunJournal",
     "ResultCache",
     "NO_DATASET_FINGERPRINT",
     "TaskSpec",

@@ -7,6 +7,13 @@ request exactly — any mismatch, parse error, or I/O failure reads as a
 *miss*, so a corrupted or stale cache can never crash or poison a run; the
 task simply recomputes and overwrites the entry.
 
+Corrupt files get special handling: an entry that exists but does not
+parse as JSON (zero bytes, a truncated mid-write tail, binary garbage) is
+*quarantined* — renamed to ``<entry>.corrupt`` so the evidence survives
+for post-mortems while the poisoned path is freed for the recompute.
+Metadata mismatches (a different repro version, say) are well-formed
+entries for some *other* key and read as a plain miss, untouched.
+
 Writes are atomic (per-call-unique temp file + ``os.replace``) so parallel
 runs sharing a cache directory — across processes *and* across threads of
 one process — never observe half-written entries; stale temp files left by
@@ -14,7 +21,8 @@ crashed runs are swept on store.
 
 When :mod:`repro.obs` is enabled, loads and stores emit ``cache.load`` /
 ``cache.store`` spans and the ``cache.hits`` / ``cache.misses`` /
-``cache.stores`` / ``cache.read_bytes`` / ``cache.write_bytes`` counters.
+``cache.stores`` / ``cache.read_bytes`` / ``cache.write_bytes`` /
+``cache.corrupt_quarantined`` counters.
 """
 
 from __future__ import annotations
@@ -75,27 +83,55 @@ class ResultCache:
         return self.root / f"{self.key(task_name, fingerprint)}.json"
 
     def load(self, task_name: str, fingerprint: str):
-        """The cached result, or ``None`` on miss/corruption/mismatch."""
+        """The cached result, or ``None`` on miss/corruption/mismatch.
+
+        An entry that exists but fails to *parse* — zero bytes, a
+        truncated mid-write tail, binary garbage — is quarantined to
+        ``<entry>.corrupt`` before reporting the miss, so the recompute
+        can store cleanly while the corrupt bytes stay around for
+        inspection.  Well-formed entries with mismatched metadata are a
+        plain miss and are left in place.
+        """
         path = self.path(task_name, fingerprint)
         with obs.span("cache.load", task=task_name) as load_span:
             try:
                 text = path.read_text()
-                obs.counter_add("cache.read_bytes", len(text))
+            except OSError:
+                obs.counter_add("cache.misses")
+                load_span.set_attr("hit", False)
+                return None
+            obs.counter_add("cache.read_bytes", len(text))
+            try:
                 payload = json.loads(text)
+                result = payload["result"]
                 if (
                     payload["task"] != task_name
                     or payload["fingerprint"] != fingerprint
                     or payload["version"] != self.version
                 ):
                     raise KeyError("metadata mismatch")
-                result = payload["result"]
-            except (OSError, ValueError, KeyError, TypeError):
+            except ValueError:
+                # Unparseable bytes: the file is damaged, not merely stale.
+                self._quarantine(path)
+                obs.counter_add("cache.misses")
+                load_span.set_attr("hit", False)
+                load_span.set_attr("quarantined", True)
+                return None
+            except (KeyError, TypeError):
                 obs.counter_add("cache.misses")
                 load_span.set_attr("hit", False)
                 return None
             obs.counter_add("cache.hits")
             load_span.set_attr("hit", True)
             return result
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged entry aside as ``<name>.corrupt`` (best effort)."""
+        try:
+            os.replace(path, path.with_name(f"{path.name}.corrupt"))
+            obs.counter_add("cache.corrupt_quarantined")
+        except OSError:
+            pass
 
     def store(self, task_name: str, fingerprint: str, result) -> Path:
         """Atomically persist one task result; returns the entry path.
@@ -133,19 +169,22 @@ class ResultCache:
         return path
 
     def sweep_stale_tmp(self, max_age_seconds: float = STALE_TMP_SECONDS) -> int:
-        """Delete orphaned ``*.tmp.*`` files older than ``max_age_seconds``.
+        """Delete stale ``*.tmp.*`` and quarantined ``*.corrupt`` files.
 
-        Recent temp files are left alone — they may belong to an in-flight
-        store of another process.  Returns the number of files removed;
-        errors (vanished files, permissions) are ignored.
+        Recent files are left alone — a temp file may belong to an
+        in-flight store of another process, and a fresh quarantined entry
+        is evidence someone may still want to inspect.  Returns the number
+        of files removed; errors (vanished files, permissions) are
+        ignored.
         """
         removed = 0
         now = time.time()
-        for tmp in self.root.glob("*.tmp.*"):
-            try:
-                if now - tmp.stat().st_mtime >= max_age_seconds:
-                    tmp.unlink()
-                    removed += 1
-            except OSError:
-                continue
+        for pattern in ("*.tmp.*", "*.corrupt"):
+            for stale in self.root.glob(pattern):
+                try:
+                    if now - stale.stat().st_mtime >= max_age_seconds:
+                        stale.unlink()
+                        removed += 1
+                except OSError:
+                    continue
         return removed

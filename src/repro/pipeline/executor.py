@@ -1,22 +1,40 @@
 """Pipeline executor: run the experiment task graph, in parallel if asked.
 
 The paper's experiments are mutually independent (they share only the
-read-only dataset), so the executor simply fans registered tasks out over a
-``ProcessPoolExecutor`` when ``jobs > 1`` and runs them in-process when
+read-only dataset), so the executor fans registered tasks out over a pool
+of worker processes when ``jobs > 1`` and runs them in-process when
 ``jobs == 1``.  Either way each task gets
 
-* **retry-once** semantics — a transient failure is retried before the task
-  is declared failed;
-* **graceful degradation** — a definitively failed task contributes an
-  ``{"error": ...}`` entry to the summary instead of aborting the run;
+* **configurable retries** — a :class:`RetryPolicy` controls the attempt
+  budget, exponential backoff with deterministic per-(task, attempt)
+  jitter, and the per-task wall-clock timeout (default: the historical
+  retry-once, no backoff, no timeout);
+* **crash and hang survival** (``jobs > 1``) — the pool is hand-rolled
+  (pipe per worker) precisely so the parent can *see* a worker die and
+  *kill* one that blew its deadline; either way the task is re-dispatched
+  to a fresh worker with its remaining attempt budget;
+* **a circuit breaker / graceful degradation** — a task that keeps
+  failing (exceptions, crashes, timeouts) trips after
+  ``policy.max_attempts`` total attempts and degrades to an
+  ``{"error": ...}`` summary entry carrying the exception type, the
+  traceback, and the attempt count, instead of sinking the run;
 * **memoisation** — with a cache directory, results are looked up by
   content-addressed key (task name + dataset fingerprint + repro version)
-  and recomputed only on a miss.
+  and recomputed only on a miss;
+* **checkpoint/resume** — with a journal
+  (:class:`~repro.pipeline.journal.RunJournal`), every completed task is
+  durably appended the moment it lands, and a re-run with the same
+  journal replays those results instead of recomputing them.
 
 Results are canonicalised through a JSON round-trip as soon as they are
-computed, so a fresh result, a cache hit, and a result shipped back from a
-worker process are all byte-identical plain-Python structures — the basis
-of the determinism guarantees the test suite locks down.
+computed, so a fresh result, a cache hit, a journal replay, and a result
+shipped back from a worker process are all byte-identical plain-Python
+structures — the basis of the determinism guarantees the test suite locks
+down.
+
+Chaos (:mod:`repro.faults.chaos`): ``run_pipeline(chaos=seed)`` makes the
+run deterministically suffer a worker crash, a task hang, and a corrupt
+cache entry, proving the machinery above in CI (``ropuf all --chaos``).
 
 Observability (:mod:`repro.obs`): with ``trace=PATH`` the run records
 nested spans — ``pipeline.run`` wrapping per-task ``task:<name>`` /
@@ -24,28 +42,38 @@ nested spans — ``pipeline.run`` wrapping per-task ``task:<name>`` /
 process; workers ship their spans and metric snapshots back inside the
 task payload, and the merged multi-process trace is written to ``PATH``
 as JSONL.  ``timings=True`` (or ``trace``) additionally lands the merged
-metric snapshot under ``"_metrics"`` in the summary.  Both layers are off
-by default and the instrumented paths are no-ops then.
+metric snapshot under ``"_metrics"`` in the summary.  Failures increment
+``pipeline.retries`` / ``pipeline.task_failures`` plus a per-cause
+``pipeline.errors.<ExceptionType>`` counter (``WorkerCrash`` and
+``TaskTimeout`` for parent-observed losses).  All layers are off by
+default and the instrumented paths are no-ops then.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import traceback
+from collections import deque
 from contextlib import contextmanager
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
 from pathlib import Path
 
 import numpy as np
 
 from .. import obs
 from ..datasets.base import RODataset
-from .cache import NO_DATASET_FINGERPRINT, ResultCache
+from ..faults.chaos import CHAOS_CRASH_EXIT, ChaosPlan, chaos_worker_action
+from .cache import NO_DATASET_FINGERPRINT, ResultCache, _repro_version
+from .journal import RunJournal
 from .registry import TaskSpec, resolve_tasks
 from .timing import PipelineTimings, TaskTiming
 
-__all__ = ["run_pipeline", "execute_task", "json_default"]
+__all__ = ["run_pipeline", "execute_task", "json_default", "RetryPolicy"]
 
 
 def json_default(value):
@@ -64,15 +92,85 @@ def _canonical(value):
     return json.loads(json.dumps(value, default=json_default))
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the executor fights for each task before degrading it.
+
+    The attempt budget is shared across *every* failure mode: in-worker
+    exceptions, worker crashes, and wall-clock timeouts all consume
+    attempts from the same ``max_attempts`` pool, so a task cannot
+    ping-pong between failure kinds forever — the circuit breaker trips
+    once the budget is spent.
+
+    Attributes:
+        max_attempts: total attempts before the task degrades to an
+            ``{"error": ...}`` entry (1 = no retry; the historical
+            default is 2, i.e. retry-once).
+        backoff_seconds: delay before the second attempt; 0 disables
+            backoff entirely (the historical behaviour).
+        backoff_multiplier: factor applied per further attempt
+            (exponential backoff).
+        jitter_fraction: each delay is stretched by up to this fraction,
+            *deterministically* per (task, attempt) — sha256-derived, so
+            reruns back off identically while parallel tasks still
+            decorrelate.
+        timeout_seconds: per-task wall-clock deadline.  Enforced by the
+            parent killing the worker, so it needs worker processes
+            (``jobs > 1``); serial runs cannot interrupt a task and
+            ignore it.  ``None`` disables the deadline.
+    """
+
+    max_attempts: int = 2
+    backoff_seconds: float = 0.0
+    backoff_multiplier: float = 2.0
+    jitter_fraction: float = 0.1
+    timeout_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_seconds < 0.0:
+            raise ValueError("backoff_seconds must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1]")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0.0:
+            raise ValueError("timeout_seconds must be positive (or None)")
+
+    def delay_before(self, task_name: str, attempt: int) -> float:
+        """Seconds to wait before running ``attempt`` (first attempt: 0).
+
+        The jitter is a pure function of ``(task_name, attempt)``, so a
+        rerun of the same failing task backs off by exactly the same
+        schedule — determinism extends to the failure path.
+        """
+        if attempt <= 1 or self.backoff_seconds == 0.0:
+            return 0.0
+        base = self.backoff_seconds * self.backoff_multiplier ** (attempt - 2)
+        digest = hashlib.sha256(f"{task_name}:{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64
+        return base * (1.0 + self.jitter_fraction * unit)
+
+
 def execute_task(
-    task_name: str, dataset: RODataset | None, collect_obs: bool = False
+    task_name: str,
+    dataset: RODataset | None,
+    collect_obs: bool = False,
+    policy: RetryPolicy | None = None,
+    first_attempt: int = 1,
 ) -> dict:
-    """Run one task with retry-once; never raises.
+    """Run one task under a retry policy; never raises.
 
     Module-level so worker processes can unpickle it.  Returns a payload
-    with the canonicalised ``result`` (or ``None``), the ``error`` message
-    of the last failed attempt (or ``None``), the attempt count, the
-    worker's PID, and the wall time spent.
+    with the canonicalised ``result`` (or ``None``), the ``error``
+    message, ``error_type``, and ``traceback`` of the last failed attempt
+    (all ``None`` on success), the per-attempt ``failure_history``, the
+    attempt count, the worker's PID, and the wall time spent.
+
+    ``first_attempt`` is how re-dispatch after a crash or timeout keeps
+    one attempt budget across worker generations: the replacement worker
+    resumes counting where the dead one stopped.
 
     With ``collect_obs`` (the worker-process path of a traced run) the
     call enables tracing and metrics locally, then drains its spans and
@@ -84,6 +182,14 @@ def execute_task(
 
     from .registry import get_task
 
+    if policy is None:
+        policy = RetryPolicy()
+    if first_attempt < 1 or first_attempt > policy.max_attempts:
+        raise ValueError(
+            f"first_attempt must be in [1, {policy.max_attempts}],"
+            f" got {first_attempt}"
+        )
+
     if collect_obs:
         obs.reset_tracing()
         obs.enable_tracing()
@@ -93,25 +199,50 @@ def execute_task(
     spec = get_task(task_name)
     started = time.perf_counter()
     error = None
+    error_type = None
+    trace_text = None
     result = None
-    attempts = 0
+    attempts = first_attempt
+    failure_history: list[dict] = []
     with obs.span(f"task:{task_name}") as task_span:
-        for attempts in (1, 2):
+        for attempts in range(first_attempt, policy.max_attempts + 1):
+            if attempts > first_attempt:
+                delay = policy.delay_before(task_name, attempts)
+                if delay > 0.0:
+                    time.sleep(delay)
             try:
                 with obs.span("task.attempt", task=task_name, attempt=attempts):
                     result = _canonical(spec.run(dataset))
-                error = None
+                error = error_type = trace_text = None
                 break
             except Exception as exc:  # degrade gracefully, never abort the run
-                error = f"{type(exc).__name__}: {exc}"
-                obs.counter_add("pipeline.retries" if attempts == 1 else "pipeline.task_failures")
+                error_type = type(exc).__name__
+                error = f"{error_type}: {exc}"
+                trace_text = traceback.format_exc()
+                failure_history.append(
+                    {
+                        "attempt": attempts,
+                        "kind": "exception",
+                        "error": error,
+                        "error_type": error_type,
+                    }
+                )
+                obs.counter_add(f"pipeline.errors.{error_type}")
+                obs.counter_add(
+                    "pipeline.retries"
+                    if attempts < policy.max_attempts
+                    else "pipeline.task_failures"
+                )
         task_span.set_attr("attempts", attempts)
         task_span.set_attr("error", error)
     payload = {
         "task": task_name,
         "result": result,
         "error": error,
+        "error_type": error_type,
+        "traceback": trace_text,
         "attempts": attempts,
+        "failure_history": failure_history,
         "pid": os.getpid(),
         "wall_seconds": time.perf_counter() - started,
     }
@@ -153,6 +284,282 @@ def _observability(trace_on: bool, metrics_on: bool):
             obs.disable_metrics()
 
 
+# ----------------------------------------------------------------------
+# The worker pool
+# ----------------------------------------------------------------------
+#
+# ``concurrent.futures`` hides exactly the events hardening needs to see:
+# a BrokenProcessPool tears down the whole pool on one crash, and there is
+# no way to kill a single hung worker.  So the pool here is hand-rolled —
+# one pipe per worker process — giving the parent crash detection (EOF on
+# the pipe), deadline enforcement (kill + replace the worker), and
+# re-dispatch with the task's remaining attempt budget.
+
+
+def _worker_main(conn, dataset, collect_obs, policy, chaos_assignment) -> None:
+    """Worker process body: serve task requests until told to stop.
+
+    Messages in: ``(task_name, uses_dataset, first_attempt, dispatch)``
+    tuples, or ``None`` to exit.  Messages out: one ``execute_task``
+    payload per request.  Chaos actions (crash/hang) fire *before* the
+    task runs, so a chaos casualty never half-completes work.
+    """
+    import repro.pipeline.tasks  # noqa: F401  (populate the registry in workers)
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        task_name, uses_dataset, first_attempt, dispatch = message
+        action = chaos_worker_action(chaos_assignment, task_name, dispatch)
+        if action == "crash":
+            os._exit(CHAOS_CRASH_EXIT)
+        if action == "hang":
+            time.sleep(chaos_assignment.hang_seconds)
+        payload = execute_task(
+            task_name,
+            dataset if uses_dataset else None,
+            collect_obs,
+            policy=policy,
+            first_attempt=first_attempt,
+        )
+        try:
+            conn.send(payload)
+        except (BrokenPipeError, OSError):
+            break
+
+
+@dataclass
+class _TaskState:
+    """Parent-side lifecycle of one pending task.
+
+    Attributes:
+        spec: the task being run.
+        first_attempt: where the next dispatch resumes the attempt budget.
+        dispatch: how many workers have been handed this task (drives the
+            chaos first-dispatch-only rule).
+        not_before: earliest monotonic time the next dispatch may start
+            (crash/timeout backoff); ``None`` means immediately.
+        failure_history: crash/timeout records accumulated by the parent;
+            the final worker payload's in-worker records are appended.
+    """
+
+    spec: TaskSpec
+    first_attempt: int = 1
+    dispatch: int = 0
+    not_before: float | None = None
+    failure_history: list = field(default_factory=list)
+
+
+class _Worker:
+    """One worker process plus the parent's view of what it is doing."""
+
+    def __init__(self, dataset, collect_obs, policy, chaos_assignment) -> None:
+        self.conn, child_conn = multiprocessing.Pipe()
+        self.process = multiprocessing.Process(
+            target=_worker_main,
+            args=(child_conn, dataset, collect_obs, policy, chaos_assignment),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.state: _TaskState | None = None
+        self.deadline: float | None = None
+
+    def dispatch(self, state: _TaskState, timeout_seconds: float | None) -> None:
+        state.dispatch += 1
+        state.not_before = None
+        self.state = state
+        self.deadline = (
+            None
+            if timeout_seconds is None
+            else time.monotonic() + timeout_seconds
+        )
+        self.conn.send(
+            (
+                state.spec.name,
+                state.spec.uses_dataset,
+                state.first_attempt,
+                state.dispatch,
+            )
+        )
+
+    def settle(self) -> None:
+        self.state = None
+        self.deadline = None
+
+    def kill(self) -> None:
+        self.process.kill()
+        self.process.join()
+        self.conn.close()
+
+    def stop(self) -> None:
+        """Graceful shutdown; escalates to kill if the worker lingers."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join()
+        self.conn.close()
+
+
+def _run_pool(
+    pending: list[TaskSpec],
+    dataset,
+    jobs: int,
+    collect_obs: bool,
+    policy: RetryPolicy,
+    chaos_assignment,
+    finalize,
+) -> None:
+    """Fan ``pending`` out over worker processes, surviving their deaths.
+
+    Calls ``finalize(payload)`` for each task the moment its outcome is
+    known — success, definitive in-worker failure, or attempt-budget
+    exhaustion after crashes/timeouts — so checkpoints land incrementally
+    rather than after the whole run.
+    """
+    ship_dataset = (
+        dataset if any(spec.uses_dataset for spec in pending) else None
+    )
+    states = deque(_TaskState(spec=spec) for spec in pending)
+    workers = [
+        _Worker(ship_dataset, collect_obs, policy, chaos_assignment)
+        for _ in range(min(jobs, len(pending)))
+    ]
+    idle = list(workers)
+
+    def lose_worker(worker: _Worker, kind: str) -> None:
+        """A dispatch died (crash) or blew its deadline (timeout)."""
+        state = worker.state
+        attempt = state.first_attempt
+        if kind == "crash":
+            worker.process.join(timeout=1.0)
+            error_type = "WorkerCrash"
+            error = (
+                f"worker process {worker.process.pid} died"
+                f" (exit code {worker.process.exitcode})"
+            )
+            obs.counter_add("pipeline.worker_crashes")
+        else:
+            error_type = "TaskTimeout"
+            error = (
+                f"no result within the {policy.timeout_seconds:g}s"
+                " wall-clock timeout; worker killed"
+            )
+            obs.counter_add("pipeline.timeouts")
+        obs.counter_add(f"pipeline.errors.{error_type}")
+        state.failure_history.append(
+            {
+                "attempt": attempt,
+                "kind": kind,
+                "error": error,
+                "error_type": error_type,
+            }
+        )
+        worker.kill()
+        workers.remove(worker)
+        replacement = _Worker(ship_dataset, collect_obs, policy, chaos_assignment)
+        workers.append(replacement)
+        idle.append(replacement)
+        state.first_attempt = attempt + 1
+        if state.first_attempt > policy.max_attempts:
+            # Circuit breaker: budget exhausted, degrade without re-dispatch.
+            obs.counter_add("pipeline.task_failures")
+            last = state.failure_history[-1]
+            finalize(
+                {
+                    "task": state.spec.name,
+                    "result": None,
+                    "error": last["error"],
+                    "error_type": last["error_type"],
+                    "traceback": None,
+                    "attempts": policy.max_attempts,
+                    "failure_history": list(state.failure_history),
+                    "pid": os.getpid(),
+                    "wall_seconds": 0.0,
+                }
+            )
+        else:
+            obs.counter_add("pipeline.retries")
+            delay = policy.delay_before(state.spec.name, state.first_attempt)
+            state.not_before = time.monotonic() + delay if delay > 0.0 else None
+            states.append(state)
+
+    try:
+        while states or len(idle) < len(workers):
+            now = time.monotonic()
+            held: list[_TaskState] = []
+            while states and idle:
+                state = states.popleft()
+                if state.not_before is not None and now < state.not_before:
+                    held.append(state)
+                    continue
+                idle.pop().dispatch(state, policy.timeout_seconds)
+            states.extendleft(reversed(held))
+
+            busy = [worker for worker in workers if worker.state is not None]
+            pending_wakes = [
+                state.not_before
+                for state in states
+                if state.not_before is not None
+            ]
+            if not busy:
+                # Everything runnable is backing off; sleep to the nearest
+                # release time, then loop back to dispatch.
+                time.sleep(max(0.0, min(pending_wakes) - time.monotonic()))
+                continue
+            deadlines = [
+                worker.deadline for worker in busy if worker.deadline is not None
+            ]
+            waits = deadlines + pending_wakes
+            timeout = (
+                max(0.0, min(waits) - time.monotonic()) if waits else None
+            )
+            ready = _connection_wait(
+                [worker.conn for worker in busy], timeout
+            )
+            now = time.monotonic()
+            for worker in busy:
+                if worker.conn in ready:
+                    try:
+                        payload = worker.conn.recv()
+                    except (EOFError, OSError):
+                        lose_worker(worker, "crash")
+                        continue
+                    state = worker.state
+                    payload["failure_history"] = state.failure_history + list(
+                        payload.get("failure_history", [])
+                    )
+                    worker.settle()
+                    idle.append(worker)
+                    finalize(payload)
+                elif worker.deadline is not None and now >= worker.deadline:
+                    lose_worker(worker, "timeout")
+    finally:
+        for worker in workers:
+            worker.stop()
+
+
+def _chaos_corrupt_entry(
+    cache: ResultCache, task_name: str, fingerprint: str
+) -> None:
+    """Truncate a just-stored cache entry mid-file (the chaos fault)."""
+    path = cache.path(task_name, fingerprint)
+    try:
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+    except OSError:
+        return
+    obs.counter_add("pipeline.chaos.cache_corrupted")
+
+
 def run_pipeline(
     dataset: RODataset | None = None,
     *,
@@ -161,6 +568,9 @@ def run_pipeline(
     tasks=None,
     timings: bool = False,
     trace=None,
+    policy: RetryPolicy | None = None,
+    journal=None,
+    chaos=None,
 ) -> dict:
     """Run the experiment pipeline; return the JSON-serialisable summary.
 
@@ -178,16 +588,41 @@ def run_pipeline(
         trace: path for the merged multi-process span trace (JSONL);
             enables tracing and metrics for this run.  ``None`` (default)
             records nothing.
+        policy: retry/backoff/timeout regime (:class:`RetryPolicy`);
+            ``None`` keeps the historical retry-once behaviour.
+        journal: path (or :class:`~repro.pipeline.journal.RunJournal`)
+            of the crash-safe checkpoint journal.  Completed tasks found
+            in it are replayed instead of recomputed; fresh completions
+            are durably appended as they land, so an interrupted run can
+            resume from where it died.
+        chaos: a :class:`~repro.faults.chaos.ChaosPlan` or an int seed
+            for one; deterministically injects a worker crash, a task
+            hang, and a corrupt cache entry into this run.  Requires
+            ``jobs >= 2`` and (for the hang) ``policy.timeout_seconds``.
 
     Returns:
         ``{"dataset": <name>, <task>: <result>..., ["_pipeline": ...,
-        "_metrics": ...]}`` with tasks in registration order; failed tasks
-        appear as ``{"error": ..., "attempts": ...}`` entries.
+        "_metrics": ...]}`` with tasks in registration order; failed
+        tasks appear as ``{"error": ..., "error_type": ...,
+        "traceback": ..., "attempts": ...}`` entries.
     """
     from . import tasks as _tasks  # noqa: F401  (populate the registry)
 
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if policy is None:
+        policy = RetryPolicy()
+    chaos_plan = None
+    if chaos is not None:
+        chaos_plan = chaos if isinstance(chaos, ChaosPlan) else ChaosPlan(seed=int(chaos))
+        if jobs < 2:
+            raise ValueError(
+                "chaos injection needs jobs >= 2 (worker processes to kill)"
+            )
+        if chaos_plan.hang and policy.timeout_seconds is None:
+            raise ValueError(
+                "chaos hang injection needs policy.timeout_seconds set"
+            )
     trace_path = None if trace is None else Path(trace)
     trace_on = trace_path is not None
     metrics_on = timings or trace_on
@@ -199,7 +634,14 @@ def run_pipeline(
             "pipeline.run", jobs=jobs, tasks=[spec.name for spec in specs]
         ):
             summary, outcomes, worker_snapshots = _run(
-                dataset, jobs, cache_dir, specs, collect_obs=trace_on or metrics_on
+                dataset,
+                jobs,
+                cache_dir,
+                specs,
+                collect_obs=trace_on or metrics_on,
+                policy=policy,
+                journal=journal,
+                chaos_plan=chaos_plan,
             )
 
         if timings:
@@ -228,8 +670,11 @@ def _run(
     cache_dir,
     specs: list[TaskSpec],
     collect_obs: bool,
+    policy: RetryPolicy,
+    journal,
+    chaos_plan,
 ) -> tuple[dict, dict[str, TaskTiming], list[dict]]:
-    """The pipeline body: cache lookup, fan-out, assembly."""
+    """The pipeline body: resume/cache lookup, fan-out, incremental landing."""
     needs_dataset = any(spec.uses_dataset for spec in specs)
     if needs_dataset:
         from ..experiments.common import dataset_or_default
@@ -248,17 +693,36 @@ def _run(
         cache = cache_dir
     else:
         cache = ResultCache(cache_dir)
+    if journal is None or isinstance(journal, RunJournal):
+        run_journal = journal
+    else:
+        run_journal = RunJournal(journal)
+    journal_version = _repro_version()
 
     outcomes: dict[str, TaskTiming] = {}
     results: dict[str, object] = {}
     pending: list[TaskSpec] = []
+
+    completed: dict[tuple[str, str], object] = {}
+    if run_journal is not None:
+        with obs.span("pipeline.resume", journal=str(run_journal.path)):
+            completed = run_journal.load(journal_version)
     with obs.span("pipeline.cache_lookup", tasks=len(specs)):
         for spec in specs:
+            fingerprint = _task_fingerprint(spec, dataset_fingerprint)
+            if (spec.name, fingerprint) in completed:
+                results[spec.name] = completed[(spec.name, fingerprint)]
+                outcomes[spec.name] = TaskTiming(
+                    task=spec.name,
+                    wall_seconds=0.0,
+                    process=os.getpid(),
+                    resumed=True,
+                    attempts=0,  # like a cache hit: the task never executed
+                )
+                continue
             cached = None
             if cache is not None:
-                cached = cache.load(
-                    spec.name, _task_fingerprint(spec, dataset_fingerprint)
-                )
+                cached = cache.load(spec.name, fingerprint)
             if cached is not None:
                 results[spec.name] = cached
                 outcomes[spec.name] = TaskTiming(
@@ -271,48 +735,40 @@ def _run(
             else:
                 pending.append(spec)
 
-    payloads: list[dict] = []
-    if pending and jobs > 1:
-        with obs.span("pipeline.fanout", jobs=jobs, pending=len(pending)):
-            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-                futures = {
-                    pool.submit(
-                        execute_task,
-                        spec.name,
-                        dataset if spec.uses_dataset else None,
-                        collect_obs,
-                    ): spec
-                    for spec in pending
-                }
-                payloads = [future.result() for future in as_completed(futures)]
-    elif pending:
-        # In-process: obs state is already the parent's; workers-only
-        # collection would drain the parent's own spans, so leave it off.
-        payloads = [
-            execute_task(spec.name, dataset if spec.uses_dataset else None)
-            for spec in pending
-        ]
+    chaos_assignment = None
+    if chaos_plan is not None and pending:
+        chaos_assignment = chaos_plan.assign([spec.name for spec in pending])
 
     worker_snapshots: list[dict] = []
     by_name = {spec.name: spec for spec in pending}
-    for payload in payloads:
+
+    def finalize(payload: dict) -> None:
+        """Land one task outcome: record, cache, journal — immediately."""
         name = payload["task"]
         spec = by_name[name]
         if "spans" in payload:
             obs.extend_spans(payload["spans"])
         if "metrics" in payload:
             worker_snapshots.append(payload["metrics"])
+        fingerprint = _task_fingerprint(spec, dataset_fingerprint)
         if payload["error"] is None:
             results[name] = payload["result"]
             if cache is not None:
-                cache.store(
-                    name,
-                    _task_fingerprint(spec, dataset_fingerprint),
-                    payload["result"],
+                cache.store(name, fingerprint, payload["result"])
+                if (
+                    chaos_assignment is not None
+                    and name == chaos_assignment.corrupt_task
+                ):
+                    _chaos_corrupt_entry(cache, name, fingerprint)
+            if run_journal is not None:
+                run_journal.append(
+                    name, fingerprint, journal_version, payload["result"]
                 )
         else:
             results[name] = {
                 "error": payload["error"],
+                "error_type": payload.get("error_type"),
+                "traceback": payload.get("traceback"),
                 "attempts": payload["attempts"],
             }
         outcomes[name] = TaskTiming(
@@ -321,7 +777,32 @@ def _run(
             process=payload["pid"],
             attempts=payload["attempts"],
             error=payload["error"],
+            failure_history=list(payload.get("failure_history", [])),
         )
+
+    if pending and jobs > 1:
+        with obs.span("pipeline.fanout", jobs=jobs, pending=len(pending)):
+            _run_pool(
+                pending,
+                dataset,
+                jobs,
+                collect_obs,
+                policy,
+                chaos_assignment,
+                finalize,
+            )
+    elif pending:
+        # In-process: obs state is already the parent's; workers-only
+        # collection would drain the parent's own spans, so leave it off.
+        # Timeouts cannot be enforced here (nothing to kill).
+        for spec in pending:
+            finalize(
+                execute_task(
+                    spec.name,
+                    dataset if spec.uses_dataset else None,
+                    policy=policy,
+                )
+            )
 
     summary: dict = {"dataset": dataset.name if dataset is not None else None}
     for spec in specs:

@@ -1,0 +1,103 @@
+"""Crash-safe run journal: checkpoint completed tasks, resume after a crash.
+
+A :class:`RunJournal` is an append-only JSONL file recording every task
+the pipeline *finished* (one record per success, written the moment the
+result lands).  If the run dies — power loss, OOM kill, a chaos-harness
+crash — ``ropuf all --resume JOURNAL`` replays the journal and skips every
+task whose record matches the current (task, dataset fingerprint, repro
+version) triple, recomputing only what was in flight or never started.
+
+Durability over elegance:
+
+* each record is one line, flushed **and fsynced** before ``append``
+  returns, so a completed task survives anything short of disk failure;
+* ``load`` tolerates a truncated final line (the crash happened mid-write)
+  by discarding it — every earlier record is still intact;
+* records carry the same identity metadata as the result cache (scheme
+  tag, task, fingerprint, version), so a journal from a different dataset
+  or repro version silently contributes nothing instead of poisoning the
+  resumed run.
+
+The journal complements the cache rather than replacing it: the cache is
+content-addressed and shared across runs, the journal is the linear story
+of *one* run, cheap to replay and safe to delete once the run completes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from .. import obs
+
+__all__ = ["RunJournal", "JOURNAL_SCHEME"]
+
+#: Bumped if the journal record layout ever changes incompatibly.
+JOURNAL_SCHEME = "ropuf-journal-v1"
+
+
+class RunJournal:
+    """An append-only JSONL checkpoint of completed pipeline tasks.
+
+    Args:
+        path: journal file; created (with parents) on first append.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def append(self, task_name: str, fingerprint: str, version: str, result) -> None:
+        """Durably record one completed task (flush + fsync before return).
+
+        ``result`` must already be canonical plain-JSON data — the
+        executor journals the same canonicalised payload it caches.
+        """
+        record = {
+            "scheme": JOURNAL_SCHEME,
+            "task": task_name,
+            "fingerprint": fingerprint,
+            "version": version,
+            "result": result,
+        }
+        line = json.dumps(record, separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with obs.span("journal.append", task=task_name):
+            with open(self.path, "a") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            obs.counter_add("journal.appends")
+
+    def load(self, version: str) -> dict[tuple[str, str], object]:
+        """Completed results keyed by ``(task, fingerprint)``.
+
+        Only records matching this scheme and ``version`` count.  A
+        truncated or garbled trailing line — the signature of a crash
+        mid-append — is discarded; a corrupt line *before* intact ones
+        (which fsync ordering makes impossible in practice) stops the
+        replay there, keeping everything already parsed.  A missing file
+        is an empty journal, so ``--resume`` works on the first run too.
+        """
+        completed: dict[tuple[str, str], object] = {}
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return completed
+        with obs.span("journal.load", path=str(self.path)) as load_span:
+            for line in text.splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                    if record["scheme"] != JOURNAL_SCHEME:
+                        continue
+                    if record["version"] != version:
+                        continue
+                    key = (record["task"], record["fingerprint"])
+                    completed[key] = record["result"]
+                except (ValueError, KeyError, TypeError):
+                    obs.counter_add("journal.truncated_tail")
+                    break
+            load_span.set_attr("records", len(completed))
+        return completed

@@ -1,7 +1,8 @@
 """Timing and metrics layer: what each pipeline task cost.
 
 The executor records one :class:`TaskTiming` per task — wall time, the
-process that ran it, cache-hit status, and attempt count — and aggregates
+process that ran it, cache-hit/resume status, attempt count, and the full
+failure history (exceptions, worker crashes, timeouts) — and aggregates
 them into a :class:`PipelineTimings` block that lands in the summary JSON
 under ``"_pipeline"`` when timings are requested.  Finer-grained telemetry
 (spans inside a task, cache byte counters) lives in :mod:`repro.obs`.
@@ -27,9 +28,17 @@ class TaskTiming:
             2 means the first attempt failed and the retry succeeded or
             failed definitively.  ``0`` is the **cache-hit sentinel**: the
             task never executed because its result was loaded from the
-            cache (``cache_hit`` is then ``True``).  Pinned by
+            cache (``cache_hit`` is then ``True``) or restored from a
+            resume journal (``resumed`` is then ``True``).  Pinned by
             ``tests/test_pipeline_cache.py``.
         error: failure message when the task degraded to an error entry.
+        resumed: whether the result was replayed from a ``--resume``
+            journal instead of executing.
+        failure_history: one record per failed attempt across the task's
+            whole life — in-worker exceptions *and* parent-observed worker
+            crashes/timeouts — each ``{"attempt", "kind", "error",
+            "error_type"}`` with ``kind`` in ``exception`` / ``crash`` /
+            ``timeout``.  Empty for first-try successes.
     """
 
     task: str
@@ -38,6 +47,8 @@ class TaskTiming:
     cache_hit: bool = False
     attempts: int = 0
     error: str | None = None
+    resumed: bool = False
+    failure_history: list = field(default_factory=list)
 
     def as_dict(self) -> dict:
         return {
@@ -47,6 +58,8 @@ class TaskTiming:
             "cache_hit": self.cache_hit,
             "attempts": self.attempts,
             "error": self.error,
+            "resumed": self.resumed,
+            "failure_history": self.failure_history,
         }
 
 

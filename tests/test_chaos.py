@@ -1,0 +1,246 @@
+"""Tests of the hardened executor under injected infrastructure chaos:
+retry policies, worker crashes, hung tasks, corrupt cache entries, and
+crash-safe journal resume."""
+
+import json
+
+import pytest
+
+from repro.faults import ChaosPlan
+from repro.pipeline import RetryPolicy, RunJournal, run_pipeline
+from repro.pipeline.journal import JOURNAL_SCHEME
+
+
+def _strip_meta(summary: dict) -> dict:
+    return {k: v for k, v in summary.items() if not k.startswith("_")}
+
+
+def _dumps(summary: dict) -> str:
+    return json.dumps(_strip_meta(summary), sort_keys=True)
+
+
+def _history(summary: dict, task: str) -> list[dict]:
+    records = summary["_pipeline"]["tasks"]
+    return next(r for r in records if r["task"] == task)["failure_history"]
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_seconds": -0.1},
+            {"backoff_multiplier": 0.5},
+            {"jitter_fraction": 1.5},
+            {"jitter_fraction": -0.1},
+            {"timeout_seconds": 0.0},
+            {"timeout_seconds": -5.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_first_attempt_never_delays(self):
+        policy = RetryPolicy(backoff_seconds=10.0)
+        assert policy.delay_before("t", 1) == 0.0
+
+    def test_zero_backoff_never_delays(self):
+        policy = RetryPolicy(max_attempts=5)
+        assert all(policy.delay_before("t", a) == 0.0 for a in range(1, 6))
+
+    def test_exponential_growth_with_bounded_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=4, backoff_seconds=1.0, jitter_fraction=0.1
+        )
+        delays = [policy.delay_before("t", a) for a in (2, 3, 4)]
+        for base, delay in zip((1.0, 2.0, 4.0), delays):
+            assert base <= delay <= base * 1.1
+
+    def test_jitter_is_deterministic_per_task_and_attempt(self):
+        policy = RetryPolicy(backoff_seconds=1.0, max_attempts=3)
+        assert policy.delay_before("a", 2) == policy.delay_before("a", 2)
+        # different tasks decorrelate
+        assert policy.delay_before("a", 2) != policy.delay_before("b", 2)
+
+
+class TestChaosValidation:
+    def test_serial_run_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_pipeline(tasks=["table5_bits"], jobs=1, chaos=7)
+
+    def test_hang_without_timeout_rejected(self):
+        with pytest.raises(ValueError, match="timeout"):
+            run_pipeline(tasks=["table5_bits"], jobs=2, chaos=7)
+
+    def test_hangless_plan_needs_no_timeout(self):
+        plan = ChaosPlan(seed=7, hang=False, corrupt_cache=False)
+        policy = RetryPolicy(max_attempts=3)
+        summary = run_pipeline(
+            tasks=["table5_bits"], jobs=2, chaos=plan, policy=policy
+        )
+        assert summary["table5_bits"]["n=3"]["configurable"] == 80
+
+
+class TestChaosSurvival:
+    """Each injected fault costs a retry, never the result."""
+
+    def test_worker_crash_survived_bit_identically(self):
+        clean = run_pipeline(tasks=["table5_bits"])
+        plan = ChaosPlan(seed=7, hang=False, corrupt_cache=False)
+        chaotic = run_pipeline(
+            tasks=["table5_bits"],
+            jobs=2,
+            chaos=plan,
+            policy=RetryPolicy(max_attempts=3),
+            timings=True,
+        )
+        assert _dumps(chaotic) == _dumps(clean)
+        history = _history(chaotic, "table5_bits")
+        assert [h["kind"] for h in history] == ["crash"]
+        assert history[0]["error_type"] == "WorkerCrash"
+        assert "exit code" in history[0]["error"]
+
+    def test_hung_task_killed_and_redispatched(self):
+        clean = run_pipeline(tasks=["table5_bits"])
+        plan = ChaosPlan(seed=3, crash=False, corrupt_cache=False)
+        chaotic = run_pipeline(
+            tasks=["table5_bits"],
+            jobs=2,
+            chaos=plan,
+            policy=RetryPolicy(max_attempts=3, timeout_seconds=2.0),
+            timings=True,
+        )
+        assert _dumps(chaotic) == _dumps(clean)
+        history = _history(chaotic, "table5_bits")
+        assert [h["kind"] for h in history] == ["timeout"]
+        assert history[0]["error_type"] == "TaskTimeout"
+        assert "wall-clock timeout" in history[0]["error"]
+
+    def test_corrupted_cache_entry_quarantined_on_rerun(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        plan = ChaosPlan(seed=1, crash=False, hang=False)
+        first = run_pipeline(
+            tasks=["table5_bits"],
+            jobs=2,
+            cache_dir=cache_dir,
+            chaos=plan,
+            policy=RetryPolicy(max_attempts=3),
+        )
+        # the stored entry was truncated mid-file; a rerun must treat it
+        # as a miss, quarantine it, and recompute to the same answer
+        second = run_pipeline(
+            tasks=["table5_bits"], cache_dir=cache_dir, timings=True
+        )
+        assert _dumps(second) == _dumps(first)
+        assert len(list(cache_dir.glob("**/*.corrupt"))) == 1
+        record = second["_pipeline"]["tasks"][0]
+        assert record["cache_hit"] is False
+        # the recomputed entry is clean: third run is a pure cache hit
+        third = run_pipeline(
+            tasks=["table5_bits"], cache_dir=cache_dir, timings=True
+        )
+        assert third["_pipeline"]["cache_hits"] == 1
+
+    def test_full_chaos_run_completes_bit_identically(self, tmp_path):
+        # The CI chaos-smoke pin: crash + hang + corrupt cache in one run,
+        # retries >= 3 and a timeout, results identical to a clean run.
+        tasks = ["table5_bits", "sec4e_threshold"]
+        clean = run_pipeline(tasks=tasks)
+        chaotic = run_pipeline(
+            tasks=tasks,
+            jobs=2,
+            cache_dir=tmp_path / "cache",
+            chaos=7,
+            policy=RetryPolicy(max_attempts=3, timeout_seconds=15.0),
+            timings=True,
+        )
+        assert _dumps(chaotic) == _dumps(clean)
+        kinds = {
+            h["kind"]
+            for task in tasks
+            for h in _history(chaotic, task)
+        }
+        assert kinds == {"crash", "timeout"}
+        assert chaotic["_pipeline"]["failures"] == 0
+
+
+class TestRunJournal:
+    def test_round_trip(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.append("t1", "fp", "v1", {"x": 1})
+        journal.append("t2", "fp", "v1", [1, 2])
+        loaded = RunJournal(tmp_path / "run.jsonl").load("v1")
+        assert loaded == {("t1", "fp"): {"x": 1}, ("t2", "fp"): [1, 2]}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert RunJournal(tmp_path / "nope.jsonl").load("v1") == {}
+
+    def test_version_mismatch_skipped(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.append("t1", "fp", "v1", {"x": 1})
+        journal.append("t2", "fp", "v2", {"y": 2})
+        assert RunJournal(journal.path).load("v2") == {("t2", "fp"): {"y": 2}}
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        journal.append("t1", "fp", "v1", {"x": 1})
+        journal.append("t2", "fp", "v1", {"y": 2})
+        # simulate a crash mid-append: chop the last record in half
+        text = journal.path.read_text()
+        journal.path.write_text(text[: len(text) - 12])
+        loaded = RunJournal(journal.path).load("v1")
+        assert loaded == {("t1", "fp"): {"x": 1}}
+
+    def test_scheme_mismatch_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        record = {
+            "scheme": "other-scheme",
+            "version": "v1",
+            "task": "t1",
+            "fingerprint": "fp",
+            "result": 1,
+        }
+        path.write_text(json.dumps(record) + "\n")
+        assert RunJournal(path).load("v1") == {}
+        assert JOURNAL_SCHEME == "ropuf-journal-v1"
+
+
+class TestPipelineResume:
+    def test_resumed_task_not_recomputed(self, tmp_path):
+        journal_path = tmp_path / "run.jsonl"
+        first = run_pipeline(tasks=["table5_bits"], journal=journal_path)
+        resumed = run_pipeline(
+            tasks=["table5_bits"], journal=journal_path, timings=True
+        )
+        assert _dumps(resumed) == _dumps(first)
+        record = resumed["_pipeline"]["tasks"][0]
+        assert record["resumed"] is True
+        assert record["attempts"] == 0
+
+    def test_failed_tasks_are_not_checkpointed(self, tmp_path):
+        journal_path = tmp_path / "run.jsonl"
+        plan = ChaosPlan(seed=7, hang=False, corrupt_cache=False)
+        run_pipeline(
+            tasks=["table5_bits"],
+            jobs=2,
+            journal=journal_path,
+            chaos=plan,
+            policy=RetryPolicy(max_attempts=1),  # the crash exhausts it
+        )
+        # the degraded run journaled nothing, so nothing resumes
+        from repro.pipeline.cache import _repro_version
+
+        assert RunJournal(journal_path).load(_repro_version()) == {}
+
+    def test_journal_and_cache_compose(self, tmp_path):
+        journal_path = tmp_path / "run.jsonl"
+        cache_dir = tmp_path / "cache"
+        argv = dict(
+            tasks=["table5_bits"], journal=journal_path, cache_dir=cache_dir
+        )
+        first = run_pipeline(**argv)
+        # journal wins over cache on the rerun (resume beats recompute)
+        resumed = run_pipeline(**argv, timings=True)
+        assert _dumps(resumed) == _dumps(first)
+        assert resumed["_pipeline"]["tasks"][0]["resumed"] is True

@@ -41,6 +41,18 @@ class TestParser:
         assert args.timings is True
         assert args.tasks == "table5_bits,fig3_uniqueness"
 
+    def test_hardening_flags(self):
+        args = build_parser().parse_args(
+            ["all", "--retries", "3", "--backoff", "0.5",
+             "--task-timeout", "30", "--resume", "run.jsonl",
+             "--chaos", "7"]
+        )
+        assert args.retries == 3
+        assert args.backoff == 0.5
+        assert args.task_timeout == 30.0
+        assert args.resume == "run.jsonl"
+        assert args.chaos == 7
+
     def test_pipeline_flag_defaults(self):
         args = build_parser().parse_args(["all"])
         assert args.jobs == 1
@@ -48,6 +60,12 @@ class TestParser:
         assert args.timings is False
         assert args.tasks is None
         assert args.trace is None
+        # hardening defaults reproduce the historical retry-once behaviour
+        assert args.retries == 2
+        assert args.backoff == 0.0
+        assert args.task_timeout is None
+        assert args.resume is None
+        assert args.chaos is None
 
     def test_trace_and_bench_verbs_parse(self):
         args = build_parser().parse_args(["trace", "summarize", "t.jsonl"])
@@ -88,13 +106,18 @@ class TestParser:
             }
         )
         assert options == [
+            "--backoff",
             "--cache-dir",
+            "--chaos",
             "--data",
             "--help",
             "--jobs",
             "--method",
             "--output",
             "--raw",
+            "--resume",
+            "--retries",
+            "--task-timeout",
             "--tasks",
             "--timings",
             "--trace",
@@ -105,6 +128,11 @@ class TestParser:
             "timing/cache metrics",
             "task subset",
             "span trace",
+            "attempts per task",
+            "backoff",
+            "wall-clock timeout",
+            "checkpoint journal",
+            "chaos",
         ):
             assert phrase in help_text, phrase
 

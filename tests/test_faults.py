@@ -1,0 +1,351 @@
+"""Tests of repro.faults: fault models, FaultPlan determinism, the no-op
+byte-identity guarantee, voted-response recovery, and the chaos plan."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.measurement import DelayMeasurer
+from repro.core.pairing import RingAllocation
+from repro.core.puf import BoardROPUF, ChipROPUF
+from repro.core.ring import ConfigurableRO
+from repro.faults import (
+    AgingDrift,
+    ChaosPlan,
+    CounterGlitch,
+    Dropout,
+    FaultPlan,
+    StuckAt,
+    ThermalExcursion,
+    chaos_worker_action,
+)
+from repro.variation.environment import (
+    NOMINAL_OPERATING_POINT,
+    OperatingPoint,
+)
+from repro.variation.noise import GaussianNoise, NoiselessMeasurement
+
+SWEEP_OPS = [
+    NOMINAL_OPERATING_POINT,
+    OperatingPoint(voltage=1.08, temperature=45.0),
+    OperatingPoint(voltage=1.32, temperature=5.0),
+]
+
+
+def apply_once(model, values, seed=0):
+    plan = FaultPlan(seed=seed, models=[model])
+    return plan.apply(np.asarray(values, dtype=float))
+
+
+class TestFaultModels:
+    def test_counter_glitch_scales_within_band(self):
+        values = np.full(200, 2.0)
+        faulted = apply_once(CounterGlitch(probability=1.0), values)
+        ratio = faulted / values
+        assert np.all(ratio >= 3.0) and np.all(ratio <= 30.0)
+        assert np.all(values == 2.0)  # input untouched
+
+    def test_stuck_at_reports_constant(self):
+        faulted = apply_once(StuckAt(probability=1.0, value=7.5), np.ones(10))
+        assert np.all(faulted == 7.5)
+
+    def test_dropout_is_nan(self):
+        faulted = apply_once(Dropout(probability=1.0), np.ones(10))
+        assert np.all(np.isnan(faulted))
+
+    def test_thermal_excursion_is_common_mode(self):
+        values = np.linspace(1.0, 2.0, 50)
+        faulted = apply_once(
+            ThermalExcursion(probability=1.0, drift_sigma=0.05), values, seed=3
+        )
+        ratio = faulted / values
+        assert np.allclose(ratio, ratio[0])
+        assert not np.isclose(ratio[0], 1.0)
+
+    def test_aging_drift_grows_with_session(self):
+        plan = FaultPlan(seed=0, models=[AgingDrift(rate=1e-3)])
+        first = plan.apply(np.ones(10))
+        later = plan.apply(np.ones(10))
+        assert np.allclose(first, 1.0)  # no elements observed yet
+        assert np.allclose(later, 1.0 + 1e-3 * 10)
+
+    def test_rate_tuning_does_not_reshuffle_other_models(self):
+        # The draw-order contract: a model consumes the same number of
+        # draws whatever its probability, so tuning one model's rate
+        # never moves the faults another model injects.
+        masks = []
+        for glitch_p in (0.0, 0.5):
+            plan = FaultPlan(
+                seed=11,
+                models=[CounterGlitch(probability=glitch_p), Dropout(probability=0.3)],
+            )
+            masks.append(np.isnan(plan.apply(np.ones(500))))
+        assert np.array_equal(masks[0], masks[1])
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            lambda: CounterGlitch(probability=1.5),
+            lambda: CounterGlitch(min_factor=5.0, max_factor=2.0),
+            lambda: CounterGlitch(min_factor=0.0),
+            lambda: StuckAt(probability=-0.1),
+            lambda: Dropout(probability=2.0),
+            lambda: ThermalExcursion(drift_sigma=-1.0),
+            lambda: AgingDrift(rate=-1e-9),
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            bad()
+
+
+class TestFaultPlan:
+    def _models(self):
+        return [
+            CounterGlitch(probability=0.05),
+            StuckAt(probability=0.02),
+            Dropout(probability=0.02),
+        ]
+
+    def test_fixed_seed_reproduces_faults_exactly(self):
+        shapes = [(40,), (7, 3), (40,), (5,)]
+        runs = []
+        for _ in range(2):
+            plan = FaultPlan(seed=42, models=self._models())
+            runs.append(
+                [plan.apply(np.ones(shape)).tobytes() for shape in shapes]
+            )
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_differ(self):
+        one = FaultPlan(seed=1, models=self._models()).apply(np.ones(300))
+        two = FaultPlan(seed=2, models=self._models()).apply(np.ones(300))
+        assert one.tobytes() != two.tobytes()
+
+    def test_reset_rewinds_the_stream(self):
+        plan = FaultPlan(seed=9, models=self._models())
+        first = plan.apply(np.ones(100))
+        assert plan.total_injected >= 1
+        plan.reset()
+        assert plan.total_injected == 0
+        again = plan.apply(np.ones(100))
+        assert np.array_equal(first, again, equal_nan=True)
+
+    def test_injected_bookkeeping(self):
+        plan = FaultPlan(seed=0, models=[Dropout(probability=1.0)])
+        plan.apply(np.ones(25))
+        assert plan.injected == {"dropout": 25}
+        assert plan.total_injected == 25
+
+    def test_noop_returns_the_input_object(self):
+        values = np.ones(10)
+        for plan in (
+            FaultPlan(seed=0, models=[]),
+            FaultPlan(seed=0, models=self._models(), enabled=False),
+        ):
+            assert plan.is_noop
+            assert plan.apply(values) is values
+        assert not FaultPlan(seed=0, models=self._models()).is_noop
+
+    def test_metrics_reported(self):
+        obs.enable_metrics()
+        obs.reset_metrics()
+        try:
+            plan = FaultPlan(seed=0, models=[Dropout(probability=1.0)])
+            plan.apply(np.ones(4))
+            counters = obs.snapshot()["counters"]
+            assert counters["faults.injected.dropout"] == 4
+        finally:
+            obs.disable_metrics()
+            obs.reset_metrics()
+
+
+class TestNoopByteIdentity:
+    """A no-op plan must leave every measurement path byte-identical."""
+
+    def _board(self, seed=5, sigma=5e-4):
+        data_rng = np.random.default_rng(seed)
+        delays = data_rng.normal(1.0, 0.02, 300)
+        return BoardROPUF(
+            delay_provider=lambda op: delays,
+            allocation=RingAllocation(stage_count=3, ring_count=100),
+            response_noise=GaussianNoise(relative_sigma=sigma),
+            rng=np.random.default_rng(seed + 1),
+        )
+
+    def test_response_sweep_byte_identical(self):
+        plain = self._board()
+        wrapped = FaultPlan(seed=0, models=[]).attach_to_board(self._board())
+        enrollment = plain.enroll()
+        expected = plain.response_sweep(SWEEP_OPS, enrollment)
+        observed = wrapped.response_sweep(SWEEP_OPS, wrapped.enroll())
+        assert observed.tobytes() == expected.tobytes()
+
+    def test_response_voted_byte_identical(self):
+        plain = self._board()
+        wrapped = FaultPlan(seed=0, models=[]).attach_to_board(self._board())
+        enrollment = plain.enroll()
+        expected = plain.response_voted(NOMINAL_OPERATING_POINT, enrollment, votes=5)
+        observed = wrapped.response_voted(
+            NOMINAL_OPERATING_POINT, wrapped.enroll(), votes=5
+        )
+        assert observed.tobytes() == expected.tobytes()
+
+    def test_reliable_mask_byte_identical(self):
+        plain = self._board()
+        wrapped = FaultPlan(seed=0, models=[]).attach_to_board(self._board())
+        expected = plain.enroll().reliable_mask(1e-3)
+        observed = wrapped.enroll().reliable_mask(1e-3)
+        assert observed.tobytes() == expected.tobytes()
+
+    def test_chip_enroll_sweep_byte_identical(self, chip):
+        plain = ChipROPUF.deploy(chip, stage_count=4)
+        plan = FaultPlan(seed=0, models=[])
+        wrapped = plan.attach_to_chip(ChipROPUF.deploy(chip, stage_count=4))
+        expected = plain.enroll_sweep(SWEEP_OPS)
+        observed = wrapped.enroll_sweep(SWEEP_OPS)
+        for ours, theirs in zip(observed, expected):
+            assert ours.bits.tobytes() == theirs.bits.tobytes()
+            assert ours.margins.tobytes() == theirs.margins.tobytes()
+
+    def test_chip_enroll_batch_byte_identical(self, chip):
+        plain = ChipROPUF.deploy(chip, stage_count=4)
+        wrapped = FaultPlan(seed=0, models=[]).attach_to_chip(
+            ChipROPUF.deploy(chip, stage_count=4)
+        )
+        expected = plain.enroll_batch()
+        observed = wrapped.enroll_batch()
+        assert observed.bits.tobytes() == expected.bits.tobytes()
+        assert observed.margins.tobytes() == expected.margins.tobytes()
+
+    def test_attach_leaves_original_untouched(self):
+        board = self._board()
+        plan = FaultPlan(seed=0, models=[Dropout(probability=1.0)])
+        wrapped = plan.attach_to_board(board)
+        assert isinstance(board.response_noise, GaussianNoise)
+        assert wrapped is not board
+
+
+class TestFaultedMeasurements:
+    def test_wrapped_measurer_faults_deterministically(self, chip):
+        ring = ConfigurableRO(chip=chip, unit_indices=np.arange(6))
+        runs = []
+        for _ in range(2):
+            plan = FaultPlan(seed=13, models=[CounterGlitch(probability=0.2)])
+            measurer = plan.wrap_measurer(
+                DelayMeasurer(
+                    noise=GaussianNoise(relative_sigma=5e-4),
+                    repeats=3,
+                    rng=np.random.default_rng(7),
+                )
+            )
+            from repro.core.measurement import leave_one_out_vectors
+
+            runs.append(
+                measurer.chain_delays_sequential(
+                    ring, leave_one_out_vectors(ring.stage_count)
+                )
+            )
+        assert runs[0].tobytes() == runs[1].tobytes()
+
+    def test_faulted_stream_independent_of_noise_stream(self, chip):
+        # The faulted measurer shares the *noise* RNG with the plain one,
+        # so the underlying noise draws are the same stream; only the
+        # fault transformation differs.
+        ring = ConfigurableRO(chip=chip, unit_indices=np.arange(6))
+        from repro.core.measurement import leave_one_out_vectors
+
+        configs = leave_one_out_vectors(ring.stage_count)
+        plain = DelayMeasurer(
+            noise=NoiselessMeasurement(), repeats=1, rng=np.random.default_rng(3)
+        )
+        plan = FaultPlan(seed=1, models=[StuckAt(probability=1.0, value=0.0)])
+        faulted = plan.wrap_measurer(
+            DelayMeasurer(
+                noise=NoiselessMeasurement(),
+                repeats=1,
+                rng=np.random.default_rng(3),
+            )
+        )
+        clean = plain.chain_delays_sequential(ring, configs)
+        stuck = faulted.chain_delays_sequential(ring, configs)
+        assert np.all(stuck == 0.0)
+        assert np.all(clean > 0.0)
+
+
+class TestVotedResponseRecovery:
+    """Majority voting recovers single-observation bit-flip faults."""
+
+    def _board(self, seed=5):
+        data_rng = np.random.default_rng(seed)
+        delays = data_rng.normal(1.0, 0.02, 300)
+        return BoardROPUF(
+            delay_provider=lambda op: delays,
+            allocation=RingAllocation(stage_count=3, ring_count=100),
+            response_noise=GaussianNoise(relative_sigma=1e-5),
+            rng=np.random.default_rng(seed + 1),
+        )
+
+    def test_voting_recovers_single_observation_flips(self):
+        # A stuck-at-zero readout flips the comparison of any affected
+        # pair for that one evaluation.  At ~1% per element, a 9-vote
+        # majority needs 5 faulted evaluations of the same bit — vastly
+        # unlikely — while single-shot responses keep getting hit.
+        plan = FaultPlan(seed=21, models=[StuckAt(probability=0.01, value=0.0)])
+        board = plan.attach_to_board(self._board())
+        enrollment = board.enroll()
+        single_flips = 0
+        for _ in range(20):
+            single = board.response(NOMINAL_OPERATING_POINT, enrollment)
+            single_flips += int(np.sum(single != enrollment.bits))
+        assert single_flips > 0  # the faults really do flip raw reads
+        plan.reset()
+        voted = board.response_voted(NOMINAL_OPERATING_POINT, enrollment, votes=9)
+        assert np.array_equal(voted, enrollment.bits)
+        assert plan.total_injected > 0
+
+
+class TestChaosPlan:
+    TASKS = ["alpha", "bravo", "charlie", "delta"]
+
+    def test_assignment_deterministic(self):
+        one = ChaosPlan(seed=3).assign(list(self.TASKS))
+        two = ChaosPlan(seed=3).assign(list(reversed(self.TASKS)))
+        assert one == two
+
+    def test_crash_and_hang_land_on_distinct_tasks(self):
+        for seed in range(20):
+            assignment = ChaosPlan(seed=seed).assign(list(self.TASKS))
+            assert assignment.crash_task != assignment.hang_task
+
+    def test_disabled_faults_unassigned(self):
+        plan = ChaosPlan(seed=0, crash=False, hang=False, corrupt_cache=False)
+        assignment = plan.assign(list(self.TASKS))
+        assert assignment.crash_task is None
+        assert assignment.hang_task is None
+        assert assignment.corrupt_task is None
+
+    def test_empty_task_list_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosPlan(seed=0).assign([])
+
+    def test_worker_action_fires_on_first_dispatch_only(self):
+        assignment = ChaosPlan(seed=5).assign(list(self.TASKS))
+        assert chaos_worker_action(assignment, assignment.crash_task, 1) == "crash"
+        assert chaos_worker_action(assignment, assignment.crash_task, 2) is None
+        assert chaos_worker_action(assignment, assignment.hang_task, 1) == "hang"
+        assert chaos_worker_action(assignment, assignment.hang_task, 2) is None
+        clean = [
+            t
+            for t in self.TASKS
+            if t not in (assignment.crash_task, assignment.hang_task)
+        ]
+        assert chaos_worker_action(assignment, clean[0], 1) is None
+        assert chaos_worker_action(None, "anything", 1) is None
+
+    def test_single_task_stacks_crash_then_hang(self):
+        assignment = ChaosPlan(seed=0).assign(["solo"])
+        assert assignment.crash_task == assignment.hang_task == "solo"
+        assert chaos_worker_action(assignment, "solo", 1) == "crash"
+        assert chaos_worker_action(assignment, "solo", 2) == "hang"
+        assert chaos_worker_action(assignment, "solo", 3) is None

@@ -1,0 +1,324 @@
+"""Tests of the fault-tolerant measurement schemes: overdetermined
+leave-one-out with residual-based localization, robust least squares, and
+median-of-k chain delays."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.measurement import (
+    DelayMeasurer,
+    leave_one_out_vectors,
+    measure_ddiffs_leave_one_out,
+    measure_ddiffs_overdetermined,
+    overdetermined_vectors,
+    robust_least_squares,
+)
+from repro.core.ring import ConfigurableRO
+from repro.faults import CounterGlitch, Dropout, FaultPlan
+from repro.variation.noise import GaussianNoise, NoiselessMeasurement
+
+STAGES = 8
+NOISE_SIGMA = 5e-4
+
+
+@pytest.fixture()
+def ring(chip):
+    return ConfigurableRO(chip=chip, unit_indices=np.arange(STAGES))
+
+
+def noisy_measurer(seed=0, sigma=NOISE_SIGMA, repeats=1):
+    return DelayMeasurer(
+        noise=GaussianNoise(relative_sigma=sigma),
+        repeats=repeats,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def build_design(stage_count, extra=None):
+    configs = overdetermined_vectors(stage_count, extra)
+    matrix = np.stack([c.as_array().astype(float) for c in configs])
+    return configs, np.column_stack([np.ones(len(configs)), matrix])
+
+
+def synthetic_system(rng, stage_count=STAGES, extra=None, sigma=1e-3):
+    """A random (params, design, noisy measurements) triple."""
+    _, design = build_design(stage_count, extra)
+    params = np.concatenate(
+        [[10.0 + rng.normal(0, 0.5)], rng.normal(1.0, 0.05, stage_count)]
+    )
+    clean = design @ params
+    measured = clean + rng.normal(0.0, sigma, len(clean))
+    return params, design, measured
+
+
+class TestOverdeterminedVectors:
+    def test_default_doubles_the_system(self):
+        vectors = overdetermined_vectors(STAGES)
+        assert len(vectors) == 2 * STAGES + 1
+
+    def test_prefix_is_the_loo_set(self):
+        vectors = overdetermined_vectors(STAGES, extra=3)
+        loo = leave_one_out_vectors(STAGES)
+        assert [v.to_string() for v in vectors[: STAGES + 1]] == [
+            v.to_string() for v in loo
+        ]
+
+    def test_rows_are_distinct(self):
+        vectors = overdetermined_vectors(6)
+        strings = [v.to_string() for v in vectors]
+        assert len(strings) == len(set(strings))
+
+    @pytest.mark.parametrize("stage_count", [4, 5, 6, 8])
+    def test_every_stage_dropped_by_three_rows(self, stage_count):
+        # The identifiability requirement: the fault direction of stage j
+        # is supported only on rows dropping j, so >= 3 such rows make a
+        # single faulted row uniquely attributable.
+        vectors = overdetermined_vectors(stage_count)
+        drops = np.zeros(stage_count, dtype=int)
+        for vector in vectors:
+            drops += ~np.asarray(vector.as_array(), dtype=bool)
+        assert np.all(drops >= 3)
+
+    def test_extra_zero_is_the_square_system(self):
+        assert len(overdetermined_vectors(5, extra=0)) == 6
+
+    def test_rejects_impossible_extra(self):
+        # 3 stages offer 2**3 - 3 - 1 = 4 redundancy vectors.
+        assert len(overdetermined_vectors(3, extra=4)) == 8
+        with pytest.raises(ValueError, match="redundancy"):
+            overdetermined_vectors(3, extra=5)
+        with pytest.raises(ValueError):
+            overdetermined_vectors(4, extra=-1)
+
+
+class TestRobustLeastSquares:
+    def test_square_system_passthrough(self, rng):
+        params, design, measured = synthetic_system(rng, extra=0, sigma=0.0)
+        solution, flagged, residuals, rms = robust_least_squares(design, measured)
+        assert np.allclose(solution, params, atol=1e-9)
+        assert flagged.size == 0
+        assert rms < 1e-9
+
+    def test_clean_overdetermined_rarely_flags(self, rng):
+        false_positives = 0
+        for _ in range(30):
+            _, design, measured = synthetic_system(rng)
+            _, flagged, _, _ = robust_least_squares(design, measured)
+            false_positives += flagged.size
+        # PRESS-based re-estimation keeps clean-row rejection ~1%.
+        assert false_positives <= len(design) * 30 * 0.05
+
+    def test_single_gross_fault_localized_and_excised(self, rng):
+        params, design, measured = synthetic_system(rng)
+        measured = measured.copy()
+        measured[4] *= 5.0
+        solution, flagged, residuals, _ = robust_least_squares(design, measured)
+        assert 4 in flagged.tolist()
+        assert flagged.size <= 2  # at most one extra conservative rejection
+        assert np.allclose(solution, params, atol=1e-2)
+        assert np.nanargmax(np.abs(residuals)) == 4
+
+    def test_dropout_rows_flagged_not_fatal(self, rng):
+        params, design, measured = synthetic_system(rng)
+        measured = measured.copy()
+        measured[2] = np.nan
+        measured[9] = np.nan
+        solution, flagged, residuals, _ = robust_least_squares(design, measured)
+        assert {2, 9}.issubset(set(flagged.tolist()))
+        assert np.isnan(residuals[2]) and np.isnan(residuals[9])
+        assert np.allclose(solution, params, atol=1e-2)
+
+    def test_too_few_finite_rows_raises(self, rng):
+        _, design, measured = synthetic_system(rng, extra=0)
+        measured = measured.copy()
+        measured[:3] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            robust_least_squares(design, measured)
+
+    def test_rank_deficient_design_raises(self, rng):
+        design = np.ones((12, 4))  # all rows identical: rank 1
+        with pytest.raises(ValueError):
+            robust_least_squares(design, np.ones(12))
+
+    def test_pure_function_of_inputs(self, rng):
+        _, design, measured = synthetic_system(rng)
+        measured = measured.copy()
+        measured[7] *= 4.0
+        first = robust_least_squares(design, measured)
+        second = robust_least_squares(design, measured)
+        assert first[0].tobytes() == second[0].tobytes()
+        assert np.array_equal(first[1], second[1])
+
+
+class TestSingleFaultLocalizationProperty:
+    """Acceptance: >= 90% of single-row faults localized; robust beats naive."""
+
+    TRIALS = 120
+
+    def test_localization_rate_and_recovery(self):
+        rng = np.random.default_rng(2026)
+        localized = 0
+        robust_errors = []
+        naive_errors = []
+        for _ in range(self.TRIALS):
+            params, design, measured = synthetic_system(rng)
+            row = int(rng.integers(0, len(measured)))
+            factor = float(rng.uniform(2.5, 8.0))
+            faulted = measured.copy()
+            faulted[row] *= factor
+            solution, flagged, _, _ = robust_least_squares(design, faulted)
+            if row in flagged.tolist():
+                localized += 1
+            naive, *_ = np.linalg.lstsq(design, faulted, rcond=None)
+            robust_errors.append(np.max(np.abs(solution - params)))
+            naive_errors.append(np.max(np.abs(naive - params)))
+        assert localized >= 0.9 * self.TRIALS
+        # Recovered estimates beat the unscreened least-squares solve by
+        # orders of magnitude under faults.
+        assert np.median(robust_errors) < np.median(naive_errors) / 100.0
+
+    def test_beats_square_system_under_loo_fault(self, ring):
+        # Fault a leave-one-out row: the square Sec. III.B scheme eats it
+        # as a corrupted ddiff; the overdetermined screen excises it.
+        truth = ring.ddiffs()
+        square_errs = []
+        robust_errs = []
+        for seed in range(10):
+            estimate = measure_ddiffs_leave_one_out(
+                noisy_measurer(seed=seed), ring
+            )
+            # corrupt the measurement of LOO row 3 (stage 2) by 4x
+            corrupted = estimate.measurements.copy()
+            corrupted[3] *= 4.0
+            square_ddiffs = corrupted[0] - corrupted[1:]
+            square_errs.append(np.max(np.abs(square_ddiffs - truth)))
+            over = measure_ddiffs_overdetermined(noisy_measurer(seed=seed), ring)
+            faulted = over.measurements.copy()
+            faulted[3] *= 4.0
+            _, design = build_design(ring.stage_count)
+            solution, flagged, _, _ = robust_least_squares(design, faulted)
+            robust_errs.append(np.max(np.abs(solution[1:] - truth)))
+            assert 3 in flagged.tolist()
+        assert np.median(robust_errs) < np.median(square_errs) / 50.0
+
+
+class TestMeasureDdiffsOverdetermined:
+    def test_noiseless_is_exact_and_clean(self, ring):
+        measurer = DelayMeasurer(noise=NoiselessMeasurement(), repeats=1)
+        estimate = measure_ddiffs_overdetermined(measurer, ring)
+        assert np.allclose(estimate.ddiffs, ring.ddiffs(), rtol=1e-9)
+        assert estimate.fault_count == 0
+        assert estimate.residual_rms < 1e-12
+        assert len(estimate.configs) == 2 * ring.stage_count + 1
+
+    def test_recovers_intercept(self, ring):
+        from repro.core.config_vector import ConfigVector
+
+        measurer = DelayMeasurer(noise=NoiselessMeasurement(), repeats=1)
+        estimate = measure_ddiffs_overdetermined(measurer, ring)
+        bypass = ring.chain_delay(
+            ConfigVector.none_selected(ring.stage_count)
+        )
+        assert np.isclose(estimate.intercept, bypass, rtol=1e-9)
+
+    def test_detects_injected_glitch(self, ring):
+        # One glitch via the fault plan; deterministic seeds make this a
+        # stable pin, not a flaky roll: seed 3 faults exactly one row.
+        plan = FaultPlan(
+            seed=3, models=[CounterGlitch(probability=0.06, min_factor=3.0)]
+        )
+        measurer = plan.wrap_measurer(noisy_measurer(seed=1))
+        estimate = measure_ddiffs_overdetermined(measurer, ring)
+        assert plan.total_injected >= 1
+        assert estimate.fault_count >= 1
+        # an unexcised x3 glitch would shift a ddiff by ~2x the chain
+        # delay; the screened estimate stays within the noise band
+        scale = np.max(np.abs(estimate.measurements))
+        error = np.max(np.abs(estimate.ddiffs - ring.ddiffs()))
+        assert error < 20 * NOISE_SIGMA * scale
+
+    def test_dropouts_survive(self, ring):
+        plan = FaultPlan(seed=2, models=[Dropout(probability=0.08)])
+        measurer = plan.wrap_measurer(noisy_measurer(seed=4))
+        estimate = measure_ddiffs_overdetermined(measurer, ring)
+        assert plan.total_injected >= 1
+        assert np.all(np.isfinite(estimate.ddiffs))
+        assert estimate.fault_count >= plan.total_injected
+
+    def test_fault_counter_metric(self, ring):
+        obs.enable_metrics()
+        obs.reset_metrics()
+        try:
+            plan = FaultPlan(seed=3, models=[CounterGlitch(probability=0.06)])
+            measurer = plan.wrap_measurer(noisy_measurer(seed=1))
+            estimate = measure_ddiffs_overdetermined(measurer, ring)
+            counters = obs.snapshot()["counters"]
+            assert counters["measurement.faults_detected"] == estimate.fault_count
+        finally:
+            obs.disable_metrics()
+            obs.reset_metrics()
+
+    def test_deterministic(self, ring):
+        runs = []
+        for _ in range(2):
+            plan = FaultPlan(seed=3, models=[CounterGlitch(probability=0.06)])
+            estimate = measure_ddiffs_overdetermined(
+                plan.wrap_measurer(noisy_measurer(seed=1)), ring
+            )
+            runs.append(
+                (estimate.ddiffs.tobytes(), estimate.flagged.tobytes())
+            )
+        assert runs[0] == runs[1]
+
+
+class TestChainDelaysRobust:
+    def test_matches_truth_without_faults(self, ring):
+        configs = leave_one_out_vectors(ring.stage_count)
+        measurer = DelayMeasurer(noise=NoiselessMeasurement(), repeats=1)
+        robust = measurer.chain_delays_robust(ring, configs, k=5)
+        truth = ring.chain_delays(configs)
+        assert np.allclose(robust, truth, rtol=1e-12)
+
+    def test_single_glitch_cannot_move_the_estimate(self, ring):
+        configs = leave_one_out_vectors(ring.stage_count)
+        truth = ring.chain_delays(configs)
+        plan = FaultPlan(seed=5, models=[CounterGlitch(probability=0.05)])
+        measurer = plan.wrap_measurer(noisy_measurer(seed=9))
+        robust = measurer.chain_delays_robust(ring, configs, k=5)
+        assert plan.total_injected >= 1
+        assert np.max(np.abs(robust / truth - 1.0)) < 10 * NOISE_SIGMA
+        # the mean path absorbs the same glitches wholesale
+        plan.reset()
+        mean_measurer = plan.wrap_measurer(noisy_measurer(seed=9, repeats=5))
+        averaged = mean_measurer.chain_delays(ring, configs)
+        assert np.max(np.abs(averaged / truth - 1.0)) > 50 * NOISE_SIGMA
+
+    def test_all_dropout_config_yields_nan(self, ring):
+        configs = leave_one_out_vectors(ring.stage_count)
+        plan = FaultPlan(seed=0, models=[Dropout(probability=1.0)])
+        measurer = plan.wrap_measurer(noisy_measurer())
+        robust = measurer.chain_delays_robust(ring, configs, k=3)
+        assert np.all(np.isnan(robust))
+
+    def test_rejection_metrics(self, ring):
+        configs = leave_one_out_vectors(ring.stage_count)
+        obs.enable_metrics()
+        obs.reset_metrics()
+        try:
+            plan = FaultPlan(seed=5, models=[CounterGlitch(probability=0.05)])
+            measurer = plan.wrap_measurer(noisy_measurer(seed=9))
+            measurer.chain_delays_robust(ring, configs, k=5)
+            counters = obs.snapshot()["counters"]
+            assert counters.get("measurement.robust.outliers_rejected", 0) >= 1
+        finally:
+            obs.disable_metrics()
+            obs.reset_metrics()
+
+    def test_validation(self, ring):
+        configs = leave_one_out_vectors(ring.stage_count)
+        measurer = noisy_measurer()
+        with pytest.raises(ValueError):
+            measurer.chain_delays_robust(ring, configs, k=0)
+        with pytest.raises(ValueError):
+            measurer.chain_delays_robust(ring, configs, mad_threshold=0.0)

@@ -179,13 +179,22 @@ class TestGracefulDegradation:
 
         scratch_task("always_fails", explode, uses_dataset=False)
         summary = run_pipeline(tasks=["always_fails", "table5_bits"], timings=True)
-        assert summary["always_fails"] == {
-            "error": "RuntimeError: boom",
-            "attempts": 2,
-        }
+        entry = summary["always_fails"]
+        assert entry["error"] == "RuntimeError: boom"
+        assert entry["attempts"] == 2
+        # the cause survives the retry: exception type and full traceback
+        assert entry["error_type"] == "RuntimeError"
+        assert "RuntimeError: boom" in entry["traceback"]
+        assert "explode" in entry["traceback"]
         # the healthy task still ran to completion
         assert summary["table5_bits"]["n=3"]["configurable"] == 80
         assert summary["_pipeline"]["failures"] == 1
+        # every failed attempt is on the record
+        by_task = _timings_by_task(summary["_pipeline"])
+        history = by_task["always_fails"]["failure_history"]
+        assert [h["attempt"] for h in history] == [1, 2]
+        assert all(h["kind"] == "exception" for h in history)
+        assert by_task["table5_bits"]["failure_history"] == []
 
     def test_retry_once_recovers_flaky_task(self, scratch_task):
         calls = {"n": 0}

@@ -114,6 +114,79 @@ class TestResultCache:
         assert cache.sweep_stale_tmp() == 0
 
 
+class TestQuarantine:
+    """Unparseable cache entries are renamed ``*.corrupt``, not re-read."""
+
+    def test_zero_byte_entry_quarantined(self, cache):
+        path = cache.store("mytask", "fp", {"v": 1})
+        path.write_bytes(b"")
+        assert cache.load("mytask", "fp") is None
+        assert not path.exists()
+        assert path.with_name(f"{path.name}.corrupt").exists()
+
+    def test_truncated_entry_quarantined(self, cache):
+        path = cache.store("mytask", "fp", {"v": 1})
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert cache.load("mytask", "fp") is None
+        quarantined = path.with_name(f"{path.name}.corrupt")
+        assert quarantined.read_bytes() == data[: len(data) // 2]
+
+    def test_quarantined_entry_is_out_of_the_way(self, cache):
+        # after quarantine, a store + load round-trip works again and the
+        # .corrupt file is left for post-mortem inspection
+        path = cache.store("mytask", "fp", {"v": 1})
+        path.write_bytes(b"\x00junk")
+        assert cache.load("mytask", "fp") is None
+        cache.store("mytask", "fp", {"v": 2})
+        assert cache.load("mytask", "fp") == {"v": 2}
+        assert len(list(cache.root.glob("*.corrupt"))) == 1
+
+    def test_metadata_mismatch_is_not_quarantined(self, cache):
+        # valid JSON with wrong metadata is a plain miss: the bytes are
+        # intact, just keyed wrong — nothing to quarantine
+        path = cache.store("mytask", "fp", {"v": 1})
+        payload = json.loads(path.read_text())
+        payload["fingerprint"] = "someone-elses-data"
+        path.write_text(json.dumps(payload))
+        assert cache.load("mytask", "fp") is None
+        assert path.exists()
+        assert not list(cache.root.glob("*.corrupt"))
+
+    def test_quarantine_increments_counter(self, cache):
+        from repro import obs
+
+        path = cache.store("mytask", "fp", {"v": 1})
+        path.write_bytes(b"not json")
+        obs.enable_metrics()
+        obs.reset_metrics()
+        try:
+            assert cache.load("mytask", "fp") is None
+            counters = obs.snapshot()["counters"]
+            assert counters["cache.corrupt_quarantined"] == 1
+        finally:
+            obs.disable_metrics()
+            obs.reset_metrics()
+
+    def test_sweep_removes_stale_corrupt_files(self, cache):
+        import os
+        import time
+
+        path = cache.store("mytask", "fp", {"v": 1})
+        path.write_bytes(b"junk")
+        assert cache.load("mytask", "fp") is None
+        quarantined = path.with_name(f"{path.name}.corrupt")
+        assert quarantined.exists()
+        # fresh quarantine files survive the sweep (post-mortem window)...
+        assert cache.sweep_stale_tmp() == 0
+        assert quarantined.exists()
+        # ...stale ones are garbage-collected
+        old = time.time() - 7200
+        os.utime(quarantined, (old, old))
+        assert cache.sweep_stale_tmp() == 1
+        assert not quarantined.exists()
+
+
 class TestPipelineCaching:
     TASKS = ["table5_bits", "sec4e_threshold"]
 
