@@ -38,6 +38,16 @@ Two observability verbs round out the tooling::
 
 ``bench compare`` exits non-zero when any metric regressed past the
 threshold (or when the artifacts are incomparable), so CI can gate on it.
+
+``ropuf serve`` stands up the CRP authentication service
+(:mod:`repro.serve`, see docs/serving.md): a synthetic device fleet is
+enrolled into a crash-safe store (``--store PATH`` to persist it) and
+served over a length-prefixed socket protocol with request coalescing
+onto the vectorized batch engines.  ``--bench`` instead runs the built-in
+load generator against an ephemeral in-process server (``--clients`` x
+``--auths`` authentication rounds) and prints a latency-percentile
+summary; the exit code is non-zero if any authentication failed, so CI
+can gate on it.
 """
 
 from __future__ import annotations
@@ -239,6 +249,83 @@ def _cmd_bench(args) -> tuple[str, int]:
     return format_bench_compare(result), 0 if result["ok"] else 1
 
 
+def _cmd_serve(args) -> tuple[str, int]:
+    """Run the CRP authentication service (or its load benchmark)."""
+    import json
+
+    from .serve import (
+        AuthServer,
+        AuthService,
+        CRPStore,
+        DeviceFarm,
+        FleetConfig,
+        RequestCoalescer,
+        run_load,
+    )
+
+    farm = DeviceFarm.from_config(
+        FleetConfig(
+            boards=args.boards,
+            ro_count=args.ro_count,
+            stage_count=args.stages,
+            method=args.fleet_method,
+            seed=args.seed,
+        )
+    )
+    service = AuthService(
+        farm,
+        CRPStore(args.store),
+        coalescer=RequestCoalescer(
+            max_batch=args.max_batch, max_wait_s=args.window
+        ),
+        threshold_fraction=args.auth_threshold,
+        seed=args.seed,
+    )
+    enrollment = service.enroll_fleet()
+    server = AuthServer(service, address=(args.host, args.port))
+    if args.bench:
+        server.start()
+        host, port = server.address
+        try:
+            summary = run_load(
+                host,
+                port,
+                clients=args.clients,
+                auths_per_client=args.auths,
+                farm=farm,
+            )
+            summary["enrollment"] = {
+                "enrolled": len(enrollment["enrolled"]),
+                "reused": len(enrollment["reused"]),
+            }
+            summary["coalescer"] = service.coalescer.stats()
+            summary["store"] = service.store.stats()
+        finally:
+            server.stop()
+        text = json.dumps(summary, indent=2)
+        output = getattr(args, "output", None)
+        if output:
+            from pathlib import Path
+
+            Path(output).write_text(text)
+        return text, 0 if summary["failures"] == 0 else 1
+    host, port = server.address
+    print(
+        f"ropuf serve: {len(farm)} devices "
+        f"({len(enrollment['enrolled'])} enrolled, "
+        f"{len(enrollment['reused'])} reused) on {host}:{port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return "", 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -261,6 +348,7 @@ _COMMANDS = {
 _TOOL_COMMANDS = {
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
 }
 
 
@@ -375,6 +463,99 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=10,
         help="how many spans to list by self-time (default: 10)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the CRP authentication service (docs/serving.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port; 0 picks an ephemeral port (default: 0)",
+    )
+    serve.add_argument(
+        "--boards",
+        type=int,
+        default=4,
+        help="synthetic fleet size (default: 4)",
+    )
+    serve.add_argument(
+        "--ro-count",
+        type=int,
+        default=320,
+        help="delay units per board (default: 320 -> 32 response bits)",
+    )
+    serve.add_argument(
+        "--stages",
+        type=int,
+        default=5,
+        help="units per configurable ring (default: 5)",
+    )
+    serve.add_argument(
+        "--fleet-method",
+        choices=("case1", "case2", "traditional"),
+        default="case1",
+        help="selection method used at fleet enrollment (default: case1)",
+    )
+    serve.add_argument(
+        "--seed",
+        type=int,
+        default=20140601,
+        help="fleet/dataset seed; reuse it to resume a persisted store",
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="crash-safe CRP store journal (default: in-memory only)",
+    )
+    serve.add_argument(
+        "--auth-threshold",
+        type=float,
+        default=0.15,
+        help="accepted Hamming-distance fraction (default: 0.15)",
+    )
+    serve.add_argument(
+        "--window",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help="coalescing window: how long a request waits for batch "
+        "company (default: 0.002)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="coalesced batch-size ceiling (default: 64)",
+    )
+    serve.add_argument(
+        "--bench",
+        action="store_true",
+        help="run the load generator against an ephemeral server and "
+        "print a latency-percentile summary (non-zero exit on failures)",
+    )
+    serve.add_argument(
+        "--clients",
+        type=int,
+        default=100,
+        help="concurrent load-generator clients (default: 100)",
+    )
+    serve.add_argument(
+        "--auths",
+        type=int,
+        default=10,
+        help="authentication rounds per client (default: 10)",
+    )
+    serve.add_argument(
+        "--output",
+        default=None,
+        help="also write the --bench summary JSON to this path",
     )
 
     bench = subparsers.add_parser(

@@ -52,7 +52,10 @@ __all__ = [
     "SWEEP_DRAW_ORDER",
     "CompiledEnrollment",
     "BatchEvaluator",
+    "PairDelayRequest",
     "compile_enrollment",
+    "coalesce_pair_delays",
+    "coalesce_responses",
     "response_loop_reference",
     "enroll_loop_reference",
     "chip_enroll_loop_reference",
@@ -183,6 +186,29 @@ class BatchEvaluator:
         )
         return top, bottom
 
+    def delay_request(self, op: OperatingPoint) -> "PairDelayRequest":
+        """Gather this evaluator's delay rows for one coalescable evaluation.
+
+        The returned request carries the fancy-indexed ring-delay rows and
+        the selection masks; :func:`coalesce_pair_delays` concatenates many
+        such requests (from *different* evaluators — a whole device fleet)
+        and reduces them with one ``einsum`` per stage width, so a batch of
+        concurrent authentications costs two array reductions instead of
+        two per request.
+
+        Raises whatever the evaluator's ``delay_provider`` raises for an
+        unmeasured operating point (``KeyError`` for dataset boards), so
+        callers can fail one request without poisoning a batch.
+        """
+        rings = self._ring_delays(op)
+        compiled = self.compiled
+        return PairDelayRequest(
+            top_rows=rings[compiled.top_rings],
+            bottom_rows=rings[compiled.bottom_rings],
+            top_masks=compiled.top_masks,
+            bottom_masks=compiled.bottom_masks,
+        )
+
     def sweep_delays(
         self, ops: Sequence[OperatingPoint] | Iterable[OperatingPoint]
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -308,6 +334,121 @@ class BatchEvaluator:
 def _validate_votes(votes: int) -> None:
     if votes < 1 or votes % 2 == 0:
         raise ValueError(f"votes must be odd and positive, got {votes}")
+
+
+# ----------------------------------------------------------------------
+# Fleet coalescing: many (evaluator, op) evaluations, one einsum
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PairDelayRequest:
+    """One evaluation's delay rows and masks, ready for fleet coalescing.
+
+    Produced by :meth:`BatchEvaluator.delay_request`; consumed (possibly
+    concatenated with requests from *other* devices) by
+    :func:`coalesce_pair_delays`.
+
+    Attributes:
+        top_rows / bottom_rows: ``(pair_count, stage_count)`` ring-delay
+            rows, already fancy-indexed per pair.
+        top_masks / bottom_masks: the matching 0/1 selection masks.
+    """
+
+    top_rows: np.ndarray
+    bottom_rows: np.ndarray
+    top_masks: np.ndarray
+    bottom_masks: np.ndarray
+
+    @property
+    def pair_count(self) -> int:
+        return self.top_rows.shape[0]
+
+    @property
+    def stage_count(self) -> int:
+        return self.top_rows.shape[1]
+
+
+def coalesce_pair_delays(
+    requests: Sequence[PairDelayRequest],
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """(top, bottom) delay sums for many requests via grouped ``einsum``.
+
+    Requests are grouped by stage width; within a group every request's top
+    and bottom rows are stacked into one matrix and reduced with a *single*
+    ``einsum`` call.  Because the reduction runs row-by-row over the same
+    stage axis, each request's sums are **bit-identical** to evaluating it
+    alone through :meth:`BatchEvaluator.pair_delays` — the serve layer's
+    coalesced-equals-serial guarantee rests on this (pinned by
+    ``tests/test_serve_coalescer.py``).
+
+    Returns one ``(top, bottom)`` tuple per request, in request order.
+    """
+    if not requests:
+        return []
+    by_width: dict[int, list[int]] = {}
+    for index, request in enumerate(requests):
+        by_width.setdefault(request.stage_count, []).append(index)
+    results: list[tuple[np.ndarray, np.ndarray] | None] = [None] * len(requests)
+    for indices in by_width.values():
+        group = [requests[i] for i in indices]
+        rows = np.concatenate(
+            [r.top_rows for r in group] + [r.bottom_rows for r in group]
+        )
+        masks = np.concatenate(
+            [r.top_masks for r in group] + [r.bottom_masks for r in group]
+        )
+        sums = np.einsum("ps,ps->p", rows, masks)
+        top_total = sum(r.pair_count for r in group)
+        tops, bottoms = sums[:top_total], sums[top_total:]
+        offset = 0
+        for slot, request in zip(indices, group):
+            span_end = offset + request.pair_count
+            results[slot] = (tops[offset:span_end], bottoms[offset:span_end])
+            offset = span_end
+    obs.counter_add("batch.coalesced_requests", len(requests))
+    obs.histogram_observe("batch.coalesce_size", len(requests))
+    return results  # type: ignore[return-value]
+
+
+def coalesce_responses(
+    entries: Sequence[tuple["BatchEvaluator", OperatingPoint]],
+    requests: Sequence[PairDelayRequest] | None = None,
+) -> list[np.ndarray]:
+    """Response bits for many (evaluator, op) evaluations in one pass.
+
+    The delay reductions of the whole batch are coalesced through
+    :func:`coalesce_pair_delays`; measurement noise is then observed
+    per entry **in entry order** with each evaluator's own noise model and
+    RNG — exactly the draws :meth:`BatchEvaluator.response` would make —
+    so a coalesced batch is byte-identical to evaluating the entries one
+    at a time in the same order.
+
+    Args:
+        entries: the evaluations to run.
+        requests: pre-gathered delay requests (one per entry); supplied by
+            callers that validate operating points per request before
+            batching.  Gathered from ``entries`` when omitted.
+    """
+    if requests is None:
+        requests = [ev.delay_request(op) for ev, op in entries]
+    if len(requests) != len(entries):
+        raise ValueError(
+            f"{len(entries)} entries but {len(requests)} delay requests"
+        )
+    with obs.span("batch.coalesce_responses", batch=len(entries)):
+        delays = coalesce_pair_delays(requests)
+        responses = []
+        for (evaluator, _), (top, bottom) in zip(entries, delays):
+            top_observed = evaluator.response_noise.observe(top, evaluator.rng)
+            bottom_observed = evaluator.response_noise.observe(
+                bottom, evaluator.rng
+            )
+            responses.append(top_observed > bottom_observed)
+        obs.counter_add(
+            "batch.bits_evaluated", sum(r.size for r in responses)
+        )
+        return responses
 
 
 def response_loop_reference(

@@ -31,6 +31,7 @@ from .metrics import (
     metrics_enabled,
     reset_metrics,
     snapshot,
+    timed,
 )
 from .report import (
     BENCH_SCHEMA,
@@ -73,6 +74,7 @@ __all__ = [
     "counter_add",
     "gauge_set",
     "histogram_observe",
+    "timed",
     "snapshot",
     "merge_snapshots",
     "BENCH_SCHEMA",

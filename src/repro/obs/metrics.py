@@ -25,6 +25,9 @@ the full list lives in ``docs/observability.md``.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
+
 __all__ = [
     "METRICS_SCHEMA",
     "metrics_enabled",
@@ -34,6 +37,7 @@ __all__ = [
     "counter_add",
     "gauge_set",
     "histogram_observe",
+    "timed",
     "snapshot",
     "merge_snapshots",
 ]
@@ -104,6 +108,24 @@ def histogram_observe(name: str, value: float) -> None:
         histogram["min"] = value
     if value > histogram["max"]:
         histogram["max"] = value
+
+
+@contextmanager
+def timed(name: str):
+    """Time a block and fold its duration (milliseconds) into a histogram.
+
+    The request-latency histograms of the serve layer
+    (``serve.latency_ms.<verb>``) ride this.  Like every recording call it
+    is a no-op while metrics are disabled — one flag check, no clock read.
+    """
+    if not _enabled:
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        histogram_observe(name, (time.perf_counter() - started) * 1000.0)
 
 
 def snapshot() -> dict:

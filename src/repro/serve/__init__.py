@@ -1,0 +1,75 @@
+"""repro.serve — the CRP authentication service (``ropuf serve``).
+
+Turns the experiment stack into a long-running serving system: a device
+fleet is enrolled into a persistent, crash-safe CRP/helper-data store
+(:mod:`~repro.serve.store`); challenge-response authentication, device
+attestation, and fuzzy-extractor key regeneration are served over a
+length-prefixed socket protocol (:mod:`~repro.serve.protocol`,
+:mod:`~repro.serve.server`); and concurrent evaluations are coalesced
+onto the vectorized batch engines (:mod:`~repro.serve.coalescer`,
+:func:`repro.core.batch.coalesce_responses`) so throughput rides the
+einsum path instead of per-request loops.
+
+Quick start::
+
+    from repro.serve import (
+        AuthServer, AuthService, CRPStore, DeviceFarm, FleetConfig,
+    )
+
+    farm = DeviceFarm.from_config(FleetConfig(boards=4))
+    service = AuthService(farm, CRPStore("crp.jsonl"))
+    service.enroll_fleet()
+    with AuthServer(service).start() as server:
+        host, port = server.address
+        ...
+
+See ``docs/serving.md`` for the protocol frame catalogue, the store's
+durability contract, the coalescing model, and the metrics it emits.
+"""
+
+from .client import AuthClient, ServeClientError
+from .coalescer import RequestCoalescer
+from .fleet import Device, DeviceFarm, FleetConfig
+from .load import percentiles, run_load
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameMalformed,
+    FrameTooLarge,
+    FrameTruncated,
+    ProtocolError,
+    decode_bits,
+    encode_bits,
+    read_frame,
+    write_frame,
+)
+from .server import AuthServer
+from .service import AuthService, ServiceError
+from .store import STORE_SCHEME, CRPStore, DeviceRecord
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "FrameMalformed",
+    "FrameTooLarge",
+    "FrameTruncated",
+    "read_frame",
+    "write_frame",
+    "encode_bits",
+    "decode_bits",
+    "STORE_SCHEME",
+    "CRPStore",
+    "DeviceRecord",
+    "FleetConfig",
+    "Device",
+    "DeviceFarm",
+    "RequestCoalescer",
+    "AuthService",
+    "ServiceError",
+    "AuthServer",
+    "AuthClient",
+    "ServeClientError",
+    "run_load",
+    "percentiles",
+]

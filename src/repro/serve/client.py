@@ -1,0 +1,110 @@
+"""A small blocking client for the serve protocol.
+
+Used by the load generator, the tests, and as reference code for anyone
+wiring a real verifier to the service.  One :class:`AuthClient` holds one
+persistent connection; calls are synchronous request/response pairs.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+
+from ..variation.environment import OperatingPoint
+from .protocol import MAX_FRAME_BYTES, encode_bits, read_frame, write_frame
+
+__all__ = ["AuthClient", "ServeClientError"]
+
+
+class ServeClientError(Exception):
+    """Transport-level failure: connection lost or stream desynchronised."""
+
+
+class AuthClient:
+    """One connection to an :class:`~repro.serve.server.AuthServer`.
+
+    Args:
+        host / port: server address (e.g. ``server.address``).
+        timeout: per-operation socket timeout in seconds.
+        max_frame_bytes: must match the server's ceiling.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        self.max_frame_bytes = max_frame_bytes
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+
+    def call(self, op: str, **fields) -> dict:
+        """Send one ``{"op": op, **fields}`` frame, return the response.
+
+        Raises:
+            ServeClientError: when the server closed the connection or the
+                transport failed mid-exchange.
+        """
+        try:
+            write_frame(self._wfile, {"op": op, **fields}, self.max_frame_bytes)
+            response = read_frame(self._rfile, self.max_frame_bytes)
+        except OSError as exc:
+            raise ServeClientError(f"transport failure: {exc}") from exc
+        if response is None:
+            raise ServeClientError("server closed the connection")
+        return response
+
+    # Convenience wrappers, one per verb -------------------------------
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def devices(self) -> list[str]:
+        return self.call("devices").get("devices", [])
+
+    def challenge(self, device: str) -> dict:
+        return self.call("challenge", device=device)
+
+    def auth(self, device: str, challenge_id: str, answer) -> dict:
+        """Answer a challenge; ``answer`` is a bit vector or bit string."""
+        if not isinstance(answer, str):
+            answer = encode_bits(np.asarray(answer))
+        return self.call(
+            "auth", device=device, challenge_id=challenge_id, answer=answer
+        )
+
+    def attest(self, device: str, op: OperatingPoint) -> dict:
+        return self.call(
+            "attest",
+            device=device,
+            voltage=op.voltage,
+            temperature=op.temperature,
+        )
+
+    def regen(self, device: str, op: OperatingPoint) -> dict:
+        return self.call(
+            "regen",
+            device=device,
+            voltage=op.voltage,
+            temperature=op.temperature,
+        )
+
+    def stats(self) -> dict:
+        return self.call("stats").get("stats", {})
+
+    def close(self) -> None:
+        for closer in (self._wfile, self._rfile, self._sock):
+            try:
+                closer.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "AuthClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

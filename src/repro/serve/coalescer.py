@@ -1,0 +1,212 @@
+"""Request coalescing: concurrent auths ride one vectorized dispatch.
+
+Every authentication or key regeneration needs one PUF evaluation.  Served
+naively, N concurrent requests cost N independent delay reductions; the
+:class:`RequestCoalescer` instead parks incoming requests for a short
+window (or until a batch fills) and dispatches the whole batch through
+:func:`repro.core.batch.coalesce_responses` — one ``einsum`` per stage
+width for the entire fleet slice, the same ~80x path the sweep engines
+ride.
+
+Correctness contract (pinned by ``tests/test_serve_coalescer.py``):
+
+* results are **byte-identical** to evaluating the same requests serially
+  in submission order — the delay reduction is bit-stable under
+  concatenation and noise is observed per request in order;
+* a request that fails to gather (unknown corner, broken provider) fails
+  *alone*: the rest of the batch dispatches normally;
+* evaluator RNGs are only ever advanced from the single dispatcher
+  thread, so devices' noise streams stay sequential no matter how many
+  server threads submit.
+
+The dispatcher is one daemon thread; ``submit`` blocks the calling
+(connection-handler) thread until its result lands, so server concurrency
+is unchanged — only the compute is batched.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from .. import obs
+from ..core.batch import BatchEvaluator, coalesce_responses
+from ..variation.environment import OperatingPoint
+
+__all__ = ["RequestCoalescer"]
+
+
+class _Job:
+    """One pending evaluation and its completion signal."""
+
+    __slots__ = ("evaluator", "op", "done", "result", "error")
+
+    def __init__(self, evaluator: BatchEvaluator, op: OperatingPoint):
+        self.evaluator = evaluator
+        self.op = op
+        self.done = threading.Event()
+        self.result: np.ndarray | None = None
+        self.error: BaseException | None = None
+
+
+class RequestCoalescer:
+    """Batches concurrent PUF evaluations onto the vectorized engine.
+
+    Args:
+        max_batch: dispatch as soon as this many requests are pending.
+        max_wait_s: how long the first request of a batch may wait for
+            company before the batch dispatches anyway.  The window bounds
+            added latency; 2 ms is invisible next to socket round-trips.
+    """
+
+    def __init__(self, max_batch: int = 64, max_wait_s: float = 0.002):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_s < 0.0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self._pending: deque[_Job] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._max_batch_seen = 0
+        self._thread = threading.Thread(
+            target=self._run, name="ropuf-coalescer", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Caller side
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        evaluator: BatchEvaluator,
+        op: OperatingPoint,
+        timeout: float = 30.0,
+    ) -> np.ndarray:
+        """Evaluate one response through the next coalesced batch.
+
+        Blocks until the dispatcher delivers this request's bits.
+
+        Raises:
+            RuntimeError: when the coalescer is closed (or the wait times
+                out — a dispatcher stall, which should never happen).
+            Exception: whatever the evaluator's delay gathering raised for
+                *this* request (e.g. ``KeyError`` for an unmeasured
+                operating point).
+        """
+        job = _Job(evaluator, op)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("coalescer is closed")
+            self._pending.append(job)
+            self._cond.notify()
+        if not job.done.wait(timeout):
+            raise RuntimeError(
+                f"coalesced evaluation timed out after {timeout}s"
+            )
+        if job.error is not None:
+            raise job.error
+        with self._stats_lock:
+            self._requests += 1
+        return job.result
+
+    def close(self) -> None:
+        """Stop accepting work; queued jobs drain, then the thread exits."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "RequestCoalescer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Batching counters (plain JSON): sizes, batch count, mean."""
+        with self._stats_lock:
+            batches = self._batches
+            batched = self._batched_requests
+            return {
+                "requests": self._requests,
+                "batches": batches,
+                "max_batch": self._max_batch_seen,
+                "mean_batch": (batched / batches) if batches else 0.0,
+            }
+
+    # ------------------------------------------------------------------
+    # Dispatcher side
+    # ------------------------------------------------------------------
+
+    def _collect(self) -> list[_Job] | None:
+        """Wait for work, then drain up to one batch (None on close)."""
+        with self._cond:
+            while not self._pending and not self._closed:
+                self._cond.wait()
+            if not self._pending and self._closed:
+                return None
+            deadline = time.monotonic() + self.max_wait_s
+            while (
+                len(self._pending) < self.max_batch and not self._closed
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    break
+                self._cond.wait(timeout=remaining)
+            batch = []
+            while self._pending and len(batch) < self.max_batch:
+                batch.append(self._pending.popleft())
+            return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch is None:
+                return
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list[_Job]) -> None:
+        # Gather per job so one bad operating point fails only its own
+        # request; everything that gathered cleanly is batched.
+        ready: list[_Job] = []
+        requests = []
+        for job in batch:
+            try:
+                requests.append(job.evaluator.delay_request(job.op))
+                ready.append(job)
+            except BaseException as exc:  # noqa: BLE001 - delivered to caller
+                job.error = exc
+                job.done.set()
+        if ready:
+            with obs.span("serve.coalesce.dispatch", batch=len(ready)):
+                try:
+                    responses = coalesce_responses(
+                        [(job.evaluator, job.op) for job in ready],
+                        requests=requests,
+                    )
+                    for job, bits in zip(ready, responses):
+                        job.result = bits
+                except BaseException as exc:  # noqa: BLE001
+                    for job in ready:
+                        job.error = exc
+                finally:
+                    for job in ready:
+                        job.done.set()
+            with self._stats_lock:
+                self._batches += 1
+                self._batched_requests += len(ready)
+                self._max_batch_seen = max(self._max_batch_seen, len(ready))
+            obs.histogram_observe("serve.coalesce.batch_size", len(ready))
+            obs.counter_add("serve.coalesce.batches")

@@ -1,0 +1,160 @@
+"""Device fleets for the serve layer: digital twins behind the server.
+
+The authentication service fronts a *device farm* — the measurement side
+of the deployment.  In this reproduction each device is a synthetic board
+from the VT-shaped dataset wrapped in a configurable PUF and its compiled
+batch evaluator; on real hardware the same interface would be backed by a
+board attached over JTAG/UART (ROADMAP item 5), which is why the farm is
+deliberately a thin mapping from device ids to evaluators rather than
+anything dataset-specific.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.batch import BatchEvaluator
+from ..core.pairing import allocate_rings
+from ..core.puf import BoardROPUF, Enrollment
+from ..datasets.base import BoardRecord, RODataset
+from ..datasets.vtlike import VTLikeConfig, generate_vt_like
+from ..variation.environment import OperatingPoint
+
+__all__ = ["FleetConfig", "Device", "DeviceFarm"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Parameters of a synthetic serve fleet.
+
+    The defaults yield 32 response bits per device (320 units, n = 5,
+    64 rings) — comfortably above the BCH(31, 16, t=3) code length the
+    default fuzzy extractor needs.
+
+    Attributes:
+        boards: fleet size (each board is measured over the full (V, T)
+            grid, so any corner can be requested in the field).
+        ro_count: delay units per board.
+        stage_count: units per configurable ring.
+        method: selection method (``"case1"``/``"case2"``/``"traditional"``).
+        require_odd: force odd selected stage counts.
+        seed: dataset master seed; the same seed rebuilds the same fleet,
+            which is what lets a restarted server reuse a persisted store.
+    """
+
+    boards: int = 4
+    ro_count: int = 320
+    stage_count: int = 5
+    method: str = "case1"
+    require_odd: bool = True
+    seed: int = 20140601
+
+
+@dataclass
+class Device:
+    """One farm entry: a board, its PUF, and the compiled evaluator.
+
+    Attributes:
+        device_id: identity presented on the wire.
+        board: the underlying measurements (corners define which operating
+            points the device can be evaluated at).
+        puf: the configurable PUF bound to the board.
+        enrollment: the reference enrollment (test-time configuration).
+        evaluator: compiled batch evaluator, shared by every evaluation.
+    """
+
+    device_id: str
+    board: BoardRecord
+    puf: BoardROPUF
+    enrollment: Enrollment
+    evaluator: BatchEvaluator
+
+    @property
+    def corners(self) -> list[OperatingPoint]:
+        """Operating points this device can be measured at."""
+        return self.board.corners
+
+
+class DeviceFarm:
+    """An ordered mapping of device ids to :class:`Device` twins."""
+
+    def __init__(self, devices: list[Device], enroll_op: OperatingPoint):
+        self._devices = {device.device_id: device for device in devices}
+        if len(self._devices) != len(devices):
+            raise ValueError("duplicate device ids in the fleet")
+        self.enroll_op = enroll_op
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: RODataset,
+        stage_count: int = 5,
+        method: str = "case1",
+        require_odd: bool = True,
+    ) -> "DeviceFarm":
+        """Wrap every swept board of ``dataset`` as one device.
+
+        Swept boards are required because field authentications name
+        arbitrary grid corners; enrollment happens at the dataset's
+        nominal corner.
+        """
+        boards = dataset.swept_boards
+        if not boards:
+            raise ValueError("dataset has no swept boards to build a fleet")
+        devices = []
+        for board in boards:
+            allocation = allocate_rings(board.ro_count, stage_count)
+            puf = BoardROPUF(
+                delay_provider=board.delay_provider(),
+                allocation=allocation,
+                method=method,
+                require_odd=require_odd,
+            )
+            enrollment = puf.enroll(dataset.nominal)
+            devices.append(
+                Device(
+                    device_id=board.name,
+                    board=board,
+                    puf=puf,
+                    enrollment=enrollment,
+                    evaluator=puf.batch(enrollment),
+                )
+            )
+        return cls(devices, enroll_op=dataset.nominal)
+
+    @classmethod
+    def from_config(cls, config: FleetConfig | None = None) -> "DeviceFarm":
+        """Generate a synthetic fleet (board enrollment is deterministic)."""
+        config = config or FleetConfig()
+        dataset = generate_vt_like(
+            VTLikeConfig(
+                nominal_boards=0,
+                swept_boards=config.boards,
+                ro_count=config.ro_count,
+                seed=config.seed,
+            )
+        )
+        return cls.from_dataset(
+            dataset,
+            stage_count=config.stage_count,
+            method=config.method,
+            require_odd=config.require_odd,
+        )
+
+    def device(self, device_id: str) -> Device:
+        """Raises ``KeyError`` for unknown ids (the service maps this to a
+        clean protocol error)."""
+        try:
+            return self._devices[device_id]
+        except KeyError:
+            raise KeyError(f"unknown device {device_id!r}") from None
+
+    @property
+    def device_ids(self) -> list[str]:
+        return sorted(self._devices)
+
+    def __iter__(self):
+        return iter(self._devices.values())
+
+    def __len__(self) -> int:
+        return len(self._devices)

@@ -1,0 +1,197 @@
+"""Load generator: many concurrent clients, latency percentiles out.
+
+Drives an :class:`~repro.serve.server.AuthServer` with ``clients``
+concurrent connections, each issuing ``auths_per_client`` authentication
+rounds cycling deterministically through the fleet's devices, measured
+corners, and verbs (``attest``, ``regen``, and — when the device farm is
+available in-process for genuine answers — ``challenge`` + ``auth``).
+
+Every request is expected to *succeed and authenticate*: any transport
+error, ``ok: false`` response, rejected genuine auth, or unverified key
+counts as a failure, so a zero-failure run certifies the whole stack
+under concurrency.  Latency is measured per request round (a
+challenge+auth pair counts once) and summarised as percentiles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from ..variation.environment import OperatingPoint
+from .client import AuthClient, ServeClientError
+from .fleet import DeviceFarm
+
+__all__ = ["run_load", "percentiles"]
+
+
+def percentiles(
+    samples: list[float], points: tuple[float, ...] = (50.0, 90.0, 99.0)
+) -> dict:
+    """``{"p50": ..., "p90": ..., "p99": ..., "max": ...}`` of ``samples``."""
+    if not samples:
+        return {f"p{point:g}": 0.0 for point in points} | {"max": 0.0}
+    values = np.sort(np.asarray(samples, dtype=float))
+    summary = {
+        f"p{point:g}": float(np.percentile(values, point))
+        for point in points
+    }
+    summary["max"] = float(values[-1])
+    return summary
+
+
+class _ClientWorker(threading.Thread):
+    """One synthetic client: a connection plus its request loop."""
+
+    def __init__(
+        self,
+        index: int,
+        host: str,
+        port: int,
+        auths: int,
+        device_ids: list[str],
+        corners: list[OperatingPoint],
+        farm: DeviceFarm | None,
+        timeout: float,
+    ):
+        super().__init__(name=f"load-client-{index}", daemon=True)
+        self.index = index
+        self.host = host
+        self.port = port
+        self.auths = auths
+        self.device_ids = device_ids
+        self.corners = corners
+        self.farm = farm
+        self.timeout = timeout
+        self.latencies_ms: list[float] = []
+        self.failures: list[str] = []
+        self.verb_counts: dict[str, int] = {}
+
+    def _verbs(self) -> list[str]:
+        verbs = ["attest", "regen"]
+        if self.farm is not None:
+            verbs.append("challenge-auth")
+        return verbs
+
+    def run(self) -> None:
+        verbs = self._verbs()
+        try:
+            with AuthClient(
+                self.host, self.port, timeout=self.timeout
+            ) as client:
+                for round_index in range(self.auths):
+                    cursor = self.index * self.auths + round_index
+                    device = self.device_ids[cursor % len(self.device_ids)]
+                    corner = self.corners[cursor % len(self.corners)]
+                    verb = verbs[cursor % len(verbs)]
+                    self.verb_counts[verb] = self.verb_counts.get(verb, 0) + 1
+                    started = time.perf_counter()
+                    try:
+                        failure = self._one_round(client, verb, device, corner)
+                    except (ServeClientError, OSError) as exc:
+                        failure = f"{verb} {device}: transport {exc}"
+                    self.latencies_ms.append(
+                        (time.perf_counter() - started) * 1000.0
+                    )
+                    if failure is not None:
+                        self.failures.append(failure)
+        except (ServeClientError, OSError) as exc:
+            self.failures.append(f"client {self.index}: connect {exc}")
+
+    def _one_round(
+        self, client: AuthClient, verb: str, device: str, corner
+    ) -> str | None:
+        """Run one request round; a failure description or ``None``."""
+        if verb == "attest":
+            response = client.attest(device, corner)
+            if not (response.get("ok") and response.get("accepted")):
+                return f"attest {device}: {response}"
+        elif verb == "regen":
+            response = client.regen(device, corner)
+            if not (response.get("ok") and response.get("verified")):
+                return f"regen {device}: {response}"
+        else:  # challenge-auth round-trip with a genuine answer
+            issued = client.challenge(device)
+            if not issued.get("ok"):
+                return f"challenge {device}: {issued}"
+            twin = self.farm.device(device)
+            bits = twin.evaluator.response(corner)
+            answer = bits[np.array(issued["indices"])]
+            verdict = client.auth(device, issued["challenge_id"], answer)
+            if not (verdict.get("ok") and verdict.get("accepted")):
+                return f"auth {device}: {verdict}"
+        return None
+
+
+def run_load(
+    host: str,
+    port: int,
+    clients: int = 100,
+    auths_per_client: int = 10,
+    farm: DeviceFarm | None = None,
+    device_ids: list[str] | None = None,
+    corners: list[OperatingPoint] | None = None,
+    timeout: float = 30.0,
+) -> dict:
+    """Drive the server with concurrent clients; return a summary dict.
+
+    Args:
+        host / port: server address.
+        clients: concurrent connections (each its own thread).
+        auths_per_client: authentication rounds per connection.
+        farm: in-process device twins; enables genuine ``challenge``/
+            ``auth`` rounds and supplies default device ids and corners.
+        device_ids / corners: targets to cycle through (derived from
+            ``farm`` when omitted).
+        timeout: per-request socket timeout.
+
+    Returns a plain-JSON summary: request/failure counts, wall seconds,
+    throughput, per-verb counts, and latency percentiles in ms.
+    """
+    if farm is not None:
+        device_ids = device_ids or farm.device_ids
+        if corners is None:
+            corners = next(iter(farm)).corners
+    if not device_ids:
+        raise ValueError("no devices to drive load against")
+    if not corners:
+        raise ValueError("no operating points to authenticate at")
+    workers = [
+        _ClientWorker(
+            index,
+            host,
+            port,
+            auths_per_client,
+            device_ids,
+            corners,
+            farm,
+            timeout,
+        )
+        for index in range(clients)
+    ]
+    started = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    wall = time.perf_counter() - started
+    latencies = [ms for worker in workers for ms in worker.latencies_ms]
+    failures = [text for worker in workers for text in worker.failures]
+    verb_counts: dict[str, int] = {}
+    for worker in workers:
+        for verb, count in worker.verb_counts.items():
+            verb_counts[verb] = verb_counts.get(verb, 0) + count
+    requests = len(latencies)
+    return {
+        "clients": clients,
+        "auths_per_client": auths_per_client,
+        "requests": requests,
+        "failures": len(failures),
+        "failure_samples": failures[:10],
+        "wall_seconds": wall,
+        "throughput_rps": (requests / wall) if wall > 0 else 0.0,
+        "verbs": dict(sorted(verb_counts.items())),
+        "latency_ms": percentiles(latencies),
+    }

@@ -1,0 +1,146 @@
+"""The serve layer's wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned payload length followed by that
+many bytes of UTF-8 JSON encoding a single object.  Requests carry an
+``"op"`` verb plus verb-specific fields; responses carry ``"ok"`` and
+either result fields or ``"error"``/``"error_type"``.  The format is
+deliberately trivial — any language with sockets and JSON can speak it —
+and every parsing failure maps to a distinct exception so the server can
+decide whether the *stream* is still synchronised:
+
+* :class:`FrameMalformed` — the frame arrived whole but its payload is not
+  a JSON object (or the declared length is zero).  Framing is intact, so
+  the server answers with an error frame and keeps the connection.
+* :class:`FrameTooLarge` — the declared length exceeds the negotiated
+  maximum.  The payload is *not* read (a hostile length would stall the
+  reader), so the stream position is lost: the server answers with an
+  error frame and closes.
+* :class:`FrameTruncated` — EOF arrived mid-frame (client died or was cut
+  off).  Nothing can be answered; the connection is simply dropped.
+
+Response bits travel as ``"0"``/``"1"`` strings (:func:`encode_bits` /
+:func:`decode_bits`): a few hundred bits per response makes the ~8x size
+overhead irrelevant, and frames stay grep-able in packet captures.
+
+See ``docs/serving.md`` for the full frame catalogue.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "FrameMalformed",
+    "FrameTooLarge",
+    "FrameTruncated",
+    "read_frame",
+    "write_frame",
+    "encode_bits",
+    "decode_bits",
+]
+
+#: Bumped on incompatible changes to the frame layout or verb contracts.
+PROTOCOL_VERSION = 1
+
+#: Default ceiling on one frame's payload size.
+MAX_FRAME_BYTES = 1 << 20
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """Base class of every frame-level failure."""
+
+
+class FrameMalformed(ProtocolError):
+    """A complete frame arrived but its payload is not a JSON object."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame's declared (or encoded) length exceeds the maximum."""
+
+
+class FrameTruncated(ProtocolError):
+    """The stream ended in the middle of a frame."""
+
+
+def write_frame(wfile, obj: dict, max_bytes: int = MAX_FRAME_BYTES) -> None:
+    """Serialise ``obj`` and write one frame to a binary file-like object.
+
+    Raises:
+        FrameTooLarge: when the encoded payload exceeds ``max_bytes``.
+    """
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > max_bytes:
+        raise FrameTooLarge(
+            f"frame payload is {len(payload)} bytes (maximum {max_bytes})"
+        )
+    wfile.write(_HEADER.pack(len(payload)) + payload)
+    wfile.flush()
+
+
+def read_frame(rfile, max_bytes: int = MAX_FRAME_BYTES) -> dict | None:
+    """Read one frame from a binary file-like object.
+
+    Returns the decoded object, or ``None`` on a clean EOF *between*
+    frames (the peer closed an idle connection).
+
+    Raises:
+        FrameTruncated: EOF inside a header or payload.
+        FrameTooLarge: declared length exceeds ``max_bytes`` (the payload
+            is left unread — the stream is no longer synchronised).
+        FrameMalformed: zero-length frame, undecodable payload, or a
+            payload that is not a JSON object.
+    """
+    header = rfile.read(_HEADER.size)
+    if header == b"":
+        return None
+    if len(header) < _HEADER.size:
+        raise FrameTruncated(
+            f"EOF after {len(header)} of {_HEADER.size} header bytes"
+        )
+    (length,) = _HEADER.unpack(header)
+    if length == 0:
+        raise FrameMalformed("zero-length frame")
+    if length > max_bytes:
+        raise FrameTooLarge(
+            f"frame declares {length} bytes (maximum {max_bytes})"
+        )
+    payload = rfile.read(length)
+    if len(payload) < length:
+        raise FrameTruncated(
+            f"EOF after {len(payload)} of {length} payload bytes"
+        )
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameMalformed(f"payload is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise FrameMalformed(
+            f"frame payload must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def encode_bits(bits) -> str:
+    """A bit vector as a ``"0"``/``"1"`` string (JSON-safe, human-legible)."""
+    return "".join("1" if b else "0" for b in np.asarray(bits).astype(bool))
+
+
+def decode_bits(text: str) -> np.ndarray:
+    """Inverse of :func:`encode_bits`.
+
+    Raises:
+        ValueError: on non-string input or characters outside ``01``.
+    """
+    if not isinstance(text, str) or not text:
+        raise ValueError("bits must be a non-empty '0'/'1' string")
+    if set(text) - {"0", "1"}:
+        raise ValueError("bits may contain only '0' and '1'")
+    return np.frombuffer(text.encode("ascii"), dtype=np.uint8) == ord("1")

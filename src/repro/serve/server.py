@@ -1,0 +1,150 @@
+"""Threaded TCP front-end speaking the length-prefixed frame protocol.
+
+:class:`AuthServer` is a stdlib ``socketserver.ThreadingTCPServer`` (one
+daemon thread per connection, connections persistent: a client may send
+any number of frames before closing).  All request semantics live in
+:class:`~repro.serve.service.AuthService`; the handler's only jobs are
+framing and survival:
+
+* malformed-but-framed garbage gets an error frame and the connection
+  continues;
+* an oversized frame gets an error frame and the connection closes (the
+  stream position is untrustworthy after a hostile length prefix);
+* a truncated frame or mid-request disconnect just drops the connection;
+* nothing that happens on one connection can affect another or the
+  listener itself.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+
+from .. import obs
+from .protocol import (
+    MAX_FRAME_BYTES,
+    FrameMalformed,
+    FrameTooLarge,
+    FrameTruncated,
+    read_frame,
+    write_frame,
+)
+from .service import AuthService
+
+__all__ = ["AuthServer"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: read frames, dispatch to the service, answer."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised over sockets
+        server: "AuthServer" = self.server
+        service = server.service
+        obs.counter_add("serve.connections")
+        while True:
+            try:
+                request = read_frame(self.rfile, server.max_frame_bytes)
+            except FrameTooLarge as exc:
+                service.note_protocol_error("FrameTooLarge")
+                self._try_reply(
+                    {
+                        "ok": False,
+                        "error": str(exc),
+                        "error_type": "FrameTooLarge",
+                    }
+                )
+                return
+            except FrameMalformed as exc:
+                service.note_protocol_error("FrameMalformed")
+                if not self._try_reply(
+                    {
+                        "ok": False,
+                        "error": str(exc),
+                        "error_type": "FrameMalformed",
+                    }
+                ):
+                    return
+                continue
+            except (FrameTruncated, OSError):
+                service.note_protocol_error("FrameTruncated")
+                return
+            if request is None:
+                return
+            response = service.handle(request)
+            if not self._try_reply(response):
+                return
+
+    def _try_reply(self, response: dict) -> bool:
+        """Write one frame; False when the client is gone."""
+        try:
+            write_frame(self.wfile, response, self.server.max_frame_bytes)
+            return True
+        except (OSError, ValueError, FrameTooLarge):
+            return False
+
+
+class AuthServer(socketserver.ThreadingTCPServer):
+    """The serving front-end: bind, start in the background, stop cleanly.
+
+    Args:
+        service: verb semantics (farm + store + coalescer).
+        address: bind address; port 0 picks an ephemeral port — read the
+            bound address back from :attr:`address`.
+        max_frame_bytes: per-connection frame-size ceiling.
+
+    Usage::
+
+        with AuthServer(service) as server:
+            server.start()
+            host, port = server.address
+            ...
+
+    ``stop`` (or leaving the ``with`` block) shuts the listener down,
+    closes the service's coalescer if the service owns it, and joins the
+    serving thread; per-connection threads are daemons.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        service: AuthService,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.max_frame_bytes = max_frame_bytes
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The actually-bound (host, port)."""
+        host, port = self.server_address[:2]
+        return host, port
+
+    def start(self) -> "AuthServer":
+        """Serve in a background daemon thread until :meth:`stop`."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever,
+            name="ropuf-serve",
+            daemon=True,
+            kwargs={"poll_interval": 0.05},
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down the listener and join the serving thread."""
+        if self._thread is not None:
+            self.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.server_close()
+        self.service.close()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,384 @@
+"""The authentication service: verb handlers over farm + store + coalescer.
+
+:class:`AuthService` is transport-free — it maps one request dict to one
+response dict — so the socket server, the tests, and any future transport
+(HTTP, in-process) share the exact same semantics.  Verbs:
+
+``ping``
+    Liveness and protocol version.
+``devices``
+    Enrolled device ids (from the store, not the farm — an evicted device
+    stays physically attached but can no longer authenticate).
+``challenge``
+    Draw a one-time challenge over a device's stored reference response
+    (:class:`repro.crypto.crp.Challenge` shape: bit indices + fold).
+``auth``
+    Verify a challenge answer against the stored reference within a
+    Hamming-distance threshold.  Challenges are single-use: replaying a
+    (challenge, answer) pair is rejected, as is answering a challenge
+    issued for a different device.
+``attest``
+    Measure the *attached* device at a requested operating point (through
+    the coalescer) and compare the fresh response against the stored
+    reference — the counterfeit-detection shape: has the silicon behind
+    this identity changed?
+``regen``
+    Measure the device and regenerate its fuzzy-extractor key from the
+    stored helper data; the key is checked against the enrolled key
+    digest before being released.
+``stats``
+    Service, coalescer, and store counters.
+
+Every handler failure becomes an ``{"ok": false, "error": ...}`` response;
+nothing a client sends can take the service down (pinned by the protocol
+robustness tests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+import threading
+from typing import Callable
+
+import numpy as np
+
+from .. import obs
+from ..crypto.crp import Challenge
+from ..crypto.ecc import BCHCode
+from ..crypto.fuzzy_extractor import FuzzyExtractor
+from ..variation.environment import OperatingPoint
+from .coalescer import RequestCoalescer
+from .fleet import DeviceFarm
+from .protocol import PROTOCOL_VERSION, decode_bits, encode_bits
+from .store import CRPStore, DeviceRecord
+
+__all__ = ["AuthService", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A request-level failure reported to the client as ``ok: false``."""
+
+    def __init__(self, message: str, error_type: str = "ServiceError"):
+        super().__init__(message)
+        self.error_type = error_type
+
+
+class AuthService:
+    """Enrollment/authentication logic shared by every transport.
+
+    Args:
+        farm: the device twins the service can measure.
+        store: persistent CRP/helper-data store (the verifier's state).
+        coalescer: batches concurrent evaluations; a private one is
+            created when omitted.
+        threshold_fraction: accepted Hamming distance as a fraction of the
+            compared width (defaults to the authenticator's 15%).
+        extractor: fuzzy extractor for key enrollment/regeneration; its
+            code length must fit the fleet's response width.
+        challenge_width: response bits per challenge.
+        seed: drives challenge drawing and helper-data generation.
+    """
+
+    def __init__(
+        self,
+        farm: DeviceFarm,
+        store: CRPStore,
+        coalescer: RequestCoalescer | None = None,
+        threshold_fraction: float = 0.15,
+        extractor: FuzzyExtractor | None = None,
+        challenge_width: int = 16,
+        seed: int = 20140601,
+    ):
+        if not 0.0 < threshold_fraction < 0.5:
+            raise ValueError(
+                f"threshold_fraction must be in (0, 0.5), got "
+                f"{threshold_fraction}"
+            )
+        self.farm = farm
+        self.store = store
+        self.coalescer = coalescer or RequestCoalescer()
+        self._owns_coalescer = coalescer is None
+        self.threshold_fraction = threshold_fraction
+        self.extractor = extractor or FuzzyExtractor(
+            code=BCHCode(m=5, t=3), key_bytes=16
+        )
+        self.challenge_width = challenge_width
+        self._rng = np.random.default_rng(seed)
+        self._challenges: dict[str, tuple[str, Challenge]] = {}
+        self._challenge_lock = threading.Lock()
+        self._count_lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self._verbs: dict[str, Callable[[dict], dict]] = {
+            "ping": self._op_ping,
+            "devices": self._op_devices,
+            "challenge": self._op_challenge,
+            "auth": self._op_auth,
+            "attest": self._op_attest,
+            "regen": self._op_regen,
+            "stats": self._op_stats,
+        }
+
+    # ------------------------------------------------------------------
+    # Enrollment
+    # ------------------------------------------------------------------
+
+    def enroll_fleet(self) -> dict:
+        """Enroll every farm device that the store does not already hold.
+
+        A persisted store from an earlier run is *reused*: the fleet is
+        rebuilt deterministically from its seed, so existing records stay
+        valid across restarts — the crash-recovery story of the store
+        tests.  Returns ``{"enrolled": [...], "reused": [...]}``.
+        """
+        enrolled, reused = [], []
+        for device in self.farm:
+            if device.device_id in self.store:
+                reused.append(device.device_id)
+                continue
+            bits = device.enrollment.bits
+            needed = self.extractor.response_bits
+            if len(bits) < needed:
+                raise ValueError(
+                    f"device {device.device_id!r} yields {len(bits)} bits "
+                    f"but the extractor's code needs {needed}"
+                )
+            order = np.argsort(
+                -np.abs(device.enrollment.margins), kind="stable"
+            )
+            used = np.sort(order[:needed])
+            key, helper = self.extractor.generate(bits[used], self._rng)
+            self.store.enroll(
+                DeviceRecord(
+                    device_id=device.device_id,
+                    reference_bits=bits,
+                    helper_offset=helper.offset,
+                    helper_salt=helper.salt,
+                    used_bits=tuple(int(i) for i in used),
+                    key_digest=hashlib.sha256(key).hexdigest(),
+                    enrolled_at=self.farm.enroll_op.label(),
+                )
+            )
+            enrolled.append(device.device_id)
+        return {"enrolled": enrolled, "reused": reused}
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """One request dict in, one response dict out — never raises."""
+        verb = request.get("op")
+        handler = self._verbs.get(verb)
+        if handler is None:
+            self._count("errors")
+            return self._error(
+                f"unknown op {verb!r} (known: {sorted(self._verbs)})",
+                "UnknownOp",
+            )
+        self._count(f"requests.{verb}")
+        obs.counter_add(f"serve.requests.{verb}")
+        try:
+            with obs.timed(f"serve.latency_ms.{verb}"):
+                return handler(request)
+        except ServiceError as exc:
+            self._count("errors")
+            obs.counter_add("serve.errors")
+            return self._error(str(exc), exc.error_type)
+        except Exception as exc:  # noqa: BLE001 - the server must survive
+            self._count("errors")
+            obs.counter_add("serve.errors")
+            return self._error(str(exc), type(exc).__name__)
+
+    def note_protocol_error(self, error_type: str) -> None:
+        """Fold a transport-level frame failure into the counters."""
+        self._count(f"protocol_errors.{error_type}")
+        obs.counter_add("serve.protocol_errors")
+
+    def close(self) -> None:
+        """Release the coalescer if this service created it."""
+        if self._owns_coalescer:
+            self.coalescer.close()
+
+    # ------------------------------------------------------------------
+    # Verb handlers
+    # ------------------------------------------------------------------
+
+    def _op_ping(self, request: dict) -> dict:
+        return {"ok": True, "version": PROTOCOL_VERSION}
+
+    def _op_devices(self, request: dict) -> dict:
+        return {"ok": True, "devices": self.store.device_ids}
+
+    def _op_challenge(self, request: dict) -> dict:
+        record = self._record(request)
+        width = min(self.challenge_width, record.bit_count)
+        with self._challenge_lock:
+            indices = self._rng.choice(
+                record.bit_count, size=width, replace=False
+            )
+            challenge = Challenge(
+                indices=tuple(int(i) for i in np.sort(indices)), fold=1
+            )
+            challenge_id = secrets.token_hex(16)
+            self._challenges[challenge_id] = (record.device_id, challenge)
+        return {
+            "ok": True,
+            "challenge_id": challenge_id,
+            "indices": list(challenge.indices),
+            "fold": challenge.fold,
+        }
+
+    def _op_auth(self, request: dict) -> dict:
+        record = self._record(request)
+        challenge_id = request.get("challenge_id")
+        answer_text = request.get("answer")
+        if not isinstance(challenge_id, str) or answer_text is None:
+            raise ServiceError(
+                "auth needs 'challenge_id' and 'answer'", "BadRequest"
+            )
+        with self._challenge_lock:
+            pending = self._challenges.pop(challenge_id, None)
+        if pending is None:
+            self._count("auth.replayed")
+            obs.counter_add("serve.auth.replayed")
+            return {
+                "ok": True,
+                "accepted": False,
+                "reason": "unknown or already-used challenge",
+            }
+        issued_for, challenge = pending
+        if issued_for != record.device_id:
+            return {
+                "ok": True,
+                "accepted": False,
+                "reason": "challenge was issued for a different device",
+            }
+        answer = self._decode(answer_text, "answer")
+        expected = record.reference_bits[np.array(challenge.indices)]
+        if len(answer) != len(expected):
+            raise ServiceError(
+                f"answer has {len(answer)} bits, challenge expects "
+                f"{len(expected)}",
+                "BadRequest",
+            )
+        distance = int(np.count_nonzero(answer ^ expected))
+        threshold = int(np.floor(self.threshold_fraction * len(expected)))
+        accepted = distance <= threshold
+        self._count("auth.accepted" if accepted else "auth.rejected")
+        obs.counter_add(
+            "serve.auth.accepted" if accepted else "serve.auth.rejected"
+        )
+        return {
+            "ok": True,
+            "accepted": accepted,
+            "distance": distance,
+            "threshold": threshold,
+        }
+
+    def _op_attest(self, request: dict) -> dict:
+        record = self._record(request)
+        bits = self._measure(record.device_id, self._operating_point(request))
+        if len(bits) != record.bit_count:
+            raise ServiceError(
+                f"device yields {len(bits)} bits but the stored reference "
+                f"has {record.bit_count}",
+                "FleetMismatch",
+            )
+        distance = int(np.count_nonzero(bits ^ record.reference_bits))
+        threshold = int(
+            np.floor(self.threshold_fraction * record.bit_count)
+        )
+        accepted = distance <= threshold
+        self._count("attest.accepted" if accepted else "attest.rejected")
+        obs.counter_add(
+            "serve.attest.accepted" if accepted else "serve.attest.rejected"
+        )
+        return {
+            "ok": True,
+            "accepted": accepted,
+            "distance": distance,
+            "threshold": threshold,
+            "response": encode_bits(bits),
+        }
+
+    def _op_regen(self, request: dict) -> dict:
+        record = self._record(request)
+        bits = self._measure(record.device_id, self._operating_point(request))
+        try:
+            key = self.extractor.reproduce(
+                bits[np.array(record.used_bits)], record.helper()
+            )
+        except ValueError as exc:
+            raise ServiceError(
+                f"key regeneration failed: {exc}", "KeyRegenError"
+            ) from exc
+        verified = record.matches_key(key)
+        self._count("regen.verified" if verified else "regen.mismatched")
+        return {"ok": True, "key": key.hex(), "verified": verified}
+
+    def _op_stats(self, request: dict) -> dict:
+        with self._count_lock:
+            counts = dict(sorted(self._counts.items()))
+        return {
+            "ok": True,
+            "stats": {
+                "service": counts,
+                "coalescer": self.coalescer.stats(),
+                "store": self.store.stats(),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _record(self, request: dict) -> DeviceRecord:
+        device_id = request.get("device")
+        if not isinstance(device_id, str):
+            raise ServiceError("request needs a 'device' field", "BadRequest")
+        record = self.store.get(device_id)
+        if record is None:
+            raise ServiceError(
+                f"device {device_id!r} is not enrolled", "UnknownDevice"
+            )
+        return record
+
+    def _operating_point(self, request: dict) -> OperatingPoint:
+        try:
+            return OperatingPoint(
+                voltage=float(request["voltage"]),
+                temperature=float(request["temperature"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(
+                f"request needs numeric 'voltage' and 'temperature': {exc}",
+                "BadRequest",
+            ) from exc
+
+    def _measure(self, device_id: str, op: OperatingPoint) -> np.ndarray:
+        try:
+            device = self.farm.device(device_id)
+        except KeyError as exc:
+            raise ServiceError(str(exc), "DeviceDetached") from exc
+        try:
+            return self.coalescer.submit(device.evaluator, op)
+        except KeyError as exc:
+            raise ServiceError(
+                f"device {device_id!r} cannot be measured at that corner: "
+                f"{exc}",
+                "UnmeasuredCorner",
+            ) from exc
+
+    def _decode(self, text, field: str) -> np.ndarray:
+        try:
+            return decode_bits(text)
+        except ValueError as exc:
+            raise ServiceError(f"bad {field}: {exc}", "BadRequest") from exc
+
+    def _error(self, message: str, error_type: str) -> dict:
+        return {"ok": False, "error": message, "error_type": error_type}
+
+    def _count(self, name: str) -> None:
+        with self._count_lock:
+            self._counts[name] = self._counts.get(name, 0) + 1

@@ -1,0 +1,317 @@
+"""Persistent, crash-safe CRP/helper-data store for enrolled devices.
+
+One :class:`DeviceRecord` per enrolled device holds everything the
+verifier needs in the field — the reference response bits, the fuzzy
+extractor's public helper data, which response bits feed the extractor,
+and a digest of the enrolled key so regeneration can be checked without
+storing the key itself.
+
+Durability follows the pipeline journal's pattern (``repro.pipeline.
+journal``): the store is an append-only JSONL file, every record flushed
+*and fsynced* before the mutating call returns, so an enrollment that was
+acknowledged survives anything short of disk failure.  Recovery is
+equally boring on purpose:
+
+* a truncated trailing line — the signature of a crash mid-append — is
+  discarded on open and the file is repaired (truncated back to the last
+  intact record) before the next append, so the journal never grows a
+  corrupted seam in the middle;
+* eviction writes a tombstone record rather than rewriting the file;
+  :meth:`CRPStore.compact` rewrites the journal atomically (tmp file +
+  fsync + ``os.replace``) when tombstones pile up;
+* records from an incompatible scheme version stop the replay at the
+  first mismatch instead of guessing.
+
+All mutating and reading entry points are thread-safe — the serve layer
+calls them from one handler thread per connection.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .. import obs
+from ..crypto.fuzzy_extractor import HelperData
+from .protocol import decode_bits, encode_bits
+
+__all__ = ["STORE_SCHEME", "DeviceRecord", "CRPStore"]
+
+#: Bumped if the record layout ever changes incompatibly.
+STORE_SCHEME = "ropuf-crp-v1"
+
+
+@dataclass(frozen=True, eq=False)
+class DeviceRecord:
+    """Everything the verifier stores about one enrolled device.
+
+    Attributes:
+        device_id: the device's identity (unique per store).
+        reference_bits: the enrolled reference response.
+        helper_offset: code-offset helper data (public).
+        helper_salt: key-derivation salt (public).
+        used_bits: response-bit indices feeding the fuzzy extractor
+            (top-margin dark-bit mask, sorted).
+        key_digest: SHA-256 hex digest of the enrolled key; lets the
+            server verify a regenerated key without storing the key.
+        enrolled_at: operating-point label of the enrollment corner.
+    """
+
+    device_id: str
+    reference_bits: np.ndarray
+    helper_offset: np.ndarray
+    helper_salt: bytes
+    used_bits: tuple[int, ...]
+    key_digest: str
+    enrolled_at: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "reference_bits", np.asarray(self.reference_bits, dtype=bool)
+        )
+        object.__setattr__(
+            self, "helper_offset", np.asarray(self.helper_offset, dtype=bool)
+        )
+        if not self.device_id:
+            raise ValueError("device_id must be non-empty")
+        if self.reference_bits.ndim != 1 or len(self.reference_bits) == 0:
+            raise ValueError("reference_bits must be a non-empty bit vector")
+        if any(
+            i < 0 or i >= len(self.reference_bits) for i in self.used_bits
+        ):
+            raise ValueError("used_bits index outside the reference response")
+
+    @property
+    def bit_count(self) -> int:
+        return len(self.reference_bits)
+
+    def helper(self) -> HelperData:
+        """The record's helper data in the fuzzy extractor's shape."""
+        return HelperData(offset=self.helper_offset, salt=self.helper_salt)
+
+    def matches_key(self, key: bytes) -> bool:
+        """Whether ``key`` hashes to the enrolled key digest."""
+        return hashlib.sha256(key).hexdigest() == self.key_digest
+
+    def to_payload(self) -> dict:
+        """The record as plain-JSON data (inverse of :meth:`from_payload`)."""
+        return {
+            "device_id": self.device_id,
+            "reference_bits": encode_bits(self.reference_bits),
+            "helper_offset": encode_bits(self.helper_offset),
+            "helper_salt": self.helper_salt.hex(),
+            "used_bits": list(self.used_bits),
+            "key_digest": self.key_digest,
+            "enrolled_at": self.enrolled_at,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DeviceRecord":
+        """Rebuild a record from :meth:`to_payload` data.
+
+        Raises:
+            KeyError / ValueError / TypeError: on any malformed field —
+                the store treats those as a corrupt journal line.
+        """
+        return cls(
+            device_id=payload["device_id"],
+            reference_bits=decode_bits(payload["reference_bits"]),
+            helper_offset=decode_bits(payload["helper_offset"]),
+            helper_salt=bytes.fromhex(payload["helper_salt"]),
+            used_bits=tuple(int(i) for i in payload["used_bits"]),
+            key_digest=payload["key_digest"],
+            enrolled_at=payload["enrolled_at"],
+        )
+
+
+class CRPStore:
+    """Append-only journal of device enrollments with an in-memory index.
+
+    Args:
+        path: journal file (created with parents on first append); ``None``
+            keeps the store purely in memory — handy for benches and tests
+            that do not exercise durability.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._records: dict[str, DeviceRecord] = {}
+        self._hits = 0
+        self._misses = 0
+        self._tombstones = 0
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Journal replay and repair
+    # ------------------------------------------------------------------
+
+    def _load(self) -> None:
+        if self.path is None:
+            return
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return
+        good_bytes = 0
+        with obs.span("serve.store.load", path=str(self.path)) as span:
+            for line in raw.split(b"\n"):
+                if not line.strip():
+                    good_bytes += len(line) + 1
+                    continue
+                try:
+                    record = json.loads(line.decode("utf-8"))
+                    if record["scheme"] != STORE_SCHEME:
+                        break
+                    kind = record["kind"]
+                    if kind == "enroll":
+                        parsed = DeviceRecord.from_payload(record["device"])
+                        self._records[parsed.device_id] = parsed
+                    elif kind == "evict":
+                        self._records.pop(record["device_id"], None)
+                        self._tombstones += 1
+                    else:
+                        break
+                except (ValueError, KeyError, TypeError):
+                    # A garbled line: the crash-mid-append signature when
+                    # it is the last one; either way nothing after it can
+                    # be trusted, so replay stops here and the file is
+                    # truncated back to the last intact record.
+                    obs.counter_add("serve.store.truncated_tail")
+                    break
+                good_bytes += len(line) + 1
+            span.set_attr("records", len(self._records))
+        good_bytes = min(good_bytes, len(raw))
+        if good_bytes < len(raw):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_bytes)
+
+    def _append(self, record: dict) -> None:
+        if self.path is None:
+            return
+        line = json.dumps(record, separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        obs.counter_add("serve.store.appends")
+
+    # ------------------------------------------------------------------
+    # CRUD
+    # ------------------------------------------------------------------
+
+    def enroll(self, record: DeviceRecord) -> None:
+        """Durably add one device.
+
+        Raises:
+            ValueError: when the device is already enrolled (re-enrollment
+                must be an explicit evict-then-enroll, so a stolen identity
+                cannot silently overwrite the legitimate record).
+        """
+        with self._lock:
+            if record.device_id in self._records:
+                raise ValueError(
+                    f"device {record.device_id!r} already enrolled"
+                )
+            self._append(
+                {
+                    "scheme": STORE_SCHEME,
+                    "kind": "enroll",
+                    "device": record.to_payload(),
+                }
+            )
+            self._records[record.device_id] = record
+
+    def get(self, device_id: str) -> DeviceRecord | None:
+        """The device's record, or ``None`` (counted as a store miss)."""
+        with self._lock:
+            record = self._records.get(device_id)
+            if record is None:
+                self._misses += 1
+                obs.counter_add("serve.store.misses")
+            else:
+                self._hits += 1
+                obs.counter_add("serve.store.hits")
+            return record
+
+    def evict(self, device_id: str) -> None:
+        """Durably remove one device (a tombstone record is appended).
+
+        Raises:
+            KeyError: when the device is not enrolled.
+        """
+        with self._lock:
+            if device_id not in self._records:
+                raise KeyError(f"device {device_id!r} not enrolled")
+            self._append(
+                {
+                    "scheme": STORE_SCHEME,
+                    "kind": "evict",
+                    "device_id": device_id,
+                }
+            )
+            del self._records[device_id]
+            self._tombstones += 1
+
+    def compact(self) -> None:
+        """Rewrite the journal with only live records (atomic replace)."""
+        with self._lock:
+            if self.path is None:
+                self._tombstones = 0
+                return
+            tmp = self.path.with_suffix(
+                self.path.suffix + f".compact.{os.getpid()}"
+            )
+            lines = [
+                json.dumps(
+                    {
+                        "scheme": STORE_SCHEME,
+                        "kind": "enroll",
+                        "device": record.to_payload(),
+                    },
+                    separators=(",", ":"),
+                )
+                for _, record in sorted(self._records.items())
+            ]
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w") as handle:
+                handle.write("".join(line + "\n" for line in lines))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+            self._tombstones = 0
+            obs.counter_add("serve.store.compactions")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def device_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._records)
+
+    def __contains__(self, device_id: str) -> bool:
+        with self._lock:
+            return device_id in self._records
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def stats(self) -> dict:
+        """Hit/miss/occupancy counters (plain JSON)."""
+        with self._lock:
+            return {
+                "devices": len(self._records),
+                "hits": self._hits,
+                "misses": self._misses,
+                "tombstones": self._tombstones,
+            }

@@ -64,6 +64,10 @@ class TestExamples:
         assert "all devices verified" in output
         assert "key MATCH" in output
 
+    def test_load_test(self):
+        output = run_example("load_test.py", "12", "2")
+        assert "zero failures across 24 requests" in output
+
     def test_randomness_audit_raw_fails(self):
         output = run_example("randomness_audit.py", "--raw")
         assert "FAIL" in output

@@ -1,0 +1,247 @@
+"""Coalescing correctness: batched evaluation must equal serial, always.
+
+The serve layer's central claim is that coalescing concurrent requests
+into one einsum dispatch changes *nothing* about the bits produced —
+pinned here at both levels: the pure function
+(:func:`repro.core.batch.coalesce_responses`) against serial evaluation,
+and the threaded :class:`~repro.serve.coalescer.RequestCoalescer` under
+real concurrency, including its failure-isolation and shutdown contracts.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    coalesce_pair_delays,
+    coalesce_responses,
+)
+from repro.serve import DeviceFarm, FleetConfig, RequestCoalescer
+from repro.variation.environment import OperatingPoint
+
+
+def build_farm(boards: int = 3, **overrides) -> DeviceFarm:
+    return DeviceFarm.from_config(FleetConfig(boards=boards, **overrides))
+
+
+def entries_for(farm: DeviceFarm, count: int):
+    """A deterministic mixed workload: devices x corners, round-robin."""
+    devices = list(farm)
+    corners = devices[0].corners
+    return [
+        (
+            devices[i % len(devices)].evaluator,
+            corners[(i * 7) % len(corners)],
+        )
+        for i in range(count)
+    ]
+
+
+class TestCoalesceResponsesFunction:
+    @pytest.mark.parametrize("count", [1, 2, 5, 12])
+    def test_byte_identical_to_serial(self, count):
+        # Two farms from the same seed: one evaluated serially, one
+        # through the coalesced path; every response must match bitwise.
+        serial_farm = build_farm()
+        batch_farm = build_farm()
+        serial = [
+            evaluator.response(op)
+            for evaluator, op in entries_for(serial_farm, count)
+        ]
+        coalesced = coalesce_responses(entries_for(batch_farm, count))
+        assert len(coalesced) == count
+        for mine, theirs in zip(coalesced, serial):
+            assert mine.tobytes() == theirs.tobytes()
+
+    def test_empty_batch(self):
+        assert coalesce_responses([]) == []
+
+    def test_mixed_stage_widths_in_one_batch(self):
+        # Fleets with different ring widths coalesce in the same batch:
+        # grouping is by stage width, results stay per-request identical.
+        farm_n5 = build_farm(boards=2, stage_count=5)
+        farm_n4 = build_farm(boards=2, stage_count=4, require_odd=False)
+        corner = next(iter(farm_n5)).corners[0]
+        entries = [
+            (device.evaluator, corner)
+            for pair in zip(farm_n5, farm_n4)
+            for device in pair
+        ]
+        serial = [
+            device.evaluator.response(corner)
+            for pair in zip(build_farm(boards=2, stage_count=5),
+                            build_farm(boards=2, stage_count=4,
+                                       require_odd=False))
+            for device in pair
+        ]
+        for mine, theirs in zip(coalesce_responses(entries), serial):
+            assert mine.tobytes() == theirs.tobytes()
+
+    def test_pair_delays_identical_under_concatenation(self):
+        # The underlying numerical claim: the grouped einsum returns the
+        # exact floats the per-evaluator einsum returns.
+        farm = build_farm()
+        corner = next(iter(farm)).corners[3]
+        requests = [d.evaluator.delay_request(corner) for d in farm]
+        grouped = coalesce_pair_delays(requests)
+        for device, (top, bottom) in zip(farm, grouped):
+            alone_top, alone_bottom = device.evaluator.pair_delays(corner)
+            assert top.tobytes() == alone_top.tobytes()
+            assert bottom.tobytes() == alone_bottom.tobytes()
+
+    def test_mismatched_requests_rejected(self):
+        farm = build_farm(boards=2)
+        entries = entries_for(farm, 2)
+        requests = [entries[0][0].delay_request(entries[0][1])]
+        with pytest.raises(ValueError, match="delay requests"):
+            coalesce_responses(entries, requests=requests)
+
+    def test_unmeasured_corner_raises_from_gather(self):
+        farm = build_farm(boards=1)
+        device = next(iter(farm))
+        bogus = OperatingPoint(voltage=9.9, temperature=999.0)
+        with pytest.raises(KeyError):
+            coalesce_responses([(device.evaluator, bogus)])
+
+
+class TestRequestCoalescer:
+    def test_single_submit_matches_direct_response(self):
+        farm = build_farm()
+        reference_farm = build_farm()
+        device = next(iter(farm))
+        corner = device.corners[0]
+        with RequestCoalescer(max_batch=8, max_wait_s=0.0) as coalescer:
+            bits = coalescer.submit(device.evaluator, corner)
+        expected = next(iter(reference_farm)).evaluator.response(corner)
+        assert bits.tobytes() == expected.tobytes()
+
+    def test_concurrent_submits_all_succeed_and_batch(self):
+        farm = build_farm()
+        reference_farm = build_farm()
+        workload = entries_for(farm, 12)
+        expected = [
+            evaluator.response(op)
+            for evaluator, op in entries_for(reference_farm, 12)
+        ]
+        results: list[np.ndarray | None] = [None] * len(workload)
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(len(workload))
+        with RequestCoalescer(max_batch=64, max_wait_s=0.05) as coalescer:
+
+            def worker(index: int) -> None:
+                evaluator, op = workload[index]
+                barrier.wait()
+                try:
+                    results[index] = coalescer.submit(evaluator, op)
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(len(workload))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = coalescer.stats()
+        assert errors == []
+        assert stats["requests"] == len(workload)
+        # The whole point: concurrent submissions shared dispatches.
+        assert stats["max_batch"] > 1
+        assert stats["batches"] < len(workload)
+        # ... without changing a single bit relative to serial evaluation.
+        for mine, theirs in zip(results, expected):
+            assert mine is not None
+            assert mine.tobytes() == theirs.tobytes()
+
+    def test_bad_request_fails_alone(self):
+        farm = build_farm(boards=2)
+        good_device, other = list(farm)
+        corner = good_device.corners[0]
+        bogus = OperatingPoint(voltage=9.9, temperature=999.0)
+        outcomes: dict[str, object] = {}
+        barrier = threading.Barrier(3)
+        with RequestCoalescer(max_batch=8, max_wait_s=0.1) as coalescer:
+
+            def good(name: str, evaluator) -> None:
+                barrier.wait()
+                outcomes[name] = coalescer.submit(evaluator, corner)
+
+            def bad() -> None:
+                barrier.wait()
+                try:
+                    coalescer.submit(good_device.evaluator, bogus)
+                    outcomes["bad"] = "no error"
+                except KeyError as exc:
+                    outcomes["bad"] = exc
+
+            threads = [
+                threading.Thread(target=good, args=("a", good_device.evaluator)),
+                threading.Thread(target=good, args=("b", other.evaluator)),
+                threading.Thread(target=bad),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        # The poisoned request raised; its batch-mates still got bits.
+        assert isinstance(outcomes["bad"], KeyError)
+        assert isinstance(outcomes["a"], np.ndarray)
+        assert isinstance(outcomes["b"], np.ndarray)
+
+    def test_max_batch_is_respected(self):
+        farm = build_farm()
+        workload = entries_for(farm, 6)
+        barrier = threading.Barrier(len(workload))
+        with RequestCoalescer(max_batch=2, max_wait_s=0.05) as coalescer:
+
+            def worker(index: int) -> None:
+                evaluator, op = workload[index]
+                barrier.wait()
+                coalescer.submit(evaluator, op)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(len(workload))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = coalescer.stats()
+        assert stats["max_batch"] <= 2
+        assert stats["batches"] >= 3
+        assert stats["requests"] == 6
+
+    def test_submit_after_close_raises(self):
+        farm = build_farm(boards=1)
+        device = next(iter(farm))
+        coalescer = RequestCoalescer()
+        coalescer.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            coalescer.submit(device.evaluator, device.corners[0])
+
+    def test_close_is_idempotent(self):
+        coalescer = RequestCoalescer()
+        coalescer.close()
+        coalescer.close()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            RequestCoalescer(max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_s"):
+            RequestCoalescer(max_wait_s=-1.0)
+
+    def test_stats_shape(self):
+        with RequestCoalescer() as coalescer:
+            stats = coalescer.stats()
+        assert stats == {
+            "requests": 0,
+            "batches": 0,
+            "max_batch": 0,
+            "mean_batch": 0.0,
+        }

@@ -1,0 +1,265 @@
+"""End-to-end serving tests over a real socket on an ephemeral port.
+
+The full stack — synthetic fleet, persistent store, coalescer, threaded
+server, wire client — exercised the way a deployment would: enroll a
+fleet, authenticate genuine devices at several (V, T) corners, reject
+impostors and replays, regenerate keys, then crash the server, corrupt
+the store's tail, restart on the same journal, and authenticate again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AuthClient,
+    AuthServer,
+    AuthService,
+    CRPStore,
+    DeviceFarm,
+    FleetConfig,
+    RequestCoalescer,
+)
+from repro.serve.protocol import PROTOCOL_VERSION, decode_bits
+from repro.variation.environment import OperatingPoint
+
+
+@pytest.fixture(scope="module")
+def stack(tmp_path_factory):
+    """A served fleet of three devices backed by an on-disk store."""
+    path = tmp_path_factory.mktemp("serve-e2e") / "crp.jsonl"
+    farm = DeviceFarm.from_config(FleetConfig(boards=3))
+    service = AuthService(
+        farm,
+        CRPStore(path),
+        coalescer=RequestCoalescer(max_batch=16, max_wait_s=0.001),
+    )
+    outcome = service.enroll_fleet()
+    assert len(outcome["enrolled"]) == 3
+    server = AuthServer(service).start()
+    yield server, service, farm
+    server.stop()
+
+
+@pytest.fixture()
+def client(stack):
+    server, _, _ = stack
+    with AuthClient(*server.address) as connection:
+        yield connection
+
+
+def genuine_answer(farm, device_id: str, corner, indices) -> np.ndarray:
+    """What the real device would answer: its bits at the challenged indices."""
+    bits = farm.device(device_id).evaluator.response(corner)
+    return bits[np.array(indices)]
+
+
+class TestBasicVerbs:
+    def test_ping_reports_protocol_version(self, client):
+        response = client.ping()
+        assert response["ok"] is True
+        assert response["version"] == PROTOCOL_VERSION
+
+    def test_devices_lists_the_enrolled_fleet(self, stack, client):
+        _, _, farm = stack
+        assert client.devices() == farm.device_ids
+
+    def test_stats_expose_all_three_layers(self, client):
+        client.ping()
+        stats = client.stats()
+        assert stats["service"]["requests.ping"] >= 1
+        assert set(stats["store"]) == {
+            "devices",
+            "hits",
+            "misses",
+            "tombstones",
+        }
+        assert "mean_batch" in stats["coalescer"]
+
+    def test_unknown_device_is_a_clean_error(self, client):
+        response = client.challenge("never-enrolled")
+        assert response["ok"] is False
+        assert response["error_type"] == "UnknownDevice"
+
+
+class TestAttestation:
+    def test_genuine_device_accepted_across_corners(self, stack, client):
+        _, _, farm = stack
+        device = next(iter(farm))
+        for corner in device.corners[::6]:
+            response = client.attest(device.device_id, corner)
+            assert response["ok"] is True
+            assert response["accepted"] is True
+            assert response["distance"] <= response["threshold"]
+
+    def test_attest_returns_the_measured_response(self, stack, client):
+        _, _, farm = stack
+        device = next(iter(farm))
+        corner = device.corners[0]
+        response = client.attest(device.device_id, corner)
+        expected = farm.device(device.device_id).evaluator.response(corner)
+        assert np.array_equal(decode_bits(response["response"]), expected)
+
+    def test_unmeasured_corner_is_a_clean_error(self, stack, client):
+        _, _, farm = stack
+        device_id = farm.device_ids[0]
+        bogus = OperatingPoint(voltage=9.9, temperature=999.0)
+        response = client.attest(device_id, bogus)
+        assert response["ok"] is False
+        assert response["error_type"] == "UnmeasuredCorner"
+
+
+class TestChallengeResponse:
+    def test_genuine_answer_accepted(self, stack, client):
+        _, _, farm = stack
+        device_id = farm.device_ids[0]
+        corner = farm.device(device_id).corners[0]
+        issued = client.challenge(device_id)
+        assert issued["ok"] is True
+        answer = genuine_answer(farm, device_id, corner, issued["indices"])
+        verdict = client.auth(device_id, issued["challenge_id"], answer)
+        assert verdict["ok"] is True
+        assert verdict["accepted"] is True
+
+    def test_impostor_answer_rejected(self, stack, client):
+        # An impostor holding a *different* board answers the challenge
+        # with its own silicon's bits: rejected.
+        _, _, farm = stack
+        victim, impostor = farm.device_ids[:2]
+        corner = farm.device(victim).corners[0]
+        issued = client.challenge(victim)
+        forged = genuine_answer(farm, impostor, corner, issued["indices"])
+        verdict = client.auth(victim, issued["challenge_id"], forged)
+        assert verdict["accepted"] is False
+        assert verdict["distance"] > verdict["threshold"]
+
+    def test_random_guess_rejected(self, stack, client):
+        _, _, farm = stack
+        device_id = farm.device_ids[0]
+        issued = client.challenge(device_id)
+        guess = np.random.default_rng(13).integers(
+            0, 2, size=len(issued["indices"])
+        )
+        verdict = client.auth(device_id, issued["challenge_id"], guess)
+        assert verdict["accepted"] is False
+
+    def test_replayed_challenge_rejected(self, stack, client):
+        _, _, farm = stack
+        device_id = farm.device_ids[0]
+        corner = farm.device(device_id).corners[0]
+        issued = client.challenge(device_id)
+        answer = genuine_answer(farm, device_id, corner, issued["indices"])
+        first = client.auth(device_id, issued["challenge_id"], answer)
+        assert first["accepted"] is True
+        # Same (challenge, answer) pair again: single-use means rejection.
+        replay = client.auth(device_id, issued["challenge_id"], answer)
+        assert replay["accepted"] is False
+        assert "challenge" in replay["reason"]
+
+    def test_challenge_bound_to_its_device(self, stack, client):
+        _, _, farm = stack
+        issued_for, somebody_else = farm.device_ids[:2]
+        corner = farm.device(somebody_else).corners[0]
+        issued = client.challenge(issued_for)
+        # A genuine answer from the wrong device under its own identity.
+        answer = genuine_answer(
+            farm, somebody_else, corner, issued["indices"]
+        )
+        verdict = client.auth(
+            somebody_else, issued["challenge_id"], answer
+        )
+        assert verdict["accepted"] is False
+        assert "different device" in verdict["reason"]
+
+    def test_challenges_are_unique(self, client, stack):
+        _, _, farm = stack
+        device_id = farm.device_ids[0]
+        a = client.challenge(device_id)
+        b = client.challenge(device_id)
+        assert a["challenge_id"] != b["challenge_id"]
+
+    def test_wrong_answer_width_is_bad_request(self, stack, client):
+        _, _, farm = stack
+        device_id = farm.device_ids[0]
+        issued = client.challenge(device_id)
+        verdict = client.auth(device_id, issued["challenge_id"], "01")
+        assert verdict["ok"] is False
+        assert verdict["error_type"] == "BadRequest"
+
+
+class TestKeyRegeneration:
+    def test_key_verified_and_stable_across_corners(self, stack, client):
+        server, service, farm = stack
+        device = next(iter(farm))
+        keys = set()
+        for corner in device.corners[:3]:
+            response = client.regen(device.device_id, corner)
+            assert response["ok"] is True
+            assert response["verified"] is True
+            keys.add(response["key"])
+        # The fuzzy extractor absorbs corner-to-corner noise: one key.
+        assert len(keys) == 1
+        record = service.store.get(device.device_id)
+        assert record.matches_key(bytes.fromhex(keys.pop()))
+
+    def test_keys_differ_between_devices(self, stack, client):
+        _, _, farm = stack
+        corner = next(iter(farm)).corners[0]
+        keys = {
+            client.regen(device_id, corner)["key"]
+            for device_id in farm.device_ids
+        }
+        assert len(keys) == len(farm.device_ids)
+
+
+class TestEvictionAndRestart:
+    def test_evicted_device_stops_authenticating(self, tmp_path):
+        farm = DeviceFarm.from_config(FleetConfig(boards=2))
+        service = AuthService(farm, CRPStore(tmp_path / "crp.jsonl"))
+        service.enroll_fleet()
+        victim = farm.device_ids[0]
+        with AuthServer(service).start() as server:
+            with AuthClient(*server.address) as client:
+                corner = farm.device(victim).corners[0]
+                assert client.attest(victim, corner)["accepted"] is True
+                service.store.evict(victim)
+                response = client.attest(victim, corner)
+                assert response["ok"] is False
+                assert response["error_type"] == "UnknownDevice"
+                # The other device is untouched.
+                other = farm.device_ids[1]
+                assert client.attest(other, corner)["accepted"] is True
+
+    def test_crash_corrupt_restart_reauthenticate(self, tmp_path):
+        path = tmp_path / "crp.jsonl"
+        config = FleetConfig(boards=2)
+
+        farm = DeviceFarm.from_config(config)
+        service = AuthService(farm, CRPStore(path))
+        assert len(service.enroll_fleet()["enrolled"]) == 2
+        with AuthServer(service).start() as server:
+            with AuthClient(*server.address) as client:
+                device_id = farm.device_ids[0]
+                corner = farm.device(device_id).corners[0]
+                assert client.attest(device_id, corner)["accepted"] is True
+        # The server is down.  Simulate the crash having happened
+        # mid-append: a ragged half-record at the journal's tail.
+        with open(path, "ab") as handle:
+            handle.write(b'{"scheme":"ropuf-crp-v1","kind":"enro')
+
+        # A fresh process: same seed rebuilds the same fleet, the store
+        # repairs its tail, and enrollment finds everything already there.
+        farm2 = DeviceFarm.from_config(config)
+        service2 = AuthService(farm2, CRPStore(path))
+        outcome = service2.enroll_fleet()
+        assert outcome["enrolled"] == []
+        assert sorted(outcome["reused"]) == farm2.device_ids
+        with AuthServer(service2).start() as server:
+            with AuthClient(*server.address) as client:
+                for device_id in farm2.device_ids:
+                    corner = farm2.device(device_id).corners[0]
+                    attested = client.attest(device_id, corner)
+                    assert attested["accepted"] is True
+                    regen = client.regen(device_id, corner)
+                    assert regen["verified"] is True

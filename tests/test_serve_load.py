@@ -1,0 +1,203 @@
+"""Load-generator and ``ropuf serve`` CLI tests.
+
+The slow test is the ISSUE's acceptance gate: at least 100 concurrent
+clients against one server with zero authentication failures, and proof
+that the coalescer actually batched (the concurrency was real).  The fast
+tests pin the CLI surface: flag parsing, the ``--bench`` JSON contract,
+and its exit-code semantics.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.serve import (
+    AuthServer,
+    AuthService,
+    CRPStore,
+    DeviceFarm,
+    FleetConfig,
+    RequestCoalescer,
+    percentiles,
+    run_load,
+)
+
+
+class TestPercentiles:
+    def test_empty_samples(self):
+        assert percentiles([]) == {
+            "p50": 0.0,
+            "p90": 0.0,
+            "p99": 0.0,
+            "max": 0.0,
+        }
+
+    def test_ordering(self):
+        summary = percentiles(list(range(1, 101)))
+        assert summary["p50"] <= summary["p90"] <= summary["p99"]
+        assert summary["max"] == 100.0
+
+
+class TestRunLoad:
+    def test_small_load_zero_failures(self):
+        farm = DeviceFarm.from_config(FleetConfig(boards=2))
+        service = AuthService(farm, CRPStore(None))
+        service.enroll_fleet()
+        with AuthServer(service).start() as server:
+            host, port = server.address
+            summary = run_load(
+                host, port, clients=8, auths_per_client=3, farm=farm
+            )
+        assert summary["failures"] == 0, summary["failure_samples"]
+        assert summary["requests"] == 24
+        assert summary["latency_ms"]["p50"] > 0.0
+        assert set(summary["verbs"]) == {"attest", "regen", "challenge-auth"}
+
+    def test_without_farm_skips_challenge_rounds(self):
+        farm = DeviceFarm.from_config(FleetConfig(boards=2))
+        service = AuthService(farm, CRPStore(None))
+        service.enroll_fleet()
+        corners = next(iter(farm)).corners
+        with AuthServer(service).start() as server:
+            host, port = server.address
+            summary = run_load(
+                host,
+                port,
+                clients=4,
+                auths_per_client=2,
+                device_ids=farm.device_ids,
+                corners=corners,
+            )
+        assert summary["failures"] == 0
+        assert "challenge-auth" not in summary["verbs"]
+
+    def test_requires_targets(self):
+        with pytest.raises(ValueError, match="devices"):
+            run_load("127.0.0.1", 1, clients=1)
+
+    @pytest.mark.slow
+    def test_hundred_concurrent_clients_zero_auth_failures(self):
+        # The acceptance gate: >= 100 concurrent clients, every request
+        # must authenticate, and the coalescer must have batched.
+        farm = DeviceFarm.from_config(FleetConfig(boards=4))
+        coalescer = RequestCoalescer(max_batch=64, max_wait_s=0.002)
+        service = AuthService(farm, CRPStore(None), coalescer=coalescer)
+        service.enroll_fleet()
+        with AuthServer(service).start() as server:
+            host, port = server.address
+            summary = run_load(
+                host, port, clients=100, auths_per_client=5, farm=farm
+            )
+            stats = coalescer.stats()
+        assert summary["failures"] == 0, summary["failure_samples"]
+        assert summary["requests"] == 500
+        assert stats["max_batch"] > 1
+        assert stats["batches"] < stats["requests"]
+
+
+class TestServeCLI:
+    def test_serve_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.boards == 4
+        assert args.ro_count == 320
+        assert args.stages == 5
+        assert args.fleet_method == "case1"
+        assert args.store is None
+        assert args.auth_threshold == 0.15
+        assert args.max_batch == 64
+        assert args.window == 0.002
+        assert args.bench is False
+        assert args.clients == 100
+        assert args.auths == 10
+
+    def test_serve_flags_parse_explicit(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--bench",
+                "--boards",
+                "2",
+                "--fleet-method",
+                "case2",
+                "--store",
+                "/tmp/crp.jsonl",
+                "--clients",
+                "7",
+            ]
+        )
+        assert args.bench is True
+        assert args.boards == 2
+        assert args.fleet_method == "case2"
+        assert args.store == "/tmp/crp.jsonl"
+        assert args.clients == 7
+
+    def test_bench_smoke_exits_zero_with_json_summary(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--bench",
+                "--boards",
+                "2",
+                "--clients",
+                "5",
+                "--auths",
+                "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        summary = json.loads(output)
+        assert summary["failures"] == 0
+        assert summary["requests"] == 10
+        assert summary["coalescer"]["requests"] > 0
+        assert summary["store"]["devices"] == 2
+
+    def test_bench_writes_output_file(self, capsys, tmp_path):
+        out = tmp_path / "summary.json"
+        code = main(
+            [
+                "serve",
+                "--bench",
+                "--boards",
+                "2",
+                "--clients",
+                "3",
+                "--auths",
+                "2",
+                "--output",
+                str(out),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert json.loads(out.read_text())["failures"] == 0
+
+    def test_bench_with_persistent_store(self, capsys, tmp_path):
+        store = tmp_path / "crp.jsonl"
+        argv = [
+            "serve",
+            "--bench",
+            "--boards",
+            "2",
+            "--clients",
+            "3",
+            "--auths",
+            "2",
+            "--store",
+            str(store),
+        ]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["enrollment"]["enrolled"] == 2
+        # Second run on the same journal: the fleet is reused, not
+        # re-enrolled, and authentication still succeeds.
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["enrollment"]["reused"] == 2
+        assert second["failures"] == 0

@@ -1,0 +1,309 @@
+"""Frame protocol tests: unit-level parsing plus socket-level survival.
+
+The unit half pins the exact exception taxonomy of ``repro.serve.protocol``
+on in-memory streams.  The socket half runs a real server and throws every
+flavour of hostile input at it — garbage length prefixes, bad JSON,
+mid-frame disconnects — asserting both the per-connection contract
+(error frame vs drop) and, after each abuse, that the server still answers
+a well-formed client.
+"""
+
+from __future__ import annotations
+
+import io
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AuthServer,
+    AuthService,
+    CRPStore,
+    DeviceFarm,
+    FleetConfig,
+)
+from repro.serve.client import AuthClient, ServeClientError
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    FrameMalformed,
+    FrameTooLarge,
+    FrameTruncated,
+    decode_bits,
+    encode_bits,
+    read_frame,
+    write_frame,
+)
+
+
+def frame_bytes(payload: bytes) -> bytes:
+    return struct.pack(">I", len(payload)) + payload
+
+
+class TestFrameCodec:
+    def test_round_trip(self):
+        buffer = io.BytesIO()
+        message = {"op": "ping", "n": 3, "bits": "0101"}
+        write_frame(buffer, message)
+        buffer.seek(0)
+        assert read_frame(buffer) == message
+
+    def test_many_frames_on_one_stream(self):
+        buffer = io.BytesIO()
+        for index in range(5):
+            write_frame(buffer, {"index": index})
+        buffer.seek(0)
+        assert [read_frame(buffer)["index"] for _ in range(5)] == list(range(5))
+        assert read_frame(buffer) is None  # clean EOF between frames
+
+    def test_clean_eof_returns_none(self):
+        assert read_frame(io.BytesIO(b"")) is None
+
+    def test_truncated_header(self):
+        with pytest.raises(FrameTruncated):
+            read_frame(io.BytesIO(b"\x00\x00"))
+
+    def test_truncated_payload(self):
+        whole = frame_bytes(b'{"op":"ping"}')
+        with pytest.raises(FrameTruncated):
+            read_frame(io.BytesIO(whole[:-4]))
+
+    def test_zero_length_frame_is_malformed(self):
+        with pytest.raises(FrameMalformed):
+            read_frame(io.BytesIO(struct.pack(">I", 0)))
+
+    def test_invalid_json_is_malformed(self):
+        with pytest.raises(FrameMalformed):
+            read_frame(io.BytesIO(frame_bytes(b"not json at all")))
+
+    def test_non_object_json_is_malformed(self):
+        with pytest.raises(FrameMalformed):
+            read_frame(io.BytesIO(frame_bytes(b"[1,2,3]")))
+
+    def test_invalid_utf8_is_malformed(self):
+        with pytest.raises(FrameMalformed):
+            read_frame(io.BytesIO(frame_bytes(b"\xff\xfe\xfd")))
+
+    def test_oversized_declared_length(self):
+        stream = io.BytesIO(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameTooLarge):
+            read_frame(stream)
+
+    def test_oversized_leaves_payload_unread(self):
+        # The reader must not try to consume a hostile length's payload.
+        stream = io.BytesIO(struct.pack(">I", 1 << 30))
+        with pytest.raises(FrameTooLarge):
+            read_frame(stream)
+        assert stream.tell() == struct.calcsize(">I")
+
+    def test_write_rejects_oversized_payload(self):
+        buffer = io.BytesIO()
+        with pytest.raises(FrameTooLarge):
+            write_frame(buffer, {"blob": "x" * 100}, max_bytes=32)
+        assert buffer.getvalue() == b""  # nothing partial was written
+
+    def test_custom_max_bytes_on_read(self):
+        payload = b'{"op":"ping","pad":"' + b"x" * 100 + b'"}'
+        with pytest.raises(FrameTooLarge):
+            read_frame(io.BytesIO(frame_bytes(payload)), max_bytes=32)
+
+
+class TestBitCodec:
+    def test_round_trip(self):
+        bits = np.array([True, False, True, True, False])
+        assert np.array_equal(decode_bits(encode_bits(bits)), bits)
+
+    def test_encode_accepts_ints(self):
+        assert encode_bits([1, 0, 1]) == "101"
+
+    def test_decode_rejects_bad_characters(self):
+        with pytest.raises(ValueError):
+            decode_bits("01012")
+
+    def test_decode_rejects_empty(self):
+        with pytest.raises(ValueError):
+            decode_bits("")
+
+    def test_decode_rejects_non_string(self):
+        with pytest.raises(ValueError):
+            decode_bits([0, 1, 0])
+
+
+# ----------------------------------------------------------------------
+# Socket-level robustness: nothing a client sends kills the server
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def stack():
+    """A live server over a tiny in-memory fleet."""
+    farm = DeviceFarm.from_config(FleetConfig(boards=2))
+    service = AuthService(farm, CRPStore(None))
+    service.enroll_fleet()
+    server = AuthServer(service).start()
+    yield server, service, farm
+    server.stop()
+
+
+def raw_connection(server) -> socket.socket:
+    host, port = server.address
+    return socket.create_connection((host, port), timeout=5.0)
+
+
+def exchange(sock: socket.socket, raw: bytes) -> dict | None:
+    """Send raw bytes, read back one frame (None when the server closed)."""
+    sock.sendall(raw)
+    rfile = sock.makefile("rb")
+    try:
+        return read_frame(rfile)
+    finally:
+        rfile.detach()
+
+
+def assert_server_alive(server) -> None:
+    with AuthClient(*server.address) as client:
+        assert client.ping()["ok"] is True
+
+
+class TestServerRobustness:
+    def test_hostile_length_prefix_gets_error_then_close(self, stack):
+        server, _, _ = stack
+        with raw_connection(server) as sock:
+            response = exchange(sock, struct.pack(">I", 1 << 31))
+            assert response["ok"] is False
+            assert response["error_type"] == "FrameTooLarge"
+            # The stream is desynchronised, so the server must hang up.
+            rfile = sock.makefile("rb")
+            assert rfile.read(1) == b""
+        assert_server_alive(server)
+
+    def test_bad_json_gets_error_and_connection_survives(self, stack):
+        server, _, _ = stack
+        with raw_connection(server) as sock:
+            response = exchange(sock, frame_bytes(b"}{ not json"))
+            assert response["ok"] is False
+            assert response["error_type"] == "FrameMalformed"
+            # Same connection keeps working after the error frame.
+            follow_up = exchange(sock, frame_bytes(b'{"op":"ping"}'))
+            assert follow_up["ok"] is True
+        assert_server_alive(server)
+
+    def test_non_object_payload_is_malformed_not_fatal(self, stack):
+        server, _, _ = stack
+        with raw_connection(server) as sock:
+            response = exchange(sock, frame_bytes(b"[1,2]"))
+            assert response["error_type"] == "FrameMalformed"
+            assert exchange(sock, frame_bytes(b'{"op":"ping"}'))["ok"]
+
+    def test_mid_frame_disconnect_is_survived(self, stack):
+        server, _, _ = stack
+        with raw_connection(server) as sock:
+            # Declare 100 bytes, send 10, vanish.
+            sock.sendall(struct.pack(">I", 100) + b"0123456789")
+        assert_server_alive(server)
+
+    def test_partial_header_disconnect_is_survived(self, stack):
+        server, _, _ = stack
+        with raw_connection(server) as sock:
+            sock.sendall(b"\x00")
+        assert_server_alive(server)
+
+    def test_random_garbage_never_kills_the_listener(self, stack):
+        server, _, _ = stack
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            blob = rng.integers(0, 256, size=64, dtype=np.uint8).tobytes()
+            with raw_connection(server) as sock:
+                try:
+                    exchange(sock, blob)
+                except (OSError, FrameTruncated):
+                    pass  # the server may hang up mid-read; that's fine
+            assert_server_alive(server)
+
+    def test_unknown_verb_gets_clean_error(self, stack):
+        server, _, _ = stack
+        with AuthClient(*server.address) as client:
+            response = client.call("frobnicate")
+            assert response["ok"] is False
+            assert response["error_type"] == "UnknownOp"
+            assert "frobnicate" in response["error"]
+            assert client.ping()["ok"]  # connection still usable
+
+    def test_missing_fields_get_bad_request(self, stack):
+        server, _, farm = stack
+        device = farm.device_ids[0]
+        with AuthClient(*server.address) as client:
+            assert client.call("auth")["error_type"] == "BadRequest"
+            assert (
+                client.call("auth", device=device)["error_type"]
+                == "BadRequest"
+            )
+            assert (
+                client.call("attest", device=device)["error_type"]
+                == "BadRequest"
+            )
+
+    def test_bad_answer_bits_get_bad_request(self, stack):
+        server, _, farm = stack
+        device = farm.device_ids[0]
+        with AuthClient(*server.address) as client:
+            issued = client.challenge(device)
+            verdict = client.call(
+                "auth",
+                device=device,
+                challenge_id=issued["challenge_id"],
+                answer="01xx10",
+            )
+            assert verdict["ok"] is False
+            assert verdict["error_type"] == "BadRequest"
+
+    def test_protocol_errors_are_counted(self, stack):
+        server, service, _ = stack
+        before = service._counts.get("protocol_errors.FrameMalformed", 0)
+        with raw_connection(server) as sock:
+            exchange(sock, frame_bytes(b"garbage!"))
+        assert (
+            service._counts.get("protocol_errors.FrameMalformed", 0)
+            == before + 1
+        )
+
+
+class TestSmallFrameServer:
+    def test_server_with_tiny_frame_ceiling(self):
+        farm = DeviceFarm.from_config(FleetConfig(boards=2))
+        service = AuthService(farm, CRPStore(None))
+        service.enroll_fleet()
+        with AuthServer(service, max_frame_bytes=128).start() as server:
+            with AuthClient(*server.address) as client:
+                assert client.ping()["ok"]
+            with raw_connection(server) as sock:
+                big = b'{"op":"ping","pad":"' + b"x" * 256 + b'"}'
+                response = exchange(sock, frame_bytes(big))
+                assert response["error_type"] == "FrameTooLarge"
+            assert_server_alive(server)
+
+    def test_start_twice_rejected(self):
+        farm = DeviceFarm.from_config(FleetConfig(boards=2))
+        service = AuthService(farm, CRPStore(None))
+        server = AuthServer(service).start()
+        try:
+            with pytest.raises(RuntimeError):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_client_reports_server_hangup(self):
+        # A client whose frame ceiling exceeds the server's: its oversized
+        # frame earns an error reply and a server-side close, after which
+        # the next call must surface as a transport error, not a hang.
+        farm = DeviceFarm.from_config(FleetConfig(boards=2))
+        service = AuthService(farm, CRPStore(None))
+        service.enroll_fleet()
+        with AuthServer(service, max_frame_bytes=128).start() as server:
+            host, port = server.address
+            with AuthClient(host, port, max_frame_bytes=4096) as client:
+                response = client.call("ping", pad="x" * 512)
+                assert response["error_type"] == "FrameTooLarge"
+                with pytest.raises(ServeClientError):
+                    client.ping()

@@ -1,0 +1,332 @@
+"""CRP store tests: CRUD, durability, crash recovery, and a property test.
+
+The crash tests simulate the failure the journal design is built for —
+death mid-append — by corrupting the file's tail directly and asserting
+the reopened store discards exactly the damaged suffix, repairs the file,
+and keeps appending.  The Hypothesis test drives arbitrary interleavings
+of enroll / evict / lookup / reopen against a plain-dict model, checking
+the store never loses an acknowledged record and never serves one device
+another device's CRPs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serve.store import CRPStore, DeviceRecord
+
+
+def make_record(device_id: str, seed: int = 0, bits: int = 16) -> DeviceRecord:
+    """A deterministic little record, unique per (device_id, seed)."""
+    rng = np.random.default_rng(
+        int.from_bytes(hashlib.sha256(f"{device_id}:{seed}".encode()).digest()[:4], "big")
+    )
+    reference = rng.integers(0, 2, size=bits).astype(bool)
+    offset = rng.integers(0, 2, size=bits - 2).astype(bool)
+    used = tuple(
+        int(i) for i in np.sort(rng.choice(bits, size=bits - 2, replace=False))
+    )
+    return DeviceRecord(
+        device_id=device_id,
+        reference_bits=reference,
+        helper_offset=offset,
+        helper_salt=rng.integers(0, 256, size=8, dtype=np.uint8).tobytes(),
+        used_bits=used,
+        key_digest=hashlib.sha256(device_id.encode()).hexdigest(),
+        enrolled_at="V=1.20V T=25C",
+    )
+
+
+def records_equal(a: DeviceRecord, b: DeviceRecord) -> bool:
+    return (
+        a.device_id == b.device_id
+        and np.array_equal(a.reference_bits, b.reference_bits)
+        and np.array_equal(a.helper_offset, b.helper_offset)
+        and a.helper_salt == b.helper_salt
+        and a.used_bits == b.used_bits
+        and a.key_digest == b.key_digest
+        and a.enrolled_at == b.enrolled_at
+    )
+
+
+class TestDeviceRecord:
+    def test_payload_round_trip(self):
+        record = make_record("board-00")
+        rebuilt = DeviceRecord.from_payload(
+            json.loads(json.dumps(record.to_payload()))
+        )
+        assert records_equal(record, rebuilt)
+
+    def test_helper_round_trips_through_payload(self):
+        record = make_record("board-00")
+        rebuilt = DeviceRecord.from_payload(record.to_payload())
+        helper = rebuilt.helper()
+        assert np.array_equal(helper.offset, record.helper_offset)
+        assert helper.salt == record.helper_salt
+
+    def test_matches_key(self):
+        record = make_record("board-00")
+        assert record.matches_key(b"board-00")
+        assert not record.matches_key(b"board-01")
+
+    def test_rejects_empty_device_id(self):
+        with pytest.raises(ValueError, match="device_id"):
+            make_record("")
+
+    def test_rejects_out_of_range_used_bits(self):
+        record = make_record("board-00")
+        with pytest.raises(ValueError, match="used_bits"):
+            DeviceRecord(
+                device_id="x",
+                reference_bits=record.reference_bits,
+                helper_offset=record.helper_offset,
+                helper_salt=record.helper_salt,
+                used_bits=(0, len(record.reference_bits)),
+                key_digest=record.key_digest,
+                enrolled_at=record.enrolled_at,
+            )
+
+    def test_rejects_empty_reference(self):
+        with pytest.raises(ValueError, match="reference_bits"):
+            DeviceRecord(
+                device_id="x",
+                reference_bits=np.array([], dtype=bool),
+                helper_offset=np.array([True]),
+                helper_salt=b"s",
+                used_bits=(),
+                key_digest="d",
+                enrolled_at="nominal",
+            )
+
+
+class TestInMemoryStore:
+    def test_enroll_get_len(self):
+        store = CRPStore(None)
+        record = make_record("board-00")
+        store.enroll(record)
+        assert len(store) == 1
+        assert "board-00" in store
+        assert records_equal(store.get("board-00"), record)
+
+    def test_duplicate_enroll_rejected(self):
+        store = CRPStore(None)
+        store.enroll(make_record("board-00"))
+        with pytest.raises(ValueError, match="already enrolled"):
+            store.enroll(make_record("board-00", seed=1))
+
+    def test_evict_then_reenroll(self):
+        store = CRPStore(None)
+        store.enroll(make_record("board-00"))
+        store.evict("board-00")
+        assert "board-00" not in store
+        store.enroll(make_record("board-00", seed=2))  # now allowed
+
+    def test_evict_missing_raises(self):
+        store = CRPStore(None)
+        with pytest.raises(KeyError):
+            store.evict("ghost")
+
+    def test_stats_track_hits_and_misses(self):
+        store = CRPStore(None)
+        store.enroll(make_record("board-00"))
+        store.get("board-00")
+        store.get("board-00")
+        store.get("nobody")
+        stats = store.stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+        assert stats["devices"] == 1
+
+    def test_compact_is_a_noop_in_memory(self):
+        store = CRPStore(None)
+        store.enroll(make_record("board-00"))
+        store.evict("board-00")
+        store.compact()
+        assert store.stats()["tombstones"] == 0
+
+
+class TestPersistentStore:
+    def test_reopen_restores_records(self, tmp_path):
+        path = tmp_path / "crp.jsonl"
+        original = [make_record(f"board-{i:02d}") for i in range(3)]
+        store = CRPStore(path)
+        for record in original:
+            store.enroll(record)
+        reopened = CRPStore(path)
+        assert reopened.device_ids == [r.device_id for r in original]
+        for record in original:
+            assert records_equal(reopened.get(record.device_id), record)
+
+    def test_eviction_survives_reopen(self, tmp_path):
+        path = tmp_path / "crp.jsonl"
+        store = CRPStore(path)
+        store.enroll(make_record("board-00"))
+        store.enroll(make_record("board-01"))
+        store.evict("board-00")
+        reopened = CRPStore(path)
+        assert reopened.device_ids == ["board-01"]
+
+    def test_crash_mid_append_tail_is_repaired(self, tmp_path):
+        path = tmp_path / "crp.jsonl"
+        store = CRPStore(path)
+        store.enroll(make_record("board-00"))
+        store.enroll(make_record("board-01"))
+        intact_size = path.stat().st_size
+        # Simulate dying halfway through the third append.
+        with open(path, "ab") as handle:
+            handle.write(b'{"scheme":"ropuf-crp-v1","kind":"enr')
+        reopened = CRPStore(path)
+        assert reopened.device_ids == ["board-00", "board-01"]
+        # The file was truncated back to the last intact record ...
+        assert path.stat().st_size == intact_size
+        # ... so appends continue on a clean seam.
+        reopened.enroll(make_record("board-02"))
+        assert CRPStore(path).device_ids == [
+            "board-00",
+            "board-01",
+            "board-02",
+        ]
+
+    def test_garbage_tail_is_discarded(self, tmp_path):
+        path = tmp_path / "crp.jsonl"
+        store = CRPStore(path)
+        store.enroll(make_record("board-00"))
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\xffnot json\n" + b"more garbage")
+        reopened = CRPStore(path)
+        assert reopened.device_ids == ["board-00"]
+        assert b"garbage" not in path.read_bytes()
+
+    def test_foreign_scheme_stops_replay(self, tmp_path):
+        path = tmp_path / "crp.jsonl"
+        store = CRPStore(path)
+        store.enroll(make_record("board-00"))
+        alien = json.dumps(
+            {"scheme": "somebody-else-v9", "kind": "enroll", "device": {}}
+        )
+        with open(path, "a") as handle:
+            handle.write(alien + "\n")
+        store.enroll(make_record("board-01"))  # appended after the alien line
+        reopened = CRPStore(path)
+        # Replay stops at the first foreign record: only board-00 survives.
+        assert reopened.device_ids == ["board-00"]
+
+    def test_missing_file_is_an_empty_store(self, tmp_path):
+        store = CRPStore(tmp_path / "never-written.jsonl")
+        assert len(store) == 0
+
+    def test_compact_drops_tombstones(self, tmp_path):
+        path = tmp_path / "crp.jsonl"
+        store = CRPStore(path)
+        for i in range(3):
+            store.enroll(make_record(f"board-{i:02d}"))
+        store.evict("board-01")
+        assert store.stats()["tombstones"] == 1
+        size_before = path.stat().st_size
+        store.compact()
+        assert path.stat().st_size < size_before
+        assert store.stats()["tombstones"] == 0
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["kind"] == "enroll" for line in lines)
+        assert CRPStore(path).device_ids == ["board-00", "board-02"]
+
+    def test_parent_directories_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "crp.jsonl"
+        store = CRPStore(path)
+        store.enroll(make_record("board-00"))
+        assert path.exists()
+
+
+# ----------------------------------------------------------------------
+# Property test: arbitrary op sequences against a dict model
+# ----------------------------------------------------------------------
+
+_DEVICES = [f"dev-{i}" for i in range(4)]
+_counter = itertools.count()
+
+
+@pytest.fixture(scope="module")
+def prop_dir(tmp_path_factory):
+    """Module-scoped scratch dir: Hypothesis examples pick unique files."""
+    return tmp_path_factory.mktemp("store-props")
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("enroll"), st.sampled_from(_DEVICES)),
+        st.tuples(st.just("evict"), st.sampled_from(_DEVICES)),
+        st.tuples(st.just("lookup"), st.sampled_from(_DEVICES)),
+        st.tuples(st.just("reopen"), st.none()),
+        st.tuples(st.just("compact"), st.none()),
+    ),
+    max_size=25,
+)
+
+
+class TestStoreProperties:
+    @given(ops=_ops)
+    def test_store_always_agrees_with_model(self, ops, prop_dir):
+        # The fixture is per-test, not per-example: give each example its
+        # own journal file.
+        path = prop_dir / f"store-{next(_counter)}.jsonl"
+        store = CRPStore(path)
+        model: dict[str, DeviceRecord] = {}
+        generation = 0
+        for verb, device in ops:
+            if verb == "enroll":
+                generation += 1
+                record = make_record(device, seed=generation)
+                if device in model:
+                    with pytest.raises(ValueError):
+                        store.enroll(record)
+                else:
+                    store.enroll(record)
+                    model[device] = record
+            elif verb == "evict":
+                if device in model:
+                    store.evict(device)
+                    del model[device]
+                else:
+                    with pytest.raises(KeyError):
+                        store.evict(device)
+            elif verb == "lookup":
+                found = store.get(device)
+                if device in model:
+                    # Never another device's CRPs, never a stale generation.
+                    assert found is not None
+                    assert found.device_id == device
+                    assert records_equal(found, model[device])
+                else:
+                    assert found is None
+            elif verb == "compact":
+                store.compact()
+            else:  # reopen: durability across a clean restart
+                store = CRPStore(path)
+            assert sorted(store.device_ids) == sorted(model)
+            assert len(store) == len(model)
+        # Final reopen: everything acknowledged is still there, intact.
+        final = CRPStore(path)
+        assert sorted(final.device_ids) == sorted(model)
+        for device, expected in model.items():
+            assert records_equal(final.get(device), expected)
+
+    @given(cut=st.integers(min_value=1, max_value=40))
+    def test_arbitrary_tail_truncation_never_corrupts(self, cut, prop_dir):
+        # Chop an arbitrary number of bytes off the journal: the reopened
+        # store must hold an exact prefix of the enrolled records.
+        path = prop_dir / f"cut-{next(_counter)}.jsonl"
+        store = CRPStore(path)
+        enrolled = [f"dev-{i}" for i in range(3)]
+        for device in enrolled:
+            store.enroll(make_record(device))
+        raw = path.read_bytes()
+        path.write_bytes(raw[: max(0, len(raw) - cut)])
+        survivors = CRPStore(path).device_ids
+        assert survivors == enrolled[: len(survivors)]
