@@ -39,6 +39,15 @@ Two observability verbs round out the tooling::
 ``bench compare`` exits non-zero when any metric regressed past the
 threshold (or when the artifacts are incomparable), so CI can gate on it.
 
+``ropuf fleet`` runs the out-of-core sharded fleet analytics
+(:mod:`repro.pipeline.fleet`, see docs/datasets.md): uniqueness,
+uniformity, and reliability over ``--devices`` synthetic devices,
+generated and reduced shard by shard so peak memory stays bounded by
+``--shard-devices`` regardless of fleet size.  It shares the pipeline
+hardening flags (``--jobs``, ``--cache-dir``, ``--resume``,
+``--retries``, ``--backoff``, ``--task-timeout``) and exits non-zero if
+any shard degraded after retries.
+
 ``ropuf serve`` stands up the CRP authentication service
 (:mod:`repro.serve`, see docs/serving.md): a synthetic device fleet is
 enrolled into a crash-safe store (``--store PATH`` to persist it) and
@@ -249,6 +258,42 @@ def _cmd_bench(args) -> tuple[str, int]:
     return format_bench_compare(result), 0 if result["ok"] else 1
 
 
+def _cmd_fleet(args) -> tuple[str, int]:
+    """Sharded out-of-core fleet analytics (docs/datasets.md)."""
+    import json
+
+    from .datasets.fleet import FleetSpec
+    from .pipeline import RetryPolicy, run_fleet_analysis
+
+    spec = FleetSpec(
+        devices=args.devices,
+        ro_count=args.ro_count,
+        shard_devices=args.shard_devices,
+        seed=args.seed,
+    )
+    policy = RetryPolicy(
+        max_attempts=args.retries,
+        backoff_seconds=args.backoff,
+        timeout_seconds=args.task_timeout,
+    )
+    summary = run_fleet_analysis(
+        spec,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        policy=policy,
+        journal=args.resume,
+        timings=args.timings,
+        trace=args.trace,
+    )
+    text = json.dumps(summary, indent=2)
+    output = getattr(args, "output", None)
+    if output:
+        from pathlib import Path
+
+        Path(output).write_text(text)
+    return text, 0 if summary["complete"] else 1
+
+
 def _cmd_serve(args) -> tuple[str, int]:
     """Run the CRP authentication service (or its load benchmark)."""
     import json
@@ -349,6 +394,7 @@ _TOOL_COMMANDS = {
     "trace": _cmd_trace,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
+    "fleet": _cmd_fleet,
 }
 
 
@@ -558,6 +604,92 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the --bench summary JSON to this path",
     )
 
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="sharded out-of-core fleet analytics (docs/datasets.md)",
+    )
+    fleet.add_argument(
+        "--devices",
+        type=int,
+        default=100_000,
+        help="fleet size in devices (default: 100000)",
+    )
+    fleet.add_argument(
+        "--ro-count",
+        type=int,
+        default=128,
+        help="ROs per device; adjacent pairs give half as many response "
+        "bits (default: 128)",
+    )
+    fleet.add_argument(
+        "--shard-devices",
+        type=int,
+        default=4096,
+        help="devices per shard — the memory high-water mark "
+        "(default: 4096)",
+    )
+    fleet.add_argument(
+        "--seed",
+        type=int,
+        default=20140601,
+        help="master seed; shard i draws from (seed, i) (default: 20140601)",
+    )
+    fleet.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel worker processes (default: 1)",
+    )
+    fleet.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the on-disk shard-result cache",
+    )
+    fleet.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="crash-safe checkpoint journal: completed shards are "
+        "replayed, fresh ones durably appended",
+    )
+    fleet.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="total attempts per shard before degrading it (default: 2)",
+    )
+    fleet.add_argument(
+        "--backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="exponential backoff base between attempts (default: 0)",
+    )
+    fleet.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard wall-clock timeout (needs --jobs >= 2)",
+    )
+    fleet.add_argument(
+        "--timings",
+        action="store_true",
+        help="embed per-shard timing metrics in the summary JSON",
+    )
+    fleet.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write the merged span trace as JSONL",
+    )
+    fleet.add_argument(
+        "--output",
+        default=None,
+        help="also write the summary JSON to this path",
+    )
+
     bench = subparsers.add_parser(
         "bench", help="compare benchmark JSON artifacts"
     )
@@ -575,9 +707,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument(
         "--metric",
-        choices=("all", "seconds", "speedup"),
+        choices=("all", "seconds", "speedup", "throughput", "memory"),
         default="all",
-        help="which metric families to gate on (default: all)",
+        help="which metric family to gate on (default: all)",
     )
     return parser
 

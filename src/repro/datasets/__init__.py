@@ -2,11 +2,21 @@
 
 * :mod:`~repro.datasets.vtlike` — the Virginia Tech dataset's shape
   (194 + 5 boards, 512 ROs, the full (V, T) corner grid);
-* :mod:`~repro.datasets.inhouse` — 9 inverter-level Virtex-5-style chips.
+* :mod:`~repro.datasets.inhouse` — 9 inverter-level Virtex-5-style chips;
+* :mod:`~repro.datasets.fleet` — out-of-core fleets of 10^5+ devices,
+  generated in seed-sharded chunks (ROADMAP item 2).
 """
 
 from .base import BoardRecord, RODataset
 from .export import export_vt_directory
+from .fleet import (
+    DEFAULT_FLEET_CORNERS,
+    FLEET_DRAW_ORDER,
+    FleetShard,
+    FleetSpec,
+    generate_shard,
+    iter_shards,
+)
 from .inhouse import (
     INHOUSE_BOARD_COUNT,
     INHOUSE_MAX_STAGES,
@@ -32,6 +42,12 @@ __all__ = [
     "BoardRecord",
     "RODataset",
     "export_vt_directory",
+    "DEFAULT_FLEET_CORNERS",
+    "FLEET_DRAW_ORDER",
+    "FleetShard",
+    "FleetSpec",
+    "generate_shard",
+    "iter_shards",
     "INHOUSE_BOARD_COUNT",
     "INHOUSE_MAX_STAGES",
     "INHOUSE_RING_COUNT",

@@ -16,6 +16,14 @@ from .hamming import (
     pairwise_hamming_distances,
 )
 from .reliability import ReliabilityReport, bit_flip_report, flip_positions
+from .streaming import (
+    StreamingReliability,
+    StreamingReliabilityReport,
+    StreamingUniformity,
+    StreamingUniformityReport,
+    StreamingUniqueness,
+    StreamingUniquenessReport,
+)
 from .uniformity import (
     UniformityReport,
     bit_aliasing,
@@ -43,4 +51,10 @@ __all__ = [
     "uniformity_report",
     "UniquenessReport",
     "uniqueness_report",
+    "StreamingReliability",
+    "StreamingReliabilityReport",
+    "StreamingUniformity",
+    "StreamingUniformityReport",
+    "StreamingUniqueness",
+    "StreamingUniquenessReport",
 ]

@@ -14,6 +14,13 @@ default**; every recording call returns after one module-flag check, so
 instrumented hot paths pay effectively nothing when observability is off
 (pinned by ``benchmarks/test_bench_obs_overhead.py``).
 
+The registry is **thread-safe**: the serve layer records counters and
+latency histograms from many connection-handler threads at once, so every
+enabled read-modify-write holds one module lock (the disabled fast path
+stays a single flag check and never touches it).  Exact totals under
+concurrent recording are pinned by the hammer test in
+``tests/test_obs_metrics.py``.
+
 Snapshots merge across processes with :func:`merge_snapshots` — the
 pipeline's workers ship their snapshot back inside the task payload and
 the parent folds them into the ``"_metrics"`` block of the summary JSON.
@@ -25,6 +32,7 @@ the full list lives in ``docs/observability.md``.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 
@@ -46,6 +54,10 @@ __all__ = [
 METRICS_SCHEMA = 1
 
 _enabled = False
+#: Guards every enabled read-modify-write on the dicts below.  Recording
+#: calls check ``_enabled`` *before* acquiring it, so disabled paths pay
+#: one flag check and no lock traffic.
+_lock = threading.Lock()
 _counters: dict[str, float] = {}
 _gauges: dict[str, float] = {}
 _histograms: dict[str, dict] = {}
@@ -70,44 +82,48 @@ def disable_metrics() -> None:
 
 def reset_metrics() -> None:
     """Clear every counter, gauge, and histogram."""
-    _counters.clear()
-    _gauges.clear()
-    _histograms.clear()
+    with _lock:
+        _counters.clear()
+        _gauges.clear()
+        _histograms.clear()
 
 
 def counter_add(name: str, value: float = 1.0) -> None:
     """Add ``value`` to the counter ``name`` (no-op while disabled)."""
     if not _enabled:
         return
-    _counters[name] = _counters.get(name, 0.0) + value
+    with _lock:
+        _counters[name] = _counters.get(name, 0.0) + value
 
 
 def gauge_set(name: str, value: float) -> None:
     """Set the gauge ``name`` to ``value`` (no-op while disabled)."""
     if not _enabled:
         return
-    _gauges[name] = value
+    with _lock:
+        _gauges[name] = value
 
 
 def histogram_observe(name: str, value: float) -> None:
     """Fold ``value`` into the histogram ``name`` (no-op while disabled)."""
     if not _enabled:
         return
-    histogram = _histograms.get(name)
-    if histogram is None:
-        _histograms[name] = {
-            "count": 1,
-            "total": value,
-            "min": value,
-            "max": value,
-        }
-        return
-    histogram["count"] += 1
-    histogram["total"] += value
-    if value < histogram["min"]:
-        histogram["min"] = value
-    if value > histogram["max"]:
-        histogram["max"] = value
+    with _lock:
+        histogram = _histograms.get(name)
+        if histogram is None:
+            _histograms[name] = {
+                "count": 1,
+                "total": value,
+                "min": value,
+                "max": value,
+            }
+            return
+        histogram["count"] += 1
+        histogram["total"] += value
+        if value < histogram["min"]:
+            histogram["min"] = value
+        if value > histogram["max"]:
+            histogram["max"] = value
 
 
 @contextmanager
@@ -129,16 +145,22 @@ def timed(name: str):
 
 
 def snapshot() -> dict:
-    """The registry as a plain-JSON document (deep-copied, sorted keys)."""
-    return {
-        "schema": METRICS_SCHEMA,
-        "counters": dict(sorted(_counters.items())),
-        "gauges": dict(sorted(_gauges.items())),
-        "histograms": {
-            name: dict(histogram)
-            for name, histogram in sorted(_histograms.items())
-        },
-    }
+    """The registry as a plain-JSON document (deep-copied, sorted keys).
+
+    Taken under the registry lock, so a snapshot racing concurrent
+    recorders is internally consistent (no half-applied histogram
+    update) and fully detached from the live dicts.
+    """
+    with _lock:
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": dict(sorted(_counters.items())),
+            "gauges": dict(sorted(_gauges.items())),
+            "histograms": {
+                name: dict(histogram)
+                for name, histogram in sorted(_histograms.items())
+            },
+        }
 
 
 def merge_snapshots(snapshots: list[dict]) -> dict:

@@ -21,6 +21,7 @@ from .trace import read_trace
 
 __all__ = [
     "BENCH_SCHEMA",
+    "BENCH_METRIC_FAMILIES",
     "summarize_trace",
     "format_trace_summary",
     "compare_bench",
@@ -125,11 +126,21 @@ def format_trace_summary(summary: dict) -> str:
         "top spans by self-time:",
     ]
     by_name = summary["by_name"]
-    width = max((len(name) for name in summary["top_self_time"]), default=4)
+    # Dynamic task names (fleet_shard:<i>:<spec-json>) can be hundreds of
+    # characters; cap the aligned column and elide the middle.
+    def clip(name: str, limit: int = 48) -> str:
+        if len(name) <= limit:
+            return name
+        keep = (limit - 3) // 2
+        return name[:keep] + "..." + name[-(limit - 3 - keep):]
+
+    width = max(
+        (len(clip(name)) for name in summary["top_self_time"]), default=4
+    )
     for name in summary["top_self_time"]:
         entry = by_name[name]
         lines.append(
-            f"  {name:<{width}}  self {entry['self_seconds'] * 1e3:10.3f} ms"
+            f"  {clip(name):<{width}}  self {entry['self_seconds'] * 1e3:10.3f} ms"
             f"  total {entry['total_seconds'] * 1e3:10.3f} ms"
             f"  x{entry['count']}"
         )
@@ -179,15 +190,29 @@ def _numeric_leaves(payload, prefix: str = "") -> dict[str, float]:
     return leaves
 
 
-def _direction(path: str) -> str | None:
-    """Which way is worse for this quantity: 'higher', 'lower', or None."""
+#: Metric families ``compare_bench``'s ``metric`` argument can gate on.
+BENCH_METRIC_FAMILIES = ("seconds", "speedup", "throughput", "memory")
+
+
+def _classify(path: str) -> tuple[str, str] | None:
+    """``(family, worse_direction)`` of a quantity, or None for config.
+
+    Families: ``seconds`` (wall times, higher is worse), ``speedup``
+    (loop-vs-vectorized ratios, lower is worse), ``throughput``
+    (``*_per_second`` rates, lower is worse), ``memory`` (``peak_rss*`` /
+    ``*bytes*`` footprints, higher is worse).
+    """
     leaf = path.rsplit(".", 1)[-1]
     if leaf == "required_speedup" or ".problem." in f".{path}.":
         return None  # configuration, not a measurement
+    if "per_second" in leaf:
+        return "throughput", "lower"  # less throughput = regression
     if "seconds" in leaf:
-        return "higher"  # more seconds = slower = regression
+        return "seconds", "higher"  # more seconds = slower = regression
     if "speedup" in leaf:
-        return "lower"  # less speedup = regression
+        return "speedup", "lower"  # less speedup = regression
+    if "peak_rss" in leaf or "bytes" in leaf:
+        return "memory", "higher"  # bigger footprint = regression
     return None
 
 
@@ -199,25 +224,31 @@ def compare_bench(
 ) -> dict:
     """Compare two BENCH artifacts; flag changes beyond ``threshold``.
 
-    Quantities whose dotted path contains ``seconds`` regress when they
-    *increase* by more than ``threshold`` (relative); ``speedup``
-    quantities regress when they *decrease* by more than ``threshold``.
-    ``problem.*`` sizes and ``required_speedup`` are configuration: a
-    mismatch there makes the artifacts incomparable and is reported
-    separately (and also fails the comparison).
+    Quantities classify into families by their leaf name (see
+    :func:`_classify`): ``seconds`` and ``memory`` (``peak_rss*`` /
+    ``*bytes*``) regress when they *increase* by more than ``threshold``
+    (relative); ``speedup`` and ``throughput`` (``*_per_second``) regress
+    when they *decrease*.  ``problem.*`` sizes and ``required_speedup``
+    are configuration: a mismatch there makes the artifacts incomparable
+    and is reported separately (and also fails the comparison).
 
     Args:
         threshold: relative change flagged as a regression (0.20 = 20%).
-        metric: restrict the regression check to the ``"seconds"`` or
-            ``"speedup"`` family, or ``"all"`` (default).  Useful in CI,
-            where wall times vary across runners but speedups are stable.
+        metric: restrict the regression check to one family
+            (``"seconds"``, ``"speedup"``, ``"throughput"``,
+            ``"memory"``), or ``"all"`` (default).  Useful in CI, where
+            wall times and throughputs vary across runners but speedup
+            ratios and memory footprints are stable.
 
     Returns a document with ``regressions``, ``improvements``,
     ``unchanged``, ``incomparable``, and ``ok`` (no regressions and
     nothing incomparable).
     """
-    if metric not in ("all", "seconds", "speedup"):
-        raise ValueError(f"metric must be all|seconds|speedup, got {metric!r}")
+    if metric != "all" and metric not in BENCH_METRIC_FAMILIES:
+        raise ValueError(
+            "metric must be all|" + "|".join(BENCH_METRIC_FAMILIES)
+            + f", got {metric!r}"
+        )
     old = _numeric_leaves(_load_bench(old_path))
     new = _numeric_leaves(_load_bench(new_path))
     regressions: list[dict] = []
@@ -230,14 +261,13 @@ def compare_bench(
         if path not in old or path not in new:
             incomparable.append(path)
             continue
-        direction = _direction(path)
-        if direction is None:
+        classified = _classify(path)
+        if classified is None:
             if old[path] != new[path]:
                 incomparable.append(path)
             continue
-        if metric != "all" and (
-            ("seconds" if direction == "higher" else "speedup") != metric
-        ):
+        family, direction = classified
+        if metric != "all" and family != metric:
             continue
         if old[path] == 0.0:
             change = 0.0 if new[path] == 0.0 else float("inf")

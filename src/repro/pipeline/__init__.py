@@ -24,12 +24,14 @@ See ``docs/pipeline.md`` for the architecture and cache-key scheme, and
 
 from .cache import NO_DATASET_FINGERPRINT, ResultCache
 from .executor import RetryPolicy, execute_task, run_pipeline
+from .fleet import run_fleet_analysis, shard_task_name
 from .journal import RunJournal
 from .registry import (
     TaskSpec,
     all_tasks,
     get_task,
     register_task,
+    register_task_factory,
     resolve_tasks,
     task_names,
 )
@@ -46,6 +48,9 @@ __all__ = [
     "NO_DATASET_FINGERPRINT",
     "TaskSpec",
     "register_task",
+    "register_task_factory",
+    "run_fleet_analysis",
+    "shard_task_name",
     "get_task",
     "all_tasks",
     "task_names",

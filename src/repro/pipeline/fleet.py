@@ -1,0 +1,221 @@
+"""Sharded fleet analytics over the hardened pipeline executor.
+
+One pipeline task per fleet shard: the task name embeds the shard index
+and the full :class:`~repro.datasets.fleet.FleetSpec` as canonical JSON
+(``fleet_shard:<index>:<spec-json>``), so a worker process can rebuild
+the exact spec from the name alone — nothing but task names ever crosses
+the worker pipes, and the journal/cache keys change whenever the spec
+does.  Each task generates its shard from ``(seed, shard_index)``,
+folds its bit matrices into the streaming accumulators
+(:mod:`repro.metrics.streaming`), and returns the accumulators'
+``state_dict()`` — a few KB of integer sufficient statistics, never the
+shard's delays.
+
+:func:`run_fleet_analysis` fans the shard tasks out through
+:func:`~repro.pipeline.executor.run_pipeline`, inheriting every
+hardening feature it has: retries with backoff, crash/timeout survival,
+result caching, and the crash-safe journal — a killed fleet run re-run
+with the same journal resumes at the first incomplete shard and produces
+bit-identical statistics (pinned by ``tests/test_pipeline_fleet.py`` and
+the ``fleet-smoke`` CI job).  The parent then merges the shard states
+(integer addition — shard-order invariant) and derives the population
+reports.
+
+Memory stays bounded by one shard per worker plus ``O(shards)`` compact
+states in the parent, independent of fleet size; see ``docs/datasets.md``.
+"""
+
+from __future__ import annotations
+
+from .. import obs
+from ..datasets.fleet import FleetSpec, generate_shard
+from ..metrics.streaming import (
+    StreamingReliability,
+    StreamingUniformity,
+    StreamingUniqueness,
+)
+from .registry import TaskSpec, register_task_factory
+
+__all__ = [
+    "FLEET_TASK_PREFIX",
+    "shard_task_name",
+    "parse_shard_task_name",
+    "compute_shard_stats",
+    "run_fleet_analysis",
+]
+
+FLEET_TASK_PREFIX = "fleet_shard"
+
+
+def shard_task_name(spec: FleetSpec, index: int) -> str:
+    """The pipeline task name of one fleet shard.
+
+    The spec rides inside the name as canonical JSON: cache filenames are
+    sha256 digests of the task name, so arbitrary JSON in the name is
+    filename-safe, and two different specs can never share a cache entry
+    or a journal line.
+    """
+    return f"{FLEET_TASK_PREFIX}:{index}:{spec.to_json()}"
+
+
+def parse_shard_task_name(name: str) -> tuple[FleetSpec, int]:
+    """Invert :func:`shard_task_name` (raises ValueError on malformed)."""
+    prefix, _, rest = name.partition(":")
+    index_text, _, spec_json = rest.partition(":")
+    if prefix != FLEET_TASK_PREFIX or not index_text or not spec_json:
+        raise ValueError(f"not a fleet shard task name: {name!r}")
+    return FleetSpec.from_json(spec_json), int(index_text)
+
+
+def compute_shard_stats(spec: FleetSpec, index: int) -> dict:
+    """Generate shard ``index`` and reduce it to streaming states.
+
+    The returned dict is plain JSON: the shard's device range plus one
+    ``state_dict()`` per accumulator.  The reference corner is
+    ``spec.corners[0]``; every further corner contributes a regenerated
+    response for the reliability fold.
+    """
+    import numpy as np
+
+    start, stop = spec.shard_bounds(index)
+    with obs.span(
+        "fleet.shard", shard=index, devices=stop - start
+    ):
+        shard = generate_shard(spec, index)
+        reference = shard.reference_bits()
+        uniqueness = StreamingUniqueness(spec.bit_count)
+        uniformity = StreamingUniformity(spec.bit_count)
+        reliability = StreamingReliability(spec.bit_count)
+        with obs.span("fleet.fold", shard=index):
+            uniqueness.update(reference)
+            uniformity.update(reference)
+            if len(spec.corners) > 1:
+                observations = np.stack(
+                    [
+                        shard.response_bits(op)
+                        for op in spec.corners[1:]
+                    ]
+                )
+            else:
+                observations = np.empty(
+                    (0,) + reference.shape, dtype=bool
+                )
+            reliability.update(reference, observations)
+    obs.counter_add("fleet.shards.generated")
+    obs.counter_add("fleet.devices.generated", stop - start)
+    return {
+        "shard": index,
+        "start": start,
+        "stop": stop,
+        "uniqueness": uniqueness.state_dict(),
+        "uniformity": uniformity.state_dict(),
+        "reliability": reliability.state_dict(),
+    }
+
+
+def _shard_task_factory(name: str) -> TaskSpec:
+    spec, index = parse_shard_task_name(name)
+
+    def runner() -> dict:
+        return compute_shard_stats(spec, index)
+
+    return TaskSpec(
+        name=name,
+        runner=runner,
+        uses_dataset=False,
+        description=f"fleet shard {index} of {spec.shard_count}",
+    )
+
+
+register_task_factory(FLEET_TASK_PREFIX, _shard_task_factory)
+
+
+def run_fleet_analysis(
+    spec: FleetSpec,
+    *,
+    jobs: int = 1,
+    cache_dir=None,
+    policy=None,
+    journal=None,
+    timings: bool = False,
+    trace=None,
+) -> dict:
+    """Sharded uniqueness/uniformity/reliability over the whole fleet.
+
+    Fans one task per shard through the hardened executor (see
+    :func:`~repro.pipeline.executor.run_pipeline` for the cache, retry,
+    journal, and chaos semantics of the keyword arguments), then folds
+    the shard states and derives the population reports.
+
+    Returns a plain-JSON summary: the spec, shard bookkeeping (including
+    any ``failed`` shards after retry exhaustion — ``complete`` is False
+    then and the reports cover only the folded shards), the three
+    reports, and the executor's ``_pipeline``/``_metrics`` blocks when
+    requested.
+    """
+    from .executor import run_pipeline
+
+    names = [
+        shard_task_name(spec, index)
+        for index in range(spec.shard_count)
+    ]
+    summary = run_pipeline(
+        dataset=None,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        tasks=names,
+        timings=timings,
+        trace=trace,
+        policy=policy,
+        journal=journal,
+    )
+
+    uniqueness = StreamingUniqueness(spec.bit_count)
+    uniformity = StreamingUniformity(spec.bit_count)
+    reliability = StreamingReliability(spec.bit_count)
+    failed: list[dict] = []
+    with obs.span("fleet.merge", shards=spec.shard_count):
+        for index, name in enumerate(names):
+            outcome = summary[name]
+            if "error" in outcome and "uniqueness" not in outcome:
+                failed.append(
+                    {
+                        "shard": index,
+                        "error": outcome.get("error"),
+                        "error_type": outcome.get("error_type"),
+                    }
+                )
+                continue
+            uniqueness.merge(
+                StreamingUniqueness.from_state(outcome["uniqueness"])
+            )
+            uniformity.merge(
+                StreamingUniformity.from_state(outcome["uniformity"])
+            )
+            reliability.merge(
+                StreamingReliability.from_state(outcome["reliability"])
+            )
+
+    result: dict = {
+        "fleet": spec.to_dict(),
+        "shards": {
+            "total": spec.shard_count,
+            "folded": spec.shard_count - len(failed),
+            "failed": failed,
+        },
+        "complete": not failed,
+        "devices": uniqueness.rows,
+        "uniqueness": uniqueness.report().to_dict()
+        if uniqueness.rows >= 2
+        else None,
+        "uniformity": uniformity.report().to_dict()
+        if uniformity.rows
+        else None,
+        "reliability": reliability.report().to_dict()
+        if reliability.devices
+        else None,
+    }
+    for key in ("_pipeline", "_metrics"):
+        if key in summary:
+            result[key] = summary[key]
+    return result

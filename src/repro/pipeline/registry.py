@@ -5,6 +5,13 @@ a plain module-level function (picklable, so the executor can ship it to
 worker processes).  Tasks declare whether they consume the dataset — that
 decides which fingerprint enters their cache key — and registration order is
 preserved so the assembled summary JSON keeps a stable key order.
+
+Besides the static registry there are **task factories** for families of
+dynamically-named tasks (:func:`register_task_factory`): a name like
+``fleet_shard:3:{...}`` resolves by prefix to a factory that builds the
+:class:`TaskSpec` on demand.  Workers only ever receive task *names* and
+re-resolve them via :func:`get_task` after importing the task modules, so
+factory tasks ship to worker processes exactly like static ones.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from typing import Callable, Iterable
 __all__ = [
     "TaskSpec",
     "register_task",
+    "register_task_factory",
     "get_task",
     "all_tasks",
     "task_names",
@@ -50,6 +58,7 @@ class TaskSpec:
 
 
 _REGISTRY: dict[str, TaskSpec] = {}
+_FACTORIES: dict[str, Callable[[str], TaskSpec]] = {}
 
 
 def register_task(
@@ -81,19 +90,58 @@ def register_task(
     return _register
 
 
+def register_task_factory(
+    prefix: str, factory: Callable[[str], TaskSpec]
+) -> None:
+    """Register a factory for the dynamic task family ``{prefix}:...``.
+
+    The factory receives the *full* task name and must return a
+    :class:`TaskSpec` with that exact name.  Factories let a pipeline run
+    over task sets that cannot be enumerated at import time (one task per
+    fleet shard, parameterized by a spec embedded in the name) while
+    keeping names the only thing shipped to workers.
+
+    Raises:
+        ValueError: if the prefix contains ``:`` or is already taken.
+    """
+    if ":" in prefix:
+        raise ValueError(f"factory prefix may not contain ':': {prefix!r}")
+    if prefix in _FACTORIES:
+        raise ValueError(f"task factory {prefix!r} is already registered")
+    _FACTORIES[prefix] = factory
+
+
 def get_task(name: str) -> TaskSpec:
-    """Look a registered task up by name.
+    """Look a task up by name — static registry first, then factories.
+
+    A name containing ``:`` resolves through the factory registered for
+    its prefix (the part before the first ``:``).
 
     Raises:
         KeyError: for unknown names, listing what is available.
     """
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown pipeline task {name!r}; known tasks: "
-            + ", ".join(sorted(_REGISTRY))
-        ) from None
+    spec = _REGISTRY.get(name)
+    if spec is not None:
+        return spec
+    prefix = name.split(":", 1)[0]
+    factory = _FACTORIES.get(prefix) if prefix != name else None
+    if factory is not None:
+        spec = factory(name)
+        if spec.name != name:
+            raise ValueError(
+                f"factory {prefix!r} built task {spec.name!r} "
+                f"for requested name {name!r}"
+            )
+        return spec
+    raise KeyError(
+        f"unknown pipeline task {name!r}; known tasks: "
+        + ", ".join(sorted(_REGISTRY))
+        + (
+            "; task factories: " + ", ".join(sorted(_FACTORIES))
+            if _FACTORIES
+            else ""
+        )
+    )
 
 
 def all_tasks() -> list[TaskSpec]:
@@ -111,8 +159,9 @@ def resolve_tasks(names: Iterable[str] | None = None) -> list[TaskSpec]:
 
     Args:
         names: task names to run (any order, duplicates collapsed); ``None``
-            selects every registered task.  Selected tasks always run in
-            registration order so summaries are comparable across runs.
+            selects every registered task.  Selected *static* tasks always
+            run in registration order so summaries are comparable across
+            runs; factory-built tasks follow in the caller's order.
 
     Raises:
         KeyError: if any name is unknown.
@@ -120,7 +169,13 @@ def resolve_tasks(names: Iterable[str] | None = None) -> list[TaskSpec]:
     if names is None:
         return all_tasks()
     wanted = set()
+    dynamic: list[TaskSpec] = []
     for name in names:
-        get_task(name)  # validate, raising the helpful KeyError
+        spec = get_task(name)  # validate, raising the helpful KeyError
+        if name in wanted:
+            continue
         wanted.add(name)
-    return [spec for spec in all_tasks() if spec.name in wanted]
+        if name not in _REGISTRY:
+            dynamic.append(spec)
+    static = [spec for spec in all_tasks() if spec.name in wanted]
+    return static + dynamic

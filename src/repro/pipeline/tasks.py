@@ -227,3 +227,10 @@ def task_ecc_cost(dataset: RODataset) -> dict:
         }
         for requirement in ecc.requirements
     }
+
+
+# Dynamic task families register their factories on import; pulling the
+# module in here makes them resolvable wherever the static tasks are —
+# including worker processes, which import repro.pipeline.tasks before
+# looking any task name up.
+from . import fleet as _fleet  # noqa: E402, F401  (register fleet_shard factory)

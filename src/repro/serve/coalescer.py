@@ -74,6 +74,7 @@ class RequestCoalescer:
         self._closed = False
         self._stats_lock = threading.Lock()
         self._requests = 0
+        self._errors = 0
         self._batches = 0
         self._batched_requests = 0
         self._max_batch_seen = 0
@@ -109,14 +110,21 @@ class RequestCoalescer:
                 raise RuntimeError("coalescer is closed")
             self._pending.append(job)
             self._cond.notify()
+        # Count the submission at enqueue, not on success: errored and
+        # timed-out requests must stay visible in stats() instead of
+        # silently vanishing from the request total.
+        with self._stats_lock:
+            self._requests += 1
         if not job.done.wait(timeout):
+            with self._stats_lock:
+                self._errors += 1
             raise RuntimeError(
                 f"coalesced evaluation timed out after {timeout}s"
             )
         if job.error is not None:
+            with self._stats_lock:
+                self._errors += 1
             raise job.error
-        with self._stats_lock:
-            self._requests += 1
         return job.result
 
     def close(self) -> None:
@@ -135,12 +143,18 @@ class RequestCoalescer:
         self.close()
 
     def stats(self) -> dict:
-        """Batching counters (plain JSON): sizes, batch count, mean."""
+        """Batching counters (plain JSON): sizes, batch count, mean.
+
+        ``requests`` counts every submission (incremented at enqueue),
+        ``errors`` the submissions that raised — delivery failures and
+        wait timeouts — so ``requests - errors`` is the success total.
+        """
         with self._stats_lock:
             batches = self._batches
             batched = self._batched_requests
             return {
                 "requests": self._requests,
+                "errors": self._errors,
                 "batches": batches,
                 "max_batch": self._max_batch_seen,
                 "mean_batch": (batched / batches) if batches else 0.0,

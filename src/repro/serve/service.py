@@ -39,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import secrets
 import threading
+import time
 from typing import Callable
 
 import numpy as np
@@ -78,6 +79,12 @@ class AuthService:
             code length must fit the fleet's response width.
         challenge_width: response bits per challenge.
         seed: drives challenge drawing and helper-data generation.
+        challenge_ttl_s: how long an issued challenge stays answerable.
+            Expired challenges are rejected exactly like unknown ones and
+            evicted, so clients that request challenges and never answer
+            cannot grow the pending table without bound.
+        max_pending_challenges: hard cap on simultaneously pending
+            challenges; issuing past the cap evicts the oldest.
     """
 
     def __init__(
@@ -89,11 +96,22 @@ class AuthService:
         extractor: FuzzyExtractor | None = None,
         challenge_width: int = 16,
         seed: int = 20140601,
+        challenge_ttl_s: float = 120.0,
+        max_pending_challenges: int = 4096,
     ):
         if not 0.0 < threshold_fraction < 0.5:
             raise ValueError(
                 f"threshold_fraction must be in (0, 0.5), got "
                 f"{threshold_fraction}"
+            )
+        if challenge_ttl_s <= 0.0:
+            raise ValueError(
+                f"challenge_ttl_s must be > 0, got {challenge_ttl_s}"
+            )
+        if max_pending_challenges < 1:
+            raise ValueError(
+                f"max_pending_challenges must be >= 1, got "
+                f"{max_pending_challenges}"
             )
         self.farm = farm
         self.store = store
@@ -104,8 +122,13 @@ class AuthService:
             code=BCHCode(m=5, t=3), key_bytes=16
         )
         self.challenge_width = challenge_width
+        self.challenge_ttl_s = challenge_ttl_s
+        self.max_pending_challenges = max_pending_challenges
         self._rng = np.random.default_rng(seed)
-        self._challenges: dict[str, tuple[str, Challenge]] = {}
+        # challenge_id -> (device_id, challenge, issued_at monotonic).
+        # Insertion-ordered, so the first key is always the oldest —
+        # both TTL sweeping and overflow eviction walk from the front.
+        self._challenges: dict[str, tuple[str, Challenge, float]] = {}
         self._challenge_lock = threading.Lock()
         self._count_lock = threading.Lock()
         self._counts: dict[str, int] = {}
@@ -213,7 +236,16 @@ class AuthService:
     def _op_challenge(self, request: dict) -> dict:
         record = self._record(request)
         width = min(self.challenge_width, record.bit_count)
+        now = time.monotonic()
         with self._challenge_lock:
+            self._sweep_expired(now)
+            # Oldest-first overflow eviction: the dict is insertion
+            # ordered, so the front entry is the longest-pending one.
+            while len(self._challenges) >= self.max_pending_challenges:
+                oldest = next(iter(self._challenges))
+                del self._challenges[oldest]
+                self._count("challenges.evicted")
+                obs.counter_add("serve.challenges.evicted")
             indices = self._rng.choice(
                 record.bit_count, size=width, replace=False
             )
@@ -221,7 +253,11 @@ class AuthService:
                 indices=tuple(int(i) for i in np.sort(indices)), fold=1
             )
             challenge_id = secrets.token_hex(16)
-            self._challenges[challenge_id] = (record.device_id, challenge)
+            self._challenges[challenge_id] = (
+                record.device_id,
+                challenge,
+                now,
+            )
         return {
             "ok": True,
             "challenge_id": challenge_id,
@@ -237,8 +273,16 @@ class AuthService:
             raise ServiceError(
                 "auth needs 'challenge_id' and 'answer'", "BadRequest"
             )
+        now = time.monotonic()
         with self._challenge_lock:
             pending = self._challenges.pop(challenge_id, None)
+        if pending is not None and now - pending[2] > self.challenge_ttl_s:
+            # Expired: counted separately, but rejected with the exact
+            # same response as an unknown id — the client cannot tell
+            # whether an id was ever issued.
+            self._count("challenges.expired")
+            obs.counter_add("serve.challenges.expired")
+            pending = None
         if pending is None:
             self._count("auth.replayed")
             obs.counter_add("serve.auth.replayed")
@@ -247,7 +291,7 @@ class AuthService:
                 "accepted": False,
                 "reason": "unknown or already-used challenge",
             }
-        issued_for, challenge = pending
+        issued_for, challenge, _issued_at = pending
         if issued_for != record.device_id:
             return {
                 "ok": True,
@@ -320,10 +364,17 @@ class AuthService:
     def _op_stats(self, request: dict) -> dict:
         with self._count_lock:
             counts = dict(sorted(self._counts.items()))
+        with self._challenge_lock:
+            pending = len(self._challenges)
         return {
             "ok": True,
             "stats": {
                 "service": counts,
+                "challenges": {
+                    "pending": pending,
+                    "ttl_s": self.challenge_ttl_s,
+                    "max_pending": self.max_pending_challenges,
+                },
                 "coalescer": self.coalescer.stats(),
                 "store": self.store.stats(),
             },
@@ -378,6 +429,25 @@ class AuthService:
 
     def _error(self, message: str, error_type: str) -> dict:
         return {"ok": False, "error": message, "error_type": error_type}
+
+    def _sweep_expired(self, now: float) -> None:
+        """Drop every expired pending challenge (caller holds the lock).
+
+        Insertion order is issue order, so expiry is monotone from the
+        front: stop at the first still-live entry.
+        """
+        expired = 0
+        for challenge_id, (_, _, issued_at) in list(self._challenges.items()):
+            if now - issued_at <= self.challenge_ttl_s:
+                break
+            del self._challenges[challenge_id]
+            expired += 1
+        if expired:
+            with self._count_lock:
+                self._counts["challenges.expired"] = (
+                    self._counts.get("challenges.expired", 0) + expired
+                )
+            obs.counter_add("serve.challenges.expired", expired)
 
     def _count(self, name: str) -> None:
         with self._count_lock:

@@ -79,6 +79,38 @@ class TestCompareBench:
         assert result["ok"] is False
         assert "board.required_speedup" in result["incomparable"]
 
+    def test_throughput_and_memory_families(self, tmp_path):
+        # Throughput (devices_per_second) regresses when it drops;
+        # memory (peak_rss_mb) regresses when it grows.
+        old = _artifact(
+            tmp_path, "old.json",
+            devices_per_second=50_000.0, peak_rss_mb=200.0,
+        )
+        slower = _artifact(
+            tmp_path, "slower.json",
+            devices_per_second=20_000.0, peak_rss_mb=200.0,
+        )
+        fatter = _artifact(
+            tmp_path, "fatter.json",
+            devices_per_second=50_000.0, peak_rss_mb=400.0,
+        )
+        result = compare_bench(old, slower)
+        paths = {entry["path"] for entry in result["regressions"]}
+        assert "board.devices_per_second" in paths
+        result = compare_bench(old, fatter)
+        paths = {entry["path"] for entry in result["regressions"]}
+        assert paths == {"board.peak_rss_mb"}
+        # Family filters see only their own quantities.
+        assert compare_bench(old, slower, metric="memory")["ok"] is True
+        assert compare_bench(old, fatter, metric="memory")["ok"] is False
+        assert compare_bench(old, fatter, metric="throughput")["ok"] is True
+        assert compare_bench(old, slower, metric="throughput")["ok"] is False
+
+    def test_unknown_metric_family_rejected(self, tmp_path):
+        old = _artifact(tmp_path, "old.json")
+        with pytest.raises(ValueError, match="metric"):
+            compare_bench(old, old, metric="wall")
+
     def test_unversioned_artifact_rejected(self, tmp_path):
         old = _artifact(tmp_path, "old.json")
         legacy = tmp_path / "legacy.json"

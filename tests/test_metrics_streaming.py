@@ -1,0 +1,298 @@
+"""Streaming metrics must agree with the dense implementations.
+
+The streaming accumulators (`repro.metrics.streaming`) never see more
+than one shard at a time, yet their reports must match what the dense
+metrics compute from the full matrix: *exactly* for the integer
+sufficient statistics (HD sums, flip counts), and to float tolerance for
+the derived moments.  These tests pin that equality on the in-house
+dataset's bits and on Hypothesis-generated matrices under random shard
+partitions and shard-order permutations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.hamming import pairwise_hamming_distances
+from repro.metrics.reliability import bit_flip_report
+from repro.metrics.streaming import (
+    StreamingReliability,
+    StreamingUniformity,
+    StreamingUniqueness,
+)
+from repro.metrics.uniformity import uniformity_report
+from repro.metrics.uniqueness import uniqueness_report
+
+bit_matrices = st.integers(2, 10).flatmap(
+    lambda rows: st.integers(1, 12).flatmap(
+        lambda cols: st.lists(
+            st.lists(st.booleans(), min_size=cols, max_size=cols),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+)
+
+
+def _random_partition(rows: int, rng: np.random.Generator) -> list[slice]:
+    """Cut [0, rows) into 1..rows contiguous shards at random."""
+    if rows == 1:
+        return [slice(0, 1)]
+    cut_count = int(rng.integers(0, rows - 1))
+    cuts = sorted(rng.choice(np.arange(1, rows), cut_count, replace=False))
+    edges = [0, *map(int, cuts), rows]
+    return [slice(a, b) for a, b in zip(edges, edges[1:])]
+
+
+def _fold_uniqueness(bits, shards):
+    acc = StreamingUniqueness(bits.shape[1])
+    for piece in shards:
+        acc.update(bits[piece])
+    return acc
+
+
+@pytest.fixture(scope="module")
+def dataset_bits(small_dataset):
+    """Adjacent-pair response bits of every in-house board (nominal)."""
+    rows = []
+    for board in small_dataset.boards:
+        delays = board.delays_at(board.corners[0])
+        rows.append(delays[0::2] > delays[1::2])
+    return np.asarray(rows)
+
+
+class TestUniquenessEquality:
+    def test_dataset_bits_match_dense(self, dataset_bits):
+        dense = uniqueness_report(dataset_bits)
+        acc = StreamingUniqueness(dataset_bits.shape[1])
+        acc.update(dataset_bits)
+        stream = acc.report()
+        distances = pairwise_hamming_distances(dataset_bits)
+        # integer sufficient statistics are exact
+        assert stream.total_distance == int(distances.sum())
+        assert stream.total_squared_distance == int(
+            np.sum(distances.astype(np.int64) ** 2)
+        )
+        assert stream.pair_count == dense.pair_count
+        assert stream.stream_count == dense.stream_count
+        # derived moments to float tolerance
+        assert stream.mean_distance == pytest.approx(dense.mean_distance)
+        assert stream.std_distance == pytest.approx(dense.std_distance)
+        assert stream.uniqueness_percent == pytest.approx(
+            dense.uniqueness_percent
+        )
+
+    def test_sharded_fold_equals_single_fold(self, dataset_bits, rng):
+        whole = _fold_uniqueness(dataset_bits, [slice(None)])
+        pieces = _fold_uniqueness(
+            dataset_bits, _random_partition(len(dataset_bits), rng)
+        )
+        assert whole.rows == pieces.rows
+        assert np.array_equal(whole.column_ones, pieces.column_ones)
+        assert np.array_equal(whole.gram, pieces.gram)
+
+    @given(matrix=bit_matrices, seed=st.integers(0, 2**32 - 1))
+    def test_property_dense_equality_under_random_sharding(
+        self, matrix, seed
+    ):
+        bits = np.asarray(matrix, dtype=bool)
+        rng = np.random.default_rng(seed)
+        acc = _fold_uniqueness(bits, _random_partition(len(bits), rng))
+        stream = acc.report()
+        distances = pairwise_hamming_distances(bits).astype(np.int64)
+        assert stream.total_distance == int(distances.sum())
+        assert stream.total_squared_distance == int(
+            np.sum(distances * distances)
+        )
+        dense = uniqueness_report(bits)
+        assert stream.mean_distance == pytest.approx(dense.mean_distance)
+        assert stream.std_distance == pytest.approx(dense.std_distance)
+
+    @given(matrix=bit_matrices, seed=st.integers(0, 2**32 - 1))
+    def test_property_shard_order_invariance(self, matrix, seed):
+        bits = np.asarray(matrix, dtype=bool)
+        rng = np.random.default_rng(seed)
+        shards = _random_partition(len(bits), rng)
+        forward = _fold_uniqueness(bits, shards)
+        backward = _fold_uniqueness(bits, shards[::-1])
+        # integer state: identical, not merely close
+        assert forward.rows == backward.rows
+        assert np.array_equal(forward.gram, backward.gram)
+        assert forward.report() == backward.report()
+
+    def test_merge_equals_update(self, dataset_bits):
+        half = len(dataset_bits) // 2
+        left = _fold_uniqueness(dataset_bits[:half], [slice(None)])
+        right = _fold_uniqueness(dataset_bits[half:], [slice(None)])
+        left.merge(right)
+        whole = _fold_uniqueness(dataset_bits, [slice(None)])
+        assert left.report() == whole.report()
+
+    def test_state_dict_round_trip(self, dataset_bits):
+        acc = _fold_uniqueness(dataset_bits, [slice(None)])
+        clone = StreamingUniqueness.from_state(acc.state_dict())
+        assert clone.report() == acc.report()
+        # and the state survives a JSON round trip (workers ship it)
+        import json
+
+        rewired = StreamingUniqueness.from_state(
+            json.loads(json.dumps(acc.state_dict()))
+        )
+        assert rewired.report() == acc.report()
+
+    def test_identical_rows_give_zero_distance(self):
+        bits = np.tile([True, False, True, True], (5, 1))
+        acc = StreamingUniqueness(4)
+        acc.update(bits)
+        report = acc.report()
+        assert report.total_distance == 0
+        assert report.std_distance == 0.0
+
+    def test_needs_two_rows(self):
+        acc = StreamingUniqueness(4)
+        acc.update(np.ones((1, 4), dtype=bool))
+        with pytest.raises(ValueError, match="2 devices"):
+            acc.report()
+
+    def test_rejects_width_mismatch(self):
+        acc = StreamingUniqueness(4)
+        with pytest.raises(ValueError, match="bits"):
+            acc.update(np.ones((2, 5), dtype=bool))
+        with pytest.raises(ValueError, match="merge"):
+            acc.merge(StreamingUniqueness(5))
+
+
+class TestUniformityEquality:
+    def test_dataset_bits_match_dense(self, dataset_bits):
+        dense = uniformity_report(dataset_bits)
+        acc = StreamingUniformity(dataset_bits.shape[1])
+        acc.update(dataset_bits)
+        stream = acc.report()
+        assert stream.mean_uniformity_percent == pytest.approx(
+            dense.mean_uniformity_percent
+        )
+        assert stream.std_uniformity_percent == pytest.approx(
+            dense.std_uniformity_percent
+        )
+        assert stream.mean_aliasing_percent == pytest.approx(
+            dense.mean_aliasing_percent
+        )
+        assert stream.worst_aliasing_percent == pytest.approx(
+            dense.worst_aliasing_percent
+        )
+
+    @given(matrix=bit_matrices, seed=st.integers(0, 2**32 - 1))
+    def test_property_dense_equality_under_random_sharding(
+        self, matrix, seed
+    ):
+        bits = np.asarray(matrix, dtype=bool)
+        rng = np.random.default_rng(seed)
+        acc = StreamingUniformity(bits.shape[1])
+        for piece in _random_partition(len(bits), rng):
+            acc.update(bits[piece])
+        stream = acc.report()
+        dense = uniformity_report(bits)
+        assert stream.mean_uniformity_percent == pytest.approx(
+            dense.mean_uniformity_percent
+        )
+        assert stream.std_uniformity_percent == pytest.approx(
+            dense.std_uniformity_percent, abs=1e-9
+        )
+        # Columns can tie in distance from 50% (e.g. 1/6 vs 5/6 ones);
+        # float rounding then decides which argmax picks, so compare the
+        # distance, not the signed value.
+        assert abs(stream.worst_aliasing_percent - 50.0) == pytest.approx(
+            abs(dense.worst_aliasing_percent - 50.0), abs=1e-9
+        )
+
+    def test_state_dict_round_trip(self, dataset_bits):
+        acc = StreamingUniformity(dataset_bits.shape[1])
+        acc.update(dataset_bits)
+        clone = StreamingUniformity.from_state(acc.state_dict())
+        assert clone.report() == acc.report()
+
+    def test_merge_order_invariant(self, dataset_bits):
+        a = StreamingUniformity(dataset_bits.shape[1])
+        b = StreamingUniformity(dataset_bits.shape[1])
+        a.update(dataset_bits[:3])
+        b.update(dataset_bits[3:])
+        ab = StreamingUniformity.from_state(a.state_dict())
+        ab.merge(b)
+        ba = StreamingUniformity.from_state(b.state_dict())
+        ba.merge(a)
+        assert ab.report() == ba.report()
+
+
+class TestReliabilityEquality:
+    def _dense_means(self, reference, observations):
+        """Population averages of the dense per-device flip reports."""
+        reports = [
+            bit_flip_report(reference[i], observations[:, i, :])
+            for i in range(reference.shape[0])
+        ]
+        flip = float(np.mean([r.flip_percent for r in reports]))
+        intra = float(np.mean([r.mean_intra_hd_percent for r in reports]))
+        return flip, intra
+
+    def test_matches_dense_per_device_reports(self, rng):
+        reference = rng.integers(0, 2, (12, 32)).astype(bool)
+        flips = rng.random((3, 12, 32)) < 0.05
+        observations = reference[None, :, :] ^ flips
+        acc = StreamingReliability(32)
+        acc.update(reference, observations)
+        stream = acc.report()
+        flip, intra = self._dense_means(reference, observations)
+        assert stream.mean_flip_percent == pytest.approx(flip)
+        assert stream.mean_intra_hd_percent == pytest.approx(intra)
+        # exact integer totals
+        assert stream.total_intra_hd == int(np.count_nonzero(flips))
+        assert stream.total_flipped_positions == int(
+            np.count_nonzero(np.any(flips, axis=0))
+        )
+
+    def test_sharded_fold_matches_dense(self, rng):
+        reference = rng.integers(0, 2, (20, 16)).astype(bool)
+        observations = reference[None, :, :] ^ (
+            rng.random((4, 20, 16)) < 0.1
+        )
+        acc = StreamingReliability(16)
+        for piece in _random_partition(20, rng):
+            acc.update(reference[piece], observations[:, piece, :])
+        flip, intra = self._dense_means(reference, observations)
+        report = acc.report()
+        assert report.mean_flip_percent == pytest.approx(flip)
+        assert report.mean_intra_hd_percent == pytest.approx(intra)
+
+    def test_single_observation_matrix_promoted(self, rng):
+        reference = rng.integers(0, 2, (5, 8)).astype(bool)
+        observation = reference ^ (rng.random((5, 8)) < 0.2)
+        by_2d = StreamingReliability(8)
+        by_2d.update(reference, observation)
+        by_3d = StreamingReliability(8)
+        by_3d.update(reference, observation[None, :, :])
+        assert by_2d.report() == by_3d.report()
+
+    def test_zero_observations_are_perfectly_stable(self):
+        reference = np.ones((4, 8), dtype=bool)
+        acc = StreamingReliability(8)
+        acc.update(reference, np.empty((0, 4, 8), dtype=bool))
+        report = acc.report()
+        assert report.mean_flip_percent == 0.0
+        assert report.mean_intra_hd_percent == 0.0
+        assert report.device_count == 4
+
+    def test_state_dict_round_trip(self, rng):
+        reference = rng.integers(0, 2, (6, 8)).astype(bool)
+        acc = StreamingReliability(8)
+        acc.update(reference, ~reference[None, :, :])
+        clone = StreamingReliability.from_state(acc.state_dict())
+        assert clone.report() == acc.report()
+        assert clone.report().mean_flip_percent == 100.0
+
+    def test_rejects_mismatched_shapes(self):
+        acc = StreamingReliability(8)
+        with pytest.raises(ValueError, match="stack"):
+            acc.update(
+                np.ones((4, 8), dtype=bool), np.ones((2, 5, 8), dtype=bool)
+            )

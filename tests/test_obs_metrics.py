@@ -127,3 +127,78 @@ class TestEngineCounters:
         rng = np.random.default_rng(0)
         select_case1(rng.normal(size=8), rng.normal(size=8))
         assert obs.snapshot()["counters"] == {}
+
+
+class TestThreadSafety:
+    """The registry must not lose updates under concurrent recorders.
+
+    The serve layer records counters and latency histograms from many
+    connection-handler threads at once (PR 6); an unlocked
+    read-modify-write silently drops increments under that load.  These
+    hammer tests assert *exact* totals, which only a locked registry can
+    guarantee.
+    """
+
+    THREADS = 8
+    ITERATIONS = 25_000
+
+    def _hammer(self, record):
+        import threading
+
+        start = threading.Barrier(self.THREADS)
+
+        def body():
+            start.wait()
+            for _ in range(self.ITERATIONS):
+                record()
+
+        workers = [
+            threading.Thread(target=body) for _ in range(self.THREADS)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+    def test_concurrent_counter_adds_are_exact(self):
+        obs.enable_metrics()
+        self._hammer(lambda: obs.counter_add("hammer.counter"))
+        total = obs.snapshot()["counters"]["hammer.counter"]
+        assert total == float(self.THREADS * self.ITERATIONS)
+
+    def test_concurrent_histogram_observes_are_exact(self):
+        obs.enable_metrics()
+        self._hammer(lambda: obs.histogram_observe("hammer.histogram", 2.0))
+        histogram = obs.snapshot()["histograms"]["hammer.histogram"]
+        expected = self.THREADS * self.ITERATIONS
+        assert histogram["count"] == expected
+        assert histogram["total"] == 2.0 * expected
+        assert histogram["min"] == 2.0
+        assert histogram["max"] == 2.0
+
+    def test_concurrent_mixed_recording_with_snapshots(self):
+        # Snapshots racing recorders must stay internally consistent:
+        # a histogram's total is always count * value for a constant
+        # observed value, even mid-hammer.
+        import threading
+
+        obs.enable_metrics()
+        stop = threading.Event()
+        inconsistencies = []
+
+        def reader():
+            while not stop.is_set():
+                snap = obs.snapshot()["histograms"].get("hammer.mixed")
+                if snap is not None and snap["total"] != 3.0 * snap["count"]:
+                    inconsistencies.append(snap)
+
+        observer = threading.Thread(target=reader)
+        observer.start()
+        try:
+            self._hammer(lambda: obs.histogram_observe("hammer.mixed", 3.0))
+        finally:
+            stop.set()
+            observer.join()
+        assert not inconsistencies
+        histogram = obs.snapshot()["histograms"]["hammer.mixed"]
+        assert histogram["count"] == self.THREADS * self.ITERATIONS

@@ -1,0 +1,182 @@
+"""Tests of the sharded fleet pipeline and dynamic task factories.
+
+Covers the three guarantees `repro.pipeline.fleet` makes: shard task
+names round-trip the full spec (so workers rebuild it from the name
+alone), the sharded analysis equals a dense single-matrix computation,
+and a run resumed from a partial journal produces bit-identical
+statistics — the property the ``fleet-smoke`` CI job exercises with a
+real mid-run kill.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets.fleet import FleetSpec, iter_shards
+from repro.metrics.uniqueness import uniqueness_report
+from repro.pipeline.fleet import (
+    FLEET_TASK_PREFIX,
+    compute_shard_stats,
+    parse_shard_task_name,
+    run_fleet_analysis,
+    shard_task_name,
+)
+from repro.pipeline.registry import (
+    TaskSpec,
+    get_task,
+    register_task_factory,
+    resolve_tasks,
+)
+
+SPEC = FleetSpec(devices=200, ro_count=16, shard_devices=64, seed=11)
+
+
+class TestShardTaskNames:
+    def test_round_trip(self):
+        name = shard_task_name(SPEC, 2)
+        spec, index = parse_shard_task_name(name)
+        assert (spec, index) == (SPEC, 2)
+
+    def test_name_embeds_canonical_spec_json(self):
+        name = shard_task_name(SPEC, 0)
+        prefix, index, spec_json = name.split(":", 2)
+        assert prefix == FLEET_TASK_PREFIX
+        assert index == "0"
+        assert json.loads(spec_json) == SPEC.to_dict()
+
+    def test_different_specs_get_different_names(self):
+        other = FleetSpec(devices=200, ro_count=16, shard_devices=64, seed=12)
+        assert shard_task_name(SPEC, 0) != shard_task_name(other, 0)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["fleet_shard", "fleet_shard:3", "not_fleet:0:{}", "fleet_shard::{}"],
+    )
+    def test_malformed_names_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_shard_task_name(bad)
+
+
+class TestFactoryRegistry:
+    def test_fleet_factory_resolves_through_get_task(self):
+        name = shard_task_name(SPEC, 1)
+        spec = get_task(name)
+        assert spec.name == name
+        assert spec.uses_dataset is False
+        assert "shard 1" in spec.description
+
+    def test_unknown_prefix_raises_listing_factories(self):
+        with pytest.raises(KeyError, match=FLEET_TASK_PREFIX):
+            get_task("no_such_family:0:{}")
+
+    def test_bare_prefix_is_not_a_task(self):
+        with pytest.raises(KeyError):
+            get_task(FLEET_TASK_PREFIX)
+
+    def test_duplicate_prefix_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_task_factory(FLEET_TASK_PREFIX, lambda name: None)
+
+    def test_colon_in_prefix_rejected(self):
+        with pytest.raises(ValueError, match="':'"):
+            register_task_factory("a:b", lambda name: None)
+
+    def test_factory_must_honor_the_requested_name(self):
+        register_task_factory(
+            "misbehaving_factory",
+            lambda name: TaskSpec(
+                name="wrong", runner=lambda: None, uses_dataset=False
+            ),
+        )
+        with pytest.raises(ValueError, match="wrong"):
+            get_task("misbehaving_factory:x")
+
+    def test_resolve_tasks_appends_dynamic_after_static(self):
+        names = [shard_task_name(SPEC, i) for i in (1, 0)]
+        specs = resolve_tasks(["table1_nist_case1", *names])
+        # the static task keeps registration order at the front; the
+        # factory-built tasks follow in caller order
+        assert specs[0].name == "table1_nist_case1"
+        assert [s.name for s in specs[1:]] == names
+
+    def test_resolve_tasks_collapses_duplicates(self):
+        name = shard_task_name(SPEC, 0)
+        specs = resolve_tasks([name, name])
+        assert [s.name for s in specs] == [name]
+
+
+def _dense_fleet_stats(spec):
+    """The whole fleet as one dense matrix (test-only oracle)."""
+    reference = np.concatenate(
+        [shard.reference_bits() for shard in iter_shards(spec)]
+    )
+    return reference
+
+
+class TestShardedEqualsDense:
+    def test_compute_shard_stats_bookkeeping(self):
+        stats = compute_shard_stats(SPEC, 3)
+        assert (stats["start"], stats["stop"]) == SPEC.shard_bounds(3)
+        assert stats["uniqueness"]["rows"] == stats["stop"] - stats["start"]
+        # reliability saw every non-reference corner for every device
+        assert stats["reliability"]["total_observations"] == (
+            (len(SPEC.corners) - 1) * (stats["stop"] - stats["start"])
+        )
+
+    def test_fleet_analysis_matches_dense_oracle(self):
+        summary = run_fleet_analysis(SPEC)
+        assert summary["complete"] is True
+        assert summary["devices"] == SPEC.devices
+        assert summary["shards"]["folded"] == SPEC.shard_count
+
+        reference = _dense_fleet_stats(SPEC)
+        dense = uniqueness_report(reference)
+        stream = summary["uniqueness"]
+        assert stream["stream_count"] == dense.stream_count
+        assert stream["mean_distance"] == pytest.approx(dense.mean_distance)
+        assert stream["std_distance"] == pytest.approx(dense.std_distance)
+
+        uniformity = summary["uniformity"]
+        assert uniformity["mean_uniformity_percent"] == pytest.approx(
+            100.0 * reference.mean()
+        )
+
+    def test_parallel_run_is_bit_identical_to_serial(self, tmp_path):
+        serial = run_fleet_analysis(SPEC, jobs=1)
+        parallel = run_fleet_analysis(SPEC, jobs=2)
+        for key in ("uniqueness", "uniformity", "reliability"):
+            assert serial[key] == parallel[key]
+
+
+class TestJournalResume:
+    def test_resume_from_partial_journal_is_bit_identical(self, tmp_path):
+        journal_path = tmp_path / "fleet.jsonl"
+        clean = run_fleet_analysis(SPEC, journal=journal_path)
+        lines = journal_path.read_text().splitlines()
+        assert len(lines) == SPEC.shard_count
+
+        # simulate a crash after the first shard landed
+        journal_path.write_text(lines[0] + "\n")
+        resumed = run_fleet_analysis(SPEC, journal=journal_path)
+        for key in ("devices", "uniqueness", "uniformity", "reliability"):
+            assert resumed[key] == clean[key]
+        # the journal was completed, not restarted
+        assert len(journal_path.read_text().splitlines()) == SPEC.shard_count
+
+    def test_resumed_run_replays_instead_of_recomputing(self, tmp_path):
+        journal_path = tmp_path / "fleet.jsonl"
+        run_fleet_analysis(SPEC, journal=journal_path)
+        before = journal_path.read_text()
+        run_fleet_analysis(SPEC, journal=journal_path)
+        # a fully-journaled rerun appends nothing
+        assert journal_path.read_text() == before
+
+    def test_spec_change_invalidates_journal_entries(self, tmp_path):
+        journal_path = tmp_path / "fleet.jsonl"
+        run_fleet_analysis(SPEC, journal=journal_path)
+        other = FleetSpec(devices=200, ro_count=16, shard_devices=64, seed=12)
+        summary = run_fleet_analysis(other, journal=journal_path)
+        assert summary["complete"] is True
+        # both runs' shards now live side by side, keyed by their names
+        assert len(journal_path.read_text().splitlines()) == 2 * SPEC.shard_count

@@ -241,7 +241,57 @@ class TestRequestCoalescer:
             stats = coalescer.stats()
         assert stats == {
             "requests": 0,
+            "errors": 0,
             "batches": 0,
             "max_batch": 0,
             "mean_batch": 0.0,
         }
+
+    def test_failed_request_still_counted(self):
+        # Regression: submissions used to be counted only on success, so
+        # errored requests were invisible in stats().  A request whose
+        # delay gathering raises must show up as one request + one error.
+        farm = build_farm(boards=1)
+        device = next(iter(farm))
+        bogus = OperatingPoint(voltage=9.9, temperature=999.0)
+        with RequestCoalescer(max_batch=8, max_wait_s=0.0) as coalescer:
+            with pytest.raises(KeyError):
+                coalescer.submit(device.evaluator, bogus)
+            stats = coalescer.stats()
+        assert stats["requests"] == 1
+        assert stats["errors"] == 1
+        # The request never gathered, so no batch dispatched for it.
+        assert stats["batches"] == 0
+
+    def test_mixed_batch_counts_successes_and_errors(self):
+        farm = build_farm(boards=2)
+        good_device, other = list(farm)
+        corner = good_device.corners[0]
+        bogus = OperatingPoint(voltage=9.9, temperature=999.0)
+        barrier = threading.Barrier(3)
+        with RequestCoalescer(max_batch=8, max_wait_s=0.1) as coalescer:
+
+            def good(evaluator) -> None:
+                barrier.wait()
+                coalescer.submit(evaluator, corner)
+
+            def bad() -> None:
+                barrier.wait()
+                with pytest.raises(KeyError):
+                    coalescer.submit(good_device.evaluator, bogus)
+
+            threads = [
+                threading.Thread(target=good, args=(good_device.evaluator,)),
+                threading.Thread(target=good, args=(other.evaluator,)),
+                threading.Thread(target=bad),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = coalescer.stats()
+        assert stats["requests"] == 3
+        assert stats["errors"] == 1
+        # mean_batch reflects only requests that actually dispatched.
+        assert stats["batches"] >= 1
+        assert stats["mean_batch"] <= 2.0

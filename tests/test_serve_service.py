@@ -1,0 +1,158 @@
+"""Challenge lifecycle of :class:`repro.serve.service.AuthService`.
+
+A long-running verifier issues challenges that clients may never answer,
+so the pending-challenge table must be bounded two ways: a TTL (expired
+challenges are rejected exactly like unknown ones — no information leak
+about whether an id was ever issued) and a max-pending cap with
+oldest-first eviction.  Both are pinned here against the transport-free
+``handle`` interface.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import AuthService, CRPStore, DeviceFarm, FleetConfig
+from repro.serve.protocol import encode_bits
+
+
+@pytest.fixture()
+def farm() -> DeviceFarm:
+    return DeviceFarm.from_config(FleetConfig(boards=2))
+
+
+def make_service(farm, **overrides) -> AuthService:
+    service = AuthService(farm, CRPStore(None), **overrides)
+    service.enroll_fleet()
+    return service
+
+
+def issue(service: AuthService, device_id: str) -> dict:
+    response = service.handle({"op": "challenge", "device": device_id})
+    assert response["ok"] is True
+    return response
+
+
+def perfect_answer(service: AuthService, device_id: str, indices) -> str:
+    """The stored reference bits at the challenged indices (distance 0)."""
+    record = service.store.get(device_id)
+    return encode_bits(record.reference_bits[np.array(indices)])
+
+
+def answer(service: AuthService, device_id: str, challenge: dict) -> dict:
+    return service.handle(
+        {
+            "op": "auth",
+            "device": device_id,
+            "challenge_id": challenge["challenge_id"],
+            "answer": perfect_answer(service, device_id, challenge["indices"]),
+        }
+    )
+
+
+def pending(service: AuthService) -> int:
+    return service.handle({"op": "stats"})["stats"]["challenges"]["pending"]
+
+
+class TestChallengeTTL:
+    def test_fresh_challenge_accepts_perfect_answer(self, farm):
+        service = make_service(farm)
+        try:
+            device_id = farm.device_ids[0]
+            outcome = answer(service, device_id, issue(service, device_id))
+            assert outcome["accepted"] is True
+            assert outcome["distance"] == 0
+        finally:
+            service.close()
+
+    def test_expired_challenge_rejected_like_unknown(self, farm):
+        service = make_service(farm, challenge_ttl_s=0.02)
+        try:
+            device_id = farm.device_ids[0]
+            challenge = issue(service, device_id)
+            time.sleep(0.05)
+            expired = answer(service, device_id, challenge)
+            unknown = service.handle(
+                {
+                    "op": "auth",
+                    "device": device_id,
+                    "challenge_id": "f" * 32,
+                    "answer": perfect_answer(
+                        service, device_id, challenge["indices"]
+                    ),
+                }
+            )
+            # Byte-for-byte identical rejections: a client cannot tell an
+            # expired id from one that was never issued.
+            assert expired == unknown
+            assert expired["accepted"] is False
+            counts = service.handle({"op": "stats"})["stats"]["service"]
+            assert counts["challenges.expired"] == 1
+        finally:
+            service.close()
+
+    def test_expired_challenges_swept_on_next_issue(self, farm):
+        service = make_service(farm, challenge_ttl_s=0.02)
+        try:
+            device_id = farm.device_ids[0]
+            for _ in range(3):
+                issue(service, device_id)
+            assert pending(service) == 3
+            time.sleep(0.05)
+            # Issuing a new challenge sweeps the stale ones out.
+            issue(service, device_id)
+            assert pending(service) == 1
+            counts = service.handle({"op": "stats"})["stats"]["service"]
+            assert counts["challenges.expired"] == 3
+        finally:
+            service.close()
+
+    def test_answered_challenge_is_single_use(self, farm):
+        service = make_service(farm)
+        try:
+            device_id = farm.device_ids[0]
+            challenge = issue(service, device_id)
+            assert answer(service, device_id, challenge)["accepted"] is True
+            replay = answer(service, device_id, challenge)
+            assert replay["accepted"] is False
+            assert replay["reason"] == "unknown or already-used challenge"
+        finally:
+            service.close()
+
+
+class TestMaxPendingEviction:
+    def test_oldest_challenge_evicted_at_cap(self, farm):
+        service = make_service(farm, max_pending_challenges=3)
+        try:
+            device_id = farm.device_ids[0]
+            challenges = [issue(service, device_id) for _ in range(4)]
+            assert pending(service) == 3
+            # The first (oldest) challenge was evicted and now rejects...
+            evicted = answer(service, device_id, challenges[0])
+            assert evicted["accepted"] is False
+            assert evicted["reason"] == "unknown or already-used challenge"
+            # ... while the newest is intact and verifies.
+            assert answer(service, device_id, challenges[-1])["accepted"]
+            counts = service.handle({"op": "stats"})["stats"]["service"]
+            assert counts["challenges.evicted"] == 1
+        finally:
+            service.close()
+
+    def test_pending_table_stays_bounded(self, farm):
+        service = make_service(farm, max_pending_challenges=8)
+        try:
+            device_id = farm.device_ids[0]
+            for _ in range(50):
+                issue(service, device_id)
+            assert pending(service) == 8
+        finally:
+            service.close()
+
+    def test_parameter_validation(self, farm):
+        with pytest.raises(ValueError, match="challenge_ttl_s"):
+            AuthService(farm, CRPStore(None), challenge_ttl_s=0.0)
+        with pytest.raises(ValueError, match="max_pending_challenges"):
+            AuthService(farm, CRPStore(None), max_pending_challenges=0)
