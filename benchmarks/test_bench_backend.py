@@ -1,0 +1,102 @@
+"""B-backend — compute backends: the tiled sweep kernel's speedup pin.
+
+The pluggable-backend claim (ROADMAP item 3) is that the ``tiled``
+backend's ring-mask reformulation of the response-sweep kernel beats the
+default einsum at fleet-scale shapes while staying bit-identical.  Both
+backends run the exact kernel the batch engine dispatches
+(:meth:`Backend.sweep_pair_delay_sums`) on the same operating-point
+tensor; the speedup and both wall times land in
+``results/BENCH_backend.json`` for the CI regression gate
+(``ropuf bench compare --metric speedup``).
+"""
+
+import time
+
+import numpy as np
+
+from repro.backends import resolve_backend
+
+# Fleet-scale sweep: every ring of a large board measured at 24 operating
+# points, selections of 4096 pairs over 5-stage configurable ROs.
+OPS = 24
+PAIRS = 4096
+STAGES = 5
+RINGS = 8192
+
+REPEATS = 20
+
+#: The tiled ring-mask sweep must beat the einsum by at least this factor
+#: at the shape above (observed ~1.8x on the reference runner).
+REQUIRED_SPEEDUP = 1.5
+
+
+def _sweep_problem():
+    rng = np.random.default_rng(2014)
+    stacked = rng.normal(1.0, 0.02, size=(OPS, RINGS, STAGES))
+    # Disjoint top/bottom ring draws, like a compiled selection batch.
+    rings = rng.permutation(RINGS)[: 2 * PAIRS]
+    top_rings, bottom_rings = rings[:PAIRS], rings[PAIRS:]
+    top_masks = rng.integers(0, 2, size=(PAIRS, STAGES)).astype(float)
+    bottom_masks = rng.integers(0, 2, size=(PAIRS, STAGES)).astype(float)
+    return stacked, top_rings, bottom_rings, top_masks, bottom_masks
+
+
+def _median_seconds(backend, problem) -> float:
+    times = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        backend.sweep_pair_delay_sums(*problem)
+        times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+def test_bench_backend_sweep(save_artifact, save_bench_json):
+    problem = _sweep_problem()
+    numpy_backend = resolve_backend("numpy")
+    tiled_backend = resolve_backend("tiled")
+
+    # The contract first: same kernel, same bits.
+    numpy_out = numpy_backend.sweep_pair_delay_sums(*problem)
+    tiled_out = tiled_backend.sweep_pair_delay_sums(*problem)
+    for got, want in zip(tiled_out, numpy_out):
+        assert np.array_equal(got, want)
+
+    numpy_seconds = _median_seconds(numpy_backend, problem)
+    tiled_seconds = _median_seconds(tiled_backend, problem)
+    speedup = numpy_seconds / tiled_seconds
+
+    save_bench_json(
+        "backend",
+        {
+            "sweep": {
+                "problem": {
+                    "ops": OPS,
+                    "pairs": PAIRS,
+                    "stages": STAGES,
+                    "rings": RINGS,
+                },
+                "numpy_seconds": numpy_seconds,
+                "tiled_seconds": tiled_seconds,
+                "tiled_speedup": speedup,
+                "required_speedup": REQUIRED_SPEEDUP,
+            },
+        },
+    )
+    save_artifact(
+        "backend_sweep",
+        "\n".join(
+            [
+                f"sweep kernel: {OPS} ops x {PAIRS} pairs x {STAGES} stages "
+                f"over {RINGS} rings (median of {REPEATS})",
+                f"  numpy (einsum)     {numpy_seconds * 1e3:8.3f} ms",
+                f"  tiled (ring-mask)  {tiled_seconds * 1e3:8.3f} ms",
+                f"  speedup            x{speedup:.2f} "
+                f"(required x{REQUIRED_SPEEDUP:.1f})",
+            ]
+        ),
+    )
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"tiled sweep only x{speedup:.2f} over numpy "
+        f"(required x{REQUIRED_SPEEDUP:.1f})"
+    )

@@ -1,0 +1,108 @@
+"""B-ipc — worker payload transport: shared memory vs pipe pickling.
+
+The zero-copy claim is that a large ndarray result crossing the
+worker-to-parent pipe via :mod:`repro.pipeline.shm` beats pickling the
+bytes through the pipe by at least 2x.  Both modes run the *executor's
+own* encode/decode path against a real child process — with a worker
+session installed the array rides a shared-memory segment, without one
+``encode_payload`` is a passthrough and the pipe carries every byte.
+Results land in ``results/BENCH_ipc.json`` for the CI regression gate
+(``ropuf bench compare --metric speedup``).
+"""
+
+import multiprocessing
+import time
+
+import numpy as np
+
+from repro.pipeline import shm
+
+#: Payload size: a 64 MiB float64 result tensor (fleet-shard scale).
+PAYLOAD_MIB = 64
+ELEMENTS = PAYLOAD_MIB * (1 << 20) // 8
+
+REPEATS = 5
+
+#: The shm path must beat pipe pickling by at least this factor.
+REQUIRED_SPEEDUP = 2.0
+
+
+def _child_main(conn, shm_token):
+    """Serve round-trip requests until told to stop.
+
+    With ``shm_token`` set this is exactly the worker posture: a session
+    is installed and ``encode_payload`` moves the array into a segment.
+    With ``None`` encode is a passthrough and the pipe pickles the bytes.
+    """
+    shm.set_worker_session(shm_token)
+    array = np.arange(ELEMENTS, dtype=np.float64)
+    while True:
+        if conn.recv() is None:
+            break
+        payload = {"task": "bench", "result": array, "error": None}
+        conn.send(shm.encode_payload(payload))
+
+
+def _measure_round_trips(shm_token) -> float:
+    """Median seconds for one request -> decoded-array round trip."""
+    conn, child_conn = multiprocessing.Pipe()
+    process = multiprocessing.Process(
+        target=_child_main, args=(child_conn, shm_token), daemon=True
+    )
+    process.start()
+    child_conn.close()
+    try:
+        times = []
+        for _ in range(REPEATS + 1):  # first iteration warms the child up
+            start = time.perf_counter()
+            conn.send("go")
+            payload = shm.decode_payload(conn.recv())
+            times.append(time.perf_counter() - start)
+            assert payload["result"].nbytes == ELEMENTS * 8
+        return float(np.median(times[1:]))
+    finally:
+        conn.send(None)
+        process.join(timeout=10.0)
+        if process.is_alive():
+            process.kill()
+            process.join()
+        conn.close()
+        if shm_token is not None:
+            shm.sweep_segments(shm_token)
+
+
+def test_bench_ipc_round_trip(save_artifact, save_bench_json):
+    pickle_seconds = _measure_round_trips(None)
+    shm_seconds = _measure_round_trips(shm.new_token())
+    speedup = pickle_seconds / shm_seconds
+
+    save_bench_json(
+        "ipc",
+        {
+            "round_trip": {
+                "problem": {"payload_mib": PAYLOAD_MIB},
+                "pickle_seconds": pickle_seconds,
+                "shm_seconds": shm_seconds,
+                "shm_speedup": speedup,
+                "required_speedup": REQUIRED_SPEEDUP,
+            },
+        },
+    )
+    save_artifact(
+        "ipc_round_trip",
+        "\n".join(
+            [
+                f"worker payload round trip: {PAYLOAD_MIB} MiB float64 "
+                f"(median of {REPEATS})",
+                f"  pipe pickle    {pickle_seconds * 1e3:8.1f} ms",
+                f"  shared memory  {shm_seconds * 1e3:8.1f} ms",
+                f"  speedup        x{speedup:.2f} "
+                f"(required x{REQUIRED_SPEEDUP:.1f})",
+            ]
+        ),
+    )
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"shm transport only x{speedup:.2f} over pipe pickling "
+        f"(required x{REQUIRED_SPEEDUP:.1f})"
+    )

@@ -1,0 +1,202 @@
+"""The compute-backend protocol and its FleetSpec-style configuration.
+
+A :class:`Backend` bundles the dense kernels every hot path of the
+reproduction reduces to — the einsum masked row-sums of
+:mod:`repro.core.batch`, the exact masked row sums behind the batch
+selectors (:mod:`repro.core.selection_batch`), the leave-one-out solve
+primitives of :mod:`repro.core.measurement`, and the integer Gram update
+of :mod:`repro.metrics.streaming`.  Implementations live in sibling
+modules and are selected through :func:`repro.backends.current_backend`.
+
+Contract
+--------
+
+Backends come in two flavours, declared by :attr:`Backend.exact`:
+
+* **exact** (``numpy``): every kernel is *bit-for-bit* identical to the
+  reference implementation it replaced; the repo's byte-identity pins
+  (draw-order golden tests, sharded==dense oracles) hold unchanged.
+* **tolerance-bounded** (``numpy-float32``, ``tiled``, ``numba``): float
+  kernels may reassociate or down-cast, so delay sums agree with the
+  exact backend only within each backend's documented ``DELAY_RTOL`` /
+  ``DELAY_ATOL``; response/enrollment *bits* agree wherever the decision
+  margin exceeds that tolerance.  Integer kernels (:meth:`gram_update`)
+  stay exact on every backend.
+
+Every kernel invocation records ``backend.<name>.calls`` and a per-kernel
+element counter when :mod:`repro.obs` metrics are enabled (no-ops
+otherwise).  See ``docs/backends.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import obs
+
+__all__ = ["Backend", "BackendConfig"]
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """A JSON-round-trippable backend selection (FleetSpec-style).
+
+    Carries only plain numbers/strings so a selection can travel through
+    environment variables, CLI flags, or config documents, exactly like
+    :class:`repro.datasets.fleet.FleetSpec` travels through task names.
+
+    Attributes:
+        name: registered backend name (``"numpy"``, ``"numpy-float32"``,
+            ``"tiled"``, ``"numba"``).
+        tile_rows: row-block size the tiled backend splits work into.
+        threads: worker threads for the tiled backend; ``None`` lets the
+            backend size itself to ``os.cpu_count()``.
+    """
+
+    name: str = "numpy"
+    tile_rows: int = 4096
+    threads: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("backend name cannot be empty")
+        if self.tile_rows < 1:
+            raise ValueError(f"tile_rows must be >= 1, got {self.tile_rows}")
+        if self.threads is not None and self.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads}")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "tile_rows": self.tile_rows,
+            "threads": self.threads,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "BackendConfig":
+        return cls(
+            name=str(doc["name"]),
+            tile_rows=int(doc.get("tile_rows", 4096)),
+            threads=None if doc.get("threads") is None else int(doc["threads"]),
+        )
+
+    def to_json(self) -> str:
+        """Canonical (sorted-key, compact) JSON — stable across runs."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "BackendConfig":
+        return cls.from_dict(json.loads(text))
+
+
+class Backend:
+    """The kernel protocol the core engines dispatch through.
+
+    Subclasses implement every kernel; :class:`~repro.backends.numpy_backend
+    .NumpyBackend` is the reference implementation the byte-identity tests
+    pin, and the other backends subclass it so partial overrides inherit
+    exact behaviour for everything they do not accelerate.
+    """
+
+    #: Registry name (also the obs counter prefix, ``backend.<name>.*``).
+    name: str = "abstract"
+    #: Whether every kernel is bit-for-bit the reference implementation.
+    exact: bool = False
+    #: Documented agreement bounds vs the exact backend for float kernels.
+    DELAY_RTOL: float = 0.0
+    DELAY_ATOL: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+
+    def masked_row_sums(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """``np.sum(values[p, mask[p]])`` for every row ``p``.
+
+        The rounding-sensitive reduction of the batch selectors; the exact
+        backend reproduces the scalar selectors' sums bit-for-bit.
+        """
+        raise NotImplementedError
+
+    def pair_delay_sums(self, rows: np.ndarray, masks: np.ndarray) -> np.ndarray:
+        """Row-wise masked sums ``einsum("ps,ps->p", rows, masks)``.
+
+        The single-operating-point response kernel (also the coalesced
+        serve dispatch after request stacking).
+        """
+        raise NotImplementedError
+
+    def sweep_pair_delay_sums(
+        self,
+        stacked: np.ndarray,
+        top_rings: np.ndarray,
+        bottom_rings: np.ndarray,
+        top_masks: np.ndarray,
+        bottom_masks: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(top, bottom) delay sums over an operating-point sweep.
+
+        ``stacked`` is ``(op, ring, stage)``; the result pair is each
+        ``(op, pair)`` — the response-sweep kernel behind Fig. 4/5 and
+        the fleet-scale sweeps.
+        """
+        raise NotImplementedError
+
+    def loo_delay_matrix(
+        self,
+        selected: np.ndarray,
+        bypass: np.ndarray,
+        config_masks: np.ndarray,
+    ) -> np.ndarray:
+        """True chain delays of every (ring, config) pair.
+
+        ``selected``/``bypass`` are ``(ring, stage)`` path delays,
+        ``config_masks`` is ``(config, stage)``; entry ``(r, c)`` sums
+        ``selected[r]`` where the config selects the stage and
+        ``bypass[r]`` elsewhere — the leave-one-out measurement solve.
+        """
+        raise NotImplementedError
+
+    def loo_ddiffs(self, measurements: np.ndarray) -> np.ndarray:
+        """Per-unit ddiffs from ``(ring, config)`` leave-one-out delays.
+
+        Column 0 is the all-ones configuration; ``ddiff_j`` is its delay
+        minus the leave-one-out-``j`` delay.
+        """
+        raise NotImplementedError
+
+    def gram_update(self, gram: np.ndarray, x: np.ndarray) -> None:
+        """Fold ``x.T @ x`` into ``gram`` in place (integer, exact).
+
+        The streaming-uniqueness sufficient-statistics update; must stay
+        exact on every backend (the fleet statistics are integers).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _count(self, kernel: str, elements: int) -> None:
+        """Record one kernel invocation (no-op while obs metrics are off)."""
+        obs.counter_add(f"backend.{self.name}.calls")
+        obs.counter_add(f"backend.{self.name}.{kernel}.elements", elements)
+
+    @staticmethod
+    def _validate_masked(
+        values: np.ndarray, mask: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        values = np.asarray(values, dtype=float)
+        mask = np.asarray(mask, dtype=bool)
+        if values.shape != mask.shape or values.ndim != 2:
+            raise ValueError(
+                f"values and mask must be equal-shape 2-D, got {values.shape} "
+                f"and {mask.shape}"
+            )
+        return values, mask
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r} exact={self.exact}>"

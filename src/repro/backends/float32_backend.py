@@ -1,0 +1,70 @@
+"""Opt-in single-precision backend: half the memory traffic, bounded error.
+
+Float kernels down-cast their inputs to ``float32``, reduce in single
+precision, and return ``float64`` results, so downstream code sees the
+usual dtypes while the hot reductions move half the bytes.  Integer
+kernels (:meth:`gram_update`) are inherited exact.
+
+Tolerance contract (vs the exact ``numpy`` backend): delay sums agree
+within ``DELAY_RTOL = 1e-5`` relative / ``DELAY_ATOL`` absolute at unit
+scale (float32 carries ~7 significant digits; short stage sums lose at
+most a couple of ulps).  Decision *bits* agree wherever the margin —
+a difference of two nearly equal sums — exceeds that tolerance; ties and
+sub-tolerance margins may flip, which is why this backend is opt-in and
+never the default.  Pinned by ``tests/test_backends.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .numpy_backend import NumpyBackend
+
+__all__ = ["Float32Backend"]
+
+
+def _f32(array: np.ndarray) -> np.ndarray:
+    return np.asarray(array, dtype=np.float32)
+
+
+class Float32Backend(NumpyBackend):
+    """Single-precision float kernels; see the module tolerance contract."""
+
+    name = "numpy-float32"
+    exact = False
+    DELAY_RTOL = 1e-5
+    DELAY_ATOL = 1e-6
+
+    def masked_row_sums(self, values, mask):
+        values, mask = self._validate_masked(values, mask)
+        self._count("masked_row_sums", values.size)
+        products = _f32(values) * mask
+        return products.sum(axis=1, dtype=np.float32).astype(np.float64)
+
+    def pair_delay_sums(self, rows, masks):
+        self._count("pair_delay_sums", rows.size)
+        return np.einsum("ps,ps->p", _f32(rows), _f32(masks)).astype(
+            np.float64
+        )
+
+    def sweep_pair_delay_sums(
+        self, stacked, top_rings, bottom_rings, top_masks, bottom_masks
+    ):
+        self._count("sweep_pair_delay_sums", stacked.shape[0] * top_masks.size)
+        stacked = _f32(stacked)
+        top = np.einsum(
+            "ops,ps->op", stacked[:, top_rings, :], _f32(top_masks)
+        ).astype(np.float64)
+        bottom = np.einsum(
+            "ops,ps->op", stacked[:, bottom_rings, :], _f32(bottom_masks)
+        ).astype(np.float64)
+        return top, bottom
+
+    def loo_delay_matrix(self, selected, bypass, config_masks):
+        self._count("loo_delay_matrix", selected.size * len(config_masks))
+        chosen = np.where(
+            np.asarray(config_masks, dtype=bool)[None, :, :],
+            _f32(selected)[:, None, :],
+            _f32(bypass)[:, None, :],
+        )
+        return chosen.sum(axis=2, dtype=np.float32).astype(np.float64)

@@ -1,0 +1,99 @@
+"""The default backend: the repo's reference kernels, byte-identity pinned.
+
+Every kernel here is the *exact* code the core engines ran before the
+backend seam existed — moved, not rewritten — so dispatching through
+:class:`NumpyBackend` changes nothing about any output: the draw-order
+golden tests, the batch-vs-scalar selector pins, and the sharded==dense
+fleet oracles all hold bit-for-bit.  The other backends subclass this one,
+inheriting exactness for every kernel they do not override.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Backend
+
+__all__ = ["NumpyBackend", "exact_masked_row_sums", "_SEQUENTIAL_SUM_WIDTH"]
+
+#: numpy's pairwise summation reduces sums of fewer than 8 elements with a
+#: plain left-to-right loop, so a left-packed zero-padded row of this width
+#: sums bit-identically to ``np.sum`` of its compressed values.  Pinned by
+#: ``tests/test_selection_batch.py::test_sequential_sum_width_invariant``.
+_SEQUENTIAL_SUM_WIDTH = 7
+
+
+def exact_masked_row_sums(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """``np.sum(values[p, mask[p]])`` for every row ``p``, bit-for-bit.
+
+    Rows selecting at most :data:`_SEQUENTIAL_SUM_WIDTH` entries are summed
+    vectorized, as left-packed zero-padded rows (sequential-summation
+    regime, where trailing zeros are exact no-ops); wider rows fall back to
+    a per-row ``np.sum`` over the compressed values.  Inputs must already
+    be validated/cast (see :meth:`Backend._validate_masked`).
+    """
+    counts = mask.sum(axis=1)
+    sums = np.zeros(len(values), dtype=float)
+    narrow = counts <= _SEQUENTIAL_SUM_WIDTH
+    if narrow.any():
+        sub_values = values[narrow]
+        sub_mask = mask[narrow]
+        sub_counts = counts[narrow]
+        width = int(sub_counts.max(initial=0))
+        if width:
+            flat = sub_values[sub_mask]
+            rows = np.repeat(np.arange(len(sub_values)), sub_counts)
+            starts = np.cumsum(sub_counts) - sub_counts
+            cols = np.arange(len(flat)) - np.repeat(starts, sub_counts)
+            padded = np.zeros((len(sub_values), width))
+            padded[rows, cols] = flat
+            sums[narrow] = padded.sum(axis=1)
+    if not narrow.all():
+        for row in np.flatnonzero(~narrow):
+            sums[row] = np.sum(values[row, mask[row]])
+    return sums
+
+
+class NumpyBackend(Backend):
+    """Reference kernels; see the module docstring for the exactness pin."""
+
+    name = "numpy"
+    exact = True
+    DELAY_RTOL = 0.0
+    DELAY_ATOL = 0.0
+
+    def masked_row_sums(self, values, mask):
+        values, mask = self._validate_masked(values, mask)
+        self._count("masked_row_sums", values.size)
+        return exact_masked_row_sums(values, mask)
+
+    def pair_delay_sums(self, rows, masks):
+        self._count("pair_delay_sums", rows.size)
+        return np.einsum("ps,ps->p", rows, masks)
+
+    def sweep_pair_delay_sums(
+        self, stacked, top_rings, bottom_rings, top_masks, bottom_masks
+    ):
+        self._count("sweep_pair_delay_sums", stacked.shape[0] * top_masks.size)
+        top = np.einsum("ops,ps->op", stacked[:, top_rings, :], top_masks)
+        bottom = np.einsum(
+            "ops,ps->op", stacked[:, bottom_rings, :], bottom_masks
+        )
+        return top, bottom
+
+    def loo_delay_matrix(self, selected, bypass, config_masks):
+        self._count("loo_delay_matrix", selected.size * len(config_masks))
+        # (ring, 1, stage) vs (1, config, stage) -> (ring, config) delays;
+        # each entry is the same stage vector summed along the last axis,
+        # hence bit-identical to the per-call ConfigurableRO.chain_delay.
+        return np.where(
+            config_masks[None, :, :], selected[:, None, :], bypass[:, None, :]
+        ).sum(axis=2)
+
+    def loo_ddiffs(self, measurements):
+        self._count("loo_ddiffs", measurements.size)
+        return measurements[:, 0:1] - measurements[:, 1:]
+
+    def gram_update(self, gram, x):
+        self._count("gram_update", x.size)
+        gram += x.T @ x

@@ -62,6 +62,7 @@ can gate on it.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 __all__ = ["main", "build_parser"]
@@ -284,6 +285,7 @@ def _cmd_fleet(args) -> tuple[str, int]:
         journal=args.resume,
         timings=args.timings,
         trace=args.trace,
+        shard_dir=args.shard_dir,
     )
     text = json.dumps(summary, indent=2)
     output = getattr(args, "output", None)
@@ -495,6 +497,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="inject seeded worker-crash/hang/cache-corruption chaos "
             "(all command)",
         )
+        sub.add_argument(
+            "--backend",
+            default=None,
+            metavar="NAME",
+            help="compute backend for the dense kernels (numpy, "
+            "numpy-float32, tiled; see docs/backends.md)",
+        )
 
     trace = subparsers.add_parser(
         "trace", help="inspect trace files written by 'all --trace'"
@@ -603,6 +612,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the --bench summary JSON to this path",
     )
+    serve.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="compute backend for coalesced dispatch (docs/backends.md)",
+    )
 
     fleet = subparsers.add_parser(
         "fleet",
@@ -689,6 +704,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the summary JSON to this path",
     )
+    fleet.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="compute backend for the shard statistics (docs/backends.md)",
+    )
+    fleet.add_argument(
+        "--shard-dir",
+        default=None,
+        metavar="PATH",
+        help="persist generated shards here and memory-map them on "
+        "re-analysis instead of regenerating",
+    )
 
     bench = subparsers.add_parser(
         "bench", help="compare benchmark JSON artifacts"
@@ -717,6 +745,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        from .backends import resolve_backend
+
+        resolve_backend(backend)  # fail fast on unknown names
+        # Through the environment (not set_backend) so pipeline worker
+        # processes inherit the selection under fork and spawn alike.
+        os.environ["ROPUF_BACKEND"] = backend
     handler = {**_COMMANDS, **_TOOL_COMMANDS}[args.command]
     outcome = handler(args)
     if isinstance(outcome, tuple):

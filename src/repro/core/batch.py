@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 import numpy as np
 
 from .. import obs
+from ..backends import current_backend
 from ..variation.environment import OperatingPoint
 from ..variation.noise import MeasurementNoise, NoiselessMeasurement
 from .pairing import RingAllocation
@@ -180,9 +181,12 @@ class BatchEvaluator:
         """(top, bottom) configured-ring delay sums, each ``(pair_count,)``."""
         rings = self._ring_delays(op)
         compiled = self.compiled
-        top = np.einsum("ps,ps->p", rings[compiled.top_rings], compiled.top_masks)
-        bottom = np.einsum(
-            "ps,ps->p", rings[compiled.bottom_rings], compiled.bottom_masks
+        backend = current_backend()
+        top = backend.pair_delay_sums(
+            rings[compiled.top_rings], compiled.top_masks
+        )
+        bottom = backend.pair_delay_sums(
+            rings[compiled.bottom_rings], compiled.bottom_masks
         )
         return top, bottom
 
@@ -218,13 +222,13 @@ class BatchEvaluator:
             raise ValueError("no operating points supplied")
         stacked = np.stack([self._ring_delays(op) for op in ops])
         compiled = self.compiled
-        top = np.einsum(
-            "ops,ps->op", stacked[:, compiled.top_rings, :], compiled.top_masks
+        return current_backend().sweep_pair_delay_sums(
+            stacked,
+            compiled.top_rings,
+            compiled.bottom_rings,
+            compiled.top_masks,
+            compiled.bottom_masks,
         )
-        bottom = np.einsum(
-            "ops,ps->op", stacked[:, compiled.bottom_rings, :], compiled.bottom_masks
-        )
-        return top, bottom
 
     # ------------------------------------------------------------------
     # Response generation
@@ -398,7 +402,7 @@ def coalesce_pair_delays(
         masks = np.concatenate(
             [r.top_masks for r in group] + [r.bottom_masks for r in group]
         )
-        sums = np.einsum("ps,ps->p", rows, masks)
+        sums = current_backend().pair_delay_sums(rows, masks)
         top_total = sum(r.pair_count for r in group)
         tops, bottoms = sums[:top_total], sums[top_total:]
         offset = 0

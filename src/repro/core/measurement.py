@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import obs
+from ..backends import current_backend
 from ..variation.environment import NOMINAL_OPERATING_POINT, OperatingPoint
 from ..variation.noise import GaussianNoise, MeasurementNoise
 from .config_vector import ConfigVector
@@ -331,12 +332,11 @@ def measure_ddiffs_leave_one_out_batch(
         unit_indices = np.stack([ring.unit_indices for ring in rings])
         selected = chip.selected_path_delays(op)[unit_indices]
         bypass = chip.mux_bypass_delays(op)[unit_indices]
-        # (ring, 1, stage) vs (1, config, stage) -> (ring, config) delays; each
-        # row/column entry is the same stage vector summed along the last axis,
-        # hence bit-identical to the per-call ConfigurableRO.chain_delay.
-        true_delays = np.where(
-            config_masks[None, :, :], selected[:, None, :], bypass[:, None, :]
-        ).sum(axis=2)
+        # (ring, config) true delays through the active compute backend; the
+        # default numpy backend keeps this bit-identical to the per-call
+        # ConfigurableRO.chain_delay.
+        backend = current_backend()
+        true_delays = backend.loo_delay_matrix(selected, bypass, config_masks)
         obs.counter_add(
             f"noise.elements.{ENROLL_DRAW_ORDER}",
             true_delays.size * measurer.repeats,
@@ -344,7 +344,7 @@ def measure_ddiffs_leave_one_out_batch(
         measurements = measurer.noise.observe_averaged(
             true_delays, measurer.rng, measurer.repeats
         )
-        ddiffs = measurements[:, 0:1] - measurements[:, 1:]
+        ddiffs = backend.loo_ddiffs(measurements)
     return BatchDdiffEstimate(
         ddiffs=ddiffs, configs=configs, measurements=measurements
     )

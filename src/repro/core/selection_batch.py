@@ -43,6 +43,8 @@ from typing import Callable
 import numpy as np
 
 from .. import obs
+from ..backends import current_backend
+from ..backends.numpy_backend import _SEQUENTIAL_SUM_WIDTH  # noqa: F401  (test pin)
 from .config_vector import ConfigVector
 from .selection import PairSelection
 
@@ -55,48 +57,17 @@ __all__ = [
     "masked_row_sums",
 ]
 
-#: numpy's pairwise summation reduces sums of fewer than 8 elements with a
-#: plain left-to-right loop, so a left-packed zero-padded row of this width
-#: sums bit-identically to ``np.sum`` of its compressed values.  Pinned by
-#: ``tests/test_selection_batch.py::test_sequential_sum_width_invariant``.
-_SEQUENTIAL_SUM_WIDTH = 7
-
-
 def masked_row_sums(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
-    """``np.sum(values[p, mask[p]])`` for every row ``p``, bit-for-bit.
+    """``np.sum(values[p, mask[p]])`` for every row ``p``.
 
-    Rows selecting at most :data:`_SEQUENTIAL_SUM_WIDTH` entries are summed
-    vectorized, as left-packed zero-padded rows (sequential-summation
-    regime, where trailing zeros are exact no-ops); wider rows fall back to
-    a per-row ``np.sum`` over the compressed values.
+    Dispatches through the active compute backend
+    (:func:`repro.backends.current_backend`).  The default ``numpy``
+    backend keeps the historical bit-for-bit contract — rows selecting at
+    most :data:`~repro.backends.numpy_backend._SEQUENTIAL_SUM_WIDTH`
+    entries are summed in numpy's sequential regime exactly as the scalar
+    selectors would; tolerance backends document their own bounds.
     """
-    values = np.asarray(values, dtype=float)
-    mask = np.asarray(mask, dtype=bool)
-    if values.shape != mask.shape or values.ndim != 2:
-        raise ValueError(
-            f"values and mask must be equal-shape 2-D, got {values.shape} "
-            f"and {mask.shape}"
-        )
-    counts = mask.sum(axis=1)
-    sums = np.zeros(len(values), dtype=float)
-    narrow = counts <= _SEQUENTIAL_SUM_WIDTH
-    if narrow.any():
-        sub_values = values[narrow]
-        sub_mask = mask[narrow]
-        sub_counts = counts[narrow]
-        width = int(sub_counts.max(initial=0))
-        if width:
-            flat = sub_values[sub_mask]
-            rows = np.repeat(np.arange(len(sub_values)), sub_counts)
-            starts = np.cumsum(sub_counts) - sub_counts
-            cols = np.arange(len(flat)) - np.repeat(starts, sub_counts)
-            padded = np.zeros((len(sub_values), width))
-            padded[rows, cols] = flat
-            sums[narrow] = padded.sum(axis=1)
-    if not narrow.all():
-        for row in np.flatnonzero(~narrow):
-            sums[row] = np.sum(values[row, mask[row]])
-    return sums
+    return current_backend().masked_row_sums(values, mask)
 
 
 @dataclass(frozen=True, eq=False)

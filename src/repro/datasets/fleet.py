@@ -31,7 +31,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -55,8 +57,12 @@ __all__ = [
     "FleetSpec",
     "FleetShard",
     "generate_shard",
+    "load_or_generate_shard",
     "iter_shards",
 ]
+
+#: On-disk shard layout version (see :meth:`FleetShard.save`).
+SHARD_SCHEME = "ropuf-fleet-shard-v1"
 
 #: Version tag of the per-shard random draw order.  Bumped whenever the
 #: sequence of rng draws in :func:`generate_shard` changes, because that
@@ -230,6 +236,145 @@ class FleetShard:
     def reference_bits(self) -> np.ndarray:
         """Response bits at the enrollment corner."""
         return self.response_bits(self.spec.nominal)
+
+    # ------------------------------------------------------------------
+    # Persistence (memory-mapped re-analysis)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _file_stem(spec: FleetSpec, index: int) -> str:
+        return f"shard_{spec.fingerprint()[:16]}_{index:06d}"
+
+    @staticmethod
+    def array_path(directory: str | Path, spec: FleetSpec, index: int) -> Path:
+        """Where the shard's stacked delay tensor lives under ``directory``."""
+        return Path(directory) / f"{FleetShard._file_stem(spec, index)}.npy"
+
+    @staticmethod
+    def sidecar_path(directory: str | Path, spec: FleetSpec, index: int) -> Path:
+        """The JSON sidecar describing (and validating) the tensor."""
+        return Path(directory) / f"{FleetShard._file_stem(spec, index)}.json"
+
+    def save(self, directory: str | Path) -> Path:
+        """Persist the shard for memory-mapped re-analysis; returns the sidecar.
+
+        Layout: a plain ``.npy`` holding the corner-stacked
+        ``(corners, devices, ro_count)`` delay tensor (``np.save`` — the
+        one numpy container :func:`numpy.load` can ``mmap_mode="r"``) next
+        to a JSON sidecar carrying the spec document, shard index, and
+        tensor shape/dtype.  Both writes are atomic (tmp + rename) and the
+        sidecar lands *last*, so its presence marks a complete pair: a
+        crash mid-save leaves at most an orphaned tensor that the next
+        save simply overwrites.  Filenames are keyed by the spec
+        fingerprint, so shards of different fleets coexist in one
+        directory and a stale shard of an edited spec is never picked up.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        stacked = np.stack([self.delays[op] for op in self.spec.corners])
+        array_path = self.array_path(directory, self.spec, self.index)
+        sidecar_path = self.sidecar_path(directory, self.spec, self.index)
+        doc = {
+            "scheme": SHARD_SCHEME,
+            "spec": self.spec.to_dict(),
+            "index": self.index,
+            "shape": list(stacked.shape),
+            "dtype": str(stacked.dtype),
+        }
+        array_tmp = array_path.with_name(f"{array_path.name}.tmp.{os.getpid()}")
+        sidecar_tmp = sidecar_path.with_name(
+            f"{sidecar_path.name}.tmp.{os.getpid()}"
+        )
+        try:
+            with open(array_tmp, "wb") as handle:
+                np.save(handle, stacked)
+            os.replace(array_tmp, array_path)
+            sidecar_tmp.write_text(json.dumps(doc, indent=2))
+            os.replace(sidecar_tmp, sidecar_path)
+        except BaseException:
+            for tmp in (array_tmp, sidecar_tmp):
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+            raise
+        return sidecar_path
+
+    @classmethod
+    def load(
+        cls,
+        directory: str | Path,
+        spec: FleetSpec,
+        index: int,
+        *,
+        mmap: bool = True,
+    ) -> "FleetShard":
+        """Load a previously saved shard, memory-mapped by default.
+
+        With ``mmap`` the per-corner arrays are read-only views into one
+        :func:`numpy.load` ``mmap_mode="r"`` mapping — re-analysis touches
+        only the pages it reads instead of regenerating (or even fully
+        reading) the shard.  Validates the sidecar against ``spec`` and
+        ``index``; any mismatch or damage raises, so callers can fall
+        back to regeneration (:func:`load_or_generate_shard`).
+
+        Raises:
+            FileNotFoundError: no complete saved shard (sidecar missing).
+            ValueError: the sidecar disagrees with ``spec``/``index`` or
+                the tensor shape does not match the spec.
+        """
+        directory = Path(directory)
+        doc = json.loads(cls.sidecar_path(directory, spec, index).read_text())
+        if doc.get("scheme") != SHARD_SCHEME:
+            raise ValueError(
+                f"unsupported shard scheme {doc.get('scheme')!r}; this code "
+                f"implements {SHARD_SCHEME!r}"
+            )
+        saved_spec = FleetSpec.from_dict(doc["spec"])
+        if saved_spec.fingerprint() != spec.fingerprint() or doc["index"] != index:
+            raise ValueError(
+                "saved shard does not match the requested spec/index"
+            )
+        stacked = np.load(
+            cls.array_path(directory, spec, index),
+            mmap_mode="r" if mmap else None,
+        )
+        start, stop = spec.shard_bounds(index)
+        expected = (len(spec.corners), stop - start, spec.ro_count)
+        if stacked.shape != expected:
+            raise ValueError(
+                f"saved shard tensor has shape {stacked.shape}, spec "
+                f"expects {expected}"
+            )
+        delays = {op: stacked[i] for i, op in enumerate(spec.corners)}
+        return cls(spec=spec, index=index, delays=delays)
+
+
+def load_or_generate_shard(
+    spec: FleetSpec, index: int, shard_dir: str | Path | None = None
+) -> FleetShard:
+    """The shard, from disk when possible, regenerated (and saved) otherwise.
+
+    With ``shard_dir`` ``None`` this is exactly :func:`generate_shard`.
+    Otherwise a valid saved shard is loaded memory-mapped (skipping
+    fabrication entirely); on a miss — or *any* defect in the saved pair —
+    the shard is regenerated from the spec (always safe: generation is
+    deterministic) and re-saved for the next run.  Save failures (read-only
+    or full disk) are not fatal; the freshly generated shard is returned
+    regardless.
+    """
+    if shard_dir is None:
+        return generate_shard(spec, index)
+    try:
+        return FleetShard.load(shard_dir, spec, index)
+    except (OSError, ValueError, KeyError):
+        pass
+    shard = generate_shard(spec, index)
+    try:
+        shard.save(shard_dir)
+    except OSError:
+        pass
+    return shard
 
 
 def generate_shard(spec: FleetSpec, index: int) -> FleetShard:

@@ -47,6 +47,8 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from ..backends import current_backend
+
 __all__ = [
     "StreamingUniqueness",
     "StreamingUniquenessReport",
@@ -134,7 +136,8 @@ class StreamingUniqueness:
         x = bits.astype(np.int64)
         self.rows += bits.shape[0]
         self.column_ones += x.sum(axis=0)
-        self.gram += x.T @ x
+        # Integer-exact on every backend (the statistics must stay exact).
+        current_backend().gram_update(self.gram, x)
 
     def merge(self, other: "StreamingUniqueness") -> None:
         """Fold another accumulator in (commutative, exact)."""

@@ -94,6 +94,7 @@ def summarize_trace(path: str | Path, top: int = 10) -> dict:
         by_name, key=lambda name: by_name[name]["self_seconds"], reverse=True
     )[:top]
     cache = None
+    ipc = None
     if metrics is not None:
         counters = metrics.get("counters", {})
         hits = counters.get("cache.hits", 0.0)
@@ -104,6 +105,16 @@ def summarize_trace(path: str | Path, top: int = 10) -> dict:
                 "misses": misses,
                 "hit_ratio": hits / (hits + misses),
             }
+        segments = counters.get("ipc.shm_segments", 0.0)
+        bytes_sent = counters.get("ipc.bytes_sent", 0.0)
+        bytes_received = counters.get("ipc.bytes_received", 0.0)
+        if segments or bytes_sent or bytes_received:
+            ipc = {
+                "shm_segments": segments,
+                "bytes_sent": bytes_sent,
+                "bytes_received": bytes_received,
+                "swept": counters.get("ipc.shm_swept", 0.0),
+            }
     return {
         "span_count": len(spans),
         "process_count": len(processes),
@@ -113,6 +124,7 @@ def summarize_trace(path: str | Path, top: int = 10) -> dict:
             str(pid): processes[pid] for pid in sorted(processes)
         },
         "cache": cache,
+        "ipc": ipc,
         "metrics": metrics,
     }
 
@@ -157,6 +169,19 @@ def format_trace_summary(summary: dict) -> str:
         lines.append(
             f"cache: {cache['hits']:.0f} hits / {cache['misses']:.0f} misses "
             f"(hit ratio {cache['hit_ratio']:.1%})"
+        )
+    ipc = summary.get("ipc")
+    if ipc is not None:
+        lines.append("")
+        lines.append(
+            f"ipc: {ipc['shm_segments']:.0f} shm segment(s), "
+            f"{ipc['bytes_sent'] / 1e6:.1f} MB sent / "
+            f"{ipc['bytes_received'] / 1e6:.1f} MB received"
+            + (
+                f", {ipc['swept']:.0f} swept after worker loss"
+                if ipc.get("swept")
+                else ""
+            )
         )
     return "\n".join(lines)
 

@@ -2,7 +2,10 @@
 
 Cache key = sha256 over (scheme tag, task name, dataset fingerprint, repro
 version); the key is both the filename and an integrity check inside the
-file.  A cached entry is trusted only if its embedded metadata matches the
+file.  Entries come in two flavours sharing one key: plain-JSON results
+live in ``<key>.json``; ndarray-bearing results (raw-channel tasks) live
+in ``<key>.pkl``, pickled at protocol :data:`PICKLE_PROTOCOL` so large
+arrays serialise as contiguous framed buffers at ~raw ``nbytes`` cost.  A cached entry is trusted only if its embedded metadata matches the
 request exactly — any mismatch, parse error, or I/O failure reads as a
 *miss*, so a corrupted or stale cache can never crash or poison a run; the
 task simply recomputes and overwrites the entry.
@@ -31,12 +34,15 @@ import hashlib
 import itertools
 import json
 import os
+import pickle
 import time
 from pathlib import Path
 
+import numpy as np
+
 from .. import obs
 
-__all__ = ["ResultCache", "NO_DATASET_FINGERPRINT"]
+__all__ = ["ResultCache", "NO_DATASET_FINGERPRINT", "PICKLE_PROTOCOL"]
 
 #: Fingerprint slot used by tasks that do not consume the dataset.
 NO_DATASET_FINGERPRINT = "no-dataset"
@@ -53,10 +59,29 @@ _TMP_COUNTER = itertools.count()
 STALE_TMP_SECONDS = 3600.0
 
 
+#: Binary entries pin pickle protocol 5: its out-of-band buffer framing
+#: stores ndarray payloads as contiguous blocks, so a cached array costs
+#: its raw ``nbytes`` plus a small bounded header (pinned by
+#: ``tests/test_pipeline_shm.py``); earlier protocols chunk large
+#: buffers and predate the framing.
+PICKLE_PROTOCOL = 5
+
+
 def _repro_version() -> str:
     from .. import __version__
 
     return __version__
+
+
+def _has_ndarray(value) -> bool:
+    """Whether ``value`` contains an ndarray anywhere (JSON can't hold it)."""
+    if isinstance(value, np.ndarray):
+        return True
+    if isinstance(value, dict):
+        return any(_has_ndarray(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return any(_has_ndarray(v) for v in value)
+    return False
 
 
 class ResultCache:
@@ -82,6 +107,15 @@ class ResultCache:
         """Where the entry for (task, fingerprint, version) lives on disk."""
         return self.root / f"{self.key(task_name, fingerprint)}.json"
 
+    def binary_path(self, task_name: str, fingerprint: str) -> Path:
+        """The binary (pickle) sibling of :meth:`path`.
+
+        Used for ndarray-bearing results from raw-channel tasks, which
+        JSON cannot represent; at most one of the two paths exists for a
+        given key (stores unlink the other flavour).
+        """
+        return self.root / f"{self.key(task_name, fingerprint)}.pkl"
+
     def load(self, task_name: str, fingerprint: str):
         """The cached result, or ``None`` on miss/corruption/mismatch.
 
@@ -97,9 +131,7 @@ class ResultCache:
             try:
                 text = path.read_text()
             except OSError:
-                obs.counter_add("cache.misses")
-                load_span.set_attr("hit", False)
-                return None
+                return self._load_binary(task_name, fingerprint, load_span)
             obs.counter_add("cache.read_bytes", len(text))
             try:
                 payload = json.loads(text)
@@ -125,6 +157,45 @@ class ResultCache:
             load_span.set_attr("hit", True)
             return result
 
+    def _load_binary(self, task_name: str, fingerprint: str, load_span):
+        """The pickle-flavour load path (same trust and integrity rules).
+
+        Binary entries hold only this cache's own stores — the same trust
+        domain as the JSON flavour — and get the same treatment: metadata
+        mismatch is a plain miss, unparseable bytes are quarantined.
+        """
+        path = self.binary_path(task_name, fingerprint)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            obs.counter_add("cache.misses")
+            load_span.set_attr("hit", False)
+            return None
+        obs.counter_add("cache.read_bytes", len(data))
+        try:
+            payload = pickle.loads(data)
+            result = payload["result"]
+            if (
+                payload["task"] != task_name
+                or payload["fingerprint"] != fingerprint
+                or payload["version"] != self.version
+            ):
+                raise KeyError("metadata mismatch")
+        except (pickle.UnpicklingError, EOFError, ValueError, AttributeError):
+            self._quarantine(path)
+            obs.counter_add("cache.misses")
+            load_span.set_attr("hit", False)
+            load_span.set_attr("quarantined", True)
+            return None
+        except (KeyError, TypeError):
+            obs.counter_add("cache.misses")
+            load_span.set_attr("hit", False)
+            return None
+        obs.counter_add("cache.hits")
+        load_span.set_attr("hit", True)
+        load_span.set_attr("binary", True)
+        return result
+
     def _quarantine(self, path: Path) -> None:
         """Move a damaged entry aside as ``<name>.corrupt`` (best effort)."""
         try:
@@ -143,20 +214,27 @@ class ResultCache:
         """
         self.root.mkdir(parents=True, exist_ok=True)
         self.sweep_stale_tmp()
-        path = self.path(task_name, fingerprint)
         payload = {
             "task": task_name,
             "fingerprint": fingerprint,
             "version": self.version,
             "result": result,
         }
+        binary = _has_ndarray(result)
+        if binary:
+            path = self.binary_path(task_name, fingerprint)
+            stale = self.path(task_name, fingerprint)
+            data = pickle.dumps(payload, protocol=PICKLE_PROTOCOL)
+        else:
+            path = self.path(task_name, fingerprint)
+            stale = self.binary_path(task_name, fingerprint)
+            data = json.dumps(payload, indent=2).encode()
         tmp = path.with_name(
             f"{path.name}.tmp.{os.getpid()}.{next(_TMP_COUNTER)}"
         )
-        with obs.span("cache.store", task=task_name):
+        with obs.span("cache.store", task=task_name, binary=binary):
             try:
-                text = json.dumps(payload, indent=2)
-                tmp.write_text(text)
+                tmp.write_bytes(data)
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -164,8 +242,15 @@ class ResultCache:
                 except OSError:
                     pass
                 raise
+            try:
+                # A re-store that switched flavours must not leave the old
+                # flavour behind (load would resurrect it after this entry
+                # is invalidated).
+                stale.unlink()
+            except OSError:
+                pass
             obs.counter_add("cache.stores")
-            obs.counter_add("cache.write_bytes", len(text))
+            obs.counter_add("cache.write_bytes", len(data))
         return path
 
     def sweep_stale_tmp(self, max_age_seconds: float = STALE_TMP_SECONDS) -> int:

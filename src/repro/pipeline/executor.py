@@ -68,6 +68,7 @@ import numpy as np
 from .. import obs
 from ..datasets.base import RODataset
 from ..faults.chaos import CHAOS_CRASH_EXIT, ChaosPlan, chaos_worker_action
+from . import shm
 from .cache import NO_DATASET_FINGERPRINT, ResultCache, _repro_version
 from .journal import RunJournal
 from .registry import TaskSpec, resolve_tasks
@@ -212,7 +213,12 @@ def execute_task(
                     time.sleep(delay)
             try:
                 with obs.span("task.attempt", task=task_name, attempt=attempts):
-                    result = _canonical(spec.run(dataset))
+                    result = spec.run(dataset)
+                    # Raw-channel tasks keep their ndarrays (shipped to the
+                    # parent via shared memory, cached as pickle, never
+                    # journaled); everything else lands as canonical JSON.
+                    if spec.canonical_result:
+                        result = _canonical(result)
                 error = error_type = trace_text = None
                 break
             except Exception as exc:  # degrade gracefully, never abort the run
@@ -296,16 +302,21 @@ def _observability(trace_on: bool, metrics_on: bool):
 # re-dispatch with the task's remaining attempt budget.
 
 
-def _worker_main(conn, dataset, collect_obs, policy, chaos_assignment) -> None:
+def _worker_main(
+    conn, dataset, collect_obs, policy, chaos_assignment, shm_token=None
+) -> None:
     """Worker process body: serve task requests until told to stop.
 
     Messages in: ``(task_name, uses_dataset, first_attempt, dispatch)``
     tuples, or ``None`` to exit.  Messages out: one ``execute_task``
-    payload per request.  Chaos actions (crash/hang) fire *before* the
-    task runs, so a chaos casualty never half-completes work.
+    payload per request — large result arrays travel as shared-memory
+    refs (see :mod:`repro.pipeline.shm`) when a pool token was supplied.
+    Chaos actions (crash/hang) fire *before* the task runs, so a chaos
+    casualty never half-completes work.
     """
     import repro.pipeline.tasks  # noqa: F401  (populate the registry in workers)
 
+    shm.set_worker_session(shm_token)
     while True:
         try:
             message = conn.recv()
@@ -327,7 +338,7 @@ def _worker_main(conn, dataset, collect_obs, policy, chaos_assignment) -> None:
             first_attempt=first_attempt,
         )
         try:
-            conn.send(payload)
+            conn.send(shm.encode_payload(payload))
         except (BrokenPipeError, OSError):
             break
 
@@ -357,11 +368,20 @@ class _TaskState:
 class _Worker:
     """One worker process plus the parent's view of what it is doing."""
 
-    def __init__(self, dataset, collect_obs, policy, chaos_assignment) -> None:
+    def __init__(
+        self, dataset, collect_obs, policy, chaos_assignment, shm_token=None
+    ) -> None:
         self.conn, child_conn = multiprocessing.Pipe()
         self.process = multiprocessing.Process(
             target=_worker_main,
-            args=(child_conn, dataset, collect_obs, policy, chaos_assignment),
+            args=(
+                child_conn,
+                dataset,
+                collect_obs,
+                policy,
+                chaos_assignment,
+                shm_token,
+            ),
             daemon=True,
         )
         self.process.start()
@@ -428,9 +448,10 @@ def _run_pool(
     ship_dataset = (
         dataset if any(spec.uses_dataset for spec in pending) else None
     )
+    shm_token = shm.new_token()
     states = deque(_TaskState(spec=spec) for spec in pending)
     workers = [
-        _Worker(ship_dataset, collect_obs, policy, chaos_assignment)
+        _Worker(ship_dataset, collect_obs, policy, chaos_assignment, shm_token)
         for _ in range(min(jobs, len(pending)))
     ]
     idle = list(workers)
@@ -463,9 +484,15 @@ def _run_pool(
                 "error_type": error_type,
             }
         )
+        dead_pid = worker.process.pid
         worker.kill()
+        # The dead worker may have shipped (or been mid-copy into) shm
+        # segments nobody will ever consume; reclaim them by name.
+        shm.sweep_segments(shm_token, pid=dead_pid)
         workers.remove(worker)
-        replacement = _Worker(ship_dataset, collect_obs, policy, chaos_assignment)
+        replacement = _Worker(
+            ship_dataset, collect_obs, policy, chaos_assignment, shm_token
+        )
         workers.append(replacement)
         idle.append(replacement)
         state.first_attempt = attempt + 1
@@ -529,7 +556,7 @@ def _run_pool(
             for worker in busy:
                 if worker.conn in ready:
                     try:
-                        payload = worker.conn.recv()
+                        payload = shm.decode_payload(worker.conn.recv())
                     except (EOFError, OSError):
                         lose_worker(worker, "crash")
                         continue
@@ -545,6 +572,9 @@ def _run_pool(
     finally:
         for worker in workers:
             worker.stop()
+        # Whatever segments survived consume-once and per-death sweeps
+        # (e.g. created between the last recv and shutdown) die with the pool.
+        shm.sweep_segments(shm_token)
 
 
 def _chaos_corrupt_entry(
@@ -760,7 +790,9 @@ def _run(
                     and name == chaos_assignment.corrupt_task
                 ):
                     _chaos_corrupt_entry(cache, name, fingerprint)
-            if run_journal is not None:
+            if run_journal is not None and spec.canonical_result:
+                # Raw-channel results are not JSON; they resume from the
+                # binary cache entry instead of the journal.
                 run_journal.append(
                     name, fingerprint, journal_version, payload["result"]
                 )

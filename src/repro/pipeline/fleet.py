@@ -27,8 +27,10 @@ states in the parent, independent of fleet size; see ``docs/datasets.md``.
 
 from __future__ import annotations
 
+import os
+
 from .. import obs
-from ..datasets.fleet import FleetSpec, generate_shard
+from ..datasets.fleet import FleetSpec, load_or_generate_shard
 from ..metrics.streaming import (
     StreamingReliability,
     StreamingUniformity,
@@ -38,6 +40,7 @@ from .registry import TaskSpec, register_task_factory
 
 __all__ = [
     "FLEET_TASK_PREFIX",
+    "SHARD_DIR_ENV_VAR",
     "shard_task_name",
     "parse_shard_task_name",
     "compute_shard_stats",
@@ -45,6 +48,16 @@ __all__ = [
 ]
 
 FLEET_TASK_PREFIX = "fleet_shard"
+
+#: How the shard directory reaches worker processes.  Deliberately an
+#: environment variable, *not* part of the task name or FleetSpec: the
+#: cache/journal keys must depend only on what the result is (the spec),
+#: never on where shards happen to be persisted.
+SHARD_DIR_ENV_VAR = "ROPUF_FLEET_SHARD_DIR"
+
+
+def _shard_dir() -> str | None:
+    return os.environ.get(SHARD_DIR_ENV_VAR) or None
 
 
 def shard_task_name(spec: FleetSpec, index: int) -> str:
@@ -74,6 +87,11 @@ def compute_shard_stats(spec: FleetSpec, index: int) -> dict:
     ``state_dict()`` per accumulator.  The reference corner is
     ``spec.corners[0]``; every further corner contributes a regenerated
     response for the reliability fold.
+
+    When :data:`SHARD_DIR_ENV_VAR` points at a shard directory (see
+    :func:`run_fleet_analysis`'s ``shard_dir``), a previously saved shard
+    is memory-mapped instead of regenerated, and fresh shards are saved
+    for the next run.
     """
     import numpy as np
 
@@ -81,7 +99,7 @@ def compute_shard_stats(spec: FleetSpec, index: int) -> dict:
     with obs.span(
         "fleet.shard", shard=index, devices=stop - start
     ):
-        shard = generate_shard(spec, index)
+        shard = load_or_generate_shard(spec, index, _shard_dir())
         reference = shard.reference_bits()
         uniqueness = StreamingUniqueness(spec.bit_count)
         uniformity = StreamingUniformity(spec.bit_count)
@@ -139,6 +157,7 @@ def run_fleet_analysis(
     journal=None,
     timings: bool = False,
     trace=None,
+    shard_dir=None,
 ) -> dict:
     """Sharded uniqueness/uniformity/reliability over the whole fleet.
 
@@ -146,6 +165,13 @@ def run_fleet_analysis(
     :func:`~repro.pipeline.executor.run_pipeline` for the cache, retry,
     journal, and chaos semantics of the keyword arguments), then folds
     the shard states and derives the population reports.
+
+    ``shard_dir`` opts into shard persistence: saved shards are
+    memory-mapped instead of regenerated (fabrication is the dominant
+    cost of re-analysis) and fresh shards are saved for next time.  The
+    directory travels to workers via :data:`SHARD_DIR_ENV_VAR` — never
+    through task names — so cache and journal keys are identical with
+    and without it.
 
     Returns a plain-JSON summary: the spec, shard bookkeeping (including
     any ``failed`` shards after retry exhaustion — ``complete`` is False
@@ -159,16 +185,26 @@ def run_fleet_analysis(
         shard_task_name(spec, index)
         for index in range(spec.shard_count)
     ]
-    summary = run_pipeline(
-        dataset=None,
-        jobs=jobs,
-        cache_dir=cache_dir,
-        tasks=names,
-        timings=timings,
-        trace=trace,
-        policy=policy,
-        journal=journal,
-    )
+    previous_shard_dir = os.environ.get(SHARD_DIR_ENV_VAR)
+    if shard_dir is not None:
+        os.environ[SHARD_DIR_ENV_VAR] = str(shard_dir)
+    try:
+        summary = run_pipeline(
+            dataset=None,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            tasks=names,
+            timings=timings,
+            trace=trace,
+            policy=policy,
+            journal=journal,
+        )
+    finally:
+        if shard_dir is not None:
+            if previous_shard_dir is None:
+                os.environ.pop(SHARD_DIR_ENV_VAR, None)
+            else:
+                os.environ[SHARD_DIR_ENV_VAR] = previous_shard_dir
 
     uniqueness = StreamingUniqueness(spec.bit_count)
     uniformity = StreamingUniformity(spec.bit_count)

@@ -43,12 +43,19 @@ class TaskSpec:
         uses_dataset: whether the result depends on the measurement dataset
             (false for paper-constant studies like Table V).
         description: one-line human-readable purpose.
+        canonical_result: whether the result is canonicalised to plain
+            JSON types (the default).  ``False`` opts into the raw-array
+            channel: the result keeps its ndarrays, large ones travel
+            worker-to-parent via shared memory
+            (:mod:`repro.pipeline.shm`), caching uses the binary pickle
+            path, and the run journal skips the task.
     """
 
     name: str
     runner: Callable
     uses_dataset: bool = True
     description: str = ""
+    canonical_result: bool = True
 
     def run(self, dataset):
         """Execute the task (dataset is ignored by dataset-free tasks)."""
@@ -67,6 +74,7 @@ def register_task(
     *,
     uses_dataset: bool = True,
     description: str = "",
+    canonical_result: bool = True,
 ) -> Callable:
     """Register a task; usable directly or as a decorator.
 
@@ -82,6 +90,7 @@ def register_task(
             runner=fn,
             uses_dataset=uses_dataset,
             description=description or (fn.__doc__ or "").strip().split("\n")[0],
+            canonical_result=canonical_result,
         )
         return fn
 

@@ -33,6 +33,7 @@ from collections import deque
 import numpy as np
 
 from .. import obs
+from ..backends import current_backend
 from ..core.batch import BatchEvaluator, coalesce_responses
 from ..variation.environment import OperatingPoint
 
@@ -204,7 +205,11 @@ class RequestCoalescer:
                 job.error = exc
                 job.done.set()
         if ready:
-            with obs.span("serve.coalesce.dispatch", batch=len(ready)):
+            with obs.span(
+                "serve.coalesce.dispatch",
+                batch=len(ready),
+                backend=current_backend().name,
+            ):
                 try:
                     responses = coalesce_responses(
                         [(job.evaluator, job.op) for job in ready],

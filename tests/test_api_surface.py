@@ -37,7 +37,7 @@ class TestPublicApi:
     def test_version_string(self):
         import repro
 
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_readme_quickstart_names_exist(self):
         # The names used in README's quickstart snippet.

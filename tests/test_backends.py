@@ -1,0 +1,377 @@
+"""The compute-backend layer: selection, identity, and tolerance contracts.
+
+Three contracts are pinned here:
+
+* the ``numpy`` backend is **bit-identical** to the reference loops across
+  all three kernel families (masked row sums, pair/sweep delay sums, the
+  leave-one-out solve) — dispatching through the backend seam changes no
+  output anywhere;
+* ``numpy-float32`` and ``tiled`` agree with the exact backend within
+  their documented ``DELAY_RTOL``/``DELAY_ATOL`` on delays, exactly on
+  decision bits whenever the margin clears the tolerance, and exactly on
+  the integer Gram update regardless;
+* selection precedence is override > ``ROPUF_BACKEND`` env var > default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import backends
+from repro.backends import (
+    Backend,
+    BackendConfig,
+    Float32Backend,
+    NumpyBackend,
+    TiledBackend,
+    available_backends,
+    current_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.backends.numpy_backend import _SEQUENTIAL_SUM_WIDTH
+
+TOLERANT = ["numpy-float32", "tiled"]
+
+
+def _reference_masked_row_sums(values: np.ndarray, mask: np.ndarray):
+    return np.array(
+        [np.sum(values[p, mask[p]]) for p in range(len(values))]
+    )
+
+
+def _delay_close(backend: Backend, got, want) -> bool:
+    return np.allclose(
+        got, want, rtol=backend.DELAY_RTOL, atol=backend.DELAY_ATOL
+    )
+
+
+@st.composite
+def masked_rows(draw):
+    rows = draw(st.integers(min_value=1, max_value=40))
+    cols = draw(st.integers(min_value=1, max_value=24))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    values = rng.normal(scale=draw(st.sampled_from([1.0, 1e-10])), size=(rows, cols))
+    mask = rng.random((rows, cols)) < draw(st.floats(0.0, 1.0))
+    return values, mask
+
+
+@st.composite
+def sweep_problems(draw):
+    ops = draw(st.integers(min_value=1, max_value=6))
+    pairs = draw(st.integers(min_value=1, max_value=24))
+    stages = draw(st.integers(min_value=1, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    rings = 2 * pairs
+    stacked = rng.normal(size=(ops, rings, stages))
+    order = rng.permutation(rings)
+    top_rings, bottom_rings = order[:pairs], order[pairs:]
+    top_masks = (rng.random((pairs, stages)) < 0.5).astype(float)
+    bottom_masks = (rng.random((pairs, stages)) < 0.5).astype(float)
+    return stacked, top_rings, bottom_rings, top_masks, bottom_masks
+
+
+@st.composite
+def loo_problems(draw):
+    rings = draw(st.integers(min_value=1, max_value=24))
+    stages = draw(st.integers(min_value=1, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    selected = rng.normal(loc=1.0, scale=0.05, size=(rings, stages))
+    bypass = rng.normal(loc=0.4, scale=0.02, size=(rings, stages))
+    config_masks = np.ones((stages + 1, stages), dtype=bool)
+    config_masks[1:] ^= np.eye(stages, dtype=bool)
+    return selected, bypass, config_masks
+
+
+class TestNumpyBackendBitIdentity:
+    """The default backend reproduces the reference loops bit-for-bit."""
+
+    @given(problem=masked_rows())
+    def test_masked_row_sums_exact(self, problem):
+        values, mask = problem
+        got = NumpyBackend().masked_row_sums(values, mask)
+        assert np.array_equal(got, _reference_masked_row_sums(values, mask))
+
+    @given(problem=sweep_problems())
+    def test_pair_and_sweep_sums_exact(self, problem):
+        stacked, top_rings, bottom_rings, top_masks, bottom_masks = problem
+        backend = NumpyBackend()
+        top, bottom = backend.sweep_pair_delay_sums(
+            stacked, top_rings, bottom_rings, top_masks, bottom_masks
+        )
+        want_top = np.einsum("ops,ps->op", stacked[:, top_rings, :], top_masks)
+        want_bottom = np.einsum(
+            "ops,ps->op", stacked[:, bottom_rings, :], bottom_masks
+        )
+        assert np.array_equal(top, want_top)
+        assert np.array_equal(bottom, want_bottom)
+        # the single-op kernel is the sweep's row: same reduction, same bits
+        row = backend.pair_delay_sums(stacked[0, top_rings, :], top_masks)
+        assert np.array_equal(row, want_top[0])
+
+    @given(problem=loo_problems())
+    def test_loo_solve_exact(self, problem):
+        selected, bypass, config_masks = problem
+        backend = NumpyBackend()
+        delays = backend.loo_delay_matrix(selected, bypass, config_masks)
+        want = np.where(
+            config_masks[None, :, :], selected[:, None, :], bypass[:, None, :]
+        ).sum(axis=2)
+        assert np.array_equal(delays, want)
+        assert np.array_equal(
+            backend.loo_ddiffs(delays), delays[:, 0:1] - delays[:, 1:]
+        )
+
+
+class TestToleranceBackends:
+    """float32/tiled stay within their documented bounds; ints stay exact."""
+
+    @pytest.mark.parametrize("name", TOLERANT)
+    @given(problem=masked_rows())
+    def test_masked_row_sums_within_tolerance(self, name, problem):
+        values, mask = problem
+        backend = resolve_backend(name)
+        got = backend.masked_row_sums(values, mask)
+        assert _delay_close(
+            backend, got, _reference_masked_row_sums(values, mask)
+        )
+
+    @pytest.mark.parametrize("name", TOLERANT)
+    @given(problem=sweep_problems())
+    def test_sweep_within_tolerance_and_bits_exact_above_margin(
+        self, name, problem
+    ):
+        stacked, top_rings, bottom_rings, top_masks, bottom_masks = problem
+        backend = resolve_backend(name)
+        exact = NumpyBackend()
+        top, bottom = backend.sweep_pair_delay_sums(
+            stacked, top_rings, bottom_rings, top_masks, bottom_masks
+        )
+        want_top, want_bottom = exact.sweep_pair_delay_sums(
+            stacked, top_rings, bottom_rings, top_masks, bottom_masks
+        )
+        assert _delay_close(backend, top, want_top)
+        assert _delay_close(backend, bottom, want_bottom)
+        # Decision bits: exact wherever the margin clears the tolerance.
+        margin = np.abs(want_top - want_bottom)
+        scale = np.maximum(np.abs(want_top), np.abs(want_bottom))
+        clear = margin > 4 * (backend.DELAY_RTOL * scale + backend.DELAY_ATOL)
+        assert np.array_equal(
+            (top > bottom)[clear], (want_top > want_bottom)[clear]
+        )
+
+    @pytest.mark.parametrize("name", TOLERANT)
+    @given(problem=loo_problems())
+    def test_loo_within_tolerance(self, name, problem):
+        selected, bypass, config_masks = problem
+        backend = resolve_backend(name)
+        got = backend.loo_delay_matrix(selected, bypass, config_masks)
+        want = NumpyBackend().loo_delay_matrix(selected, bypass, config_masks)
+        assert _delay_close(backend, got, want)
+
+    @pytest.mark.parametrize("name", ["numpy"] + TOLERANT)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        rows=st.integers(min_value=1, max_value=200),
+        bits=st.integers(min_value=1, max_value=16),
+    )
+    def test_gram_update_integer_exact_everywhere(self, name, seed, rows, bits):
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 2, size=(rows, bits)).astype(np.int64)
+        gram = np.zeros((bits, bits), dtype=np.int64)
+        resolve_backend(name).gram_update(gram, x)
+        assert np.array_equal(gram, x.T @ x)
+
+    def test_tiled_blocks_smaller_than_input(self):
+        # Force multiple blocks (and the threaded path) on a small problem.
+        backend = TiledBackend(tile_rows=3, threads=2)
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=(17, 9))
+        mask = rng.random((17, 9)) < 0.5
+        assert _delay_close(
+            backend,
+            backend.masked_row_sums(values, mask),
+            _reference_masked_row_sums(values, mask),
+        )
+
+    def test_tiled_shared_ring_fallback_matches(self):
+        # One ring feeding several masks must take the blocked fallback
+        # (the scatter would clobber) and still match the exact kernel.
+        rng = np.random.default_rng(11)
+        stacked = rng.normal(size=(3, 8, 4))
+        top_rings = np.zeros(5, dtype=int)  # everyone shares ring 0
+        bottom_rings = np.arange(1, 6)
+        top_masks = (rng.random((5, 4)) < 0.5).astype(float)
+        bottom_masks = (rng.random((5, 4)) < 0.5).astype(float)
+        backend = TiledBackend(tile_rows=2)
+        got = backend.sweep_pair_delay_sums(
+            stacked, top_rings, bottom_rings, top_masks, bottom_masks
+        )
+        want = NumpyBackend().sweep_pair_delay_sums(
+            stacked, top_rings, bottom_rings, top_masks, bottom_masks
+        )
+        assert _delay_close(backend, got[0], want[0])
+        assert _delay_close(backend, got[1], want[1])
+
+
+def _board_puf(method: str = "case1", seed: int = 7):
+    from repro.core.pairing import RingAllocation
+    from repro.core.puf import BoardROPUF
+    from repro.variation.noise import NoiselessMeasurement
+
+    data_rng = np.random.default_rng(42)
+    base = data_rng.normal(1.0, 0.02, 120)
+    sensitivity = data_rng.normal(0.05, 0.01, 120)
+
+    def provider(op):
+        return base * (1.0 + sensitivity * (1.20 - op.voltage))
+
+    return BoardROPUF(
+        delay_provider=provider,
+        allocation=RingAllocation(stage_count=5, ring_count=24),
+        method=method,
+        response_noise=NoiselessMeasurement(),
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestEngineLevelIdentity:
+    """Through the real engines: numpy backend == historical outputs."""
+
+    def test_batch_selectors_unchanged_and_tolerant_backends_close(self):
+        with use_backend("numpy"):
+            reference = _board_puf().enroll()
+        for name in ["numpy"] + TOLERANT:
+            with use_backend(name):
+                other = _board_puf().enroll()
+            # selection margins sit far above both backends' tolerances
+            assert np.array_equal(other.bits, reference.bits)
+            for got, want in zip(other.selections, reference.selections):
+                assert np.array_equal(
+                    got.top_config.as_array(), want.top_config.as_array()
+                )
+                assert np.array_equal(
+                    got.bottom_config.as_array(), want.bottom_config.as_array()
+                )
+
+    def test_sweep_engine_matches_reference_loop_per_backend(self):
+        from repro.core.batch import BatchEvaluator, response_loop_reference
+        from repro.variation.environment import OperatingPoint
+
+        ops = [
+            OperatingPoint(voltage=v, temperature=25.0)
+            for v in (0.98, 1.20, 1.44)
+        ]
+        with use_backend("numpy"):
+            puf = _board_puf(method="case2")
+            enrollment = puf.enroll()
+            looped = np.stack(
+                [response_loop_reference(puf, enrollment, op) for op in ops]
+            )
+        for name in ["numpy"] + TOLERANT:
+            with use_backend(name):
+                swept = BatchEvaluator.from_puf(puf, enrollment).response_sweep(
+                    ops
+                )
+            assert np.array_equal(swept, looped)  # bits clear the margins
+
+
+class TestSelectionAndConfig:
+    def test_default_and_available(self):
+        assert current_backend().name == "numpy"
+        assert current_backend().exact
+        names = available_backends()
+        assert {"numpy", "numpy-float32", "tiled"} <= set(names)
+        if not backends.HAVE_NUMBA:
+            assert "numba" not in names
+
+    def test_env_var_selection(self, monkeypatch):
+        monkeypatch.setenv("ROPUF_BACKEND", "numpy-float32")
+        assert current_backend().name == "numpy-float32"
+        monkeypatch.setenv(
+            "ROPUF_BACKEND", '{"name":"tiled","tile_rows":64,"threads":2}'
+        )
+        backend = current_backend()
+        assert backend.name == "tiled"
+        assert (backend.tile_rows, backend.threads) == (64, 2)
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("ROPUF_BACKEND", "tiled")
+        try:
+            set_backend("numpy-float32")
+            assert current_backend().name == "numpy-float32"
+        finally:
+            set_backend(None)
+        assert current_backend().name == "tiled"
+
+    def test_use_backend_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_backend("tiled"):
+                assert current_backend().name == "tiled"
+                raise RuntimeError("boom")
+        assert current_backend().name == "numpy"
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(ValueError, match="available:.*numpy"):
+            resolve_backend("cuda")
+
+    def test_config_round_trip_and_validation(self):
+        config = BackendConfig(name="tiled", tile_rows=128, threads=3)
+        assert BackendConfig.from_json(config.to_json()) == config
+        with pytest.raises(ValueError):
+            BackendConfig(name="tiled", tile_rows=0)
+        with pytest.raises(ValueError):
+            BackendConfig(name="tiled", threads=0)
+        with pytest.raises(ValueError):
+            BackendConfig(name="")
+
+    def test_instances_cached_per_config(self):
+        assert resolve_backend("tiled") is resolve_backend("tiled")
+        assert resolve_backend("tiled") is not resolve_backend(
+            BackendConfig(name="tiled", tile_rows=99)
+        )
+
+    def test_register_backend_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            backends.register_backend("numpy", lambda config: NumpyBackend())
+
+    def test_sequential_sum_width_reexport(self):
+        # the byte-identity pin the selectors rely on lives with the kernel
+        from repro.core.selection_batch import (
+            _SEQUENTIAL_SUM_WIDTH as via_selectors,
+        )
+
+        assert via_selectors == _SEQUENTIAL_SUM_WIDTH == 7
+
+    def test_backend_counters_recorded(self):
+        from repro import obs
+
+        obs.reset_metrics()
+        obs.enable_metrics()
+        try:
+            NumpyBackend().masked_row_sums(
+                np.ones((4, 3)), np.ones((4, 3), dtype=bool)
+            )
+            counters = obs.snapshot()["counters"]
+        finally:
+            obs.disable_metrics()
+            obs.reset_metrics()
+        assert counters["backend.numpy.calls"] == 1
+        assert counters["backend.numpy.masked_row_sums.elements"] == 12
+
+    def test_float32_is_actually_single_precision(self):
+        # sanity: the backend really reduces in float32 (a sum that loses
+        # precision in single must differ from the float64 reference)
+        values = np.array([[1.0, 1e-9, -1.0]])
+        mask = np.ones_like(values, dtype=bool)
+        exact = NumpyBackend().masked_row_sums(values, mask)
+        single = Float32Backend().masked_row_sums(values, mask)
+        assert exact[0] != 0.0
+        assert single[0] != exact[0]

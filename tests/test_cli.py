@@ -106,6 +106,7 @@ class TestParser:
             }
         )
         assert options == [
+            "--backend",
             "--backoff",
             "--cache-dir",
             "--chaos",

@@ -1,0 +1,307 @@
+"""Shared-memory worker payload transport and the raw-result channel.
+
+Covers the :mod:`repro.pipeline.shm` lifecycle protocol (encode/decode
+round trips, consume-once unlinks, crash sweeps), the executor's
+``canonical_result=False`` channel end-to-end over real worker processes,
+and the satellite guarantees: ndarray-bearing results cache via the
+binary pickle path, ``ipc.*`` counters surface in trace summaries, and a
+worker killed mid-task never leaks a segment.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.pipeline import RetryPolicy, run_pipeline
+from repro.pipeline import shm
+from repro.pipeline.cache import ResultCache
+from repro.pipeline.registry import _REGISTRY, TaskSpec, register_task
+
+HAVE_DEV_SHM = os.path.isdir("/dev/shm")
+
+
+def _segments() -> set[str]:
+    return set(glob.glob("/dev/shm/ropuf_*"))
+
+
+@pytest.fixture
+def worker_session():
+    """Install (and always tear down) a process-local shm session."""
+    token = shm.new_token()
+    shm.set_worker_session(token)
+    try:
+        yield shm.worker_session()
+    finally:
+        shm.set_worker_session(None)
+        shm.sweep_segments(token)
+
+
+@pytest.fixture
+def scratch_task():
+    """Register a disposable task; deregister on teardown."""
+    registered = []
+
+    def _register(name, fn, **kwargs):
+        register_task(name, fn, **kwargs)
+        registered.append(name)
+
+    yield _register
+    for name in registered:
+        _REGISTRY.pop(name, None)
+
+
+class TestEncodeDecode:
+    def test_round_trip_replaces_only_large_arrays(self, worker_session):
+        big = np.arange(100_000, dtype=np.float64)
+        small = np.ones(4)
+        payload = {
+            "task": "t",
+            "result": {"big": big, "small": small, "nested": [big[:50_000]]},
+            "error": None,
+        }
+        encoded = shm.encode_payload(payload, threshold=1 << 18)
+        assert isinstance(encoded["result"]["big"], shm.ShmArrayRef)
+        assert isinstance(encoded["result"]["nested"][0], shm.ShmArrayRef)
+        assert isinstance(encoded["result"]["small"], np.ndarray)
+        assert encoded["ipc"]["segments"] == 2
+        assert encoded["ipc"]["bytes_sent"] == big.nbytes + big[:50_000].nbytes
+
+        # refs are what actually crosses the pipe: they must pickle small
+        assert len(pickle.dumps(encoded["result"]["big"])) < 500
+
+        decoded = shm.decode_payload(encoded)
+        assert np.array_equal(decoded["result"]["big"], big)
+        assert np.array_equal(decoded["result"]["nested"][0], big[:50_000])
+        assert "ipc" not in decoded
+
+    @pytest.mark.skipif(not HAVE_DEV_SHM, reason="no /dev/shm")
+    def test_decode_unlinks_segments(self, worker_session):
+        before = _segments()
+        payload = shm.encode_payload(
+            {"result": np.zeros(200_000)}, threshold=1
+        )
+        assert _segments() - before  # segment exists while the ref is live
+        shm.decode_payload(payload)
+        assert _segments() == before  # consume-once
+
+    def test_below_threshold_is_passthrough(self, worker_session):
+        payload = {"result": np.ones(8)}
+        encoded = shm.encode_payload(payload, threshold=1 << 18)
+        assert encoded["result"] is payload["result"]
+        assert "ipc" not in encoded
+
+    def test_no_session_is_passthrough(self):
+        assert shm.worker_session() is None
+        payload = {"result": np.zeros(1_000_000)}
+        assert shm.encode_payload(payload) is payload
+
+    def test_object_dtype_never_shared(self, worker_session):
+        arr = np.array([{"a": 1}, None] * 100_000, dtype=object)
+        encoded = shm.encode_payload({"result": arr}, threshold=1)
+        assert isinstance(encoded["result"], np.ndarray)
+
+    def test_vanished_segment_decodes_to_none_result(self, worker_session):
+        encoded = shm.encode_payload(
+            {"task": "t", "result": np.zeros(200_000), "error": None},
+            threshold=1,
+        )
+        shm.sweep_segments(worker_session.token)  # simulate a reap sweep
+        decoded = shm.decode_payload(encoded)
+        assert decoded["result"] is None
+        assert decoded["task"] == "t"
+
+    @pytest.mark.skipif(not HAVE_DEV_SHM, reason="no /dev/shm")
+    def test_sweep_is_scoped_by_token_and_pid(self):
+        a, b = shm.new_token(), shm.new_token()
+        shm.set_worker_session(a)
+        shm.worker_session().share_array(np.zeros(1000))
+        shm.set_worker_session(b)
+        shm.worker_session().share_array(np.zeros(1000))
+        shm.set_worker_session(None)
+        try:
+            assert shm.sweep_segments(a, pid=os.getpid() + 1) == 0
+            assert shm.sweep_segments(a, pid=os.getpid()) == 1
+            assert shm.sweep_segments(a) == 0
+            assert shm.sweep_segments(b) == 1
+        finally:
+            shm.sweep_segments(a)
+            shm.sweep_segments(b)
+
+
+def _raw_array_task() -> dict:
+    return {
+        "delays": np.arange(300_000, dtype=np.float64).reshape(300, 1000),
+        "meta": {"kind": "raw"},
+    }
+
+
+def _segment_leaker() -> dict:
+    # Create a segment through the official worker API, then die without
+    # ever sending the ref — the worst-case mid-task casualty.
+    session = shm.worker_session()
+    if session is not None:
+        session.share_array(np.zeros(100_000))
+    os._exit(17)
+
+
+class TestExecutorRawChannel:
+    def test_canonical_result_default_true(self):
+        spec = TaskSpec(name="t", runner=lambda: {})
+        assert spec.canonical_result
+
+    @pytest.mark.slow
+    def test_raw_result_rides_shm_to_parent(self, tmp_path, scratch_task):
+        scratch_task(
+            "raw_array_task",
+            _raw_array_task,
+            uses_dataset=False,
+            canonical_result=False,
+        )
+        before = _segments() if HAVE_DEV_SHM else set()
+        journal = tmp_path / "journal.jsonl"
+        summary = run_pipeline(
+            jobs=2,
+            tasks=["raw_array_task"],
+            cache_dir=tmp_path / "cache",
+            journal=journal,
+            timings=True,
+        )
+        result = summary["raw_array_task"]
+        assert isinstance(result["delays"], np.ndarray)
+        assert np.array_equal(result["delays"], _raw_array_task()["delays"])
+        if HAVE_DEV_SHM:
+            assert _segments() == before  # nothing leaked
+        # shm actually carried the array (parent-side counters)
+        counters = summary["_metrics"]["counters"]
+        assert counters["ipc.shm_segments"] >= 1
+        assert counters["ipc.bytes_received"] >= result["delays"].nbytes
+        assert counters["ipc.bytes_sent"] == counters["ipc.bytes_received"]
+        # raw results are cached via the binary flavour, never journaled
+        cache = ResultCache(tmp_path / "cache")
+        from repro.pipeline.cache import NO_DATASET_FINGERPRINT
+
+        assert cache.binary_path(
+            "raw_array_task", NO_DATASET_FINGERPRINT
+        ).exists()
+        if journal.exists():
+            assert "raw_array_task" not in journal.read_text()
+
+    @pytest.mark.slow
+    def test_raw_result_resumes_from_binary_cache(self, tmp_path, scratch_task):
+        calls = tmp_path / "calls"
+
+        def counting_task() -> dict:
+            with open(calls, "a") as handle:
+                handle.write("x")
+            return {"arr": np.ones(100_000)}
+
+        scratch_task(
+            "raw_cached_task",
+            counting_task,
+            uses_dataset=False,
+            canonical_result=False,
+        )
+        first = run_pipeline(
+            tasks=["raw_cached_task"], cache_dir=tmp_path / "cache"
+        )
+        second = run_pipeline(
+            tasks=["raw_cached_task"], cache_dir=tmp_path / "cache"
+        )
+        assert calls.read_text() == "x"  # second run was a cache hit
+        assert np.array_equal(
+            first["raw_cached_task"]["arr"], second["raw_cached_task"]["arr"]
+        )
+
+    @pytest.mark.slow
+    @pytest.mark.skipif(not HAVE_DEV_SHM, reason="no /dev/shm")
+    def test_worker_killed_mid_task_leaks_no_segment(
+        self, tmp_path, scratch_task
+    ):
+        scratch_task(
+            "segment_leaker",
+            _segment_leaker,
+            uses_dataset=False,
+            canonical_result=False,
+        )
+        before = _segments()
+        summary = run_pipeline(
+            jobs=2,
+            tasks=["segment_leaker"],
+            policy=RetryPolicy(max_attempts=2),
+        )
+        assert summary["segment_leaker"]["error_type"] == "WorkerCrash"
+        assert _segments() == before  # reap + shutdown sweeps collected it
+
+    @pytest.mark.slow
+    def test_trace_summary_surfaces_ipc_block(self, tmp_path, scratch_task):
+        from repro.obs.report import format_trace_summary, summarize_trace
+
+        scratch_task(
+            "raw_traced_task",
+            _raw_array_task,
+            uses_dataset=False,
+            canonical_result=False,
+        )
+        trace_path = tmp_path / "trace.jsonl"
+        run_pipeline(jobs=2, tasks=["raw_traced_task"], trace=trace_path)
+        summary = summarize_trace(trace_path)
+        assert summary["ipc"] is not None
+        assert summary["ipc"]["shm_segments"] >= 1
+        assert "ipc:" in format_trace_summary(summary)
+
+
+class TestBinaryCacheFlavour:
+    def test_ndarray_result_stores_pickle5_and_loads_equal(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        arr = np.random.default_rng(0).normal(size=(256, 512))
+        path = cache.store("raw", "fp", {"delays": arr, "n": 2})
+        assert path.suffix == ".pkl"
+        out = cache.load("raw", "fp")
+        assert np.array_equal(out["delays"], arr)
+        assert out["n"] == 2
+
+    def test_size_regression_representative_sweep_payload(self, tmp_path):
+        # Protocol 5 stores the array as one framed contiguous buffer: the
+        # entry must stay within 5% of raw nbytes for a fleet-scale sweep
+        # payload.  (Protocol gated below so an accidental default-protocol
+        # downgrade fails loudly.)
+        from repro.pipeline.cache import PICKLE_PROTOCOL
+
+        assert PICKLE_PROTOCOL == 5
+        cache = ResultCache(tmp_path)
+        sweep = {
+            "top": np.zeros((24, 4096)),
+            "bottom": np.zeros((24, 4096)),
+            "ops": [[1.2, 25.0]] * 24,
+        }
+        raw_bytes = sweep["top"].nbytes + sweep["bottom"].nbytes
+        path = cache.store("sweep", "fp", sweep)
+        assert path.stat().st_size <= raw_bytes * 1.05
+
+    def test_metadata_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, version="1")
+        cache.store("raw", "fp", {"a": np.ones(4)})
+        assert ResultCache(tmp_path, version="2").load("raw", "fp") is None
+
+    def test_corrupt_binary_entry_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.store("raw", "fp", {"a": np.ones(4)})
+        path.write_bytes(b"\x80\x05 truncated garbage")
+        assert cache.load("raw", "fp") is None
+        assert path.with_name(f"{path.name}.corrupt").exists()
+        assert not path.exists()
+
+    def test_flavour_switch_unlinks_stale_sibling(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        binary = cache.store("t", "fp", {"a": np.ones(4)})
+        plain = cache.store("t", "fp", {"a": [1, 2]})
+        assert plain.suffix == ".json" and not binary.exists()
+        assert cache.load("t", "fp") == {"a": [1, 2]}
+        binary = cache.store("t", "fp", {"a": np.ones(4)})
+        assert binary.suffix == ".pkl" and not plain.exists()
+        assert np.array_equal(cache.load("t", "fp")["a"], np.ones(4))
