@@ -19,8 +19,10 @@ Usage (installed as the ``ropuf`` script, or ``python -m repro``)::
 ``--jobs N`` (parallel worker processes), ``--cache-dir PATH`` (skip tasks
 whose results are already cached for this dataset and repro version),
 ``--timings`` (embed per-task wall-time/cache metrics), ``--tasks a,b``
-(run a subset of the registered tasks), and ``--trace PATH`` (write the
-merged cross-process span trace as JSONL; see docs/observability.md).
+(run a subset of the registered tasks), ``--trace PATH`` (write the
+merged cross-process span trace as JSONL), and ``--profile PATH``
+(sampling-profiler collapsed stacks of the run; see
+docs/observability.md for both).
 
 Hardening flags (see docs/robustness.md): ``--retries N`` (total attempt
 budget per task), ``--backoff SECONDS`` (exponential backoff base with
@@ -31,13 +33,18 @@ replayed, fresh ones are durably appended), and ``--chaos SEED``
 (deterministically inject a worker crash, a task hang, and a corrupt
 cache entry to prove the run survives them).
 
-Two observability verbs round out the tooling::
+Three observability verbs round out the tooling::
 
     ropuf trace summarize trace.jsonl      # top spans, per-process stats
     ropuf bench compare old.json new.json  # regression gate for CI
+    ropuf top --port N                     # live dashboard for a server
 
+``trace summarize --json`` emits the summary as machine-readable JSON.
 ``bench compare`` exits non-zero when any metric regressed past the
 threshold (or when the artifacts are incomparable), so CI can gate on it.
+``ropuf top`` polls a running server's ``metrics`` verb and renders
+requests/s, per-verb latency quantiles, coalescer batch sizes, backend
+throughput, and error counts (``--once`` prints a single snapshot).
 
 ``ropuf fleet`` runs the out-of-core sharded fleet analytics
 (:mod:`repro.pipeline.fleet`, see docs/datasets.md): uniqueness,
@@ -56,7 +63,11 @@ onto the vectorized batch engines.  ``--bench`` instead runs the built-in
 load generator against an ephemeral in-process server (``--clients`` x
 ``--auths`` authentication rounds) and prints a latency-percentile
 summary; the exit code is non-zero if any authentication failed, so CI
-can gate on it.
+can gate on it.  Production telemetry flags: ``--metrics-port`` exposes
+a Prometheus/JSON HTTP sidecar, ``--trace PATH`` + ``--slow-ms``
+tail-sample span trees of slow requests, and ``--profile PATH`` runs
+the sampling profiler for the server's lifetime
+(docs/observability.md).
 """
 
 from __future__ import annotations
@@ -229,6 +240,7 @@ def _cmd_all(args) -> str:
         tasks=tasks,
         timings=args.timings,
         trace=args.trace,
+        profile=args.profile,
         policy=policy,
         journal=args.resume,
         chaos=args.chaos,
@@ -244,9 +256,14 @@ def _cmd_all(args) -> str:
 
 def _cmd_trace(args) -> str:
     """Summarize a trace JSONL file written by ``ropuf all --trace``."""
+    import json
+
     from .obs import format_trace_summary, summarize_trace
 
-    return format_trace_summary(summarize_trace(args.trace_file, top=args.top))
+    summary = summarize_trace(args.trace_file, top=args.top)
+    if args.json:
+        return json.dumps(summary, indent=2)
+    return format_trace_summary(summary)
 
 
 def _cmd_bench(args) -> tuple[str, int]:
@@ -299,7 +316,9 @@ def _cmd_fleet(args) -> tuple[str, int]:
 def _cmd_serve(args) -> tuple[str, int]:
     """Run the CRP authentication service (or its load benchmark)."""
     import json
+    from pathlib import Path
 
+    from . import obs
     from .serve import (
         AuthServer,
         AuthService,
@@ -309,6 +328,21 @@ def _cmd_serve(args) -> tuple[str, int]:
         RequestCoalescer,
         run_load,
     )
+
+    # Telemetry wiring (docs/observability.md).  The standalone server
+    # always records metrics so the ``metrics`` verb and ``ropuf top``
+    # work out of the box; ``--bench`` keeps them off unless a sidecar
+    # was requested, so the latency baseline measures the quiet path.
+    if args.metrics_port is not None or not args.bench:
+        obs.enable_metrics()
+    sampler = None
+    if args.trace is not None:
+        obs.enable_tracing()
+        sampler = obs.TailSampler(slow_ms=args.slow_ms)
+    profiler = None
+    if args.profile is not None:
+        profiler = obs.SamplingProfiler()
+        profiler.start()
 
     farm = DeviceFarm.from_config(
         FleetConfig(
@@ -329,48 +363,182 @@ def _cmd_serve(args) -> tuple[str, int]:
         seed=args.seed,
     )
     enrollment = service.enroll_fleet()
-    server = AuthServer(service, address=(args.host, args.port))
-    if args.bench:
-        server.start()
-        host, port = server.address
-        try:
-            summary = run_load(
-                host,
-                port,
-                clients=args.clients,
-                auths_per_client=args.auths,
-                farm=farm,
-            )
-            summary["enrollment"] = {
-                "enrolled": len(enrollment["enrolled"]),
-                "reused": len(enrollment["reused"]),
-            }
-            summary["coalescer"] = service.coalescer.stats()
-            summary["store"] = service.store.stats()
-        finally:
-            server.stop()
-        text = json.dumps(summary, indent=2)
-        output = getattr(args, "output", None)
-        if output:
-            from pathlib import Path
-
-            Path(output).write_text(text)
-        return text, 0 if summary["failures"] == 0 else 1
-    host, port = server.address
-    print(
-        f"ropuf serve: {len(farm)} devices "
-        f"({len(enrollment['enrolled'])} enrolled, "
-        f"{len(enrollment['reused'])} reused) on {host}:{port}",
-        flush=True,
+    server = AuthServer(
+        service, address=(args.host, args.port), sampler=sampler
     )
+    sidecar = None
+    if args.metrics_port is not None:
+        sidecar = obs.start_http_exporter(
+            service.exporter, port=args.metrics_port, host=args.host
+        )
     try:
-        server.serve_forever(poll_interval=0.2)
-    except KeyboardInterrupt:
-        pass
+        if args.bench:
+            server.start()
+            host, port = server.address
+            try:
+                summary = run_load(
+                    host,
+                    port,
+                    clients=args.clients,
+                    auths_per_client=args.auths,
+                    farm=farm,
+                )
+                summary["enrollment"] = {
+                    "enrolled": len(enrollment["enrolled"]),
+                    "reused": len(enrollment["reused"]),
+                }
+                summary["coalescer"] = service.coalescer.stats()
+                summary["store"] = service.store.stats()
+            finally:
+                server.stop()
+            text = json.dumps(summary, indent=2)
+            output = getattr(args, "output", None)
+            if output:
+                Path(output).write_text(text)
+            return text, 0 if summary["failures"] == 0 else 1
+        host, port = server.address
+        print(
+            f"ropuf serve: {len(farm)} devices "
+            f"({len(enrollment['enrolled'])} enrolled, "
+            f"{len(enrollment['reused'])} reused) on {host}:{port}",
+            flush=True,
+        )
+        if sidecar is not None:
+            sidecar_host, sidecar_port = sidecar.server_address
+            print(
+                f"ropuf serve: metrics sidecar on "
+                f"http://{sidecar_host}:{sidecar_port}/metrics",
+                flush=True,
+            )
+        # Graceful shutdown on SIGTERM too (CI and process supervisors
+        # send it): route it through the KeyboardInterrupt path so the
+        # telemetry artifacts below are still written.
+        import signal
+
+        def _terminate(signum, frame):
+            raise KeyboardInterrupt
+
+        try:
+            signal.signal(signal.SIGTERM, _terminate)
+        except ValueError:
+            pass  # not the main thread (embedded use); skip the hook
+        try:
+            server.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+            service.close()
+        return "", 0
     finally:
-        server.server_close()
-        service.close()
-    return "", 0
+        if sidecar is not None:
+            sidecar.shutdown()
+            sidecar.server_close()
+        if profiler is not None:
+            profiler.stop()
+            profiler.write(Path(args.profile))
+        if sampler is not None:
+            obs.write_trace(args.trace, spans=sampler.spans())
+            obs.disable_tracing()
+        if args.metrics_port is not None or not args.bench:
+            obs.disable_metrics()
+
+
+def _render_top(doc: dict) -> str:
+    """Render one exposition document as the ``ropuf top`` dashboard."""
+    counters = doc.get("counters", {})
+    histograms = doc.get("histograms", {})
+    rates = doc.get("rates", {})
+
+    def rate(name: str, window: str = "10s") -> float:
+        return rates.get(window, {}).get(name, 0.0)
+
+    def requests_per_second(window: str) -> float:
+        return sum(
+            value
+            for name, value in rates.get(window, {}).items()
+            if name.startswith("serve.requests.")
+        )
+
+    windows = sorted(rates, key=lambda w: float(w.rstrip("s")))
+    lines = [
+        f"ropuf top — server uptime {doc.get('uptime_seconds', 0.0):.1f}s",
+        "requests/s: "
+        + "  ".join(
+            f"{window}={requests_per_second(window):.1f}"
+            for window in windows
+        ),
+        "errors: {:g} ({:.2f}/s)  protocol: {:g} ({:.2f}/s)".format(
+            counters.get("serve.errors", 0.0),
+            rate("serve.errors"),
+            counters.get("serve.protocol_errors", 0.0),
+            rate("serve.protocol_errors"),
+        ),
+    ]
+    verbs = sorted(
+        name.split(".", 2)[2]
+        for name in counters
+        if name.startswith("serve.requests.")
+    )
+    if verbs:
+        lines.append("")
+        lines.append(
+            f"{'verb':<16}{'count':>10}{'rps':>10}{'p50 ms':>10}{'p99 ms':>10}"
+        )
+        for verb in verbs:
+            latency = histograms.get(f"serve.latency_ms.{verb}") or {}
+            lines.append(
+                f"{verb:<16}"
+                f"{counters[f'serve.requests.{verb}']:>10g}"
+                f"{rate(f'serve.requests.{verb}'):>10.1f}"
+                f"{latency.get('p50') or 0.0:>10.2f}"
+                f"{latency.get('p99') or 0.0:>10.2f}"
+            )
+    batch = histograms.get("serve.coalesce.batch_size")
+    if batch:
+        lines.append("")
+        lines.append(
+            "coalescer: batches={:g} ({:.1f}/s)  "
+            "batch size mean={:.1f} max={:g}".format(
+                counters.get("serve.coalesce.batches", 0.0),
+                rate("serve.coalesce.batches"),
+                batch.get("mean", 0.0),
+                batch.get("max", 0.0),
+            )
+        )
+    backend_counters = sorted(
+        name for name in counters if name.startswith("backend.")
+    )
+    if backend_counters:
+        lines.append("")
+        lines.append("backend throughput:")
+        lines.extend(
+            f"  {name} {counters[name]:g} ({rate(name):.1f}/s)"
+            for name in backend_counters
+        )
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> tuple[str, int]:
+    """Live dashboard over a running server's ``metrics`` verb."""
+    import time
+
+    from .serve import AuthClient, ServeClientError
+
+    try:
+        with AuthClient(args.host, args.port, timeout=args.timeout) as client:
+            client.metrics()  # baseline scrape: rates need two samples
+            if args.once:
+                time.sleep(min(args.interval, 1.0))
+                return _render_top(client.metrics()), 0
+            while True:
+                time.sleep(args.interval)
+                text = _render_top(client.metrics())
+                print("\x1b[2J\x1b[H" + text, flush=True)
+    except KeyboardInterrupt:
+        return "", 0
+    except (ServeClientError, OSError) as exc:
+        return f"ropuf top: {exc}", 1
 
 
 _COMMANDS = {
@@ -397,6 +565,7 @@ _TOOL_COMMANDS = {
     "bench": _cmd_bench,
     "serve": _cmd_serve,
     "fleet": _cmd_fleet,
+    "top": _cmd_top,
 }
 
 
@@ -461,6 +630,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="write the merged span trace as JSONL (all command)",
         )
         sub.add_argument(
+            "--profile",
+            default=None,
+            metavar="PATH",
+            help="write a sampling-profiler collapsed-stack profile of "
+            "the run (all command)",
+        )
+        sub.add_argument(
             "--retries",
             type=int,
             default=2,
@@ -518,6 +694,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=10,
         help="how many spans to list by self-time (default: 10)",
+    )
+    summarize.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as machine-readable JSON",
     )
 
     serve = subparsers.add_parser(
@@ -617,6 +798,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="compute backend for coalesced dispatch (docs/backends.md)",
+    )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also expose GET /metrics (Prometheus text) and "
+        "/metrics.json on this HTTP sidecar port (0 picks one)",
+    )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="tail-sampled request tracing: retain span trees only for "
+        "requests slower than --slow-ms; written as JSONL on shutdown",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=100.0,
+        metavar="MS",
+        help="tail-sampling latency threshold in milliseconds "
+        "(default: 100)",
+    )
+    serve.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="run the sampling profiler; collapsed stacks are written "
+        "here on shutdown",
+    )
+
+    top = subparsers.add_parser(
+        "top",
+        help="live telemetry dashboard for a running 'ropuf serve'",
+    )
+    top.add_argument(
+        "--host", default="127.0.0.1", help="server address to poll"
+    )
+    top.add_argument(
+        "--port", type=int, required=True, help="server port to poll"
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh interval (default: 2)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit (for scripting)",
+    )
+    top.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="per-request socket timeout (default: 5)",
     )
 
     fleet = subparsers.add_parser(

@@ -27,12 +27,22 @@ from .metrics import (
     enable_metrics,
     gauge_set,
     histogram_observe,
+    histogram_quantiles,
     merge_snapshots,
     metrics_enabled,
     reset_metrics,
     snapshot,
     timed,
 )
+from .exporter import (
+    EXPOSITION_SCHEMA,
+    MetricsExporter,
+    prometheus_text,
+    start_http_exporter,
+)
+from .profiler import SamplingProfiler
+from .quantiles import QuantileSketch
+from .requests import TailSampler
 from .report import (
     BENCH_SCHEMA,
     compare_bench,
@@ -43,11 +53,14 @@ from .report import (
 from .trace import (
     TRACE_SCHEMA,
     buffered_spans,
+    current_request_id,
     disable_tracing,
     drain_spans,
     enable_tracing,
     extend_spans,
+    new_request_id,
     read_trace,
+    request_context,
     reset_tracing,
     span,
     tracing_enabled,
@@ -66,6 +79,11 @@ __all__ = [
     "buffered_spans",
     "write_trace",
     "read_trace",
+    "new_request_id",
+    "current_request_id",
+    "request_context",
+    "TailSampler",
+    "SamplingProfiler",
     "METRICS_SCHEMA",
     "metrics_enabled",
     "enable_metrics",
@@ -74,6 +92,12 @@ __all__ = [
     "counter_add",
     "gauge_set",
     "histogram_observe",
+    "histogram_quantiles",
+    "QuantileSketch",
+    "EXPOSITION_SCHEMA",
+    "MetricsExporter",
+    "prometheus_text",
+    "start_http_exporter",
     "timed",
     "snapshot",
     "merge_snapshots",

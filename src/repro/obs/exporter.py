@@ -1,0 +1,267 @@
+"""Live metrics exposition: rolling-window rates, Prometheus text, JSON.
+
+The metrics registry (:mod:`repro.obs.metrics`) accumulates *cumulative*
+counters and sketch-backed histograms; this module turns that into the
+two things an operator actually reads while the process runs:
+
+* **rates** — requests/s over rolling 1 s / 10 s / 60 s windows, computed
+  by diffing cumulative counter snapshots (no per-event timestamps, so
+  observation cost stays zero);
+* **exposition documents** — a JSON document (consumed by ``ropuf top``
+  and the serve protocol's ``metrics`` verb) and the Prometheus text
+  format (scraped off the ``--metrics-port`` HTTP sidecar by any
+  standard collector).
+
+The exporter samples *lazily*: every exposition call records one
+``(monotonic_time, counters)`` sample into a bounded history and diffs
+against the oldest sample inside each window.  No background thread, no
+work while nobody is looking — a process that is never scraped pays
+nothing beyond the registry itself.  The first scrape after startup has
+no baseline, so its rate maps are empty; pollers (``ropuf top``) see
+rates from their second tick onward.
+
+The HTTP sidecar (:func:`start_http_exporter`) is a
+:class:`http.server.ThreadingHTTPServer` in a daemon thread serving
+
+* ``GET /metrics`` — Prometheus text (``text/plain; version=0.0.4``);
+* ``GET /metrics.json`` — the JSON exposition document.
+
+Prometheus naming: metric names are dot-separated in the registry
+(``serve.latency_ms.auth``); exposition rewrites every character outside
+``[a-zA-Z0-9_:]`` to ``_`` and prefixes ``ropuf_``
+(``ropuf_serve_latency_ms_auth``).  Histograms export as *summaries*
+(``{quantile="0.5|0.9|0.99"}`` from the sketch, plus ``_sum`` /
+``_count``).  Rolling rates are JSON-only — Prometheus derives rates
+from the cumulative counters itself.
+"""
+
+from __future__ import annotations
+
+import http.server
+import json
+import re
+import threading
+import time
+from collections import deque
+
+from . import metrics
+
+__all__ = [
+    "EXPOSITION_SCHEMA",
+    "DEFAULT_WINDOWS",
+    "MetricsExporter",
+    "prometheus_text",
+    "start_http_exporter",
+]
+
+#: Version tag on the JSON exposition document.
+EXPOSITION_SCHEMA = 1
+
+#: Rolling windows (seconds) for counter rates.
+DEFAULT_WINDOWS = (1.0, 10.0, 60.0)
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+#: Quantile points exported on every histogram summary.
+_SUMMARY_POINTS = (0.5, 0.9, 0.99)
+
+
+def _prom_name(name: str) -> str:
+    """Registry name → Prometheus metric name (``ropuf_`` prefixed)."""
+    return "ropuf_" + _PROM_INVALID.sub("_", name)
+
+
+def _prom_value(value: float) -> str:
+    """A float in Prometheus text form (integers without the ``.0``)."""
+    as_float = float(value)
+    if as_float != as_float or as_float in (float("inf"), float("-inf")):
+        return {float("inf"): "+Inf", float("-inf"): "-Inf"}.get(
+            as_float, "NaN"
+        )
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+class MetricsExporter:
+    """Rolling-window rates + exposition over the metrics registry.
+
+    One exporter per process; the serve layer constructs one and mounts
+    it on both the ``metrics`` protocol verb and the HTTP sidecar.  The
+    sample history is bounded (windows are finite, samples past the
+    largest window get pruned), so a long-lived server's exporter stays
+    constant-size no matter how often it is scraped.
+
+    Args:
+        source: snapshot callable (defaults to the process registry's
+            :func:`repro.obs.metrics.snapshot`); injectable for tests.
+        clock: monotonic-seconds callable; injectable for tests.
+        windows: rolling windows in seconds, ascending.
+    """
+
+    def __init__(self, source=None, clock=None, windows=DEFAULT_WINDOWS):
+        if not windows or list(windows) != sorted(windows):
+            raise ValueError(f"windows must be ascending, got {windows!r}")
+        self._source = source if source is not None else metrics.snapshot
+        self._clock = clock if clock is not None else time.monotonic
+        self.windows = tuple(float(w) for w in windows)
+        self._samples: deque[tuple[float, dict[str, float]]] = deque()
+        self._lock = threading.Lock()
+        self._started = self._clock()
+
+    def _rates(
+        self, now: float, counters: dict[str, float], window: float
+    ) -> dict[str, float]:
+        """Per-second counter rates over ``window``, from the oldest
+        in-window sample (empty until a baseline exists)."""
+        baseline = None
+        for sample_at, sample_counters in self._samples:
+            if sample_at >= now - window:
+                baseline = (sample_at, sample_counters)
+                break
+        if baseline is None:
+            return {}
+        sample_at, sample_counters = baseline
+        elapsed = now - sample_at
+        if elapsed <= 0.0:
+            return {}
+        return {
+            name: (value - sample_counters.get(name, 0.0)) / elapsed
+            for name, value in sorted(counters.items())
+        }
+
+    def collect(self) -> dict:
+        """One scrape: sample the registry, return the JSON exposition.
+
+        The document::
+
+            {"schema": 1, "uptime_seconds": ..., "counters": {...},
+             "gauges": {...},
+             "histograms": {name: {count, total, min, max, mean,
+                                   p50, p90, p99}},
+             "rates": {"1s": {counter: per_second}, "10s": ..., "60s": ...}}
+        """
+        with self._lock:
+            snap = self._source()
+            now = self._clock()
+            counters = snap.get("counters", {})
+            rates = {
+                f"{window:g}s": self._rates(now, counters, window)
+                for window in self.windows
+            }
+            self._samples.append((now, dict(counters)))
+            horizon = now - self.windows[-1]
+            while len(self._samples) > 1 and self._samples[1][0] <= horizon:
+                self._samples.popleft()
+        histograms = {}
+        for name, histogram in snap.get("histograms", {}).items():
+            entry = {
+                "count": histogram["count"],
+                "total": histogram["total"],
+                "min": histogram["min"],
+                "max": histogram["max"],
+                "mean": histogram["total"] / histogram["count"],
+            }
+            sketch_state = histogram.get("sketch")
+            if sketch_state is not None:
+                from .quantiles import QuantileSketch
+
+                sketch = QuantileSketch.from_dict(sketch_state)
+                for point in _SUMMARY_POINTS:
+                    entry[f"p{point * 100.0:g}"] = sketch.quantile(point)
+            histograms[name] = entry
+        return {
+            "schema": EXPOSITION_SCHEMA,
+            "uptime_seconds": now - self._started,
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(snap.get("gauges", {}).items())),
+            "histograms": histograms,
+            "rates": rates,
+        }
+
+    def prometheus(self) -> str:
+        """One scrape in the Prometheus text exposition format."""
+        return prometheus_text(self.collect())
+
+
+def prometheus_text(exposition: dict) -> str:
+    """Render a JSON exposition document as Prometheus text format.
+
+    Counters export as ``counter``, gauges as ``gauge``, histograms as
+    ``summary`` with sketch quantiles.  Rolling rates are omitted —
+    Prometheus computes rates from the cumulative counters.
+    """
+    lines = []
+    for name, value in exposition.get("counters", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name, value in exposition.get("gauges", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(value)}")
+    for name, histogram in exposition.get("histograms", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        for point in _SUMMARY_POINTS:
+            key = f"p{point * 100.0:g}"
+            if key in histogram:
+                lines.append(
+                    f'{prom}{{quantile="{point:g}"}} '
+                    f"{_prom_value(histogram[key])}"
+                )
+        lines.append(f"{prom}_sum {_prom_value(histogram['total'])}")
+        lines.append(f"{prom}_count {_prom_value(histogram['count'])}")
+    return "\n".join(lines) + "\n"
+
+
+class _ExporterHandler(http.server.BaseHTTPRequestHandler):
+    """GET-only handler over the process exporter (sidecar scrapes)."""
+
+    exporter: MetricsExporter = None  # set on the server class
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        if self.path in ("/metrics", "/"):
+            body = self.server.exporter.prometheus().encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif self.path == "/metrics.json":
+            body = json.dumps(
+                self.server.exporter.collect(), sort_keys=True
+            ).encode()
+            content_type = "application/json"
+        else:
+            self.send_error(404, "unknown path (try /metrics)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):  # scrapes are not operator news
+        pass
+
+
+class _ExporterServer(http.server.ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, exporter: MetricsExporter):
+        super().__init__(address, _ExporterHandler)
+        self.exporter = exporter
+
+
+def start_http_exporter(
+    exporter: MetricsExporter, port: int, host: str = "127.0.0.1"
+):
+    """Serve ``/metrics`` (+ ``/metrics.json``) on a daemon thread.
+
+    Returns the server; ``server.server_address`` carries the bound
+    ``(host, port)`` (pass ``port=0`` for an ephemeral port) and
+    ``server.shutdown()`` stops it.
+    """
+    server = _ExporterServer((host, port), exporter)
+    thread = threading.Thread(
+        target=server.serve_forever, name="ropuf-metrics-http", daemon=True
+    )
+    thread.start()
+    return server

@@ -7,7 +7,11 @@ the instrumented modules and exported as a plain-JSON *snapshot*:
   elements drawn, selector rows processed, retries);
 * **gauges** — last-set values (per-process, merged by max);
 * **histograms** — ``{count, total, min, max}`` aggregates of observed
-  values (bits-per-second of the batch evaluator).
+  values **plus a mergeable quantile sketch**
+  (:class:`~repro.obs.quantiles.QuantileSketch`), so any histogram — the
+  serve layer's per-verb latencies, the batch engine's throughput — can
+  answer p50/p90/p99 at any moment (:func:`histogram_quantiles`, the
+  exposition endpoints of :mod:`repro.obs.exporter`).
 
 Like tracing (:mod:`repro.obs.trace`), metrics are **disabled by
 default**; every recording call returns after one module-flag check, so
@@ -36,6 +40,8 @@ import threading
 import time
 from contextlib import contextmanager
 
+from .quantiles import QuantileSketch
+
 __all__ = [
     "METRICS_SCHEMA",
     "metrics_enabled",
@@ -45,13 +51,16 @@ __all__ = [
     "counter_add",
     "gauge_set",
     "histogram_observe",
+    "histogram_quantiles",
     "timed",
     "snapshot",
     "merge_snapshots",
 ]
 
 #: Version of the snapshot layout; bumped on incompatible change.
-METRICS_SCHEMA = 1
+#: Schema 2: histogram entries carry a ``"sketch"`` quantile-sketch state
+#: beside the classic ``{count, total, min, max}`` aggregate.
+METRICS_SCHEMA = 2
 
 _enabled = False
 #: Guards every enabled read-modify-write on the dicts below.  Recording
@@ -105,17 +114,26 @@ def gauge_set(name: str, value: float) -> None:
 
 
 def histogram_observe(name: str, value: float) -> None:
-    """Fold ``value`` into the histogram ``name`` (no-op while disabled)."""
+    """Fold ``value`` into the histogram ``name`` (no-op while disabled).
+
+    Beside the classic ``{count, total, min, max}`` aggregate every
+    histogram feeds a :class:`~repro.obs.quantiles.QuantileSketch`, so
+    p50/p90/p99 are answerable live (:func:`histogram_quantiles`) and in
+    every snapshot.
+    """
     if not _enabled:
         return
     with _lock:
         histogram = _histograms.get(name)
         if histogram is None:
+            sketch = QuantileSketch()
+            sketch.observe(value)
             _histograms[name] = {
                 "count": 1,
                 "total": value,
                 "min": value,
                 "max": value,
+                "sketch": sketch,
             }
             return
         histogram["count"] += 1
@@ -124,6 +142,22 @@ def histogram_observe(name: str, value: float) -> None:
             histogram["min"] = value
         if value > histogram["max"]:
             histogram["max"] = value
+        histogram["sketch"].observe(value)
+
+
+def histogram_quantiles(
+    name: str, points: tuple[float, ...] = (0.5, 0.9, 0.99)
+) -> dict[str, float] | None:
+    """Live quantiles of histogram ``name``, or ``None`` if never observed.
+
+    Reads the registry's sketch under the lock, so a racing recorder can
+    never produce a half-applied answer.
+    """
+    with _lock:
+        histogram = _histograms.get(name)
+        if histogram is None:
+            return None
+        return histogram["sketch"].quantiles(points)
 
 
 @contextmanager
@@ -157,7 +191,14 @@ def snapshot() -> dict:
             "counters": dict(sorted(_counters.items())),
             "gauges": dict(sorted(_gauges.items())),
             "histograms": {
-                name: dict(histogram)
+                name: {
+                    **{
+                        key: value
+                        for key, value in histogram.items()
+                        if key != "sketch"
+                    },
+                    "sketch": histogram["sketch"].to_dict(),
+                }
                 for name, histogram in sorted(_histograms.items())
             },
         }
@@ -165,10 +206,13 @@ def snapshot() -> dict:
 
 def merge_snapshots(snapshots: list[dict]) -> dict:
     """Fold per-process snapshots into one: counters sum, gauges take the
-    max, histograms combine their aggregates."""
+    max, histograms combine their aggregates and merge their quantile
+    sketches (shard-order-invariant: any merge order yields identical
+    state)."""
     counters: dict[str, float] = {}
     gauges: dict[str, float] = {}
     histograms: dict[str, dict] = {}
+    sketches: dict[str, QuantileSketch] = {}
     for snap in snapshots:
         if snap.get("schema") != METRICS_SCHEMA:
             raise ValueError(
@@ -180,14 +224,28 @@ def merge_snapshots(snapshots: list[dict]) -> dict:
         for name, value in snap.get("gauges", {}).items():
             gauges[name] = max(gauges[name], value) if name in gauges else value
         for name, incoming in snap.get("histograms", {}).items():
+            incoming_sketch = incoming.get("sketch")
+            if incoming_sketch is not None:
+                if name in sketches:
+                    sketches[name].merge(
+                        QuantileSketch.from_dict(incoming_sketch)
+                    )
+                else:
+                    sketches[name] = QuantileSketch.from_dict(incoming_sketch)
             merged = histograms.get(name)
             if merged is None:
-                histograms[name] = dict(incoming)
+                histograms[name] = {
+                    key: value
+                    for key, value in incoming.items()
+                    if key != "sketch"
+                }
                 continue
             merged["count"] += incoming["count"]
             merged["total"] += incoming["total"]
             merged["min"] = min(merged["min"], incoming["min"])
             merged["max"] = max(merged["max"], incoming["max"])
+    for name, sketch in sketches.items():
+        histograms[name]["sketch"] = sketch.to_dict()
     return {
         "schema": METRICS_SCHEMA,
         "counters": dict(sorted(counters.items())),

@@ -1,0 +1,183 @@
+"""Tail-based trace sampling: keep the span trees worth keeping.
+
+A serving process with tracing on would buffer every span of every
+request forever — at thousands of requests per second that is an
+unbounded memory leak recording almost nothing of interest.  Tail-based
+sampling inverts the decision: record everything *cheaply*, decide at
+the **end** of each request whether its tree was interesting (slow), and
+drop the rest.  An operator asking "where did that 200 ms auth go?" gets
+the full serve-frame → coalescer-dispatch → batch-engine tree for
+exactly the requests that hurt.
+
+Mechanics
+---------
+
+The serve front-end calls :meth:`TailSampler.begin` when it mints a
+request id and :meth:`TailSampler.finish` with the measured latency once
+the reply is written.  ``finish`` drains the process span buffer
+(:func:`repro.obs.trace.drain_spans` — the sampler must be the only
+drainer in the process) and routes each span by the request ids it
+references:
+
+* ``attrs.request_id`` — the span ran inside one request's
+  :func:`~repro.obs.trace.request_context`;
+* ``attrs.request_ids`` — a coalesced-batch span serving several
+  requests at once;
+* neither — ambient machinery (accept loops, idle ticks): dropped.
+
+A span is *decidable* once every request it references has finished; a
+batch span shared with a still-in-flight request is held until that
+request completes, so a slow batch member always gets its batch spans.
+Decidable spans are retained into the tree of every referencing request
+whose latency met ``slow_ms``, and dropped when none did.
+
+Everything is bounded: at most ``max_trees`` retained trees (oldest
+evicted first), at most ``max_finished`` remembered latencies (a span
+referencing an evicted request id treats it as fast).  The sampler is
+thread-safe — ``finish`` arrives concurrently from every
+connection-handler thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from . import trace
+
+__all__ = ["TailSampler"]
+
+
+class TailSampler:
+    """Retain full span trees only for slow requests.
+
+    Args:
+        slow_ms: retention threshold — a request whose latency is at
+            least this many milliseconds keeps its spans.
+        max_trees: how many slow-request trees to hold (oldest evicted).
+        max_finished: how many finished-request latencies to remember
+            for deciding shared batch spans.
+    """
+
+    def __init__(
+        self,
+        slow_ms: float,
+        max_trees: int = 64,
+        max_finished: int = 4096,
+    ):
+        if slow_ms < 0.0:
+            raise ValueError(f"slow_ms must be >= 0, got {slow_ms}")
+        self.slow_ms = slow_ms
+        self.max_trees = max_trees
+        self.max_finished = max_finished
+        self._lock = threading.Lock()
+        self._active: set[str] = set()
+        self._latencies: OrderedDict[str, float] = OrderedDict()
+        #: Spans waiting on a still-active referenced request.
+        self._held: list[tuple[dict, frozenset[str]]] = []
+        #: Slow request id -> its retained spans (insertion-ordered).
+        self._trees: OrderedDict[str, list[dict]] = OrderedDict()
+        self._finished_count = 0
+        self._retained_count = 0
+        self._dropped_count = 0
+
+    # ------------------------------------------------------------------
+    # Serve-side lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self, request_id: str) -> None:
+        """Mark a request in flight (call when the id is minted)."""
+        with self._lock:
+            self._active.add(request_id)
+
+    def finish(self, request_id: str, latency_ms: float) -> None:
+        """Record a request's latency and (re)decide drained spans."""
+        drained = trace.drain_spans()
+        with self._lock:
+            self._active.discard(request_id)
+            self._latencies[request_id] = latency_ms
+            self._finished_count += 1
+            while len(self._latencies) > self.max_finished:
+                self._latencies.popitem(last=False)
+            undecided: list[tuple[dict, frozenset[str]]] = []
+            for record, refs in self._held:
+                if not self._decide(record, refs):
+                    undecided.append((record, refs))
+            for record in drained:
+                refs = self._references(record)
+                if refs is None:
+                    self._dropped_count += 1
+                    continue
+                if not self._decide(record, refs):
+                    undecided.append((record, refs))
+            self._held = undecided
+
+    # ------------------------------------------------------------------
+    # Decision internals (lock held)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _references(record: dict) -> frozenset[str] | None:
+        """Request ids a span serves, or None for ambient spans."""
+        attrs = record.get("attrs", {})
+        refs = set(attrs.get("request_ids", ()))
+        single = attrs.get("request_id")
+        if single is not None:
+            refs.add(single)
+        return frozenset(refs) if refs else None
+
+    def _decide(self, record: dict, refs: frozenset[str]) -> bool:
+        """Retain or drop ``record`` if decidable; False to keep holding."""
+        if refs & self._active:
+            return False
+        slow = [
+            rid
+            for rid in refs
+            if self._latencies.get(rid, 0.0) >= self.slow_ms
+        ]
+        if not slow:
+            self._dropped_count += 1
+            return True
+        self._retained_count += 1
+        for rid in slow:
+            self._trees.setdefault(rid, []).append(record)
+        while len(self._trees) > self.max_trees:
+            self._trees.popitem(last=False)
+        return True
+
+    # ------------------------------------------------------------------
+    # Reading the retained trees
+    # ------------------------------------------------------------------
+
+    def trees(self) -> dict[str, list[dict]]:
+        """Retained trees: slow request id -> its spans (copies)."""
+        with self._lock:
+            return {rid: list(spans) for rid, spans in self._trees.items()}
+
+    def spans(self) -> list[dict]:
+        """Every retained span, deduplicated (a batch span shared by two
+        slow requests appears once), in completion order — ready for
+        :func:`repro.obs.trace.write_trace`."""
+        with self._lock:
+            seen: set[str] = set()
+            out: list[dict] = []
+            for records in self._trees.values():
+                for record in records:
+                    if record["id"] not in seen:
+                        seen.add(record["id"])
+                        out.append(record)
+            out.sort(key=lambda record: record["t1"] or 0.0)
+            return out
+
+    def stats(self) -> dict:
+        """Sampler counters (plain JSON, for the ``stats`` serve verb)."""
+        with self._lock:
+            return {
+                "slow_ms": self.slow_ms,
+                "active": len(self._active),
+                "finished": self._finished_count,
+                "retained_trees": len(self._trees),
+                "retained_spans": self._retained_count,
+                "dropped_spans": self._dropped_count,
+                "held_spans": len(self._held),
+            }

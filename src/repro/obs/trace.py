@@ -40,11 +40,13 @@ optional final ``{"type": "metrics", ...}`` record carries the merged
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 import json
 import os
 import threading
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 __all__ = [
@@ -59,6 +61,9 @@ __all__ = [
     "buffered_spans",
     "write_trace",
     "read_trace",
+    "new_request_id",
+    "current_request_id",
+    "request_context",
 ]
 
 #: Version of the JSONL trace-file layout; bumped on incompatible change.
@@ -68,6 +73,43 @@ _enabled = False
 _buffer: list[dict] = []
 _ids = itertools.count(1)
 _stack = threading.local()
+
+#: The request id of the request currently being served, if any.  A
+#: :mod:`contextvars` variable rather than thread-local state so the
+#: coalescer's dispatcher thread can adopt a submitting request's context
+#: (``contextvars.copy_context`` / :func:`request_context`) and the batch
+#: engine's spans land in the right request tree.
+_request_id: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "ropuf_request_id", default=None
+)
+_request_ids = itertools.count(1)
+
+
+def new_request_id() -> str:
+    """Mint a process-unique request id (``"r<pid>-<n>"``).
+
+    The serve layer calls this once per inbound frame; everything that
+    happens on behalf of that frame — service handler, coalescer
+    dispatch, batch engine — carries the id via :func:`request_context`.
+    """
+    return f"r{os.getpid()}-{next(_request_ids)}"
+
+
+def current_request_id() -> str | None:
+    """The request id of the active :func:`request_context`, or None."""
+    return _request_id.get()
+
+
+@contextmanager
+def request_context(request_id: str | None):
+    """Scope ``request_id`` to a block: spans opened inside it (on this
+    thread, or in a context copied from it) record a ``request_id``
+    attribute automatically."""
+    token = _request_id.set(request_id)
+    try:
+        yield request_id
+    finally:
+        _request_id.reset(token)
 
 
 def tracing_enabled() -> bool:
@@ -99,9 +141,15 @@ def buffered_spans() -> list[dict]:
 
 
 def drain_spans() -> list[dict]:
-    """Remove and return every buffered span record."""
-    spans = list(_buffer)
-    del _buffer[:]
+    """Remove and return every buffered span record.
+
+    Length-bounded copy-then-delete, so a span completing on another
+    thread mid-drain is never lost: concurrent appends land past the
+    copied prefix and survive for the next drain.
+    """
+    n = len(_buffer)
+    spans = _buffer[:n]
+    del _buffer[:n]
     return spans
 
 
@@ -138,6 +186,9 @@ class _Span:
         open_spans = getattr(_stack, "open", None)
         if open_spans is None:
             open_spans = _stack.open = []
+        request_id = _request_id.get()
+        if request_id is not None and "request_id" not in attrs:
+            attrs["request_id"] = request_id
         self.record = {
             "type": "span",
             "id": f"{pid}-{next(_ids)}",

@@ -598,6 +598,7 @@ def run_pipeline(
     tasks=None,
     timings: bool = False,
     trace=None,
+    profile=None,
     policy: RetryPolicy | None = None,
     journal=None,
     chaos=None,
@@ -618,6 +619,10 @@ def run_pipeline(
         trace: path for the merged multi-process span trace (JSONL);
             enables tracing and metrics for this run.  ``None`` (default)
             records nothing.
+        profile: path for a collapsed-stack sampling profile
+            (:class:`~repro.obs.profiler.SamplingProfiler`) of the parent
+            process over the whole run; workers are separate interpreters
+            and are not sampled.  ``None`` (default) does not profile.
         policy: retry/backoff/timeout regime (:class:`RetryPolicy`);
             ``None`` keeps the historical retry-once behaviour.
         journal: path (or :class:`~repro.pipeline.journal.RunJournal`)
@@ -659,38 +664,47 @@ def run_pipeline(
     specs = resolve_tasks(tasks)
     started = time.perf_counter()
 
-    with _observability(trace_on, metrics_on):
-        with obs.span(
-            "pipeline.run", jobs=jobs, tasks=[spec.name for spec in specs]
-        ):
-            summary, outcomes, worker_snapshots = _run(
-                dataset,
-                jobs,
-                cache_dir,
-                specs,
-                collect_obs=trace_on or metrics_on,
-                policy=policy,
-                journal=journal,
-                chaos_plan=chaos_plan,
-            )
+    profiler = None
+    if profile is not None:
+        profiler = obs.SamplingProfiler()
+        profiler.start()
+    try:
+        with _observability(trace_on, metrics_on):
+            with obs.span(
+                "pipeline.run", jobs=jobs, tasks=[spec.name for spec in specs]
+            ):
+                summary, outcomes, worker_snapshots = _run(
+                    dataset,
+                    jobs,
+                    cache_dir,
+                    specs,
+                    collect_obs=trace_on or metrics_on,
+                    policy=policy,
+                    journal=journal,
+                    chaos_plan=chaos_plan,
+                )
 
-        if timings:
-            metrics = PipelineTimings(
-                jobs=jobs,
-                total_wall_seconds=time.perf_counter() - started,
-                tasks=[outcomes[spec.name] for spec in specs],
-            )
-            summary["_pipeline"] = metrics.as_dict()
-        merged_metrics = None
-        if metrics_on:
-            merged_metrics = obs.merge_snapshots(
-                [obs.snapshot()] + worker_snapshots
-            )
-            summary["_metrics"] = merged_metrics
-        if trace_on:
-            obs.write_trace(
-                trace_path, spans=obs.drain_spans(), metrics=merged_metrics
-            )
+            if timings:
+                metrics = PipelineTimings(
+                    jobs=jobs,
+                    total_wall_seconds=time.perf_counter() - started,
+                    tasks=[outcomes[spec.name] for spec in specs],
+                )
+                summary["_pipeline"] = metrics.as_dict()
+            merged_metrics = None
+            if metrics_on:
+                merged_metrics = obs.merge_snapshots(
+                    [obs.snapshot()] + worker_snapshots
+                )
+                summary["_metrics"] = merged_metrics
+            if trace_on:
+                obs.write_trace(
+                    trace_path, spans=obs.drain_spans(), metrics=merged_metrics
+                )
+    finally:
+        if profiler is not None:
+            profiler.stop()
+            profiler.write(Path(profile))
     return summary
 
 

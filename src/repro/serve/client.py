@@ -96,6 +96,16 @@ class AuthClient:
     def stats(self) -> dict:
         return self.call("stats").get("stats", {})
 
+    def metrics(self, format: str = "json") -> dict | str:
+        """One telemetry scrape: the JSON exposition document, or the
+        Prometheus text when ``format="prometheus"``."""
+        response = self.call("metrics", format=format)
+        if not response.get("ok"):
+            raise ServeClientError(
+                f"metrics scrape failed: {response.get('error')}"
+            )
+        return response["text" if format == "prometheus" else "metrics"]
+
     def close(self) -> None:
         for closer in (self._wfile, self._rfile, self._sock):
             try:

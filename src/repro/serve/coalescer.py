@@ -29,6 +29,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from contextlib import nullcontext
 
 import numpy as np
 
@@ -43,7 +44,7 @@ __all__ = ["RequestCoalescer"]
 class _Job:
     """One pending evaluation and its completion signal."""
 
-    __slots__ = ("evaluator", "op", "done", "result", "error")
+    __slots__ = ("evaluator", "op", "done", "result", "error", "request_id")
 
     def __init__(self, evaluator: BatchEvaluator, op: OperatingPoint):
         self.evaluator = evaluator
@@ -51,6 +52,9 @@ class _Job:
         self.done = threading.Event()
         self.result: np.ndarray | None = None
         self.error: BaseException | None = None
+        # Captured at submission on the handler thread, so the dispatcher
+        # can stamp batch spans with every member request's id.
+        self.request_id = obs.current_request_id()
 
 
 class RequestCoalescer:
@@ -205,11 +209,23 @@ class RequestCoalescer:
                 job.error = exc
                 job.done.set()
         if ready:
-            with obs.span(
-                "serve.coalesce.dispatch",
-                batch=len(ready),
-                backend=current_backend().name,
-            ):
+            # Request-scoped tracing across the thread hop: the dispatch
+            # span records every member request's id; when the batch
+            # serves exactly one request, the dispatcher adopts that
+            # request's context so the batch engine's own spans join the
+            # same request tree.
+            member_ids = sorted(
+                {job.request_id for job in ready if job.request_id}
+            )
+            attrs = {"batch": len(ready), "backend": current_backend().name}
+            if member_ids:
+                attrs["request_ids"] = member_ids
+            context = (
+                obs.request_context(member_ids[0])
+                if len(member_ids) == 1
+                else nullcontext()
+            )
+            with context, obs.span("serve.coalesce.dispatch", **attrs):
                 try:
                     responses = coalesce_responses(
                         [(job.evaluator, job.op) for job in ready],

@@ -10,7 +10,16 @@ Every request is expected to *succeed and authenticate*: any transport
 error, ``ok: false`` response, rejected genuine auth, or unverified key
 counts as a failure, so a zero-failure run certifies the whole stack
 under concurrency.  Latency is measured per request round (a
-challenge+auth pair counts once) and summarised as percentiles.
+challenge+auth pair counts once).
+
+Memory model: each worker folds its latencies into
+:class:`~repro.obs.quantiles.QuantileSketch` instances (one overall, one
+per verb) instead of an unbounded raw list, and the harness merges the
+worker sketches at the end — so a million-request soak run costs the
+same few kilobytes as a ten-request smoke test, and the reported
+percentiles agree with exact ``np.percentile`` within the sketch's
+documented 1% relative error (pinned by ``tests/test_serve_load.py``
+via ``record_raw=True``).
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ import time
 
 import numpy as np
 
+from ..obs.quantiles import QuantileSketch
 from ..variation.environment import OperatingPoint
 from .client import AuthClient, ServeClientError
 from .fleet import DeviceFarm
@@ -30,7 +40,12 @@ __all__ = ["run_load", "percentiles"]
 def percentiles(
     samples: list[float], points: tuple[float, ...] = (50.0, 90.0, 99.0)
 ) -> dict:
-    """``{"p50": ..., "p90": ..., "p99": ..., "max": ...}`` of ``samples``."""
+    """``{"p50": ..., "p90": ..., "p99": ..., "max": ...}`` of ``samples``.
+
+    Exact (``np.percentile``) — the reference the sketch-based summary
+    is pinned against; the harness itself no longer keeps raw samples
+    unless asked to (``run_load(record_raw=True)``).
+    """
     if not samples:
         return {f"p{point:g}": 0.0 for point in points} | {"max": 0.0}
     values = np.sort(np.asarray(samples, dtype=float))
@@ -55,6 +70,7 @@ class _ClientWorker(threading.Thread):
         corners: list[OperatingPoint],
         farm: DeviceFarm | None,
         timeout: float,
+        record_raw: bool = False,
     ):
         super().__init__(name=f"load-client-{index}", daemon=True)
         self.index = index
@@ -65,7 +81,9 @@ class _ClientWorker(threading.Thread):
         self.corners = corners
         self.farm = farm
         self.timeout = timeout
-        self.latencies_ms: list[float] = []
+        self.sketch = QuantileSketch()
+        self.verb_sketches: dict[str, QuantileSketch] = {}
+        self.raw_latencies_ms: list[float] | None = [] if record_raw else None
         self.failures: list[str] = []
         self.verb_counts: dict[str, int] = {}
 
@@ -74,6 +92,15 @@ class _ClientWorker(threading.Thread):
         if self.farm is not None:
             verbs.append("challenge-auth")
         return verbs
+
+    def _observe(self, verb: str, latency_ms: float) -> None:
+        self.sketch.observe(latency_ms)
+        verb_sketch = self.verb_sketches.get(verb)
+        if verb_sketch is None:
+            verb_sketch = self.verb_sketches[verb] = QuantileSketch()
+        verb_sketch.observe(latency_ms)
+        if self.raw_latencies_ms is not None:
+            self.raw_latencies_ms.append(latency_ms)
 
     def run(self) -> None:
         verbs = self._verbs()
@@ -92,8 +119,8 @@ class _ClientWorker(threading.Thread):
                         failure = self._one_round(client, verb, device, corner)
                     except (ServeClientError, OSError) as exc:
                         failure = f"{verb} {device}: transport {exc}"
-                    self.latencies_ms.append(
-                        (time.perf_counter() - started) * 1000.0
+                    self._observe(
+                        verb, (time.perf_counter() - started) * 1000.0
                     )
                     if failure is not None:
                         self.failures.append(failure)
@@ -134,6 +161,7 @@ def run_load(
     device_ids: list[str] | None = None,
     corners: list[OperatingPoint] | None = None,
     timeout: float = 30.0,
+    record_raw: bool = False,
 ) -> dict:
     """Drive the server with concurrent clients; return a summary dict.
 
@@ -146,9 +174,14 @@ def run_load(
         device_ids / corners: targets to cycle through (derived from
             ``farm`` when omitted).
         timeout: per-request socket timeout.
+        record_raw: additionally keep every raw latency sample and
+            return it as ``"raw_latencies_ms"`` — for pinning the sketch
+            percentiles against the exact ones; leave off (the default)
+            for constant-memory operation.
 
     Returns a plain-JSON summary: request/failure counts, wall seconds,
-    throughput, per-verb counts, and latency percentiles in ms.
+    throughput, per-verb counts, and sketch-backed latency percentiles
+    in ms (overall and per verb).
     """
     if farm is not None:
         device_ids = device_ids or farm.device_ids
@@ -168,6 +201,7 @@ def run_load(
             corners,
             farm,
             timeout,
+            record_raw=record_raw,
         )
         for index in range(clients)
     ]
@@ -177,14 +211,23 @@ def run_load(
     for worker in workers:
         worker.join()
     wall = time.perf_counter() - started
-    latencies = [ms for worker in workers for ms in worker.latencies_ms]
+    overall = QuantileSketch()
+    by_verb: dict[str, QuantileSketch] = {}
+    for worker in workers:
+        overall.merge(worker.sketch)
+        for verb, sketch in worker.verb_sketches.items():
+            if verb in by_verb:
+                by_verb[verb].merge(sketch)
+            else:
+                merged = by_verb[verb] = QuantileSketch()
+                merged.merge(sketch)
     failures = [text for worker in workers for text in worker.failures]
     verb_counts: dict[str, int] = {}
     for worker in workers:
         for verb, count in worker.verb_counts.items():
             verb_counts[verb] = verb_counts.get(verb, 0) + count
-    requests = len(latencies)
-    return {
+    requests = overall.count
+    summary = {
         "clients": clients,
         "auths_per_client": auths_per_client,
         "requests": requests,
@@ -193,5 +236,15 @@ def run_load(
         "wall_seconds": wall,
         "throughput_rps": (requests / wall) if wall > 0 else 0.0,
         "verbs": dict(sorted(verb_counts.items())),
-        "latency_ms": percentiles(latencies),
+        "latency_ms": overall.quantiles(),
+        "latency_ms_by_verb": {
+            verb: by_verb[verb].quantiles() for verb in sorted(by_verb)
+        },
     }
+    if record_raw:
+        summary["raw_latencies_ms"] = [
+            ms
+            for worker in workers
+            for ms in (worker.raw_latencies_ms or [])
+        ]
+    return summary

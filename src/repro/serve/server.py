@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import socketserver
 import threading
+import time
 
 from .. import obs
 from .protocol import (
@@ -70,7 +71,26 @@ class _Handler(socketserver.StreamRequestHandler):
                 return
             if request is None:
                 return
-            response = service.handle(request)
+            # The serve frame boundary mints the request id: everything
+            # done for this frame — service handler, coalescer dispatch,
+            # batch engine — runs inside its request_context and records
+            # the id on its spans.  The tail sampler keys on the frame
+            # latency measured here.
+            request_id = obs.new_request_id()
+            sampler = server.sampler
+            if sampler is not None:
+                sampler.begin(request_id)
+            started = time.perf_counter()
+            with obs.request_context(request_id):
+                with obs.span(
+                    "serve.request", verb=str(request.get("op"))
+                ) as root:
+                    response = service.handle(request)
+                    root.set_attr("ok", bool(response.get("ok")))
+            if sampler is not None:
+                sampler.finish(
+                    request_id, (time.perf_counter() - started) * 1000.0
+                )
             if not self._try_reply(response):
                 return
 
@@ -112,10 +132,14 @@ class AuthServer(socketserver.ThreadingTCPServer):
         service: AuthService,
         address: tuple[str, int] = ("127.0.0.1", 0),
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        sampler=None,
     ):
         super().__init__(address, _Handler)
         self.service = service
         self.max_frame_bytes = max_frame_bytes
+        #: Optional :class:`repro.obs.TailSampler` — fed the per-frame
+        #: latency of every request; retains slow requests' span trees.
+        self.sampler = sampler
         self._thread: threading.Thread | None = None
 
     @property

@@ -28,6 +28,12 @@ response dict — so the socket server, the tests, and any future transport
     digest before being released.
 ``stats``
     Service, coalescer, and store counters.
+``metrics``
+    Live telemetry exposition from the process
+    :class:`~repro.obs.exporter.MetricsExporter`: the JSON document
+    (counter rates over rolling windows, sketch quantiles per latency
+    histogram) by default, the Prometheus text format with
+    ``{"format": "prometheus"}``.  ``ropuf top`` polls this verb.
 
 Every handler failure becomes an ``{"ok": false, "error": ...}`` response;
 nothing a client sends can take the service down (pinned by the protocol
@@ -85,6 +91,9 @@ class AuthService:
             cannot grow the pending table without bound.
         max_pending_challenges: hard cap on simultaneously pending
             challenges; issuing past the cap evicts the oldest.
+        exporter: metrics exposition source for the ``metrics`` verb; a
+            private :class:`~repro.obs.exporter.MetricsExporter` over the
+            process registry is created when omitted.
     """
 
     def __init__(
@@ -98,6 +107,7 @@ class AuthService:
         seed: int = 20140601,
         challenge_ttl_s: float = 120.0,
         max_pending_challenges: int = 4096,
+        exporter=None,
     ):
         if not 0.0 < threshold_fraction < 0.5:
             raise ValueError(
@@ -124,6 +134,9 @@ class AuthService:
         self.challenge_width = challenge_width
         self.challenge_ttl_s = challenge_ttl_s
         self.max_pending_challenges = max_pending_challenges
+        self.exporter = exporter if exporter is not None else (
+            obs.MetricsExporter()
+        )
         self._rng = np.random.default_rng(seed)
         # challenge_id -> (device_id, challenge, issued_at monotonic).
         # Insertion-ordered, so the first key is always the oldest —
@@ -140,6 +153,7 @@ class AuthService:
             "attest": self._op_attest,
             "regen": self._op_regen,
             "stats": self._op_stats,
+            "metrics": self._op_metrics,
         }
 
     # ------------------------------------------------------------------
@@ -379,6 +393,17 @@ class AuthService:
                 "store": self.store.stats(),
             },
         }
+
+    def _op_metrics(self, request: dict) -> dict:
+        fmt = request.get("format", "json")
+        if fmt == "json":
+            return {"ok": True, "metrics": self.exporter.collect()}
+        if fmt == "prometheus":
+            return {"ok": True, "text": self.exporter.prometheus()}
+        raise ServiceError(
+            f"unknown metrics format {fmt!r} (known: json, prometheus)",
+            "BadRequest",
+        )
 
     # ------------------------------------------------------------------
     # Helpers

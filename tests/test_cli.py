@@ -73,6 +73,11 @@ class TestParser:
         assert args.trace_command == "summarize"
         assert args.trace_file == "t.jsonl"
         assert args.top == 10
+        assert args.json is False
+        args = build_parser().parse_args(
+            ["trace", "summarize", "t.jsonl", "--json"]
+        )
+        assert args.json is True
         args = build_parser().parse_args(
             ["bench", "compare", "a.json", "b.json",
              "--threshold", "0.5", "--metric", "speedup"]
@@ -115,6 +120,7 @@ class TestParser:
             "--jobs",
             "--method",
             "--output",
+            "--profile",
             "--raw",
             "--resume",
             "--retries",
@@ -238,3 +244,118 @@ class TestMainAll:
         capsys.readouterr()
         assert not obs.tracing_enabled()
         assert not obs.metrics_enabled()
+
+    def test_trace_summarize_json_flag(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(
+            ["all", "--tasks", "table5_bits", "--trace", str(trace_path)]
+        ) == 0
+        capsys.readouterr()  # drop the summary JSON
+        assert main(["trace", "summarize", str(trace_path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["span_count"] > 0
+        assert "task:table5_bits" in summary["by_name"]
+
+    def test_profile_flag_writes_collapsed_stacks(self, capsys, tmp_path):
+        profile = tmp_path / "run.collapsed"
+        assert main(
+            ["all", "--tasks", "table5_bits", "--profile", str(profile)]
+        ) == 0
+        capsys.readouterr()
+        assert profile.is_file()
+
+
+class TestTopCLI:
+    """`ropuf top`: parser surface, rendering, and live polling."""
+
+    def test_top_parser_defaults(self):
+        args = build_parser().parse_args(["top", "--port", "9"])
+        assert args.command == "top"
+        assert args.host == "127.0.0.1"
+        assert args.port == 9
+        assert args.interval == 2.0
+        assert args.once is False
+        assert args.timeout == 5.0
+
+    def test_top_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["top"])
+
+    def test_render_top_dashboard(self):
+        from repro.cli import _render_top
+
+        doc = {
+            "uptime_seconds": 12.5,
+            "counters": {
+                "serve.requests.attest": 120.0,
+                "serve.errors": 1.0,
+                "serve.coalesce.batches": 40.0,
+                "backend.numpy.calls": 40.0,
+            },
+            "gauges": {},
+            "histograms": {
+                "serve.latency_ms.attest": {
+                    "count": 120, "total": 180.0, "min": 0.5, "max": 5.0,
+                    "mean": 1.5, "p50": 1.25, "p90": 2.0, "p99": 4.5,
+                },
+                "serve.coalesce.batch_size": {
+                    "count": 40, "total": 120.0, "min": 1.0, "max": 8.0,
+                    "mean": 3.0, "p50": 3.0, "p90": 6.0, "p99": 8.0,
+                },
+            },
+            "rates": {
+                "1s": {"serve.requests.attest": 10.0},
+                "10s": {"serve.requests.attest": 12.0},
+                "60s": {},
+            },
+        }
+        text = _render_top(doc)
+        assert "uptime 12.5s" in text
+        assert "1s=10.0" in text and "10s=12.0" in text and "60s=0.0" in text
+        assert "errors: 1 (0.00/s)" in text
+        assert "attest" in text
+        assert "1.25" in text and "4.50" in text  # p50 / p99 columns
+        assert "batch size mean=3.0 max=8" in text
+        assert "backend.numpy.calls 40" in text
+
+    def test_top_once_against_live_server(self, capsys):
+        from repro import obs
+        from repro.serve import (
+            AuthClient,
+            AuthServer,
+            AuthService,
+            CRPStore,
+            DeviceFarm,
+            FleetConfig,
+        )
+
+        obs.reset_metrics()
+        obs.enable_metrics()
+        try:
+            farm = DeviceFarm.from_config(FleetConfig(boards=1))
+            service = AuthService(farm, CRPStore(None))
+            service.enroll_fleet()
+            with AuthServer(service).start() as server:
+                host, port = server.address
+                device = farm.device_ids[0]
+                corner = next(iter(farm)).corners[0]
+                with AuthClient(host, port) as client:
+                    client.attest(device, corner)
+                code = main(
+                    ["top", "--once", "--host", host, "--port", str(port),
+                     "--interval", "0.2"]
+                )
+            output = capsys.readouterr().out
+            assert code == 0
+            assert "ropuf top" in output
+            assert "attest" in output
+        finally:
+            obs.disable_metrics()
+            obs.reset_metrics()
+
+    def test_top_unreachable_server_exits_nonzero(self, capsys):
+        code = main(
+            ["top", "--once", "--port", "1", "--timeout", "0.5"]
+        )
+        assert code == 1
+        assert "ropuf top:" in capsys.readouterr().out

@@ -1,0 +1,255 @@
+"""Exporter tests: rolling-window rates with an injected clock, golden
+exposition documents (JSON and Prometheus text), and the HTTP sidecar."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.exporter import (
+    DEFAULT_WINDOWS,
+    EXPOSITION_SCHEMA,
+    MetricsExporter,
+    prometheus_text,
+    start_http_exporter,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable_metrics()
+    obs.reset_metrics()
+    yield
+    obs.disable_metrics()
+    obs.reset_metrics()
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestRollingWindows:
+    def test_first_scrape_has_no_rates(self):
+        exporter = MetricsExporter(clock=_FakeClock())
+        doc = exporter.collect()
+        assert doc["rates"] == {"1s": {}, "10s": {}, "60s": {}}
+
+    def test_rates_diff_cumulative_counters(self):
+        obs.enable_metrics()
+        clock = _FakeClock()
+        exporter = MetricsExporter(clock=clock)
+        obs.counter_add("serve.requests.auth", 10.0)
+        exporter.collect()  # baseline at t=1000
+        clock.now += 1.0
+        obs.counter_add("serve.requests.auth", 5.0)
+        doc = exporter.collect()
+        assert doc["rates"]["1s"]["serve.requests.auth"] == pytest.approx(5.0)
+        assert doc["rates"]["60s"]["serve.requests.auth"] == pytest.approx(5.0)
+
+    def test_windows_use_their_own_baseline(self):
+        obs.enable_metrics()
+        clock = _FakeClock()
+        exporter = MetricsExporter(clock=clock)
+        exporter.collect()  # t=1000, counter=0
+        for _ in range(9):
+            clock.now += 1.0
+            obs.counter_add("c", 1.0)
+            exporter.collect()
+        clock.now += 1.0
+        obs.counter_add("c", 100.0)
+        doc = exporter.collect()  # t=1010, counter=109
+        # 1s window: from the t=1009 sample (counter 9) -> 100/s.
+        assert doc["rates"]["1s"]["c"] == pytest.approx(100.0)
+        # 10s window: from the t=1000 sample (counter 0) -> 10.9/s.
+        assert doc["rates"]["10s"]["c"] == pytest.approx(10.9)
+
+    def test_counter_born_mid_window_rates_from_zero(self):
+        obs.enable_metrics()
+        clock = _FakeClock()
+        exporter = MetricsExporter(clock=clock)
+        exporter.collect()
+        clock.now += 2.0
+        obs.counter_add("newborn", 6.0)
+        doc = exporter.collect()
+        assert doc["rates"]["10s"]["newborn"] == pytest.approx(3.0)
+
+    def test_history_stays_bounded(self):
+        clock = _FakeClock()
+        exporter = MetricsExporter(clock=clock)
+        for _ in range(500):
+            clock.now += 1.0
+            exporter.collect()
+        # One sample per second, pruned past the 60 s window.
+        assert len(exporter._samples) <= 62
+
+    def test_rejects_unsorted_windows(self):
+        with pytest.raises(ValueError, match="ascending"):
+            MetricsExporter(windows=(10.0, 1.0))
+
+
+class TestJSONExposition:
+    def test_document_shape(self):
+        obs.enable_metrics()
+        obs.counter_add("serve.requests.auth", 3.0)
+        obs.gauge_set("serve.inflight", 2.0)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            obs.histogram_observe("serve.latency_ms.auth", value)
+        doc = MetricsExporter(clock=_FakeClock()).collect()
+        assert doc["schema"] == EXPOSITION_SCHEMA
+        assert doc["counters"] == {"serve.requests.auth": 3.0}
+        assert doc["gauges"] == {"serve.inflight": 2.0}
+        histogram = doc["histograms"]["serve.latency_ms.auth"]
+        assert histogram["count"] == 4
+        assert histogram["mean"] == pytest.approx(2.5)
+        assert histogram["p50"] == pytest.approx(2.0, rel=0.02)
+        assert histogram["p99"] == pytest.approx(4.0, rel=0.02)
+        assert set(DEFAULT_WINDOWS) == {1.0, 10.0, 60.0}
+        json.dumps(doc)  # exposition must be plain JSON
+
+    def test_quantiles_match_registry(self):
+        obs.enable_metrics()
+        for value in range(1, 101):
+            obs.histogram_observe("h", float(value))
+        doc = MetricsExporter(clock=_FakeClock()).collect()
+        live = obs.histogram_quantiles("h")
+        assert doc["histograms"]["h"]["p99"] == live["p99"]
+
+
+class TestPrometheusGolden:
+    """Golden output: the text format is a wire contract, pinned exactly."""
+
+    def test_golden_document(self):
+        exposition = {
+            "counters": {"serve.requests.auth": 42.0, "cache.hits": 3.5},
+            "gauges": {"serve.inflight": 2.0},
+            "histograms": {
+                "serve.latency_ms.auth": {
+                    "count": 3,
+                    "total": 6.75,
+                    "min": 1.0,
+                    "max": 4.0,
+                    "mean": 2.25,
+                    "p50": 1.75,
+                    "p90": 4.0,
+                    "p99": 4.0,
+                },
+            },
+        }
+        assert prometheus_text(exposition) == (
+            "# TYPE ropuf_serve_requests_auth counter\n"
+            "ropuf_serve_requests_auth 42\n"
+            "# TYPE ropuf_cache_hits counter\n"
+            "ropuf_cache_hits 3.5\n"
+            "# TYPE ropuf_serve_inflight gauge\n"
+            "ropuf_serve_inflight 2\n"
+            "# TYPE ropuf_serve_latency_ms_auth summary\n"
+            'ropuf_serve_latency_ms_auth{quantile="0.5"} 1.75\n'
+            'ropuf_serve_latency_ms_auth{quantile="0.9"} 4\n'
+            'ropuf_serve_latency_ms_auth{quantile="0.99"} 4\n'
+            "ropuf_serve_latency_ms_auth_sum 6.75\n"
+            "ropuf_serve_latency_ms_auth_count 3\n"
+        )
+
+    def test_name_sanitization(self):
+        text = prometheus_text(
+            {"counters": {"noise.elements.sweep-v1": 1.0}}
+        )
+        assert "ropuf_noise_elements_sweep_v1 1" in text
+
+    def test_end_to_end_from_registry(self):
+        obs.enable_metrics()
+        obs.counter_add("c", 2.0)
+        obs.histogram_observe("h", 5.0)
+        text = MetricsExporter(clock=_FakeClock()).prometheus()
+        assert "# TYPE ropuf_c counter" in text
+        assert "ropuf_c 2" in text
+        assert "# TYPE ropuf_h summary" in text
+        assert "ropuf_h_count 1" in text
+
+
+class TestServeMetricsVerb:
+    """The exporter mounted on the serve protocol as the ``metrics`` verb."""
+
+    def _service(self):
+        from repro.serve import AuthService, CRPStore, DeviceFarm, FleetConfig
+
+        farm = DeviceFarm.from_config(FleetConfig(boards=1))
+        service = AuthService(farm, CRPStore(None))
+        service.enroll_fleet()
+        return service
+
+    def test_json_exposition(self):
+        obs.enable_metrics()
+        service = self._service()
+        try:
+            service.handle({"op": "ping"})
+            response = service.handle({"op": "metrics"})
+            assert response["ok"] is True
+            doc = response["metrics"]
+            assert doc["schema"] == EXPOSITION_SCHEMA
+            assert doc["counters"]["serve.requests.ping"] == 1.0
+            assert "serve.latency_ms.ping" in doc["histograms"]
+            json.dumps(response)
+        finally:
+            service.close()
+
+    def test_prometheus_exposition(self):
+        obs.enable_metrics()
+        service = self._service()
+        try:
+            service.handle({"op": "ping"})
+            response = service.handle(
+                {"op": "metrics", "format": "prometheus"}
+            )
+            assert response["ok"] is True
+            assert "ropuf_serve_requests_ping 1" in response["text"]
+        finally:
+            service.close()
+
+    def test_unknown_format_rejected(self):
+        service = self._service()
+        try:
+            response = service.handle({"op": "metrics", "format": "xml"})
+            assert response["ok"] is False
+            assert response["error_type"] == "BadRequest"
+        finally:
+            service.close()
+
+
+class TestHTTPSidecar:
+    def test_scrape_both_formats(self):
+        obs.enable_metrics()
+        obs.counter_add("sidecar.hits", 7.0)
+        server = start_http_exporter(MetricsExporter(), port=0)
+        try:
+            host, port = server.server_address
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics"
+            ) as response:
+                assert response.status == 200
+                assert "version=0.0.4" in response.headers["Content-Type"]
+                assert b"ropuf_sidecar_hits 7" in response.read()
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics.json"
+            ) as response:
+                doc = json.loads(response.read())
+                assert doc["counters"]["sidecar.hits"] == 7.0
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_unknown_path_404s(self):
+        server = start_http_exporter(MetricsExporter(), port=0)
+        try:
+            host, port = server.server_address
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"http://{host}:{port}/nope")
+            assert excinfo.value.code == 404
+        finally:
+            server.shutdown()
+            server.server_close()

@@ -51,9 +51,25 @@ class TestRegistry:
         obs.enable_metrics()
         for value in (4.0, 1.0, 7.0):
             obs.histogram_observe("h", value)
-        assert obs.snapshot()["histograms"]["h"] == {
+        histogram = obs.snapshot()["histograms"]["h"]
+        sketch_state = histogram.pop("sketch")
+        assert histogram == {
             "count": 3, "total": 12.0, "min": 1.0, "max": 7.0,
         }
+        assert sketch_state["count"] == 3
+        assert sketch_state["min"] == 1.0
+        assert sketch_state["max"] == 7.0
+
+    def test_histogram_quantiles_live(self):
+        obs.enable_metrics()
+        for value in range(1, 101):
+            obs.histogram_observe("h", float(value))
+        quantiles = obs.histogram_quantiles("h")
+        assert set(quantiles) == {"p50", "p90", "p99", "max"}
+        assert quantiles["p50"] == pytest.approx(50.0, rel=0.02)
+        assert quantiles["p99"] == pytest.approx(99.0, rel=0.02)
+        assert quantiles["max"] == 100.0
+        assert obs.histogram_quantiles("never.observed") is None
 
     def test_snapshot_is_schema_tagged_and_detached(self):
         obs.enable_metrics()
@@ -63,25 +79,56 @@ class TestRegistry:
         snap["counters"]["c"] = 99.0  # mutating a snapshot is safe
         assert obs.snapshot()["counters"]["c"] == 1.0
 
+    @staticmethod
+    def _snapshot_for(values_by_histogram):
+        """Build a schema-tagged snapshot by recording real observations."""
+        obs.reset_metrics()
+        obs.enable_metrics()
+        for name, values in values_by_histogram.items():
+            for value in values:
+                obs.histogram_observe(name, value)
+        snap = obs.snapshot()
+        obs.reset_metrics()
+        return snap
+
     def test_merge_sums_counters_maxes_gauges_combines_histograms(self):
-        a = {
-            "schema": 1,
-            "counters": {"cache.hits": 2.0, "only.a": 1.0},
-            "gauges": {"g": 1.0},
-            "histograms": {"h": {"count": 2, "total": 3.0, "min": 1.0, "max": 2.0}},
-        }
-        b = {
-            "schema": 1,
-            "counters": {"cache.hits": 3.0},
-            "gauges": {"g": 4.0, "only.b": 0.5},
-            "histograms": {"h": {"count": 1, "total": 9.0, "min": 9.0, "max": 9.0}},
-        }
+        a = self._snapshot_for({"h": [1.0, 2.0]})
+        a["counters"] = {"cache.hits": 2.0, "only.a": 1.0}
+        a["gauges"] = {"g": 1.0}
+        b = self._snapshot_for({"h": [9.0]})
+        b["counters"] = {"cache.hits": 3.0}
+        b["gauges"] = {"g": 4.0, "only.b": 0.5}
         merged = obs.merge_snapshots([a, b])
         assert merged["counters"] == {"cache.hits": 5.0, "only.a": 1.0}
         assert merged["gauges"] == {"g": 4.0, "only.b": 0.5}
-        assert merged["histograms"]["h"] == {
+        histogram = merged["histograms"]["h"]
+        sketch_state = histogram.pop("sketch")
+        assert histogram == {
             "count": 3, "total": 12.0, "min": 1.0, "max": 9.0,
         }
+        assert sketch_state["count"] == 3
+
+    def test_merge_is_shard_order_invariant(self):
+        a = self._snapshot_for({"h": [float(v) for v in range(1, 50)]})
+        b = self._snapshot_for({"h": [float(v) for v in range(50, 101)]})
+        unsharded = self._snapshot_for(
+            {"h": [float(v) for v in range(1, 101)]}
+        )
+        ab = obs.merge_snapshots([a, b])
+        ba = obs.merge_snapshots([b, a])
+        assert ab == ba
+        assert ab["histograms"]["h"]["sketch"] == (
+            unsharded["histograms"]["h"]["sketch"]
+        )
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = self._snapshot_for({"h": [1.0]})
+        b = self._snapshot_for({"h": [2.0]})
+        import copy
+
+        a_before = copy.deepcopy(a)
+        obs.merge_snapshots([a, b])
+        assert a == a_before
 
     def test_merge_rejects_schema_mismatch(self):
         with pytest.raises(ValueError, match="schema"):

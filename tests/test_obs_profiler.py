@@ -1,0 +1,105 @@
+"""Sampling profiler: collapsed-stack shape, lifecycle, pipeline hookup."""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import SamplingProfiler
+
+#: ``frame;frame;frame count`` — the collapsed-stack line contract.
+_COLLAPSED_LINE = re.compile(r"^[^ ;]+(?:;[^ ;]+)* \d+$")
+
+
+def _busy_beacon(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(range(2000))
+
+
+class TestSampling:
+    def test_captures_a_running_thread(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy_beacon, args=(stop,))
+        worker.start()
+        try:
+            with SamplingProfiler(interval_s=0.002) as profiler:
+                time.sleep(0.15)
+        finally:
+            stop.set()
+            worker.join()
+        collapsed = profiler.collapsed()
+        assert profiler.stats()["samples"] > 0
+        assert "_busy_beacon" in collapsed
+
+    def test_collapsed_format(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy_beacon, args=(stop,))
+        worker.start()
+        try:
+            with SamplingProfiler(interval_s=0.002) as profiler:
+                time.sleep(0.1)
+        finally:
+            stop.set()
+            worker.join()
+        lines = profiler.collapsed().splitlines()
+        assert lines
+        for line in lines:
+            assert _COLLAPSED_LINE.match(line), line
+        # Heaviest stack first.
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts, reverse=True)
+        # Frames are module-qualified and root-first: the beacon thread's
+        # stack must *end* at the beacon, not start there.
+        beacon = next(line for line in lines if "_busy_beacon" in line)
+        stack = beacon.rsplit(" ", 1)[0].split(";")
+        assert stack[-1].endswith("_busy_beacon")
+
+    def test_write(self, tmp_path):
+        with SamplingProfiler(interval_s=0.002) as profiler:
+            time.sleep(0.05)
+        path = profiler.write(tmp_path / "profile.collapsed")
+        assert path.exists()
+        assert path.read_text() == profiler.collapsed()
+
+    def test_excludes_its_own_sampler_thread(self):
+        with SamplingProfiler(interval_s=0.002) as profiler:
+            time.sleep(0.1)
+        assert "_sample_once" not in profiler.collapsed()
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self):
+        profiler = SamplingProfiler(interval_s=0.01).start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_is_idempotent(self):
+        profiler = SamplingProfiler(interval_s=0.01)
+        profiler.stop()  # never started: no-op
+        profiler.start()
+        profiler.stop()
+        profiler.stop()
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            SamplingProfiler(interval_s=0.0)
+
+
+class TestPipelineHookup:
+    def test_run_pipeline_profile_writes_collapsed_stacks(self, tmp_path):
+        from repro.pipeline.executor import run_pipeline
+
+        profile_path = tmp_path / "run.collapsed"
+        run_pipeline(tasks=["table1_nist_case1"], profile=profile_path)
+        assert profile_path.exists()
+        content = profile_path.read_text()
+        assert content.strip(), "profile of a real run must not be empty"
+        for line in content.splitlines():
+            assert _COLLAPSED_LINE.match(line), line
+        assert "repro." in content

@@ -1,0 +1,221 @@
+"""Request-scoped tracing and tail-based sampling.
+
+Covers the unit layer (request-id context propagation into spans, the
+:class:`~repro.obs.requests.TailSampler` retention rules) and the
+end-to-end acceptance shape: a single slow auth request against a live
+:class:`AuthServer` yields one connected span tree — serve frame →
+coalescer dispatch → batch engine — with the same request id on every
+span.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.requests import TailSampler
+from repro.serve import (
+    AuthClient,
+    AuthServer,
+    AuthService,
+    CRPStore,
+    DeviceFarm,
+    FleetConfig,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable_tracing()
+    obs.reset_tracing()
+    obs.disable_metrics()
+    obs.reset_metrics()
+    yield
+    obs.disable_tracing()
+    obs.reset_tracing()
+    obs.disable_metrics()
+    obs.reset_metrics()
+
+
+class TestRequestContext:
+    def test_ids_are_process_unique_and_monotone(self):
+        first, second = obs.new_request_id(), obs.new_request_id()
+        assert first != second
+        assert first.startswith("r")
+
+    def test_no_context_by_default(self):
+        assert obs.current_request_id() is None
+
+    def test_context_scopes_and_nests(self):
+        with obs.request_context("r-1"):
+            assert obs.current_request_id() == "r-1"
+            with obs.request_context("r-2"):
+                assert obs.current_request_id() == "r-2"
+            assert obs.current_request_id() == "r-1"
+        assert obs.current_request_id() is None
+
+    def test_spans_inherit_the_request_id(self):
+        obs.enable_tracing()
+        with obs.request_context("r-42"):
+            with obs.span("inner"):
+                pass
+        with obs.span("outside"):
+            pass
+        spans = {record["name"]: record for record in obs.drain_spans()}
+        assert spans["inner"]["attrs"]["request_id"] == "r-42"
+        assert "request_id" not in spans["outside"]["attrs"]
+
+    def test_explicit_attr_wins(self):
+        obs.enable_tracing()
+        with obs.request_context("r-ambient"):
+            with obs.span("s", request_id="r-explicit"):
+                pass
+        (record,) = obs.drain_spans()
+        assert record["attrs"]["request_id"] == "r-explicit"
+
+    def test_context_does_not_leak_across_threads(self):
+        seen = []
+        with obs.request_context("r-main"):
+            thread = threading.Thread(
+                target=lambda: seen.append(obs.current_request_id())
+            )
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestTailSampler:
+    def _spans_for(self, *request_ids, name="s"):
+        obs.enable_tracing()
+        if len(request_ids) == 1:
+            with obs.request_context(request_ids[0]):
+                with obs.span(name):
+                    pass
+        else:
+            with obs.span(name, request_ids=list(request_ids)):
+                pass
+
+    def test_fast_requests_are_dropped(self):
+        sampler = TailSampler(slow_ms=100.0)
+        sampler.begin("r-1")
+        self._spans_for("r-1")
+        sampler.finish("r-1", latency_ms=5.0)
+        assert sampler.trees() == {}
+        assert sampler.stats()["dropped_spans"] == 1
+
+    def test_slow_requests_are_retained(self):
+        sampler = TailSampler(slow_ms=100.0)
+        sampler.begin("r-1")
+        self._spans_for("r-1")
+        sampler.finish("r-1", latency_ms=250.0)
+        trees = sampler.trees()
+        assert set(trees) == {"r-1"}
+        assert trees["r-1"][0]["attrs"]["request_id"] == "r-1"
+
+    def test_ambient_spans_are_dropped(self):
+        obs.enable_tracing()
+        sampler = TailSampler(slow_ms=0.0)
+        sampler.begin("r-1")
+        with obs.span("ambient.machinery"):
+            pass
+        sampler.finish("r-1", latency_ms=10.0)
+        assert all(
+            record["name"] != "ambient.machinery"
+            for records in sampler.trees().values()
+            for record in records
+        )
+
+    def test_batch_span_held_until_all_members_finish(self):
+        sampler = TailSampler(slow_ms=100.0)
+        sampler.begin("r-fast")
+        sampler.begin("r-slow")
+        self._spans_for("r-fast", "r-slow", name="dispatch")
+        sampler.finish("r-fast", latency_ms=1.0)
+        # r-slow still in flight: the shared span must not be decided.
+        assert sampler.trees() == {}
+        assert sampler.stats()["held_spans"] == 1
+        sampler.finish("r-slow", latency_ms=500.0)
+        trees = sampler.trees()
+        assert set(trees) == {"r-slow"}
+        assert trees["r-slow"][0]["name"] == "dispatch"
+        assert sampler.stats()["held_spans"] == 0
+
+    def test_shared_span_dedup_in_flat_export(self):
+        sampler = TailSampler(slow_ms=10.0)
+        sampler.begin("r-a")
+        sampler.begin("r-b")
+        self._spans_for("r-a", "r-b", name="dispatch")
+        sampler.finish("r-a", latency_ms=50.0)
+        sampler.finish("r-b", latency_ms=50.0)
+        assert set(sampler.trees()) == {"r-a", "r-b"}
+        assert len(sampler.spans()) == 1  # shared span exported once
+
+    def test_tree_capacity_evicts_oldest(self):
+        sampler = TailSampler(slow_ms=0.0, max_trees=2)
+        for n in range(3):
+            rid = f"r-{n}"
+            sampler.begin(rid)
+            self._spans_for(rid)
+            sampler.finish(rid, latency_ms=1.0)
+        assert set(sampler.trees()) == {"r-1", "r-2"}
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError, match="slow_ms"):
+            TailSampler(slow_ms=-1.0)
+
+
+class TestEndToEndSlowAuth:
+    """The acceptance shape: one slow auth → one connected span tree."""
+
+    def test_slow_attest_tree_spans_frame_to_batch_engine(self):
+        obs.enable_tracing()
+        farm = DeviceFarm.from_config(FleetConfig(boards=1))
+        service = AuthService(farm, CRPStore(None))
+        service.enroll_fleet()
+        # slow_ms=0: every request is "slow", so the single attest below
+        # is deterministically retained without real-time sleeps.
+        sampler = TailSampler(slow_ms=0.0)
+        server = AuthServer(service, sampler=sampler).start()
+        try:
+            host, port = server.address
+            with AuthClient(host, port) as client:
+                device_id = farm.device_ids[0]
+                corner = farm.device(device_id).corners[0]
+                response = client.attest(device_id, corner)
+                assert response["ok"] is True
+        finally:
+            server.stop()
+        trees = sampler.trees()
+        assert len(trees) == 1
+        ((request_id, spans),) = trees.items()
+        names = {record["name"] for record in spans}
+        # Frame boundary, coalescer dispatch, and the batch engine's own
+        # span are all present...
+        assert "serve.request" in names
+        assert "serve.coalesce.dispatch" in names
+        assert "batch.coalesce_responses" in names
+        # ...every span carries the same request id...
+        for record in spans:
+            refs = set(record["attrs"].get("request_ids", []))
+            single = record["attrs"].get("request_id")
+            if single is not None:
+                refs.add(single)
+            assert refs == {request_id}, record
+        # ...and the tree is connected: the batch-engine span is parented
+        # under the dispatch span (same dispatcher thread), and the serve
+        # frame is the handler-thread root.
+        by_id = {record["id"]: record for record in spans}
+        batch = next(
+            record
+            for record in spans
+            if record["name"] == "batch.coalesce_responses"
+        )
+        dispatch = by_id[batch["parent"]]
+        assert dispatch["name"] == "serve.coalesce.dispatch"
+        frame = next(
+            record for record in spans if record["name"] == "serve.request"
+        )
+        assert frame["parent"] is None
+        assert frame["attrs"]["verb"] == "attest"

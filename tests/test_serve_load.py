@@ -55,6 +55,44 @@ class TestRunLoad:
         assert summary["requests"] == 24
         assert summary["latency_ms"]["p50"] > 0.0
         assert set(summary["verbs"]) == {"attest", "regen", "challenge-auth"}
+        assert set(summary["latency_ms_by_verb"]) == set(summary["verbs"])
+        for verb_summary in summary["latency_ms_by_verb"].values():
+            assert verb_summary["p50"] > 0.0
+            assert verb_summary["p50"] <= verb_summary["p99"]
+        # Constant-memory mode is the default: no raw samples kept.
+        assert "raw_latencies_ms" not in summary
+
+    def test_sketch_percentiles_match_exact_within_bound(self):
+        # The satellite pin: the sketch summary agrees with exact
+        # percentiles at the sketch's inverse-CDF rank convention
+        # (np.percentile method="inverted_cdf") within the documented
+        # 1% relative error.
+        import numpy as np
+
+        from repro.obs.quantiles import DEFAULT_RELATIVE_ACCURACY
+
+        farm = DeviceFarm.from_config(FleetConfig(boards=2))
+        service = AuthService(farm, CRPStore(None))
+        service.enroll_fleet()
+        with AuthServer(service).start() as server:
+            host, port = server.address
+            summary = run_load(
+                host,
+                port,
+                clients=8,
+                auths_per_client=6,
+                farm=farm,
+                record_raw=True,
+            )
+        raw = summary["raw_latencies_ms"]
+        assert len(raw) == summary["requests"]
+        for point, key in ((50.0, "p50"), (90.0, "p90"), (99.0, "p99")):
+            exact = float(np.percentile(raw, point, method="inverted_cdf"))
+            estimate = summary["latency_ms"][key]
+            assert abs(estimate - exact) <= (
+                DEFAULT_RELATIVE_ACCURACY * exact * (1.0 + 1e-6)
+            ), (key, estimate, exact)
+        assert summary["latency_ms"]["max"] == max(raw)
 
     def test_without_farm_skips_challenge_rounds(self):
         farm = DeviceFarm.from_config(FleetConfig(boards=2))
@@ -115,6 +153,11 @@ class TestServeCLI:
         assert args.bench is False
         assert args.clients == 100
         assert args.auths == 10
+        # Telemetry flags (docs/observability.md) default to off.
+        assert args.metrics_port is None
+        assert args.trace is None
+        assert args.slow_ms == 100.0
+        assert args.profile is None
 
     def test_serve_flags_parse_explicit(self):
         args = build_parser().parse_args(
@@ -177,6 +220,55 @@ class TestServeCLI:
         capsys.readouterr()
         assert code == 0
         assert json.loads(out.read_text())["failures"] == 0
+
+    def test_bench_with_telemetry_artifacts(self, capsys, tmp_path):
+        # --metrics-port, --trace, and --profile all ride along with
+        # --bench: the summary JSON stays parseable on stdout and the
+        # artifacts are written on shutdown.
+        from repro import obs
+        from repro.obs.trace import read_trace
+
+        trace_path = tmp_path / "slow.jsonl"
+        profile_path = tmp_path / "serve.collapsed"
+        code = main(
+            [
+                "serve",
+                "--bench",
+                "--boards",
+                "2",
+                "--clients",
+                "4",
+                "--auths",
+                "2",
+                "--metrics-port",
+                "0",
+                "--trace",
+                str(trace_path),
+                "--slow-ms",
+                "0",
+                "--profile",
+                str(profile_path),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        summary = json.loads(output)
+        assert summary["failures"] == 0
+        # Telemetry state is restored on shutdown.
+        assert not obs.metrics_enabled()
+        assert not obs.tracing_enabled()
+        # --slow-ms 0 makes every request slow: the tail-sampled trace
+        # must contain the serve frame spans, each carrying request ids.
+        assert trace_path.is_file()
+        spans, _ = read_trace(trace_path)
+        names = {record["name"] for record in spans}
+        assert "serve.request" in names
+        assert all(
+            record["attrs"].get("request_id")
+            or record["attrs"].get("request_ids")
+            for record in spans
+        )
+        assert profile_path.is_file()
 
     def test_bench_with_persistent_store(self, capsys, tmp_path):
         store = tmp_path / "crp.jsonl"
