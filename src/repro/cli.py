@@ -327,13 +327,19 @@ def _cmd_serve(args) -> tuple[str, int]:
         FleetConfig,
         RequestCoalescer,
         run_load,
+        run_overload,
     )
 
     # Telemetry wiring (docs/observability.md).  The standalone server
     # always records metrics so the ``metrics`` verb and ``ropuf top``
     # work out of the box; ``--bench`` keeps them off unless a sidecar
     # was requested, so the latency baseline measures the quiet path.
-    if args.metrics_port is not None or not args.bench:
+    # ``--open-loop`` turns them back on: the overload run's whole point
+    # is that its shed counters land in the metrics exposition.
+    metrics_on = (
+        args.metrics_port is not None or not args.bench or args.open_loop
+    )
+    if metrics_on:
         obs.enable_metrics()
     sampler = None
     if args.trace is not None:
@@ -364,7 +370,14 @@ def _cmd_serve(args) -> tuple[str, int]:
     )
     enrollment = service.enroll_fleet()
     server = AuthServer(
-        service, address=(args.host, args.port), sampler=sampler
+        service,
+        address=(args.host, args.port),
+        sampler=sampler,
+        max_inflight=args.max_inflight if args.max_inflight > 0 else None,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        max_connections=args.max_connections,
+        idle_timeout=args.idle_timeout,
     )
     sidecar = None
     if args.metrics_port is not None:
@@ -376,25 +389,59 @@ def _cmd_serve(args) -> tuple[str, int]:
             server.start()
             host, port = server.address
             try:
-                summary = run_load(
-                    host,
-                    port,
-                    clients=args.clients,
-                    auths_per_client=args.auths,
-                    farm=farm,
-                )
+                if args.open_loop:
+                    summary = run_overload(
+                        host,
+                        port,
+                        offered_rps=args.offered_rps,
+                        duration_s=args.duration,
+                        workers=args.clients,
+                        farm=farm,
+                        deadline_ms=args.deadline_ms,
+                    )
+                else:
+                    summary = run_load(
+                        host,
+                        port,
+                        clients=args.clients,
+                        auths_per_client=args.auths,
+                        farm=farm,
+                    )
                 summary["enrollment"] = {
                     "enrolled": len(enrollment["enrolled"]),
                     "reused": len(enrollment["reused"]),
                 }
                 summary["coalescer"] = service.coalescer.stats()
                 summary["store"] = service.store.stats()
+                summary["overload"] = server.overload_stats()
+                if args.open_loop:
+                    # The shed counters as the metrics scrape reports
+                    # them — the chaos gate greps these out of the
+                    # artifact rather than trusting the harness's own
+                    # bookkeeping.
+                    exposition = service.exporter.collect()
+                    summary["metrics_counters"] = {
+                        name: value
+                        for name, value in exposition["counters"].items()
+                        if name.startswith(
+                            ("serve.admission.", "serve.ratelimit.",
+                             "serve.overload.", "serve.degraded.",
+                             "serve.coalesce.dropped"),
+                        )
+                    }
             finally:
                 server.stop()
             text = json.dumps(summary, indent=2)
             output = getattr(args, "output", None)
             if output:
                 Path(output).write_text(text)
+            if args.open_loop:
+                # Overload runs budget for shedding; the failure signal
+                # is a wrong verdict or an untyped error, never volume.
+                bad = summary["wrong"] + sum(
+                    summary["terminal_by_type"].values()
+                )
+                return text, 0 if bad == 0 else 1
             return text, 0 if summary["failures"] == 0 else 1
         host, port = server.address
         print(
@@ -440,7 +487,7 @@ def _cmd_serve(args) -> tuple[str, int]:
         if sampler is not None:
             obs.write_trace(args.trace, spans=sampler.spans())
             obs.disable_tracing()
-        if args.metrics_port is not None or not args.bench:
+        if metrics_on:
             obs.disable_metrics()
 
 
@@ -494,6 +541,30 @@ def _render_top(doc: dict) -> str:
                 f"{latency.get('p50') or 0.0:>10.2f}"
                 f"{latency.get('p99') or 0.0:>10.2f}"
             )
+    shed = counters.get("serve.admission.shed", 0.0)
+    expired = counters.get("serve.admission.expired", 0.0)
+    limited = counters.get("serve.ratelimit.limited", 0.0)
+    conn_rejected = counters.get("serve.connections.rejected", 0.0)
+    if shed or expired or limited or conn_rejected:
+        lines.append("")
+        lines.append(
+            "overload: shed={:g} ({:.1f}/s)  expired={:g}  "
+            "rate-limited={:g}  conn-rejected={:g}".format(
+                shed,
+                rate("serve.admission.shed"),
+                expired,
+                limited,
+                conn_rejected,
+            )
+        )
+    degraded_entered = counters.get("serve.degraded.entered", 0.0)
+    if degraded_entered:
+        lines.append(
+            "degraded: entered={:g}  recovered={:g}".format(
+                degraded_entered,
+                counters.get("serve.degraded.recovered", 0.0),
+            )
+        )
     batch = histograms.get("serve.coalesce.batch_size")
     if batch:
         lines.append("")
@@ -771,10 +842,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="coalesced batch-size ceiling (default: 64)",
     )
     serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission gate: requests in service simultaneously before "
+        "shedding with retriable Overloaded frames; 0 disables "
+        "(default: 64)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="per-client-address token-bucket rate limit in requests/s "
+        "(default: off)",
+    )
+    serve.add_argument(
+        "--rate-burst",
+        type=float,
+        default=None,
+        metavar="N",
+        help="per-client burst allowance (default: one second of "
+        "--rate-limit)",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        metavar="N",
+        help="global simultaneous-connection cap (default: unlimited)",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="close a connection that makes no frame progress for this "
+        "long — slow-loris defence (default: off)",
+    )
+    serve.add_argument(
         "--bench",
         action="store_true",
         help="run the load generator against an ephemeral server and "
         "print a latency-percentile summary (non-zero exit on failures)",
+    )
+    serve.add_argument(
+        "--open-loop",
+        action="store_true",
+        help="with --bench: drive a fixed offered rate instead of the "
+        "closed loop, reporting goodput vs shed (docs/serving.md)",
+    )
+    serve.add_argument(
+        "--offered-rps",
+        type=float,
+        default=200.0,
+        metavar="RPS",
+        help="open-loop offered arrival rate (default: 200)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="open-loop run length (default: 5)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="attach this deadline budget to every open-loop request",
     )
     serve.add_argument(
         "--clients",

@@ -27,35 +27,43 @@ See ``docs/serving.md`` for the protocol frame catalogue, the store's
 durability contract, the coalescing model, and the metrics it emits.
 """
 
-from .client import AuthClient, ServeClientError
+from .admission import AdmissionGate, Deadline, DeadlineExceeded, Overloaded
+from .client import IDEMPOTENT_VERBS, AuthClient, CircuitOpen, ServeClientError
 from .coalescer import RequestCoalescer
 from .fleet import Device, DeviceFarm, FleetConfig
-from .load import percentiles, run_load
+from .load import percentiles, run_load, run_overload
 from .protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    RETRIABLE_ERROR_TYPES,
     FrameMalformed,
     FrameTooLarge,
     FrameTruncated,
     ProtocolError,
     decode_bits,
     encode_bits,
+    error_frame,
+    is_retriable,
     read_frame,
     write_frame,
 )
-from .server import AuthServer
+from .ratelimit import ConnectionLimiter, RateLimiter, TokenBucket
+from .server import ADMISSION_EXEMPT_VERBS, AuthServer
 from .service import AuthService, ServiceError
 from .store import STORE_SCHEME, CRPStore, DeviceRecord
 
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
+    "RETRIABLE_ERROR_TYPES",
     "ProtocolError",
     "FrameMalformed",
     "FrameTooLarge",
     "FrameTruncated",
     "read_frame",
     "write_frame",
+    "error_frame",
+    "is_retriable",
     "encode_bits",
     "decode_bits",
     "STORE_SCHEME",
@@ -68,8 +76,19 @@ __all__ = [
     "AuthService",
     "ServiceError",
     "AuthServer",
+    "ADMISSION_EXEMPT_VERBS",
+    "AdmissionGate",
+    "Deadline",
+    "DeadlineExceeded",
+    "Overloaded",
+    "TokenBucket",
+    "RateLimiter",
+    "ConnectionLimiter",
     "AuthClient",
     "ServeClientError",
+    "CircuitOpen",
+    "IDEMPOTENT_VERBS",
     "run_load",
+    "run_overload",
     "percentiles",
 ]

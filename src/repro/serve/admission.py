@@ -1,0 +1,223 @@
+"""Admission control: bounded in-flight work and deadline-aware shedding.
+
+Under overload a server has exactly one good move: refuse work it cannot
+finish in time, *fast*, so the capacity it does have goes to requests
+that can still succeed.  This module provides the two primitives the
+serve stack uses for that:
+
+* :class:`Deadline` — a client-supplied latency budget carried on the
+  wire as ``deadline_ms``.  Budgets are relative (milliseconds from frame
+  receipt), so client and server clocks never need to agree; the server
+  converts to a monotonic expiry once and every later layer (admission
+  gate, coalescer, dispatch) asks the same object "is this still worth
+  doing?".  Remaining budget is clamped at zero — it never goes negative
+  (pinned by property tests in ``tests/test_serve_admission.py``).
+
+* :class:`AdmissionGate` — a bounded in-flight counter.  A request is
+  either admitted (and holds a slot until its response is written) or
+  rejected immediately with :class:`Overloaded`; nothing queues.  Queues
+  are where overload goes to metastasise: a queued request waits, times
+  out client-side, and then wastes a batch slot on an answer nobody
+  reads.  The gate also sheds already-expired requests up front with
+  :class:`DeadlineExceeded` — admitting doomed work is just a slower way
+  of rejecting it.
+
+Both rejection types are **retriable** on the wire (``"retriable": true``
+in the error frame): the request was refused *before* any state changed,
+so a client may safely retry any verb — including non-idempotent ones —
+after backing off.
+
+Metrics: ``serve.admission.admitted`` / ``.shed`` / ``.expired``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+from .. import obs
+
+__all__ = [
+    "Overloaded",
+    "DeadlineExceeded",
+    "Deadline",
+    "AdmissionGate",
+    "parse_deadline",
+]
+
+
+class Overloaded(Exception):
+    """The server is at its in-flight capacity; retry after backoff."""
+
+
+class DeadlineExceeded(Exception):
+    """The request's latency budget ran out before useful work happened."""
+
+
+class Deadline:
+    """A monotonic expiry derived from a relative client budget.
+
+    Args:
+        expires_at: ``time.monotonic()`` value after which the request
+            is dead.
+    """
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float):
+        self.expires_at = float(expires_at)
+
+    @classmethod
+    def after_ms(cls, budget_ms: float, now: float | None = None) -> "Deadline":
+        """A deadline ``budget_ms`` milliseconds from ``now``.
+
+        Raises:
+            ValueError: on a non-finite or non-positive budget.
+        """
+        budget_ms = float(budget_ms)
+        if not (math.isfinite(budget_ms) and budget_ms > 0.0):
+            raise ValueError(
+                f"deadline_ms must be a positive finite number, got {budget_ms!r}"
+            )
+        if now is None:
+            now = time.monotonic()
+        return cls(now + budget_ms / 1e3)
+
+    def remaining_ms(self, now: float | None = None) -> float:
+        """Milliseconds of budget left; never negative."""
+        if now is None:
+            now = time.monotonic()
+        return max(0.0, (self.expires_at - now) * 1e3)
+
+    def remaining_s(self, now: float | None = None) -> float:
+        """Seconds of budget left; never negative."""
+        return self.remaining_ms(now) / 1e3
+
+    def expired(self, now: float | None = None) -> bool:
+        if now is None:
+            now = time.monotonic()
+        return now >= self.expires_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining_ms={self.remaining_ms():.1f})"
+
+
+def parse_deadline(request: dict, now: float | None = None) -> Deadline | None:
+    """The request's ``deadline_ms`` field as a :class:`Deadline`.
+
+    ``None`` when the field is absent (no budget: the request waits as
+    long as the server's own timeouts allow).
+
+    Raises:
+        ValueError: when the field is present but not a positive finite
+            number — the server maps this to a ``BadRequest`` frame.
+    """
+    budget_ms = request.get("deadline_ms")
+    if budget_ms is None:
+        return None
+    if isinstance(budget_ms, bool) or not isinstance(budget_ms, (int, float)):
+        raise ValueError(
+            f"deadline_ms must be a number, got {type(budget_ms).__name__}"
+        )
+    return Deadline.after_ms(budget_ms, now=now)
+
+
+class _Permit:
+    """One admitted request's slot; releases on ``__exit__`` exactly once."""
+
+    __slots__ = ("_gate", "_released")
+
+    def __init__(self, gate: "AdmissionGate"):
+        self._gate = gate
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._gate._release()
+
+    def __enter__(self) -> "_Permit":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class AdmissionGate:
+    """Bounded in-flight admission with deadline-aware load shedding.
+
+    Args:
+        max_inflight: how many requests may hold a slot simultaneously.
+
+    ``try_admit`` either returns a context-manager permit or raises —
+    nothing ever waits for a slot.  Use::
+
+        with gate.try_admit(deadline):
+            response = service.handle(request)
+    """
+
+    def __init__(self, max_inflight: int):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_inflight = max_inflight
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._admitted = 0
+        self._shed = 0
+        self._expired = 0
+        self._peak_inflight = 0
+
+    def try_admit(self, deadline: Deadline | None = None) -> _Permit:
+        """Claim a slot, or reject fast.
+
+        Raises:
+            DeadlineExceeded: the request arrived already out of budget —
+                shed before it can waste a slot.
+            Overloaded: every slot is taken.
+        """
+        if deadline is not None and deadline.expired():
+            with self._lock:
+                self._expired += 1
+            obs.counter_add("serve.admission.expired")
+            raise DeadlineExceeded(
+                "deadline expired before admission; nothing was done"
+            )
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self._shed += 1
+                shed = self._shed
+            else:
+                self._inflight += 1
+                self._admitted += 1
+                self._peak_inflight = max(self._peak_inflight, self._inflight)
+                shed = None
+        if shed is not None:
+            obs.counter_add("serve.admission.shed")
+            raise Overloaded(
+                f"server is at capacity ({self.max_inflight} in flight); "
+                f"retry after backoff"
+            )
+        obs.counter_add("serve.admission.admitted")
+        return _Permit(self)
+
+    def _release(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def stats(self) -> dict:
+        """Admission counters (plain JSON)."""
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "inflight": self._inflight,
+                "peak_inflight": self._peak_inflight,
+                "admitted": self._admitted,
+                "shed": self._shed,
+                "expired": self._expired,
+            }

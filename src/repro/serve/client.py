@@ -1,24 +1,80 @@
-"""A small blocking client for the serve protocol.
+"""A resilient blocking client for the serve protocol.
 
 Used by the load generator, the tests, and as reference code for anyone
 wiring a real verifier to the service.  One :class:`AuthClient` holds one
 persistent connection; calls are synchronous request/response pairs.
+
+Resilience (opt-in via ``retries > 0``, pinned by
+``tests/test_serve_client.py``):
+
+* **automatic reconnect** — a dead or desynchronised connection is torn
+  down and re-dialled on the next attempt, so a server restart costs one
+  retry, not a client crash;
+* **retries with jittered exponential backoff** — transport failures
+  retry only *idempotent* verbs (:data:`IDEMPOTENT_VERBS`: a lost
+  ``auth`` answer must not be replayed against a one-time challenge),
+  while typed **retriable error frames** (``Overloaded`` /
+  ``RateLimited`` / ``DeadlineExceeded`` / ... — the server's promise
+  that nothing happened) retry for *every* verb.  Jitter is
+  deterministic (sha256 over verb/attempt, the executor's idiom) so
+  reruns back off identically while concurrent clients decorrelate;
+* **circuit breaker** — ``breaker_threshold`` consecutive failures open
+  the circuit: calls fail fast with :class:`CircuitOpen` (no socket
+  traffic) until ``breaker_reset_s`` passes, then one half-open probe
+  either closes it or re-opens.  A thousand retrying clients with open
+  breakers is a recovering server; without them it is a thundering herd.
+
+With the default ``retries=0`` the client behaves exactly like the
+pre-overload one: every failure surfaces immediately.
 """
 
 from __future__ import annotations
 
+import hashlib
 import socket
+import time
 
 import numpy as np
 
 from ..variation.environment import OperatingPoint
-from .protocol import MAX_FRAME_BYTES, encode_bits, read_frame, write_frame
+from .protocol import (
+    MAX_FRAME_BYTES,
+    encode_bits,
+    is_retriable,
+    read_frame,
+    write_frame,
+)
 
-__all__ = ["AuthClient", "ServeClientError"]
+__all__ = ["AuthClient", "ServeClientError", "CircuitOpen", "IDEMPOTENT_VERBS"]
+
+#: Verbs safe to retry after an *ambiguous* transport failure (the
+#: request may or may not have been processed).  ``auth`` is excluded:
+#: its challenge is consumed server-side on first processing, so a blind
+#: replay would read as a replay attack and report a false rejection.
+#: ``evict`` is excluded as the only enrollment-mutating verb (though a
+#: double evict is merely noisy, not unsafe).
+IDEMPOTENT_VERBS = frozenset(
+    {
+        "ping",
+        "devices",
+        "challenge",
+        "attest",
+        "regen",
+        "stats",
+        "metrics",
+        "health",
+        "ready",
+    }
+)
 
 
 class ServeClientError(Exception):
     """Transport-level failure: connection lost or stream desynchronised."""
+
+
+class CircuitOpen(ServeClientError):
+    """The client-side circuit breaker is open; call again after the
+    cooldown (no request was sent)."""
 
 
 class AuthClient:
@@ -28,6 +84,16 @@ class AuthClient:
         host / port: server address (e.g. ``server.address``).
         timeout: per-operation socket timeout in seconds.
         max_frame_bytes: must match the server's ceiling.
+        retries: extra attempts after a retriable failure (0 = the
+            historical fail-fast behaviour; reconnect/backoff/breaker
+            only engage when this is positive).
+        backoff_s: base delay before the first retry; doubles per
+            further attempt, stretched by up to ``jitter_fraction``
+            deterministically per (verb, attempt).
+        breaker_threshold: consecutive failed attempts that open the
+            circuit breaker.
+        breaker_reset_s: how long an open breaker rejects calls before
+            allowing one half-open probe.
     """
 
     def __init__(
@@ -36,32 +102,193 @@ class AuthClient:
         port: int,
         timeout: float = 10.0,
         max_frame_bytes: int = MAX_FRAME_BYTES,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+        backoff_multiplier: float = 2.0,
+        jitter_fraction: float = 0.1,
+        breaker_threshold: int = 5,
+        breaker_reset_s: float = 1.0,
     ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff_s < 0.0:
+            raise ValueError(f"backoff_s must be >= 0, got {backoff_s}")
+        if breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
+        if breaker_reset_s <= 0.0:
+            raise ValueError(
+                f"breaker_reset_s must be > 0, got {breaker_reset_s}"
+            )
+        self.host = host
+        self.port = port
+        self.timeout = timeout
         self.max_frame_bytes = max_frame_bytes
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_multiplier = backoff_multiplier
+        self.jitter_fraction = jitter_fraction
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_s = breaker_reset_s
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._wfile = None
+        self._consecutive_failures = 0
+        self._breaker_open_until: float | None = None
+        self._retried = 0
+        self._reconnects = 0
+        self._breaker_opens = 0
+        self._connect()
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
         self._rfile = self._sock.makefile("rb")
         self._wfile = self._sock.makefile("wb")
 
-    def call(self, op: str, **fields) -> dict:
-        """Send one ``{"op": op, **fields}`` frame, return the response.
+    def _drop_connection(self) -> None:
+        for closer in (self._wfile, self._rfile, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._sock = self._rfile = self._wfile = None
 
-        Raises:
-            ServeClientError: when the server closed the connection or the
-                transport failed mid-exchange.
-        """
+    def _ensure_connected(self) -> None:
+        if self._sock is None:
+            self._connect()
+            self._reconnects += 1
+
+    # ------------------------------------------------------------------
+    # Circuit breaker
+    # ------------------------------------------------------------------
+
+    @property
+    def breaker_state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half-open"``."""
+        if self._breaker_open_until is None:
+            return "closed"
+        if time.monotonic() >= self._breaker_open_until:
+            return "half-open"
+        return "open"
+
+    def _breaker_check(self) -> None:
+        if self._breaker_open_until is None:
+            return
+        remaining = self._breaker_open_until - time.monotonic()
+        if remaining > 0.0:
+            raise CircuitOpen(
+                f"circuit breaker open for another {remaining:.2f}s after "
+                f"{self._consecutive_failures} consecutive failures"
+            )
+        # Half-open: let exactly this call through as the probe.
+
+    def _breaker_failure(self) -> None:
+        self._consecutive_failures += 1
+        if (
+            self.retries > 0
+            and self._consecutive_failures >= self.breaker_threshold
+        ):
+            if self._breaker_open_until is None:
+                self._breaker_opens += 1
+            self._breaker_open_until = time.monotonic() + self.breaker_reset_s
+
+    def _breaker_success(self) -> None:
+        self._consecutive_failures = 0
+        self._breaker_open_until = None
+
+    # ------------------------------------------------------------------
+    # The request path
+    # ------------------------------------------------------------------
+
+    def _backoff_delay(self, op: str, attempt: int) -> float:
+        """Deterministically jittered exponential backoff (attempt >= 1)."""
+        if self.backoff_s == 0.0:
+            return 0.0
+        base = self.backoff_s * self.backoff_multiplier ** (attempt - 1)
+        digest = hashlib.sha256(f"{op}:{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64
+        return base * (1.0 + self.jitter_fraction * unit)
+
+    def _exchange(self, op: str, fields: dict) -> dict:
+        """One write/read on the live connection; raises on transport."""
+        self._ensure_connected()
         try:
             write_frame(self._wfile, {"op": op, **fields}, self.max_frame_bytes)
             response = read_frame(self._rfile, self.max_frame_bytes)
         except OSError as exc:
+            self._drop_connection()
             raise ServeClientError(f"transport failure: {exc}") from exc
         if response is None:
+            self._drop_connection()
             raise ServeClientError("server closed the connection")
         return response
+
+    def call(self, op: str, **fields) -> dict:
+        """Send one ``{"op": op, **fields}`` frame, return the response.
+
+        With ``retries > 0``: transport failures reconnect and retry
+        idempotent verbs; typed retriable error frames retry every verb;
+        both back off exponentially with deterministic jitter, and
+        repeated failures open the circuit breaker.
+
+        Raises:
+            CircuitOpen: breaker is open — nothing was sent.
+            ServeClientError: transport failed (and retries, if any,
+                were exhausted or the verb is not idempotent).
+        """
+        attempts = self.retries + 1
+        last_error: ServeClientError | None = None
+        for attempt in range(1, attempts + 1):
+            self._breaker_check()
+            if attempt > 1:
+                self._retried += 1
+                delay = self._backoff_delay(op, attempt - 1)
+                if delay > 0.0:
+                    time.sleep(delay)
+            try:
+                response = self._exchange(op, fields)
+            except ServeClientError as exc:
+                self._breaker_failure()
+                last_error = exc
+                if op in IDEMPOTENT_VERBS and attempt < attempts:
+                    continue
+                raise
+            if is_retriable(response):
+                # A typed overload rejection: the server promises no
+                # state changed, so every verb may retry — and the
+                # breaker counts it, because hammering an overloaded
+                # server is how overload becomes an outage.
+                self._breaker_failure()
+                if attempt < attempts:
+                    continue
+                return response
+            # Any coherent response — success or a terminal error frame —
+            # proves the server is healthy; only transport failures and
+            # overload rejections count against the breaker.
+            self._breaker_success()
+            return response
+        raise last_error  # pragma: no cover - loop always raises/returns
 
     # Convenience wrappers, one per verb -------------------------------
 
     def ping(self) -> dict:
         return self.call("ping")
+
+    def health(self) -> dict:
+        """Liveness + degraded-mode flag (see docs/serving.md)."""
+        return self.call("health")
+
+    def ready(self) -> dict:
+        """Readiness: enrolled devices present and coalescer alive."""
+        return self.call("ready")
 
     def devices(self) -> list[str]:
         return self.call("devices").get("devices", [])
@@ -77,21 +304,31 @@ class AuthClient:
             "auth", device=device, challenge_id=challenge_id, answer=answer
         )
 
-    def attest(self, device: str, op: OperatingPoint) -> dict:
-        return self.call(
-            "attest",
-            device=device,
-            voltage=op.voltage,
-            temperature=op.temperature,
-        )
+    def attest(
+        self,
+        device: str,
+        op: OperatingPoint,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        fields = {"voltage": op.voltage, "temperature": op.temperature}
+        if deadline_ms is not None:
+            fields["deadline_ms"] = deadline_ms
+        return self.call("attest", device=device, **fields)
 
-    def regen(self, device: str, op: OperatingPoint) -> dict:
-        return self.call(
-            "regen",
-            device=device,
-            voltage=op.voltage,
-            temperature=op.temperature,
-        )
+    def regen(
+        self,
+        device: str,
+        op: OperatingPoint,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        fields = {"voltage": op.voltage, "temperature": op.temperature}
+        if deadline_ms is not None:
+            fields["deadline_ms"] = deadline_ms
+        return self.call("regen", device=device, **fields)
+
+    def evict(self, device: str) -> dict:
+        """Durably remove a device's enrollment (mutating verb)."""
+        return self.call("evict", device=device)
 
     def stats(self) -> dict:
         return self.call("stats").get("stats", {})
@@ -106,12 +343,18 @@ class AuthClient:
             )
         return response["text" if format == "prometheus" else "metrics"]
 
+    def retry_stats(self) -> dict:
+        """Client-side resilience counters (plain JSON)."""
+        return {
+            "retried": self._retried,
+            "reconnects": self._reconnects,
+            "breaker_opens": self._breaker_opens,
+            "breaker_state": self.breaker_state,
+            "consecutive_failures": self._consecutive_failures,
+        }
+
     def close(self) -> None:
-        for closer in (self._wfile, self._rfile, self._sock):
-            try:
-                closer.close()
-            except OSError:
-                pass
+        self._drop_connection()
 
     def __enter__(self) -> "AuthClient":
         return self

@@ -19,6 +19,22 @@ Correctness contract (pinned by ``tests/test_serve_coalescer.py``):
   thread, so devices' noise streams stay sequential no matter how many
   server threads submit.
 
+Overload behaviour (pinned by the same suite plus
+``tests/test_serve_admission.py``):
+
+* a ``submit`` whose wait times out — or whose caller deadline expires —
+  marks its job **abandoned** before raising, and the dispatcher skips
+  abandoned jobs instead of burning batch capacity computing answers
+  nobody will read;
+* a job carrying an expired :class:`~repro.serve.admission.Deadline` is
+  dropped *before* dispatch with
+  :class:`~repro.serve.admission.DeadlineExceeded`;
+* an unexpected exception escaping the dispatcher loop does not hang the
+  service: every pending job fails with a clear ``RuntimeError``, the
+  coalescer marks itself closed (later ``submit`` calls raise
+  immediately rather than blocking out their full timeout), and the
+  crash is counted in ``errors``/``serve.coalesce.crashed``.
+
 The dispatcher is one daemon thread; ``submit`` blocks the calling
 (connection-handler) thread until its result lands, so server concurrency
 is unchanged — only the compute is batched.
@@ -37,6 +53,7 @@ from .. import obs
 from ..backends import current_backend
 from ..core.batch import BatchEvaluator, coalesce_responses
 from ..variation.environment import OperatingPoint
+from .admission import Deadline, DeadlineExceeded
 
 __all__ = ["RequestCoalescer"]
 
@@ -44,14 +61,32 @@ __all__ = ["RequestCoalescer"]
 class _Job:
     """One pending evaluation and its completion signal."""
 
-    __slots__ = ("evaluator", "op", "done", "result", "error", "request_id")
+    __slots__ = (
+        "evaluator",
+        "op",
+        "done",
+        "result",
+        "error",
+        "request_id",
+        "deadline",
+        "abandoned",
+    )
 
-    def __init__(self, evaluator: BatchEvaluator, op: OperatingPoint):
+    def __init__(
+        self,
+        evaluator: BatchEvaluator,
+        op: OperatingPoint,
+        deadline: Deadline | None = None,
+    ):
         self.evaluator = evaluator
         self.op = op
         self.done = threading.Event()
         self.result: np.ndarray | None = None
         self.error: BaseException | None = None
+        # Set by the submitter (under the coalescer's condition lock)
+        # when it gives up waiting; the dispatcher skips abandoned jobs.
+        self.abandoned = False
+        self.deadline = deadline
         # Captured at submission on the handler thread, so the dispatcher
         # can stamp batch spans with every member request's id.
         self.request_id = obs.current_request_id()
@@ -77,12 +112,15 @@ class RequestCoalescer:
         self._pending: deque[_Job] = deque()
         self._cond = threading.Condition()
         self._closed = False
+        self._crash_error: BaseException | None = None
         self._stats_lock = threading.Lock()
         self._requests = 0
         self._errors = 0
         self._batches = 0
         self._batched_requests = 0
         self._max_batch_seen = 0
+        self._dropped_abandoned = 0
+        self._dropped_expired = 0
         self._thread = threading.Thread(
             target=self._run, name="ropuf-coalescer", daemon=True
         )
@@ -97,22 +135,35 @@ class RequestCoalescer:
         evaluator: BatchEvaluator,
         op: OperatingPoint,
         timeout: float = 30.0,
+        deadline: Deadline | None = None,
     ) -> np.ndarray:
         """Evaluate one response through the next coalesced batch.
 
-        Blocks until the dispatcher delivers this request's bits.
+        Blocks until the dispatcher delivers this request's bits, the
+        ``timeout`` elapses, or ``deadline`` (when given) expires —
+        whichever comes first.  A timed-out or expired job is marked
+        abandoned so the dispatcher will not waste a batch slot on it.
 
         Raises:
-            RuntimeError: when the coalescer is closed (or the wait times
-                out — a dispatcher stall, which should never happen).
+            RuntimeError: when the coalescer is closed (cleanly or by a
+                dispatcher crash) or the wait times out.
+            DeadlineExceeded: when the caller's deadline ran out before
+                the result landed (or had already run out at submission).
             Exception: whatever the evaluator's delay gathering raised for
                 *this* request (e.g. ``KeyError`` for an unmeasured
                 operating point).
         """
-        job = _Job(evaluator, op)
+        if deadline is not None and deadline.expired():
+            with self._stats_lock:
+                self._dropped_expired += 1
+            obs.counter_add("serve.coalesce.dropped_expired")
+            raise DeadlineExceeded(
+                "deadline expired before coalescer submission"
+            )
+        job = _Job(evaluator, op, deadline=deadline)
         with self._cond:
             if self._closed:
-                raise RuntimeError("coalescer is closed")
+                raise self._closed_error()
             self._pending.append(job)
             self._cond.notify()
         # Count the submission at enqueue, not on success: errored and
@@ -120,12 +171,36 @@ class RequestCoalescer:
         # silently vanishing from the request total.
         with self._stats_lock:
             self._requests += 1
-        if not job.done.wait(timeout):
-            with self._stats_lock:
-                self._errors += 1
-            raise RuntimeError(
-                f"coalesced evaluation timed out after {timeout}s"
-            )
+        wait = timeout
+        if deadline is not None:
+            wait = min(wait, deadline.remaining_s())
+        if not job.done.wait(wait):
+            # Abandon under the lock so the dispatcher either sees the
+            # flag before gathering, or has already drained the job (in
+            # which case the computed result is simply discarded).  A
+            # result that lands in the race window between the failed
+            # wait and the lock is still delivered normally.
+            with self._cond:
+                if not job.done.is_set():
+                    job.abandoned = True
+                    try:
+                        self._pending.remove(job)
+                    except ValueError:
+                        pass
+            if job.abandoned:
+                with self._stats_lock:
+                    self._errors += 1
+                if deadline is not None and deadline.expired():
+                    with self._stats_lock:
+                        self._dropped_expired += 1
+                    obs.counter_add("serve.coalesce.dropped_expired")
+                    raise DeadlineExceeded(
+                        "deadline expired while waiting for the "
+                        "coalesced batch"
+                    )
+                raise RuntimeError(
+                    f"coalesced evaluation timed out after {timeout}s"
+                )
         if job.error is not None:
             with self._stats_lock:
                 self._errors += 1
@@ -147,12 +222,21 @@ class RequestCoalescer:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    @property
+    def closed(self) -> bool:
+        """Whether the coalescer stopped accepting work (close or crash)."""
+        with self._cond:
+            return self._closed
+
     def stats(self) -> dict:
         """Batching counters (plain JSON): sizes, batch count, mean.
 
         ``requests`` counts every submission (incremented at enqueue),
-        ``errors`` the submissions that raised — delivery failures and
-        wait timeouts — so ``requests - errors`` is the success total.
+        ``errors`` the submissions that raised — delivery failures, wait
+        timeouts, and dispatcher-crash failures — so ``requests -
+        errors`` is the success total.  ``dropped_abandoned`` and
+        ``dropped_expired`` count the jobs the dispatcher (or ``submit``
+        itself) shed without evaluating.
         """
         with self._stats_lock:
             batches = self._batches
@@ -163,11 +247,22 @@ class RequestCoalescer:
                 "batches": batches,
                 "max_batch": self._max_batch_seen,
                 "mean_batch": (batched / batches) if batches else 0.0,
+                "dropped_abandoned": self._dropped_abandoned,
+                "dropped_expired": self._dropped_expired,
+                "crashed": self._crash_error is not None,
             }
 
     # ------------------------------------------------------------------
     # Dispatcher side
     # ------------------------------------------------------------------
+
+    def _closed_error(self) -> RuntimeError:
+        if self._crash_error is not None:
+            return RuntimeError(
+                f"coalescer is closed: dispatcher crashed with "
+                f"{self._crash_error!r}"
+            )
+        return RuntimeError("coalescer is closed")
 
     def _collect(self) -> list[_Job] | None:
         """Wait for work, then drain up to one batch (None on close)."""
@@ -190,18 +285,81 @@ class RequestCoalescer:
             return batch
 
     def _run(self) -> None:
-        while True:
-            batch = self._collect()
-            if batch is None:
-                return
-            self._dispatch(batch)
+        # The guard around the loop is the difference between "one batch
+        # failed" and "the service hangs": without it, an exception from
+        # anywhere but the evaluator (a broken metrics hook, a bug in
+        # batch bookkeeping) kills this thread silently and every later
+        # submit() blocks for its full timeout.
+        batch: list[_Job] = []
+        try:
+            while True:
+                collected = self._collect()
+                if collected is None:
+                    return
+                batch = collected
+                self._dispatch(batch)
+                batch = []
+        except BaseException as exc:  # noqa: BLE001 - must fail pending jobs
+            self._crash(exc, batch)
+
+    def _crash(self, exc: BaseException, batch: list[_Job]) -> None:
+        """Dispatcher died: fail everything in flight, close the shop."""
+        with self._cond:
+            self._closed = True
+            self._crash_error = exc
+            stranded = batch + list(self._pending)
+            self._pending.clear()
+            self._cond.notify_all()
+        error = RuntimeError(f"coalescer dispatcher crashed: {exc!r}")
+        failed = 0
+        for job in stranded:
+            if not job.done.is_set():
+                job.error = error
+                job.done.set()
+                failed += 1
+        with self._stats_lock:
+            self._errors += failed
+        obs.counter_add("serve.coalesce.crashed")
 
     def _dispatch(self, batch: list[_Job]) -> None:
+        # Shed before gathering: jobs whose submitter already gave up
+        # (abandoned) or whose deadline ran out must not consume a batch
+        # slot — under overload those slots are exactly what is scarce.
+        live: list[_Job] = []
+        dropped_abandoned = 0
+        dropped_expired = 0
+        with self._cond:
+            for job in batch:
+                if job.abandoned:
+                    dropped_abandoned += 1
+                    job.done.set()
+                else:
+                    live.append(job)
+        for job in list(live):
+            if job.deadline is not None and job.deadline.expired():
+                live.remove(job)
+                dropped_expired += 1
+                job.error = DeadlineExceeded(
+                    "deadline expired before batch dispatch"
+                )
+                job.done.set()
+        if dropped_abandoned or dropped_expired:
+            with self._stats_lock:
+                self._dropped_abandoned += dropped_abandoned
+                self._dropped_expired += dropped_expired
+            if dropped_abandoned:
+                obs.counter_add(
+                    "serve.coalesce.dropped_abandoned", dropped_abandoned
+                )
+            if dropped_expired:
+                obs.counter_add(
+                    "serve.coalesce.dropped_expired", dropped_expired
+                )
         # Gather per job so one bad operating point fails only its own
         # request; everything that gathered cleanly is batched.
         ready: list[_Job] = []
         requests = []
-        for job in batch:
+        for job in live:
             try:
                 requests.append(job.evaluator.delay_request(job.op))
                 ready.append(job)

@@ -33,8 +33,9 @@ from ..obs.quantiles import QuantileSketch
 from ..variation.environment import OperatingPoint
 from .client import AuthClient, ServeClientError
 from .fleet import DeviceFarm
+from .protocol import is_retriable
 
-__all__ = ["run_load", "percentiles"]
+__all__ = ["run_load", "run_overload", "percentiles"]
 
 
 def percentiles(
@@ -248,3 +249,232 @@ def run_load(
             for ms in (worker.raw_latencies_ms or [])
         ]
     return summary
+
+
+class _OverloadWorker(threading.Thread):
+    """One open-loop sender: fires on a fixed schedule, never waits to
+    retry, and classifies every outcome instead of demanding success."""
+
+    def __init__(
+        self,
+        index: int,
+        workers: int,
+        host: str,
+        port: int,
+        deadline_end: float,
+        interval_s: float,
+        device_ids: list[str],
+        corners: list[OperatingPoint],
+        deadline_ms: float | None,
+        timeout: float,
+    ):
+        super().__init__(name=f"overload-client-{index}", daemon=True)
+        self.index = index
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.deadline_end = deadline_end
+        self.interval_s = interval_s
+        self.device_ids = device_ids
+        self.corners = corners
+        self.deadline_ms = deadline_ms
+        self.timeout = timeout
+        self.sent = 0
+        self.goodput = 0
+        self.wrong = 0
+        self.transport_errors = 0
+        self.behind_schedule = 0
+        self.shed_by_type: dict[str, int] = {}
+        self.terminal_by_type: dict[str, int] = {}
+        self.admitted_sketch = QuantileSketch()
+        self.shed_sketch = QuantileSketch()
+
+    def _classify(self, verb: str, response: dict, latency_ms: float) -> None:
+        if response.get("ok"):
+            verdict = response.get(
+                "accepted" if verb == "attest" else "verified"
+            )
+            if verdict:
+                self.goodput += 1
+                self.admitted_sketch.observe(latency_ms)
+            else:
+                # A genuine device got a wrong auth verdict under load —
+                # the one outcome overload must never produce.
+                self.wrong += 1
+            return
+        error_type = str(response.get("error_type", "Unknown"))
+        bucket = (
+            self.shed_by_type
+            if is_retriable(response)
+            else self.terminal_by_type
+        )
+        bucket[error_type] = bucket.get(error_type, 0) + 1
+        if bucket is self.shed_by_type:
+            self.shed_sketch.observe(latency_ms)
+
+    def run(self) -> None:
+        # Open loop: request n fires at start + n * interval regardless
+        # of how request n-1 fared — the arrival rate is the experiment's
+        # independent variable.  Sheds are answered in microseconds, so a
+        # protecting server keeps the sender on schedule; falling behind
+        # is counted rather than hidden.
+        client: AuthClient | None = None
+        start = time.perf_counter() + self.index * (
+            self.interval_s / self.workers
+        )
+        cursor = 0
+        try:
+            while True:
+                target = start + cursor * self.interval_s
+                now = time.perf_counter()
+                if target >= self.deadline_end:
+                    return
+                if target > now:
+                    time.sleep(target - now)
+                elif now - target > self.interval_s:
+                    self.behind_schedule += 1
+                verb = ("attest", "regen")[cursor % 2]
+                device = self.device_ids[cursor % len(self.device_ids)]
+                corner = self.corners[cursor % len(self.corners)]
+                cursor += 1
+                self.sent += 1
+                issued_at = time.perf_counter()
+                try:
+                    if client is None:
+                        client = AuthClient(
+                            self.host, self.port, timeout=self.timeout
+                        )
+                    caller = client.attest if verb == "attest" else client.regen
+                    response = caller(
+                        device, corner, deadline_ms=self.deadline_ms
+                    )
+                except (ServeClientError, OSError):
+                    # Connection refused / reset / hung up: drop the
+                    # connection and re-dial on the next scheduled send.
+                    self.transport_errors += 1
+                    if client is not None:
+                        client.close()
+                        client = None
+                    continue
+                self._classify(
+                    verb,
+                    response,
+                    (time.perf_counter() - issued_at) * 1000.0,
+                )
+        finally:
+            if client is not None:
+                client.close()
+
+
+def run_overload(
+    host: str,
+    port: int,
+    offered_rps: float = 200.0,
+    duration_s: float = 5.0,
+    workers: int = 8,
+    farm: DeviceFarm | None = None,
+    device_ids: list[str] | None = None,
+    corners: list[OperatingPoint] | None = None,
+    deadline_ms: float | None = None,
+    timeout: float = 10.0,
+) -> dict:
+    """Open-loop overload harness: offer a fixed arrival rate, report
+    goodput versus shed.
+
+    Unlike :func:`run_load` (closed loop: each client waits for its
+    answer before asking again, so a slow server quietly lowers the
+    offered rate), this drives the server at ``offered_rps`` regardless
+    of how it responds — the regime where overload protection either
+    works or collapses.  Nothing here is retried: every response is
+    classified once as
+
+    * **goodput** — ``ok`` and the auth verdict correct;
+    * **shed** — a typed *retriable* rejection (``Overloaded``,
+      ``RateLimited``, ``DeadlineExceeded``, ...), bucketed by type;
+    * **wrong** — ``ok`` but a genuine device got a wrong verdict
+      (must be zero: overload may cost throughput, never correctness);
+    * **terminal** — a non-retriable error frame, bucketed by type;
+    * **transport** — connection refused/reset/hung up.
+
+    Admitted and shed latencies go to separate sketches: mixing them
+    would let microsecond rejections mask a saturated compute path.
+
+    Returns a plain-JSON summary with the counts above plus offered/
+    achieved/goodput rates and both latency profiles.
+    """
+    if offered_rps <= 0.0:
+        raise ValueError(f"offered_rps must be > 0, got {offered_rps}")
+    if duration_s <= 0.0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if farm is not None:
+        device_ids = device_ids or farm.device_ids
+        if corners is None:
+            corners = next(iter(farm)).corners
+    if not device_ids:
+        raise ValueError("no devices to drive load against")
+    if not corners:
+        raise ValueError("no operating points to authenticate at")
+    interval_s = workers / offered_rps
+    started = time.perf_counter()
+    deadline_end = started + duration_s
+    threads = [
+        _OverloadWorker(
+            index,
+            workers,
+            host,
+            port,
+            deadline_end,
+            interval_s,
+            device_ids,
+            corners,
+            deadline_ms,
+            timeout,
+        )
+        for index in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    admitted = QuantileSketch()
+    shed_sketch = QuantileSketch()
+    shed_by_type: dict[str, int] = {}
+    terminal_by_type: dict[str, int] = {}
+    for thread in threads:
+        admitted.merge(thread.admitted_sketch)
+        shed_sketch.merge(thread.shed_sketch)
+        for bucket, merged in (
+            (thread.shed_by_type, shed_by_type),
+            (thread.terminal_by_type, terminal_by_type),
+        ):
+            for error_type, count in bucket.items():
+                merged[error_type] = merged.get(error_type, 0) + count
+    sent = sum(thread.sent for thread in threads)
+    goodput = sum(thread.goodput for thread in threads)
+    shed = sum(shed_by_type.values())
+    return {
+        "offered_rps": offered_rps,
+        "duration_s": duration_s,
+        "workers": workers,
+        "deadline_ms": deadline_ms,
+        "sent": sent,
+        "goodput": goodput,
+        "shed": shed,
+        "shed_by_type": dict(sorted(shed_by_type.items())),
+        "wrong": sum(thread.wrong for thread in threads),
+        "terminal_by_type": dict(sorted(terminal_by_type.items())),
+        "transport_errors": sum(
+            thread.transport_errors for thread in threads
+        ),
+        "behind_schedule": sum(
+            thread.behind_schedule for thread in threads
+        ),
+        "wall_seconds": wall,
+        "achieved_rps": (sent / wall) if wall > 0 else 0.0,
+        "goodput_rps": (goodput / wall) if wall > 0 else 0.0,
+        "admitted_latency_ms": admitted.quantiles(),
+        "shed_latency_ms": shed_sketch.quantiles(),
+    }

@@ -22,7 +22,26 @@ Response bits travel as ``"0"``/``"1"`` strings (:func:`encode_bits` /
 :func:`decode_bits`): a few hundred bits per response makes the ~8x size
 overhead irrelevant, and frames stay grep-able in packet captures.
 
-See ``docs/serving.md`` for the full frame catalogue.
+**Deadlines.**  Any request frame may carry ``"deadline_ms"`` — a
+relative latency budget in milliseconds from frame receipt.  The server
+sheds requests whose budget has run out instead of queueing doomed work
+(see :mod:`~repro.serve.admission`); budgets are relative so client and
+server clocks never need to agree.
+
+**Error taxonomy.**  Error frames are
+``{"ok": false, "error": ..., "error_type": ..., "retriable": ...}``
+(:func:`error_frame`).  ``retriable: true`` is the server's promise that
+*no state changed* — the request was refused before any work happened —
+so the client may safely retry any verb after backing off.  The overload
+family (:data:`RETRIABLE_ERROR_TYPES`: ``Overloaded``, ``RateLimited``,
+``DeadlineExceeded``, ``TooManyConnections``, ``Unavailable``) is
+retriable; everything else (``BadRequest``, ``UnknownDevice``,
+``DegradedReadOnly``, ...) is terminal for that request.  Overload
+rejections keep the connection alive and the stream in sync — the
+offending frame was read whole.
+
+See ``docs/serving.md`` for the full frame catalogue and
+``docs/serving.md#failure-modes--operations`` for the taxonomy table.
 """
 
 from __future__ import annotations
@@ -35,12 +54,15 @@ import numpy as np
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
+    "RETRIABLE_ERROR_TYPES",
     "ProtocolError",
     "FrameMalformed",
     "FrameTooLarge",
     "FrameTruncated",
     "read_frame",
     "write_frame",
+    "error_frame",
+    "is_retriable",
     "encode_bits",
     "decode_bits",
 ]
@@ -50,6 +72,19 @@ PROTOCOL_VERSION = 1
 
 #: Default ceiling on one frame's payload size.
 MAX_FRAME_BYTES = 1 << 20
+
+#: Error types whose frames default to ``"retriable": true`` — overload
+#: rejections issued *before* any state changed, safe to retry for every
+#: verb (including non-idempotent ones) after client-side backoff.
+RETRIABLE_ERROR_TYPES = frozenset(
+    {
+        "Overloaded",
+        "RateLimited",
+        "DeadlineExceeded",
+        "TooManyConnections",
+        "Unavailable",
+    }
+)
 
 _HEADER = struct.Struct(">I")
 
@@ -126,6 +161,39 @@ def read_frame(rfile, max_bytes: int = MAX_FRAME_BYTES) -> dict | None:
             f"frame payload must be a JSON object, got {type(obj).__name__}"
         )
     return obj
+
+
+def error_frame(
+    message: str, error_type: str, retriable: bool | None = None
+) -> dict:
+    """One ``ok: false`` response frame with the typed-error contract.
+
+    ``retriable`` defaults from :data:`RETRIABLE_ERROR_TYPES`; pass it
+    explicitly to override for a specific frame.
+    """
+    if retriable is None:
+        retriable = error_type in RETRIABLE_ERROR_TYPES
+    return {
+        "ok": False,
+        "error": message,
+        "error_type": error_type,
+        "retriable": bool(retriable),
+    }
+
+
+def is_retriable(response: dict) -> bool:
+    """Whether an error response invites a retry.
+
+    Trusts the frame's own ``retriable`` flag when present (any server
+    that sets it is making the no-state-changed promise); falls back to
+    the error-type taxonomy for older servers that do not send the flag.
+    """
+    if response.get("ok", False):
+        return False
+    flag = response.get("retriable")
+    if flag is not None:
+        return bool(flag)
+    return response.get("error_type") in RETRIABLE_ERROR_TYPES
 
 
 def encode_bits(bits) -> str:

@@ -1,0 +1,190 @@
+"""Rate limiting and connection budgets for the serve front-end.
+
+Admission control (:mod:`~repro.serve.admission`) bounds how much work is
+*in flight*; this module bounds how fast any single peer may *offer*
+work, and how many connections the whole server will hold open:
+
+* :class:`TokenBucket` — the classic refill-at-``rate``, burst-up-to-
+  ``burst`` accounting.  Pure arithmetic over caller-supplied timestamps
+  (no hidden clock reads), which keeps it property-testable: tokens
+  never go negative, never exceed the burst ceiling, and refill is
+  monotone in elapsed time (pinned by ``tests/test_serve_ratelimit.py``).
+
+* :class:`RateLimiter` — one bucket per client key (the serve layer keys
+  on peer address).  The key table is bounded: past ``max_keys`` the
+  least-recently-seen bucket is evicted, so an address-scanning client
+  cannot grow server memory without bound.
+
+* :class:`ConnectionLimiter` — a global cap on simultaneously open
+  connections plus per-connection accounting, so a slow-loris herd can
+  exhaust at most ``max_connections`` handler threads, never the
+  process.
+
+Metrics: ``serve.ratelimit.limited``, ``serve.connections.rejected``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .. import obs
+
+__all__ = ["TokenBucket", "RateLimiter", "ConnectionLimiter"]
+
+
+class TokenBucket:
+    """Token-bucket accounting over caller-supplied monotonic timestamps.
+
+    Args:
+        rate: tokens added per second.
+        burst: bucket capacity (also the initial fill) — the largest
+            burst a quiet client may spend at once.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float):
+        if not rate > 0.0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if not burst >= 1.0:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = 0.0
+
+    def refill(self, now: float) -> None:
+        """Advance the bucket to ``now`` (time never runs backwards:
+        an earlier timestamp adds nothing and does not rewind)."""
+        elapsed = max(0.0, now - self.updated)
+        self.updated = max(self.updated, now)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+
+    def try_acquire(self, now: float, amount: float = 1.0) -> bool:
+        """Spend ``amount`` tokens if available; never goes negative."""
+        self.refill(now)
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+
+class RateLimiter:
+    """Per-key token buckets with a bounded, LRU-evicted key table.
+
+    Args:
+        rate: sustained requests per second allowed per key.
+        burst: instantaneous burst allowance per key (default: one
+            second's worth of rate, at least 1).
+        max_keys: bucket-table bound; the least-recently-used bucket is
+            dropped past it (a dropped key starts over with a full
+            bucket — strictly more permissive, never less).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        max_keys: int = 4096,
+    ):
+        if max_keys < 1:
+            raise ValueError(f"max_keys must be >= 1, got {max_keys}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, rate)
+        self.max_keys = max_keys
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._allowed = 0
+        self._limited = 0
+        self._evicted = 0
+        # Validate eagerly with the same messages TokenBucket would give.
+        TokenBucket(self.rate, self.burst)
+
+    def try_acquire(self, key: str, now: float | None = None) -> bool:
+        """Whether ``key`` may send one more request right now."""
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            bucket = self._buckets.pop(key, None)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst)
+            # Re-insert at the back: the dict is the LRU order.
+            self._buckets[key] = bucket
+            while len(self._buckets) > self.max_keys:
+                self._buckets.pop(next(iter(self._buckets)))
+                self._evicted += 1
+            allowed = bucket.try_acquire(now)
+            if allowed:
+                self._allowed += 1
+            else:
+                self._limited += 1
+        if not allowed:
+            obs.counter_add("serve.ratelimit.limited")
+        return allowed
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "rate": self.rate,
+                "burst": self.burst,
+                "keys": len(self._buckets),
+                "allowed": self._allowed,
+                "limited": self._limited,
+                "evicted_keys": self._evicted,
+            }
+
+
+class ConnectionLimiter:
+    """A global cap on simultaneously open connections.
+
+    Args:
+        max_connections: slots available; ``try_acquire`` past the cap
+            fails (the server answers with a retriable error and closes).
+    """
+
+    def __init__(self, max_connections: int):
+        if max_connections < 1:
+            raise ValueError(
+                f"max_connections must be >= 1, got {max_connections}"
+            )
+        self.max_connections = max_connections
+        self._lock = threading.Lock()
+        self._active = 0
+        self._peak = 0
+        self._accepted = 0
+        self._rejected = 0
+
+    def try_acquire(self) -> bool:
+        with self._lock:
+            if self._active >= self.max_connections:
+                self._rejected += 1
+                rejected = True
+            else:
+                self._active += 1
+                self._accepted += 1
+                self._peak = max(self._peak, self._active)
+                rejected = False
+        if rejected:
+            obs.counter_add("serve.connections.rejected")
+        return not rejected
+
+    def release(self) -> None:
+        with self._lock:
+            if self._active > 0:
+                self._active -= 1
+
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return self._active
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "max_connections": self.max_connections,
+                "active": self._active,
+                "peak": self._peak,
+                "accepted": self._accepted,
+                "rejected": self._rejected,
+            }

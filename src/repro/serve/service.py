@@ -26,8 +26,23 @@ response dict — so the socket server, the tests, and any future transport
     Measure the device and regenerate its fuzzy-extractor key from the
     stored helper data; the key is checked against the enrolled key
     digest before being released.
+``evict``
+    Durably remove a device's enrollment (tombstone in the CRP store).
+    The only enrollment-*mutating* verb on the wire: in degraded
+    read-only mode it returns a typed ``DegradedReadOnly`` error.
+``health``
+    Liveness plus the degradation flag: a server that lost its store's
+    append path keeps authenticating enrolled devices but reports
+    ``status: "degraded"`` here until the append path heals (probed
+    lazily, at most once per ``degraded_probe_interval_s``).
+``ready``
+    Readiness: whether the service can usefully serve — devices are
+    enrolled and the coalescer is alive.  Load balancers should gate on
+    this, not ``health``.
 ``stats``
-    Service, coalescer, and store counters.
+    Service, coalescer, store, and (when fronted by an
+    :class:`~repro.serve.server.AuthServer`) overload-protection
+    counters.
 ``metrics``
     Live telemetry exposition from the process
     :class:`~repro.obs.exporter.MetricsExporter`: the JSON document
@@ -35,9 +50,13 @@ response dict — so the socket server, the tests, and any future transport
     histogram) by default, the Prometheus text format with
     ``{"format": "prometheus"}``.  ``ropuf top`` polls this verb.
 
-Every handler failure becomes an ``{"ok": false, "error": ...}`` response;
-nothing a client sends can take the service down (pinned by the protocol
-robustness tests).
+Every handler failure becomes an ``{"ok": false, "error": ...,
+"retriable": ...}`` response; nothing a client sends can take the service
+down (pinned by the protocol robustness tests).  Requests carrying a
+``deadline_ms`` budget propagate it into the coalescer, which drops the
+job instead of evaluating it once the budget runs out (see
+:mod:`~repro.serve.admission` and
+``docs/serving.md#failure-modes--operations``).
 """
 
 from __future__ import annotations
@@ -55,20 +74,38 @@ from ..crypto.crp import Challenge
 from ..crypto.ecc import BCHCode
 from ..crypto.fuzzy_extractor import FuzzyExtractor
 from ..variation.environment import OperatingPoint
+from .admission import Deadline, DeadlineExceeded, parse_deadline
 from .coalescer import RequestCoalescer
 from .fleet import DeviceFarm
-from .protocol import PROTOCOL_VERSION, decode_bits, encode_bits
+from .protocol import (
+    PROTOCOL_VERSION,
+    decode_bits,
+    encode_bits,
+    error_frame,
+)
 from .store import CRPStore, DeviceRecord
 
 __all__ = ["AuthService", "ServiceError"]
 
 
 class ServiceError(Exception):
-    """A request-level failure reported to the client as ``ok: false``."""
+    """A request-level failure reported to the client as ``ok: false``.
 
-    def __init__(self, message: str, error_type: str = "ServiceError"):
+    ``retriable`` rides into the error frame: ``True`` promises the
+    request was refused before any state changed, so the client may
+    safely retry after backoff (see
+    :data:`repro.serve.protocol.RETRIABLE_ERROR_TYPES`).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        error_type: str = "ServiceError",
+        retriable: bool = False,
+    ):
         super().__init__(message)
         self.error_type = error_type
+        self.retriable = retriable
 
 
 class AuthService:
@@ -94,6 +131,9 @@ class AuthService:
         exporter: metrics exposition source for the ``metrics`` verb; a
             private :class:`~repro.obs.exporter.MetricsExporter` over the
             process registry is created when omitted.
+        degraded_probe_interval_s: while in degraded read-only mode, how
+            often (at most) a mutating request re-probes the store's
+            append path before failing fast with ``DegradedReadOnly``.
     """
 
     def __init__(
@@ -108,6 +148,7 @@ class AuthService:
         challenge_ttl_s: float = 120.0,
         max_pending_challenges: int = 4096,
         exporter=None,
+        degraded_probe_interval_s: float = 1.0,
     ):
         if not 0.0 < threshold_fraction < 0.5:
             raise ValueError(
@@ -137,6 +178,22 @@ class AuthService:
         self.exporter = exporter if exporter is not None else (
             obs.MetricsExporter()
         )
+        if degraded_probe_interval_s < 0.0:
+            raise ValueError(
+                f"degraded_probe_interval_s must be >= 0, got "
+                f"{degraded_probe_interval_s}"
+            )
+        self.degraded_probe_interval_s = degraded_probe_interval_s
+        # Degraded read-only mode: set when the store's append path
+        # fails; reads (auth against enrolled records) keep working,
+        # mutating verbs fail fast with a typed error until a lazy
+        # re-probe sees the append path heal.
+        self._degraded_lock = threading.Lock()
+        self._degraded_reason: str | None = None
+        self._degraded_last_probe = 0.0
+        # Set by the fronting AuthServer so the stats verb can expose
+        # admission/rate-limit/connection counters in one scrape.
+        self.overload_stats: Callable[[], dict] | None = None
         self._rng = np.random.default_rng(seed)
         # challenge_id -> (device_id, challenge, issued_at monotonic).
         # Insertion-ordered, so the first key is always the oldest —
@@ -152,6 +209,9 @@ class AuthService:
             "auth": self._op_auth,
             "attest": self._op_attest,
             "regen": self._op_regen,
+            "evict": self._op_evict,
+            "health": self._op_health,
+            "ready": self._op_ready,
             "stats": self._op_stats,
             "metrics": self._op_metrics,
         }
@@ -221,16 +281,32 @@ class AuthService:
         except ServiceError as exc:
             self._count("errors")
             obs.counter_add("serve.errors")
-            return self._error(str(exc), exc.error_type)
+            return self._error(str(exc), exc.error_type, exc.retriable)
         except Exception as exc:  # noqa: BLE001 - the server must survive
             self._count("errors")
             obs.counter_add("serve.errors")
             return self._error(str(exc), type(exc).__name__)
 
+    @property
+    def degraded(self) -> bool:
+        """Whether the service is in degraded read-only mode."""
+        with self._degraded_lock:
+            return self._degraded_reason is not None
+
     def note_protocol_error(self, error_type: str) -> None:
         """Fold a transport-level frame failure into the counters."""
         self._count(f"protocol_errors.{error_type}")
         obs.counter_add("serve.protocol_errors")
+
+    def note_overload(self, rejection_type: str) -> None:
+        """Fold a front-end overload rejection into the counters.
+
+        The :class:`~repro.serve.server.AuthServer` sheds these before
+        ``handle`` ever runs, so they would otherwise be invisible in
+        the service's own request totals.
+        """
+        self._count(f"overload.{rejection_type}")
+        obs.counter_add("serve.overload.rejected")
 
     def close(self) -> None:
         """Release the coalescer if this service created it."""
@@ -336,7 +412,11 @@ class AuthService:
 
     def _op_attest(self, request: dict) -> dict:
         record = self._record(request)
-        bits = self._measure(record.device_id, self._operating_point(request))
+        bits = self._measure(
+            record.device_id,
+            self._operating_point(request),
+            deadline=self._deadline(request),
+        )
         if len(bits) != record.bit_count:
             raise ServiceError(
                 f"device yields {len(bits)} bits but the stored reference "
@@ -360,9 +440,41 @@ class AuthService:
             "response": encode_bits(bits),
         }
 
+    def _op_evict(self, request: dict) -> dict:
+        record = self._record(request)
+        self._mutate_store(lambda: self.store.evict(record.device_id))
+        self._count("evicted")
+        obs.counter_add("serve.evicted")
+        return {"ok": True, "evicted": record.device_id}
+
+    def _op_health(self, request: dict) -> dict:
+        degraded = self._check_degraded()
+        return {
+            "ok": True,
+            "status": "degraded" if degraded else "ok",
+            "degraded": degraded is not None,
+            "reason": degraded,
+            "version": PROTOCOL_VERSION,
+        }
+
+    def _op_ready(self, request: dict) -> dict:
+        devices = len(self.store)
+        coalescing = not self.coalescer.closed
+        ready = devices > 0 and coalescing
+        return {
+            "ok": True,
+            "ready": ready,
+            "devices": devices,
+            "coalescer_alive": coalescing,
+        }
+
     def _op_regen(self, request: dict) -> dict:
         record = self._record(request)
-        bits = self._measure(record.device_id, self._operating_point(request))
+        bits = self._measure(
+            record.device_id,
+            self._operating_point(request),
+            deadline=self._deadline(request),
+        )
         try:
             key = self.extractor.reproduce(
                 bits[np.array(record.used_bits)], record.helper()
@@ -380,19 +492,20 @@ class AuthService:
             counts = dict(sorted(self._counts.items()))
         with self._challenge_lock:
             pending = len(self._challenges)
-        return {
-            "ok": True,
-            "stats": {
-                "service": counts,
-                "challenges": {
-                    "pending": pending,
-                    "ttl_s": self.challenge_ttl_s,
-                    "max_pending": self.max_pending_challenges,
-                },
-                "coalescer": self.coalescer.stats(),
-                "store": self.store.stats(),
+        stats = {
+            "service": counts,
+            "challenges": {
+                "pending": pending,
+                "ttl_s": self.challenge_ttl_s,
+                "max_pending": self.max_pending_challenges,
             },
+            "coalescer": self.coalescer.stats(),
+            "store": self.store.stats(),
+            "degraded": self.degraded,
         }
+        if self.overload_stats is not None:
+            stats["overload"] = self.overload_stats()
+        return {"ok": True, "stats": stats}
 
     def _op_metrics(self, request: dict) -> dict:
         fmt = request.get("format", "json")
@@ -432,19 +545,102 @@ class AuthService:
                 "BadRequest",
             ) from exc
 
-    def _measure(self, device_id: str, op: OperatingPoint) -> np.ndarray:
+    def _deadline(self, request: dict) -> Deadline | None:
+        try:
+            return parse_deadline(request)
+        except ValueError as exc:
+            raise ServiceError(str(exc), "BadRequest") from exc
+
+    def _measure(
+        self,
+        device_id: str,
+        op: OperatingPoint,
+        deadline: Deadline | None = None,
+    ) -> np.ndarray:
         try:
             device = self.farm.device(device_id)
         except KeyError as exc:
             raise ServiceError(str(exc), "DeviceDetached") from exc
         try:
-            return self.coalescer.submit(device.evaluator, op)
+            return self.coalescer.submit(
+                device.evaluator, op, deadline=deadline
+            )
         except KeyError as exc:
             raise ServiceError(
                 f"device {device_id!r} cannot be measured at that corner: "
                 f"{exc}",
                 "UnmeasuredCorner",
             ) from exc
+        except DeadlineExceeded as exc:
+            raise ServiceError(
+                str(exc), "DeadlineExceeded", retriable=True
+            ) from exc
+        except RuntimeError as exc:
+            # Coalescer closed (shutdown or dispatcher crash) or a
+            # dispatch stall: retriable — another replica (or this one,
+            # shortly) can serve the request; no state changed.
+            raise ServiceError(
+                f"evaluation unavailable: {exc}", "Unavailable", retriable=True
+            ) from exc
+
+    def _mutate_store(self, mutation: Callable[[], object]) -> object:
+        """Run an enrollment-mutating store call with degraded-mode rails.
+
+        In degraded mode the mutation fails fast with a typed
+        ``DegradedReadOnly`` error unless a (rate-limited) re-probe of
+        the store's append path says it healed.  An ``OSError`` escaping
+        the mutation *enters* degraded mode: the memory index was not
+        changed (the store appends before mutating it), so reads keep
+        serving the last durable state.
+        """
+        reason = self._check_degraded()
+        if reason is not None:
+            raise ServiceError(
+                f"store is in degraded read-only mode ({reason}); "
+                f"enrollment-mutating verbs are disabled",
+                "DegradedReadOnly",
+            )
+        try:
+            return mutation()
+        except OSError as exc:
+            self._enter_degraded(str(exc))
+            raise ServiceError(
+                f"store append failed ({exc}); entering degraded "
+                f"read-only mode",
+                "DegradedReadOnly",
+            ) from exc
+
+    def _enter_degraded(self, reason: str) -> None:
+        with self._degraded_lock:
+            entered = self._degraded_reason is None
+            self._degraded_reason = reason
+            self._degraded_last_probe = time.monotonic()
+        if entered:
+            self._count("degraded.entered")
+            obs.counter_add("serve.degraded.entered")
+
+    def _check_degraded(self) -> str | None:
+        """Current degraded reason, re-probing the append path lazily.
+
+        Returns ``None`` when healthy.  While degraded, at most one
+        probe per ``degraded_probe_interval_s`` touches the filesystem;
+        every other caller fails fast on the cached reason.
+        """
+        with self._degraded_lock:
+            reason = self._degraded_reason
+            if reason is None:
+                return None
+            now = time.monotonic()
+            if now - self._degraded_last_probe < self.degraded_probe_interval_s:
+                return reason
+            self._degraded_last_probe = now
+        if self.store.probe_writable():
+            with self._degraded_lock:
+                self._degraded_reason = None
+            self._count("degraded.recovered")
+            obs.counter_add("serve.degraded.recovered")
+            return None
+        return reason
 
     def _decode(self, text, field: str) -> np.ndarray:
         try:
@@ -452,8 +648,10 @@ class AuthService:
         except ValueError as exc:
             raise ServiceError(f"bad {field}: {exc}", "BadRequest") from exc
 
-    def _error(self, message: str, error_type: str) -> dict:
-        return {"ok": False, "error": message, "error_type": error_type}
+    def _error(
+        self, message: str, error_type: str, retriable: bool | None = None
+    ) -> dict:
+        return error_frame(message, error_type, retriable)
 
     def _sweep_expired(self, now: float) -> None:
         """Drop every expired pending challenge (caller holds the lock).

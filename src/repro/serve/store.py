@@ -203,6 +203,27 @@ class CRPStore:
             os.fsync(handle.fileno())
         obs.counter_add("serve.store.appends")
 
+    def probe_writable(self) -> bool:
+        """Whether the journal's append path currently works.
+
+        Opens the journal for append and fsyncs without writing a byte —
+        surfacing permission loss, a vanished directory, or a dead disk
+        without polluting the journal.  The serve layer uses this to
+        decide when to leave degraded read-only mode
+        (``docs/serving.md#failure-modes--operations``); an in-memory
+        store is always "writable".
+        """
+        if self.path is None:
+            return True
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a") as handle:
+                handle.flush()
+                os.fsync(handle.fileno())
+            return True
+        except OSError:
+            return False
+
     # ------------------------------------------------------------------
     # CRUD
     # ------------------------------------------------------------------

@@ -1,0 +1,286 @@
+"""Admission control and deadline propagation, from arithmetic to wire.
+
+Three layers, same contract:
+
+* :class:`~repro.serve.admission.Deadline` budgets never go negative and
+  only shrink as time passes (property-tested — the arithmetic is pure
+  over caller-supplied clocks);
+* the :class:`~repro.serve.admission.AdmissionGate` admits at most
+  ``max_inflight`` requests, rejects the rest *immediately* (nothing
+  queues), and sheds already-expired requests before they waste a slot;
+* on the wire, ``Overloaded`` and ``DeadlineExceeded`` are retriable
+  error frames that leave the connection alive and the stream in sync,
+  and the exempt introspection verbs still answer on a saturated server.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serve import (
+    AuthClient,
+    AuthServer,
+    AuthService,
+    CRPStore,
+    DeviceFarm,
+    FleetConfig,
+    RequestCoalescer,
+)
+from repro.serve.admission import (
+    AdmissionGate,
+    Deadline,
+    DeadlineExceeded,
+    Overloaded,
+    parse_deadline,
+)
+
+budgets = st.floats(min_value=1e-3, max_value=1e9)
+offsets = st.floats(min_value=0.0, max_value=1e7)
+
+
+class TestDeadline:
+    def test_fresh_budget_not_expired(self):
+        deadline = Deadline.after_ms(1000.0, now=100.0)
+        assert not deadline.expired(now=100.5)
+        assert deadline.remaining_ms(now=100.5) == pytest.approx(500.0)
+
+    def test_expired_after_budget(self):
+        deadline = Deadline.after_ms(10.0, now=0.0)
+        assert deadline.expired(now=0.011)
+        assert deadline.remaining_ms(now=0.011) == 0.0
+
+    @pytest.mark.parametrize(
+        "bad", [0.0, -1.0, float("nan"), float("inf"), -float("inf")]
+    )
+    def test_nonpositive_or_nonfinite_budget_rejected(self, bad):
+        with pytest.raises(ValueError, match="deadline_ms"):
+            Deadline.after_ms(bad)
+
+    def test_parse_absent_is_none(self):
+        assert parse_deadline({"op": "ping"}) is None
+
+    @pytest.mark.parametrize("bad", ["100", True, False, [100], {}])
+    def test_parse_non_numeric_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_deadline({"op": "ping", "deadline_ms": bad})
+
+    @pytest.mark.parametrize("bad", [0, -5, float("nan")])
+    def test_parse_bad_budget_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_deadline({"op": "ping", "deadline_ms": bad})
+
+    @given(budget_ms=budgets, elapsed_s=offsets)
+    def test_remaining_budget_never_negative(self, budget_ms, elapsed_s):
+        deadline = Deadline.after_ms(budget_ms, now=0.0)
+        assert deadline.remaining_ms(now=elapsed_s) >= 0.0
+        assert deadline.remaining_s(now=elapsed_s) >= 0.0
+
+    @given(budget_ms=budgets, first_s=offsets, extra_s=offsets)
+    def test_remaining_budget_monotone_in_time(
+        self, budget_ms, first_s, extra_s
+    ):
+        deadline = Deadline.after_ms(budget_ms, now=0.0)
+        earlier = deadline.remaining_ms(now=first_s)
+        later = deadline.remaining_ms(now=first_s + extra_s)
+        assert later <= earlier
+
+    @given(budget_ms=budgets)
+    def test_remaining_budget_never_exceeds_granted(self, budget_ms):
+        deadline = Deadline.after_ms(budget_ms, now=0.0)
+        assert deadline.remaining_ms(now=0.0) <= budget_ms * (1 + 1e-9)
+
+    @given(budget_ms=budgets, elapsed_s=offsets)
+    def test_expired_iff_budget_spent(self, budget_ms, elapsed_s):
+        deadline = Deadline.after_ms(budget_ms, now=0.0)
+        if deadline.expired(now=elapsed_s):
+            assert deadline.remaining_ms(now=elapsed_s) == 0.0
+        else:
+            assert deadline.remaining_ms(now=elapsed_s) > 0.0
+
+
+class TestAdmissionGate:
+    def test_admits_up_to_capacity_then_sheds(self):
+        gate = AdmissionGate(2)
+        first = gate.try_admit()
+        second = gate.try_admit()
+        with pytest.raises(Overloaded, match="capacity"):
+            gate.try_admit()
+        first.release()
+        third = gate.try_admit()  # the freed slot is reusable
+        second.release()
+        third.release()
+        stats = gate.stats()
+        assert stats["admitted"] == 3
+        assert stats["shed"] == 1
+        assert stats["inflight"] == 0
+        assert stats["peak_inflight"] == 2
+
+    def test_release_is_idempotent(self):
+        gate = AdmissionGate(1)
+        permit = gate.try_admit()
+        permit.release()
+        permit.release()
+        assert gate.inflight == 0
+        gate.try_admit()  # a double release must not mint extra capacity
+        with pytest.raises(Overloaded):
+            gate.try_admit()
+
+    def test_permit_is_a_context_manager(self):
+        gate = AdmissionGate(1)
+        with gate.try_admit():
+            assert gate.inflight == 1
+        assert gate.inflight == 0
+
+    def test_expired_deadline_shed_before_slot(self):
+        gate = AdmissionGate(1)
+        dead = Deadline.after_ms(0.001)
+        time.sleep(0.002)
+        with pytest.raises(DeadlineExceeded):
+            gate.try_admit(dead)
+        stats = gate.stats()
+        assert stats["expired"] == 1
+        assert stats["inflight"] == 0  # no slot was consumed
+
+    def test_live_deadline_admitted(self):
+        gate = AdmissionGate(1)
+        with gate.try_admit(Deadline.after_ms(60_000.0)):
+            assert gate.inflight == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            AdmissionGate(0)
+
+    def test_inflight_bounded_under_contention(self):
+        gate = AdmissionGate(4)
+        barrier = threading.Barrier(16)
+
+        def worker():
+            barrier.wait()
+            for _ in range(50):
+                try:
+                    permit = gate.try_admit()
+                except Overloaded:
+                    continue
+                permit.release()
+
+        threads = [threading.Thread(target=worker) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = gate.stats()
+        assert stats["inflight"] == 0
+        assert stats["peak_inflight"] <= 4
+        assert stats["admitted"] + stats["shed"] == 16 * 50
+
+
+@pytest.fixture(scope="module")
+def tight_stack():
+    """A server with one admission slot and a generous coalescing window,
+    so a single in-flight request saturates the gate long enough to poke
+    it from a second connection."""
+    farm = DeviceFarm.from_config(FleetConfig(boards=2))
+    service = AuthService(
+        farm,
+        CRPStore(None),
+        coalescer=RequestCoalescer(max_batch=64, max_wait_s=0.25),
+    )
+    service.enroll_fleet()
+    server = AuthServer(service, max_inflight=1).start()
+    try:
+        yield server, service, farm
+    finally:
+        server.stop()
+
+
+def saturate(server, farm, started: threading.Event):
+    """Occupy the single admission slot with one real attest."""
+    host, port = server.address
+    device = farm.device_ids[0]
+    corner = next(iter(farm)).corners[0]
+
+    def occupy():
+        with AuthClient(host, port) as client:
+            started.set()
+            client.attest(device, corner)
+
+    thread = threading.Thread(target=occupy, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestOverloadOnTheWire:
+    def test_overloaded_frame_keeps_connection_alive(self, tight_stack):
+        server, _, farm = tight_stack
+        device = farm.device_ids[0]
+        corner = next(iter(farm)).corners[0]
+        started = threading.Event()
+        with AuthClient(*server.address) as client:
+            occupier = saturate(server, farm, started)
+            started.wait(timeout=1.0)
+            time.sleep(0.05)  # let the occupier reach the coalescer window
+            rejected = client.attest(device, corner)
+            occupier.join(timeout=5.0)
+            assert rejected["ok"] is False
+            assert rejected["error_type"] == "Overloaded"
+            assert rejected["retriable"] is True
+            # Same connection, same stream: the next request round-trips.
+            accepted = client.attest(device, corner)
+            assert accepted["ok"] is True and accepted["accepted"] is True
+
+    def test_exempt_verbs_answer_on_a_saturated_server(self, tight_stack):
+        server, _, farm = tight_stack
+        started = threading.Event()
+        with AuthClient(*server.address) as client:
+            occupier = saturate(server, farm, started)
+            started.wait(timeout=1.0)
+            time.sleep(0.05)
+            assert client.ping()["ok"] is True
+            health = client.health()
+            assert health["ok"] is True and health["status"] == "ok"
+            assert client.ready()["ready"] is True
+            occupier.join(timeout=5.0)
+
+    def test_spent_deadline_is_shed_with_typed_frame(self, tight_stack):
+        server, _, farm = tight_stack
+        device = farm.device_ids[0]
+        corner = next(iter(farm)).corners[0]
+        with AuthClient(*server.address) as client:
+            # 1 microsecond of budget is long gone by the time the frame
+            # crosses even a loopback socket.
+            shed = client.attest(device, corner, deadline_ms=0.001)
+            assert shed["ok"] is False
+            assert shed["error_type"] == "DeadlineExceeded"
+            assert shed["retriable"] is True
+            fine = client.attest(device, corner, deadline_ms=60_000.0)
+            assert fine["ok"] is True
+
+    def test_malformed_deadline_is_bad_request(self, tight_stack):
+        server, _, farm = tight_stack
+        device = farm.device_ids[0]
+        with AuthClient(*server.address) as client:
+            for bad in ("fast", True, -5, 0):
+                response = client.call(
+                    "attest", device=device, deadline_ms=bad
+                )
+                assert response["ok"] is False
+                assert response["error_type"] == "BadRequest"
+                assert response["retriable"] is False
+            assert client.ping()["ok"] is True
+
+    def test_overload_rejections_visible_in_stats(self, tight_stack):
+        server, _, farm = tight_stack
+        with AuthClient(*server.address) as client:
+            stats = client.stats()
+        overload = stats["overload"]
+        assert overload["admission"]["max_inflight"] == 1
+        assert overload["admission"]["shed"] >= 1  # from the test above
+        assert (
+            stats["service"]["overload.Overloaded"]
+            == overload["admission"]["shed"]
+        )

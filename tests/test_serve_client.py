@@ -1,0 +1,275 @@
+"""The resilient :class:`~repro.serve.client.AuthClient`.
+
+Driven against a scripted frame server so every failure is exact and
+deterministic: retriable error frames are retried for any verb,
+ambiguous transport failures are retried only for idempotent verbs
+(with automatic reconnect), terminal errors are never retried, and
+repeated failures open the client-side circuit breaker, which fails
+calls fast until its cooldown and one successful half-open probe.
+All of it opt-in: with the default ``retries=0`` the client keeps the
+historical fail-fast behaviour (pinned by ``tests/test_serve_protocol``).
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+from collections import deque
+
+import pytest
+
+from repro.serve import AuthClient, CircuitOpen, ServeClientError
+from repro.serve.client import IDEMPOTENT_VERBS
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    error_frame,
+    read_frame,
+    write_frame,
+)
+
+#: Sentinel script entry: close the connection without replying.
+HANGUP = "hangup"
+
+OVERLOADED = error_frame("at capacity", "Overloaded")
+RATE_LIMITED = error_frame("slow down", "RateLimited")
+BAD_REQUEST = error_frame("no such field", "BadRequest")
+OK = {"ok": True}
+
+
+class _ScriptedHandler(socketserver.StreamRequestHandler):
+    def handle(self):
+        while True:
+            try:
+                request = read_frame(self.rfile, MAX_FRAME_BYTES)
+            except Exception:
+                return
+            if request is None:
+                return
+            with self.server.lock:
+                self.server.requests.append(request)
+                action = (
+                    self.server.script.popleft() if self.server.script else OK
+                )
+            if action == HANGUP:
+                return
+            try:
+                write_frame(self.wfile, action, MAX_FRAME_BYTES)
+            except OSError:
+                return
+
+
+class ScriptedServer(socketserver.ThreadingTCPServer):
+    """Answers each request with the next scripted response (then OK)."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, script):
+        super().__init__(("127.0.0.1", 0), _ScriptedHandler)
+        self.script = deque(script)
+        self.requests: list[dict] = []
+        self.lock = threading.Lock()
+        self._thread = threading.Thread(
+            target=self.serve_forever,
+            daemon=True,
+            kwargs={"poll_interval": 0.02},
+        )
+        self._thread.start()
+
+    @property
+    def address(self):
+        return self.server_address[:2]
+
+    def stop(self):
+        self.shutdown()
+        self._thread.join(timeout=2.0)
+        self.server_close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.stop()
+
+
+def make_client(server, **overrides) -> AuthClient:
+    options = {"retries": 2, "backoff_s": 0.001, "timeout": 5.0}
+    options.update(overrides)
+    return AuthClient(*server.address, **options)
+
+
+class TestRetriableFrameRetries:
+    def test_retries_until_success(self):
+        with ScriptedServer([OVERLOADED, OVERLOADED, OK]) as server:
+            with make_client(server) as client:
+                assert client.ping()["ok"] is True
+                assert len(server.requests) == 3
+                stats = client.retry_stats()
+                assert stats["retried"] == 2
+                assert stats["breaker_state"] == "closed"
+
+    def test_any_verb_retries_on_retriable_frame(self):
+        # auth is not transport-idempotent, but a typed retriable frame
+        # promises nothing happened — so even auth retries.
+        assert "auth" not in IDEMPOTENT_VERBS
+        with ScriptedServer([RATE_LIMITED, OK]) as server:
+            with make_client(server) as client:
+                response = client.call(
+                    "auth", device="d", challenge_id="c", answer="01"
+                )
+                assert response["ok"] is True
+                assert len(server.requests) == 2
+
+    def test_exhausted_retries_return_the_rejection(self):
+        with ScriptedServer([OVERLOADED] * 3) as server:
+            with make_client(server, retries=2) as client:
+                response = client.ping()
+                assert response["ok"] is False
+                assert response["error_type"] == "Overloaded"
+                assert len(server.requests) == 3
+
+    def test_no_retry_by_default(self):
+        with ScriptedServer([OVERLOADED, OK]) as server:
+            with AuthClient(*server.address) as client:
+                response = client.ping()
+                assert response["ok"] is False
+                assert len(server.requests) == 1
+
+    def test_terminal_error_never_retried(self):
+        with ScriptedServer([BAD_REQUEST, OK]) as server:
+            with make_client(server, retries=5) as client:
+                response = client.ping()
+                assert response["error_type"] == "BadRequest"
+                assert len(server.requests) == 1
+
+
+class TestTransportRetries:
+    def test_idempotent_verb_reconnects_and_retries(self):
+        with ScriptedServer([HANGUP, OK]) as server:
+            with make_client(server) as client:
+                assert client.ping()["ok"] is True
+                assert len(server.requests) == 2
+                assert client.retry_stats()["reconnects"] >= 1
+
+    def test_non_idempotent_verb_fails_fast_on_transport(self):
+        # An auth whose connection died mid-exchange is ambiguous: the
+        # challenge may already be consumed server-side, so a blind
+        # replay is unsafe and the failure surfaces immediately.
+        with ScriptedServer([HANGUP, OK]) as server:
+            with make_client(server, retries=5) as client:
+                with pytest.raises(ServeClientError):
+                    client.call(
+                        "auth", device="d", challenge_id="c", answer="01"
+                    )
+                assert len(server.requests) == 1
+
+    def test_connection_survives_mixed_outcomes(self):
+        script = [OK, HANGUP, OK, OVERLOADED, OK]
+        with ScriptedServer(script) as server:
+            with make_client(server, retries=3) as client:
+                assert client.ping()["ok"] is True
+                assert client.ping()["ok"] is True  # reconnect + retry
+                assert client.ping()["ok"] is True  # shed + retry
+                assert len(server.requests) == 5
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_fails_fast(self):
+        with ScriptedServer([OVERLOADED] * 10) as server:
+            with make_client(
+                server,
+                retries=1,
+                breaker_threshold=2,
+                breaker_reset_s=30.0,
+            ) as client:
+                client.ping()  # two attempts, both shed -> breaker opens
+                assert client.retry_stats()["breaker_state"] == "open"
+                requests_before = len(server.requests)
+                with pytest.raises(CircuitOpen):
+                    client.ping()
+                # Failing fast means no frame crossed the wire.
+                assert len(server.requests) == requests_before
+
+    def test_half_open_probe_closes_on_success(self):
+        with ScriptedServer([OVERLOADED, OVERLOADED, OK]) as server:
+            with make_client(
+                server,
+                retries=1,
+                breaker_threshold=2,
+                breaker_reset_s=0.1,
+            ) as client:
+                client.ping()  # both attempts shed -> breaker opens
+                assert client.retry_stats()["breaker_state"] == "open"
+                time.sleep(0.15)
+                assert client.retry_stats()["breaker_state"] == "half-open"
+                assert client.ping()["ok"] is True  # the probe
+                stats = client.retry_stats()
+                assert stats["breaker_state"] == "closed"
+                assert stats["consecutive_failures"] == 0
+
+    def test_half_open_probe_reopens_on_failure(self):
+        with ScriptedServer([OVERLOADED] * 10) as server:
+            with make_client(
+                server,
+                retries=1,
+                breaker_threshold=2,
+                breaker_reset_s=0.1,
+            ) as client:
+                client.ping()
+                time.sleep(0.15)
+                # The half-open probe is shed too: the breaker reopens,
+                # and the call's own in-flight retry now fails fast.
+                with pytest.raises(CircuitOpen):
+                    client.ping()
+                assert client.retry_stats()["breaker_state"] == "open"
+
+    def test_terminal_errors_do_not_trip_the_breaker(self):
+        # A coherent error response proves the server is healthy; only
+        # transport failures and overload rejections count.
+        with ScriptedServer([BAD_REQUEST] * 10) as server:
+            with make_client(
+                server, retries=1, breaker_threshold=2
+            ) as client:
+                for _ in range(5):
+                    assert client.ping()["error_type"] == "BadRequest"
+                assert client.retry_stats()["breaker_state"] == "closed"
+
+    def test_breaker_disabled_without_retries(self):
+        # retries=0 keeps the historical contract: failures surface, the
+        # client never withholds a call on its own.
+        with ScriptedServer([OVERLOADED] * 10) as server:
+            with AuthClient(
+                *server.address, breaker_threshold=2
+            ) as client:
+                for _ in range(5):
+                    assert client.ping()["ok"] is False
+                assert client.retry_stats()["breaker_state"] == "closed"
+
+
+class TestConstructorValidation:
+    @pytest.mark.parametrize(
+        "options",
+        [
+            {"retries": -1},
+            {"backoff_s": -0.1},
+            {"breaker_threshold": 0},
+            {"breaker_reset_s": 0.0},
+        ],
+    )
+    def test_bad_options_rejected(self, options):
+        with ScriptedServer([]) as server:
+            with pytest.raises(ValueError):
+                AuthClient(*server.address, **options)
+
+    def test_backoff_is_deterministic_and_exponential(self):
+        with ScriptedServer([]) as server:
+            with AuthClient(
+                *server.address, backoff_s=0.05, jitter_fraction=0.1
+            ) as client:
+                first = client._backoff_delay("ping", 1)
+                second = client._backoff_delay("ping", 2)
+                assert first == client._backoff_delay("ping", 1)
+                assert 0.05 <= first <= 0.055
+                assert 0.10 <= second <= 0.11
+                assert second > first

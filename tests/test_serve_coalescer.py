@@ -11,6 +11,7 @@ real concurrency, including its failure-isolation and shutdown contracts.
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -20,6 +21,7 @@ from repro.core.batch import (
     coalesce_responses,
 )
 from repro.serve import DeviceFarm, FleetConfig, RequestCoalescer
+from repro.serve.admission import Deadline, DeadlineExceeded
 from repro.variation.environment import OperatingPoint
 
 
@@ -245,6 +247,9 @@ class TestRequestCoalescer:
             "batches": 0,
             "max_batch": 0,
             "mean_batch": 0.0,
+            "dropped_abandoned": 0,
+            "dropped_expired": 0,
+            "crashed": False,
         }
 
     def test_failed_request_still_counted(self):
@@ -295,3 +300,156 @@ class TestRequestCoalescer:
         # mean_batch reflects only requests that actually dispatched.
         assert stats["batches"] >= 1
         assert stats["mean_batch"] <= 2.0
+
+
+class TestOverloadShedding:
+    """Abandoned and deadline-expired jobs must not burn batch slots."""
+
+    def test_timed_out_submit_is_shed_before_evaluation(self):
+        # Regression: a submit() whose wait timed out used to leave its
+        # job in the queue, so the dispatcher computed an answer nobody
+        # would ever read — batch capacity burned exactly when it is
+        # scarcest.  The job must be marked abandoned and skipped.
+        farm = build_farm(boards=1)
+        device = next(iter(farm))
+        corner = device.corners[0]
+        coalescer = RequestCoalescer(max_batch=8, max_wait_s=0.0)
+        try:
+            release = threading.Event()
+            original_dispatch = coalescer._dispatch
+
+            def stalled_dispatch(batch):
+                release.wait(timeout=5.0)
+                original_dispatch(batch)
+
+            coalescer._dispatch = stalled_dispatch
+            with pytest.raises(RuntimeError, match="timed out"):
+                coalescer.submit(device.evaluator, corner, timeout=0.05)
+            release.set()
+            deadline = time.monotonic() + 2.0
+            while (
+                coalescer.stats()["dropped_abandoned"] == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            stats = coalescer.stats()
+            assert stats["dropped_abandoned"] == 1
+            assert stats["errors"] == 1
+            # The abandoned job never evaluated: no batch was dispatched,
+            # and the device's noise RNG never advanced — the next result
+            # is byte-identical to a twin farm's first serial evaluation.
+            assert stats["batches"] == 0
+            twin = next(iter(build_farm(boards=1)))
+            mine = coalescer.submit(device.evaluator, corner)
+            assert mine.tobytes() == twin.evaluator.response(corner).tobytes()
+        finally:
+            coalescer.close()
+
+    def test_expired_deadline_rejected_before_enqueue(self):
+        farm = build_farm(boards=1)
+        device = next(iter(farm))
+        dead = Deadline.after_ms(0.001)
+        time.sleep(0.002)
+        with RequestCoalescer() as coalescer:
+            with pytest.raises(DeadlineExceeded):
+                coalescer.submit(
+                    device.evaluator, device.corners[0], deadline=dead
+                )
+            stats = coalescer.stats()
+        assert stats["dropped_expired"] == 1
+        assert stats["batches"] == 0
+
+    def test_deadline_expiring_in_queue_dropped_at_dispatch(self):
+        # White-box: a job whose deadline runs out while queued (before
+        # its submitter notices) is shed by the dispatcher with a
+        # DeadlineExceeded, not evaluated.
+        from repro.serve.coalescer import _Job
+
+        farm = build_farm(boards=1)
+        device = next(iter(farm))
+        with RequestCoalescer() as coalescer:
+            job = _Job(
+                device.evaluator,
+                device.corners[0],
+                deadline=Deadline.after_ms(0.5),
+            )
+            time.sleep(0.005)
+            coalescer._dispatch([job])
+            assert job.done.is_set()
+            assert isinstance(job.error, DeadlineExceeded)
+            assert job.result is None
+            assert coalescer.stats()["dropped_expired"] == 1
+
+    def test_live_deadline_passes_through(self):
+        farm = build_farm(boards=1)
+        device = next(iter(farm))
+        corner = device.corners[0]
+        twin = next(iter(build_farm(boards=1)))
+        with RequestCoalescer() as coalescer:
+            bits = coalescer.submit(
+                device.evaluator,
+                corner,
+                deadline=Deadline.after_ms(60_000.0),
+            )
+        assert bits.tobytes() == twin.evaluator.response(corner).tobytes()
+
+
+class TestDispatcherCrash:
+    """A dispatcher-thread crash must fail fast, not hang the service."""
+
+    def crash_coalescer(self) -> RequestCoalescer:
+        coalescer = RequestCoalescer(max_batch=8, max_wait_s=0.0)
+
+        def exploding_dispatch(batch):
+            raise ZeroDivisionError("metrics hook went pop")
+
+        coalescer._dispatch = exploding_dispatch
+        return coalescer
+
+    def test_pending_jobs_fail_with_clear_error(self):
+        # Regression: an exception escaping the dispatcher loop used to
+        # kill the thread silently; every later submit() then blocked
+        # for its full timeout against a queue nobody was draining.
+        farm = build_farm(boards=1)
+        device = next(iter(farm))
+        coalescer = self.crash_coalescer()
+        try:
+            with pytest.raises(RuntimeError, match="dispatcher crashed"):
+                coalescer.submit(
+                    device.evaluator, device.corners[0], timeout=5.0
+                )
+        finally:
+            coalescer.close()
+
+    def test_crash_closes_the_coalescer(self):
+        farm = build_farm(boards=1)
+        device = next(iter(farm))
+        coalescer = self.crash_coalescer()
+        try:
+            with pytest.raises(RuntimeError):
+                coalescer.submit(
+                    device.evaluator, device.corners[0], timeout=5.0
+                )
+            assert coalescer.closed is True
+            stats = coalescer.stats()
+            assert stats["crashed"] is True
+            assert stats["errors"] >= 1
+            # Later submissions fail immediately with the crash reason,
+            # not after blocking out their full timeout.
+            started = time.monotonic()
+            with pytest.raises(RuntimeError, match="ZeroDivisionError"):
+                coalescer.submit(
+                    device.evaluator, device.corners[0], timeout=30.0
+                )
+            assert time.monotonic() - started < 1.0
+        finally:
+            coalescer.close()
+
+    def test_close_after_crash_is_clean(self):
+        farm = build_farm(boards=1)
+        device = next(iter(farm))
+        coalescer = self.crash_coalescer()
+        with pytest.raises(RuntimeError):
+            coalescer.submit(device.evaluator, device.corners[0], timeout=5.0)
+        coalescer.close()
+        coalescer.close()

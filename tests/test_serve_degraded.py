@@ -1,0 +1,249 @@
+"""Degraded read-only mode: losing the store's append path must cost
+exactly the enrollment-mutating verbs, never authentication.
+
+The store appends before touching its memory index, so an ``OSError``
+from the append path leaves reads serving the last durable state.  The
+service turns that into a mode: mutating verbs (``evict``) fail fast
+with a typed ``DegradedReadOnly`` error, ``health`` reports the reason,
+the auth path keeps answering, and a lazy rate-limited re-probe of the
+append path clears the mode once the disk heals.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AuthService,
+    CRPStore,
+    DeviceFarm,
+    FleetConfig,
+)
+from repro.serve.protocol import encode_bits
+
+
+@pytest.fixture()
+def farm() -> DeviceFarm:
+    return DeviceFarm.from_config(FleetConfig(boards=2))
+
+
+def make_service(farm, tmp_path, **overrides) -> AuthService:
+    store = CRPStore(tmp_path / "crp.jsonl")
+    service = AuthService(farm, store, **overrides)
+    service.enroll_fleet()
+    return service
+
+
+def break_append(service: AuthService) -> dict:
+    """Make every journal append raise, counting the attempts."""
+    calls = {"appends": 0}
+
+    def dead_append(record):
+        calls["appends"] += 1
+        raise OSError(28, "No space left on device")
+
+    service.store._append = dead_append
+    return calls
+
+
+def heal_append(service: AuthService) -> None:
+    del service.store._append  # fall back to the class implementation
+
+
+def genuine_auth(service: AuthService, device_id: str) -> dict:
+    issued = service.handle({"op": "challenge", "device": device_id})
+    assert issued["ok"] is True
+    record = service.store.get(device_id)
+    answer = encode_bits(record.reference_bits[np.array(issued["indices"])])
+    return service.handle(
+        {
+            "op": "auth",
+            "device": device_id,
+            "challenge_id": issued["challenge_id"],
+            "answer": answer,
+        }
+    )
+
+
+class TestEnteringDegradedMode:
+    def test_failed_append_enters_degraded_with_typed_error(
+        self, farm, tmp_path
+    ):
+        service = make_service(farm, tmp_path)
+        try:
+            break_append(service)
+            response = service.handle(
+                {"op": "evict", "device": farm.device_ids[0]}
+            )
+            assert response["ok"] is False
+            assert response["error_type"] == "DegradedReadOnly"
+            assert "read-only" in response["error"]
+            assert service.degraded is True
+        finally:
+            service.close()
+
+    def test_memory_index_untouched_by_failed_evict(self, farm, tmp_path):
+        service = make_service(farm, tmp_path)
+        try:
+            break_append(service)
+            device = farm.device_ids[0]
+            service.handle({"op": "evict", "device": device})
+            # The evict never reached the journal, so the device is
+            # still enrolled and still authenticates.
+            assert device in service.store
+            assert genuine_auth(service, device)["accepted"] is True
+        finally:
+            service.close()
+
+    def test_degraded_mode_fails_fast_without_touching_disk(
+        self, farm, tmp_path
+    ):
+        service = make_service(
+            farm, tmp_path, degraded_probe_interval_s=60.0
+        )
+        try:
+            calls = break_append(service)
+            device = farm.device_ids[0]
+            service.handle({"op": "evict", "device": device})
+            assert calls["appends"] == 1
+            # Every further mutation inside the probe interval is
+            # rejected on the cached reason — zero append attempts.
+            for _ in range(5):
+                rejected = service.handle({"op": "evict", "device": device})
+                assert rejected["error_type"] == "DegradedReadOnly"
+            assert calls["appends"] == 1
+        finally:
+            service.close()
+
+    def test_health_reports_the_degradation(self, farm, tmp_path):
+        service = make_service(farm, tmp_path)
+        try:
+            healthy = service.handle({"op": "health"})
+            assert healthy["status"] == "ok" and not healthy["degraded"]
+            break_append(service)
+            service.handle({"op": "evict", "device": farm.device_ids[0]})
+            degraded = service.handle({"op": "health"})
+            assert degraded["ok"] is True  # the process itself is alive
+            assert degraded["status"] == "degraded"
+            assert degraded["degraded"] is True
+            assert "No space left" in degraded["reason"]
+            stats = service.handle({"op": "stats"})["stats"]
+            assert stats["degraded"] is True
+            assert stats["service"]["degraded.entered"] == 1
+        finally:
+            service.close()
+
+    def test_auth_path_unaffected_while_degraded(self, farm, tmp_path):
+        service = make_service(farm, tmp_path)
+        try:
+            break_append(service)
+            service.handle({"op": "evict", "device": farm.device_ids[0]})
+            corner_owner = next(iter(farm))
+            corner = corner_owner.corners[0]
+            for device in farm.device_ids:
+                assert genuine_auth(service, device)["accepted"] is True
+                attested = service.handle(
+                    {
+                        "op": "attest",
+                        "device": device,
+                        "voltage": corner.voltage,
+                        "temperature": corner.temperature,
+                    }
+                )
+                assert attested["ok"] is True and attested["accepted"]
+        finally:
+            service.close()
+
+
+class TestRecovery:
+    def test_recovers_once_the_append_path_heals(self, farm, tmp_path):
+        service = make_service(
+            farm, tmp_path, degraded_probe_interval_s=0.05
+        )
+        try:
+            break_append(service)
+            device = farm.device_ids[0]
+            service.handle({"op": "evict", "device": device})
+            assert service.degraded is True
+            heal_append(service)
+            time.sleep(0.06)  # let the probe interval lapse
+            evicted = service.handle({"op": "evict", "device": device})
+            assert evicted["ok"] is True
+            assert evicted["evicted"] == device
+            assert service.degraded is False
+            health = service.handle({"op": "health"})
+            assert health["status"] == "ok"
+            stats = service.handle({"op": "stats"})["stats"]
+            assert stats["service"]["degraded.recovered"] == 1
+        finally:
+            service.close()
+
+    def test_probe_is_rate_limited_while_broken(self, farm, tmp_path):
+        service = make_service(
+            farm, tmp_path, degraded_probe_interval_s=0.1
+        )
+        try:
+            break_append(service)
+            device = farm.device_ids[0]
+            service.handle({"op": "evict", "device": device})
+            # Break the probe itself too, then count how often it runs.
+            probes = {"count": 0}
+
+            def counting_probe():
+                probes["count"] += 1
+                return False
+
+            service.store.probe_writable = counting_probe
+            for _ in range(10):
+                service.handle({"op": "evict", "device": device})
+            # 10 rejections in well under the interval: at most one probe.
+            assert probes["count"] <= 1
+        finally:
+            service.close()
+
+
+class TestReadiness:
+    def test_ready_requires_devices_and_live_coalescer(self, farm, tmp_path):
+        service = make_service(farm, tmp_path)
+        try:
+            ready = service.handle({"op": "ready"})
+            assert ready["ready"] is True
+            assert ready["devices"] == len(farm.device_ids)
+        finally:
+            service.close()
+        # After close the coalescer is gone: not ready, still answering.
+        not_ready = service.handle({"op": "ready"})
+        assert not_ready["ok"] is True
+        assert not_ready["ready"] is False
+        assert not_ready["coalescer_alive"] is False
+
+    def test_empty_store_is_not_ready(self, farm):
+        service = AuthService(farm, CRPStore(None))
+        try:
+            response = service.handle({"op": "ready"})
+            assert response["ready"] is False
+            assert response["devices"] == 0
+        finally:
+            service.close()
+
+
+class TestProbeWritable:
+    def test_in_memory_store_always_writable(self):
+        assert CRPStore(None).probe_writable() is True
+
+    def test_healthy_path_writable_and_unpolluted(self, tmp_path):
+        store = CRPStore(tmp_path / "crp.jsonl")
+        assert store.probe_writable() is True
+        # The probe must not write journal bytes.
+        path = tmp_path / "crp.jsonl"
+        assert not path.exists() or path.stat().st_size == 0
+
+    def test_impossible_path_not_writable(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory must go")
+        store = CRPStore(None)
+        store.path = blocker / "crp.jsonl"
+        assert store.probe_writable() is False

@@ -1,0 +1,239 @@
+"""Token-bucket accounting and the connection budgets, unit to wire.
+
+The bucket is pure arithmetic over caller-supplied timestamps, so its
+invariants are property-tested outright: tokens never go negative, never
+exceed the burst ceiling, refill is monotone in elapsed time, and a
+backwards clock adds nothing.  On the wire, ``RateLimited`` is a
+retriable frame on a *surviving* connection, the global connection cap
+answers with ``TooManyConnections`` before closing, and an idle
+connection is reaped by the read timeout without hurting the listener.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serve import (
+    AuthClient,
+    AuthServer,
+    AuthService,
+    CRPStore,
+    DeviceFarm,
+    FleetConfig,
+    ServeClientError,
+)
+from repro.serve.ratelimit import ConnectionLimiter, RateLimiter, TokenBucket
+
+steps = st.lists(
+    st.tuples(
+        st.floats(min_value=-10.0, max_value=10.0),  # clock jumps (±)
+        st.booleans(),  # whether to attempt an acquire
+    ),
+    max_size=60,
+)
+
+
+class TestTokenBucketProperties:
+    @given(
+        rate=st.floats(min_value=0.01, max_value=1e3),
+        burst=st.floats(min_value=1.0, max_value=1e3),
+        trace=steps,
+    )
+    def test_tokens_bounded_and_grants_covered_by_refill(
+        self, rate, burst, trace
+    ):
+        bucket = TokenBucket(rate, burst)
+        now = 0.0
+        elapsed_total = 0.0
+        granted = 0
+        for jump, attempt in trace:
+            now += jump
+            elapsed_total += max(0.0, jump)
+            if attempt:
+                granted += bucket.try_acquire(now)
+            else:
+                bucket.refill(now)
+            assert 0.0 <= bucket.tokens <= bucket.burst
+        # Conservation: every grant was paid for by the initial burst or
+        # by forward-clock refill (with fp slack).
+        assert granted <= burst + rate * elapsed_total + 1e-6
+
+    @given(
+        rate=st.floats(min_value=0.01, max_value=1e3),
+        burst=st.floats(min_value=1.0, max_value=1e3),
+        first=st.floats(min_value=0.0, max_value=1e3),
+        extra=st.floats(min_value=0.0, max_value=1e3),
+    )
+    def test_refill_monotone_in_elapsed_time(self, rate, burst, first, extra):
+        shorter = TokenBucket(rate, burst)
+        longer = TokenBucket(rate, burst)
+        assert shorter.try_acquire(0.0) and longer.try_acquire(0.0)
+        shorter.refill(first)
+        longer.refill(first + extra)
+        assert longer.tokens >= shorter.tokens - 1e-9
+
+    @given(
+        rate=st.floats(min_value=0.01, max_value=1e3),
+        burst=st.floats(min_value=1.0, max_value=1e3),
+        back=st.floats(min_value=0.0, max_value=1e3),
+    )
+    def test_backwards_clock_adds_nothing(self, rate, burst, back):
+        bucket = TokenBucket(rate, burst)
+        assert bucket.try_acquire(100.0)
+        before = bucket.tokens
+        bucket.refill(100.0 - back)
+        assert bucket.tokens == before
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(0.0, 1.0)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(1.0, 0.5)
+
+
+class TestRateLimiter:
+    def test_burst_then_limited_then_refilled(self):
+        limiter = RateLimiter(rate=10.0, burst=2.0)
+        assert limiter.try_acquire("a", now=0.0)
+        assert limiter.try_acquire("a", now=0.0)
+        assert not limiter.try_acquire("a", now=0.0)
+        # 0.1 s at 10 rps refills one token.
+        assert limiter.try_acquire("a", now=0.1)
+        stats = limiter.stats()
+        assert stats["allowed"] == 3 and stats["limited"] == 1
+
+    def test_keys_are_independent(self):
+        limiter = RateLimiter(rate=1.0, burst=1.0)
+        assert limiter.try_acquire("a", now=0.0)
+        assert limiter.try_acquire("b", now=0.0)
+        assert not limiter.try_acquire("a", now=0.0)
+
+    def test_lru_eviction_bounds_the_table(self):
+        limiter = RateLimiter(rate=1.0, burst=1.0, max_keys=2)
+        assert limiter.try_acquire("a", now=0.0)
+        assert limiter.try_acquire("b", now=0.0)
+        assert limiter.try_acquire("c", now=0.0)  # evicts a
+        stats = limiter.stats()
+        assert stats["keys"] == 2 and stats["evicted_keys"] == 1
+        # The evicted key starts over with a full bucket: eviction is
+        # only ever more permissive, never a denial amplifier.
+        assert limiter.try_acquire("a", now=0.0)
+
+    def test_recently_used_key_survives_eviction(self):
+        limiter = RateLimiter(rate=0.01, burst=2.0, max_keys=2)
+        limiter.try_acquire("a", now=0.0)
+        limiter.try_acquire("b", now=0.0)
+        limiter.try_acquire("a", now=0.001)  # refresh a; b is now LRU
+        limiter.try_acquire("c", now=0.002)  # evicts b, not a
+        # a survived with its spent bucket — an evicted key would have
+        # started over full and been granted here.
+        assert not limiter.try_acquire("a", now=0.003)
+        assert limiter.stats()["evicted_keys"] == 1
+
+    def test_default_burst_is_one_second_of_rate(self):
+        assert RateLimiter(rate=7.0).burst == 7.0
+        assert RateLimiter(rate=0.2).burst == 1.0  # floor at one token
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError, match="max_keys"):
+            RateLimiter(rate=1.0, max_keys=0)
+        with pytest.raises(ValueError, match="rate"):
+            RateLimiter(rate=-1.0)
+
+
+class TestConnectionLimiter:
+    def test_cap_and_release(self):
+        limiter = ConnectionLimiter(2)
+        assert limiter.try_acquire() and limiter.try_acquire()
+        assert not limiter.try_acquire()
+        limiter.release()
+        assert limiter.try_acquire()
+        stats = limiter.stats()
+        assert stats["accepted"] == 3
+        assert stats["rejected"] == 1
+        assert stats["peak"] == 2 and stats["active"] == 2
+
+    def test_release_never_goes_negative(self):
+        limiter = ConnectionLimiter(1)
+        limiter.release()
+        assert limiter.active == 0
+        assert limiter.try_acquire()
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="max_connections"):
+            ConnectionLimiter(0)
+
+
+def build_server(**kwargs) -> tuple[AuthServer, AuthService]:
+    farm = DeviceFarm.from_config(FleetConfig(boards=2))
+    service = AuthService(farm, CRPStore(None))
+    service.enroll_fleet()
+    return AuthServer(service, **kwargs).start(), service
+
+
+class TestRateLimitOnTheWire:
+    def test_rate_limited_frame_keeps_connection_alive(self):
+        server, _ = build_server(rate_limit=2.0, rate_burst=2.0)
+        try:
+            with AuthClient(*server.address) as client:
+                assert client.ping()["ok"] is True
+                assert client.ping()["ok"] is True
+                limited = client.ping()
+                assert limited["ok"] is False
+                assert limited["error_type"] == "RateLimited"
+                assert limited["retriable"] is True
+                # The bucket refills while the same connection waits.
+                time.sleep(0.6)
+                assert client.ping()["ok"] is True
+        finally:
+            server.stop()
+
+    def test_connection_cap_rejects_with_typed_frame(self):
+        server, _ = build_server(max_connections=1)
+        try:
+            host, port = server.address
+            with AuthClient(host, port) as first:
+                assert first.ping()["ok"] is True  # slot provably held
+                second = AuthClient(host, port)
+                try:
+                    rejected = second.ping()
+                    assert rejected["ok"] is False
+                    assert rejected["error_type"] == "TooManyConnections"
+                    assert rejected["retriable"] is True
+                    # The capped connection was then closed server-side.
+                    with pytest.raises(ServeClientError):
+                        second.ping()
+                finally:
+                    second.close()
+            # Releasing the first connection frees the slot (the handler
+            # thread releases asynchronously, so poll briefly).
+            deadline = time.monotonic() + 2.0
+            while True:
+                with AuthClient(host, port) as third:
+                    response = third.ping()
+                if response.get("ok"):
+                    break
+                if time.monotonic() > deadline:
+                    pytest.fail(f"slot never freed: {response}")
+                time.sleep(0.02)
+        finally:
+            server.stop()
+
+    def test_idle_connection_reaped_without_hurting_listener(self):
+        server, service = build_server(idle_timeout=0.15)
+        try:
+            host, port = server.address
+            with AuthClient(host, port) as idler:
+                assert idler.ping()["ok"] is True
+                time.sleep(0.5)  # make no frame progress past the timeout
+                with pytest.raises(ServeClientError):
+                    idler.ping()
+            assert service._counts.get("protocol_errors.IdleTimeout", 0) >= 1
+            with AuthClient(host, port) as fresh:
+                assert fresh.ping()["ok"] is True
+        finally:
+            server.stop()
